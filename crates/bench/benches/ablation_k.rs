@@ -1,0 +1,37 @@
+//! Bench X-K: the excess-path limit sweep — wall-clock of FF2 with k = 1
+//! vs k = in-degree on FB1'.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ffmr_bench::{FbFamily, Scale};
+use ffmr_core::{run_max_flow, FfConfig, FfVariant, KPolicy};
+use mapreduce::{ClusterConfig, MrRuntime};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::smoke();
+    let family = FbFamily::generate(scale);
+    let st = family.subset_with_terminals(0, scale.w);
+    let mut group = c.benchmark_group("ablation_k");
+    group.sample_size(10);
+    for (label, policy) in [
+        ("k1", KPolicy::Fixed(1)),
+        ("k4", KPolicy::Fixed(4)),
+        ("k_indegree", KPolicy::InDegree),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut rt = MrRuntime::new(ClusterConfig::paper_cluster(20));
+                let config = FfConfig::new(st.source, st.sink)
+                    .variant(FfVariant::ff2())
+                    .k_policy(policy)
+                    .reducers(scale.reducers)
+                    .max_rounds(500);
+                black_box(run_max_flow(&mut rt, &st.network, &config).expect("run"))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Bench X-PR: MR push-relabel vs FF5 wall-clock on FB1' — the ablation
+//! behind the paper's Sec. II argument.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ffmr_bench::experiments::run_variant;
+use ffmr_bench::{FbFamily, Scale};
+use ffmr_core::FfVariant;
+use mapreduce::{ClusterConfig, MrRuntime};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::smoke();
+    let family = FbFamily::generate(scale);
+    let st = family.subset_with_terminals(0, 2);
+    let mut group = c.benchmark_group("ablation_push_relabel");
+    group.sample_size(10);
+    group.bench_function("ff5", |b| {
+        b.iter(|| black_box(run_variant(black_box(&st), FfVariant::ff5(), 20, &scale).0))
+    });
+    group.bench_function("mr_push_relabel", |b| {
+        b.iter(|| {
+            let mut rt = MrRuntime::new(ClusterConfig::paper_cluster(20));
+            black_box(
+                ffmr_core::mr_push_relabel::run_push_relabel(
+                    &mut rt,
+                    &st.network,
+                    st.source,
+                    st.sink,
+                    "pr",
+                    scale.reducers,
+                    50_000,
+                )
+                .expect("pr run"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Bench T-DATA: wall-clock of building one FB subset and running FF5 on
+//! it (the unit of work behind the dataset table).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ffmr_bench::experiments::run_variant;
+use ffmr_bench::{FbFamily, Scale};
+use ffmr_core::FfVariant;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::smoke();
+    let family = FbFamily::generate(scale);
+    let mut group = c.benchmark_group("datasets");
+    group.sample_size(10);
+    group.bench_function("generate_family", |b| {
+        b.iter(|| black_box(FbFamily::generate(black_box(scale))))
+    });
+    for i in [0usize, 2] {
+        let st = family.subset_with_terminals(i, 2);
+        group.bench_function(format!("ff5_{}", family.name(i)), |b| {
+            b.iter(|| black_box(run_variant(black_box(&st), FfVariant::ff5(), 20, &scale).0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

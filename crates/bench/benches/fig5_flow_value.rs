@@ -1,0 +1,26 @@
+//! Bench F5: FF5 wall-clock at small vs large terminal fan-out `w` on the
+//! largest subset — the unit behind Fig. 5's flow-value sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ffmr_bench::experiments::run_variant;
+use ffmr_bench::{FbFamily, Scale};
+use ffmr_core::FfVariant;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::smoke();
+    let family = FbFamily::generate(scale);
+    let largest = family.len() - 1;
+    let mut group = c.benchmark_group("fig5_flow_value");
+    group.sample_size(10);
+    for w in [1usize, 8, 32] {
+        let st = family.subset_with_terminals(largest, w);
+        group.bench_function(format!("ff5_w{w}"), |b| {
+            b.iter(|| black_box(run_variant(black_box(&st), FfVariant::ff5(), 20, &scale).0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Bench F6: wall-clock of each optimization rung FF1..FF5 plus MR-BFS on
+//! FB1' — the unit behind Fig. 6's effectiveness ladder.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ffmr_bench::experiments::{run_bfs_baseline, run_variant};
+use ffmr_bench::{FbFamily, Scale};
+use ffmr_core::FfVariant;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::smoke();
+    let family = FbFamily::generate(scale);
+    let st = family.subset_with_terminals(0, scale.w);
+    let mut group = c.benchmark_group("fig6_variants");
+    group.sample_size(10);
+    for (label, variant) in FfVariant::ladder() {
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(run_variant(black_box(&st), variant, 20, &scale).0))
+        });
+    }
+    group.bench_function("BFS", |b| {
+        b.iter(|| black_box(run_bfs_baseline(black_box(&st), 20, &scale)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Bench F7: FF1 vs FF3 vs FF5 wall-clock on FB1' — the runs whose
+//! per-round shuffle-byte series Fig. 7 plots.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ffmr_bench::experiments::run_variant;
+use ffmr_bench::{FbFamily, Scale};
+use ffmr_core::FfVariant;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::smoke();
+    let family = FbFamily::generate(scale);
+    let st = family.subset_with_terminals(0, scale.w);
+    let mut group = c.benchmark_group("fig7_shuffle");
+    group.sample_size(10);
+    for (label, variant) in [
+        ("FF1", FfVariant::ff1()),
+        ("FF3", FfVariant::ff3()),
+        ("FF5", FfVariant::ff5()),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let (run, _) = run_variant(black_box(&st), variant, 20, &scale);
+                black_box(run.rounds.iter().map(|r| r.shuffle_bytes).sum::<u64>())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Bench F8: FF5 wall-clock vs graph size (FB1'/FB3'/FB6') and cluster
+//! size — the units behind Fig. 8's scalability curves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ffmr_bench::experiments::run_variant;
+use ffmr_bench::{FbFamily, Scale};
+use ffmr_core::FfVariant;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::smoke();
+    let family = FbFamily::generate(scale);
+    let mut group = c.benchmark_group("fig8_scaling");
+    group.sample_size(10);
+    for i in [0usize, 2, 5] {
+        let net = family.subset(i);
+        let w = scale.w.min(net.num_vertices() / 8).max(1);
+        let st = family.subset_with_terminals(i, w);
+        for nodes in [5usize, 20] {
+            group.bench_function(format!("ff5_{}_{}nodes", family.name(i), nodes), |b| {
+                b.iter(|| black_box(run_variant(black_box(&st), FfVariant::ff5(), nodes, &scale).0))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Bench: the sequential reference solvers against each other on a
+//! small-world graph — context for how far the MR overheads sit above
+//! raw algorithmic cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use maxflow::Algorithm;
+use std::hint::black_box;
+use swgraph::{gen, FlowNetwork};
+
+fn bench(c: &mut Criterion) {
+    let n = 5_000;
+    let net = FlowNetwork::from_undirected_unit(n, &gen::barabasi_albert(n, 4, 7));
+    let base = net.clone();
+    let st = swgraph::super_st::attach_super_terminals(&base, 16, 6, 3).expect("terminals");
+    let mut group = c.benchmark_group("sequential_solvers");
+    group.sample_size(20);
+    for algo in Algorithm::ALL {
+        group.bench_function(algo.to_string(), |b| {
+            b.iter(|| black_box(algo.run(black_box(&st.network), st.source, st.sink)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Bench T1: the full FF5 round chain on the largest subset with large
+//! `w` — the run behind Table I's per-round statistics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ffmr_bench::experiments::run_variant;
+use ffmr_bench::{FbFamily, Scale};
+use ffmr_core::FfVariant;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::smoke();
+    let family = FbFamily::generate(scale);
+    let largest = family.len() - 1;
+    let net = family.subset(largest);
+    let w = (scale.w * 2).min(net.num_vertices() / 8).max(1);
+    let st = family.subset_with_terminals(largest, w);
+    let mut group = c.benchmark_group("table1_rounds");
+    group.sample_size(10);
+    group.bench_function("ff5_large_w", |b| {
+        b.iter(|| black_box(run_variant(black_box(&st), FfVariant::ff5(), 20, &scale).0))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

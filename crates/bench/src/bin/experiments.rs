@@ -1,0 +1,99 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p ffmr-bench --bin experiments -- [--scale smoke|small|paper] \
+//!     [--experiment all|datasets|fig5|fig6|table1|fig7|fig8|pushrelabel|ablation_k]
+//! ```
+
+use std::time::Instant;
+
+use ffmr_bench::experiments;
+use ffmr_bench::Scale;
+
+const EXPERIMENTS: &[&str] = &[
+    "datasets",
+    "fig5",
+    "fig6",
+    "table1",
+    "fig7",
+    "fig8",
+    "pushrelabel",
+    "ablation_k",
+    "ablation_search",
+    "pregel_port",
+];
+
+fn main() {
+    let mut scale = Scale::small();
+    let mut which = "all".to_string();
+    let mut csv_dir: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--csv-dir" => {
+                csv_dir = Some(args.next().unwrap_or_default());
+            }
+            "--scale" => {
+                let name = args.next().unwrap_or_default();
+                scale = Scale::by_name(&name).unwrap_or_else(|| {
+                    eprintln!("unknown scale '{name}' (smoke|small|paper)");
+                    std::process::exit(2);
+                });
+            }
+            "--experiment" => {
+                which = args.next().unwrap_or_default();
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: experiments [--scale smoke|small|paper] [--experiment NAME] \
+                     [--csv-dir DIR]\nexperiments: all {}",
+                    EXPERIMENTS.join(" ")
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument '{other}' (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let selected: Vec<&str> = if which == "all" {
+        EXPERIMENTS.to_vec()
+    } else if EXPERIMENTS.contains(&which.as_str()) {
+        vec![EXPERIMENTS[EXPERIMENTS.iter().position(|e| *e == which).unwrap()]]
+    } else {
+        eprintln!("unknown experiment '{which}' (try --help)");
+        std::process::exit(2);
+    };
+
+    println!(
+        "FFMR experiment harness — scale: 1/{} of the paper's checkpoints (/1000 built in)\n",
+        scale.denominator
+    );
+    for name in selected {
+        let start = Instant::now();
+        let report = match name {
+            "datasets" => experiments::datasets::run(&scale).1,
+            "fig5" => experiments::fig5::run(&scale).1,
+            "fig6" => experiments::fig6::run(&scale).1,
+            "table1" => experiments::table1::run(&scale).1,
+            "fig7" => experiments::fig7::run(&scale).1,
+            "fig8" => experiments::fig8::run(&scale).1,
+            "pushrelabel" => experiments::pushrelabel::run(&scale).1,
+            "ablation_k" => experiments::ablation_k::run(&scale).1,
+            "ablation_search" => experiments::ablation_search::run(&scale).1,
+            "pregel_port" => experiments::pregel_port::run(&scale).1,
+            _ => unreachable!("validated above"),
+        };
+        println!("{report}");
+        println!("(harness wall time: {:.1}s)\n", start.elapsed().as_secs_f64());
+        if let Some(dir) = &csv_dir {
+            if let Err(e) = std::fs::create_dir_all(dir)
+                .and_then(|()| std::fs::write(format!("{dir}/{name}.csv"), report.to_csv()))
+            {
+                eprintln!("warning: could not write {dir}/{name}.csv: {e}");
+            }
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Ablation X-K: the excess-path storage limit `k` (paper Sec. III-B3).
+//! The paper reports that multiple excess paths "give the most decrease
+//! in the number of rounds"; this sweep quantifies rounds and shuffle
+//! volume as `k` grows from 1 to the FF5 in-degree policy.
+
+use ffmr_core::{run_max_flow, FfConfig, FfVariant, KPolicy};
+use mapreduce::{ClusterConfig, MrRuntime};
+
+use crate::profiles::{FbFamily, Scale};
+use crate::table::{hms, Report};
+
+/// One sweep point.
+#[derive(Debug, Clone)]
+pub struct KPoint {
+    /// Policy label.
+    pub label: String,
+    /// Rounds to terminate.
+    pub rounds: usize,
+    /// Total simulated seconds.
+    pub sim_seconds: f64,
+    /// Total shuffle bytes.
+    pub shuffle_bytes: u64,
+    /// Max-flow value (identical across points, asserted).
+    pub max_flow: i64,
+}
+
+/// Sweeps `k ∈ {1, 2, 4, 8, in-degree}` with the FF2 feature set (so the
+/// k effect is isolated from schimmy/FF5 messaging changes).
+#[must_use]
+pub fn run(scale: &Scale) -> (Vec<KPoint>, Report) {
+    let family = FbFamily::generate(*scale);
+    let st = family.subset_with_terminals(0, scale.w);
+    let policies: Vec<(String, KPolicy)> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&k| (format!("k={k}"), KPolicy::Fixed(k)))
+        .chain(std::iter::once((
+            "k=in-degree".to_string(),
+            KPolicy::InDegree,
+        )))
+        .collect();
+
+    let mut points = Vec::new();
+    let mut report = Report::new(
+        format!("Ablation X-K — excess-path limit sweep ({})", family.name(0)),
+        &["policy", "rounds", "sim-time", "shuffle-KiB", "max-flow"],
+    );
+    let mut value: Option<i64> = None;
+    for (label, policy) in policies {
+        let mut rt = MrRuntime::new(ClusterConfig::scaled_paper_cluster(20, scale.sim_slowdown));
+        let config = FfConfig::new(st.source, st.sink)
+            .variant(FfVariant::ff2())
+            .k_policy(policy)
+            .reducers(scale.reducers)
+            .max_rounds(500);
+        let run = run_max_flow(&mut rt, &st.network, &config).expect("ffmr run");
+        if let Some(v) = value {
+            assert_eq!(v, run.max_flow_value, "{label}: value drift");
+        }
+        value = Some(run.max_flow_value);
+        let shuffle: u64 = run.rounds.iter().map(|r| r.shuffle_bytes).sum();
+        report.row([
+            label.clone(),
+            run.num_flow_rounds().to_string(),
+            hms(run.total_sim_seconds),
+            (shuffle / 1024).to_string(),
+            run.max_flow_value.to_string(),
+        ]);
+        points.push(KPoint {
+            label,
+            rounds: run.num_flow_rounds(),
+            sim_seconds: run.total_sim_seconds,
+            shuffle_bytes: shuffle,
+            max_flow: run.max_flow_value,
+        });
+    }
+    let k1 = points[0].rounds;
+    let best = points.iter().map(|p| p.rounds).min().unwrap_or(0);
+    report.note(format!(
+        "shape check — more stored paths cut rounds from {k1} (k=1) to {best} \
+         (paper Sec. III-B3: multiple excess paths 'give the most decrease in \
+         the number of rounds')"
+    ));
+    (points, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn larger_k_never_needs_more_rounds_than_k1() {
+        let (points, _) = run(&Scale::smoke());
+        assert_eq!(points.len(), 5);
+        let k1 = points[0].rounds;
+        let indeg = points.last().unwrap().rounds;
+        assert!(
+            indeg <= k1,
+            "in-degree policy ({indeg}) must not exceed k=1 ({k1}) in rounds"
+        );
+        // All policies converge to the same max flow.
+        let v = points[0].max_flow;
+        assert!(points.iter().all(|p| p.max_flow == v));
+    }
+}

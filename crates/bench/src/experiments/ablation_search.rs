@@ -1,0 +1,120 @@
+//! Ablation X-SEARCH: the two search-strategy design choices of paper
+//! Sec. III-B — bi-directional search ("can halve the total number of
+//! rounds") and extending one vs all stored excess paths ("extending
+//! more than one excess path incurs overhead without much benefit").
+
+use ffmr_core::{run_max_flow, FfConfig, FfVariant};
+use mapreduce::{ClusterConfig, MrRuntime};
+
+use crate::profiles::{FbFamily, Scale};
+use crate::table::{hms, Report};
+
+/// One strategy point.
+#[derive(Debug, Clone)]
+pub struct SearchPoint {
+    /// Strategy label.
+    pub label: &'static str,
+    /// Rounds to terminate.
+    pub rounds: usize,
+    /// Total simulated seconds.
+    pub sim_seconds: f64,
+    /// Total shuffle bytes.
+    pub shuffle_bytes: u64,
+    /// Max-flow value (identical across strategies, asserted).
+    pub max_flow: i64,
+}
+
+/// Runs the strategy matrix on FB1'.
+#[must_use]
+pub fn run(scale: &Scale) -> (Vec<SearchPoint>, Report) {
+    let family = FbFamily::generate(*scale);
+    let st = family.subset_with_terminals(0, scale.w);
+
+    let strategies: [(&'static str, bool, bool); 3] = [
+        ("bi-directional, extend one (paper)", true, false),
+        ("uni-directional, extend one", false, false),
+        ("bi-directional, extend all", true, true),
+    ];
+    let mut points = Vec::new();
+    let mut report = Report::new(
+        format!(
+            "Ablation X-SEARCH — search strategies (Sec. III-B, {})",
+            family.name(0)
+        ),
+        &["strategy", "rounds", "sim-time", "shuffle-KiB", "max-flow"],
+    );
+    let mut value: Option<i64> = None;
+    for (label, bidirectional, extend_all) in strategies {
+        let mut rt = MrRuntime::new(ClusterConfig::scaled_paper_cluster(20, scale.sim_slowdown));
+        let config = FfConfig::new(st.source, st.sink)
+            .variant(FfVariant::ff2())
+            .bidirectional(bidirectional)
+            .extend_all_paths(extend_all)
+            .max_rounds(500)
+            .reducers(scale.reducers);
+        let run = run_max_flow(&mut rt, &st.network, &config).expect("ffmr run");
+        if let Some(v) = value {
+            assert_eq!(v, run.max_flow_value, "{label}: value drift");
+        }
+        value = Some(run.max_flow_value);
+        let shuffle: u64 = run.rounds.iter().map(|r| r.shuffle_bytes).sum();
+        report.row([
+            label.to_string(),
+            run.num_flow_rounds().to_string(),
+            hms(run.total_sim_seconds),
+            (shuffle / 1024).to_string(),
+            run.max_flow_value.to_string(),
+        ]);
+        points.push(SearchPoint {
+            label,
+            rounds: run.num_flow_rounds(),
+            sim_seconds: run.total_sim_seconds,
+            shuffle_bytes: shuffle,
+            max_flow: run.max_flow_value,
+        });
+    }
+    report.note(format!(
+        "shape check — dropping bi-directional search grows rounds {}->{} \
+         (paper Sec. III-B2: 'it can halve the total number of rounds'); extend-all \
+         shuffles {:.1}x the bytes for {} rounds vs {} (Sec. III-B3: 'overhead \
+         without much benefit')",
+        points[0].rounds,
+        points[1].rounds,
+        points[2].shuffle_bytes as f64 / points[0].shuffle_bytes as f64,
+        points[2].rounds,
+        points[0].rounds,
+    ));
+    (points, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_strategy_dominates() {
+        let (points, _) = run(&Scale::smoke());
+        let paper = &points[0];
+        let uni = &points[1];
+        let all = &points[2];
+        assert!(
+            uni.rounds > paper.rounds,
+            "bi-directional must cut rounds ({} vs {})",
+            paper.rounds,
+            uni.rounds
+        );
+        assert!(
+            all.shuffle_bytes > paper.shuffle_bytes,
+            "extend-all must cost shuffle ({} vs {})",
+            paper.shuffle_bytes,
+            all.shuffle_bytes
+        );
+        assert!(
+            all.rounds + 2 >= paper.rounds,
+            "extend-all buys at most a couple rounds ({} vs {})",
+            all.rounds,
+            paper.rounds
+        );
+        assert_eq!(paper.max_flow, uni.max_flow);
+    }
+}

@@ -1,0 +1,90 @@
+//! The dataset table (paper Sec. V): FB1–FB6 vertices, edges, stored
+//! graph size, and the maximum in-flight graph size across an FF5 run.
+
+use ffmr_core::FfVariant;
+
+use crate::profiles::{FbFamily, Scale};
+use crate::table::{bytes_human, Report};
+
+use super::run_variant;
+
+/// One dataset row.
+#[derive(Debug, Clone)]
+pub struct DatasetRow {
+    /// Subset name (FB1'..FB6').
+    pub name: &'static str,
+    /// Vertex count.
+    pub vertices: u64,
+    /// Undirected edge count.
+    pub edges: u64,
+    /// Encoded vertex-record file size after round #0 (one replica).
+    pub size_bytes: u64,
+    /// Maximum graph file size observed across an FF5 run.
+    pub max_size_bytes: u64,
+}
+
+/// Runs the experiment at `scale`.
+#[must_use]
+pub fn run(scale: &Scale) -> (Vec<DatasetRow>, Report) {
+    let family = FbFamily::generate(*scale);
+    let mut rows = Vec::new();
+    let mut report = Report::new(
+        format!(
+            "Dataset table (paper Sec. V) — FB checkpoints / {}",
+            scale.denominator
+        ),
+        &["Graph", "Vertices", "Edges", "Size", "Max Size"],
+    );
+    for i in 0..family.len() {
+        let net = family.subset(i);
+        let st = family.subset_with_terminals(i, scale.w.min(net.num_vertices() / 8).max(1));
+        let (run, _rt) = run_variant(&st, FfVariant::ff5(), 20, scale);
+        let size = run.rounds.first().map_or(0, |r| r.graph_bytes);
+        let row = DatasetRow {
+            name: family.name(i),
+            vertices: net.num_vertices() as u64,
+            edges: net.num_edge_pairs() as u64,
+            size_bytes: size,
+            max_size_bytes: run.max_graph_bytes,
+        };
+        report.row([
+            row.name.to_string(),
+            row.vertices.to_string(),
+            row.edges.to_string(),
+            bytes_human(row.size_bytes),
+            bytes_human(row.max_size_bytes),
+        ]);
+        rows.push(row);
+    }
+    report.note(
+        "paper: 21M..411M vertices, 112M..31B edges, 587MB..238GB stored, \
+         max size expands 2x..14x during the run",
+    );
+    let expansion_ok = rows
+        .iter()
+        .all(|r| r.max_size_bytes >= r.size_bytes);
+    report.note(format!(
+        "shape check — max size >= stored size on every subset: {expansion_ok}"
+    ));
+    (rows, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_scale_dataset_rows() {
+        let (rows, report) = run(&Scale::smoke());
+        assert_eq!(rows.len(), 6);
+        for w in rows.windows(2) {
+            assert!(w[1].vertices > w[0].vertices, "nested growth");
+            assert!(w[1].edges > w[0].edges);
+        }
+        for r in &rows {
+            assert!(r.size_bytes > 0);
+            assert!(r.max_size_bytes >= r.size_bytes);
+        }
+        assert!(report.to_string().contains("FB6"));
+    }
+}

@@ -1,0 +1,95 @@
+//! Fig. 5: runtime and number of rounds versus the max-flow value on the
+//! largest graph — the paper's headline result that rounds stay *almost
+//! constant* (≈ 8) as |f*| grows from 4 K to 521 K, because the
+//! small-world diameter is robust under residual change.
+
+use ffmr_core::FfVariant;
+
+use crate::profiles::{FbFamily, Scale};
+use crate::table::{hms, Report};
+
+use super::run_variant;
+
+/// One sweep point.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig5Point {
+    /// Terminal fan-out `w`.
+    pub w: usize,
+    /// Achieved max-flow value.
+    pub max_flow: i64,
+    /// FFMR rounds (excluding round 0).
+    pub rounds: usize,
+    /// Total simulated seconds.
+    pub sim_seconds: f64,
+}
+
+/// Runs the sweep on the family's largest subset with
+/// `w ∈ {1, 2, 4, ..., w_max}`.
+#[must_use]
+pub fn run(scale: &Scale) -> (Vec<Fig5Point>, Report) {
+    let family = FbFamily::generate(*scale);
+    let largest = family.len() - 1;
+    let net = family.subset(largest);
+    let w_cap = (net.num_vertices() / 8).max(1);
+
+    let mut points = Vec::new();
+    let mut report = Report::new(
+        format!("Fig. 5 — runtime & rounds vs max-flow value ({})", family.name(largest)),
+        &["w", "max-flow", "rounds", "sim-time"],
+    );
+    let mut w = 1usize;
+    while w <= scale.w * 8 && w <= w_cap {
+        let st = family.subset_with_terminals(largest, w);
+        let (run, _) = run_variant(&st, FfVariant::ff5(), 20, scale);
+        let p = Fig5Point {
+            w,
+            max_flow: run.max_flow_value,
+            rounds: run.num_flow_rounds(),
+            sim_seconds: run.total_sim_seconds,
+        };
+        report.row([
+            p.w.to_string(),
+            p.max_flow.to_string(),
+            p.rounds.to_string(),
+            hms(p.sim_seconds),
+        ]);
+        points.push(p);
+        w *= 2;
+    }
+
+    let min_rounds = points.iter().map(|p| p.rounds).min().unwrap_or(0);
+    let max_rounds = points.iter().map(|p| p.rounds).max().unwrap_or(0);
+    let first = points.first().map_or(0, |p| p.max_flow).max(1);
+    let last = points.last().map_or(0, |p| p.max_flow);
+    report.note(format!(
+        "shape check — flow grew {:.0}x while rounds stayed within [{min_rounds}, {max_rounds}] \
+         (paper: rounds ~8 from |f*|=4K to 521K)",
+        last as f64 / first as f64
+    ));
+    (points, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_stay_nearly_constant_as_flow_grows() {
+        let (points, _) = run(&Scale::smoke());
+        assert!(points.len() >= 3);
+        let first = points.first().unwrap();
+        let last = points.last().unwrap();
+        assert!(
+            last.max_flow > 4 * first.max_flow,
+            "sweep must grow the flow substantially ({} -> {})",
+            first.max_flow,
+            last.max_flow
+        );
+        let min_r = points.iter().map(|p| p.rounds).min().unwrap();
+        let max_r = points.iter().map(|p| p.rounds).max().unwrap();
+        assert!(
+            max_r <= min_r * 2 + 4,
+            "rounds should stay nearly constant ({min_r}..{max_r})"
+        );
+    }
+}

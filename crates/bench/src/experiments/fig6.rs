@@ -1,0 +1,127 @@
+//! Fig. 6: cumulative effectiveness of the MR optimizations — FF1..FF5
+//! runtime and rounds on a small (FB1) and a large (FB4) graph, with
+//! MR-BFS as the lower bound. Paper: FF5 is ~5.43x faster than FF1 on
+//! FB1 and ~14.22x on FB4; the gain grows with graph size.
+
+use ffmr_core::FfVariant;
+
+use crate::profiles::{FbFamily, Scale};
+use crate::table::{hms, Report};
+
+use super::{run_bfs_baseline, run_variant};
+
+/// Result of one variant on one graph.
+#[derive(Debug, Clone)]
+pub struct Fig6Cell {
+    /// Variant label (FF1..FF5 or BFS).
+    pub label: &'static str,
+    /// Simulated seconds.
+    pub sim_seconds: f64,
+    /// Rounds (excluding round 0).
+    pub rounds: usize,
+}
+
+/// Per-graph series.
+#[derive(Debug, Clone)]
+pub struct Fig6Series {
+    /// Graph name.
+    pub graph: &'static str,
+    /// FF1..FF5 then BFS.
+    pub cells: Vec<Fig6Cell>,
+    /// Max-flow value (identical across variants, asserted).
+    pub max_flow: i64,
+}
+
+/// Runs all variants + BFS on FB1' and FB4'.
+#[must_use]
+pub fn run(scale: &Scale) -> (Vec<Fig6Series>, Report) {
+    let family = FbFamily::generate(*scale);
+    let mut report = Report::new(
+        "Fig. 6 — MR optimization effectiveness (FF1..FF5 + BFS)",
+        &["graph", "algo", "sim-time", "rounds", "max-flow"],
+    );
+    let mut out = Vec::new();
+    for &i in &[0usize, 3] {
+        let graph = family.name(i);
+        let st = family.subset_with_terminals(i, scale.w);
+        let mut cells = Vec::new();
+        let mut value: Option<i64> = None;
+        for (label, variant) in FfVariant::ladder() {
+            let (run, _) = run_variant(&st, variant, 20, scale);
+            if let Some(v) = value {
+                assert_eq!(v, run.max_flow_value, "{graph}/{label} value drift");
+            }
+            value = Some(run.max_flow_value);
+            report.row([
+                graph.to_string(),
+                label.to_string(),
+                hms(run.total_sim_seconds),
+                run.num_flow_rounds().to_string(),
+                run.max_flow_value.to_string(),
+            ]);
+            cells.push(Fig6Cell {
+                label,
+                sim_seconds: run.total_sim_seconds,
+                rounds: run.num_flow_rounds(),
+            });
+        }
+        let bfs = run_bfs_baseline(&st, 20, scale);
+        report.row([
+            graph.to_string(),
+            "BFS".to_string(),
+            hms(bfs.stats.total_sim_seconds()),
+            bfs.rounds.to_string(),
+            "-".to_string(),
+        ]);
+        cells.push(Fig6Cell {
+            label: "BFS",
+            sim_seconds: bfs.stats.total_sim_seconds(),
+            rounds: bfs.rounds,
+        });
+        out.push(Fig6Series {
+            graph,
+            cells,
+            max_flow: value.unwrap_or(0),
+        });
+    }
+    for s in &out {
+        let ff1 = s.cells[0].sim_seconds;
+        let ff5 = s.cells[4].sim_seconds;
+        report.note(format!(
+            "{}: FF5 is {:.2}x faster than FF1 (paper: 5.43x on FB1, 14.22x on FB4)",
+            s.graph,
+            ff1 / ff5.max(1e-9)
+        ));
+    }
+    (out, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ff5_beats_ff1_and_gap_grows_with_size() {
+        let (series, _) = run(&Scale::smoke());
+        assert_eq!(series.len(), 2);
+        let speedup = |s: &Fig6Series| s.cells[0].sim_seconds / s.cells[4].sim_seconds;
+        let small = speedup(&series[0]);
+        let large = speedup(&series[1]);
+        assert!(small > 1.0, "FF5 must beat FF1 on FB1' (got {small:.2}x)");
+        assert!(large > 1.0, "FF5 must beat FF1 on FB4' (got {large:.2}x)");
+        assert!(
+            large > small * 0.8,
+            "speedup should not shrink much with size ({small:.2}x -> {large:.2}x)"
+        );
+        for s in &series {
+            let bfs = s.cells.last().unwrap();
+            let ff5 = &s.cells[4];
+            assert!(
+                bfs.sim_seconds <= ff5.sim_seconds,
+                "{}: BFS is the lower bound",
+                s.graph
+            );
+            assert!(bfs.rounds <= ff5.rounds + 2);
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Fig. 7: total shuffle bytes per round across the optimization ladder
+//! (FF1/FF2/FF3/FF5 on FB1). Each successive variant shuffles less: FF2
+//! removes the candidate-path shuffle in the middle rounds, FF3 removes
+//! the master-vertex shuffle everywhere, FF5 removes redundant re-sends
+//! in the late rounds. FF4 does not change shuffle bytes and is omitted,
+//! as in the paper.
+
+use ffmr_core::FfVariant;
+
+use crate::profiles::{FbFamily, Scale};
+use crate::table::Report;
+
+use super::run_variant;
+
+/// Per-variant per-round shuffle bytes.
+#[derive(Debug, Clone)]
+pub struct Fig7Series {
+    /// Variant label.
+    pub label: &'static str,
+    /// Shuffle bytes per round (index = round).
+    pub shuffle_bytes: Vec<u64>,
+    /// Total across rounds.
+    pub total: u64,
+}
+
+/// Runs FF1/FF2/FF3/FF5 on FB1' and collects shuffle-byte series.
+#[must_use]
+pub fn run(scale: &Scale) -> (Vec<Fig7Series>, Report) {
+    let family = FbFamily::generate(*scale);
+    let st = family.subset_with_terminals(0, scale.w);
+    let variants: [(&'static str, FfVariant); 4] = [
+        ("FF1", FfVariant::ff1()),
+        ("FF2", FfVariant::ff2()),
+        ("FF3", FfVariant::ff3()),
+        ("FF5", FfVariant::ff5()),
+    ];
+    let mut series = Vec::new();
+    for (label, variant) in variants {
+        let (run, _) = run_variant(&st, variant, 20, scale);
+        let shuffle_bytes: Vec<u64> = run.rounds.iter().map(|r| r.shuffle_bytes).collect();
+        let total = shuffle_bytes.iter().sum();
+        series.push(Fig7Series {
+            label,
+            shuffle_bytes,
+            total,
+        });
+    }
+
+    let max_rounds = series.iter().map(|s| s.shuffle_bytes.len()).max().unwrap_or(0);
+    let mut report = Report::new(
+        format!("Fig. 7 — shuffle bytes per round ({})", family.name(0)),
+        &["round", "FF1", "FF2", "FF3", "FF5"],
+    );
+    for round in 0..max_rounds {
+        let cell = |s: &Fig7Series| {
+            s.shuffle_bytes
+                .get(round)
+                .map_or("-".to_string(), |b| (b / 1024).to_string())
+        };
+        report.row([
+            round.to_string(),
+            cell(&series[0]),
+            cell(&series[1]),
+            cell(&series[2]),
+            cell(&series[3]),
+        ]);
+    }
+    report.note("cells are KiB shuffled in that round");
+    for w in series.windows(2) {
+        report.note(format!(
+            "total {} = {} KiB >= total {} = {} KiB: {}",
+            w[0].label,
+            w[0].total / 1024,
+            w[1].label,
+            w[1].total / 1024,
+            w[0].total >= w[1].total
+        ));
+    }
+    (series, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn each_variant_shuffles_no_more_than_its_predecessor() {
+        // The FF5-vs-FF3 saving comes from suppressed re-sends in the
+        // later rounds, which needs runs long enough to have later rounds
+        // (the paper's Fig. 7 shows the gap opening after round 7) — so
+        // this test runs at the `small` scale; it only touches FB1'.
+        let (series, _) = run(&Scale::small());
+        assert_eq!(series.len(), 4);
+        for w in series.windows(2) {
+            assert!(
+                w[1].total <= w[0].total,
+                "{} ({} B) should shuffle <= {} ({} B)",
+                w[1].label,
+                w[1].total,
+                w[0].label,
+                w[0].total
+            );
+        }
+        // FF5 must be a substantial overall reduction vs FF1.
+        assert!(
+            series[3].total * 2 < series[0].total,
+            "FF5 should roughly halve FF1's total shuffle ({} vs {})",
+            series[3].total,
+            series[0].total
+        );
+    }
+}

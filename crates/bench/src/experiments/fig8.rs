@@ -1,0 +1,128 @@
+//! Fig. 8: FF5 runtime scalability with graph size (FB1..FB6) at 5, 10
+//! and 20 slave nodes, with BFS at 20 nodes as the lower bound. Paper:
+//! near-linear runtime in |E| despite Ford–Fulkerson's quadratic worst
+//! case, a constant factor above BFS, and more nodes help.
+
+use ffmr_core::FfVariant;
+
+use crate::profiles::{FbFamily, Scale};
+use crate::table::{hms, Report};
+
+use super::{run_bfs_baseline, run_variant};
+
+/// One graph-size point.
+#[derive(Debug, Clone)]
+pub struct Fig8Point {
+    /// Subset name.
+    pub graph: &'static str,
+    /// Undirected edges.
+    pub edges: u64,
+    /// Max-flow value (w fixed across subsets).
+    pub max_flow: i64,
+    /// Simulated seconds at 5/10/20 nodes (FF5).
+    pub sim_seconds: [f64; 3],
+    /// FF5 rounds at 20 nodes.
+    pub rounds: usize,
+    /// BFS simulated seconds at 20 nodes.
+    pub bfs_seconds: f64,
+    /// BFS rounds.
+    pub bfs_rounds: usize,
+}
+
+/// Runs the scalability sweep.
+#[must_use]
+pub fn run(scale: &Scale) -> (Vec<Fig8Point>, Report) {
+    let family = FbFamily::generate(*scale);
+    let mut report = Report::new(
+        "Fig. 8 — FF5 runtime scalability with graph size and cluster size",
+        &[
+            "graph", "edges", "|f*|", "5 nodes", "10 nodes", "20 nodes", "rounds", "BFS(20)",
+            "BFS rounds",
+        ],
+    );
+    let mut points = Vec::new();
+    for i in 0..family.len() {
+        let net = family.subset(i);
+        let w = scale.w.min(net.num_vertices() / 8).max(1);
+        let st = family.subset_with_terminals(i, w);
+        let mut sim = [0.0f64; 3];
+        let mut rounds = 0;
+        let mut max_flow = 0;
+        for (j, nodes) in [5usize, 10, 20].into_iter().enumerate() {
+            let (run, _) = run_variant(&st, FfVariant::ff5(), nodes, scale);
+            sim[j] = run.total_sim_seconds;
+            rounds = run.num_flow_rounds();
+            max_flow = run.max_flow_value;
+        }
+        let bfs = run_bfs_baseline(&st, 20, scale);
+        let p = Fig8Point {
+            graph: family.name(i),
+            edges: net.num_edge_pairs() as u64,
+            max_flow,
+            sim_seconds: sim,
+            rounds,
+            bfs_seconds: bfs.stats.total_sim_seconds(),
+            bfs_rounds: bfs.rounds,
+        };
+        report.row([
+            p.graph.to_string(),
+            p.edges.to_string(),
+            p.max_flow.to_string(),
+            hms(p.sim_seconds[0]),
+            hms(p.sim_seconds[1]),
+            hms(p.sim_seconds[2]),
+            p.rounds.to_string(),
+            hms(p.bfs_seconds),
+            p.bfs_rounds.to_string(),
+        ]);
+        points.push(p);
+    }
+
+    // Shape checks mirrored from the paper's discussion.
+    let first = &points[0];
+    let last = &points[points.len() - 1];
+    let edge_ratio = last.edges as f64 / first.edges as f64;
+    let time_ratio = last.sim_seconds[2] / first.sim_seconds[2].max(1e-9);
+    report.note(format!(
+        "shape check — edges grew {edge_ratio:.0}x, FF5 time grew {time_ratio:.0}x \
+         (near-linear, far below the quadratic worst case of {:.0}x)",
+        edge_ratio * edge_ratio
+    ));
+    let bfs_factor = last.sim_seconds[2] / last.bfs_seconds.max(1e-9);
+    report.note(format!(
+        "shape check — FF5 is {bfs_factor:.1}x BFS on the largest graph \
+         (paper: 'only a constant factor (a few times) slower')"
+    ));
+    (points, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn near_linear_scaling_and_cluster_speedup() {
+        let (points, _) = run(&Scale::smoke());
+        assert_eq!(points.len(), 6);
+        let first = &points[0];
+        let last = &points[5];
+        let edge_ratio = last.edges as f64 / first.edges as f64;
+        let time_ratio = last.sim_seconds[2] / first.sim_seconds[2];
+        assert!(
+            time_ratio < edge_ratio * edge_ratio / 4.0,
+            "must be far below quadratic (edges {edge_ratio:.0}x, time {time_ratio:.0}x)"
+        );
+        // More nodes never hurt on the largest graph.
+        assert!(last.sim_seconds[2] <= last.sim_seconds[0] * 1.05);
+        // FFMR stays within a constant factor of BFS.
+        for p in &points {
+            assert!(
+                p.sim_seconds[2] <= 12.0 * p.bfs_seconds,
+                "{}: FF5 {:.0}s vs BFS {:.0}s",
+                p.graph,
+                p.sim_seconds[2],
+                p.bfs_seconds
+            );
+        }
+    }
+}

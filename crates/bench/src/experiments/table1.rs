@@ -1,0 +1,97 @@
+//! Table I: per-round Hadoop/aug_proc statistics of FF5 on the largest
+//! graph with a large terminal fan-out — accepted paths, queue depth,
+//! map-output records, shuffle bytes and runtime, showing runtime's
+//! near-linear relationship with shuffle bytes.
+
+use ffmr_core::{FfVariant, RoundStats};
+
+use crate::profiles::{FbFamily, Scale};
+use crate::table::{hms, Report};
+
+use super::run_variant;
+
+/// Runs FF5 on the largest subset with a large `w` (the paper's 256,
+/// scaled) and reports each round.
+#[must_use]
+pub fn run(scale: &Scale) -> (Vec<RoundStats>, Report) {
+    let family = FbFamily::generate(*scale);
+    let largest = family.len() - 1;
+    let net = family.subset(largest);
+    let w = (scale.w * 2).min(net.num_vertices() / 8).max(1);
+    let st = family.subset_with_terminals(largest, w);
+    let (run, _) = run_variant(&st, FfVariant::ff5(), 20, scale);
+
+    let mut report = Report::new(
+        format!(
+            "Table I — FF5 per-round statistics ({}, w = {w}, |f*| = {})",
+            family.name(largest),
+            run.max_flow_value
+        ),
+        &["R", "A-Paths", "MaxQ", "Map Out", "Shuffle(KB)", "Runtime"],
+    );
+    for r in &run.rounds {
+        report.row([
+            r.round.to_string(),
+            if r.round == 0 { "-".into() } else { r.a_paths.to_string() },
+            if r.round == 0 { "-".into() } else { r.max_queue.to_string() },
+            r.map_out_records.to_string(),
+            (r.shuffle_bytes / 1024).to_string(),
+            hms(r.sim_seconds),
+        ]);
+    }
+
+    // The paper's key observation: runtime correlates with shuffle bytes.
+    let corr = shuffle_runtime_correlation(&run.rounds);
+    report.note(format!(
+        "shape check — Pearson correlation(shuffle bytes, runtime) = {corr:.3} \
+         (paper: 'strong correlation', approximately linear)"
+    ));
+    report.note(
+        "round #0 (bi-directionalization) and the path-expansion rounds dominate \
+         shuffle volume, as in the paper's Table I",
+    );
+    (run.rounds, report)
+}
+
+/// Pearson correlation between per-round shuffle bytes and runtime.
+#[must_use]
+pub fn shuffle_runtime_correlation(rounds: &[RoundStats]) -> f64 {
+    let n = rounds.len() as f64;
+    if rounds.len() < 2 {
+        return 1.0;
+    }
+    let xs: Vec<f64> = rounds.iter().map(|r| r.shuffle_bytes as f64).collect();
+    let ys: Vec<f64> = rounds.iter().map(|r| r.sim_seconds).collect();
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let cov: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let vx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+    let vy: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
+    if vx == 0.0 || vy == 0.0 {
+        return 1.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_round_stats_have_paper_shape() {
+        let (rounds, report) = run(&Scale::smoke());
+        assert!(rounds.len() >= 4, "needs several rounds");
+        // Round 0 (bi-directionalization) out-shuffles the early rounds;
+        // late path-expansion rounds may exceed it, exactly as in the
+        // paper's Table I (its round 7 shuffles 2.2x round 0).
+        let r0 = rounds[0].shuffle_bytes;
+        assert!(rounds[1].shuffle_bytes < r0, "round 1 is tiny in the paper");
+        assert!(rounds[2].shuffle_bytes < r0);
+        // Augmenting paths are found from the early-middle rounds on.
+        assert!(rounds.iter().any(|r| r.a_paths > 0));
+        // Runtime tracks shuffle volume.
+        let corr = shuffle_runtime_correlation(&rounds);
+        assert!(corr > 0.5, "runtime should track shuffle bytes ({corr:.3})");
+        assert!(report.to_string().contains("A-Paths"));
+    }
+}

@@ -1,0 +1,174 @@
+//! Plain-text table rendering for experiment reports.
+
+use std::fmt;
+
+/// A rendered experiment: a titled table plus free-form notes.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Experiment title (e.g. `"Table I — FF5 per-round statistics"`).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (stringified cells).
+    pub rows: Vec<Vec<String>>,
+    /// Observations printed under the table.
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Starts a report with a title and headers.
+    #[must_use]
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| (*s).to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends one row (stringifies each cell).
+    pub fn row<I, S>(&mut self, cells: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+    }
+
+    /// Appends an observation note.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+}
+
+impl Report {
+    /// Renders the table as RFC-4180-ish CSV (headers first; quotes
+    /// around cells containing commas or quotes).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        fn cell(s: &str) -> String {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| cell(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| cell(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let render_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map_or("", String::as_str);
+                line.push_str(&format!("{cell:>w$}  ", w = w));
+            }
+            writeln!(f, "{}", line.trim_end())
+        };
+        render_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        writeln!(f, "{}", "-".repeat(total.min(120)))?;
+        for row in &self.rows {
+            render_row(f, row)?;
+        }
+        for note in &self.notes {
+            writeln!(f, "* {note}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a byte count with a binary-unit suffix.
+#[must_use]
+pub fn bytes_human(b: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut value = b as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit < UNITS.len() - 1 {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{b} B")
+    } else {
+        format!("{value:.1} {}", UNITS[unit])
+    }
+}
+
+/// Formats simulated seconds as `h:mm:ss`.
+#[must_use]
+pub fn hms(seconds: f64) -> String {
+    let total = seconds.round() as u64;
+    format!("{}:{:02}:{:02}", total / 3600, (total / 60) % 60, total % 60)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut r = Report::new("demo", &["name", "value"]);
+        r.row(["alpha", "1"]);
+        r.row(["b", "22222"]);
+        r.note("a note");
+        let text = r.to_string();
+        assert!(text.contains("== demo =="));
+        assert!(text.contains("alpha"));
+        assert!(text.contains("* a note"));
+        // Cells right-aligned under headers.
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[1].contains("name") && lines[1].contains("value"));
+    }
+
+    #[test]
+    fn csv_rendering_escapes() {
+        let mut r = Report::new("demo", &["name", "value"]);
+        r.row(["plain", "1"]);
+        r.row(["with,comma", "say \"hi\""]);
+        let csv = r.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "name,value");
+        assert_eq!(lines[1], "plain,1");
+        assert_eq!(lines[2], "\"with,comma\",\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(bytes_human(10), "10 B");
+        assert_eq!(bytes_human(2048), "2.0 KiB");
+        assert_eq!(bytes_human(3 * 1024 * 1024), "3.0 MiB");
+    }
+
+    #[test]
+    fn hms_formatting() {
+        assert_eq!(hms(0.0), "0:00:00");
+        assert_eq!(hms(61.0), "0:01:01");
+        assert_eq!(hms(3723.4), "1:02:03");
+    }
+}

@@ -1,0 +1,471 @@
+//! The FFMR driver: the paper's main program (Fig. 2) plus the variant
+//! configuration ladder FF1–FF5.
+
+use std::sync::Arc;
+
+use mapreduce::driver::{collect_garbage, round_path, side_path};
+use mapreduce::{JobBuilder, MrRuntime, Service};
+use swgraph::{Capacity, FlowNetwork, VertexId};
+
+use crate::aug_service::AugProc;
+use crate::augmented::AugmentedEdges;
+use crate::error::FfError;
+use crate::map_reduce_fns::{FfMapper, FfReducer, FfShared};
+use crate::round0;
+
+/// Which optimizations are enabled (cumulative in the paper's ladder).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FfVariant {
+    /// FF2: augmenting paths go to the stateful `aug_proc` service from
+    /// the reduce phase instead of being shuffled to the sink's reducer.
+    pub stateful_aug: bool,
+    /// FF3: schimmy — master vertex records are never shuffled.
+    pub schimmy: bool,
+    /// FF4: pooled objects — allocation-free record handling.
+    pub pooled_objects: bool,
+    /// FF5: `k = in-degree` plus remembered extensions (no re-sends).
+    pub remember_sent: bool,
+}
+
+impl FfVariant {
+    /// FF1: the baseline design (Sec. III).
+    #[must_use]
+    pub fn ff1() -> Self {
+        Self {
+            stateful_aug: false,
+            schimmy: false,
+            pooled_objects: false,
+            remember_sent: false,
+        }
+    }
+
+    /// FF2 = FF1 + stateful `aug_proc` (Sec. IV-A).
+    #[must_use]
+    pub fn ff2() -> Self {
+        Self {
+            stateful_aug: true,
+            ..Self::ff1()
+        }
+    }
+
+    /// FF3 = FF2 + schimmy (Sec. IV-B).
+    #[must_use]
+    pub fn ff3() -> Self {
+        Self {
+            schimmy: true,
+            ..Self::ff2()
+        }
+    }
+
+    /// FF4 = FF3 + object-instantiation elimination (Sec. IV-C).
+    #[must_use]
+    pub fn ff4() -> Self {
+        Self {
+            pooled_objects: true,
+            ..Self::ff3()
+        }
+    }
+
+    /// FF5 = FF4 + redundant-message prevention (Sec. IV-D).
+    #[must_use]
+    pub fn ff5() -> Self {
+        Self {
+            remember_sent: true,
+            ..Self::ff4()
+        }
+    }
+
+    /// All five variants in ladder order, with names.
+    #[must_use]
+    pub fn ladder() -> [(&'static str, FfVariant); 5] {
+        [
+            ("FF1", Self::ff1()),
+            ("FF2", Self::ff2()),
+            ("FF3", Self::ff3()),
+            ("FF4", Self::ff4()),
+            ("FF5", Self::ff5()),
+        ]
+    }
+}
+
+/// How many excess paths a vertex may store (paper Sec. III-B3 / IV-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KPolicy {
+    /// At most this many source (and sink) paths per vertex.
+    Fixed(usize),
+    /// `k` = the vertex's degree, guaranteeing space for every neighbor's
+    /// extension (the FF5 strategy).
+    InDegree,
+}
+
+impl KPolicy {
+    /// The limit for a vertex of the given degree.
+    #[must_use]
+    pub fn limit(self, degree: usize) -> usize {
+        match self {
+            KPolicy::Fixed(k) => k,
+            KPolicy::InDegree => degree,
+        }
+    }
+}
+
+/// Configuration for one FFMR run.
+#[derive(Debug, Clone)]
+pub struct FfConfig {
+    /// Source vertex.
+    pub source: VertexId,
+    /// Sink vertex.
+    pub sink: VertexId,
+    /// Enabled optimizations.
+    pub variant: FfVariant,
+    /// Excess-path storage policy (FF5 forces `InDegree`).
+    pub k_policy: KPolicy,
+    /// Bi-directional search (paper Sec. III-B2). Disabling it seeds no
+    /// sink excess paths: augmenting paths are found only when source
+    /// paths reach `t` — the ablation showing why the paper added it.
+    pub bidirectional: bool,
+    /// Extend every stored excess path per edge instead of one (paper
+    /// Sec. III-B3 "decided to only pick one ... extending more than one
+    /// excess path incurs overhead without much benefit").
+    pub extend_all_paths: bool,
+    /// Reduce partitions per round.
+    pub reducers: usize,
+    /// Safety cap on rounds (the paper sees ≤ ~20 even on 31B edges).
+    pub max_rounds: usize,
+    /// DFS chain base path.
+    pub base_path: String,
+    /// Keep this many recent round outputs in the DFS (≥ 2 for schimmy).
+    pub keep_rounds: usize,
+}
+
+impl FfConfig {
+    /// A configuration with paper-faithful defaults (FF5, k = in-degree).
+    #[must_use]
+    pub fn new(source: VertexId, sink: VertexId) -> Self {
+        Self {
+            source,
+            sink,
+            variant: FfVariant::ff5(),
+            k_policy: KPolicy::InDegree,
+            bidirectional: true,
+            extend_all_paths: false,
+            reducers: 8,
+            max_rounds: 200,
+            base_path: "ffmr".to_string(),
+            keep_rounds: 3,
+        }
+    }
+
+    /// Selects the optimization ladder rung; FF5 switches the k-policy to
+    /// `InDegree`, earlier rungs to a small fixed k (the paper's setup).
+    #[must_use]
+    pub fn variant(mut self, variant: FfVariant) -> Self {
+        self.variant = variant;
+        self.k_policy = if variant.remember_sent {
+            KPolicy::InDegree
+        } else {
+            KPolicy::Fixed(4)
+        };
+        self
+    }
+
+    /// Overrides the excess-path storage policy.
+    #[must_use]
+    pub fn k_policy(mut self, policy: KPolicy) -> Self {
+        self.k_policy = policy;
+        self
+    }
+
+    /// Enables or disables bi-directional search.
+    #[must_use]
+    pub fn bidirectional(mut self, enabled: bool) -> Self {
+        self.bidirectional = enabled;
+        self
+    }
+
+    /// Extends all stored excess paths per edge instead of one.
+    #[must_use]
+    pub fn extend_all_paths(mut self, enabled: bool) -> Self {
+        self.extend_all_paths = enabled;
+        self
+    }
+
+    /// Sets the number of reduce partitions.
+    #[must_use]
+    pub fn reducers(mut self, reducers: usize) -> Self {
+        self.reducers = reducers;
+        self
+    }
+
+    /// Sets the round safety cap.
+    #[must_use]
+    pub fn max_rounds(mut self, max_rounds: usize) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Sets the DFS base path (needed when running several chains on one
+    /// runtime).
+    #[must_use]
+    pub fn base_path(mut self, base: impl Into<String>) -> Self {
+        self.base_path = base.into();
+        self
+    }
+}
+
+/// Statistics of one FFMR round (one row of the paper's Table I).
+#[derive(Debug, Clone, Default)]
+pub struct RoundStats {
+    /// Round number (0 = graph preparation).
+    pub round: usize,
+    /// Augmenting paths accepted this round ("A-Paths").
+    pub a_paths: u64,
+    /// Flow value gained this round.
+    pub value_gained: Capacity,
+    /// Maximum `aug_proc` queue depth ("MaxQ").
+    pub max_queue: usize,
+    /// Intermediate records emitted by mappers ("Map Out").
+    pub map_out_records: u64,
+    /// Bytes fetched by reducers ("Shuffle").
+    pub shuffle_bytes: u64,
+    /// Simulated runtime of the round in seconds.
+    pub sim_seconds: f64,
+    /// `source move` counter at round end.
+    pub source_move: u64,
+    /// `sink move` counter at round end.
+    pub sink_move: u64,
+    /// Size of the graph file after this round (one replica).
+    pub graph_bytes: u64,
+}
+
+/// The result of an FFMR run.
+#[derive(Debug, Clone)]
+pub struct FfRun {
+    /// The computed maximum-flow value.
+    pub max_flow_value: Capacity,
+    /// Per-round statistics, including round #0.
+    pub rounds: Vec<RoundStats>,
+    /// Total simulated seconds across all rounds.
+    pub total_sim_seconds: f64,
+    /// Largest graph file observed across rounds ("Max Size").
+    pub max_graph_bytes: u64,
+    /// DFS path of the final vertex records.
+    pub final_graph_path: String,
+    /// Deltas accepted in the final round, not yet folded into
+    /// `final_graph_path` (apply when extracting the flow function).
+    pub pending_deltas: AugmentedEdges,
+}
+
+impl FfRun {
+    /// Number of max-flow rounds (excluding round #0), the paper's
+    /// primary complexity measure.
+    #[must_use]
+    pub fn num_flow_rounds(&self) -> usize {
+        self.rounds.len().saturating_sub(1)
+    }
+}
+
+/// Runs the FFMR algorithm on `net` under `config`, loading the graph
+/// into the runtime's DFS and chaining rounds until the movement
+/// counters signal termination (paper Fig. 2).
+///
+/// # Errors
+/// Fails on invalid configuration, an MR job failure, or when
+/// `max_rounds` is exceeded.
+pub fn run_max_flow(
+    rt: &mut MrRuntime,
+    net: &FlowNetwork,
+    config: &FfConfig,
+) -> Result<FfRun, FfError> {
+    if config.source == config.sink {
+        return Err(FfError::InvalidConfig("source equals sink".into()));
+    }
+    if config.source.index() >= net.num_vertices() || config.sink.index() >= net.num_vertices() {
+        return Err(FfError::InvalidConfig(
+            "source or sink outside the network".into(),
+        ));
+    }
+    round0::load_raw_edges(rt, net, &raw_input_path(&config.base_path), config.reducers)?;
+    run_max_flow_from_input(rt, &raw_input_path(&config.base_path), config)
+}
+
+fn raw_input_path(base: &str) -> String {
+    format!("{base}/raw-edges")
+}
+
+/// Like [`run_max_flow`] but starting from an already-loaded raw edge
+/// file (see [`round0::load_raw_edges`]).
+///
+/// # Errors
+/// Same as [`run_max_flow`].
+pub fn run_max_flow_from_input(
+    rt: &mut MrRuntime,
+    input_path: &str,
+    config: &FfConfig,
+) -> Result<FfRun, FfError> {
+    let shared = Arc::new(FfShared {
+        source: config.source.raw(),
+        sink: config.sink.raw(),
+        variant: config.variant,
+        k_policy: config.k_policy,
+        bidirectional: config.bidirectional,
+        extend_all_paths: config.extend_all_paths,
+    });
+
+    let aug = if config.variant.stateful_aug {
+        AugProc::threaded()
+    } else {
+        AugProc::synchronous()
+    };
+
+    let mut rounds: Vec<RoundStats> = Vec::new();
+    let mut max_graph_bytes: u64;
+    let mut total_value: Capacity = 0;
+
+    // ---- Round 0: convert the raw edge list into vertex records.
+    let stats0 = round0::run_round0(rt, input_path, &config.base_path, config.reducers, &shared)?;
+    let graph0 = rt.dfs().file_bytes(&round_path(&config.base_path, 0));
+    rounds.push(RoundStats {
+        round: 0,
+        map_out_records: stats0.map_output_records,
+        shuffle_bytes: stats0.shuffle_bytes,
+        sim_seconds: stats0.sim_seconds,
+        graph_bytes: graph0,
+        ..RoundStats::default()
+    });
+    max_graph_bytes = graph0;
+
+    // ---- Rounds 1..: the Ford-Fulkerson loop.
+    let mut deltas = Arc::new(AugmentedEdges::new(0));
+    let mut round = 1usize;
+    let pending = loop {
+        if round > config.max_rounds {
+            return Err(FfError::RoundLimitExceeded {
+                limit: config.max_rounds,
+            });
+        }
+        aug.open_round(round);
+
+        let input = round_path(&config.base_path, round - 1);
+        let output = round_path(&config.base_path, round);
+        let delta_blob_path = side_path(&config.base_path, "augmented", round - 1);
+        rt.dfs_mut().write_blob(&delta_blob_path, deltas.to_blob());
+
+        let mapper = FfMapper {
+            shared: Arc::clone(&shared),
+            deltas: Arc::clone(&deltas),
+        };
+        let reducer = FfReducer {
+            shared: Arc::clone(&shared),
+            deltas: Arc::clone(&deltas),
+        };
+
+        let mut builder = JobBuilder::new(format!("{}-round-{round}", config.base_path))
+            .input(&input)
+            .output(&output)
+            .reducers(config.reducers)
+            .side_blob(&delta_blob_path)
+            .attach_service("aug_proc", Arc::clone(&aug) as Arc<dyn Service>);
+        if config.variant.schimmy {
+            builder = builder.schimmy_input(&input);
+        }
+        let job = builder.map(mapper).reduce(reducer);
+        let stats = rt.run(job).map_err(FfError::Mr)?;
+
+        let acceptance = aug.close_round();
+        total_value += acceptance.value_gained;
+        let graph_bytes = rt.dfs().file_bytes(&output);
+        max_graph_bytes = max_graph_bytes.max(graph_bytes);
+
+        let som = stats.counter("source move");
+        let sim = stats.counter("sink move");
+        rounds.push(RoundStats {
+            round,
+            a_paths: acceptance.accepted_paths,
+            value_gained: acceptance.value_gained,
+            max_queue: acceptance.max_queue,
+            map_out_records: stats.map_output_records,
+            shuffle_bytes: stats.shuffle_bytes,
+            sim_seconds: stats.sim_seconds,
+            source_move: som,
+            sink_move: sim,
+            graph_bytes,
+        });
+
+        collect_garbage(rt.dfs_mut(), &config.base_path, round, config.keep_rounds);
+
+        // Termination (paper Fig. 2 line 10): stop once either frontier
+        // stops moving — with the robustness refinement that a round that
+        // still accepted augmenting paths keeps the loop alive, since its
+        // flow changes have not been applied yet. Without bi-directional
+        // search there is no sink frontier to watch.
+        let frontier_stuck = som == 0 || (config.bidirectional && sim == 0);
+        if frontier_stuck && acceptance.accepted_paths == 0 {
+            break acceptance.deltas;
+        }
+        deltas = Arc::new(acceptance.deltas);
+        round += 1;
+    };
+
+    // The last applied deltas are `deltas` (already folded in by the final
+    // round's mappers); `pending` holds the final round's acceptances that
+    // no mapper has applied yet (empty by construction of the break).
+    let final_round = rounds.last().map_or(0, |r| r.round);
+    Ok(FfRun {
+        max_flow_value: total_value,
+        total_sim_seconds: rounds.iter().map(|r| r.sim_seconds).sum(),
+        max_graph_bytes,
+        final_graph_path: round_path(&config.base_path, final_round),
+        pending_deltas: pending,
+        rounds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_ladder_is_cumulative() {
+        let ladder = FfVariant::ladder();
+        assert_eq!(ladder.len(), 5);
+        assert!(!FfVariant::ff1().stateful_aug);
+        assert!(FfVariant::ff2().stateful_aug && !FfVariant::ff2().schimmy);
+        assert!(FfVariant::ff3().schimmy && !FfVariant::ff3().pooled_objects);
+        assert!(FfVariant::ff4().pooled_objects && !FfVariant::ff4().remember_sent);
+        let ff5 = FfVariant::ff5();
+        assert!(ff5.stateful_aug && ff5.schimmy && ff5.pooled_objects && ff5.remember_sent);
+    }
+
+    #[test]
+    fn k_policy_limits() {
+        assert_eq!(KPolicy::Fixed(3).limit(100), 3);
+        assert_eq!(KPolicy::InDegree.limit(100), 100);
+    }
+
+    #[test]
+    fn config_variant_switches_k_policy() {
+        let s = VertexId::new(0);
+        let t = VertexId::new(1);
+        let c1 = FfConfig::new(s, t).variant(FfVariant::ff1());
+        assert_eq!(c1.k_policy, KPolicy::Fixed(4));
+        let c5 = FfConfig::new(s, t).variant(FfVariant::ff5());
+        assert_eq!(c5.k_policy, KPolicy::InDegree);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let net = swgraph::FlowNetwork::from_undirected_unit(3, &[(0, 1), (1, 2)]);
+        let mut rt = MrRuntime::new(mapreduce::ClusterConfig::small_cluster(2));
+        let same = FfConfig::new(VertexId::new(0), VertexId::new(0));
+        assert!(matches!(
+            run_max_flow(&mut rt, &net, &same),
+            Err(FfError::InvalidConfig(_))
+        ));
+        let oob = FfConfig::new(VertexId::new(0), VertexId::new(99));
+        assert!(matches!(
+            run_max_flow(&mut rt, &net, &oob),
+            Err(FfError::InvalidConfig(_))
+        ));
+    }
+}

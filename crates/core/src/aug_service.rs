@@ -1,0 +1,308 @@
+//! `aug_proc`: the stateful augmenting-path acceptor (paper Sec. IV-A).
+//!
+//! In FF2 onward, reducers submit augmenting-path candidates directly to
+//! this service instead of shuffling them to the sink's reducer. Submitted
+//! paths land in a queue that a consumer thread drains through the shared
+//! [`Accumulator`], so acceptance overlaps the reduce phase and "aug_proc
+//! finishes immediately after the last reducer". The maximum queue depth
+//! per round is recorded — the paper's `MaxQ` column (Table I).
+//!
+//! FF1 uses the same object but in *synchronous* mode, standing in for the
+//! sequential accumulator run inside the sink's reducer.
+
+use std::any::Any;
+use std::collections::{HashSet, VecDeque};
+use std::thread::JoinHandle;
+
+use mapreduce::Service;
+use parking_lot::{Condvar, Mutex};
+use swgraph::Capacity;
+
+use crate::accumulator::Accumulator;
+use crate::augmented::AugmentedEdges;
+use crate::path::ExcessPath;
+
+/// What one round of acceptance produced.
+#[derive(Debug, Clone, Default)]
+pub struct RoundAcceptance {
+    /// Flow deltas to broadcast to next round's mappers.
+    pub deltas: AugmentedEdges,
+    /// Number of augmenting paths accepted ("A-Paths").
+    pub accepted_paths: u64,
+    /// Number of candidates rejected by the accumulator.
+    pub rejected_paths: u64,
+    /// Maximum queue depth observed ("MaxQ"); 0 in synchronous mode.
+    pub max_queue: usize,
+    /// Total flow value gained this round.
+    pub value_gained: Capacity,
+}
+
+#[derive(Default)]
+struct Inner {
+    queue: VecDeque<ExcessPath>,
+    accumulator: Accumulator,
+    deltas: AugmentedEdges,
+    // Route hashes submitted this round: retried reduce-task attempts
+    // re-submit the same candidates, and an at-most-once accept per route
+    // per round keeps acceptance idempotent under MR task retries (the
+    // classic external-side-effect caveat of calling out of REDUCE).
+    submitted: HashSet<u64>,
+    accepted: u64,
+    rejected: u64,
+    max_queue: usize,
+    value_gained: Capacity,
+    round_open: bool,
+    consumer: Option<JoinHandle<()>>,
+}
+
+/// The stateful augmenting-path acceptance service.
+pub struct AugProc {
+    inner: Mutex<Inner>,
+    work: Condvar,
+    threaded: bool,
+}
+
+impl std::fmt::Debug for AugProc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("AugProc")
+            .field("threaded", &self.threaded)
+            .field("accepted", &inner.accepted)
+            .field("queued", &inner.queue.len())
+            .finish()
+    }
+}
+
+impl AugProc {
+    /// A threaded acceptor (FF2+): submissions enqueue and return
+    /// immediately; a consumer thread drains the queue.
+    #[must_use]
+    pub fn threaded() -> std::sync::Arc<Self> {
+        std::sync::Arc::new(Self {
+            inner: Mutex::new(Inner::default()),
+            work: Condvar::new(),
+            threaded: true,
+        })
+    }
+
+    /// A synchronous acceptor (FF1): acceptance happens inline in the
+    /// caller (the sink's reducer).
+    #[must_use]
+    pub fn synchronous() -> std::sync::Arc<Self> {
+        std::sync::Arc::new(Self {
+            inner: Mutex::new(Inner::default()),
+            work: Condvar::new(),
+            threaded: false,
+        })
+    }
+
+    /// Submits one augmenting-path candidate. Threaded mode enqueues and
+    /// returns "immediately to avoid delaying the reducer"; synchronous
+    /// mode accepts inline.
+    pub fn submit(&self, path: ExcessPath) {
+        let mut inner = self.inner.lock();
+        if !inner.submitted.insert(path.route_hash()) {
+            return; // duplicate submission (e.g. a retried task attempt)
+        }
+        if self.threaded && inner.round_open {
+            inner.queue.push_back(path);
+            let depth = inner.queue.len();
+            inner.max_queue = inner.max_queue.max(depth);
+            drop(inner);
+            self.work.notify_one();
+        } else {
+            Self::accept_now(&mut inner, &path);
+        }
+    }
+
+    fn accept_now(inner: &mut Inner, path: &ExcessPath) {
+        if path.is_empty() {
+            return;
+        }
+        match inner.accumulator.try_accept(path) {
+            Some(delta) => {
+                for hop in path.edges() {
+                    inner.deltas.add(hop.eid, delta);
+                }
+                inner.accepted += 1;
+                inner.value_gained += delta;
+            }
+            None => inner.rejected += 1,
+        }
+    }
+
+    /// Starts a new round: resets state and (in threaded mode) spawns the
+    /// consumer. Called by the MR runtime via [`Service::begin_round`].
+    pub fn open_round(self: &std::sync::Arc<Self>, round: usize) {
+        let mut inner = self.inner.lock();
+        inner.queue.clear();
+        inner.submitted.clear();
+        inner.accumulator.reset();
+        inner.deltas = AugmentedEdges::new(round);
+        inner.accepted = 0;
+        inner.rejected = 0;
+        inner.max_queue = 0;
+        inner.value_gained = 0;
+        inner.round_open = true;
+        if self.threaded {
+            let me = std::sync::Arc::clone(self);
+            inner.consumer = Some(std::thread::spawn(move || me.consume()));
+        }
+    }
+
+    fn consume(&self) {
+        let mut inner = self.inner.lock();
+        loop {
+            if let Some(path) = inner.queue.pop_front() {
+                Self::accept_now(&mut inner, &path);
+                // Re-check the queue without sleeping.
+                continue;
+            }
+            if !inner.round_open {
+                return;
+            }
+            self.work.wait(&mut inner);
+        }
+    }
+
+    /// Closes the round, draining the queue, and returns its results.
+    pub fn close_round(&self) -> RoundAcceptance {
+        let consumer = {
+            let mut inner = self.inner.lock();
+            inner.round_open = false;
+            inner.consumer.take()
+        };
+        self.work.notify_all();
+        if let Some(handle) = consumer {
+            let _ = handle.join();
+        }
+        let mut inner = self.inner.lock();
+        // Drain anything submitted after the consumer exited (none in
+        // practice: reducers are done before close_round).
+        while let Some(path) = inner.queue.pop_front() {
+            Self::accept_now(&mut inner, &path);
+        }
+        RoundAcceptance {
+            deltas: std::mem::take(&mut inner.deltas),
+            accepted_paths: inner.accepted,
+            rejected_paths: inner.rejected,
+            max_queue: inner.max_queue,
+            value_gained: inner.value_gained,
+        }
+    }
+}
+
+impl Service for AugProc {
+    // Round lifecycle is driven explicitly by the FF driver (open_round /
+    // close_round) because it needs the round number and the results; the
+    // MR-level hooks are intentionally no-ops.
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::PathEdge;
+    use std::sync::Arc;
+    use swgraph::EdgeId;
+
+    fn unit_path(eids: &[u64]) -> ExcessPath {
+        ExcessPath::from_edges(
+            eids.iter()
+                .enumerate()
+                .map(|(i, &e)| PathEdge {
+                    eid: EdgeId::new(e),
+                    from: i as u64,
+                    to: i as u64 + 1,
+                    cap: 1,
+                    flow: 0,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn synchronous_accepts_and_reports() {
+        let aug = AugProc::synchronous();
+        aug.open_round(3);
+        aug.submit(unit_path(&[0, 2]));
+        aug.submit(unit_path(&[0, 4])); // conflicts on edge 0
+        aug.submit(unit_path(&[6]));
+        let r = aug.close_round();
+        assert_eq!(r.accepted_paths, 2);
+        assert_eq!(r.rejected_paths, 1);
+        assert_eq!(r.value_gained, 2);
+        assert_eq!(r.max_queue, 0, "no queue in synchronous mode");
+        assert_eq!(r.deltas.get(EdgeId::new(0)), 1);
+        assert_eq!(r.deltas.round(), 3);
+    }
+
+    #[test]
+    fn threaded_drains_concurrent_submissions() {
+        let aug = AugProc::threaded();
+        aug.open_round(1);
+        let threads: Vec<_> = (0..4)
+            .map(|worker| {
+                let aug = Arc::clone(&aug);
+                std::thread::spawn(move || {
+                    for i in 0..50u64 {
+                        aug.submit(unit_path(&[(worker * 50 + i) * 2]));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let r = aug.close_round();
+        assert_eq!(r.accepted_paths, 200, "disjoint paths all accepted");
+        assert_eq!(r.value_gained, 200);
+    }
+
+    #[test]
+    fn rounds_are_independent() {
+        let aug = AugProc::threaded();
+        aug.open_round(1);
+        aug.submit(unit_path(&[0]));
+        let r1 = aug.close_round();
+        assert_eq!(r1.accepted_paths, 1);
+
+        aug.open_round(2);
+        aug.submit(unit_path(&[0])); // same edge, fresh accumulator
+        let r2 = aug.close_round();
+        assert_eq!(r2.accepted_paths, 1);
+        assert_eq!(r2.deltas.round(), 2);
+    }
+
+    #[test]
+    fn empty_paths_ignored() {
+        let aug = AugProc::synchronous();
+        aug.open_round(0);
+        aug.submit(ExcessPath::empty());
+        let r = aug.close_round();
+        assert_eq!(r.accepted_paths, 0);
+        assert_eq!(r.rejected_paths, 0);
+    }
+
+    #[test]
+    fn duplicate_submissions_are_idempotent() {
+        let aug = AugProc::synchronous();
+        aug.open_round(1);
+        aug.submit(unit_path(&[0]));
+        aug.submit(unit_path(&[0])); // a retried task re-submits
+        let r = aug.close_round();
+        assert_eq!(r.accepted_paths, 1);
+        assert_eq!(r.rejected_paths, 0, "duplicates are dropped, not rejected");
+        assert_eq!(r.value_gained, 1);
+    }
+
+    #[test]
+    fn close_without_open_is_empty() {
+        let aug = AugProc::threaded();
+        let r = aug.close_round();
+        assert_eq!(r.accepted_paths, 0);
+        assert_eq!(r.max_queue, 0);
+    }
+}

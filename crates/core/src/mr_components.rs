@@ -1,0 +1,306 @@
+//! Connected components on MapReduce — the "s-t graph connectivity"
+//! family the paper's related work surveys (Karloff, Suri &
+//! Vassilvitskii's MR model paper, its reference \[15\], uses precisely
+//! this problem to exercise the model).
+//!
+//! Algorithm: hash-to-min label propagation. Every vertex holds the
+//! smallest vertex id it has heard of; each round it broadcasts its label
+//! to its neighbors and keeps the minimum of what arrives. Rounds are
+//! `O(D)` — small on the small-world graphs this workspace targets, the
+//! same property FFMR rides on.
+//!
+//! Also answers s–t *connectivity* directly: `s` and `t` are connected
+//! iff they end with equal labels.
+
+use mapreduce::driver::round_path;
+use mapreduce::encode::{get_varint, put_varint};
+use mapreduce::error::DecodeError;
+use mapreduce::stats::ChainStats;
+use mapreduce::{Datum, JobBuilder, MapContext, MrRuntime, ReduceContext};
+use swgraph::FlowNetwork;
+
+use crate::error::FfError;
+use crate::round0;
+
+/// Per-vertex component state.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CcValue {
+    /// Smallest vertex id seen so far (the tentative component label).
+    pub label: u64,
+    /// Whether the label changed last round (only changed labels
+    /// propagate, bounding message volume).
+    pub fresh: bool,
+    /// Neighbor ids; empty marks a fragment.
+    pub edges: Vec<u64>,
+}
+
+impl Datum for CcValue {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_varint(self.label, buf);
+        buf.push(u8::from(self.fresh));
+        put_varint(self.edges.len() as u64, buf);
+        for &e in &self.edges {
+            put_varint(e, buf);
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        let label = get_varint(input)?;
+        let (&flag, rest) = input
+            .split_first()
+            .ok_or_else(|| DecodeError::new("truncated cc flag"))?;
+        *input = rest;
+        let n = get_varint(input)? as usize;
+        let mut edges = Vec::with_capacity(n.min(input.len()));
+        for _ in 0..n {
+            edges.push(get_varint(input)?);
+        }
+        Ok(Self {
+            label,
+            fresh: flag != 0,
+            edges,
+        })
+    }
+}
+
+/// The result of a components run.
+#[derive(Debug, Clone)]
+pub struct ComponentsRun {
+    /// `(vertex, component label)` pairs, sorted by vertex.
+    pub labels: Vec<(u64, u64)>,
+    /// Number of distinct components.
+    pub component_count: usize,
+    /// MR rounds executed (excluding round 0).
+    pub rounds: usize,
+    /// Per-round stats.
+    pub stats: ChainStats,
+}
+
+impl ComponentsRun {
+    /// Label of `vertex`, if it exists in the graph.
+    #[must_use]
+    pub fn label(&self, vertex: u64) -> Option<u64> {
+        self.labels
+            .binary_search_by_key(&vertex, |&(v, _)| v)
+            .ok()
+            .map(|i| self.labels[i].1)
+    }
+
+    /// Whether two vertices ended up in the same component.
+    #[must_use]
+    pub fn connected(&self, a: u64, b: u64) -> bool {
+        match (self.label(a), self.label(b)) {
+            (Some(la), Some(lb)) => la == lb,
+            _ => false,
+        }
+    }
+}
+
+/// Runs label-propagation connected components over `net`.
+///
+/// # Errors
+/// Propagates MR failures.
+pub fn run_components(
+    rt: &mut MrRuntime,
+    net: &FlowNetwork,
+    base_path: &str,
+    reducers: usize,
+) -> Result<ComponentsRun, FfError> {
+    let raw = format!("{base_path}/raw-edges");
+    round0::load_raw_edges(rt, net, &raw, reducers)?;
+
+    let seed_job = JobBuilder::new(format!("{base_path}-round0"))
+        .input(&raw)
+        .output(round_path(base_path, 0))
+        .reducers(reducers)
+        .map(
+            |u: &u64, e: &round0::RawEdge, ctx: &mut MapContext<u64, u64>| {
+                ctx.emit(*u, e.to);
+                ctx.emit(e.to, *u);
+            },
+        )
+        .reduce(
+            |u: &u64,
+             values: &mut dyn Iterator<Item = u64>,
+             ctx: &mut ReduceContext<u64, CcValue>| {
+                let mut edges: Vec<u64> = values.collect();
+                edges.sort_unstable();
+                edges.dedup();
+                ctx.emit(
+                    *u,
+                    CcValue {
+                        label: *u,
+                        fresh: true,
+                        edges,
+                    },
+                );
+            },
+        );
+    let mut stats = ChainStats::new();
+    stats.push(rt.run(seed_job).map_err(FfError::Mr)?);
+
+    let mut round = 1usize;
+    loop {
+        let input = round_path(base_path, round - 1);
+        let output = round_path(base_path, round);
+        let job = JobBuilder::new(format!("{base_path}-round{round}"))
+            .input(&input)
+            .output(&output)
+            .reducers(reducers)
+            .map(
+                |u: &u64, v: &CcValue, ctx: &mut MapContext<u64, CcValue>| {
+                    if v.fresh {
+                        for &to in &v.edges {
+                            ctx.emit(
+                                to,
+                                CcValue {
+                                    label: v.label,
+                                    fresh: false,
+                                    edges: Vec::new(),
+                                },
+                            );
+                        }
+                    }
+                    let mut master = v.clone();
+                    master.fresh = false;
+                    ctx.emit(*u, master);
+                },
+            )
+            .reduce(
+                |u: &u64,
+                 values: &mut dyn Iterator<Item = CcValue>,
+                 ctx: &mut ReduceContext<u64, CcValue>| {
+                    let mut master: Option<CcValue> = None;
+                    let mut best: Option<u64> = None;
+                    for v in values {
+                        if v.edges.is_empty() {
+                            best = Some(best.map_or(v.label, |b: u64| b.min(v.label)));
+                        } else {
+                            master = Some(v);
+                        }
+                    }
+                    let Some(mut master) = master else { return };
+                    if best.is_some_and(|b| b < master.label) {
+                        master.label = best.expect("checked");
+                        master.fresh = true;
+                        ctx.incr("relabeled", 1);
+                    }
+                    ctx.emit(*u, master);
+                },
+            );
+        let job_stats = rt.run(job).map_err(FfError::Mr)?;
+        let relabeled = job_stats.counter("relabeled");
+        stats.push(job_stats);
+        mapreduce::driver::collect_garbage(rt.dfs_mut(), base_path, round, 2);
+        if relabeled == 0 {
+            break;
+        }
+        round += 1;
+        if round > net.num_vertices() + 2 {
+            return Err(FfError::RoundLimitExceeded {
+                limit: net.num_vertices() + 2,
+            });
+        }
+    }
+
+    let mut labels: Vec<(u64, u64)> = rt
+        .dfs()
+        .read_records::<u64, CcValue>(&round_path(base_path, round))
+        .map_err(FfError::Mr)?
+        .into_iter()
+        .map(|(u, v)| (u, v.label))
+        .collect();
+    labels.sort_unstable();
+    let mut distinct: Vec<u64> = labels.iter().map(|&(_, l)| l).collect();
+    distinct.sort_unstable();
+    distinct.dedup();
+    Ok(ComponentsRun {
+        component_count: distinct.len(),
+        rounds: round,
+        labels,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapreduce::ClusterConfig;
+    use swgraph::gen;
+
+    fn runtime() -> MrRuntime {
+        MrRuntime::new(ClusterConfig::small_cluster(2))
+    }
+
+    #[test]
+    fn cc_value_round_trip() {
+        let v = CcValue {
+            label: 7,
+            fresh: true,
+            edges: vec![1, 2, 900],
+        };
+        let mut buf = Vec::new();
+        v.encode(&mut buf);
+        let mut s = buf.as_slice();
+        assert_eq!(CcValue::decode(&mut s).unwrap(), v);
+    }
+
+    #[test]
+    fn two_components_get_two_labels() {
+        let net = FlowNetwork::from_undirected_unit(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
+        let mut rt = runtime();
+        let run = run_components(&mut rt, &net, "cc", 2).unwrap();
+        assert_eq!(run.component_count, 2);
+        assert!(run.connected(0, 2));
+        assert!(run.connected(3, 5));
+        assert!(!run.connected(0, 3));
+        assert_eq!(run.label(0), Some(0));
+        assert_eq!(run.label(5), Some(3));
+        assert_eq!(run.label(99), None);
+    }
+
+    #[test]
+    fn matches_in_memory_components_on_random_graphs() {
+        for seed in 0..4 {
+            let n = 120;
+            let edges = gen::erdos_renyi(n, 90, seed); // sparse => several comps
+            let net = FlowNetwork::from_undirected_unit(n, &edges);
+            let mut rt = runtime();
+            let run = run_components(&mut rt, &net, "cc", 3).unwrap();
+            let expected = swgraph::props::component_sizes(&net);
+            // The MR run only sees vertices with edges; isolated vertices
+            // are singleton components not present in the edge records.
+            let isolated = (0..n)
+                .filter(|&v| net.degree(swgraph::VertexId::new(v)) == 0)
+                .count();
+            assert_eq!(
+                run.component_count + isolated,
+                expected.len(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn rounds_scale_with_diameter_not_size() {
+        let n = 500;
+        let net = FlowNetwork::from_undirected_unit(n, &gen::barabasi_albert(n, 3, 5));
+        let mut rt = runtime();
+        let run = run_components(&mut rt, &net, "cc", 4).unwrap();
+        assert_eq!(run.component_count, 1);
+        let d = swgraph::bfs::estimate_diameter(&net, 8, 1).max_observed as usize;
+        assert!(
+            run.rounds <= 2 * d + 3,
+            "rounds {} vs diameter {d}",
+            run.rounds
+        );
+    }
+
+    #[test]
+    fn s_t_connectivity_answers() {
+        let net = FlowNetwork::from_undirected_unit(5, &[(0, 1), (2, 3), (3, 4)]);
+        let mut rt = runtime();
+        let run = run_components(&mut rt, &net, "cc", 2).unwrap();
+        assert!(run.connected(2, 4));
+        assert!(!run.connected(1, 4));
+    }
+}

@@ -1,0 +1,415 @@
+//! Borůvka minimum spanning forests on MapReduce — the "MST" entry in
+//! the paper's related-work survey of MR graph algorithms (its reference
+//! \[15\], Karloff, Suri & Vassilvitskii).
+//!
+//! One Borůvka phase per MR round: every vertex reports its component's
+//! candidate minimum outgoing edges to a stateful `mst_proc` service —
+//! the same architectural move as FF2's `aug_proc` (the candidate set is
+//! globally small, one edge per component, so it belongs outside the
+//! shuffle). Between rounds the driver union-finds the candidates,
+//! accumulates chosen forest edges, and broadcasts the relabel map as a
+//! side blob, exactly like `AugmentedEdges`. Components at least halve
+//! each phase, so the chain runs `O(log V)` rounds.
+//!
+//! Ties break on `(weight, u, v)`, making the effective weights distinct;
+//! the resulting forest is therefore *identical* to Kruskal's, which the
+//! tests exploit.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use mapreduce::driver::{round_path, side_path};
+use mapreduce::encode::{get_varint, put_varint};
+use mapreduce::error::DecodeError;
+use mapreduce::stats::ChainStats;
+use mapreduce::{
+    Datum, JobBuilder, MapContext, MrRuntime, ReduceContext, Service,
+};
+use parking_lot::Mutex;
+use swgraph::mst::{SpanningForest, UnionFind, WeightedEdge};
+use swgraph::FlowNetwork;
+
+use crate::error::FfError;
+
+/// Per-vertex MST state: its component label and weighted adjacency with
+/// the last-known component of each neighbor.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MstValue {
+    /// Current component label.
+    pub component: u64,
+    /// `(neighbor, weight, neighbor component)` triples.
+    pub edges: Vec<(u64, i64, u64)>,
+}
+
+impl Datum for MstValue {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_varint(self.component, buf);
+        put_varint(self.edges.len() as u64, buf);
+        for &(to, w, comp) in &self.edges {
+            put_varint(to, buf);
+            w.encode(buf);
+            put_varint(comp, buf);
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        let component = get_varint(input)?;
+        let n = get_varint(input)? as usize;
+        let mut edges = Vec::with_capacity(n.min(input.len()));
+        for _ in 0..n {
+            edges.push((get_varint(input)?, i64::decode(input)?, get_varint(input)?));
+        }
+        Ok(Self { component, edges })
+    }
+}
+
+/// Candidate edge ordering key: distinct for distinct edges, so each
+/// component has a unique minimum.
+fn edge_key(w: i64, u: u64, v: u64) -> (i64, u64, u64) {
+    (w, u.min(v), u.max(v))
+}
+
+/// The stateful candidate collector (the `aug_proc` of MST).
+#[derive(Debug, Default)]
+pub struct MstProc {
+    /// Per component: the minimum outgoing edge seen this round.
+    best: Mutex<HashMap<u64, WeightedEdge>>,
+}
+
+impl MstProc {
+    /// A fresh collector.
+    #[must_use]
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Offers a candidate outgoing edge for `component`.
+    pub fn offer(&self, component: u64, u: u64, v: u64, w: i64) {
+        let mut best = self.best.lock();
+        match best.get(&component) {
+            Some(&(bu, bv, bw)) if edge_key(bw, bu, bv) <= edge_key(w, u, v) => {}
+            _ => {
+                best.insert(component, (u, v, w));
+            }
+        }
+    }
+
+    fn take(&self) -> HashMap<u64, WeightedEdge> {
+        std::mem::take(&mut self.best.lock())
+    }
+}
+
+impl Service for MstProc {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Serialized relabel map (old component -> new component).
+fn relabel_blob(map: &HashMap<u64, u64>) -> Vec<u8> {
+    let mut entries: Vec<(u64, u64)> = map.iter().map(|(&a, &b)| (a, b)).collect();
+    entries.sort_unstable();
+    let mut buf = Vec::new();
+    put_varint(entries.len() as u64, &mut buf);
+    for (a, b) in entries {
+        put_varint(a, &mut buf);
+        put_varint(b, &mut buf);
+    }
+    buf
+}
+
+/// The result of an MR Borůvka run.
+#[derive(Debug, Clone)]
+pub struct MstRun {
+    /// The minimum spanning forest.
+    pub forest: SpanningForest,
+    /// Borůvka phases executed (= MR rounds after round 0).
+    pub phases: usize,
+    /// Per-round MR stats.
+    pub stats: ChainStats,
+}
+
+/// Runs Borůvka over `net` with `weights[e/2]` as the weight of edge
+/// pair `e` (one weight per undirected pair, in pair order).
+///
+/// # Errors
+/// Propagates MR failures; errors if `weights` does not match the edge
+/// count.
+pub fn run_mst(
+    rt: &mut MrRuntime,
+    net: &FlowNetwork,
+    weights: &[i64],
+    base_path: &str,
+    reducers: usize,
+) -> Result<MstRun, FfError> {
+    if weights.len() != net.num_edge_pairs() {
+        return Err(FfError::InvalidConfig(format!(
+            "{} weights for {} edge pairs",
+            weights.len(),
+            net.num_edge_pairs()
+        )));
+    }
+    // Load raw weighted edges.
+    let raw = format!("{base_path}/raw-edges");
+    let records = (0..net.num_edge_pairs()).map(|p| {
+        let e = swgraph::EdgeId::new(2 * p as u64);
+        (net.tail(e).raw(), (net.head(e).raw(), weights[p]))
+    });
+    rt.dfs_mut()
+        .write_records(&raw, reducers.max(1), records)
+        .map_err(FfError::Mr)?;
+
+    // Round 0: build vertex records (component = self).
+    let seed_job = JobBuilder::new(format!("{base_path}-round0"))
+        .input(&raw)
+        .output(round_path(base_path, 0))
+        .reducers(reducers)
+        .map(
+            |u: &u64, e: &(u64, i64), ctx: &mut MapContext<u64, (u64, i64)>| {
+                ctx.emit(*u, *e);
+                ctx.emit(e.0, (*u, e.1));
+            },
+        )
+        .reduce(
+            |u: &u64,
+             values: &mut dyn Iterator<Item = (u64, i64)>,
+             ctx: &mut ReduceContext<u64, MstValue>| {
+                let mut edges: Vec<(u64, i64, u64)> =
+                    values.map(|(to, w)| (to, w, to)).collect();
+                edges.sort_unstable();
+                edges.dedup();
+                ctx.emit(
+                    *u,
+                    MstValue {
+                        component: *u,
+                        edges,
+                    },
+                );
+            },
+        );
+    let mut stats = ChainStats::new();
+    stats.push(rt.run(seed_job).map_err(FfError::Mr)?);
+
+    let mst_proc = MstProc::new();
+    let mut chosen: Vec<WeightedEdge> = Vec::new();
+    let mut relabel: HashMap<u64, u64> = HashMap::new();
+    let mut phase = 1usize;
+    loop {
+        let input = round_path(base_path, phase - 1);
+        let output = round_path(base_path, phase);
+        let blob_path = side_path(base_path, "relabel", phase - 1);
+        rt.dfs_mut().write_blob(&blob_path, relabel_blob(&relabel));
+        let map_relabel = Arc::new(relabel.clone());
+
+        let job = JobBuilder::new(format!("{base_path}-phase{phase}"))
+            .input(&input)
+            .output(&output)
+            .reducers(reducers)
+            .side_blob(&blob_path)
+            .attach_service("mst_proc", Arc::clone(&mst_proc) as Arc<dyn Service>)
+            .map(
+                move |u: &u64, v: &MstValue, ctx: &mut MapContext<u64, MstValue>| {
+                    let mut v = v.clone();
+                    let resolve = |c: u64| map_relabel.get(&c).copied().unwrap_or(c);
+                    v.component = resolve(v.component);
+                    for e in &mut v.edges {
+                        e.2 = resolve(e.2);
+                    }
+                    // Offer this vertex's best outgoing edge.
+                    let best = v
+                        .edges
+                        .iter()
+                        .filter(|&&(_, _, comp)| comp != v.component)
+                        .min_by_key(|&&(to, w, _)| edge_key(w, *u, to));
+                    if let Some(&(to, w, _)) = best {
+                        let svc: &MstProc =
+                            ctx.service("mst_proc").expect("mst_proc attached");
+                        svc.offer(v.component, *u, to, w);
+                    }
+                    ctx.emit(*u, v);
+                },
+            )
+            .reduce(
+                |u: &u64,
+                 values: &mut dyn Iterator<Item = MstValue>,
+                 ctx: &mut ReduceContext<u64, MstValue>| {
+                    for v in values {
+                        ctx.emit(*u, v);
+                    }
+                },
+            );
+        let job_stats = rt.run(job).map_err(FfError::Mr)?;
+        stats.push(job_stats);
+        mapreduce::driver::collect_garbage(rt.dfs_mut(), base_path, phase, 2);
+
+        // Master step: union the candidates, build the next relabel map.
+        let candidates = mst_proc.take();
+        if candidates.is_empty() {
+            break;
+        }
+
+        // Each endpoint's current component: its vertex id chained
+        // through the accumulated relabel map.
+        let resolve = |mut c: u64| -> u64 {
+            while let Some(&next) = relabel.get(&c) {
+                if next == c {
+                    break;
+                }
+                c = next;
+            }
+            c
+        };
+
+        // Two components may nominate the same edge; dedup before union.
+        let mut edge_set: Vec<WeightedEdge> = candidates.values().copied().collect();
+        edge_set.sort_by_key(|&(u, v, w)| edge_key(w, u, v));
+        edge_set.dedup();
+
+        // Dense union-find over the component labels these edges touch.
+        let mut index: HashMap<u64, usize> = HashMap::new();
+        let mut labels: Vec<u64> = Vec::new();
+        let resolved: Vec<(u64, u64, WeightedEdge)> = edge_set
+            .iter()
+            .map(|&(u, v, w)| (resolve(u), resolve(v), (u, v, w)))
+            .collect();
+        for &(cu, cv, _) in &resolved {
+            for c in [cu, cv] {
+                index.entry(c).or_insert_with(|| {
+                    labels.push(c);
+                    labels.len() - 1
+                });
+            }
+        }
+        let mut uf = UnionFind::new(labels.len());
+        let mut merged_any = false;
+        for (cu, cv, (u, v, w)) in resolved {
+            if uf.union(index[&cu], index[&cv]) {
+                chosen.push((u.min(v), u.max(v), w));
+                merged_any = true;
+            }
+        }
+        if !merged_any {
+            break;
+        }
+
+        // Merged sets take the minimum member label as their new name.
+        let mut root_min: HashMap<usize, u64> = HashMap::new();
+        for (i, &label) in labels.iter().enumerate() {
+            let root = uf.find(i);
+            root_min
+                .entry(root)
+                .and_modify(|m| *m = (*m).min(label))
+                .or_insert(label);
+        }
+        for (i, &label) in labels.iter().enumerate() {
+            let new_label = root_min[&uf.find(i)];
+            if new_label != label {
+                relabel.insert(label, new_label);
+            }
+        }
+        phase += 1;
+        if phase > 2 * (64 - (net.num_vertices() as u64).leading_zeros() as usize) + 8 {
+            return Err(FfError::RoundLimitExceeded { limit: phase });
+        }
+    }
+
+    chosen.sort_by_key(|&(u, v, w)| (w, u, v));
+    let total_weight = chosen.iter().map(|&(_, _, w)| w).sum();
+    Ok(MstRun {
+        forest: SpanningForest {
+            edges: chosen,
+            total_weight,
+        },
+        phases: phase,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapreduce::ClusterConfig;
+    use swgraph::gen;
+
+    fn weighted_graph(n: u64, seed: u64) -> (FlowNetwork, Vec<i64>) {
+        let edges = gen::barabasi_albert(n, 3, seed);
+        let net = FlowNetwork::from_undirected_unit(n, &edges);
+        // Weights assigned per canonical pair, deterministic.
+        let weights: Vec<i64> = (0..net.num_edge_pairs())
+            .map(|p| 1 + (p as i64 * 131 + 7) % 9973)
+            .collect();
+        (net, weights)
+    }
+
+    fn oracle(net: &FlowNetwork, weights: &[i64]) -> SpanningForest {
+        let edges: Vec<WeightedEdge> = (0..net.num_edge_pairs())
+            .map(|p| {
+                let e = swgraph::EdgeId::new(2 * p as u64);
+                (net.tail(e).raw(), net.head(e).raw(), weights[p])
+            })
+            .collect();
+        swgraph::mst::kruskal(net.num_vertices() as u64, &edges)
+    }
+
+    #[test]
+    fn mst_value_round_trip() {
+        let v = MstValue {
+            component: 3,
+            edges: vec![(1, -5, 9), (2, 7, 2)],
+        };
+        let mut buf = Vec::new();
+        v.encode(&mut buf);
+        let mut s = buf.as_slice();
+        assert_eq!(MstValue::decode(&mut s).unwrap(), v);
+    }
+
+    #[test]
+    fn matches_kruskal_exactly_on_small_world() {
+        let (net, weights) = weighted_graph(200, 5);
+        let mut rt = MrRuntime::new(ClusterConfig::small_cluster(2));
+        let run = run_mst(&mut rt, &net, &weights, "mst", 3).unwrap();
+        let expected = oracle(&net, &weights);
+        assert_eq!(run.forest, expected, "tie-broken Boruvka == Kruskal");
+        assert!(
+            run.phases as u64 <= 64 - 200u64.leading_zeros() as u64 + 3,
+            "O(log V) phases, got {}",
+            run.phases
+        );
+    }
+
+    #[test]
+    fn forest_on_disconnected_graph() {
+        let net = FlowNetwork::from_undirected_unit(6, &[(0, 1), (1, 2), (3, 4)]);
+        let weights = vec![5, 2, 9];
+        let mut rt = MrRuntime::new(ClusterConfig::small_cluster(2));
+        let run = run_mst(&mut rt, &net, &weights, "mst", 2).unwrap();
+        assert_eq!(run.forest.edges.len(), 3);
+        assert_eq!(run.forest.total_weight, 16);
+    }
+
+    #[test]
+    fn weight_count_mismatch_rejected() {
+        let net = FlowNetwork::from_undirected_unit(3, &[(0, 1), (1, 2)]);
+        let mut rt = MrRuntime::new(ClusterConfig::small_cluster(2));
+        assert!(matches!(
+            run_mst(&mut rt, &net, &[1], "mst", 2),
+            Err(FfError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn several_random_graphs_match_kruskal() {
+        for seed in 0..4 {
+            let n = 80;
+            let edges = gen::erdos_renyi(n, 240, seed);
+            let net = FlowNetwork::from_undirected_unit(n, &edges);
+            let weights: Vec<i64> = (0..net.num_edge_pairs())
+                .map(|p| ((p as i64 * 37 + seed as i64) % 500) - 100) // incl. negatives
+                .collect();
+            let mut rt = MrRuntime::new(ClusterConfig::small_cluster(2));
+            let run = run_mst(&mut rt, &net, &weights, "mst", 2).unwrap();
+            let expected = oracle(&net, &weights);
+            assert_eq!(run.forest, expected, "seed {seed}");
+        }
+    }
+}

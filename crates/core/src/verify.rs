@@ -1,0 +1,292 @@
+//! Extraction and audit of the flow function computed by FFMR.
+//!
+//! A real deployment only needs the max-flow *value* (and the final
+//! records stay in the DFS), but tests and the min-cut applications want
+//! the full flow function — and want to audit it against the network.
+
+use std::collections::HashMap;
+
+use mapreduce::{Dfs, MrError};
+use swgraph::{Capacity, EdgeId, FlowNetwork, VertexId};
+
+use crate::augmented::AugmentedEdges;
+use crate::vertex::VertexValue;
+
+/// A flow function reassembled from the final round's vertex records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtractedFlow {
+    /// Flow per directed edge slot, indexed by [`EdgeId`].
+    pub flows: Vec<Capacity>,
+}
+
+impl ExtractedFlow {
+    /// Net outflow at `s` — the flow value when `s` is the source.
+    #[must_use]
+    pub fn value_from(&self, net: &FlowNetwork, s: VertexId) -> Capacity {
+        if s.index() >= net.num_vertices() {
+            return 0;
+        }
+        net.out_edges(s).map(|e| self.flows[e.index()]).sum()
+    }
+}
+
+/// Reads the final vertex records at `path`, folds in `pending` deltas
+/// (the last round's acceptances no mapper applied), and reassembles the
+/// flow function over `net`.
+///
+/// # Errors
+/// Fails if the records are missing/corrupt, reference unknown edges, or
+/// the two endpoints of any edge disagree about its flow (which would
+/// mean the residual views diverged — a bug this audit exists to catch).
+pub fn extract_flow(
+    dfs: &Dfs,
+    path: &str,
+    pending: &AugmentedEdges,
+    net: &FlowNetwork,
+) -> Result<ExtractedFlow, MrError> {
+    let records: Vec<(u64, VertexValue)> = dfs.read_records(path)?;
+    let m = net.num_directed_edges();
+    let mut flows: Vec<Option<Capacity>> = vec![None; m];
+    for (_, mut value) in records {
+        value.apply_deltas(pending);
+        for e in &value.edges {
+            if e.eid.index() >= m {
+                return Err(MrError::InvalidJob(format!(
+                    "record references unknown edge {}",
+                    e.eid
+                )));
+            }
+            match flows[e.eid.index()] {
+                None => flows[e.eid.index()] = Some(e.flow),
+                Some(prev) if prev == e.flow => {}
+                Some(prev) => {
+                    return Err(MrError::InvalidJob(format!(
+                        "inconsistent flow on {}: {} vs {}",
+                        e.eid, prev, e.flow
+                    )));
+                }
+            }
+        }
+    }
+    // Cross-check skew symmetry between the two endpoints' copies.
+    let flows: Vec<Capacity> = flows.into_iter().map(Option::unwrap_or_default).collect();
+    for pair in 0..m / 2 {
+        let e = EdgeId::new(2 * pair as u64);
+        if flows[e.index()] != -flows[e.reverse().index()] {
+            return Err(MrError::InvalidJob(format!(
+                "skew symmetry broken on {e}: {} vs {}",
+                flows[e.index()],
+                flows[e.reverse().index()]
+            )));
+        }
+    }
+    Ok(ExtractedFlow { flows })
+}
+
+/// Checks whether the residual network implied by `flow` still has an
+/// augmenting `s -> t` path (BFS). A maximal flow must return `false`.
+#[must_use]
+pub fn has_augmenting_path(
+    net: &FlowNetwork,
+    flow: &ExtractedFlow,
+    s: VertexId,
+    t: VertexId,
+) -> bool {
+    let n = net.num_vertices();
+    if s.index() >= n || t.index() >= n {
+        return false;
+    }
+    let mut visited = vec![false; n];
+    visited[s.index()] = true;
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(s);
+    while let Some(u) = queue.pop_front() {
+        for e in net.out_edges(u) {
+            let v = net.head(e);
+            if !visited[v.index()] && net.capacity(e) - flow.flows[e.index()] > 0 {
+                if v == t {
+                    return true;
+                }
+                visited[v.index()] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    false
+}
+
+/// Summarizes excess-path storage across the final records — useful for
+/// asserting the space behaviour of the k-policies.
+#[must_use]
+pub fn storage_histogram(dfs: &Dfs, path: &str) -> HashMap<u64, (usize, usize)> {
+    let mut out = HashMap::new();
+    if let Ok(records) = dfs.read_records::<u64, VertexValue>(path) {
+        for (u, v) in records {
+            out.insert(u, (v.source_paths.len(), v.sink_paths.len()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::{ExcessPath, PathEdge};
+    use crate::vertex::VertexEdge;
+
+    fn edge_copy(to: u64, eid: u64, flow: i64) -> VertexEdge {
+        VertexEdge {
+            to,
+            eid: EdgeId::new(eid),
+            flow,
+            cap: 1,
+            rev_cap: 1,
+            sent_source: None,
+            sent_sink: None,
+        }
+    }
+
+    fn write_records(dfs: &mut Dfs, path: &str, records: Vec<(u64, VertexValue)>) {
+        dfs.write_records(path, 2, records).unwrap();
+    }
+
+    #[test]
+    fn extracts_consistent_flows() {
+        let net = FlowNetwork::from_undirected_unit(2, &[(0, 1)]);
+        let mut dfs = Dfs::new();
+        write_records(
+            &mut dfs,
+            "final",
+            vec![
+                (
+                    0,
+                    VertexValue {
+                        edges: vec![edge_copy(1, 0, 1)],
+                        ..VertexValue::default()
+                    },
+                ),
+                (
+                    1,
+                    VertexValue {
+                        edges: vec![edge_copy(0, 1, -1)],
+                        ..VertexValue::default()
+                    },
+                ),
+            ],
+        );
+        let f = extract_flow(&dfs, "final", &AugmentedEdges::new(0), &net).unwrap();
+        assert_eq!(f.flows, vec![1, -1]);
+        assert_eq!(f.value_from(&net, VertexId::new(0)), 1);
+        assert!(!has_augmenting_path(&net, &f, VertexId::new(0), VertexId::new(1)));
+    }
+
+    #[test]
+    fn pending_deltas_are_folded_in() {
+        let net = FlowNetwork::from_undirected_unit(2, &[(0, 1)]);
+        let mut dfs = Dfs::new();
+        write_records(
+            &mut dfs,
+            "final",
+            vec![
+                (
+                    0,
+                    VertexValue {
+                        edges: vec![edge_copy(1, 0, 0)],
+                        ..VertexValue::default()
+                    },
+                ),
+                (
+                    1,
+                    VertexValue {
+                        edges: vec![edge_copy(0, 1, 0)],
+                        ..VertexValue::default()
+                    },
+                ),
+            ],
+        );
+        let mut pending = AugmentedEdges::new(9);
+        pending.add(EdgeId::new(0), 1);
+        let f = extract_flow(&dfs, "final", &pending, &net).unwrap();
+        assert_eq!(f.flows, vec![1, -1]);
+    }
+
+    #[test]
+    fn detects_inconsistent_copies() {
+        let net = FlowNetwork::from_undirected_unit(2, &[(0, 1)]);
+        let mut dfs = Dfs::new();
+        write_records(
+            &mut dfs,
+            "final",
+            vec![
+                (
+                    0,
+                    VertexValue {
+                        edges: vec![edge_copy(1, 0, 1)],
+                        ..VertexValue::default()
+                    },
+                ),
+                (
+                    1,
+                    VertexValue {
+                        edges: vec![edge_copy(0, 1, 0)], // should be -1
+                        ..VertexValue::default()
+                    },
+                ),
+            ],
+        );
+        assert!(extract_flow(&dfs, "final", &AugmentedEdges::new(0), &net).is_err());
+    }
+
+    #[test]
+    fn detects_unknown_edges() {
+        let net = FlowNetwork::from_undirected_unit(2, &[(0, 1)]);
+        let mut dfs = Dfs::new();
+        write_records(
+            &mut dfs,
+            "final",
+            vec![(
+                0,
+                VertexValue {
+                    edges: vec![edge_copy(1, 99, 0)],
+                    ..VertexValue::default()
+                },
+            )],
+        );
+        assert!(extract_flow(&dfs, "final", &AugmentedEdges::new(0), &net).is_err());
+    }
+
+    #[test]
+    fn augmenting_path_detected_on_zero_flow() {
+        let net = FlowNetwork::from_undirected_unit(3, &[(0, 1), (1, 2)]);
+        let f = ExtractedFlow {
+            flows: vec![0; net.num_directed_edges()],
+        };
+        assert!(has_augmenting_path(&net, &f, VertexId::new(0), VertexId::new(2)));
+    }
+
+    #[test]
+    fn storage_histogram_reads_paths() {
+        let mut dfs = Dfs::new();
+        write_records(
+            &mut dfs,
+            "final",
+            vec![(
+                3,
+                VertexValue {
+                    source_paths: vec![ExcessPath::from_edges(vec![PathEdge {
+                        eid: EdgeId::new(0),
+                        from: 0,
+                        to: 3,
+                        cap: 1,
+                        flow: 0,
+                    }])],
+                    sink_paths: Vec::new(),
+                    edges: vec![edge_copy(0, 1, 0)],
+                },
+            )],
+        );
+        let hist = storage_histogram(&dfs, "final");
+        assert_eq!(hist.get(&3), Some(&(1, 0)));
+        assert!(storage_histogram(&dfs, "missing").is_empty());
+    }
+}

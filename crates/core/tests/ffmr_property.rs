@@ -1,0 +1,91 @@
+//! Property-based stress testing: FFMR must equal the Dinic oracle on
+//! arbitrary random networks — the strongest check against subtle early
+//! termination (the paper's movement-counter argument) and against
+//! residual-view divergence between vertex copies.
+
+use ffmr_core::{run_max_flow, verify, FfConfig, FfVariant, KPolicy};
+use mapreduce::{ClusterConfig, MrRuntime};
+use proptest::prelude::*;
+use swgraph::{FlowNetwork, FlowNetworkBuilder, VertexId};
+
+fn ffmr_value(net: &FlowNetwork, s: VertexId, t: VertexId, variant: FfVariant) -> i64 {
+    let mut rt = MrRuntime::new(ClusterConfig::small_cluster(2));
+    rt.set_worker_threads(Some(2));
+    let config = FfConfig::new(s, t).variant(variant).reducers(3);
+    let run = run_max_flow(&mut rt, net, &config).expect("ffmr run");
+    // Always audit the extracted flow for internal consistency.
+    let extracted =
+        verify::extract_flow(rt.dfs(), &run.final_graph_path, &run.pending_deltas, net)
+            .expect("consistent flow extraction");
+    assert_eq!(extracted.value_from(net, s), run.max_flow_value);
+    assert!(
+        !verify::has_augmenting_path(net, &extracted, s, t),
+        "residual still augmentable"
+    );
+    run.max_flow_value
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Unit-capacity undirected graphs (the paper's experimental regime).
+    #[test]
+    fn ff5_matches_oracle_on_unit_graphs(
+        n in 4u64..24,
+        edges in proptest::collection::vec((0u64..24, 0u64..24), 4..70),
+    ) {
+        let edges: Vec<(u64, u64)> = edges
+            .into_iter()
+            .map(|(u, v)| (u % n, v % n))
+            .filter(|&(u, v)| u != v)
+            .collect();
+        let net = FlowNetwork::from_undirected_unit(n, &edges);
+        let s = VertexId::new(0);
+        let t = VertexId::new(n - 1);
+        let oracle = maxflow::dinic::max_flow(&net, s, t).value;
+        prop_assert_eq!(ffmr_value(&net, s, t, FfVariant::ff5()), oracle);
+    }
+
+    /// Arbitrary directed capacities exercise cancellation and asymmetric
+    /// residuals.
+    #[test]
+    fn ff1_matches_oracle_on_directed_graphs(
+        n in 3u64..16,
+        edges in proptest::collection::vec((0u64..16, 0u64..16, 1i64..6), 3..40),
+    ) {
+        let mut b = FlowNetworkBuilder::new(n);
+        for (u, v, c) in edges {
+            b.add_edge(u % n, v % n, c);
+        }
+        let net = b.build();
+        let s = VertexId::new(0);
+        let t = VertexId::new(n - 1);
+        let oracle = maxflow::dinic::max_flow(&net, s, t).value;
+        prop_assert_eq!(ffmr_value(&net, s, t, FfVariant::ff1()), oracle);
+    }
+
+    /// Tiny k (k = 1) starves storage hardest; termination must still be
+    /// correct because rejected paths are re-sent every round.
+    #[test]
+    fn k_equals_one_still_reaches_max_flow(
+        n in 4u64..14,
+        edges in proptest::collection::vec((0u64..14, 0u64..14), 4..40),
+    ) {
+        let edges: Vec<(u64, u64)> = edges
+            .into_iter()
+            .map(|(u, v)| (u % n, v % n))
+            .filter(|&(u, v)| u != v)
+            .collect();
+        let net = FlowNetwork::from_undirected_unit(n, &edges);
+        let s = VertexId::new(0);
+        let t = VertexId::new(n - 1);
+        let mut rt = MrRuntime::new(ClusterConfig::small_cluster(2));
+        let config = FfConfig::new(s, t)
+            .variant(FfVariant::ff2())
+            .k_policy(KPolicy::Fixed(1))
+            .reducers(2);
+        let run = run_max_flow(&mut rt, &net, &config).expect("ffmr run");
+        let oracle = maxflow::dinic::max_flow(&net, s, t).value;
+        prop_assert_eq!(run.max_flow_value, oracle);
+    }
+}

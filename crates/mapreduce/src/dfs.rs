@@ -1,0 +1,461 @@
+//! A simulated distributed file system (HDFS/GFS stand-in).
+//!
+//! Files are named, immutable-once-written collections of *partitions*
+//! (Hadoop `part-NNNNN` outputs). Each partition stores encoded records and
+//! remembers its home node, so the runtime can price remote vs. local reads
+//! and replication traffic.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::error::{DecodeError, MrError};
+use crate::record::{decode_record, encode_record, Datum};
+
+/// One `part-NNNNN` output: a byte run of encoded records.
+#[derive(Debug, Clone, Default)]
+pub struct Partition {
+    /// Encoded `(key, value)` records, back to back.
+    pub data: Vec<u8>,
+    /// Number of records in `data`.
+    pub records: u64,
+    /// Node holding the primary replica.
+    pub home_node: usize,
+}
+
+impl Partition {
+    /// Decodes every record in this partition.
+    ///
+    /// # Errors
+    /// Returns [`DecodeError`] if the byte run is malformed.
+    pub fn decode_all<K: Datum, V: Datum>(&self) -> Result<Vec<(K, V)>, DecodeError> {
+        let mut out = Vec::with_capacity(self.records as usize);
+        let mut input = self.data.as_slice();
+        while !input.is_empty() {
+            out.push(decode_record(&mut input)?);
+        }
+        if out.len() as u64 != self.records {
+            return Err(DecodeError::new("partition record count mismatch"));
+        }
+        Ok(out)
+    }
+
+    /// Splits the byte run into input splits of at most `block_bytes`
+    /// (each ending on a record boundary, like HDFS block-aligned
+    /// `InputSplit`s). Returns `(start, end, records)` ranges covering
+    /// the partition in order.
+    ///
+    /// # Errors
+    /// [`DecodeError`] if the record framing is malformed.
+    pub fn splits(&self, block_bytes: usize) -> Result<Vec<(usize, usize, u64)>, DecodeError> {
+        let block_bytes = block_bytes.max(1);
+        let mut out = Vec::new();
+        let total = self.data.len();
+        let mut input = self.data.as_slice();
+        let mut start = 0usize;
+        let mut records_in_split = 0u64;
+        while !input.is_empty() {
+            // Skip one record: two length-prefixed byte runs.
+            let before = total - input.len();
+            crate::encode::get_bytes(&mut input)?;
+            crate::encode::get_bytes(&mut input)?;
+            let after = total - input.len();
+            records_in_split += 1;
+            if after - start >= block_bytes || input.is_empty() {
+                out.push((start, after, records_in_split));
+                start = after;
+                records_in_split = 0;
+            }
+            let _ = before;
+        }
+        Ok(out)
+    }
+}
+
+/// One map-task input: a record-aligned byte range of a partition.
+#[derive(Debug, Clone, Copy)]
+pub struct InputSplit<'a> {
+    /// The encoded records of this split, back to back.
+    pub data: &'a [u8],
+    /// Number of records in `data`.
+    pub records: u64,
+}
+
+impl<'a> InputSplit<'a> {
+    /// Decodes every record in this split.
+    ///
+    /// # Errors
+    /// [`DecodeError`] on malformed framing or count mismatch.
+    pub fn decode_all<K: Datum, V: Datum>(&self) -> Result<Vec<(K, V)>, DecodeError> {
+        let mut out = Vec::with_capacity(self.records as usize);
+        let mut input = self.data;
+        while !input.is_empty() {
+            out.push(decode_record(&mut input)?);
+        }
+        if out.len() as u64 != self.records {
+            return Err(DecodeError::new("split record count mismatch"));
+        }
+        Ok(out)
+    }
+}
+
+/// A named file: an ordered list of partitions.
+#[derive(Debug, Clone, Default)]
+pub struct DfsFile {
+    /// The partitions, in partition-index order.
+    pub partitions: Vec<Partition>,
+}
+
+impl DfsFile {
+    /// Total encoded bytes across partitions (one replica).
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.partitions.iter().map(|p| p.data.len() as u64).sum()
+    }
+
+    /// Total records across partitions.
+    #[must_use]
+    pub fn records(&self) -> u64 {
+        self.partitions.iter().map(|p| p.records).sum()
+    }
+}
+
+/// The simulated DFS: a namespace of [`DfsFile`]s plus raw side-file blobs.
+///
+/// # Example
+/// ```
+/// # fn main() -> Result<(), mapreduce::MrError> {
+/// let mut dfs = mapreduce::Dfs::new();
+/// dfs.write_records("in", 2, vec![(1u64, 10i64), (2, 20), (3, 30)])?;
+/// let back: Vec<(u64, i64)> = dfs.read_records("in")?;
+/// assert_eq!(back.len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct Dfs {
+    files: HashMap<String, DfsFile>,
+    blobs: HashMap<String, Vec<u8>>,
+    failed_nodes: HashSet<usize>,
+    replication: u32,
+}
+
+impl Dfs {
+    /// Creates an empty DFS with replication factor 2 (the paper's
+    /// Hadoop configuration).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            replication: 2,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the replication factor used for availability decisions.
+    pub fn set_replication(&mut self, replication: u32) {
+        self.replication = replication.max(1);
+    }
+
+    /// Simulates the death of a cluster node: partitions whose replicas
+    /// all lived on failed nodes become unavailable. With the default
+    /// replication of 2 a single node failure never loses data — the
+    /// fault-tolerance property the paper leans on MapReduce for.
+    pub fn fail_node(&mut self, node: usize) {
+        self.failed_nodes.insert(node);
+    }
+
+    /// Brings a failed node back (its data is intact in this model).
+    pub fn recover_node(&mut self, node: usize) {
+        self.failed_nodes.remove(&node);
+    }
+
+    /// Whether any replica of `p` survives (replicas live on consecutive
+    /// nodes starting at the home node — a simple deterministic
+    /// placement).
+    fn partition_available(&self, p: &Partition) -> bool {
+        (0..self.replication as usize)
+            .map(|i| p.home_node + i)
+            .any(|n| !self.failed_nodes.contains(&n))
+    }
+
+    /// Checks that every partition of `path` is readable.
+    ///
+    /// # Errors
+    /// [`MrError::FileNotFound`] if absent; [`MrError::DataLost`] if a
+    /// partition's replicas all lived on failed nodes.
+    pub fn check_available(&self, path: &str) -> Result<(), MrError> {
+        let file = self.file(path)?;
+        for (i, p) in file.partitions.iter().enumerate() {
+            if !self.partition_available(p) {
+                return Err(MrError::DataLost {
+                    path: path.to_owned(),
+                    partition: i,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes typed records into `path`, spread round-robin over
+    /// `partitions` partitions. Intended for loading raw job input;
+    /// job outputs are written by the runtime with hash partitioning.
+    ///
+    /// # Errors
+    /// Returns [`MrError::OutputExists`] if `path` exists, or
+    /// [`MrError::InvalidJob`] if `partitions == 0`.
+    pub fn write_records<K, V, I>(
+        &mut self,
+        path: &str,
+        partitions: usize,
+        records: I,
+    ) -> Result<(), MrError>
+    where
+        K: Datum,
+        V: Datum,
+        I: IntoIterator<Item = (K, V)>,
+    {
+        if partitions == 0 {
+            return Err(MrError::InvalidJob("partitions must be > 0".into()));
+        }
+        if self.files.contains_key(path) {
+            return Err(MrError::OutputExists(path.to_owned()));
+        }
+        let mut parts: Vec<Partition> = (0..partitions)
+            .map(|i| Partition {
+                home_node: i,
+                ..Partition::default()
+            })
+            .collect();
+        for (i, (k, v)) in records.into_iter().enumerate() {
+            let p = &mut parts[i % partitions];
+            encode_record(&k, &v, &mut p.data);
+            p.records += 1;
+        }
+        self.files
+            .insert(path.to_owned(), DfsFile { partitions: parts });
+        Ok(())
+    }
+
+    /// Reads and decodes every record of `path`, partition order then
+    /// record order.
+    ///
+    /// # Errors
+    /// [`MrError::FileNotFound`] or a decode failure.
+    pub fn read_records<K: Datum, V: Datum>(&self, path: &str) -> Result<Vec<(K, V)>, MrError> {
+        let file = self.file(path)?;
+        let mut out = Vec::with_capacity(file.records() as usize);
+        for p in &file.partitions {
+            out.extend(p.decode_all()?);
+        }
+        Ok(out)
+    }
+
+    /// Inserts a file assembled by the runtime (reduce outputs).
+    ///
+    /// # Errors
+    /// [`MrError::OutputExists`] if `path` exists.
+    pub(crate) fn insert_file(&mut self, path: &str, file: DfsFile) -> Result<(), MrError> {
+        if self.files.contains_key(path) {
+            return Err(MrError::OutputExists(path.to_owned()));
+        }
+        self.files.insert(path.to_owned(), file);
+        Ok(())
+    }
+
+    /// Borrows a file.
+    ///
+    /// # Errors
+    /// [`MrError::FileNotFound`].
+    pub fn file(&self, path: &str) -> Result<&DfsFile, MrError> {
+        self.files
+            .get(path)
+            .ok_or_else(|| MrError::FileNotFound(path.to_owned()))
+    }
+
+    /// Whether `path` names a record file.
+    #[must_use]
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.contains_key(path)
+    }
+
+    /// Removes a record file, returning whether it existed. Removing
+    /// intermediate round outputs keeps long chains memory-bounded.
+    pub fn delete(&mut self, path: &str) -> bool {
+        self.files.remove(path).is_some()
+    }
+
+    /// Total bytes of one replica of `path` (0 if absent) — the paper's
+    /// "Size" column for the graph file.
+    #[must_use]
+    pub fn file_bytes(&self, path: &str) -> u64 {
+        self.files.get(path).map_or(0, DfsFile::bytes)
+    }
+
+    /// Total records in `path` (0 if absent).
+    #[must_use]
+    pub fn file_records(&self, path: &str) -> u64 {
+        self.files.get(path).map_or(0, DfsFile::records)
+    }
+
+    /// Writes (or replaces) a raw side-file blob, e.g. the per-round
+    /// `AugmentedEdges` table every mapper reads.
+    pub fn write_blob(&mut self, path: &str, bytes: Vec<u8>) {
+        self.blobs.insert(path.to_owned(), bytes);
+    }
+
+    /// Reads a side-file blob.
+    ///
+    /// # Errors
+    /// [`MrError::FileNotFound`].
+    pub fn read_blob(&self, path: &str) -> Result<&[u8], MrError> {
+        self.blobs
+            .get(path)
+            .map(Vec::as_slice)
+            .ok_or_else(|| MrError::FileNotFound(path.to_owned()))
+    }
+
+    /// Size of a blob in bytes (0 if absent).
+    #[must_use]
+    pub fn blob_bytes(&self, path: &str) -> u64 {
+        self.blobs.get(path).map_or(0, |b| b.len() as u64)
+    }
+
+    /// Names of all record files, sorted (deterministic listing).
+    #[must_use]
+    pub fn list(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.files.keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_partitioning() {
+        let mut dfs = Dfs::new();
+        dfs.write_records("f", 3, (0..10u64).map(|i| (i, i * 2)))
+            .unwrap();
+        let file = dfs.file("f").unwrap();
+        assert_eq!(file.partitions.len(), 3);
+        assert_eq!(file.partitions[0].records, 4); // 0,3,6,9
+        assert_eq!(file.partitions[1].records, 3);
+        assert_eq!(file.partitions[2].records, 3);
+        assert_eq!(file.records(), 10);
+    }
+
+    #[test]
+    fn read_returns_all_records() {
+        let mut dfs = Dfs::new();
+        let input: Vec<(u64, String)> = (0..5).map(|i| (i, format!("v{i}"))).collect();
+        dfs.write_records("f", 2, input.clone()).unwrap();
+        let mut back: Vec<(u64, String)> = dfs.read_records("f").unwrap();
+        back.sort();
+        assert_eq!(back, input);
+    }
+
+    #[test]
+    fn overwrite_is_refused() {
+        let mut dfs = Dfs::new();
+        dfs.write_records("f", 1, vec![(1u64, 1u64)]).unwrap();
+        let err = dfs.write_records("f", 1, vec![(2u64, 2u64)]).unwrap_err();
+        assert!(matches!(err, MrError::OutputExists(_)));
+    }
+
+    #[test]
+    fn missing_file_is_error() {
+        let dfs = Dfs::new();
+        assert!(matches!(
+            dfs.read_records::<u64, u64>("nope"),
+            Err(MrError::FileNotFound(_))
+        ));
+        assert_eq!(dfs.file_bytes("nope"), 0);
+    }
+
+    #[test]
+    fn zero_partitions_rejected() {
+        let mut dfs = Dfs::new();
+        let err = dfs
+            .write_records("f", 0, vec![(1u64, 1u64)])
+            .unwrap_err();
+        assert!(matches!(err, MrError::InvalidJob(_)));
+    }
+
+    #[test]
+    fn delete_frees_name_for_rewrite() {
+        let mut dfs = Dfs::new();
+        dfs.write_records("f", 1, vec![(1u64, 1u64)]).unwrap();
+        assert!(dfs.delete("f"));
+        assert!(!dfs.delete("f"));
+        dfs.write_records("f", 1, vec![(2u64, 2u64)]).unwrap();
+        let back: Vec<(u64, u64)> = dfs.read_records("f").unwrap();
+        assert_eq!(back, vec![(2, 2)]);
+    }
+
+    #[test]
+    fn blobs_are_separate_namespace() {
+        let mut dfs = Dfs::new();
+        dfs.write_blob("b", vec![1, 2, 3]);
+        assert_eq!(dfs.read_blob("b").unwrap(), &[1, 2, 3]);
+        assert_eq!(dfs.blob_bytes("b"), 3);
+        assert!(!dfs.exists("b"));
+        assert!(dfs.read_blob("missing").is_err());
+    }
+
+    #[test]
+    fn empty_input_makes_empty_partitions() {
+        let mut dfs = Dfs::new();
+        dfs.write_records::<u64, u64, _>("f", 4, Vec::new())
+            .unwrap();
+        assert_eq!(dfs.file_records("f"), 0);
+        assert_eq!(dfs.file("f").unwrap().partitions.len(), 4);
+    }
+
+    #[test]
+    fn splits_cover_partition_at_record_boundaries() {
+        let mut dfs = Dfs::new();
+        dfs.write_records("f", 1, (0..100u64).map(|i| (i, vec![0u8; 10])))
+            .unwrap();
+        let part = &dfs.file("f").unwrap().partitions[0];
+        for block in [1usize, 16, 64, 1 << 20] {
+            let splits = part.splits(block).unwrap();
+            let total_records: u64 = splits.iter().map(|&(_, _, r)| r).sum();
+            assert_eq!(total_records, 100, "block {block}");
+            // Contiguous coverage.
+            let mut expect = 0;
+            for &(a, b, _) in &splits {
+                assert_eq!(a, expect);
+                assert!(b > a);
+                expect = b;
+            }
+            assert_eq!(expect, part.data.len());
+            // Every split decodes.
+            for &(a, b, r) in &splits {
+                let split = InputSplit {
+                    data: &part.data[a..b],
+                    records: r,
+                };
+                assert_eq!(split.decode_all::<u64, Vec<u8>>().unwrap().len() as u64, r);
+            }
+        }
+        // Tiny blocks: one record per split; huge blocks: one split.
+        assert_eq!(part.splits(1).unwrap().len(), 100);
+        assert_eq!(part.splits(1 << 20).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn splits_of_empty_partition() {
+        let p = Partition::default();
+        assert!(p.splits(64).unwrap().is_empty());
+    }
+
+    #[test]
+    fn corrupted_partition_fails_decode() {
+        let mut dfs = Dfs::new();
+        dfs.write_records("f", 1, vec![(1u64, 2u64)]).unwrap();
+        // Corrupt the stored bytes.
+        let file = dfs.files.get_mut("f").unwrap();
+        file.partitions[0].data.truncate(1);
+        assert!(dfs.read_records::<u64, u64>("f").is_err());
+    }
+}

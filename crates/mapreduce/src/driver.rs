@@ -1,0 +1,74 @@
+//! Helpers for multi-round MR programs (chains of jobs where round *i*'s
+//! output is round *i+1*'s input).
+//!
+//! The paper argues the right complexity measure for multi-round MR is the
+//! **number of rounds**; [`ChainStats`](crate::stats::ChainStats) collects
+//! the per-round [`JobStats`](crate::JobStats) so drivers can report both
+//! rounds and the simulated time they cost.
+
+use crate::dfs::Dfs;
+
+/// Canonical DFS path for round `round` of the chain rooted at `base`.
+///
+/// # Example
+/// ```
+/// assert_eq!(mapreduce::driver::round_path("ff", 3), "ff/round-00003");
+/// ```
+#[must_use]
+pub fn round_path(base: &str, round: usize) -> String {
+    format!("{base}/round-{round:05}")
+}
+
+/// Canonical DFS blob path for a per-round side file.
+#[must_use]
+pub fn side_path(base: &str, name: &str, round: usize) -> String {
+    format!("{base}/{name}-{round:05}")
+}
+
+/// Deletes round outputs older than `keep_latest` rounds before `current`,
+/// bounding chain memory. Returns the number of files removed.
+///
+/// The two most recent rounds are typically live (current input and the
+/// schimmy side input), so `keep_latest >= 2` for schimmy jobs.
+pub fn collect_garbage(dfs: &mut Dfs, base: &str, current: usize, keep_latest: usize) -> usize {
+    let mut removed = 0;
+    for old in (0..current).rev().skip(keep_latest.saturating_sub(1)) {
+        if dfs.delete(&round_path(base, old)) {
+            removed += 1;
+        }
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paths_are_zero_padded_and_sorted() {
+        let a = round_path("x", 2);
+        let b = round_path("x", 10);
+        assert!(a < b, "lexicographic order must match numeric order");
+    }
+
+    #[test]
+    fn gc_keeps_latest() {
+        let mut dfs = Dfs::new();
+        for i in 0..5 {
+            dfs.write_records(&round_path("ff", i), 1, vec![(1u64, i as u64)])
+                .unwrap();
+        }
+        let removed = collect_garbage(&mut dfs, "ff", 4, 2);
+        assert_eq!(removed, 3);
+        assert!(!dfs.exists(&round_path("ff", 0)));
+        assert!(!dfs.exists(&round_path("ff", 2)));
+        assert!(dfs.exists(&round_path("ff", 3)));
+        assert!(dfs.exists(&round_path("ff", 4)));
+    }
+
+    #[test]
+    fn gc_on_empty_dfs_is_noop() {
+        let mut dfs = Dfs::new();
+        assert_eq!(collect_garbage(&mut dfs, "ff", 10, 2), 0);
+    }
+}

@@ -1,0 +1,526 @@
+//! Job descriptions: mappers, reducers, combiners and their contexts.
+//!
+//! A job is built in two stages so the intermediate and output record types
+//! are inferred from the user functions:
+//!
+//! ```
+//! use mapreduce::{JobBuilder, MapContext, ReduceContext};
+//! let job = JobBuilder::new("count")
+//!     .input("in")
+//!     .output("out")
+//!     .reducers(4)
+//!     .map(|k: &u64, v: &u64, ctx: &mut MapContext<u64, u64>| ctx.emit(*k % 2, *v))
+//!     .reduce(
+//!         |k: &u64, vs: &mut dyn Iterator<Item = u64>, ctx: &mut ReduceContext<u64, u64>| {
+//!             ctx.emit(*k, vs.sum::<u64>());
+//!         },
+//!     );
+//! assert_eq!(job.config().name, "count");
+//! ```
+
+use std::sync::Arc;
+
+use crate::counters::Counters;
+use crate::error::MrError;
+use crate::record::{Datum, KeyDatum};
+use crate::service::{Service, ServiceHandle};
+
+/// The `MAP` function of a job.
+///
+/// Implemented for any `Fn(&KI, &VI, &mut MapContext<KM, VM>)`; implement
+/// the trait directly to override [`Mapper::finish_split`] (the in-mapper
+/// combining pattern from Lin & Schatz, referenced by the paper).
+pub trait Mapper<KI, VI, KM, VM>: Send + Sync
+where
+    KM: KeyDatum,
+    VM: Datum,
+{
+    /// Processes one input record, emitting intermediate records.
+    fn map(&self, key: &KI, value: &VI, ctx: &mut MapContext<'_, KM, VM>);
+
+    /// Called once after the last record of each input split; emit any
+    /// split-local aggregates here.
+    fn finish_split(&self, _ctx: &mut MapContext<'_, KM, VM>) {}
+}
+
+impl<F, KI, VI, KM, VM> Mapper<KI, VI, KM, VM> for F
+where
+    F: Fn(&KI, &VI, &mut MapContext<'_, KM, VM>) + Send + Sync,
+    KM: KeyDatum,
+    VM: Datum,
+{
+    fn map(&self, key: &KI, value: &VI, ctx: &mut MapContext<'_, KM, VM>) {
+        self(key, value, ctx);
+    }
+}
+
+/// The `REDUCE` function of a job. Values arrive grouped by key, in a
+/// deterministic order (map-task order, then emit order).
+pub trait Reducer<KM, VM, KO, VO>: Send + Sync
+where
+    KO: Datum,
+    VO: Datum,
+{
+    /// Processes one key group.
+    fn reduce(
+        &self,
+        key: &KM,
+        values: &mut dyn Iterator<Item = VM>,
+        ctx: &mut ReduceContext<'_, KO, VO>,
+    );
+}
+
+impl<F, KM, VM, KO, VO> Reducer<KM, VM, KO, VO> for F
+where
+    F: Fn(&KM, &mut dyn Iterator<Item = VM>, &mut ReduceContext<'_, KO, VO>) + Send + Sync,
+    KO: Datum,
+    VO: Datum,
+{
+    fn reduce(
+        &self,
+        key: &KM,
+        values: &mut dyn Iterator<Item = VM>,
+        ctx: &mut ReduceContext<'_, KO, VO>,
+    ) {
+        self(key, values, ctx);
+    }
+}
+
+/// Emission context handed to mappers (and combiners).
+///
+/// Counter increments are buffered locally and merged into the job's
+/// counters only when the task attempt *succeeds* — so retried task
+/// attempts (see [`FailurePolicy`](crate::runtime::FailurePolicy)) never
+/// double-count, matching Hadoop's exclusion of failed-attempt counters.
+#[derive(Debug)]
+pub struct MapContext<'a, KM, VM> {
+    pub(crate) out: Vec<(KM, VM)>,
+    pub(crate) local_counters: Vec<(String, u64)>,
+    services: &'a ServiceHandle,
+    allocs: u64,
+    task: usize,
+}
+
+impl<'a, KM: KeyDatum, VM: Datum> MapContext<'a, KM, VM> {
+    pub(crate) fn new(_counters: &'a Counters, services: &'a ServiceHandle, task: usize) -> Self {
+        Self {
+            out: Vec::new(),
+            local_counters: Vec::new(),
+            services,
+            allocs: 0,
+            task,
+        }
+    }
+
+    /// Flushes this attempt's buffered counter increments into `counters`
+    /// (the runtime calls this when the attempt succeeds; tests of
+    /// mapper logic may call it manually).
+    pub fn merge_counters_into(&self, counters: &Counters) {
+        for (name, delta) in &self.local_counters {
+            counters.incr(name, *delta);
+        }
+    }
+
+    /// A standalone context for unit-testing mappers outside a job run.
+    #[must_use]
+    pub fn for_testing(counters: &'a Counters, services: &'a ServiceHandle) -> Self {
+        Self::new(counters, services, 0)
+    }
+
+    /// Records emitted so far (primarily for tests of mapper logic).
+    #[must_use]
+    pub fn emitted(&self) -> &[(KM, VM)] {
+        &self.out
+    }
+
+    /// Emits one intermediate record.
+    pub fn emit(&mut self, key: KM, value: VM) {
+        self.allocs += 1;
+        self.out.push((key, value));
+    }
+
+    /// Increments a named job counter (applied only if this task attempt
+    /// succeeds).
+    pub fn incr(&mut self, name: &str, delta: u64) {
+        if let Some(entry) = self.local_counters.iter_mut().find(|(n, _)| n == name) {
+            entry.1 += delta;
+        } else {
+            self.local_counters.push((name.to_owned(), delta));
+        }
+    }
+
+    /// Typed access to an attached stateful service (FF2's `aug_proc`).
+    ///
+    /// # Errors
+    /// [`MrError::ServiceMissing`] if not attached under `name`.
+    pub fn service<T: Service>(&self, name: &str) -> Result<&T, MrError> {
+        self.services.get(name)
+    }
+
+    /// Records `n` short-lived allocations performed by the user function,
+    /// feeding the FF4 allocation cost model.
+    pub fn charge_allocs(&mut self, n: u64) {
+        self.allocs += n;
+    }
+
+    /// Index of the map task this context belongs to.
+    #[must_use]
+    pub fn task(&self) -> usize {
+        self.task
+    }
+
+    pub(crate) fn allocs(&self) -> u64 {
+        self.allocs
+    }
+}
+
+/// Emission context handed to reducers.
+///
+/// Counter increments are buffered locally and merged only when the
+/// task attempt succeeds (see [`MapContext`]).
+#[derive(Debug)]
+pub struct ReduceContext<'a, KO, VO> {
+    pub(crate) out: Vec<(KO, VO)>,
+    pub(crate) local_counters: Vec<(String, u64)>,
+    services: &'a ServiceHandle,
+    allocs: u64,
+    task: usize,
+}
+
+impl<'a, KO: Datum, VO: Datum> ReduceContext<'a, KO, VO> {
+    pub(crate) fn new(_counters: &'a Counters, services: &'a ServiceHandle, task: usize) -> Self {
+        Self {
+            out: Vec::new(),
+            local_counters: Vec::new(),
+            services,
+            allocs: 0,
+            task,
+        }
+    }
+
+    /// Flushes this attempt's buffered counter increments into `counters`
+    /// (the runtime calls this when the attempt succeeds; tests of
+    /// reducer logic may call it manually).
+    pub fn merge_counters_into(&self, counters: &Counters) {
+        for (name, delta) in &self.local_counters {
+            counters.incr(name, *delta);
+        }
+    }
+
+    /// A standalone context for unit-testing reducers outside a job run.
+    #[must_use]
+    pub fn for_testing(counters: &'a Counters, services: &'a ServiceHandle) -> Self {
+        Self::new(counters, services, 0)
+    }
+
+    /// Records emitted so far (primarily for tests of reducer logic).
+    #[must_use]
+    pub fn emitted(&self) -> &[(KO, VO)] {
+        &self.out
+    }
+
+    /// Emits one output record.
+    pub fn emit(&mut self, key: KO, value: VO) {
+        self.allocs += 1;
+        self.out.push((key, value));
+    }
+
+    /// Increments a named job counter (applied only if this task attempt
+    /// succeeds).
+    pub fn incr(&mut self, name: &str, delta: u64) {
+        if let Some(entry) = self.local_counters.iter_mut().find(|(n, _)| n == name) {
+            entry.1 += delta;
+        } else {
+            self.local_counters.push((name.to_owned(), delta));
+        }
+    }
+
+    /// Typed access to an attached stateful service.
+    ///
+    /// # Errors
+    /// [`MrError::ServiceMissing`] if not attached under `name`.
+    pub fn service<T: Service>(&self, name: &str) -> Result<&T, MrError> {
+        self.services.get(name)
+    }
+
+    /// Records `n` short-lived allocations (see [`MapContext::charge_allocs`]).
+    pub fn charge_allocs(&mut self, n: u64) {
+        self.allocs += n;
+    }
+
+    /// Index of the reduce partition this context belongs to.
+    #[must_use]
+    pub fn task(&self) -> usize {
+        self.task
+    }
+
+    pub(crate) fn allocs(&self) -> u64 {
+        self.allocs
+    }
+}
+
+/// Untyped job configuration shared by every stage of the builder.
+#[derive(Debug, Clone)]
+pub struct JobConfig {
+    /// Job name (for stats and diagnostics).
+    pub name: String,
+    /// Input record-file paths (read in order).
+    pub inputs: Vec<String>,
+    /// Output record-file path (must not exist).
+    pub output: String,
+    /// Number of reduce partitions.
+    pub reducers: usize,
+    /// Schimmy side input: a previous output, hash-partitioned the same
+    /// way, merged into reducers without being shuffled (paper Sec. IV-B).
+    pub schimmy: Option<String>,
+    /// Side-file blobs each map task reads (e.g. `AugmentedEdges`); the
+    /// cost model charges their bytes per map task.
+    pub side_blobs: Vec<String>,
+}
+
+/// First builder stage: paths, partitions, services.
+#[derive(Debug, Default)]
+pub struct JobBuilder {
+    name: String,
+    inputs: Vec<String>,
+    output: String,
+    reducers: usize,
+    schimmy: Option<String>,
+    side_blobs: Vec<String>,
+    services: ServiceHandle,
+}
+
+impl JobBuilder {
+    /// Starts describing a job.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            reducers: 1,
+            ..Self::default()
+        }
+    }
+
+    /// Adds an input path (may be called repeatedly).
+    #[must_use]
+    pub fn input(mut self, path: impl Into<String>) -> Self {
+        self.inputs.push(path.into());
+        self
+    }
+
+    /// Sets the output path.
+    #[must_use]
+    pub fn output(mut self, path: impl Into<String>) -> Self {
+        self.output = path.into();
+        self
+    }
+
+    /// Sets the number of reduce partitions (default 1).
+    #[must_use]
+    pub fn reducers(mut self, n: usize) -> Self {
+        self.reducers = n;
+        self
+    }
+
+    /// Declares a schimmy side input (see [`JobConfig::schimmy`]).
+    #[must_use]
+    pub fn schimmy_input(mut self, path: impl Into<String>) -> Self {
+        self.schimmy = Some(path.into());
+        self
+    }
+
+    /// Declares a side-file blob read by every map task.
+    #[must_use]
+    pub fn side_blob(mut self, path: impl Into<String>) -> Self {
+        self.side_blobs.push(path.into());
+        self
+    }
+
+    /// Attaches a stateful service under `name`.
+    #[must_use]
+    pub fn attach_service(mut self, name: &str, service: Arc<dyn Service>) -> Self {
+        self.services.attach(name, service);
+        self
+    }
+
+    /// Supplies the `MAP` function, fixing the input and intermediate
+    /// record types.
+    pub fn map<M, KI, VI, KM, VM>(self, mapper: M) -> MappedJob<KI, VI, KM, VM>
+    where
+        M: Mapper<KI, VI, KM, VM> + 'static,
+        KI: Datum,
+        VI: Datum,
+        KM: KeyDatum,
+        VM: Datum,
+    {
+        MappedJob {
+            config: JobConfig {
+                name: self.name,
+                inputs: self.inputs,
+                output: self.output,
+                reducers: self.reducers,
+                schimmy: self.schimmy,
+                side_blobs: self.side_blobs,
+            },
+            services: self.services,
+            mapper: Arc::new(mapper),
+            combiner: None,
+        }
+    }
+}
+
+/// Combiner function type: same shape as a reducer over intermediate types.
+pub(crate) type CombinerFn<KM, VM> =
+    Arc<dyn Fn(&KM, &mut dyn Iterator<Item = VM>, &mut MapContext<'_, KM, VM>) + Send + Sync>;
+
+/// Second builder stage: the mapper is fixed; add a combiner or the reducer.
+pub struct MappedJob<KI, VI, KM, VM>
+where
+    KM: KeyDatum,
+    VM: Datum,
+{
+    pub(crate) config: JobConfig,
+    pub(crate) services: ServiceHandle,
+    pub(crate) mapper: Arc<dyn Mapper<KI, VI, KM, VM>>,
+    pub(crate) combiner: Option<CombinerFn<KM, VM>>,
+}
+
+impl<KI, VI, KM, VM> MappedJob<KI, VI, KM, VM>
+where
+    KI: Datum,
+    VI: Datum,
+    KM: KeyDatum,
+    VM: Datum,
+{
+    /// Adds a combiner, run per map task over its local output groups.
+    #[must_use]
+    pub fn combine<C>(mut self, combiner: C) -> Self
+    where
+        C: Fn(&KM, &mut dyn Iterator<Item = VM>, &mut MapContext<'_, KM, VM>)
+            + Send
+            + Sync
+            + 'static,
+    {
+        self.combiner = Some(Arc::new(combiner));
+        self
+    }
+
+    /// Supplies the `REDUCE` function, completing the job.
+    pub fn reduce<R, KO, VO>(self, reducer: R) -> Job<KI, VI, KM, VM, KO, VO>
+    where
+        R: Reducer<KM, VM, KO, VO> + 'static,
+        KO: Datum,
+        VO: Datum,
+    {
+        Job {
+            config: self.config,
+            services: self.services,
+            mapper: self.mapper,
+            combiner: self.combiner,
+            reducer: Arc::new(reducer),
+        }
+    }
+}
+
+/// A fully-described MapReduce job, ready for
+/// [`MrRuntime::run`](crate::MrRuntime::run).
+pub struct Job<KI, VI, KM, VM, KO, VO>
+where
+    KM: KeyDatum,
+    VM: Datum,
+{
+    pub(crate) config: JobConfig,
+    pub(crate) services: ServiceHandle,
+    pub(crate) mapper: Arc<dyn Mapper<KI, VI, KM, VM>>,
+    pub(crate) combiner: Option<CombinerFn<KM, VM>>,
+    pub(crate) reducer: Arc<dyn Reducer<KM, VM, KO, VO>>,
+}
+
+impl<KI, VI, KM, VM, KO, VO> Job<KI, VI, KM, VM, KO, VO>
+where
+    KM: KeyDatum,
+    VM: Datum,
+{
+    /// The job's configuration.
+    #[must_use]
+    pub fn config(&self) -> &JobConfig {
+        &self.config
+    }
+}
+
+impl<KI, VI, KM, VM, KO, VO> std::fmt::Debug for Job<KI, VI, KM, VM, KO, VO>
+where
+    KM: KeyDatum,
+    VM: Datum,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job")
+            .field("config", &self.config)
+            .field("services", &self.services)
+            .field("combiner", &self.combiner.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_collects_config() {
+        let job = JobBuilder::new("j")
+            .input("a")
+            .input("b")
+            .output("o")
+            .reducers(7)
+            .schimmy_input("prev")
+            .side_blob("delta")
+            .map(|_k: &u64, _v: &u64, _ctx: &mut MapContext<'_, u64, u64>| {})
+            .reduce(
+                |_k: &u64,
+                 _vs: &mut dyn Iterator<Item = u64>,
+                 _ctx: &mut ReduceContext<'_, u64, u64>| {},
+            );
+        let cfg = job.config();
+        assert_eq!(cfg.inputs, vec!["a", "b"]);
+        assert_eq!(cfg.output, "o");
+        assert_eq!(cfg.reducers, 7);
+        assert_eq!(cfg.schimmy.as_deref(), Some("prev"));
+        assert_eq!(cfg.side_blobs, vec!["delta"]);
+    }
+
+    #[test]
+    fn contexts_collect_emissions_and_allocs() {
+        let counters = Counters::new();
+        let services = ServiceHandle::new();
+        let mut ctx: MapContext<'_, u64, u64> = MapContext::new(&counters, &services, 3);
+        ctx.emit(1, 2);
+        ctx.emit(3, 4);
+        ctx.charge_allocs(10);
+        ctx.incr("seen", 2);
+        ctx.incr("seen", 3);
+        assert_eq!(ctx.out.len(), 2);
+        assert_eq!(ctx.allocs(), 12);
+        assert_eq!(ctx.task(), 3);
+        assert_eq!(counters.value("seen"), 0, "buffered until the attempt succeeds");
+        ctx.merge_counters_into(&counters);
+        assert_eq!(counters.value("seen"), 5);
+    }
+
+    #[test]
+    fn struct_mapper_with_finish_split() {
+        struct Flusher;
+        impl Mapper<u64, u64, u64, u64> for Flusher {
+            fn map(&self, _k: &u64, _v: &u64, _ctx: &mut MapContext<'_, u64, u64>) {}
+            fn finish_split(&self, ctx: &mut MapContext<'_, u64, u64>) {
+                ctx.emit(99, 99);
+            }
+        }
+        let counters = Counters::new();
+        let services = ServiceHandle::new();
+        let mut ctx = MapContext::new(&counters, &services, 0);
+        Flusher.map(&1, &1, &mut ctx);
+        Flusher.finish_split(&mut ctx);
+        assert_eq!(ctx.out, vec![(99, 99)]);
+    }
+}

@@ -1,0 +1,728 @@
+//! The job executor: really runs map → shuffle → reduce on host threads,
+//! while pricing the job against the cluster cost model.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::VecDeque;
+use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use std::sync::Arc;
+
+use crate::cluster::{ClusterConfig, PhaseCost, TaskCost};
+use crate::counters::Counters;
+use crate::dfs::{Dfs, DfsFile, InputSplit, Partition};
+use crate::error::MrError;
+use crate::job::{Job, MapContext, ReduceContext};
+use crate::record::{encode_record, record_len, Datum, KeyDatum};
+use crate::stats::JobStats;
+
+/// An environment-fault injector: `(phase, task, attempt) -> crash?`.
+pub type FaultInjector = Arc<dyn Fn(&'static str, usize, u32) -> bool + Send + Sync>;
+
+/// One task's outcome slot in the parallel runner.
+type TaskSlot<R> = Option<Result<(R, u32), MrError>>;
+
+/// Decides how task failures are handled, mirroring Hadoop's
+/// `mapred.map.max.attempts`: a failed task attempt (a panic in the user
+/// function, or an injected environment fault) is retried up to
+/// `max_attempts` times before the whole job fails. Failed attempts'
+/// counter increments are discarded; their runtime is still charged to
+/// the simulated clock (the slot was occupied).
+#[derive(Clone)]
+pub struct FailurePolicy {
+    /// Attempts per task before the job fails (Hadoop's default is 4).
+    pub max_attempts: u32,
+    /// Environment-fault injector: `(phase, task, attempt) -> crash?`,
+    /// consulted before each attempt. Deterministic injectors make fault
+    /// tests reproducible.
+    pub injector: Option<FaultInjector>,
+}
+
+impl std::fmt::Debug for FailurePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FailurePolicy")
+            .field("max_attempts", &self.max_attempts)
+            .field("injector", &self.injector.is_some())
+            .finish()
+    }
+}
+
+impl Default for FailurePolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 1,
+            injector: None,
+        }
+    }
+}
+
+impl FailurePolicy {
+    /// Hadoop's default: 4 attempts per task, no injected faults.
+    #[must_use]
+    pub fn hadoop_default() -> Self {
+        Self {
+            max_attempts: 4,
+            injector: None,
+        }
+    }
+
+    /// A policy that injects a fault whenever `f(phase, task, attempt)`
+    /// says so, with the given attempt budget.
+    #[must_use]
+    pub fn with_injector(
+        max_attempts: u32,
+        f: impl Fn(&'static str, usize, u32) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            max_attempts,
+            injector: Some(Arc::new(f)),
+        }
+    }
+}
+
+/// Executes jobs against a [`Dfs`] and accumulates simulated time.
+///
+/// See the [crate docs](crate) for a full word-count example.
+#[derive(Debug)]
+pub struct MrRuntime {
+    cluster: ClusterConfig,
+    dfs: Dfs,
+    worker_threads: Option<usize>,
+    total_sim_seconds: f64,
+    failure_policy: FailurePolicy,
+}
+
+impl MrRuntime {
+    /// Creates a runtime simulating `cluster`.
+    #[must_use]
+    pub fn new(cluster: ClusterConfig) -> Self {
+        Self {
+            cluster,
+            dfs: Dfs::new(),
+            worker_threads: None,
+            total_sim_seconds: 0.0,
+            failure_policy: FailurePolicy::default(),
+        }
+    }
+
+    /// Sets the task failure-handling policy (default: no retries).
+    pub fn set_failure_policy(&mut self, policy: FailurePolicy) {
+        self.failure_policy = policy;
+    }
+
+    /// The simulated cluster configuration.
+    #[must_use]
+    pub fn cluster(&self) -> &ClusterConfig {
+        &self.cluster
+    }
+
+    /// Replaces the cluster model (affects subsequent jobs only).
+    pub fn set_cluster(&mut self, cluster: ClusterConfig) {
+        self.cluster = cluster;
+    }
+
+    /// Limits host worker threads (`Some(1)` gives fully deterministic
+    /// service-call ordering; default uses available parallelism).
+    pub fn set_worker_threads(&mut self, n: Option<usize>) {
+        self.worker_threads = n;
+    }
+
+    /// Shared access to the simulated DFS.
+    #[must_use]
+    pub fn dfs(&self) -> &Dfs {
+        &self.dfs
+    }
+
+    /// Mutable access to the simulated DFS (for loading inputs, deleting
+    /// intermediate round outputs, writing side blobs).
+    pub fn dfs_mut(&mut self) -> &mut Dfs {
+        &mut self.dfs
+    }
+
+    /// Simulated seconds accumulated across every job run so far.
+    #[must_use]
+    pub fn total_sim_seconds(&self) -> f64 {
+        self.total_sim_seconds
+    }
+
+    /// Runs one job to completion.
+    ///
+    /// # Errors
+    /// Fails if the configuration is invalid, an input is missing, the
+    /// output exists, a record fails to decode, or a task panics.
+    pub fn run<KI, VI, KM, VM, KO, VO>(
+        &mut self,
+        job: Job<KI, VI, KM, VM, KO, VO>,
+    ) -> Result<JobStats, MrError>
+    where
+        KI: Datum,
+        VI: Datum,
+        KM: KeyDatum,
+        VM: Datum,
+        KO: Datum,
+        VO: Datum,
+    {
+        let wall_start = Instant::now();
+        let cfg = job.config().clone();
+        if cfg.reducers == 0 {
+            return Err(MrError::InvalidJob("reducers must be > 0".into()));
+        }
+        if cfg.inputs.is_empty() {
+            return Err(MrError::InvalidJob("no input paths".into()));
+        }
+        if self.dfs.exists(&cfg.output) {
+            return Err(MrError::OutputExists(cfg.output.clone()));
+        }
+
+        let counters = Counters::new();
+        job.services.begin_round();
+
+        // ------------------------------------------------- map phase
+        // One map task per block-sized, record-aligned input split
+        // (Hadoop's InputSplit), across all input files.
+        let block_bytes = (self.cluster.dfs_block_mb * 1024.0 * 1024.0).max(1.0) as usize;
+        let mut splits: Vec<InputSplit<'_>> = Vec::new();
+        for input in &cfg.inputs {
+            self.dfs.check_available(input)?;
+            let file = self.dfs.file(input)?;
+            for partition in &file.partitions {
+                for (a, b, records) in partition.splits(block_bytes)? {
+                    splits.push(InputSplit {
+                        data: &partition.data[a..b],
+                        records,
+                    });
+                }
+            }
+        }
+        if let Some(schimmy) = &cfg.schimmy {
+            self.dfs.check_available(schimmy)?;
+        }
+        let side_bytes: u64 = cfg.side_blobs.iter().map(|p| self.dfs.blob_bytes(p)).sum();
+
+        let reducers = cfg.reducers;
+        let mapper = &job.mapper;
+        let combiner = &job.combiner;
+        let services = &job.services;
+
+        struct MapResult<KM, VM> {
+            // Per reduce partition: records and their wire sizes.
+            by_partition: Vec<Vec<(KM, VM, usize)>>,
+            input_records: u64,
+            output_records: u64,
+            cost: TaskCost,
+        }
+
+        let map_results: Vec<(MapResult<KM, VM>, u32)> = run_parallel(
+            "map",
+            self.worker_threads,
+            &self.failure_policy,
+            splits,
+            |task_idx, split| -> Result<MapResult<KM, VM>, MrError> {
+                let records: Vec<(KI, VI)> = split.decode_all()?;
+                let input_records = records.len() as u64;
+                let mut ctx = MapContext::new(&counters, services, task_idx);
+                for (k, v) in &records {
+                    mapper.map(k, v, &mut ctx);
+                }
+                mapper.finish_split(&mut ctx);
+                let output_records = ctx.out.len() as u64;
+                let mut allocs = ctx.allocs() + input_records;
+                ctx.merge_counters_into(&counters);
+                let mut out = ctx.out;
+
+                // Optional combiner: group task-local output by key.
+                if let Some(comb) = combiner {
+                    out.sort_by(|a, b| a.0.cmp(&b.0));
+                    let mut cctx = MapContext::new(&counters, services, task_idx);
+                    let mut it = out.into_iter().peekable();
+                    while let Some((key, first)) = it.next() {
+                        let mut group = vec![first];
+                        while it.peek().is_some_and(|(k, _)| *k == key) {
+                            group.push(it.next().expect("peeked").1);
+                        }
+                        comb(&key, &mut group.into_iter(), &mut cctx);
+                    }
+                    allocs += cctx.allocs();
+                    cctx.merge_counters_into(&counters);
+                    out = cctx.out;
+                }
+
+                // Partition and size the (possibly combined) output.
+                let mut by_partition: Vec<Vec<(KM, VM, usize)>> =
+                    (0..reducers).map(|_| Vec::new()).collect();
+                let mut spill_bytes = 0u64;
+                for (k, v) in out {
+                    let len = record_len(&k, &v);
+                    spill_bytes += len as u64;
+                    by_partition[partition_of(&k, reducers)].push((k, v, len));
+                }
+
+                let cost = TaskCost {
+                    read_bytes: split.data.len() as u64 + side_bytes,
+                    write_bytes: spill_bytes,
+                    records: input_records + output_records,
+                    allocs,
+                };
+                Ok(MapResult {
+                    by_partition,
+                    input_records,
+                    output_records,
+                    cost,
+                })
+            },
+        )?;
+
+        let mut map_phase = PhaseCost::new();
+        let mut map_input_records = 0u64;
+        let mut map_output_records = 0u64;
+        let mut input_bytes = 0u64;
+        let mut failed_attempts = 0u64;
+        for (r, attempts) in &map_results {
+            // Failed attempts occupied a slot for about as long as the
+            // successful one; charge them.
+            map_phase.push_task(r.cost.seconds(&self.cluster) * f64::from(*attempts));
+            failed_attempts += u64::from(attempts - 1);
+            map_input_records += r.input_records;
+            map_output_records += r.output_records;
+            input_bytes += r.cost.read_bytes - side_bytes;
+        }
+        let map_tasks = map_results.len();
+
+        // ------------------------------------------------- shuffle
+        // Route every intermediate record to its reduce partition, counting
+        // total fetched bytes (Hadoop's reduce-shuffle-bytes) and the subset
+        // that crosses node boundaries (network time).
+        let mut groups_in: Vec<Vec<(KM, VM)>> = (0..reducers).map(|_| Vec::new()).collect();
+        let mut partition_bytes: Vec<u64> = vec![0; reducers];
+        let mut shuffle_bytes = 0u64;
+        let mut cross_node_bytes = 0u64;
+        for (task_idx, (result, _)) in map_results.into_iter().enumerate() {
+            let from_node = self.cluster.map_node(task_idx);
+            for (p, records) in result.by_partition.into_iter().enumerate() {
+                let to_node = self.cluster.reduce_node(p);
+                for (k, v, len) in records {
+                    shuffle_bytes += len as u64;
+                    partition_bytes[p] += len as u64;
+                    if from_node != to_node {
+                        cross_node_bytes += len as u64;
+                    }
+                    groups_in[p].push((k, v));
+                }
+            }
+        }
+
+        let mb = 1024.0 * 1024.0;
+        let net_agg = self.cluster.net_mb_per_s * self.cluster.nodes as f64;
+        let disk_agg = self.cluster.disk_mb_per_s * self.cluster.nodes as f64;
+        let shuffle_seconds = cross_node_bytes as f64 / mb / net_agg
+            + self.cluster.sort_factor * shuffle_bytes as f64 / mb / disk_agg;
+
+        // ------------------------------------------------- reduce phase
+        // Schimmy: pull the matching partition of a previous output and
+        // merge it with the shuffled records by key, without shuffling it.
+        let schimmy_file: Option<&DfsFile> = match &cfg.schimmy {
+            Some(path) => {
+                let f = self.dfs.file(path)?;
+                if f.partitions.len() != reducers {
+                    return Err(MrError::InvalidJob(format!(
+                        "schimmy input {} has {} partitions, job has {} reducers",
+                        path,
+                        f.partitions.len(),
+                        reducers
+                    )));
+                }
+                Some(f)
+            }
+            None => None,
+        };
+
+        let reducer = &job.reducer;
+        struct ReduceResult {
+            partition: Partition,
+            output_records: u64,
+            cost: TaskCost,
+            schimmy_bytes: u64,
+        }
+
+        let reduce_inputs: Vec<(Vec<(KM, VM)>, u64)> = groups_in
+            .into_iter()
+            .zip(partition_bytes.iter().copied())
+            .collect();
+
+        let reduce_results: Vec<(ReduceResult, u32)> = run_parallel(
+            "reduce",
+            self.worker_threads,
+            &self.failure_policy,
+            reduce_inputs,
+            |r, (mut records, fetched_bytes)| -> Result<ReduceResult, MrError> {
+                // Stable sort groups equal keys while preserving map-task
+                // order within a group (deterministic value order).
+                records.sort_by(|a, b| a.0.cmp(&b.0));
+                let consumed = records.len() as u64;
+
+                let (schimmy_records, schimmy_bytes): (Vec<(KM, VM)>, u64) = match schimmy_file {
+                    Some(f) => {
+                        let part = &f.partitions[r];
+                        let mut recs: Vec<(KM, VM)> = part.decode_all()?;
+                        recs.sort_by(|a, b| a.0.cmp(&b.0));
+                        (recs, part.data.len() as u64)
+                    }
+                    None => (Vec::new(), 0),
+                };
+
+                let mut ctx = ReduceContext::new(&counters, services, r);
+                merge_reduce(schimmy_records, records, |key, values| {
+                    reducer.reduce(key, values, &mut ctx);
+                });
+                ctx.merge_counters_into(&counters);
+
+                let output_records = ctx.out.len() as u64;
+                let allocs = ctx.allocs() + consumed;
+                let mut data = Vec::new();
+                for (k, v) in &ctx.out {
+                    encode_record(k, v, &mut data);
+                }
+                let cost = TaskCost {
+                    read_bytes: fetched_bytes + schimmy_bytes,
+                    write_bytes: data.len() as u64,
+                    records: consumed + output_records,
+                    allocs,
+                };
+                Ok(ReduceResult {
+                    partition: Partition {
+                        data,
+                        records: output_records,
+                        home_node: self.cluster.reduce_node(r),
+                    },
+                    output_records,
+                    cost,
+                    schimmy_bytes,
+                })
+            },
+        )?;
+
+        job.services.end_round();
+
+        let mut reduce_phase = PhaseCost::new();
+        let mut reduce_output_records = 0u64;
+        let mut output_bytes = 0u64;
+        let mut schimmy_bytes = 0u64;
+        let mut partitions = Vec::with_capacity(reducers);
+        for (r, attempts) in reduce_results {
+            reduce_phase.push_task(r.cost.seconds(&self.cluster) * f64::from(attempts));
+            failed_attempts += u64::from(attempts - 1);
+            reduce_output_records += r.output_records;
+            output_bytes += r.partition.data.len() as u64;
+            schimmy_bytes += r.schimmy_bytes;
+            partitions.push(r.partition);
+        }
+        let reduce_tasks = partitions.len();
+        self.dfs.insert_file(&cfg.output, DfsFile { partitions })?;
+
+        // Replication traffic for the extra DFS copies.
+        let replication_seconds = output_bytes as f64
+            * f64::from(self.cluster.dfs_replication.saturating_sub(1))
+            / mb
+            / net_agg;
+
+        let sim_seconds = self.cluster.round_overhead_s
+            + map_phase.makespan(self.cluster.total_map_slots())
+            + shuffle_seconds
+            + reduce_phase.makespan(self.cluster.total_reduce_slots())
+            + replication_seconds;
+        self.total_sim_seconds += sim_seconds;
+
+        Ok(JobStats {
+            name: cfg.name,
+            map_input_records,
+            map_output_records,
+            map_output_bytes: shuffle_bytes,
+            shuffle_bytes,
+            reduce_output_records,
+            output_bytes,
+            input_bytes,
+            schimmy_bytes,
+            map_tasks,
+            reduce_tasks,
+            failed_attempts,
+            sim_seconds,
+            wall_seconds: wall_start.elapsed().as_secs_f64(),
+            counters: counters.snapshot(),
+        })
+    }
+}
+
+/// Stable hash partitioner (deterministic across runs and platforms for a
+/// given std release; FF only relies on within-run stability).
+pub(crate) fn partition_of<K: Hash>(key: &K, partitions: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % partitions as u64) as usize
+}
+
+/// Merges key-sorted schimmy records with key-sorted shuffled records and
+/// invokes `f` once per distinct key, schimmy values first.
+fn merge_reduce<K: Ord, V>(
+    schimmy: Vec<(K, V)>,
+    shuffled: Vec<(K, V)>,
+    mut f: impl FnMut(&K, &mut dyn Iterator<Item = V>),
+) {
+    let mut a = schimmy.into_iter().peekable();
+    let mut b = shuffled.into_iter().peekable();
+    loop {
+        let take_a = match (a.peek(), b.peek()) {
+            (None, None) => return,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (Some((ka, _)), Some((kb, _))) => ka <= kb,
+        };
+        let (key, first) = if take_a {
+            a.next().expect("peeked")
+        } else {
+            b.next().expect("peeked")
+        };
+        let mut values = Vec::new();
+        values.push(first);
+        while a.peek().is_some_and(|(k, _)| *k == key) {
+            values.push(a.next().expect("peeked").1);
+        }
+        while b.peek().is_some_and(|(k, _)| *k == key) {
+            values.push(b.next().expect("peeked").1);
+        }
+        f(&key, &mut values.into_iter());
+    }
+}
+
+/// Runs `f` over `items` on a small thread pool, preserving result order,
+/// converting panics into [`MrError::TaskFailed`], and retrying failed
+/// tasks per the [`FailurePolicy`]. Returns each result with the number
+/// of attempts it took.
+fn run_parallel<T, R, F>(
+    phase: &'static str,
+    worker_threads: Option<usize>,
+    policy: &FailurePolicy,
+    items: Vec<T>,
+    f: F,
+) -> Result<Vec<(R, u32)>, MrError>
+where
+    T: Send + Clone,
+    R: Send,
+    F: Fn(usize, T) -> Result<R, MrError> + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let workers = worker_threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        })
+        .clamp(1, n);
+
+    if workers == 1 {
+        // Fast path, also the deterministic mode.
+        let mut out = Vec::with_capacity(n);
+        for (i, item) in items.into_iter().enumerate() {
+            out.push(run_task_with_retry(phase, policy, i, item, &f)?);
+        }
+        return Ok(out);
+    }
+
+    let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let results: Mutex<Vec<TaskSlot<R>>> = Mutex::new((0..n).map(|_| None).collect());
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let next = queue.lock().pop_front();
+                let Some((i, item)) = next else { break };
+                let result = run_task_with_retry(phase, policy, i, item, &f);
+                results.lock()[i] = Some(result);
+            });
+        }
+    });
+
+    results
+        .into_inner()
+        .into_iter()
+        .map(|slot| slot.expect("every task produced a result"))
+        .collect()
+}
+
+/// One task with the policy's retry budget; returns the result and the
+/// attempts consumed.
+fn run_task_with_retry<T, R>(
+    phase: &'static str,
+    policy: &FailurePolicy,
+    index: usize,
+    item: T,
+    f: &(impl Fn(usize, T) -> Result<R, MrError> + Sync),
+) -> Result<(R, u32), MrError>
+where
+    T: Clone,
+{
+    let budget = policy.max_attempts.max(1);
+    let mut attempt = 0u32;
+    loop {
+        // Injected environment fault: the attempt dies before user code.
+        let injected = policy
+            .injector
+            .as_ref()
+            .is_some_and(|inject| inject(phase, index, attempt));
+        let result = if injected {
+            Err(MrError::TaskFailed {
+                phase,
+                task: index,
+                message: format!("injected environment fault (attempt {attempt})"),
+            })
+        } else {
+            run_task(phase, index, item.clone(), f)
+        };
+        attempt += 1;
+        match result {
+            Ok(r) => return Ok((r, attempt)),
+            Err(e) if attempt >= budget => return Err(e),
+            Err(_) => {} // retry
+        }
+    }
+}
+
+fn run_task<T, R>(
+    phase: &'static str,
+    index: usize,
+    item: T,
+    f: &(impl Fn(usize, T) -> Result<R, MrError> + Sync),
+) -> Result<R, MrError> {
+    match catch_unwind(AssertUnwindSafe(|| f(index, item))) {
+        Ok(result) => result,
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(ToString::to_string)
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic".to_string());
+            Err(MrError::TaskFailed {
+                phase,
+                task: index,
+                message,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitioner_is_stable_and_in_range() {
+        for k in 0u64..1000 {
+            let p = partition_of(&k, 7);
+            assert!(p < 7);
+            assert_eq!(p, partition_of(&k, 7));
+        }
+    }
+
+    #[test]
+    fn merge_reduce_unions_keys_schimmy_first() {
+        let schimmy = vec![(1, "m1"), (3, "m3")];
+        let shuffled = vec![(1, "f1a"), (1, "f1b"), (2, "f2")];
+        let mut seen = Vec::new();
+        merge_reduce(schimmy, shuffled, |k, vs| {
+            seen.push((*k, vs.collect::<Vec<_>>()));
+        });
+        assert_eq!(
+            seen,
+            vec![
+                (1, vec!["m1", "f1a", "f1b"]),
+                (2, vec!["f2"]),
+                (3, vec!["m3"]),
+            ]
+        );
+    }
+
+    #[test]
+    fn merge_reduce_empty_sides() {
+        let mut count = 0;
+        merge_reduce(Vec::<(u64, ())>::new(), Vec::new(), |_, _| count += 1);
+        assert_eq!(count, 0);
+        merge_reduce(vec![(1u64, ())], Vec::new(), |_, _| count += 1);
+        assert_eq!(count, 1);
+        merge_reduce(Vec::new(), vec![(1u64, ())], |_, _| count += 1);
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn run_parallel_preserves_order() {
+        let policy = FailurePolicy::default();
+        let out = run_parallel("map", Some(4), &policy, (0..100).collect(), |i, x: i32| {
+            Ok(i as i32 * 2 + x - x)
+        })
+        .unwrap();
+        let values: Vec<i32> = out.into_iter().map(|(v, _)| v).collect();
+        assert_eq!(values, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_parallel_surfaces_panics() {
+        let policy = FailurePolicy::default();
+        let err = run_parallel("reduce", Some(2), &policy, vec![1, 2, 3], |_, x: i32| {
+            assert!(x != 2, "boom on two");
+            Ok(x)
+        })
+        .unwrap_err();
+        match err {
+            MrError::TaskFailed { phase, message, .. } => {
+                assert_eq!(phase, "reduce");
+                assert!(message.contains("boom"), "message: {message}");
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn run_parallel_empty() {
+        let policy = FailurePolicy::default();
+        let out: Vec<(i32, u32)> =
+            run_parallel("map", None, &policy, Vec::<i32>::new(), |_, x| Ok(x)).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn retry_recovers_from_transient_faults() {
+        // Fail every task's first attempt; all succeed on the second.
+        let policy = FailurePolicy::with_injector(3, |_, _, attempt| attempt == 0);
+        let out = run_parallel("map", Some(2), &policy, vec![10, 20, 30], |_, x: i32| Ok(x))
+            .unwrap();
+        for (v, attempts) in out {
+            assert!(v >= 10);
+            assert_eq!(attempts, 2);
+        }
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_fails_the_job() {
+        let policy = FailurePolicy::with_injector(2, |_, task, _| task == 1);
+        let err = run_parallel("map", Some(2), &policy, vec![1, 2, 3], |_, x: i32| Ok(x))
+            .unwrap_err();
+        assert!(matches!(err, MrError::TaskFailed { task: 1, .. }));
+    }
+
+    #[test]
+    fn user_panics_are_also_retried() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        static CALLS: AtomicU32 = AtomicU32::new(0);
+        let policy = FailurePolicy::hadoop_default();
+        let out = run_parallel("map", Some(1), &policy, vec![1], |_, x: i32| {
+            if CALLS.fetch_add(1, Ordering::SeqCst) < 2 {
+                panic!("flaky");
+            }
+            Ok(x)
+        })
+        .unwrap();
+        assert_eq!(out[0], (1, 3));
+    }
+}

@@ -1,0 +1,93 @@
+//! Sequential maximum-flow reference algorithms.
+//!
+//! These are the in-memory baselines and correctness oracles for the FFMR
+//! reproduction: the Ford–Fulkerson schema the paper parallelizes, the
+//! classic strongly-polynomial refinements the paper cites (Edmonds–Karp
+//! \[31\], Dinic \[30\]) and the Push–Relabel comparator it argues is
+//! MR-unsuitable \[13\].
+//!
+//! All solvers share the [`FlowResult`] representation over
+//! [`swgraph::FlowNetwork`]'s paired edges and are cross-validated against
+//! each other in the test suite.
+//!
+//! # Example
+//!
+//! ```
+//! use swgraph::{FlowNetwork, VertexId};
+//! use maxflow::dinic;
+//!
+//! // Two disjoint unit paths from 0 to 3.
+//! let net = FlowNetwork::from_undirected_unit(4, &[(0, 1), (1, 3), (0, 2), (2, 3)]);
+//! let result = dinic::max_flow(&net, VertexId::new(0), VertexId::new(3));
+//! assert_eq!(result.value, 2);
+//! maxflow::validate::check_flow(&net, VertexId::new(0), VertexId::new(3), &result).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod capacity_scaling;
+pub mod dinic;
+pub mod edmonds_karp;
+pub mod ford_fulkerson;
+pub mod min_cut;
+pub mod push_relabel;
+pub mod residual;
+pub mod validate;
+
+pub use residual::{FlowResult, Residual};
+
+use swgraph::{FlowNetwork, VertexId};
+
+/// Which sequential algorithm to run (handy for parameterized tests and
+/// benches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Algorithm {
+    /// DFS-based Ford–Fulkerson.
+    FordFulkerson,
+    /// BFS shortest-augmenting-path (Edmonds–Karp).
+    EdmondsKarp,
+    /// Dinic's layered blocking flow.
+    Dinic,
+    /// FIFO Push–Relabel with the gap heuristic.
+    PushRelabel,
+    /// Capacity-scaling Ford–Fulkerson.
+    CapacityScaling,
+}
+
+impl Algorithm {
+    /// Every implemented algorithm.
+    pub const ALL: [Algorithm; 5] = [
+        Algorithm::FordFulkerson,
+        Algorithm::EdmondsKarp,
+        Algorithm::Dinic,
+        Algorithm::PushRelabel,
+        Algorithm::CapacityScaling,
+    ];
+
+    /// Runs this algorithm on `net` from `s` to `t`.
+    #[must_use]
+    pub fn run(self, net: &FlowNetwork, s: VertexId, t: VertexId) -> FlowResult {
+        match self {
+            Algorithm::FordFulkerson => ford_fulkerson::max_flow(net, s, t),
+            Algorithm::EdmondsKarp => edmonds_karp::max_flow(net, s, t),
+            Algorithm::Dinic => dinic::max_flow(net, s, t),
+            Algorithm::PushRelabel => push_relabel::max_flow(net, s, t),
+            Algorithm::CapacityScaling => capacity_scaling::max_flow(net, s, t),
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Algorithm::FordFulkerson => "ford-fulkerson",
+            Algorithm::EdmondsKarp => "edmonds-karp",
+            Algorithm::Dinic => "dinic",
+            Algorithm::PushRelabel => "push-relabel",
+            Algorithm::CapacityScaling => "capacity-scaling",
+        };
+        f.write_str(name)
+    }
+}

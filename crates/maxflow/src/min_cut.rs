@@ -1,0 +1,130 @@
+//! Minimum-cut extraction from a finished max-flow.
+//!
+//! The applications that motivate the paper — community identification,
+//! spam detection, Sybil-resistant vote counting — all consume the *cut*,
+//! not just the flow value, so the workspace exposes it as a first-class
+//! result.
+
+use std::collections::VecDeque;
+
+use swgraph::{Capacity, EdgeId, FlowNetwork, VertexId};
+
+use crate::residual::FlowResult;
+
+/// A minimum `s`–`t` cut.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinCut {
+    /// Vertices on the source side (reachable in the final residual graph).
+    pub source_side: Vec<VertexId>,
+    /// Saturated directed edges crossing from the source side to the sink
+    /// side.
+    pub cut_edges: Vec<EdgeId>,
+    /// Total capacity of `cut_edges` (equals the max-flow value by the
+    /// max-flow/min-cut theorem).
+    pub value: Capacity,
+}
+
+/// Extracts the minimum cut witnessed by a maximum flow: BFS from `s`
+/// over positive-residual edges, then collect the saturated boundary.
+///
+/// # Example
+/// ```
+/// use swgraph::{FlowNetwork, VertexId};
+/// let net = FlowNetwork::from_undirected_unit(3, &[(0, 1), (1, 2)]);
+/// let (s, t) = (VertexId::new(0), VertexId::new(2));
+/// let f = maxflow::dinic::max_flow(&net, s, t);
+/// let cut = maxflow::min_cut::extract_min_cut(&net, s, &f);
+/// assert_eq!(cut.value, f.value);
+/// ```
+#[must_use]
+pub fn extract_min_cut(net: &FlowNetwork, s: VertexId, flow: &FlowResult) -> MinCut {
+    let n = net.num_vertices();
+    let mut reachable = vec![false; n];
+    if s.index() < n {
+        reachable[s.index()] = true;
+        let mut queue = VecDeque::new();
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for e in net.out_edges(u) {
+                let v = net.head(e);
+                if !reachable[v.index()] && net.capacity(e) - flow.flow(e) > 0 {
+                    reachable[v.index()] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    let mut cut_edges = Vec::new();
+    let mut value: Capacity = 0;
+    for u in 0..n {
+        if !reachable[u] {
+            continue;
+        }
+        for e in net.out_edges(VertexId::new(u as u64)) {
+            if net.capacity(e) > 0 && !reachable[net.head(e).index()] {
+                cut_edges.push(e);
+                value = value.saturating_add(net.capacity(e));
+            }
+        }
+    }
+    let source_side = (0..n)
+        .filter(|&u| reachable[u])
+        .map(|u| VertexId::new(u as u64))
+        .collect();
+    MinCut {
+        source_side,
+        cut_edges,
+        value,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dinic;
+    use swgraph::gen;
+    use swgraph::FlowNetworkBuilder;
+
+    #[test]
+    fn cut_value_equals_flow_value() {
+        for seed in 0..10 {
+            let edges = gen::erdos_renyi(30, 70, seed);
+            let net = FlowNetwork::from_undirected_unit(30, &edges);
+            let (s, t) = (VertexId::new(0), VertexId::new(29));
+            let f = dinic::max_flow(&net, s, t);
+            let cut = extract_min_cut(&net, s, &f);
+            assert_eq!(cut.value, f.value, "seed {seed}");
+            assert!(cut.source_side.contains(&s));
+            assert!(!cut.source_side.contains(&t) || f.value == 0);
+        }
+    }
+
+    #[test]
+    fn bottleneck_edge_is_the_cut() {
+        // 0 -> 1 (cap 10) -> 2 (cap 1) -> 3 (cap 10): the cut is {1->2}.
+        let mut b = FlowNetworkBuilder::new(4);
+        b.add_edge(0, 1, 10);
+        b.add_edge(1, 2, 1);
+        b.add_edge(2, 3, 10);
+        let net = b.build();
+        let (s, t) = (VertexId::new(0), VertexId::new(3));
+        let f = dinic::max_flow(&net, s, t);
+        let cut = extract_min_cut(&net, s, &f);
+        assert_eq!(cut.value, 1);
+        assert_eq!(cut.cut_edges.len(), 1);
+        let e = cut.cut_edges[0];
+        assert_eq!(net.tail(e), VertexId::new(1));
+        assert_eq!(net.head(e), VertexId::new(2));
+    }
+
+    #[test]
+    fn disconnected_cut_is_empty() {
+        let net = FlowNetwork::from_undirected_unit(4, &[(0, 1), (2, 3)]);
+        let (s, t) = (VertexId::new(0), VertexId::new(3));
+        let f = dinic::max_flow(&net, s, t);
+        let cut = extract_min_cut(&net, s, &f);
+        assert_eq!(cut.value, 0);
+        assert!(cut.cut_edges.is_empty());
+        assert_eq!(cut.source_side.len(), 2);
+    }
+}

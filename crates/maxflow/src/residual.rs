@@ -1,0 +1,168 @@
+//! Shared residual-graph bookkeeping for all sequential solvers.
+
+use swgraph::{Capacity, EdgeId, FlowNetwork, VertexId};
+
+/// Mutable flow state over a [`FlowNetwork`].
+///
+/// Maintains the skew-symmetry invariant `f(e) == -f(e.reverse())` on every
+/// push, so the residual capacity of either direction is always
+/// `capacity - flow`.
+///
+/// # Example
+/// ```
+/// use swgraph::{FlowNetwork, VertexId};
+/// use maxflow::Residual;
+///
+/// let net = FlowNetwork::from_undirected_unit(2, &[(0, 1)]);
+/// let mut r = Residual::new(&net);
+/// let e = net.out_edges(VertexId::new(0)).next().unwrap();
+/// assert_eq!(r.residual_capacity(e), 1);
+/// r.push(e, 1);
+/// assert_eq!(r.residual_capacity(e), 0);
+/// assert_eq!(r.residual_capacity(e.reverse()), 2); // 1 cap + 1 returned
+/// ```
+#[derive(Debug, Clone)]
+pub struct Residual<'a> {
+    net: &'a FlowNetwork,
+    flow: Vec<Capacity>,
+}
+
+impl<'a> Residual<'a> {
+    /// Zero flow over `net`.
+    #[must_use]
+    pub fn new(net: &'a FlowNetwork) -> Self {
+        Self {
+            net,
+            flow: vec![0; net.num_directed_edges()],
+        }
+    }
+
+    /// The underlying network (borrowing for the network's own lifetime,
+    /// so callers can keep it while pushing flow).
+    #[must_use]
+    pub fn network(&self) -> &'a FlowNetwork {
+        self.net
+    }
+
+    /// Current flow on directed edge `e` (negative when the reverse
+    /// direction carries flow).
+    #[must_use]
+    pub fn flow(&self, e: EdgeId) -> Capacity {
+        self.flow[e.index()]
+    }
+
+    /// Residual capacity of `e`: how much more flow it can carry.
+    #[must_use]
+    pub fn residual_capacity(&self, e: EdgeId) -> Capacity {
+        self.net.capacity(e) - self.flow[e.index()]
+    }
+
+    /// Sends `amount` additional flow along `e`, updating both directions.
+    ///
+    /// # Panics
+    /// Panics (debug) if `amount` exceeds the residual capacity.
+    pub fn push(&mut self, e: EdgeId, amount: Capacity) {
+        debug_assert!(
+            amount <= self.residual_capacity(e),
+            "over-push on {e}: {amount} > {}",
+            self.residual_capacity(e)
+        );
+        self.flow[e.index()] += amount;
+        self.flow[e.reverse().index()] -= amount;
+    }
+
+    /// Net flow out of `s` (the flow value when `s` is the source);
+    /// 0 for an out-of-range vertex.
+    #[must_use]
+    pub fn value_from(&self, s: VertexId) -> Capacity {
+        if s.index() >= self.net.num_vertices() {
+            return 0;
+        }
+        self.net.out_edges(s).map(|e| self.flow(e)).sum()
+    }
+
+    /// Finalizes into a [`FlowResult`] with the value measured at `s`.
+    #[must_use]
+    pub fn into_result(self, s: VertexId) -> FlowResult {
+        let value = self.value_from(s);
+        FlowResult {
+            value,
+            flows: self.flow,
+        }
+    }
+}
+
+/// The output of a max-flow computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowResult {
+    /// The flow value |f| from source to sink.
+    pub value: Capacity,
+    /// Flow per directed edge slot, indexed by [`EdgeId`]; skew-symmetric.
+    pub flows: Vec<Capacity>,
+}
+
+impl FlowResult {
+    /// Flow on directed edge `e`.
+    ///
+    /// # Panics
+    /// Panics if `e` is out of range for the network this result came from.
+    #[must_use]
+    pub fn flow(&self, e: EdgeId) -> Capacity {
+        self.flows[e.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_path() -> FlowNetwork {
+        FlowNetwork::from_undirected_unit(3, &[(0, 1), (1, 2)])
+    }
+
+    #[test]
+    fn push_maintains_skew_symmetry() {
+        let net = two_path();
+        let mut r = Residual::new(&net);
+        let e = net.out_edges(VertexId::new(0)).next().unwrap();
+        r.push(e, 1);
+        assert_eq!(r.flow(e), 1);
+        assert_eq!(r.flow(e.reverse()), -1);
+    }
+
+    #[test]
+    fn value_counts_net_outflow() {
+        let net = two_path();
+        let mut r = Residual::new(&net);
+        let e01 = net
+            .out_edges(VertexId::new(0))
+            .find(|&e| net.head(e) == VertexId::new(1))
+            .unwrap();
+        r.push(e01, 1);
+        assert_eq!(r.value_from(VertexId::new(0)), 1);
+        let result = r.into_result(VertexId::new(0));
+        assert_eq!(result.value, 1);
+        assert_eq!(result.flow(e01), 1);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "over-push")]
+    fn over_push_is_caught() {
+        let net = two_path();
+        let mut r = Residual::new(&net);
+        let e = net.out_edges(VertexId::new(0)).next().unwrap();
+        r.push(e, 5);
+    }
+
+    #[test]
+    fn cancellation_restores_residual() {
+        let net = two_path();
+        let mut r = Residual::new(&net);
+        let e = net.out_edges(VertexId::new(0)).next().unwrap();
+        r.push(e, 1);
+        r.push(e.reverse(), 2); // 1 unit of its own capacity + 1 cancel
+        assert_eq!(r.flow(e), -1);
+        assert_eq!(r.residual_capacity(e), 2);
+    }
+}

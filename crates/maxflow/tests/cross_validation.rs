@@ -1,0 +1,152 @@
+//! Cross-validation of every sequential solver against each other on
+//! random and adversarial networks, plus property-based testing of the
+//! max-flow/min-cut relationship.
+
+use maxflow::{min_cut, validate, Algorithm};
+use proptest::prelude::*;
+use swgraph::{gen, FlowNetwork, FlowNetworkBuilder, VertexId};
+
+fn check_all_agree(net: &FlowNetwork, s: VertexId, t: VertexId) -> i64 {
+    let oracle = Algorithm::Dinic.run(net, s, t);
+    validate::check_flow(net, s, t, &oracle).expect("dinic produces a valid flow");
+    for algo in Algorithm::ALL {
+        let f = algo.run(net, s, t);
+        assert_eq!(f.value, oracle.value, "{algo} disagrees with dinic");
+        validate::check_flow(net, s, t, &f)
+            .unwrap_or_else(|e| panic!("{algo} produced an invalid flow: {e}"));
+    }
+    let cut = min_cut::extract_min_cut(net, s, &oracle);
+    assert_eq!(cut.value, oracle.value, "min cut != max flow");
+    oracle.value
+}
+
+#[test]
+fn all_algorithms_agree_on_small_world_graphs() {
+    for seed in 0..5 {
+        let n = 300;
+        let edges = gen::barabasi_albert(n, 3, seed);
+        let net = FlowNetwork::from_undirected_unit(n, &edges);
+        let v = check_all_agree(&net, VertexId::new(0), VertexId::new(n - 1));
+        assert!(v > 0, "BA graphs are connected");
+    }
+}
+
+#[test]
+fn all_algorithms_agree_on_watts_strogatz() {
+    for seed in 0..5 {
+        let n = 200;
+        let edges = gen::watts_strogatz(n, 6, 0.2, seed);
+        let net = FlowNetwork::from_undirected_unit(n, &edges);
+        check_all_agree(&net, VertexId::new(0), VertexId::new(n / 2));
+    }
+}
+
+#[test]
+fn all_algorithms_agree_on_grids() {
+    let net = FlowNetwork::from_undirected_unit(100, &gen::grid(10, 10));
+    let v = check_all_agree(&net, VertexId::new(0), VertexId::new(99));
+    // Corner degree bounds the flow on a unit grid.
+    assert_eq!(v, 2);
+}
+
+#[test]
+fn super_terminal_flow_grows_with_w() {
+    let n = 800;
+    let edges = gen::barabasi_albert(n, 4, 9);
+    let base = FlowNetwork::from_undirected_unit(n, &edges);
+    let mut last = 0;
+    for w in [1usize, 4, 16] {
+        let st = swgraph::super_st::attach_super_terminals(&base, w, 4, 31).unwrap();
+        let v = check_all_agree(&st.network, st.source, st.sink);
+        assert!(
+            v >= last,
+            "flow should not shrink as w grows ({last} -> {v} at w={w})"
+        );
+        last = v;
+    }
+    assert!(last > 0);
+}
+
+#[test]
+fn directed_asymmetric_capacities() {
+    let mut b = FlowNetworkBuilder::new(5);
+    b.add_edge(0, 1, 7);
+    b.add_edge(1, 2, 3);
+    b.add_edge(2, 1, 9);
+    b.add_edge(1, 3, 2);
+    b.add_edge(2, 4, 8);
+    b.add_edge(3, 4, 10);
+    let net = b.build();
+    check_all_agree(&net, VertexId::new(0), VertexId::new(4));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random directed multigraphs with random capacities: every solver
+    /// agrees, every flow validates, min-cut matches.
+    #[test]
+    fn solvers_agree_on_random_directed_networks(
+        n in 2u64..25,
+        edges in proptest::collection::vec((0u64..25, 0u64..25, 1i64..20), 0..80),
+        s_raw in 0u64..25,
+        t_raw in 0u64..25,
+    ) {
+        let mut b = FlowNetworkBuilder::new(n);
+        for (u, v, c) in edges {
+            b.add_edge(u % n, v % n, c);
+        }
+        let net = b.build();
+        let s = VertexId::new(s_raw % n);
+        let t = VertexId::new(t_raw % n);
+        prop_assume!(s != t);
+        check_all_agree(&net, s, t);
+    }
+
+    /// Unit-capacity undirected graphs: flow is bounded by both terminal
+    /// degrees and equals the vertex connectivity bound on edges.
+    #[test]
+    fn unit_flow_bounded_by_terminal_degrees(
+        n in 2u64..30,
+        edges in proptest::collection::vec((0u64..30, 0u64..30), 1..120),
+    ) {
+        let edges: Vec<(u64, u64)> = edges.into_iter()
+            .map(|(u, v)| (u % n, v % n))
+            .filter(|&(u, v)| u != v)
+            .collect();
+        let net = FlowNetwork::from_undirected_unit(n, &edges);
+        let s = VertexId::new(0);
+        let t = VertexId::new(n - 1);
+        let v = check_all_agree(&net, s, t);
+        // Parallel input edges merge by capacity summation, so the bound
+        // is outgoing capacity, not degree.
+        prop_assert!(v <= net.capacity_out(s));
+        prop_assert!(v <= net.capacity_out(t));
+    }
+
+    /// Augmenting capacity of one cut edge by delta raises the max flow by
+    /// at most delta (monotonicity / sensitivity property).
+    #[test]
+    fn flow_is_monotone_in_capacity(
+        n in 3u64..15,
+        edges in proptest::collection::vec((0u64..15, 0u64..15, 1i64..10), 1..40),
+        bump in 1i64..10,
+    ) {
+        let edges: Vec<(u64, u64, i64)> =
+            edges.into_iter().map(|(u, v, c)| (u % n, v % n, c)).collect();
+        let build = |extra: i64| {
+            let mut b = FlowNetworkBuilder::new(n);
+            for (i, &(u, v, c)) in edges.iter().enumerate() {
+                let c = if i == 0 { c + extra } else { c };
+                b.add_edge(u, v, c);
+            }
+            b.build()
+        };
+        let s = VertexId::new(0);
+        let t = VertexId::new(n - 1);
+        let base = Algorithm::Dinic.run(&build(0), s, t).value;
+        let bumped = Algorithm::Dinic.run(&build(bump), s, t).value;
+        prop_assert!(bumped >= base);
+        prop_assert!(bumped <= base + bump);
+    }
+}

@@ -1,0 +1,279 @@
+//! Ready-made vertex programs: the classic algorithms Malewicz et al.
+//! showcase, usable directly or as templates for new programs.
+
+use std::collections::BinaryHeap;
+
+use crate::{ComputeContext, Engine, Graph, MasterDecision, VertexProgram};
+
+// ------------------------------------------------------------ components
+
+/// Connected components by minimum-label propagation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Components;
+
+impl VertexProgram for Components {
+    type State = u64;
+    type Edge = ();
+    type Message = u64;
+    type Contribution = ();
+    type Broadcast = ();
+
+    fn compute(&self, ctx: &mut ComputeContext<'_, Self>, state: &mut u64, inbox: &[u64]) {
+        let incoming = inbox.iter().copied().min();
+        let improved = if ctx.superstep() == 0 {
+            *state = ctx.vertex_id();
+            true
+        } else if incoming.is_some_and(|m| m < *state) {
+            *state = incoming.expect("checked above");
+            true
+        } else {
+            false
+        };
+        if improved {
+            for (to, ()) in ctx.edges() {
+                ctx.send(to, *state);
+            }
+        }
+        ctx.vote_to_halt();
+    }
+}
+
+/// Runs [`Components`] over an undirected edge list; returns per-vertex
+/// labels (index = vertex id).
+///
+/// # Errors
+/// Propagates engine failures.
+///
+/// # Example
+/// ```
+/// let labels = pregel::algorithms::connected_components(5, &[(0, 1), (2, 3)]).unwrap();
+/// assert_eq!(labels, vec![0, 0, 2, 2, 4]);
+/// ```
+pub fn connected_components(
+    n: u64,
+    edges: &[(u64, u64)],
+) -> Result<Vec<u64>, crate::PregelError> {
+    let mut graph = undirected_graph(n, edges, u64::MAX, ());
+    Engine::new(Components).run(&mut graph, n as usize + 2)?;
+    Ok(graph.iter().map(|(_, &label)| label).collect())
+}
+
+// ------------------------------------------------------------ sssp
+
+/// Single-source shortest paths over non-negative edge lengths.
+#[derive(Debug, Clone, Copy)]
+pub struct Sssp {
+    /// The root vertex.
+    pub root: u64,
+}
+
+impl VertexProgram for Sssp {
+    type State = u64;
+    type Edge = u64;
+    type Message = u64;
+    type Contribution = ();
+    type Broadcast = ();
+
+    fn compute(&self, ctx: &mut ComputeContext<'_, Self>, state: &mut u64, inbox: &[u64]) {
+        let best = inbox.iter().copied().min().unwrap_or(u64::MAX);
+        let improved = if ctx.superstep() == 0 && ctx.vertex_id() == self.root {
+            *state = 0;
+            true
+        } else if best < *state {
+            *state = best;
+            true
+        } else {
+            false
+        };
+        if improved {
+            for (to, len) in ctx.edges() {
+                ctx.send(to, state.saturating_add(len));
+            }
+        }
+        ctx.vote_to_halt();
+    }
+}
+
+/// Runs [`Sssp`] over a weighted undirected edge list; returns distances
+/// (`u64::MAX` = unreachable).
+///
+/// # Errors
+/// Propagates engine failures.
+pub fn shortest_paths(
+    n: u64,
+    weighted_edges: &[(u64, u64, u64)],
+    root: u64,
+) -> Result<Vec<u64>, crate::PregelError> {
+    let mut adj: Vec<Vec<(u64, u64)>> = vec![Vec::new(); n as usize];
+    for &(u, v, w) in weighted_edges {
+        adj[u as usize].push((v, w));
+        adj[v as usize].push((u, w));
+    }
+    let mut graph = Graph::new();
+    for (i, edges) in adj.into_iter().enumerate() {
+        graph.add_vertex(i as u64, u64::MAX, edges);
+    }
+    // Path relaxations can take up to sum-of-weights supersteps in
+    // pathological chains; a generous bound that still terminates.
+    Engine::new(Sssp { root }).run(&mut graph, (n as usize + 2) * 8)?;
+    Ok(graph.iter().map(|(_, &d)| d).collect())
+}
+
+/// Dijkstra reference (used by tests and available to callers who want
+/// the in-memory answer without the engine).
+#[must_use]
+pub fn dijkstra(n: u64, weighted_edges: &[(u64, u64, u64)], root: u64) -> Vec<u64> {
+    let mut adj: Vec<Vec<(u64, u64)>> = vec![Vec::new(); n as usize];
+    for &(u, v, w) in weighted_edges {
+        adj[u as usize].push((v, w));
+        adj[v as usize].push((u, w));
+    }
+    let mut dist = vec![u64::MAX; n as usize];
+    if (root as usize) < dist.len() {
+        dist[root as usize] = 0;
+        let mut heap: BinaryHeap<std::cmp::Reverse<(u64, u64)>> = BinaryHeap::new();
+        heap.push(std::cmp::Reverse((0, root)));
+        while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+            if d > dist[u as usize] {
+                continue;
+            }
+            for &(v, w) in &adj[u as usize] {
+                let nd = d + w;
+                if nd < dist[v as usize] {
+                    dist[v as usize] = nd;
+                    heap.push(std::cmp::Reverse((nd, v)));
+                }
+            }
+        }
+    }
+    dist
+}
+
+// ------------------------------------------------------------ pagerank
+
+/// PageRank with master-driven convergence: the aggregator sums the L1
+/// change per superstep and the master halts below `epsilon`.
+#[derive(Debug, Clone, Copy)]
+pub struct PageRank {
+    /// Vertex count (for the uniform prior and teleport mass).
+    pub n: f64,
+    /// Damping factor (0.85 classically).
+    pub damping: f64,
+    /// L1 convergence threshold.
+    pub epsilon: f64,
+}
+
+impl VertexProgram for PageRank {
+    type State = f64;
+    type Edge = ();
+    type Message = f64;
+    type Contribution = f64;
+    type Broadcast = ();
+
+    fn compute(&self, ctx: &mut ComputeContext<'_, Self>, state: &mut f64, inbox: &[f64]) {
+        let new_rank = if ctx.superstep() == 0 {
+            1.0 / self.n
+        } else {
+            (1.0 - self.damping) / self.n + self.damping * inbox.iter().sum::<f64>()
+        };
+        ctx.contribute((new_rank - *state).abs());
+        *state = new_rank;
+        let out = ctx.edge_count().max(1) as f64;
+        for (to, ()) in ctx.edges() {
+            ctx.send(to, *state / out);
+        }
+    }
+
+    fn fold(&self, a: f64, b: f64) -> f64 {
+        a + b
+    }
+
+    fn master(&self, delta_l1: f64, superstep: usize) -> MasterDecision<Self> {
+        if superstep > 0 && delta_l1 < self.epsilon {
+            MasterDecision::halt()
+        } else {
+            MasterDecision::continue_with(())
+        }
+    }
+}
+
+/// Runs [`PageRank`] to convergence over an undirected edge list.
+///
+/// # Errors
+/// Propagates engine failures (including non-convergence within
+/// `max_supersteps`).
+pub fn pagerank(
+    n: u64,
+    edges: &[(u64, u64)],
+    damping: f64,
+    epsilon: f64,
+    max_supersteps: usize,
+) -> Result<Vec<f64>, crate::PregelError> {
+    let mut graph = undirected_graph(n, edges, 0.0f64, ());
+    Engine::new(PageRank {
+        n: n as f64,
+        damping,
+        epsilon,
+    })
+    .run(&mut graph, max_supersteps)?;
+    Ok(graph.iter().map(|(_, &r)| r).collect())
+}
+
+/// Builds an undirected [`Graph`] with uniform initial state.
+fn undirected_graph<S: Clone + Send, E: Clone + Send + Sync>(
+    n: u64,
+    edges: &[(u64, u64)],
+    initial: S,
+    payload: E,
+) -> Graph<S, E> {
+    let mut adj: Vec<Vec<(u64, E)>> = vec![Vec::new(); n as usize];
+    for &(u, v) in edges {
+        adj[u as usize].push((v, payload.clone()));
+        adj[v as usize].push((u, payload.clone()));
+    }
+    let mut graph = Graph::new();
+    for (i, edges) in adj.into_iter().enumerate() {
+        graph.add_vertex(i as u64, initial.clone(), edges);
+    }
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn components_on_two_islands() {
+        let labels = connected_components(6, &[(0, 1), (1, 2), (3, 4)]).unwrap();
+        assert_eq!(labels, vec![0, 0, 0, 3, 3, 5]);
+    }
+
+    #[test]
+    fn sssp_matches_dijkstra() {
+        let edges: Vec<(u64, u64, u64)> = vec![
+            (0, 1, 4),
+            (0, 2, 1),
+            (2, 1, 2),
+            (1, 3, 1),
+            (2, 3, 5),
+        ];
+        let got = shortest_paths(4, &edges, 0).unwrap();
+        assert_eq!(got, dijkstra(4, &edges, 0));
+        assert_eq!(got, vec![0, 3, 1, 4]);
+    }
+
+    #[test]
+    fn pagerank_sums_to_one() {
+        let edges = vec![(0, 1), (1, 2), (2, 0), (2, 3)];
+        let ranks = pagerank(4, &edges, 0.85, 1e-9, 1000).unwrap();
+        let total: f64 = ranks.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6, "total {total}");
+        assert!(ranks[2] > ranks[3], "the hub outranks the leaf");
+    }
+
+    #[test]
+    fn unreachable_vertices_stay_at_infinity() {
+        let got = shortest_paths(3, &[(0, 1, 7)], 0).unwrap();
+        assert_eq!(got, vec![0, 7, u64::MAX]);
+    }
+}

@@ -1,0 +1,364 @@
+//! The superstep executor.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::time::Instant;
+
+use crate::graph::{Graph, VertexEntry};
+use crate::program::{ComputeContext, VertexProgram};
+
+/// One active vertex's work item for a superstep.
+type WorkItem<'g, P> = (
+    u64,
+    &'g mut VertexEntry<<P as VertexProgram>::State, <P as VertexProgram>::Edge>,
+    Vec<<P as VertexProgram>::Message>,
+);
+
+/// Superstep-level measurements.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SuperstepStats {
+    /// Vertices that ran `compute` this superstep.
+    pub active_vertices: usize,
+    /// Messages produced this superstep.
+    pub messages_sent: usize,
+}
+
+/// Whole-run measurements.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Supersteps executed.
+    pub supersteps: usize,
+    /// Per-superstep measurements.
+    pub per_superstep: Vec<SuperstepStats>,
+    /// Total messages across the run.
+    pub total_messages: usize,
+    /// Host wall-clock seconds.
+    pub wall_seconds: f64,
+    /// Whether the master stopped the run (vs. natural quiescence).
+    pub halted_by_master: bool,
+}
+
+/// Engine failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PregelError {
+    /// The superstep limit was reached with vertices still active.
+    SuperstepLimit {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// A message was addressed to a vertex that does not exist.
+    UnknownVertex {
+        /// The missing target id.
+        target: u64,
+    },
+}
+
+impl fmt::Display for PregelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PregelError::SuperstepLimit { limit } => {
+                write!(f, "superstep limit of {limit} reached while still active")
+            }
+            PregelError::UnknownVertex { target } => {
+                write!(f, "message sent to unknown vertex {target}")
+            }
+        }
+    }
+}
+
+impl Error for PregelError {}
+
+/// Runs a [`VertexProgram`] over a [`Graph`] superstep by superstep.
+#[derive(Debug)]
+pub struct Engine<P> {
+    program: P,
+    threads: usize,
+}
+
+impl<P: VertexProgram> Engine<P> {
+    /// An engine with host parallelism detected automatically.
+    #[must_use]
+    pub fn new(program: P) -> Self {
+        Self {
+            program,
+            threads: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        }
+    }
+
+    /// Limits worker threads (1 = fully deterministic execution order;
+    /// results are deterministic regardless because per-chunk outputs are
+    /// concatenated in vertex order, but fold order can matter for
+    /// non-commutative folds).
+    #[must_use]
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// The wrapped program.
+    #[must_use]
+    pub fn program(&self) -> &P {
+        &self.program
+    }
+
+    /// Runs to quiescence (all vertices halted, no messages in flight),
+    /// master halt, or the superstep limit.
+    ///
+    /// # Errors
+    /// [`PregelError::SuperstepLimit`] if the limit is hit;
+    /// [`PregelError::UnknownVertex`] if a message targets a missing id.
+    pub fn run(
+        &self,
+        graph: &mut Graph<P::State, P::Edge>,
+        max_supersteps: usize,
+    ) -> Result<RunStats, PregelError> {
+        let start = Instant::now();
+        let mut inboxes: HashMap<u64, Vec<P::Message>> = HashMap::new();
+        let mut broadcast = P::Broadcast::default();
+        let mut stats = RunStats::default();
+
+        for superstep in 0..max_supersteps {
+            // A vertex runs if it has not halted or has mail.
+            let mut work: Vec<WorkItem<'_, P>> = Vec::new();
+            for (&id, entry) in &mut graph.vertices {
+                let inbox = inboxes.remove(&id);
+                if superstep == 0 || !entry.halted || inbox.is_some() {
+                    work.push((id, entry, inbox.unwrap_or_default()));
+                }
+            }
+            // Any leftover inbox entries target unknown vertices.
+            if let Some((&target, _)) = inboxes.iter().next() {
+                return Err(PregelError::UnknownVertex { target });
+            }
+
+            let active = work.len();
+            if active == 0 {
+                break;
+            }
+
+            // Process chunks on scoped threads; outputs are merged in
+            // chunk order so results do not depend on thread timing.
+            let chunk_size = active.div_ceil(self.threads);
+            struct ChunkOut<P: VertexProgram> {
+                outbox: Vec<(u64, P::Message)>,
+                contribution: Option<P::Contribution>,
+            }
+            let program = &self.program;
+            let broadcast_ref = &broadcast;
+            let chunk_results: Vec<ChunkOut<P>> = std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for chunk in work.chunks_mut(chunk_size.max(1)) {
+                    handles.push(scope.spawn(move || {
+                        let mut out = ChunkOut::<P> {
+                            outbox: Vec::new(),
+                            contribution: None,
+                        };
+                        for (id, entry, inbox) in chunk.iter_mut() {
+                            let mut ctx = ComputeContext::new(
+                                *id,
+                                superstep,
+                                &entry.edges,
+                                broadcast_ref,
+                                program,
+                            );
+                            program.compute(&mut ctx, &mut entry.state, inbox);
+                            entry.halted = ctx.halt;
+                            out.outbox.append(&mut ctx.outbox);
+                            if let Some(c) = ctx.contribution.take() {
+                                out.contribution = Some(match out.contribution.take() {
+                                    None => c,
+                                    Some(prev) => program.fold(prev, c),
+                                });
+                            }
+                        }
+                        out
+                    }));
+                }
+                handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+            });
+
+            let mut messages = 0usize;
+            let mut folded: Option<P::Contribution> = None;
+            for chunk in chunk_results {
+                messages += chunk.outbox.len();
+                for (to, msg) in chunk.outbox {
+                    inboxes.entry(to).or_default().push(msg);
+                }
+                if let Some(c) = chunk.contribution {
+                    folded = Some(match folded.take() {
+                        None => c,
+                        Some(prev) => self.program.fold(prev, c),
+                    });
+                }
+            }
+
+            stats.per_superstep.push(SuperstepStats {
+                active_vertices: active,
+                messages_sent: messages,
+            });
+            stats.total_messages += messages;
+            stats.supersteps = superstep + 1;
+
+            let decision = self
+                .program
+                .master(folded.unwrap_or_default(), superstep);
+            broadcast = decision.broadcast;
+            if decision.halt {
+                stats.halted_by_master = true;
+                break;
+            }
+            if messages == 0 && graph.vertices.values().all(|v| v.halted) {
+                break;
+            }
+            if superstep + 1 == max_supersteps {
+                return Err(PregelError::SuperstepLimit {
+                    limit: max_supersteps,
+                });
+            }
+        }
+        stats.wall_seconds = start.elapsed().as_secs_f64();
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every vertex adds its inbox to its counter and forwards its id
+    /// once; tests message delivery, halting and reactivation.
+    struct PingAll;
+    impl VertexProgram for PingAll {
+        type State = u64;
+        type Edge = ();
+        type Message = u64;
+        type Contribution = u64;
+        type Broadcast = ();
+
+        fn compute(&self, ctx: &mut ComputeContext<'_, Self>, state: &mut u64, inbox: &[u64]) {
+            *state += inbox.iter().sum::<u64>();
+            if ctx.superstep() == 0 {
+                for (to, ()) in ctx.edges() {
+                    ctx.send(to, ctx.vertex_id());
+                }
+            }
+            ctx.contribute(1);
+            ctx.vote_to_halt();
+        }
+
+        fn fold(&self, a: u64, b: u64) -> u64 {
+            a + b
+        }
+    }
+
+    fn ring(n: u64) -> Graph<u64, ()> {
+        let mut g = Graph::new();
+        for i in 0..n {
+            g.add_vertex(i, 0, vec![((i + 1) % n, ())]);
+        }
+        g
+    }
+
+    #[test]
+    fn messages_deliver_and_quiesce() {
+        let mut g = ring(5);
+        let run = Engine::new(PingAll).run(&mut g, 10).unwrap();
+        // Superstep 0: all send; superstep 1: all receive; superstep 2:
+        // nothing to do -> quiesce at 2 supersteps of activity.
+        assert_eq!(run.supersteps, 2);
+        assert_eq!(run.total_messages, 5);
+        for (i, state) in g.iter() {
+            assert_eq!(*state, (i + 4) % 5, "vertex {i} got its predecessor's id");
+        }
+        assert!(!run.halted_by_master);
+    }
+
+    #[test]
+    fn unknown_target_is_reported() {
+        struct SendNowhere;
+        impl VertexProgram for SendNowhere {
+            type State = ();
+            type Edge = ();
+            type Message = ();
+            type Contribution = ();
+            type Broadcast = ();
+            fn compute(&self, ctx: &mut ComputeContext<'_, Self>, (): &mut (), _inbox: &[()]) {
+                if ctx.superstep() == 0 {
+                    ctx.send(999, ());
+                }
+                ctx.vote_to_halt();
+            }
+        }
+        let mut g: Graph<(), ()> = Graph::new();
+        g.add_vertex(0, (), vec![]);
+        let err = Engine::new(SendNowhere).run(&mut g, 10).unwrap_err();
+        assert_eq!(err, PregelError::UnknownVertex { target: 999 });
+    }
+
+    #[test]
+    fn master_can_halt_early() {
+        struct Chatter;
+        impl VertexProgram for Chatter {
+            type State = ();
+            type Edge = ();
+            type Message = ();
+            type Contribution = ();
+            type Broadcast = ();
+            fn compute(&self, ctx: &mut ComputeContext<'_, Self>, (): &mut (), _inbox: &[()]) {
+                // Keep itself busy forever.
+                ctx.send(ctx.vertex_id(), ());
+            }
+            fn master(&self, (): (), superstep: usize) -> crate::MasterDecision<Self> {
+                if superstep >= 3 {
+                    crate::MasterDecision::halt()
+                } else {
+                    crate::MasterDecision::continue_with(())
+                }
+            }
+        }
+        let mut g: Graph<(), ()> = Graph::new();
+        g.add_vertex(0, (), vec![]);
+        let run = Engine::new(Chatter).run(&mut g, 100).unwrap();
+        assert!(run.halted_by_master);
+        assert_eq!(run.supersteps, 4);
+    }
+
+    #[test]
+    fn superstep_limit_errors() {
+        struct Forever;
+        impl VertexProgram for Forever {
+            type State = ();
+            type Edge = ();
+            type Message = ();
+            type Contribution = ();
+            type Broadcast = ();
+            fn compute(&self, ctx: &mut ComputeContext<'_, Self>, (): &mut (), _inbox: &[()]) {
+                ctx.send(ctx.vertex_id(), ());
+            }
+        }
+        let mut g: Graph<(), ()> = Graph::new();
+        g.add_vertex(0, (), vec![]);
+        let err = Engine::new(Forever).run(&mut g, 5).unwrap_err();
+        assert_eq!(err, PregelError::SuperstepLimit { limit: 5 });
+    }
+
+    #[test]
+    fn aggregator_folds_across_threads() {
+        let mut g = ring(100);
+        // The fold sums each superstep's active count (contribute(1) per
+        // active vertex); run with many threads to stress chunked folding.
+        let run = Engine::new(PingAll).threads(8).run(&mut g, 10).unwrap();
+        assert_eq!(run.per_superstep[0].active_vertices, 100);
+        assert_eq!(run.per_superstep[1].active_vertices, 100);
+    }
+
+    #[test]
+    fn empty_graph_finishes_immediately() {
+        let mut g: Graph<u64, ()> = Graph::new();
+        let run = Engine::new(PingAll).run(&mut g, 10).unwrap();
+        assert_eq!(run.supersteps, 0);
+        assert_eq!(run.total_messages, 0);
+    }
+}

@@ -1,0 +1,166 @@
+//! The user-facing programming model: vertex programs and their contexts.
+
+/// A vertex-centric program.
+///
+/// Associated types fix the whole computation's shape:
+/// * `State` — mutable per-vertex value.
+/// * `Edge` — per-out-edge payload (weights, capacities, ...).
+/// * `Message` — what vertices exchange between supersteps.
+/// * `Contribution` — what vertices hand to the master (Pregel's
+///   aggregator input); folded pairwise by [`VertexProgram::fold`].
+/// * `Broadcast` — what the master hands back to every vertex next
+///   superstep.
+pub trait VertexProgram: Send + Sync + Sized + 'static {
+    /// Mutable per-vertex value.
+    type State: Send;
+    /// Per-out-edge payload.
+    type Edge: Send + Sync + Clone;
+    /// Inter-vertex message.
+    type Message: Send + Clone;
+    /// Aggregator contribution (must fold associatively).
+    type Contribution: Send + Default;
+    /// Master-to-all-vertices broadcast.
+    type Broadcast: Send + Sync + Default;
+
+    /// Runs on every active vertex once per superstep.
+    fn compute(
+        &self,
+        ctx: &mut ComputeContext<'_, Self>,
+        state: &mut Self::State,
+        inbox: &[Self::Message],
+    );
+
+    /// Folds two aggregator contributions (default keeps the first —
+    /// fine when `Contribution = ()`).
+    #[must_use]
+    fn fold(&self, a: Self::Contribution, _b: Self::Contribution) -> Self::Contribution {
+        a
+    }
+
+    /// Master compute: runs once between supersteps on the folded
+    /// contribution. The default continues with a default broadcast.
+    fn master(&self, _folded: Self::Contribution, _superstep: usize) -> MasterDecision<Self> {
+        MasterDecision::continue_with(Self::Broadcast::default())
+    }
+}
+
+/// What the master decides between supersteps.
+pub struct MasterDecision<P: VertexProgram> {
+    /// Value every vertex can read next superstep.
+    pub broadcast: P::Broadcast,
+    /// Stop the whole computation now (overrides vertex activity).
+    pub halt: bool,
+}
+
+impl<P: VertexProgram> MasterDecision<P> {
+    /// Continue, broadcasting `value`.
+    #[must_use]
+    pub fn continue_with(value: P::Broadcast) -> Self {
+        Self {
+            broadcast: value,
+            halt: false,
+        }
+    }
+
+    /// Stop the computation after this superstep.
+    #[must_use]
+    pub fn halt() -> Self {
+        Self {
+            broadcast: P::Broadcast::default(),
+            halt: true,
+        }
+    }
+}
+
+impl<P: VertexProgram> std::fmt::Debug for MasterDecision<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MasterDecision")
+            .field("halt", &self.halt)
+            .finish()
+    }
+}
+
+/// Everything a vertex can see and do during [`VertexProgram::compute`].
+pub struct ComputeContext<'a, P: VertexProgram> {
+    pub(crate) vertex_id: u64,
+    pub(crate) superstep: usize,
+    pub(crate) edges: &'a [(u64, P::Edge)],
+    pub(crate) broadcast: &'a P::Broadcast,
+    pub(crate) program: &'a P,
+    pub(crate) outbox: Vec<(u64, P::Message)>,
+    pub(crate) contribution: Option<P::Contribution>,
+    pub(crate) halt: bool,
+}
+
+impl<'a, P: VertexProgram> ComputeContext<'a, P> {
+    pub(crate) fn new(
+        vertex_id: u64,
+        superstep: usize,
+        edges: &'a [(u64, P::Edge)],
+        broadcast: &'a P::Broadcast,
+        program: &'a P,
+    ) -> Self {
+        Self {
+            vertex_id,
+            superstep,
+            edges,
+            broadcast,
+            program,
+            outbox: Vec::new(),
+            contribution: None,
+            halt: false,
+        }
+    }
+
+    /// This vertex's id.
+    #[must_use]
+    pub fn vertex_id(&self) -> u64 {
+        self.vertex_id
+    }
+
+    /// The current superstep (0-based).
+    #[must_use]
+    pub fn superstep(&self) -> usize {
+        self.superstep
+    }
+
+    /// This vertex's out-edges `(target, payload)`. The iterator borrows
+    /// the graph, not the context, so sending while iterating is fine:
+    /// `for (to, e) in ctx.edges() { ctx.send(to, ...) }`.
+    pub fn edges(&self) -> impl Iterator<Item = (u64, P::Edge)> + 'a {
+        self.edges.iter().cloned()
+    }
+
+    /// Number of out-edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The master's broadcast from the previous superstep (borrowing for
+    /// the superstep's lifetime, like [`ComputeContext::edges`]).
+    #[must_use]
+    pub fn broadcast(&self) -> &'a P::Broadcast {
+        self.broadcast
+    }
+
+    /// Sends a message, delivered at the next superstep. The target need
+    /// not be a neighbor (Pregel allows arbitrary targets).
+    pub fn send(&mut self, to: u64, message: P::Message) {
+        self.outbox.push((to, message));
+    }
+
+    /// Adds to this superstep's aggregator (folded with
+    /// [`VertexProgram::fold`], handed to [`VertexProgram::master`]).
+    pub fn contribute(&mut self, value: P::Contribution) {
+        self.contribution = Some(match self.contribution.take() {
+            None => value,
+            Some(existing) => self.program.fold(existing, value),
+        });
+    }
+
+    /// Votes to halt; the vertex stays inactive until a message arrives.
+    pub fn vote_to_halt(&mut self) {
+        self.halt = true;
+    }
+}

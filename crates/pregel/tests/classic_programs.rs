@@ -1,0 +1,70 @@
+//! The library's classic programs ([`pregel::algorithms`]) cross-checked
+//! against in-memory computations on generated graphs.
+
+use pregel::algorithms::{connected_components, dijkstra, pagerank, shortest_paths};
+use swgraph::gen;
+
+#[test]
+fn connected_components_match_in_memory() {
+    let n = 300;
+    let edges: Vec<(u64, u64)> = gen::barabasi_albert(150, 3, 4)
+        .into_iter()
+        // Two copies of the same graph, shifted: exactly 2 components.
+        .flat_map(|(u, v)| [(u, v), (u + 150, v + 150)])
+        .collect();
+    let labels = connected_components(n, &edges).unwrap();
+    assert!(labels[..150].iter().all(|&l| l == 0));
+    assert!(labels[150..].iter().all(|&l| l == 150));
+}
+
+#[test]
+fn components_agree_with_swgraph_on_random_graphs() {
+    for seed in 0..5 {
+        let n = 200;
+        let edges = gen::erdos_renyi(n, 150, seed);
+        let labels = connected_components(n, &edges).unwrap();
+        let net = swgraph::FlowNetwork::from_undirected_unit(n, &edges);
+        let expected = swgraph::props::component_sizes(&net).len();
+        let mut distinct: Vec<u64> = labels.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct.len(), expected, "seed {seed}");
+        // Same-component vertices share labels with their neighbors.
+        for &(u, v) in &edges {
+            assert_eq!(labels[u as usize], labels[v as usize]);
+        }
+    }
+}
+
+#[test]
+fn weighted_sssp_matches_dijkstra_on_small_world() {
+    let n = 120u64;
+    let raw = gen::watts_strogatz(n, 4, 0.3, 6);
+    let weighted: Vec<(u64, u64, u64)> = raw
+        .iter()
+        .enumerate()
+        .map(|(i, &(u, v))| (u, v, 1 + (i as u64 * 13) % 9))
+        .collect();
+    let got = shortest_paths(n, &weighted, 0).unwrap();
+    assert_eq!(got, dijkstra(n, &weighted, 0));
+}
+
+#[test]
+fn pagerank_converges_and_favors_hubs() {
+    let n = 200u64;
+    let edges = gen::barabasi_albert(n, 3, 11);
+    let ranks = pagerank(n, &edges, 0.85, 1e-7, 500).unwrap();
+    let total: f64 = ranks.iter().sum();
+    assert!((total - 1.0).abs() < 1e-3, "ranks sum to 1 (got {total})");
+    // Vertex 0 is a seed-clique hub in BA graphs; late vertices are leaves.
+    assert!(ranks[0] > ranks[(n - 1) as usize]);
+}
+
+#[test]
+fn pagerank_without_convergence_budget_errors() {
+    let edges = gen::barabasi_albert(50, 2, 1);
+    assert!(matches!(
+        pagerank(50, &edges, 0.85, 0.0, 5),
+        Err(pregel::PregelError::SuperstepLimit { limit: 5 })
+    ));
+}

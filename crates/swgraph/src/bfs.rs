@@ -1,0 +1,207 @@
+//! Breadth-first search and diameter estimation.
+//!
+//! MR-based BFS is the paper's round-count lower bound (its Fig. 6 and 8
+//! compare FFMR against BFS); this module is the in-memory counterpart used
+//! by generators' validation and by the sequential baselines.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ids::{EdgeId, VertexId};
+use crate::network::FlowNetwork;
+
+/// Distances (in hops over positive-capacity edges) from `source`;
+/// `None` for unreachable vertices.
+///
+/// # Example
+/// ```
+/// use swgraph::{FlowNetwork, VertexId};
+/// let net = FlowNetwork::from_undirected_unit(4, &[(0, 1), (1, 2)]);
+/// let d = swgraph::bfs::bfs_distances(&net, VertexId::new(0));
+/// assert_eq!(d[2], Some(2));
+/// assert_eq!(d[3], None);
+/// ```
+#[must_use]
+pub fn bfs_distances(net: &FlowNetwork, source: VertexId) -> Vec<Option<u32>> {
+    let mut dist = vec![None; net.num_vertices()];
+    if source.index() >= net.num_vertices() {
+        return dist;
+    }
+    let mut queue = VecDeque::new();
+    dist[source.index()] = Some(0);
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()].expect("queued vertices have distances");
+        for (_, v) in net.neighbors(u) {
+            if dist[v.index()].is_none() {
+                dist[v.index()] = Some(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// A shortest `s -> t` path as a sequence of directed edge ids, or `None`
+/// if `t` is unreachable over positive-capacity edges.
+#[must_use]
+pub fn shortest_path(net: &FlowNetwork, s: VertexId, t: VertexId) -> Option<Vec<EdgeId>> {
+    if s == t {
+        return Some(Vec::new());
+    }
+    let mut parent: Vec<Option<EdgeId>> = vec![None; net.num_vertices()];
+    let mut visited = vec![false; net.num_vertices()];
+    visited[s.index()] = true;
+    let mut queue = VecDeque::new();
+    queue.push_back(s);
+    while let Some(u) = queue.pop_front() {
+        for (e, v) in net.neighbors(u) {
+            if !visited[v.index()] {
+                visited[v.index()] = true;
+                parent[v.index()] = Some(e);
+                if v == t {
+                    let mut path = Vec::new();
+                    let mut cur = t;
+                    while cur != s {
+                        let e = parent[cur.index()].expect("path back to s");
+                        path.push(e);
+                        cur = net.tail(e);
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(v);
+            }
+        }
+    }
+    None
+}
+
+/// Result of [`estimate_diameter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiameterEstimate {
+    /// Largest eccentricity observed among sampled sources (a lower bound
+    /// on the true diameter).
+    pub max_observed: u32,
+    /// 90th-percentile pairwise distance observed (the usual "effective
+    /// diameter" reported for social graphs).
+    pub effective_p90: u32,
+    /// Number of BFS sources actually sampled.
+    pub samples: usize,
+}
+
+/// Estimates the diameter by running BFS from `samples` random sources
+/// (the paper estimates FB6's D as 7–14 with exactly this kind of
+/// sampled MR-BFS).
+#[must_use]
+pub fn estimate_diameter(net: &FlowNetwork, samples: usize, seed: u64) -> DiameterEstimate {
+    let n = net.num_vertices();
+    if n == 0 || samples == 0 {
+        return DiameterEstimate {
+            max_observed: 0,
+            effective_p90: 0,
+            samples: 0,
+        };
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut max_observed = 0;
+    let mut all_dists: Vec<u32> = Vec::new();
+    let actual = samples.min(n);
+    for _ in 0..actual {
+        let s = VertexId::new(rng.gen_range(0..n as u64));
+        for d in bfs_distances(net, s).into_iter().flatten() {
+            max_observed = max_observed.max(d);
+            if d > 0 {
+                all_dists.push(d);
+            }
+        }
+    }
+    all_dists.sort_unstable();
+    let effective_p90 = if all_dists.is_empty() {
+        0
+    } else {
+        all_dists[((all_dists.len() - 1) as f64 * 0.9) as usize]
+    };
+    DiameterEstimate {
+        max_observed,
+        effective_p90,
+        samples: actual,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn distances_on_a_path() {
+        let net = FlowNetwork::from_undirected_unit(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let d = bfs_distances(&net, VertexId::new(0));
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3), Some(4)]);
+    }
+
+    #[test]
+    fn respects_directed_capacities() {
+        // Directed chain 0 -> 1 -> 2: nothing reachable backwards.
+        let mut b = crate::FlowNetworkBuilder::new(3);
+        b.add_edge(0, 1, 1);
+        b.add_edge(1, 2, 1);
+        let net = b.build();
+        let from2 = bfs_distances(&net, VertexId::new(2));
+        assert_eq!(from2, vec![None, None, Some(0)]);
+    }
+
+    #[test]
+    fn shortest_path_edges_connect() {
+        let edges = gen::watts_strogatz(200, 4, 0.2, 2);
+        let net = FlowNetwork::from_undirected_unit(200, &edges);
+        let s = VertexId::new(0);
+        let t = VertexId::new(150);
+        let path = shortest_path(&net, s, t).expect("connected");
+        assert_eq!(net.tail(path[0]), s);
+        assert_eq!(net.head(*path.last().unwrap()), t);
+        for w in path.windows(2) {
+            assert_eq!(net.head(w[0]), net.tail(w[1]));
+        }
+        let d = bfs_distances(&net, s)[t.index()].unwrap();
+        assert_eq!(path.len() as u32, d, "path is shortest");
+    }
+
+    #[test]
+    fn shortest_path_trivial_and_unreachable() {
+        let net = FlowNetwork::from_undirected_unit(3, &[(0, 1)]);
+        assert_eq!(
+            shortest_path(&net, VertexId::new(0), VertexId::new(0)),
+            Some(vec![])
+        );
+        assert_eq!(shortest_path(&net, VertexId::new(0), VertexId::new(2)), None);
+    }
+
+    #[test]
+    fn diameter_of_known_graph() {
+        // A 10-vertex path: diameter 9.
+        let edges: Vec<(u64, u64)> = (0..9).map(|i| (i, i + 1)).collect();
+        let net = FlowNetwork::from_undirected_unit(10, &edges);
+        let d = estimate_diameter(&net, 10, 1);
+        assert_eq!(d.max_observed, 9);
+        assert!(d.effective_p90 <= 9);
+    }
+
+    #[test]
+    fn diameter_of_empty_graph() {
+        let net = crate::FlowNetworkBuilder::new(0).build();
+        let d = estimate_diameter(&net, 4, 1);
+        assert_eq!(d.max_observed, 0);
+        assert_eq!(d.samples, 0);
+    }
+
+    #[test]
+    fn out_of_range_source_is_unreachable_everywhere() {
+        let net = FlowNetwork::from_undirected_unit(2, &[(0, 1)]);
+        let d = bfs_distances(&net, VertexId::new(99));
+        assert!(d.iter().all(Option::is_none));
+    }
+}

@@ -1,0 +1,121 @@
+//! The Barabási–Albert preferential-attachment model.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a Barabási–Albert scale-free graph: vertices arrive one at a
+/// time and attach `m` edges to existing vertices with probability
+/// proportional to their degree, yielding the heavy-tailed degree
+/// distribution and low diameter of real social networks.
+///
+/// # Panics
+/// Panics if `m == 0` while `n > 1`.
+///
+/// # Example
+/// ```
+/// let edges = swgraph::gen::barabasi_albert(1000, 3, 11);
+/// assert!(edges.len() > 2900 && edges.len() < 3001);
+/// ```
+#[must_use]
+pub fn barabasi_albert(n: u64, m: u64, seed: u64) -> Vec<(u64, u64)> {
+    if n <= 1 {
+        return Vec::new();
+    }
+    assert!(m > 0, "m must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // `endpoints` holds one entry per edge endpoint; sampling uniformly
+    // from it is sampling proportionally to degree.
+    let mut endpoints: Vec<u64> = Vec::with_capacity((2 * m * n) as usize);
+    let mut edges: Vec<(u64, u64)> = Vec::with_capacity((m * n) as usize);
+    let mut seen: HashSet<(u64, u64)> = HashSet::new();
+
+    // Seed clique over the first m+1 vertices (or fewer when n is small).
+    let seed_size = (m + 1).min(n);
+    for u in 0..seed_size {
+        for v in (u + 1)..seed_size {
+            edges.push((u, v));
+            seen.insert((u, v));
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+
+    for t in seed_size..n {
+        let mut attached: HashSet<u64> = HashSet::new();
+        let want = m.min(t);
+        let mut guard = 0;
+        while (attached.len() as u64) < want && guard < 64 * want {
+            guard += 1;
+            let target = endpoints[rng.gen_range(0..endpoints.len())];
+            if target == t || attached.contains(&target) {
+                continue;
+            }
+            attached.insert(target);
+        }
+        let mut attached: Vec<u64> = attached.into_iter().collect();
+        attached.sort_unstable();
+        for target in attached {
+            let key = (target.min(t), target.max(t));
+            if seen.insert(key) {
+                edges.push(key);
+                endpoints.push(t);
+                endpoints.push(target);
+            }
+        }
+    }
+    edges.sort_unstable();
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props;
+    use crate::FlowNetwork;
+
+    #[test]
+    fn deterministic_and_valid() {
+        let a = barabasi_albert(500, 2, 3);
+        let b = barabasi_albert(500, 2, 3);
+        assert_eq!(a, b);
+        let set: HashSet<_> = a.iter().collect();
+        assert_eq!(set.len(), a.len());
+        for &(u, v) in &a {
+            assert!(u < v && v < 500);
+        }
+    }
+
+    #[test]
+    fn graph_is_connected() {
+        let edges = barabasi_albert(2000, 2, 7);
+        let net = FlowNetwork::from_undirected_unit(2000, &edges);
+        let comps = props::component_sizes(&net);
+        assert_eq!(comps[0], 2000, "BA graphs are connected by construction");
+    }
+
+    #[test]
+    fn degree_distribution_is_heavy_tailed() {
+        let n = 5000;
+        let edges = barabasi_albert(n, 3, 1);
+        let net = FlowNetwork::from_undirected_unit(n, &edges);
+        let max_deg = (0..n)
+            .map(|v| net.degree(crate::VertexId::new(v)))
+            .max()
+            .unwrap();
+        let avg = 2.0 * edges.len() as f64 / n as f64;
+        assert!(
+            max_deg as f64 > 8.0 * avg,
+            "hub degree {max_deg} should dwarf the average {avg}"
+        );
+    }
+
+    #[test]
+    fn small_n_edge_cases() {
+        assert!(barabasi_albert(0, 3, 1).is_empty());
+        assert!(barabasi_albert(1, 3, 1).is_empty());
+        let two = barabasi_albert(2, 3, 1);
+        assert_eq!(two, vec![(0, 1)]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Non-small-world reference generators used as contrast cases in tests
+//! and ablations.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a G(n, m) Erdős–Rényi graph: `m` distinct undirected edges
+/// chosen uniformly at random.
+///
+/// # Panics
+/// Panics if `m` exceeds the number of possible edges `n * (n - 1) / 2`.
+///
+/// # Example
+/// ```
+/// let edges = swgraph::gen::erdos_renyi(50, 100, 3);
+/// assert_eq!(edges.len(), 100);
+/// ```
+#[must_use]
+pub fn erdos_renyi(n: u64, m: u64, seed: u64) -> Vec<(u64, u64)> {
+    let possible = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(m <= possible, "m = {m} exceeds possible edges {possible}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen: HashSet<(u64, u64)> = HashSet::with_capacity(m as usize);
+    while (seen.len() as u64) < m {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v {
+            seen.insert((u.min(v), u.max(v)));
+        }
+    }
+    let mut edges: Vec<(u64, u64)> = seen.into_iter().collect();
+    edges.sort_unstable();
+    edges
+}
+
+/// Generates a `width x height` grid graph — the adversarial *high
+/// diameter* case (diameter = width + height - 2), the opposite of the
+/// small-world graphs the paper's algorithm targets.
+///
+/// Vertex `(x, y)` has id `y * width + x`.
+///
+/// # Example
+/// ```
+/// let edges = swgraph::gen::grid(3, 2);
+/// assert_eq!(edges.len(), 7); // 3 horizontal + 4 vertical
+/// ```
+#[must_use]
+pub fn grid(width: u64, height: u64) -> Vec<(u64, u64)> {
+    let mut edges = Vec::new();
+    for y in 0..height {
+        for x in 0..width {
+            let id = y * width + x;
+            if x + 1 < width {
+                edges.push((id, id + 1));
+            }
+            if y + 1 < height {
+                edges.push((id, id + width));
+            }
+        }
+    }
+    edges.sort_unstable();
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs;
+    use crate::FlowNetwork;
+
+    #[test]
+    fn erdos_renyi_exact_count_and_determinism() {
+        let a = erdos_renyi(100, 300, 5);
+        assert_eq!(a.len(), 300);
+        assert_eq!(a, erdos_renyi(100, 300, 5));
+        let set: HashSet<_> = a.iter().collect();
+        assert_eq!(set.len(), 300);
+    }
+
+    #[test]
+    fn erdos_renyi_saturated() {
+        let edges = erdos_renyi(5, 10, 1);
+        assert_eq!(edges.len(), 10, "complete graph on 5 vertices");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds possible")]
+    fn erdos_renyi_impossible_m_panics() {
+        let _ = erdos_renyi(3, 4, 1);
+    }
+
+    #[test]
+    fn grid_diameter_is_linear() {
+        let w = 20;
+        let net = FlowNetwork::from_undirected_unit(w * 2, &grid(w, 2));
+        let dist = bfs::bfs_distances(&net, crate::VertexId::new(0));
+        let far = dist[(w * 2 - 1) as usize].unwrap();
+        assert_eq!(far, (w as u32 - 1) + 1);
+    }
+
+    #[test]
+    fn degenerate_grids() {
+        assert!(grid(0, 5).is_empty());
+        assert!(grid(1, 1).is_empty());
+        assert_eq!(grid(1, 4).len(), 3); // a path
+    }
+}

@@ -1,0 +1,17 @@
+//! Deterministic random-graph generators.
+//!
+//! Every generator takes an explicit `seed` and is reproducible across
+//! runs. Outputs are undirected, self-loop-free, duplicate-free edge lists
+//! ready for [`FlowNetwork::from_undirected_unit`](crate::FlowNetwork::from_undirected_unit).
+
+mod barabasi_albert;
+mod classic;
+mod rmat;
+mod social_crawl;
+mod watts_strogatz;
+
+pub use barabasi_albert::barabasi_albert;
+pub use classic::{erdos_renyi, grid};
+pub use rmat::{rmat, rmat_graph500};
+pub use social_crawl::{induced_prefix, social_crawl, CrawlCheckpoint, FB_CHECKPOINTS};
+pub use watts_strogatz::watts_strogatz;

@@ -1,0 +1,170 @@
+//! The R-MAT / stochastic-Kronecker model — the reference generator of
+//! the Graph500 benchmark the paper cites as evidence that large-graph
+//! processing is an HPC workload in its own right.
+//!
+//! Each edge picks its endpoints by descending a 2^scale x 2^scale
+//! adjacency matrix split into quadrants with probabilities
+//! `(a, b, c, d)`; the skew (Graph500 uses a = 0.57) produces the
+//! heavy-tailed degrees and community structure of real networks.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates an R-MAT graph over `2^scale` vertices with `edges` distinct
+/// undirected edges (Graph500-style parameters `(a, b, c, d)` summing to
+/// 1; use [`rmat_graph500`] for the standard constants).
+///
+/// # Panics
+/// Panics if the probabilities do not sum to ~1 or `edges` exceeds half
+/// the possible pairs (dense R-MAT would loop forever rejecting
+/// duplicates).
+///
+/// # Example
+/// ```
+/// let edges = swgraph::gen::rmat(10, 4_000, 0.57, 0.19, 0.19, 0.05, 1);
+/// assert_eq!(edges.len(), 4_000);
+/// ```
+#[must_use]
+#[allow(clippy::many_single_char_names)]
+pub fn rmat(scale: u32, edges: u64, a: f64, b: f64, c: f64, d: f64, seed: u64) -> Vec<(u64, u64)> {
+    assert!(
+        ((a + b + c + d) - 1.0).abs() < 1e-9,
+        "quadrant probabilities must sum to 1"
+    );
+    let n = 1u64 << scale;
+    let possible = n * (n - 1) / 2;
+    assert!(
+        edges <= possible / 2,
+        "requested {edges} edges of {possible} possible; too dense for R-MAT"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen: HashSet<(u64, u64)> = HashSet::with_capacity(edges as usize);
+    let mut out = Vec::with_capacity(edges as usize);
+    while (out.len() as u64) < edges {
+        let (mut lo_u, mut lo_v) = (0u64, 0u64);
+        let mut size = n;
+        while size > 1 {
+            size /= 2;
+            let r = rng.gen::<f64>();
+            // Add a little per-level noise, as the Graph500 reference
+            // implementation does, to avoid exact self-similarity.
+            let noise = 0.9 + 0.2 * rng.gen::<f64>();
+            let (pa, pb, pc) = (a * noise, b * noise, c * noise);
+            let total = pa + pb + pc + d * noise;
+            let r = r * total;
+            if r < pa {
+                // top-left: neither bit set
+            } else if r < pa + pb {
+                lo_v += size;
+            } else if r < pa + pb + pc {
+                lo_u += size;
+            } else {
+                lo_u += size;
+                lo_v += size;
+            }
+        }
+        if lo_u == lo_v {
+            continue;
+        }
+        let key = (lo_u.min(lo_v), lo_u.max(lo_v));
+        if seen.insert(key) {
+            out.push(key);
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// R-MAT with the Graph500 reference constants
+/// `(a, b, c, d) = (0.57, 0.19, 0.19, 0.05)` and the benchmark's
+/// edge-factor-16 density (`edges = 16 * 2^scale`).
+///
+/// # Example
+/// ```
+/// let edges = swgraph::gen::rmat_graph500(8, 3);
+/// assert_eq!(edges.len(), 16 * 256);
+/// ```
+#[must_use]
+pub fn rmat_graph500(scale: u32, seed: u64) -> Vec<(u64, u64)> {
+    rmat(scale, 16 * (1u64 << scale), 0.57, 0.19, 0.19, 0.05, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{props, FlowNetwork, VertexId};
+
+    #[test]
+    fn exact_edge_count_and_validity() {
+        let scale = 9;
+        let edges = rmat_graph500(scale, 7);
+        assert_eq!(edges.len() as u64, 16 * (1 << scale));
+        let n = 1u64 << scale;
+        let mut seen = HashSet::new();
+        for &(u, v) in &edges {
+            assert!(u < v && v < n);
+            assert!(seen.insert((u, v)));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(rmat_graph500(7, 3), rmat_graph500(7, 3));
+        assert_ne!(rmat_graph500(7, 3), rmat_graph500(7, 4));
+    }
+
+    #[test]
+    fn degrees_are_heavy_tailed() {
+        let scale = 11;
+        let n = 1u64 << scale;
+        let edges = rmat_graph500(scale, 1);
+        let net = FlowNetwork::from_undirected_unit(n, &edges);
+        let max_deg = props::max_degree(&net);
+        let avg = props::average_degree(&net);
+        assert!(
+            max_deg as f64 > 10.0 * avg,
+            "R-MAT hubs ({max_deg}) should dwarf the average ({avg:.1})"
+        );
+    }
+
+    #[test]
+    fn giant_component_is_small_world() {
+        let scale = 10;
+        let n = 1u64 << scale;
+        let net = FlowNetwork::from_undirected_unit(n, &rmat_graph500(scale, 5));
+        let comps = props::component_sizes(&net);
+        assert!(comps[0] as u64 > n * 3 / 4, "giant component");
+        // BFS within the giant component stays shallow.
+        let hub = (0..n)
+            .map(VertexId::new)
+            .max_by_key(|&v| net.degree(v))
+            .unwrap();
+        let dists = crate::bfs::bfs_distances(&net, hub);
+        let ecc = dists.iter().flatten().copied().max().unwrap();
+        assert!(ecc <= 10, "eccentricity from the hub: {ecc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn bad_probabilities_panic() {
+        let _ = rmat(4, 10, 0.5, 0.5, 0.5, 0.5, 1);
+    }
+
+    #[test]
+    fn uniform_quadrants_reduce_to_erdos_renyi_like() {
+        // a=b=c=d=0.25 gives near-uniform endpoints: max degree close to
+        // the average, unlike the skewed case.
+        let scale = 10;
+        let n = 1u64 << scale;
+        let edges = rmat(scale, 8 * n, 0.25, 0.25, 0.25, 0.25, 2);
+        let net = FlowNetwork::from_undirected_unit(n, &edges);
+        let max_deg = props::max_degree(&net);
+        let avg = props::average_degree(&net);
+        assert!(
+            (max_deg as f64) < 4.0 * avg,
+            "uniform quadrants should not produce hubs ({max_deg} vs avg {avg:.1})"
+        );
+    }
+}

@@ -1,0 +1,294 @@
+//! A social-network crawl generator reproducing the paper's nested
+//! Facebook subsets FB1 ⊂ FB2 ⊂ … ⊂ FB6.
+//!
+//! The paper crawled Facebook and split the result into nested subgraphs
+//! whose edge/vertex ratio *grows* with size (from ~5.3 at FB1 to ~76 at
+//! FB6), because a widening crawl keeps discovering edges among already
+//! visited users. We reproduce that shape with a preferential-attachment
+//! growth process whose per-vertex attachment budget rises between
+//! checkpoints, so the prefix-induced subgraphs hit the same |V|/|E|
+//! ratios (scaled down from the paper's millions).
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One nested subset boundary: after `vertices` vertices have arrived the
+/// cumulative edge count should be about `edges`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrawlCheckpoint {
+    /// Subset name, e.g. `"FB3"`.
+    pub name: &'static str,
+    /// Vertex count at this checkpoint (scaled units).
+    pub vertices: u64,
+    /// Cumulative undirected edge count at this checkpoint (scaled units).
+    pub edges: u64,
+}
+
+/// The paper's FB1–FB6 sizes in *thousands* (vertices) and *thousands*
+/// (edges) — i.e. the real crawl divided by 1000. Multiply through
+/// [`social_crawl`]'s `scale` argument to shrink further.
+pub const FB_CHECKPOINTS: [CrawlCheckpoint; 6] = [
+    CrawlCheckpoint {
+        name: "FB1",
+        vertices: 21_000,
+        edges: 112_000,
+    },
+    CrawlCheckpoint {
+        name: "FB2",
+        vertices: 73_000,
+        edges: 1_047_000,
+    },
+    CrawlCheckpoint {
+        name: "FB3",
+        vertices: 97_000,
+        edges: 2_059_000,
+    },
+    CrawlCheckpoint {
+        name: "FB4",
+        vertices: 151_000,
+        edges: 4_390_000,
+    },
+    CrawlCheckpoint {
+        name: "FB5",
+        vertices: 225_000,
+        edges: 10_121_000,
+    },
+    CrawlCheckpoint {
+        name: "FB6",
+        vertices: 411_000,
+        edges: 31_239_000,
+    },
+];
+
+/// Generates one growth process hitting every checkpoint, so that
+/// [`induced_prefix`] of the result at checkpoint *i*'s vertex count is
+/// the nested subset FB*i*.
+///
+/// `denominator` divides every checkpoint (use e.g. 20 to turn the
+/// thousand-scaled [`FB_CHECKPOINTS`] into a laptop-size family).
+/// `max_degree` caps any vertex's degree, mirroring Facebook's 5000-friend
+/// limit (the paper notes high-degree vertices can be decomposed, so a cap
+/// loses no generality).
+///
+/// # Panics
+/// Panics if checkpoints are not strictly increasing in vertices and
+/// edges after scaling.
+///
+/// # Example
+/// ```
+/// use swgraph::gen::{social_crawl, induced_prefix, FB_CHECKPOINTS};
+/// let edges = social_crawl(&FB_CHECKPOINTS[..2], 200, 500, 42);
+/// let fb1 = induced_prefix(&edges, FB_CHECKPOINTS[0].vertices / 200);
+/// assert!(fb1.len() < edges.len());
+/// ```
+#[must_use]
+pub fn social_crawl(
+    checkpoints: &[CrawlCheckpoint],
+    denominator: u64,
+    max_degree: u64,
+    seed: u64,
+) -> Vec<(u64, u64)> {
+    assert!(denominator > 0, "denominator must be positive");
+    let scaled: Vec<(u64, u64)> = checkpoints
+        .iter()
+        .map(|c| {
+            (
+                (c.vertices / denominator).max(2),
+                (c.edges / denominator).max(1),
+            )
+        })
+        .collect();
+    for w in scaled.windows(2) {
+        assert!(
+            w[1].0 > w[0].0 && w[1].1 > w[0].1,
+            "checkpoints must stay strictly increasing after scaling"
+        );
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let total_vertices = scaled.last().map_or(0, |c| c.0);
+    let mut endpoints: Vec<u64> = Vec::new();
+    let mut degree: Vec<u64> = vec![0; total_vertices as usize];
+    let mut seen: HashSet<(u64, u64)> = HashSet::new();
+    let mut edges: Vec<(u64, u64)> = Vec::new();
+
+    let add_edge = |u: u64,
+                        v: u64,
+                        seen: &mut HashSet<(u64, u64)>,
+                        edges: &mut Vec<(u64, u64)>,
+                        endpoints: &mut Vec<u64>,
+                        degree: &mut Vec<u64>|
+     -> bool {
+        let key = (u.min(v), u.max(v));
+        if u == v || !seen.insert(key) {
+            return false;
+        }
+        edges.push(key);
+        endpoints.push(u);
+        endpoints.push(v);
+        degree[u as usize] += 1;
+        degree[v as usize] += 1;
+        true
+    };
+
+    // Seed triangle.
+    add_edge(0, 1, &mut seen, &mut edges, &mut endpoints, &mut degree);
+    if total_vertices > 2 {
+        add_edge(0, 2, &mut seen, &mut edges, &mut endpoints, &mut degree);
+        add_edge(1, 2, &mut seen, &mut edges, &mut endpoints, &mut degree);
+    }
+
+    let mut prev_v = 3u64.min(total_vertices);
+    let mut target_edges_prev = edges.len() as u64;
+    for &(cv, ce) in &scaled {
+        if cv <= prev_v {
+            continue;
+        }
+        let span = cv - prev_v;
+        let need = ce.saturating_sub(target_edges_prev) as f64;
+        let m_frac = need / span as f64;
+        for t in prev_v..cv {
+            let mut want = m_frac.floor() as u64;
+            if rng.gen::<f64>() < m_frac.fract() {
+                want += 1;
+            }
+            // A new vertex can attach to at most t existing vertices.
+            want = want.min(t).min(max_degree);
+            let mut attached: HashSet<u64> = HashSet::new();
+            let mut guard = 0u64;
+            while (attached.len() as u64) < want && guard < 64 * want.max(1) {
+                guard += 1;
+                let target = if endpoints.is_empty() {
+                    rng.gen_range(0..t)
+                } else {
+                    endpoints[rng.gen_range(0..endpoints.len())]
+                };
+                if target >= t
+                    || attached.contains(&target)
+                    || degree[target as usize] >= max_degree
+                {
+                    continue;
+                }
+                attached.insert(target);
+            }
+            let mut attached: Vec<u64> = attached.into_iter().collect();
+            attached.sort_unstable();
+            for target in attached {
+                add_edge(
+                    t,
+                    target,
+                    &mut seen,
+                    &mut edges,
+                    &mut endpoints,
+                    &mut degree,
+                );
+            }
+        }
+        prev_v = cv;
+        target_edges_prev = ce;
+    }
+    edges.sort_unstable();
+    edges
+}
+
+/// Extracts the nested subset: every edge whose endpoints are both below
+/// `vertices` — exactly the crawl state when that many users had been
+/// visited, since new edges always touch the newest vertex.
+#[must_use]
+pub fn induced_prefix(edges: &[(u64, u64)], vertices: u64) -> Vec<(u64, u64)> {
+    edges
+        .iter()
+        .copied()
+        .filter(|&(u, v)| u < vertices && v < vertices)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props;
+    use crate::FlowNetwork;
+
+    fn small_family() -> Vec<(u64, u64)> {
+        social_crawl(&FB_CHECKPOINTS, 100, 500, 7)
+    }
+
+    #[test]
+    fn checkpoints_hit_within_tolerance() {
+        let edges = small_family();
+        for c in &FB_CHECKPOINTS {
+            let nv = c.vertices / 100;
+            let target = (c.edges / 100) as f64;
+            let got = induced_prefix(&edges, nv).len() as f64;
+            let err = (got - target).abs() / target;
+            assert!(
+                err < 0.15,
+                "{}: got {got} edges, target {target} ({:.1}% off)",
+                c.name,
+                err * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn edge_density_ratio_grows_like_the_crawl() {
+        let edges = small_family();
+        let r1 = induced_prefix(&edges, FB_CHECKPOINTS[0].vertices / 100).len() as f64
+            / (FB_CHECKPOINTS[0].vertices / 100) as f64;
+        let r6 = edges.len() as f64 / (FB_CHECKPOINTS[5].vertices / 100) as f64;
+        assert!(
+            r6 > 5.0 * r1,
+            "density must grow with crawl size ({r1:.1} -> {r6:.1})"
+        );
+    }
+
+    #[test]
+    fn nested_subsets_are_prefixes() {
+        let edges = small_family();
+        let fb2 = induced_prefix(&edges, FB_CHECKPOINTS[1].vertices / 100);
+        let fb1 = induced_prefix(&edges, FB_CHECKPOINTS[0].vertices / 100);
+        let fb2_set: HashSet<_> = fb2.iter().collect();
+        assert!(fb1.iter().all(|e| fb2_set.contains(e)), "FB1 ⊂ FB2");
+    }
+
+    #[test]
+    fn respects_degree_cap() {
+        let cap = 50;
+        let edges = social_crawl(&FB_CHECKPOINTS[..3], 100, cap, 3);
+        let n = FB_CHECKPOINTS[2].vertices / 100;
+        let net = FlowNetwork::from_undirected_unit(n, &edges);
+        // Seed/early vertices may exceed by the final attachment of a
+        // round, so allow +1 slack.
+        for v in 0..n {
+            assert!(net.degree(crate::VertexId::new(v)) as u64 <= cap + 1);
+        }
+    }
+
+    #[test]
+    fn graph_is_small_world() {
+        let edges = small_family();
+        let n = FB_CHECKPOINTS[5].vertices / 100;
+        let net = FlowNetwork::from_undirected_unit(n, &edges);
+        let comps = props::component_sizes(&net);
+        assert!(
+            comps[0] as f64 > 0.99 * n as f64,
+            "giant component covers the graph"
+        );
+        let d = crate::bfs::estimate_diameter(&net, 10, 1);
+        assert!(
+            d.max_observed <= 14,
+            "effective diameter stays small ({})",
+            d.max_observed
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            social_crawl(&FB_CHECKPOINTS[..2], 200, 500, 5),
+            social_crawl(&FB_CHECKPOINTS[..2], 200, 500, 5)
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! The Watts–Strogatz small-world model.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a Watts–Strogatz small-world graph: a ring lattice where each
+/// vertex connects to its `k` nearest neighbors (`k/2` each side), with
+/// every edge rewired to a random endpoint with probability `beta`.
+///
+/// Rewiring skips self-loops and duplicate edges, so the result has at most
+/// `n * k / 2` edges. With `beta` around 0.1 the graph keeps high
+/// clustering while gaining the short paths the paper's algorithm exploits.
+///
+/// # Panics
+/// Panics if `k` is odd, `k >= n`, or `beta` is outside `[0, 1]`.
+///
+/// # Example
+/// ```
+/// let edges = swgraph::gen::watts_strogatz(100, 4, 0.1, 7);
+/// assert_eq!(edges.len(), 200);
+/// ```
+#[must_use]
+pub fn watts_strogatz(n: u64, k: u64, beta: f64, seed: u64) -> Vec<(u64, u64)> {
+    assert!(k.is_multiple_of(2), "k must be even");
+    assert!(n == 0 || k < n, "k must be < n");
+    assert!((0.0..=1.0).contains(&beta), "beta must be in [0, 1]");
+    if n == 0 || k == 0 {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut present: HashSet<(u64, u64)> = HashSet::new();
+    let norm = |u: u64, v: u64| (u.min(v), u.max(v));
+
+    for u in 0..n {
+        for j in 1..=k / 2 {
+            present.insert(norm(u, (u + j) % n));
+        }
+    }
+    // Rewire each lattice edge with probability beta, keeping the near
+    // endpoint fixed (the classic formulation).
+    let lattice: Vec<(u64, u64)> = {
+        let mut v: Vec<_> = present.iter().copied().collect();
+        v.sort_unstable();
+        v
+    };
+    for (u, v) in lattice {
+        if rng.gen::<f64>() >= beta {
+            continue;
+        }
+        // Try a handful of random endpoints; keep the edge if all collide.
+        for _ in 0..16 {
+            let w = rng.gen_range(0..n);
+            let candidate = norm(u, w);
+            if w != u && !present.contains(&candidate) {
+                present.remove(&norm(u, v));
+                present.insert(candidate);
+                break;
+            }
+        }
+    }
+    let mut edges: Vec<(u64, u64)> = present.into_iter().collect();
+    edges.sort_unstable();
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_count_and_validity() {
+        let n = 200;
+        let edges = watts_strogatz(n, 6, 0.2, 1);
+        assert_eq!(edges.len(), (n * 3) as usize);
+        for &(u, v) in &edges {
+            assert!(u < v, "canonical direction");
+            assert!(v < n);
+        }
+        let set: HashSet<_> = edges.iter().collect();
+        assert_eq!(set.len(), edges.len(), "no duplicates");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(watts_strogatz(50, 4, 0.3, 9), watts_strogatz(50, 4, 0.3, 9));
+        assert_ne!(watts_strogatz(50, 4, 0.3, 9), watts_strogatz(50, 4, 0.3, 10));
+    }
+
+    #[test]
+    fn beta_zero_is_pure_lattice() {
+        let edges = watts_strogatz(10, 2, 0.0, 3);
+        let expected: Vec<(u64, u64)> = (0..10u64).map(|u| (u.min((u + 1) % 10), u.max((u + 1) % 10))).collect::<HashSet<_>>().into_iter().collect::<Vec<_>>();
+        let mut expected = expected;
+        expected.sort_unstable();
+        assert_eq!(edges, expected);
+    }
+
+    #[test]
+    fn rewiring_shortens_paths() {
+        use crate::bfs::estimate_diameter;
+        use crate::FlowNetwork;
+        let n = 1000;
+        let lattice = FlowNetwork::from_undirected_unit(n, &watts_strogatz(n, 4, 0.0, 5));
+        let small_world = FlowNetwork::from_undirected_unit(n, &watts_strogatz(n, 4, 0.3, 5));
+        let d_lattice = estimate_diameter(&lattice, 5, 5).max_observed;
+        let d_sw = estimate_diameter(&small_world, 5, 5).max_observed;
+        assert!(
+            d_sw * 3 < d_lattice,
+            "rewiring must shrink the diameter ({d_sw} vs {d_lattice})"
+        );
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert!(watts_strogatz(0, 0, 0.5, 1).is_empty());
+        assert!(watts_strogatz(5, 0, 0.5, 1).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be even")]
+    fn odd_k_panics() {
+        let _ = watts_strogatz(10, 3, 0.1, 1);
+    }
+}

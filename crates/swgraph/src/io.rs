@@ -1,0 +1,149 @@
+//! Edge-list text serialization.
+//!
+//! Format: one `u v cap` triple per line (capacity optional, default 1),
+//! `#` comments and blank lines ignored — the common interchange format
+//! for public graph datasets.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use crate::network::{Capacity, FlowNetwork, FlowNetworkBuilder};
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseEdgeListError {
+    /// 1-based line where parsing failed.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseEdgeListError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseEdgeListError {}
+
+/// Reads a directed edge list into a [`FlowNetworkBuilder`] (so callers
+/// can keep adding super terminals before building).
+///
+/// # Errors
+/// [`ParseEdgeListError`] on malformed lines; I/O errors are reported as
+/// a parse error on the offending line.
+pub fn read_edge_list(reader: impl BufRead) -> Result<FlowNetworkBuilder, ParseEdgeListError> {
+    let mut builder = FlowNetworkBuilder::new(0);
+    for (idx, line) in reader.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.map_err(|e| ParseEdgeListError {
+            line: lineno,
+            message: format!("io error: {e}"),
+        })?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let parse_u64 = |tok: Option<&str>, what: &str| -> Result<u64, ParseEdgeListError> {
+            tok.ok_or_else(|| ParseEdgeListError {
+                line: lineno,
+                message: format!("missing {what}"),
+            })?
+            .parse()
+            .map_err(|_| ParseEdgeListError {
+                line: lineno,
+                message: format!("invalid {what}"),
+            })
+        };
+        let u = parse_u64(parts.next(), "source vertex")?;
+        let v = parse_u64(parts.next(), "target vertex")?;
+        let cap: Capacity = match parts.next() {
+            None => 1,
+            Some(tok) => tok.parse().map_err(|_| ParseEdgeListError {
+                line: lineno,
+                message: "invalid capacity".to_string(),
+            })?,
+        };
+        if parts.next().is_some() {
+            return Err(ParseEdgeListError {
+                line: lineno,
+                message: "trailing tokens".to_string(),
+            });
+        }
+        builder.add_edge(u, v, cap);
+    }
+    Ok(builder)
+}
+
+/// Writes every positive-capacity directed edge as `u v cap` lines.
+///
+/// # Errors
+/// Propagates I/O errors from `writer`.
+pub fn write_edge_list(net: &FlowNetwork, mut writer: impl Write) -> std::io::Result<()> {
+    writeln!(writer, "# {} vertices", net.num_vertices())?;
+    for e in net.capacitated_edges() {
+        writeln!(
+            writer,
+            "{} {} {}",
+            net.tail(e).raw(),
+            net.head(e).raw(),
+            net.capacity(e)
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VertexId;
+
+    #[test]
+    fn round_trip() {
+        let mut b = FlowNetworkBuilder::new(3);
+        b.add_edge(0, 1, 5);
+        b.add_edge(1, 2, 3);
+        b.add_edge(2, 0, 7);
+        let net = b.build();
+        let mut buf = Vec::new();
+        write_edge_list(&net, &mut buf).unwrap();
+        let back = read_edge_list(buf.as_slice()).unwrap().build();
+        assert_eq!(net, back);
+    }
+
+    #[test]
+    fn parses_comments_defaults_and_blanks() {
+        let text = "# a comment\n\n0 1\n1 2 9\n";
+        let net = read_edge_list(text.as_bytes()).unwrap().build();
+        assert_eq!(net.num_edge_pairs(), 2);
+        let e01 = net
+            .neighbors(VertexId::new(0))
+            .map(|(e, _)| e)
+            .next()
+            .unwrap();
+        assert_eq!(net.capacity(e01), 1, "missing capacity defaults to 1");
+    }
+
+    #[test]
+    fn error_reports_line_number() {
+        let text = "0 1\nnot numbers\n";
+        let err = read_edge_list(text.as_bytes()).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn rejects_trailing_tokens_and_missing_fields() {
+        assert!(read_edge_list("0 1 2 3\n".as_bytes()).is_err());
+        assert!(read_edge_list("0\n".as_bytes()).is_err());
+        assert!(read_edge_list("0 1 x\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_input_is_empty_network() {
+        let net = read_edge_list("".as_bytes()).unwrap().build();
+        assert_eq!(net.num_vertices(), 0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Minimum spanning forests: Kruskal's algorithm with a union-find, the
+//! in-memory oracle for the MapReduce Borůvka implementation in
+//! `ffmr-core` (the "MST" entry of the paper's related-work survey).
+
+/// A weighted undirected edge `(u, v, weight)`.
+pub type WeightedEdge = (u64, u64, i64);
+
+/// Disjoint-set union with path halving and union by size.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    /// Representative of `x`'s set.
+    ///
+    /// # Panics
+    /// Panics if `x >= n`.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut x = x;
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns false if already joined.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big;
+        self.size[big] += self.size[small];
+        true
+    }
+
+    /// Whether `a` and `b` share a set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+/// A minimum spanning forest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanningForest {
+    /// Chosen edges, sorted by `(weight, u, v)`.
+    pub edges: Vec<WeightedEdge>,
+    /// Sum of chosen weights.
+    pub total_weight: i64,
+}
+
+/// Kruskal's algorithm over `n` vertices. Ties break on `(weight, u, v)`
+/// so the forest is unique for distinct-keyed inputs — which makes it a
+/// byte-comparable oracle for the distributed implementation.
+///
+/// # Example
+/// ```
+/// let forest = swgraph::mst::kruskal(4, &[(0, 1, 5), (1, 2, 1), (0, 2, 3), (2, 3, 2)]);
+/// assert_eq!(forest.total_weight, 6); // 1 + 2 + 3
+/// assert_eq!(forest.edges.len(), 3);
+/// ```
+#[must_use]
+pub fn kruskal(n: u64, edges: &[WeightedEdge]) -> SpanningForest {
+    let mut sorted: Vec<WeightedEdge> = edges
+        .iter()
+        .copied()
+        .filter(|&(u, v, _)| u != v && u < n && v < n)
+        .collect();
+    sorted.sort_by_key(|&(u, v, w)| (w, u.min(v), u.max(v)));
+    let mut uf = UnionFind::new(n as usize);
+    let mut chosen = Vec::new();
+    let mut total = 0i64;
+    for (u, v, w) in sorted {
+        if uf.union(u as usize, v as usize) {
+            chosen.push((u.min(v), u.max(v), w));
+            total += w;
+        }
+    }
+    chosen.sort_by_key(|&(u, v, w)| (w, u, v));
+    SpanningForest {
+        edges: chosen,
+        total_weight: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2), "already connected");
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 3));
+    }
+
+    #[test]
+    fn textbook_mst() {
+        let edges = vec![
+            (0, 1, 4),
+            (0, 7, 8),
+            (1, 7, 11),
+            (1, 2, 8),
+            (7, 8, 7),
+            (7, 6, 1),
+            (2, 8, 2),
+            (8, 6, 6),
+            (2, 3, 7),
+            (2, 5, 4),
+            (6, 5, 2),
+            (3, 5, 14),
+            (3, 4, 9),
+            (5, 4, 10),
+        ];
+        let forest = kruskal(9, &edges);
+        assert_eq!(forest.total_weight, 37, "CLRS figure 23.4");
+        assert_eq!(forest.edges.len(), 8);
+    }
+
+    #[test]
+    fn forest_on_disconnected_graph() {
+        let forest = kruskal(5, &[(0, 1, 3), (2, 3, 1)]);
+        assert_eq!(forest.edges.len(), 2);
+        assert_eq!(forest.total_weight, 4);
+    }
+
+    #[test]
+    fn spanning_tree_covers_connected_graph() {
+        let n = 300;
+        let raw = gen::barabasi_albert(n, 3, 9);
+        let weighted: Vec<WeightedEdge> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(u, v))| (u, v, 1 + (i as i64 * 17) % 1000))
+            .collect();
+        let forest = kruskal(n, &weighted);
+        assert_eq!(forest.edges.len() as u64, n - 1, "spanning tree");
+        // The tree really spans: union-find over chosen edges connects all.
+        let mut uf = UnionFind::new(n as usize);
+        for &(u, v, _) in &forest.edges {
+            uf.union(u as usize, v as usize);
+        }
+        let root = uf.find(0);
+        assert!((0..n as usize).all(|v| uf.find(v) == root));
+    }
+
+    #[test]
+    fn self_loops_and_out_of_range_ignored() {
+        let forest = kruskal(2, &[(0, 0, 1), (0, 5, 1), (0, 1, 9)]);
+        assert_eq!(forest.edges, vec![(0, 1, 9)]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Property-based testing of the graph substrate: every generator must
+//! produce well-formed edge lists for arbitrary parameters, structural
+//! properties must hold, and serialization must round-trip.
+
+use proptest::prelude::*;
+use swgraph::{bfs, gen, io, props, FlowNetwork, FlowNetworkBuilder, VertexId};
+
+fn assert_well_formed(n: u64, edges: &[(u64, u64)]) {
+    let mut seen = std::collections::HashSet::new();
+    for &(u, v) in edges {
+        assert!(u < v, "canonical order broken: ({u}, {v})");
+        assert!(v < n, "endpoint {v} out of range {n}");
+        assert!(seen.insert((u, v)), "duplicate edge ({u}, {v})");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn watts_strogatz_always_well_formed(
+        n in 3u64..200,
+        half_k in 1u64..4,
+        beta in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let k = (2 * half_k).min(n - 1) & !1;
+        prop_assume!(k >= 2);
+        let edges = gen::watts_strogatz(n, k, beta, seed);
+        assert_well_formed(n, &edges);
+        prop_assert_eq!(edges.len(), (n * k / 2) as usize);
+    }
+
+    #[test]
+    fn barabasi_albert_always_well_formed(
+        n in 2u64..300,
+        m in 1u64..6,
+        seed in 0u64..1000,
+    ) {
+        let edges = gen::barabasi_albert(n, m, seed);
+        assert_well_formed(n, &edges);
+        // Connected by construction.
+        let net = FlowNetwork::from_undirected_unit(n, &edges);
+        prop_assert_eq!(props::component_sizes(&net)[0] as u64, n);
+    }
+
+    #[test]
+    fn erdos_renyi_always_well_formed(
+        n in 2u64..100,
+        seed in 0u64..1000,
+        frac in 0.0f64..0.9,
+    ) {
+        let possible = n * (n - 1) / 2;
+        let m = (possible as f64 * frac) as u64;
+        let edges = gen::erdos_renyi(n, m, seed);
+        assert_well_formed(n, &edges);
+        prop_assert_eq!(edges.len() as u64, m);
+    }
+
+    #[test]
+    fn bfs_distances_satisfy_triangle_inequality(
+        n in 2u64..80,
+        edges in proptest::collection::vec((0u64..80, 0u64..80), 1..160),
+    ) {
+        let edges: Vec<(u64, u64)> = edges
+            .into_iter()
+            .map(|(u, v)| (u % n, v % n))
+            .filter(|&(u, v)| u != v)
+            .collect();
+        let net = FlowNetwork::from_undirected_unit(n, &edges);
+        let d = bfs::bfs_distances(&net, VertexId::new(0));
+        // Adjacent vertices differ by at most 1 in distance.
+        for &(u, v) in &edges {
+            match (d[u as usize], d[v as usize]) {
+                (Some(du), Some(dv)) => {
+                    prop_assert!(du.abs_diff(dv) <= 1, "edge ({u},{v}): {du} vs {dv}");
+                }
+                (None, None) => {}
+                _ => prop_assert!(false, "edge with one endpoint unreachable"),
+            }
+        }
+    }
+
+    #[test]
+    fn edge_list_io_round_trips_any_network(
+        n in 1u64..50,
+        edges in proptest::collection::vec((0u64..50, 0u64..50, 1i64..100), 0..100),
+    ) {
+        let mut b = FlowNetworkBuilder::new(n);
+        for (u, v, c) in edges {
+            b.add_edge(u % n, v % n, c);
+        }
+        let net = b.build();
+        let mut text = Vec::new();
+        io::write_edge_list(&net, &mut text).unwrap();
+        let back = io::read_edge_list(text.as_slice()).unwrap().build();
+        // Vertex count may shrink for trailing isolated vertices; compare
+        // edge structure.
+        prop_assert_eq!(net.num_edge_pairs(), back.num_edge_pairs());
+        for e in net.capacitated_edges() {
+            let (u, v) = (net.tail(e), net.head(e));
+            let found = back
+                .out_edges(u)
+                .any(|e2| back.head(e2) == v && back.capacity(e2) == net.capacity(e));
+            prop_assert!(found, "edge {u}->{v} lost in round trip");
+        }
+    }
+
+    #[test]
+    fn super_terminals_never_reduce_flow(
+        n in 20u64..120,
+        m in 2u64..4,
+        seed in 0u64..100,
+        w in 1usize..6,
+    ) {
+        let edges = gen::barabasi_albert(n, m, seed);
+        let net = FlowNetwork::from_undirected_unit(n, &edges);
+        if let Ok(st) = swgraph::super_st::attach_super_terminals(&net, w, 2, seed) {
+            // Flow via a super source over w terminals is at least the
+            // flow from any single one of those terminals to any sink
+            // terminal (the super edges are unbounded).
+            let single = maxflow_value(&st.network, st.source_terminals[0], st.sink_terminals[0]);
+            let combined = maxflow_value(&st.network, st.source, st.sink);
+            prop_assert!(combined >= single.min(1));
+        }
+    }
+}
+
+fn maxflow_value(net: &FlowNetwork, s: VertexId, t: VertexId) -> i64 {
+    // Local Edmonds-Karp to avoid a circular dev-dependency on maxflow.
+    use std::collections::VecDeque;
+    let mut flows = vec![0i64; net.num_directed_edges()];
+    let n = net.num_vertices();
+    let mut total = 0;
+    loop {
+        let mut parent = vec![None; n];
+        let mut visited = vec![false; n];
+        visited[s.index()] = true;
+        let mut q = VecDeque::from([s]);
+        let mut found = false;
+        'bfs: while let Some(u) = q.pop_front() {
+            for e in net.out_edges(u) {
+                let v = net.head(e);
+                if !visited[v.index()] && net.capacity(e) - flows[e.index()] > 0 {
+                    visited[v.index()] = true;
+                    parent[v.index()] = Some(e);
+                    if v == t {
+                        found = true;
+                        break 'bfs;
+                    }
+                    q.push_back(v);
+                }
+            }
+        }
+        if !found {
+            return total;
+        }
+        let mut bottleneck = i64::MAX;
+        let mut cur = t;
+        while cur != s {
+            let e: swgraph::EdgeId = parent[cur.index()].unwrap();
+            bottleneck = bottleneck.min(net.capacity(e) - flows[e.index()]);
+            cur = net.tail(e);
+        }
+        let mut cur = t;
+        while cur != s {
+            let e: swgraph::EdgeId = parent[cur.index()].unwrap();
+            flows[e.index()] += bottleneck;
+            flows[e.reverse().index()] -= bottleneck;
+            cur = net.tail(e);
+        }
+        total += bottleneck;
+    }
+}

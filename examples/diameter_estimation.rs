@@ -1,0 +1,64 @@
+//! Estimating a graph's diameter with MapReduce BFS — how the paper
+//! estimated FB6's diameter as "between 7 to 14" (Sec. V-A1), in the
+//! spirit of HADI (Kang et al.).
+//!
+//! Runs MR-BFS from a few random roots over an FB-like crawl subset and
+//! reports eccentricities, rounds, and the per-round MR cost, then
+//! compares with the in-memory estimator.
+//!
+//! ```text
+//! cargo run --release --example diameter_estimation
+//! ```
+
+use ffmr::prelude::*;
+use swgraph::gen::{induced_prefix, social_crawl, FB_CHECKPOINTS};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // FB2'-scale crawl subset (paper sizes divided by 100).
+    let denominator = 100;
+    let all_edges = social_crawl(&FB_CHECKPOINTS[..2], denominator, 500, 3);
+    let n = FB_CHECKPOINTS[1].vertices / denominator;
+    let edges = induced_prefix(&all_edges, n);
+    let net = FlowNetwork::from_undirected_unit(n, &edges);
+    println!(
+        "FB2'-scale crawl: {} vertices, {} edges",
+        net.num_vertices(),
+        edges.len()
+    );
+
+    let mut rt = MrRuntime::new(ClusterConfig::paper_cluster(20));
+    let roots = [0u64, n / 3, 2 * n / 3];
+    let mut max_ecc = 0;
+    for (i, &root) in roots.iter().enumerate() {
+        let run = ffmr::ffmr_core::mr_bfs::run_bfs(
+            &mut rt,
+            &net,
+            VertexId::new(root),
+            &format!("bfs{i}"),
+            8,
+        )?;
+        println!(
+            "root v{root}: eccentricity {}, reached {}/{} vertices, {} MR rounds, {:.1} simulated min",
+            run.eccentricity,
+            run.reached,
+            n,
+            run.rounds,
+            run.stats.total_sim_seconds() / 60.0
+        );
+        max_ecc = max_ecc.max(run.eccentricity);
+    }
+    println!(
+        "MR-BFS diameter estimate: between {} and {}",
+        max_ecc,
+        2 * max_ecc
+    );
+
+    let mem = swgraph::bfs::estimate_diameter(&net, 16, 9);
+    println!(
+        "in-memory estimator agrees: max observed {}, effective p90 {}",
+        mem.max_observed, mem.effective_p90
+    );
+    assert!(u64::from(mem.max_observed) >= max_ecc);
+    assert!(max_ecc <= 16, "small-world diameter stays small");
+    Ok(())
+}

@@ -1,0 +1,221 @@
+//! `ffmr` — command-line max-flow on edge-list graphs.
+//!
+//! ```text
+//! ffmr generate --model ba --vertices 1000 --out graph.txt [--param 3] [--seed 42]
+//! ffmr info --input graph.txt
+//! ffmr maxflow --input graph.txt --source 0 --sink 999 \
+//!       [--algorithm ff5|ff1|dinic|edmonds-karp|push-relabel|capacity-scaling|pregel]
+//!       [--nodes 20] [--w 0]
+//! ```
+//!
+//! With `--w N` the source/sink arguments are ignored and a super
+//! source/sink over `N` high-degree terminals each is attached (the
+//! paper's Sec. V-A1 construction).
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+use ffmr::prelude::*;
+use ffmr::{ffmr_core, maxflow, swgraph};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("usage: ffmr <generate|info|maxflow> [options]  (--help for details)");
+        return ExitCode::from(2);
+    };
+    let result = match command.as_str() {
+        "generate" => generate(&args[1..]),
+        "info" => info(&args[1..]),
+        "maxflow" => run_maxflow(&args[1..]),
+        "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "ffmr — max-flow on small-world graphs (MapReduce / Pregel / sequential)\n\n\
+         commands:\n\
+         \x20 generate --model ba|ws|er --vertices N --out FILE [--param P] [--seed S]\n\
+         \x20 info     --input FILE\n\
+         \x20 maxflow  --input FILE (--source S --sink T | --w N)\n\
+         \x20          [--algorithm ff1..ff5|dinic|edmonds-karp|ford-fulkerson|\n\
+         \x20           push-relabel|capacity-scaling|pregel]\n\
+         \x20          [--nodes N] [--reducers R] [--seed S]"
+    );
+}
+
+/// Pulls `--name value` pairs out of an argument list.
+struct Options {
+    pairs: Vec<(String, String)>,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut pairs = Vec::new();
+        let mut it = args.iter();
+        while let Some(key) = it.next() {
+            let Some(name) = key.strip_prefix("--") else {
+                return Err(format!("expected --option, got '{key}'"));
+            };
+            let value = it
+                .next()
+                .ok_or_else(|| format!("--{name} needs a value"))?;
+            pairs.push((name.to_string(), value.clone()));
+        }
+        Ok(Self { pairs })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn required(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("--{name} is required"))
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid --{name} '{v}'")),
+        }
+    }
+}
+
+fn generate(args: &[String]) -> Result<(), String> {
+    let opts = Options::parse(args)?;
+    let model = opts.required("model")?.to_string();
+    let n: u64 = opts.required("vertices")?.parse().map_err(|_| "invalid --vertices")?;
+    let out = opts.required("out")?.to_string();
+    let seed: u64 = opts.parsed("seed", 42)?;
+    let param: u64 = opts.parsed("param", 3)?;
+
+    let edges = match model.as_str() {
+        "ba" => swgraph::gen::barabasi_albert(n, param, seed),
+        "ws" => swgraph::gen::watts_strogatz(n, param.max(2) & !1, 0.1, seed),
+        "er" => swgraph::gen::erdos_renyi(n, param * n, seed),
+        other => return Err(format!("unknown model '{other}' (ba|ws|er)")),
+    };
+    let net = FlowNetwork::from_undirected_unit(n, &edges);
+    let file = File::create(&out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    swgraph::io::write_edge_list(&net, BufWriter::new(file))
+        .map_err(|e| format!("write failed: {e}"))?;
+    println!(
+        "wrote {} vertices / {} edges ({model}, seed {seed}) to {out}",
+        n,
+        edges.len()
+    );
+    Ok(())
+}
+
+fn load(path: &str) -> Result<FlowNetwork, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    swgraph::io::read_edge_list(BufReader::new(file))
+        .map(swgraph::FlowNetworkBuilder::build)
+        .map_err(|e| format!("parse failed: {e}"))
+}
+
+fn info(args: &[String]) -> Result<(), String> {
+    let opts = Options::parse(args)?;
+    let net = load(opts.required("input")?)?;
+    let d = swgraph::bfs::estimate_diameter(&net, 8, 1);
+    let comps = swgraph::props::component_sizes(&net);
+    println!("vertices:            {}", net.num_vertices());
+    println!("edge pairs:          {}", net.num_edge_pairs());
+    println!("capacitated edges:   {}", net.num_capacitated_edges());
+    println!("average degree:      {:.2}", swgraph::props::average_degree(&net));
+    println!("max degree:          {}", swgraph::props::max_degree(&net));
+    println!("largest component:   {}", comps.first().copied().unwrap_or(0));
+    println!("diameter (sampled):  >= {}, p90 {}", d.max_observed, d.effective_p90);
+    println!(
+        "clustering (sampled): {:.4}",
+        swgraph::props::clustering_coefficient(&net, 200, 1)
+    );
+    Ok(())
+}
+
+fn run_maxflow(args: &[String]) -> Result<(), String> {
+    let opts = Options::parse(args)?;
+    let base = load(opts.required("input")?)?;
+    let algorithm = opts.get("algorithm").unwrap_or("ff5").to_string();
+    let nodes: usize = opts.parsed("nodes", 20)?;
+    let reducers: usize = opts.parsed("reducers", 8)?;
+    let seed: u64 = opts.parsed("seed", 42)?;
+    let w: usize = opts.parsed("w", 0)?;
+
+    let (net, s, t) = if w > 0 {
+        let st = swgraph::super_st::attach_super_terminals(&base, w, 3, seed)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "attached super terminals over {w} high-degree vertices each (s = {}, t = {})",
+            st.source, st.sink
+        );
+        (st.network, st.source, st.sink)
+    } else {
+        let s = VertexId::new(opts.required("source")?.parse().map_err(|_| "invalid --source")?);
+        let t = VertexId::new(opts.required("sink")?.parse().map_err(|_| "invalid --sink")?);
+        (base, s, t)
+    };
+
+    let variant = match algorithm.as_str() {
+        "ff1" => Some(FfVariant::ff1()),
+        "ff2" => Some(FfVariant::ff2()),
+        "ff3" => Some(FfVariant::ff3()),
+        "ff4" => Some(FfVariant::ff4()),
+        "ff5" => Some(FfVariant::ff5()),
+        _ => None,
+    };
+    if let Some(variant) = variant {
+        let mut rt = MrRuntime::new(ClusterConfig::paper_cluster(nodes));
+        let config = FfConfig::new(s, t).variant(variant).reducers(reducers);
+        let run = ffmr_core::run_max_flow(&mut rt, &net, &config).map_err(|e| e.to_string())?;
+        println!(
+            "max flow = {} ({} rounds, {:.1} simulated min on {nodes} nodes)",
+            run.max_flow_value,
+            run.num_flow_rounds(),
+            run.total_sim_seconds / 60.0
+        );
+        return Ok(());
+    }
+    if algorithm == "pregel" {
+        let run = ffmr_core::pregel_ff::run_max_flow_pregel(&net, s, t, 10_000)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "max flow = {} ({} supersteps, {} messages)",
+            run.max_flow_value, run.supersteps, run.total_messages
+        );
+        return Ok(());
+    }
+    let algo = match algorithm.as_str() {
+        "dinic" => Algorithm::Dinic,
+        "edmonds-karp" => Algorithm::EdmondsKarp,
+        "ford-fulkerson" => Algorithm::FordFulkerson,
+        "push-relabel" => Algorithm::PushRelabel,
+        "capacity-scaling" => Algorithm::CapacityScaling,
+        other => return Err(format!("unknown algorithm '{other}'")),
+    };
+    let flow = algo.run(&net, s, t);
+    let cut = maxflow::min_cut::extract_min_cut(&net, s, &flow);
+    println!(
+        "max flow = {} ({algo}); min cut crosses {} edges, source side has {} vertices",
+        flow.value,
+        cut.cut_edges.len(),
+        cut.source_side.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,168 @@
+//! Cross-crate integration tests: the full pipeline from graph
+//! generation through the MapReduce runtime to flow validation, exercised
+//! through the facade crate's public API only.
+
+use ffmr::prelude::*;
+use ffmr::{ffmr_core, maxflow, swgraph};
+
+#[test]
+fn full_pipeline_generation_to_validated_flow() {
+    // Generate → attach terminals → FFMR → extract → validate → min-cut.
+    let n = 600;
+    let edges = swgraph::gen::barabasi_albert(n, 3, 21);
+    let net = FlowNetwork::from_undirected_unit(n, &edges);
+    let st = swgraph::super_st::attach_super_terminals(&net, 6, 3, 5).unwrap();
+
+    let mut rt = MrRuntime::new(ClusterConfig::paper_cluster(20));
+    let config = FfConfig::new(st.source, st.sink).variant(FfVariant::ff5());
+    let run = ffmr_core::run_max_flow(&mut rt, &st.network, &config).unwrap();
+
+    let extracted = ffmr_core::verify::extract_flow(
+        rt.dfs(),
+        &run.final_graph_path,
+        &run.pending_deltas,
+        &st.network,
+    )
+    .unwrap();
+    let result = FlowResult {
+        value: extracted.value_from(&st.network, st.source),
+        flows: extracted.flows.clone(),
+    };
+    maxflow::validate::check_flow(&st.network, st.source, st.sink, &result).unwrap();
+
+    let oracle = maxflow::dinic::max_flow(&st.network, st.source, st.sink);
+    assert_eq!(run.max_flow_value, oracle.value);
+
+    let cut = maxflow::min_cut::extract_min_cut(&st.network, st.source, &oracle);
+    assert_eq!(cut.value, oracle.value, "max-flow = min-cut end to end");
+}
+
+#[test]
+fn edge_list_io_round_trips_through_ffmr() {
+    // Serialize a graph to the text interchange format, read it back, and
+    // confirm the flow is unchanged.
+    let edges = swgraph::gen::watts_strogatz(120, 4, 0.2, 9);
+    let net = FlowNetwork::from_undirected_unit(120, &edges);
+    let mut text = Vec::new();
+    swgraph::io::write_edge_list(&net, &mut text).unwrap();
+    let reparsed = swgraph::io::read_edge_list(text.as_slice()).unwrap().build();
+
+    let (s, t) = (VertexId::new(0), VertexId::new(60));
+    let before = maxflow::dinic::max_flow(&net, s, t).value;
+    let after = maxflow::dinic::max_flow(&reparsed, s, t).value;
+    assert_eq!(before, after);
+
+    let mut rt = MrRuntime::new(ClusterConfig::small_cluster(2));
+    let config = FfConfig::new(s, t).variant(FfVariant::ff3());
+    let run = ffmr_core::run_max_flow(&mut rt, &reparsed, &config).unwrap();
+    assert_eq!(run.max_flow_value, before);
+}
+
+#[test]
+fn all_sequential_algorithms_agree_with_ffmr() {
+    let edges = swgraph::gen::erdos_renyi(80, 200, 4);
+    let net = FlowNetwork::from_undirected_unit(80, &edges);
+    let (s, t) = (VertexId::new(0), VertexId::new(79));
+
+    let mut rt = MrRuntime::new(ClusterConfig::small_cluster(2));
+    let config = FfConfig::new(s, t).variant(FfVariant::ff5());
+    let mr_value = ffmr_core::run_max_flow(&mut rt, &net, &config)
+        .unwrap()
+        .max_flow_value;
+    for algo in Algorithm::ALL {
+        assert_eq!(algo.run(&net, s, t).value, mr_value, "{algo}");
+    }
+}
+
+#[test]
+fn mr_bfs_matches_in_memory_bfs_through_facade() {
+    let edges = swgraph::gen::barabasi_albert(250, 3, 8);
+    let net = FlowNetwork::from_undirected_unit(250, &edges);
+    let mut rt = MrRuntime::new(ClusterConfig::small_cluster(2));
+    let run = ffmr_core::mr_bfs::run_bfs(&mut rt, &net, VertexId::new(0), "bfs", 4).unwrap();
+    let dists = swgraph::bfs::bfs_distances(&net, VertexId::new(0));
+    assert_eq!(
+        run.eccentricity,
+        dists.iter().flatten().copied().max().unwrap() as u64
+    );
+}
+
+#[test]
+fn mr_push_relabel_matches_oracle_through_facade() {
+    let edges = swgraph::gen::watts_strogatz(60, 4, 0.3, 2);
+    let net = FlowNetwork::from_undirected_unit(60, &edges);
+    let (s, t) = (VertexId::new(0), VertexId::new(30));
+    let mut rt = MrRuntime::new(ClusterConfig::small_cluster(2));
+    let run =
+        ffmr_core::mr_push_relabel::run_push_relabel(&mut rt, &net, s, t, "pr", 2, 10_000)
+            .unwrap();
+    assert_eq!(run.max_flow_value, maxflow::dinic::max_flow(&net, s, t).value);
+}
+
+#[test]
+fn chained_flows_on_one_runtime_share_the_dfs() {
+    // Two independent max-flow chains on one runtime must not collide.
+    let edges = swgraph::gen::barabasi_albert(150, 3, 3);
+    let net = FlowNetwork::from_undirected_unit(150, &edges);
+    let mut rt = MrRuntime::new(ClusterConfig::small_cluster(2));
+
+    let c1 = FfConfig::new(VertexId::new(0), VertexId::new(100)).base_path("run-a");
+    let c2 = FfConfig::new(VertexId::new(5), VertexId::new(90)).base_path("run-b");
+    let v1 = ffmr_core::run_max_flow(&mut rt, &net, &c1).unwrap().max_flow_value;
+    let v2 = ffmr_core::run_max_flow(&mut rt, &net, &c2).unwrap().max_flow_value;
+    assert_eq!(
+        v1,
+        maxflow::dinic::max_flow(&net, VertexId::new(0), VertexId::new(100)).value
+    );
+    assert_eq!(
+        v2,
+        maxflow::dinic::max_flow(&net, VertexId::new(5), VertexId::new(90)).value
+    );
+    // Both chains' final outputs coexist.
+    assert!(rt.dfs().list().iter().any(|p| p.starts_with("run-a/")));
+    assert!(rt.dfs().list().iter().any(|p| p.starts_with("run-b/")));
+}
+
+#[test]
+fn simulated_time_accumulates_across_jobs() {
+    let edges = swgraph::gen::barabasi_albert(100, 3, 6);
+    let net = FlowNetwork::from_undirected_unit(100, &edges);
+    let mut rt = MrRuntime::new(ClusterConfig::paper_cluster(10));
+    assert_eq!(rt.total_sim_seconds(), 0.0);
+    let config = FfConfig::new(VertexId::new(0), VertexId::new(99));
+    let run = ffmr_core::run_max_flow(&mut rt, &net, &config).unwrap();
+    assert!(rt.total_sim_seconds() >= run.total_sim_seconds * 0.99);
+}
+
+#[test]
+fn mr_algorithm_suite_through_facade() {
+    // The full substrate family on one graph: components, HADI diameter,
+    // Boruvka MST — each validated against its in-memory oracle.
+    let n = 250u64;
+    let edges = swgraph::gen::rmat(8, 900, 0.57, 0.19, 0.19, 0.05, 12);
+    let edges: Vec<(u64, u64)> = edges.into_iter().filter(|&(u, v)| u < n && v < n).collect();
+    let net = FlowNetwork::from_undirected_unit(n, &edges);
+
+    let mut rt = MrRuntime::new(ClusterConfig::small_cluster(2));
+    let cc = ffmr_core::mr_components::run_components(&mut rt, &net, "cc", 4).unwrap();
+    let isolated = (0..n)
+        .filter(|&v| net.degree(VertexId::new(v)) == 0)
+        .count();
+    assert_eq!(
+        cc.component_count + isolated,
+        swgraph::props::component_sizes(&net).len()
+    );
+
+    let hadi = ffmr_core::mr_hadi::run_hadi(&mut rt, &net, "hadi", 4).unwrap();
+    assert!(hadi.effective_diameter >= 1);
+
+    let weights: Vec<i64> = (0..net.num_edge_pairs() as i64).map(|i| 1 + i * 31 % 997).collect();
+    let mst = ffmr_core::mr_mst::run_mst(&mut rt, &net, &weights, "mst", 4).unwrap();
+    let oracle_edges: Vec<(u64, u64, i64)> = (0..net.num_edge_pairs())
+        .map(|p| {
+            let e = EdgeId::new(2 * p as u64);
+            (net.tail(e).raw(), net.head(e).raw(), weights[p])
+        })
+        .collect();
+    assert_eq!(mst.forest, swgraph::mst::kruskal(n, &oracle_edges));
+}
