@@ -1,7 +1,7 @@
 //! Bench X-K: the excess-path limit sweep — wall-clock of FF2 with k = 1
 //! vs k = in-degree on FB1'.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ffmr_bench::harness::{criterion_group, criterion_main, Criterion};
 use ffmr_bench::{FbFamily, Scale};
 use ffmr_core::{run_max_flow, FfConfig, FfVariant, KPolicy};
 use mapreduce::{ClusterConfig, MrRuntime};

@@ -1,8 +1,8 @@
 //! Bench X-PR: MR push-relabel vs FF5 wall-clock on FB1' — the ablation
 //! behind the paper's Sec. II argument.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ffmr_bench::experiments::run_variant;
+use ffmr_bench::harness::{criterion_group, criterion_main, Criterion};
 use ffmr_bench::{FbFamily, Scale};
 use ffmr_core::FfVariant;
 use mapreduce::{ClusterConfig, MrRuntime};

@@ -1,8 +1,8 @@
 //! Bench T-DATA: wall-clock of building one FB subset and running FF5 on
 //! it (the unit of work behind the dataset table).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ffmr_bench::experiments::run_variant;
+use ffmr_bench::harness::{criterion_group, criterion_main, Criterion};
 use ffmr_bench::{FbFamily, Scale};
 use ffmr_core::FfVariant;
 use std::hint::black_box;

@@ -1,8 +1,8 @@
 //! Bench F5: FF5 wall-clock at small vs large terminal fan-out `w` on the
 //! largest subset — the unit behind Fig. 5's flow-value sweep.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ffmr_bench::experiments::run_variant;
+use ffmr_bench::harness::{criterion_group, criterion_main, Criterion};
 use ffmr_bench::{FbFamily, Scale};
 use ffmr_core::FfVariant;
 use std::hint::black_box;

@@ -1,8 +1,8 @@
 //! Bench F6: wall-clock of each optimization rung FF1..FF5 plus MR-BFS on
 //! FB1' — the unit behind Fig. 6's effectiveness ladder.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ffmr_bench::experiments::{run_bfs_baseline, run_variant};
+use ffmr_bench::harness::{criterion_group, criterion_main, Criterion};
 use ffmr_bench::{FbFamily, Scale};
 use ffmr_core::FfVariant;
 use std::hint::black_box;

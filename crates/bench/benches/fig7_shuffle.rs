@@ -1,8 +1,8 @@
 //! Bench F7: FF1 vs FF3 vs FF5 wall-clock on FB1' — the runs whose
 //! per-round shuffle-byte series Fig. 7 plots.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ffmr_bench::experiments::run_variant;
+use ffmr_bench::harness::{criterion_group, criterion_main, Criterion};
 use ffmr_bench::{FbFamily, Scale};
 use ffmr_core::FfVariant;
 use std::hint::black_box;

@@ -1,8 +1,8 @@
 //! Bench F8: FF5 wall-clock vs graph size (FB1'/FB3'/FB6') and cluster
 //! size — the units behind Fig. 8's scalability curves.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ffmr_bench::experiments::run_variant;
+use ffmr_bench::harness::{criterion_group, criterion_main, Criterion};
 use ffmr_bench::{FbFamily, Scale};
 use ffmr_core::FfVariant;
 use std::hint::black_box;

@@ -2,7 +2,7 @@
 //! small-world graph — context for how far the MR overheads sit above
 //! raw algorithmic cost.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ffmr_bench::harness::{criterion_group, criterion_main, Criterion};
 use maxflow::Algorithm;
 use std::hint::black_box;
 use swgraph::{gen, FlowNetwork};

@@ -1,8 +1,8 @@
 //! Bench T1: the full FF5 round chain on the largest subset with large
 //! `w` — the run behind Table I's per-round statistics.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ffmr_bench::experiments::run_variant;
+use ffmr_bench::harness::{criterion_group, criterion_main, Criterion};
 use ffmr_bench::{FbFamily, Scale};
 use ffmr_core::FfVariant;
 use std::hint::black_box;

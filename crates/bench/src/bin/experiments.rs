@@ -87,7 +87,10 @@ fn main() {
             _ => unreachable!("validated above"),
         };
         println!("{report}");
-        println!("(harness wall time: {:.1}s)\n", start.elapsed().as_secs_f64());
+        println!(
+            "(harness wall time: {:.1}s)\n",
+            start.elapsed().as_secs_f64()
+        );
         if let Some(dir) = &csv_dir {
             if let Err(e) = std::fs::create_dir_all(dir)
                 .and_then(|()| std::fs::write(format!("{dir}/{name}.csv"), report.to_csv()))

@@ -41,7 +41,10 @@ pub fn run(scale: &Scale) -> (Vec<KPoint>, Report) {
 
     let mut points = Vec::new();
     let mut report = Report::new(
-        format!("Ablation X-K — excess-path limit sweep ({})", family.name(0)),
+        format!(
+            "Ablation X-K — excess-path limit sweep ({})",
+            family.name(0)
+        ),
         &["policy", "rounds", "sim-time", "shuffle-KiB", "max-flow"],
     );
     let mut value: Option<i64> = None;

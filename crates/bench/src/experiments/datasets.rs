@@ -60,9 +60,7 @@ pub fn run(scale: &Scale) -> (Vec<DatasetRow>, Report) {
         "paper: 21M..411M vertices, 112M..31B edges, 587MB..238GB stored, \
          max size expands 2x..14x during the run",
     );
-    let expansion_ok = rows
-        .iter()
-        .all(|r| r.max_size_bytes >= r.size_bytes);
+    let expansion_ok = rows.iter().all(|r| r.max_size_bytes >= r.size_bytes);
     report.note(format!(
         "shape check — max size >= stored size on every subset: {expansion_ok}"
     ));

@@ -34,7 +34,10 @@ pub fn run(scale: &Scale) -> (Vec<Fig5Point>, Report) {
 
     let mut points = Vec::new();
     let mut report = Report::new(
-        format!("Fig. 5 — runtime & rounds vs max-flow value ({})", family.name(largest)),
+        format!(
+            "Fig. 5 — runtime & rounds vs max-flow value ({})",
+            family.name(largest)
+        ),
         &["w", "max-flow", "rounds", "sim-time"],
     );
     let mut w = 1usize;

@@ -46,7 +46,11 @@ pub fn run(scale: &Scale) -> (Vec<Fig7Series>, Report) {
         });
     }
 
-    let max_rounds = series.iter().map(|s| s.shuffle_bytes.len()).max().unwrap_or(0);
+    let max_rounds = series
+        .iter()
+        .map(|s| s.shuffle_bytes.len())
+        .max()
+        .unwrap_or(0);
     let mut report = Report::new(
         format!("Fig. 7 — shuffle bytes per round ({})", family.name(0)),
         &["round", "FF1", "FF2", "FF3", "FF5"],

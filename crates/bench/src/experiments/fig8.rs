@@ -36,7 +36,14 @@ pub fn run(scale: &Scale) -> (Vec<Fig8Point>, Report) {
     let mut report = Report::new(
         "Fig. 8 — FF5 runtime scalability with graph size and cluster size",
         &[
-            "graph", "edges", "|f*|", "5 nodes", "10 nodes", "20 nodes", "rounds", "BFS(20)",
+            "graph",
+            "edges",
+            "|f*|",
+            "5 nodes",
+            "10 nodes",
+            "20 nodes",
+            "rounds",
+            "BFS(20)",
             "BFS rounds",
         ],
     );

@@ -30,7 +30,10 @@ pub fn run_variant(
     nodes: usize,
     scale: &Scale,
 ) -> (FfRun, MrRuntime) {
-    let mut rt = MrRuntime::new(ClusterConfig::scaled_paper_cluster(nodes, scale.sim_slowdown));
+    let mut rt = MrRuntime::new(ClusterConfig::scaled_paper_cluster(
+        nodes,
+        scale.sim_slowdown,
+    ));
     let config = FfConfig::new(st.source, st.sink)
         .variant(variant)
         .reducers(scale.reducers)
@@ -50,7 +53,10 @@ pub fn run_bfs_baseline(
     nodes: usize,
     scale: &Scale,
 ) -> ffmr_core::mr_bfs::BfsRun {
-    let mut rt = MrRuntime::new(ClusterConfig::scaled_paper_cluster(nodes, scale.sim_slowdown));
+    let mut rt = MrRuntime::new(ClusterConfig::scaled_paper_cluster(
+        nodes,
+        scale.sim_slowdown,
+    ));
     ffmr_core::mr_bfs::run_bfs(&mut rt, &st.network, st.source, "bfs", scale.reducers)
         .expect("bfs run")
 }

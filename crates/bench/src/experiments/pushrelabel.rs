@@ -54,8 +54,8 @@ pub fn run(scale: &Scale) -> (PushRelabelComparison, Report) {
     assert_eq!(pr.max_flow_value, ff5.max_flow_value, "values must agree");
 
     let peak_active = pr.active_per_round.iter().copied().max().unwrap_or(0);
-    let mean_active = pr.active_per_round.iter().sum::<u64>() as f64
-        / pr.active_per_round.len().max(1) as f64;
+    let mean_active =
+        pr.active_per_round.iter().sum::<u64>() as f64 / pr.active_per_round.len().max(1) as f64;
     let cmp = PushRelabelComparison {
         max_flow: ff5.max_flow_value,
         ff5_rounds: ff5.num_flow_rounds(),

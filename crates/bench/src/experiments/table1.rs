@@ -32,8 +32,16 @@ pub fn run(scale: &Scale) -> (Vec<RoundStats>, Report) {
     for r in &run.rounds {
         report.row([
             r.round.to_string(),
-            if r.round == 0 { "-".into() } else { r.a_paths.to_string() },
-            if r.round == 0 { "-".into() } else { r.max_queue.to_string() },
+            if r.round == 0 {
+                "-".into()
+            } else {
+                r.a_paths.to_string()
+            },
+            if r.round == 0 {
+                "-".into()
+            } else {
+                r.max_queue.to_string()
+            },
             r.map_out_records.to_string(),
             (r.shuffle_bytes / 1024).to_string(),
             hms(r.sim_seconds),

@@ -1,0 +1,146 @@
+//! A minimal, dependency-free micro-benchmark harness.
+//!
+//! The workspace builds fully offline, so the bench targets cannot pull
+//! the `criterion` registry crate. This module provides the small slice
+//! of Criterion's API the benches actually use (`benchmark_group`,
+//! `sample_size`, `bench_function`, `b.iter`, the two entry-point
+//! macros) with a plain timing loop behind it: per function it runs one
+//! warm-up call, then `sample_size` timed calls, and prints min / mean /
+//! max wall time. Statistical rigor is traded away for zero
+//! dependencies; the simulated-cluster numbers these benches exist for
+//! come from the cost model's own counters, not from wall time.
+//!
+//! Set `FFMR_BENCH_SAMPLES` to override every group's sample count
+//! (e.g. `FFMR_BENCH_SAMPLES=1` for a smoke run).
+
+use std::time::{Duration, Instant};
+
+/// Entry point handed to each bench function (Criterion-compatible).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing a sample count.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let samples = std::env::var("FFMR_BENCH_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map_or(self.sample_size, |n: usize| n.max(1));
+        let mut b = Bencher {
+            samples,
+            times: Vec::with_capacity(samples),
+        };
+        f(&mut b);
+        let times = b.times;
+        assert!(!times.is_empty(), "bench body never called b.iter");
+        let total: Duration = times.iter().sum();
+        let mean = total / times.len() as u32;
+        let min = times.iter().min().copied().unwrap_or_default();
+        let max = times.iter().max().copied().unwrap_or_default();
+        println!(
+            "  {}/{id}: samples={} min={min:?} mean={mean:?} max={max:?}",
+            self.name,
+            times.len(),
+        );
+        self
+    }
+
+    /// Ends the group (parity with Criterion; prints nothing extra).
+    pub fn finish(&mut self) {}
+}
+
+/// Timing driver passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`: one untimed warm-up call, then the configured
+    /// number of timed samples (one call each).
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        std::hint::black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.times.push(start.elapsed());
+        }
+    }
+}
+
+/// Declares the group function invoked by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::harness::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+// Let bench files import everything from one place, macros included.
+pub use crate::{criterion_group, criterion_main};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(3);
+        let mut calls = 0;
+        group.bench_function("count", |b| b.iter(|| calls += 1));
+        // Warm-up + 3 samples (unless the env override says otherwise).
+        if std::env::var("FFMR_BENCH_SAMPLES").is_err() {
+            assert_eq!(calls, 4);
+        }
+        group.finish();
+    }
+}

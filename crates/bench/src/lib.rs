@@ -5,7 +5,7 @@
 //! `k`). Each experiment returns structured results *and* renders the
 //! same rows/series the paper reports; `src/bin/experiments.rs` is the
 //! command-line driver, and `benches/` wraps the same functions in
-//! Criterion for wall-clock measurement.
+//! the in-repo [`harness`] for wall-clock measurement.
 //!
 //! Absolute numbers are not expected to match the paper (we run a cluster
 //! *cost model*, not their 21-machine testbed); the *shape* — who wins,
@@ -13,6 +13,7 @@
 //! See `EXPERIMENTS.md` at the workspace root.
 
 pub mod experiments;
+pub mod harness;
 pub mod profiles;
 pub mod table;
 

@@ -124,7 +124,12 @@ pub fn bytes_human(b: u64) -> String {
 #[must_use]
 pub fn hms(seconds: f64) -> String {
     let total = seconds.round() as u64;
-    format!("{}:{:02}:{:02}", total / 3600, (total / 60) % 60, total % 60)
+    format!(
+        "{}:{:02}:{:02}",
+        total / 3600,
+        (total / 60) % 60,
+        total % 60
+    )
 }
 
 #[cfg(test)]

@@ -1,6 +1,8 @@
 //! The FFMR driver: the paper's main program (Fig. 2) plus the variant
 //! configuration ladder FF1–FF5.
 
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use mapreduce::driver::{collect_garbage, round_path, side_path};
@@ -109,6 +111,59 @@ impl KPolicy {
     }
 }
 
+/// Runtime hooks into a driver run: cooperative cancellation plus a
+/// per-round progress callback.
+///
+/// A long FFMR run spans many MapReduce rounds; between rounds the driver
+/// consults `cancel` (set it from another thread to abort with
+/// [`FfError::Cancelled`] — this is how the `ffmrd` serving layer
+/// enforces per-query timeouts) and invokes `on_round` with the round's
+/// statistics (progress bars, live dashboards, adaptive schedulers).
+#[derive(Clone, Default)]
+pub struct FfHooks {
+    /// Checked before every round; `true` aborts the run.
+    pub cancel: Option<Arc<AtomicBool>>,
+    /// Called after every completed round with its statistics.
+    pub on_round: Option<RoundCallback>,
+}
+
+/// Shared per-round progress callback (see [`FfHooks::on_round`]).
+pub type RoundCallback = Arc<dyn Fn(&RoundStats) + Send + Sync>;
+
+impl FfHooks {
+    /// Hooks that only carry a cancellation flag.
+    #[must_use]
+    pub fn cancelled_by(flag: Arc<AtomicBool>) -> Self {
+        Self {
+            cancel: Some(flag),
+            on_round: None,
+        }
+    }
+
+    /// Whether the cancellation flag (if any) has been raised.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|c| c.load(Ordering::Relaxed))
+    }
+
+    fn report(&self, stats: &RoundStats) {
+        if let Some(cb) = &self.on_round {
+            cb(stats);
+        }
+    }
+}
+
+impl fmt::Debug for FfHooks {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FfHooks")
+            .field("cancel", &self.cancel)
+            .field("on_round", &self.on_round.is_some())
+            .finish()
+    }
+}
+
 /// Configuration for one FFMR run.
 #[derive(Debug, Clone)]
 pub struct FfConfig {
@@ -136,6 +191,8 @@ pub struct FfConfig {
     pub base_path: String,
     /// Keep this many recent round outputs in the DFS (≥ 2 for schimmy).
     pub keep_rounds: usize,
+    /// Cancellation and progress hooks (default: none).
+    pub hooks: FfHooks,
 }
 
 impl FfConfig {
@@ -153,6 +210,7 @@ impl FfConfig {
             max_rounds: 200,
             base_path: "ffmr".to_string(),
             keep_rounds: 3,
+            hooks: FfHooks::default(),
         }
     }
 
@@ -209,6 +267,21 @@ impl FfConfig {
     #[must_use]
     pub fn base_path(mut self, base: impl Into<String>) -> Self {
         self.base_path = base.into();
+        self
+    }
+
+    /// Installs a cancellation flag: raise it from any thread to abort
+    /// the run between rounds with [`FfError::Cancelled`].
+    #[must_use]
+    pub fn cancel_flag(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.hooks.cancel = Some(flag);
+        self
+    }
+
+    /// Installs a per-round progress callback.
+    #[must_use]
+    pub fn on_round(mut self, cb: impl Fn(&RoundStats) + Send + Sync + 'static) -> Self {
+        self.hooks.on_round = Some(Arc::new(cb));
         self
     }
 }
@@ -323,6 +396,11 @@ pub fn run_max_flow_from_input(
     let mut total_value: Capacity = 0;
 
     // ---- Round 0: convert the raw edge list into vertex records.
+    if config.hooks.is_cancelled() {
+        return Err(FfError::Cancelled {
+            rounds_completed: 0,
+        });
+    }
     let stats0 = round0::run_round0(rt, input_path, &config.base_path, config.reducers, &shared)?;
     let graph0 = rt.dfs().file_bytes(&round_path(&config.base_path, 0));
     rounds.push(RoundStats {
@@ -333,6 +411,7 @@ pub fn run_max_flow_from_input(
         graph_bytes: graph0,
         ..RoundStats::default()
     });
+    config.hooks.report(rounds.last().expect("round 0 pushed"));
     max_graph_bytes = graph0;
 
     // ---- Rounds 1..: the Ford-Fulkerson loop.
@@ -342,6 +421,11 @@ pub fn run_max_flow_from_input(
         if round > config.max_rounds {
             return Err(FfError::RoundLimitExceeded {
                 limit: config.max_rounds,
+            });
+        }
+        if config.hooks.is_cancelled() {
+            return Err(FfError::Cancelled {
+                rounds_completed: round - 1,
             });
         }
         aug.open_round(round);
@@ -391,6 +475,7 @@ pub fn run_max_flow_from_input(
             sink_move: sim,
             graph_bytes,
         });
+        config.hooks.report(rounds.last().expect("round pushed"));
 
         collect_garbage(rt.dfs_mut(), &config.base_path, round, config.keep_rounds);
 

@@ -14,8 +14,8 @@ use std::any::Any;
 use std::collections::{HashSet, VecDeque};
 use std::thread::JoinHandle;
 
+use ffmr_sync::{Condvar, Mutex};
 use mapreduce::Service;
-use parking_lot::{Condvar, Mutex};
 use swgraph::Capacity;
 
 use crate::accumulator::Accumulator;

@@ -19,6 +19,12 @@ pub enum FfError {
         /// The configured limit.
         limit: usize,
     },
+    /// The run was cancelled through [`FfHooks`](crate::FfHooks) (e.g. a
+    /// serving-layer timeout) before termination.
+    Cancelled {
+        /// Rounds completed before cancellation was observed.
+        rounds_completed: usize,
+    },
 }
 
 impl fmt::Display for FfError {
@@ -28,6 +34,9 @@ impl fmt::Display for FfError {
             FfError::InvalidConfig(m) => write!(f, "invalid ffmr config: {m}"),
             FfError::RoundLimitExceeded { limit } => {
                 write!(f, "round limit of {limit} exceeded before termination")
+            }
+            FfError::Cancelled { rounds_completed } => {
+                write!(f, "run cancelled after {rounds_completed} rounds")
             }
         }
     }

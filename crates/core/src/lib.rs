@@ -59,7 +59,7 @@ pub mod verify;
 pub mod vertex;
 
 pub use accumulator::Accumulator;
-pub use algo::{run_max_flow, FfConfig, FfRun, FfVariant, KPolicy, RoundStats};
+pub use algo::{run_max_flow, FfConfig, FfHooks, FfRun, FfVariant, KPolicy, RoundStats};
 pub use aug_service::AugProc;
 pub use augmented::AugmentedEdges;
 pub use error::FfError;

@@ -343,11 +343,7 @@ mod tests {
         }
     }
 
-    fn run_map(
-        mapper: &FfMapper,
-        u: u64,
-        v: &VertexValue,
-    ) -> Vec<(u64, VertexValue)> {
+    fn run_map(mapper: &FfMapper, u: u64, v: &VertexValue) -> Vec<(u64, VertexValue)> {
         let counters = Counters::new();
         let services = ServiceHandle::new();
         let mut ctx = MapContext::for_testing(&counters, &services);
@@ -546,9 +542,8 @@ mod tests {
             edges: vec![edge(0, 1, 0, 1, 1)],
             ..VertexValue::default()
         };
-        let mk = |eid: u64| {
-            VertexValue::source_fragment(ExcessPath::from_edges(vec![hop(eid, 0, 5)]))
-        };
+        let mk =
+            |eid: u64| VertexValue::source_fragment(ExcessPath::from_edges(vec![hop(eid, 0, 5)]));
         // Three disjoint fragments + one conflicting duplicate.
         let vals = vec![master, mk(10), mk(10), mk(12), mk(14)];
         reducer.reduce(&5, &mut vals.into_iter(), &mut ctx);
@@ -594,10 +589,8 @@ mod tests {
             edges: vec![edge(5, 3, 0, 1, 1)],
             ..VertexValue::default()
         };
-        let cand = VertexValue::source_fragment(ExcessPath::from_edges(vec![
-            hop(0, 0, 5),
-            hop(2, 5, 9),
-        ]));
+        let cand =
+            VertexValue::source_fragment(ExcessPath::from_edges(vec![hop(0, 0, 5), hop(2, 5, 9)]));
         reducer.reduce(&9, &mut vec![master, cand].into_iter(), &mut ctx);
         let r = aug.close_round();
         assert_eq!(r.accepted_paths, 1);

@@ -146,25 +146,23 @@ pub fn run_components(
             .input(&input)
             .output(&output)
             .reducers(reducers)
-            .map(
-                |u: &u64, v: &CcValue, ctx: &mut MapContext<u64, CcValue>| {
-                    if v.fresh {
-                        for &to in &v.edges {
-                            ctx.emit(
-                                to,
-                                CcValue {
-                                    label: v.label,
-                                    fresh: false,
-                                    edges: Vec::new(),
-                                },
-                            );
-                        }
+            .map(|u: &u64, v: &CcValue, ctx: &mut MapContext<u64, CcValue>| {
+                if v.fresh {
+                    for &to in &v.edges {
+                        ctx.emit(
+                            to,
+                            CcValue {
+                                label: v.label,
+                                fresh: false,
+                                edges: Vec::new(),
+                            },
+                        );
                     }
-                    let mut master = v.clone();
-                    master.fresh = false;
-                    ctx.emit(*u, master);
-                },
-            )
+                }
+                let mut master = v.clone();
+                master.fresh = false;
+                ctx.emit(*u, master);
+            })
             .reduce(
                 |u: &u64,
                  values: &mut dyn Iterator<Item = CcValue>,

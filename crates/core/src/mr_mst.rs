@@ -19,14 +19,12 @@ use std::any::Any;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use ffmr_sync::Mutex;
 use mapreduce::driver::{round_path, side_path};
 use mapreduce::encode::{get_varint, put_varint};
 use mapreduce::error::DecodeError;
 use mapreduce::stats::ChainStats;
-use mapreduce::{
-    Datum, JobBuilder, MapContext, MrRuntime, ReduceContext, Service,
-};
-use parking_lot::Mutex;
+use mapreduce::{Datum, JobBuilder, MapContext, MrRuntime, ReduceContext, Service};
 use swgraph::mst::{SpanningForest, UnionFind, WeightedEdge};
 use swgraph::FlowNetwork;
 
@@ -174,8 +172,7 @@ pub fn run_mst(
             |u: &u64,
              values: &mut dyn Iterator<Item = (u64, i64)>,
              ctx: &mut ReduceContext<u64, MstValue>| {
-                let mut edges: Vec<(u64, i64, u64)> =
-                    values.map(|(to, w)| (to, w, to)).collect();
+                let mut edges: Vec<(u64, i64, u64)> = values.map(|(to, w)| (to, w, to)).collect();
                 edges.sort_unstable();
                 edges.dedup();
                 ctx.emit(
@@ -222,8 +219,7 @@ pub fn run_mst(
                         .filter(|&&(_, _, comp)| comp != v.component)
                         .min_by_key(|&&(to, w, _)| edge_key(w, *u, to));
                     if let Some(&(to, w, _)) = best {
-                        let svc: &MstProc =
-                            ctx.service("mst_proc").expect("mst_proc attached");
+                        let svc: &MstProc = ctx.service("mst_proc").expect("mst_proc attached");
                         svc.offer(v.component, *u, to, w);
                     }
                     ctx.emit(*u, v);

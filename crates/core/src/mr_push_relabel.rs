@@ -7,9 +7,17 @@
 //! BSP adaptation: each round, every active vertex (positive excess)
 //! pushes along admissible edges judged by its *last-known* neighbor
 //! heights, then relabels monotonically and broadcasts its new height.
-//! Heights only increase and are bounded by `2n`, so relabels are finite;
-//! once heights stabilize the algorithm behaves like synchronous
-//! push–relabel and terminates.
+//! Because that neighbor view can be stale, a push is only *tentative*:
+//! following Goldberg's asynchronous protocol, the receiver accepts a
+//! push only if the sender's height equals its own height plus one, and
+//! otherwise refunds it (carrying its current height, so the sender's
+//! view is corrected and the retry cannot livelock). Without the
+//! acceptance rule a stale push can violate the height invariant and let
+//! excess sneak back to the source while an augmenting path remains —
+//! i.e. terminate with an undercounted flow. Heights only increase and
+//! are bounded by `2n`, so relabels are finite; once heights stabilize
+//! the algorithm behaves like synchronous push–relabel and terminates
+//! when no vertex holds excess and no refund is in flight.
 
 use mapreduce::driver::round_path;
 use mapreduce::encode::{get_varint, put_varint};
@@ -73,13 +81,27 @@ pub enum PrRecord {
         /// Adjacency with last-known neighbor heights.
         edges: Vec<PrEdge>,
     },
-    /// `delta` flow arrived over directed edge `eid` (receiver updates
-    /// its reverse copy and gains excess).
+    /// `delta` flow tentatively pushed over directed edge `eid`. The
+    /// receiver accepts it only if `sender_height` equals its own height
+    /// plus one (the admissibility the sender judged from a possibly
+    /// stale view); otherwise it refunds the push.
     Flow {
         /// The directed edge the sender pushed along.
         eid: EdgeId,
         /// Amount pushed.
         delta: Capacity,
+        /// The sender's height at push time.
+        sender_height: u64,
+    },
+    /// A rejected push bounced back to the sender of `eid`, carrying the
+    /// receiver's current height so the sender corrects its stale view.
+    Refund {
+        /// The directed edge the original push travelled along.
+        eid: EdgeId,
+        /// Amount returned.
+        delta: Capacity,
+        /// The rejecting receiver's height.
+        height: u64,
     },
     /// A neighbor announces its new height.
     Height {
@@ -103,14 +125,25 @@ impl Datum for PrRecord {
                 excess.encode(buf);
                 edges.encode(buf);
             }
-            PrRecord::Flow { eid, delta } => {
+            PrRecord::Flow {
+                eid,
+                delta,
+                sender_height,
+            } => {
                 buf.push(1);
                 put_varint(eid.raw(), buf);
                 delta.encode(buf);
+                put_varint(*sender_height, buf);
             }
             PrRecord::Height { from, height } => {
                 buf.push(2);
                 put_varint(*from, buf);
+                put_varint(*height, buf);
+            }
+            PrRecord::Refund { eid, delta, height } => {
+                buf.push(3);
+                put_varint(eid.raw(), buf);
+                delta.encode(buf);
                 put_varint(*height, buf);
             }
         }
@@ -129,9 +162,15 @@ impl Datum for PrRecord {
             1 => Ok(PrRecord::Flow {
                 eid: EdgeId::new(get_varint(input)?),
                 delta: Capacity::decode(input)?,
+                sender_height: get_varint(input)?,
             }),
             2 => Ok(PrRecord::Height {
                 from: get_varint(input)?,
+                height: get_varint(input)?,
+            }),
+            3 => Ok(PrRecord::Refund {
+                eid: EdgeId::new(get_varint(input)?),
+                delta: Capacity::decode(input)?,
                 height: get_varint(input)?,
             }),
             _ => Err(DecodeError::new("invalid pr record tag")),
@@ -219,10 +258,13 @@ pub fn run_push_relabel(
                     .collect();
                 edges.sort_by_key(|e| (e.to, e.eid));
                 edges.dedup_by_key(|e| e.eid);
-                let excess = if *u == s_raw || *u == t_raw {
+                // Flow already received from the saturated source edge.
+                // The sink keeps this too: a direct source→sink edge
+                // delivers flow at init, and dropping it would undercount
+                // the final answer by exactly that capacity.
+                let excess = if *u == s_raw {
                     0
                 } else {
-                    // Flow already received from the saturated source edge.
                     edges
                         .iter()
                         .filter(|e| e.to == s_raw)
@@ -263,7 +305,10 @@ pub fn run_push_relabel(
                         edges,
                     } = v
                     else {
-                        return; // inputs hold only masters
+                        // Refunds emitted by last round's reduce travel
+                        // through this round's shuffle untouched.
+                        ctx.emit(*u, v.clone());
+                        return;
                     };
                     let mut height = *height;
                     let mut excess = *excess;
@@ -284,6 +329,7 @@ pub fn run_push_relabel(
                                     PrRecord::Flow {
                                         eid: e.eid,
                                         delta,
+                                        sender_height: height,
                                     },
                                 );
                             }
@@ -305,13 +351,7 @@ pub fn run_push_relabel(
                     }
                     if height != old_height {
                         for e in &edges {
-                            ctx.emit(
-                                e.to,
-                                PrRecord::Height {
-                                    from: *u,
-                                    height,
-                                },
-                            );
+                            ctx.emit(e.to, PrRecord::Height { from: *u, height });
                         }
                     }
                     ctx.emit(
@@ -329,8 +369,9 @@ pub fn run_push_relabel(
                       values: &mut dyn Iterator<Item = PrRecord>,
                       ctx: &mut ReduceContext<u64, PrRecord>| {
                     let mut master: Option<(u64, Capacity, Vec<PrEdge>)> = None;
-                    let mut flows: Vec<(EdgeId, Capacity)> = Vec::new();
+                    let mut flows: Vec<(EdgeId, Capacity, u64)> = Vec::new();
                     let mut heights: Vec<(u64, u64)> = Vec::new();
+                    let mut refunds: Vec<(EdgeId, Capacity, u64)> = Vec::new();
                     for v in values {
                         match v {
                             PrRecord::Master {
@@ -338,20 +379,46 @@ pub fn run_push_relabel(
                                 excess,
                                 edges,
                             } => master = Some((height, excess, edges)),
-                            PrRecord::Flow { eid, delta } => flows.push((eid, delta)),
+                            PrRecord::Flow {
+                                eid,
+                                delta,
+                                sender_height,
+                            } => flows.push((eid, delta, sender_height)),
                             PrRecord::Height { from, height } => heights.push((from, height)),
+                            PrRecord::Refund { eid, delta, height } => {
+                                refunds.push((eid, delta, height));
+                            }
                         }
                     }
                     let Some((height, mut excess, mut edges)) = master else {
                         return;
                     };
-                    for (eid, delta) in flows {
-                        // The sender pushed along `eid`; our copy is its
-                        // reverse.
-                        if let Some(e) = edges.iter_mut().find(|e| e.eid == eid.reverse()) {
+                    for (eid, delta, h) in refunds {
+                        // A push of ours bounced: undo it on our own edge
+                        // and learn the receiver's real height.
+                        if let Some(e) = edges.iter_mut().find(|e| e.eid == eid) {
                             e.flow -= delta;
+                            e.neighbor_height = e.neighbor_height.max(h);
                         }
                         excess += delta;
+                    }
+                    for (eid, delta, sender_height) in flows {
+                        // The sender pushed along `eid`; our copy is its
+                        // reverse. Accept only if the push is admissible
+                        // against our *current* height — a stale-view push
+                        // would break the height invariant and can
+                        // undercount the flow.
+                        let Some(e) = edges.iter_mut().find(|e| e.eid == eid.reverse()) else {
+                            continue;
+                        };
+                        if sender_height == height + 1 {
+                            e.flow -= delta;
+                            e.neighbor_height = e.neighbor_height.max(sender_height);
+                            excess += delta;
+                        } else {
+                            ctx.incr("pr refunds", 1);
+                            ctx.emit(e.to, PrRecord::Refund { eid, delta, height });
+                        }
                     }
                     for (from, h) in heights {
                         for e in edges.iter_mut() {
@@ -379,11 +446,12 @@ pub fn run_push_relabel(
             );
         let job_stats = rt.run(job).map_err(FfError::Mr)?;
         let active = job_stats.counter("pr active");
+        let refunds = job_stats.counter("pr refunds");
         let sink_excess = job_stats.counter("sink excess");
         stats.push(job_stats);
         active_per_round.push(active);
         mapreduce::driver::collect_garbage(rt.dfs_mut(), base_path, round, 2);
-        if active == 0 {
+        if active == 0 && refunds == 0 {
             return Ok(PushRelabelRun {
                 max_flow_value: sink_excess as Capacity,
                 rounds: round,
@@ -422,10 +490,16 @@ mod tests {
             PrRecord::Flow {
                 eid: EdgeId::new(8),
                 delta: 3,
+                sender_height: 6,
             },
             PrRecord::Height {
                 from: 2,
                 height: 11,
+            },
+            PrRecord::Refund {
+                eid: EdgeId::new(8),
+                delta: 3,
+                height: 12,
             },
         ] {
             let mut buf = Vec::new();
@@ -439,9 +513,16 @@ mod tests {
     fn computes_max_flow_on_path() {
         let net = FlowNetwork::from_undirected_unit(4, &[(0, 1), (1, 2), (2, 3)]);
         let mut rt = runtime();
-        let run =
-            run_push_relabel(&mut rt, &net, VertexId::new(0), VertexId::new(3), "pr", 2, 500)
-                .unwrap();
+        let run = run_push_relabel(
+            &mut rt,
+            &net,
+            VertexId::new(0),
+            VertexId::new(3),
+            "pr",
+            2,
+            500,
+        )
+        .unwrap();
         assert_eq!(run.max_flow_value, 1);
     }
 
@@ -487,7 +568,15 @@ mod tests {
         let net = FlowNetwork::from_undirected_unit(2, &[(0, 1)]);
         let mut rt = runtime();
         assert!(matches!(
-            run_push_relabel(&mut rt, &net, VertexId::new(0), VertexId::new(0), "pr", 2, 10),
+            run_push_relabel(
+                &mut rt,
+                &net,
+                VertexId::new(0),
+                VertexId::new(0),
+                "pr",
+                2,
+                10
+            ),
             Err(FfError::InvalidConfig(_))
         ));
     }

@@ -13,7 +13,7 @@
 //! exactly the inefficiency those MR optimizations existed to paper over
 //! — reproducing *why* the paper expected the ideas to transfer well.
 
-use parking_lot::Mutex;
+use ffmr_sync::Mutex;
 use pregel::{ComputeContext, Engine, Graph, MasterDecision, VertexProgram};
 use swgraph::{Capacity, FlowNetwork, VertexId};
 
@@ -105,7 +105,12 @@ impl VertexProgram for FfProgram {
     type Contribution = PfAgg;
     type Broadcast = AugmentedEdges;
 
-    fn compute(&self, ctx: &mut ComputeContext<'_, Self>, state: &mut PfState, inbox: &[PfMessage]) {
+    fn compute(
+        &self,
+        ctx: &mut ComputeContext<'_, Self>,
+        state: &mut PfState,
+        inbox: &[PfMessage],
+    ) {
         let u = ctx.vertex_id();
         let is_source = u == self.source;
         let is_sink = u == self.sink;
@@ -122,10 +127,16 @@ impl VertexProgram for FfProgram {
         // Resident state makes FF5's re-send suppression free: forget
         // markers whose remembered path died or whose edge saturated.
         {
-            let live_src: Vec<u64> =
-                state.source_paths.iter().map(ExcessPath::route_hash).collect();
-            let live_snk: Vec<u64> =
-                state.sink_paths.iter().map(ExcessPath::route_hash).collect();
+            let live_src: Vec<u64> = state
+                .source_paths
+                .iter()
+                .map(ExcessPath::route_hash)
+                .collect();
+            let live_snk: Vec<u64> = state
+                .sink_paths
+                .iter()
+                .map(ExcessPath::route_hash)
+                .collect();
             for e in &mut state.edges {
                 if e.residual() <= 0 || e.sent_source.is_some_and(|h| !live_src.contains(&h)) {
                     e.sent_source = None;
@@ -177,8 +188,7 @@ impl VertexProgram for FfProgram {
                         }
                         if is_source {
                             agg.candidates.push(p);
-                        } else if state.sink_paths.len() < self.k
-                            && acc_t.try_accept(&p).is_some()
+                        } else if state.sink_paths.len() < self.k && acc_t.try_accept(&p).is_some()
                         {
                             state.sink_paths.push(p);
                         }
@@ -303,9 +313,7 @@ pub fn run_max_flow_pregel(
     sink: VertexId,
     max_supersteps: usize,
 ) -> Result<PregelFfRun, FfError> {
-    if source == sink
-        || source.index() >= net.num_vertices()
-        || sink.index() >= net.num_vertices()
+    if source == sink || source.index() >= net.num_vertices() || sink.index() >= net.num_vertices()
     {
         return Err(FfError::InvalidConfig("bad pregel terminals".into()));
     }
@@ -342,11 +350,12 @@ pub fn run_max_flow_pregel(
 
     let program = FfProgram::new(source, sink, usize::MAX);
     let engine = Engine::new(program);
-    let stats = engine
-        .run(&mut graph, max_supersteps)
-        .map_err(|_| FfError::RoundLimitExceeded {
-            limit: max_supersteps,
-        })?;
+    let stats =
+        engine
+            .run(&mut graph, max_supersteps)
+            .map_err(|_| FfError::RoundLimitExceeded {
+                limit: max_supersteps,
+            })?;
     Ok(PregelFfRun {
         max_flow_value: engine.program().max_flow_value(),
         supersteps: stats.supersteps,

@@ -189,8 +189,7 @@ mod tests {
         assert_eq!(stats.map_input_records, 2, "one record per edge pair");
         assert_eq!(stats.map_output_records, 4, "announced to both endpoints");
 
-        let mut records: Vec<(u64, VertexValue)> =
-            rt.dfs().read_records("ff/round-00000").unwrap();
+        let mut records: Vec<(u64, VertexValue)> = rt.dfs().read_records("ff/round-00000").unwrap();
         records.sort_by_key(|(u, _)| *u);
         assert_eq!(records.len(), 3);
 
@@ -219,8 +218,7 @@ mod tests {
         let mut rt = MrRuntime::new(ClusterConfig::small_cluster(2));
         load_raw_edges(&mut rt, &net, "raw", 1).unwrap();
         run_round0(&mut rt, "raw", "ff", 2, &shared(0, 1)).unwrap();
-        let mut records: Vec<(u64, VertexValue)> =
-            rt.dfs().read_records("ff/round-00000").unwrap();
+        let mut records: Vec<(u64, VertexValue)> = rt.dfs().read_records("ff/round-00000").unwrap();
         records.sort_by_key(|(u, _)| *u);
         let (_, v0) = &records[0];
         assert_eq!((v0.edges[0].cap, v0.edges[0].rev_cap), (5, 0));

@@ -177,7 +177,12 @@ mod tests {
         let f = extract_flow(&dfs, "final", &AugmentedEdges::new(0), &net).unwrap();
         assert_eq!(f.flows, vec![1, -1]);
         assert_eq!(f.value_from(&net, VertexId::new(0)), 1);
-        assert!(!has_augmenting_path(&net, &f, VertexId::new(0), VertexId::new(1)));
+        assert!(!has_augmenting_path(
+            &net,
+            &f,
+            VertexId::new(0),
+            VertexId::new(1)
+        ));
     }
 
     #[test]
@@ -261,7 +266,12 @@ mod tests {
         let f = ExtractedFlow {
             flows: vec![0; net.num_directed_edges()],
         };
-        assert!(has_augmenting_path(&net, &f, VertexId::new(0), VertexId::new(2)));
+        assert!(has_augmenting_path(
+            &net,
+            &f,
+            VertexId::new(0),
+            VertexId::new(2)
+        ));
     }
 
     #[test]

@@ -155,7 +155,11 @@ impl VertexValue {
     /// FF5: forget `sent` markers whose remembered path no longer exists
     /// or is saturated, so the edge becomes eligible for a re-send.
     pub fn refresh_sent_markers(&mut self) {
-        let live_source: Vec<u64> = self.source_paths.iter().map(ExcessPath::route_hash).collect();
+        let live_source: Vec<u64> = self
+            .source_paths
+            .iter()
+            .map(ExcessPath::route_hash)
+            .collect();
         let live_sink: Vec<u64> = self.sink_paths.iter().map(ExcessPath::route_hash).collect();
         for e in &mut self.edges {
             if e.sent_source.is_some_and(|h| !live_source.contains(&h)) {

@@ -158,8 +158,8 @@ fn all_variants_emit_identical_flow_functions_when_deterministic() {
     let extract = || {
         let mut rt = runtime();
         rt.set_worker_threads(Some(1));
-        let config = FfConfig::new(VertexId::new(0), VertexId::new(n - 1))
-            .variant(FfVariant::ff1());
+        let config =
+            FfConfig::new(VertexId::new(0), VertexId::new(n - 1)).variant(FfVariant::ff1());
         let run = run_max_flow(&mut rt, &net, &config).unwrap();
         verify::extract_flow(rt.dfs(), &run.final_graph_path, &run.pending_deltas, &net)
             .unwrap()

@@ -17,8 +17,8 @@ fn check_variant(
 ) -> i64 {
     let mut rt = MrRuntime::new(ClusterConfig::small_cluster(3));
     let config = FfConfig::new(s, t).variant(variant).reducers(4);
-    let run = run_max_flow(&mut rt, net, &config)
-        .unwrap_or_else(|e| panic!("{label}: ffmr failed: {e}"));
+    let run =
+        run_max_flow(&mut rt, net, &config).unwrap_or_else(|e| panic!("{label}: ffmr failed: {e}"));
 
     let oracle = maxflow::dinic::max_flow(net, s, t);
     assert_eq!(
@@ -27,13 +27,8 @@ fn check_variant(
     );
 
     // Reassemble the flow function and audit it fully.
-    let extracted = verify::extract_flow(
-        rt.dfs(),
-        &run.final_graph_path,
-        &run.pending_deltas,
-        net,
-    )
-    .unwrap_or_else(|e| panic!("{label}: flow extraction failed: {e}"));
+    let extracted = verify::extract_flow(rt.dfs(), &run.final_graph_path, &run.pending_deltas, net)
+        .unwrap_or_else(|e| panic!("{label}: flow extraction failed: {e}"));
     assert_eq!(
         extracted.value_from(net, s),
         oracle.value,
@@ -73,7 +68,8 @@ fn unit_path_graph() {
 
 #[test]
 fn two_disjoint_paths() {
-    let net = FlowNetwork::from_undirected_unit(6, &[(0, 1), (1, 5), (0, 2), (2, 5), (0, 3), (3, 4)]);
+    let net =
+        FlowNetwork::from_undirected_unit(6, &[(0, 1), (1, 5), (0, 2), (2, 5), (0, 3), (3, 4)]);
     let v = check_all_variants(&net, VertexId::new(0), VertexId::new(5), "disjoint");
     assert_eq!(v, 2);
 }
@@ -182,13 +178,16 @@ fn deterministic_mode_reproduces_run_exactly() {
     let run_once = || {
         let mut rt = MrRuntime::new(ClusterConfig::small_cluster(3));
         rt.set_worker_threads(Some(1));
-        let config = FfConfig::new(VertexId::new(0), VertexId::new(n - 1))
-            .variant(FfVariant::ff1()); // synchronous acceptance
+        let config =
+            FfConfig::new(VertexId::new(0), VertexId::new(n - 1)).variant(FfVariant::ff1()); // synchronous acceptance
         let run = run_max_flow(&mut rt, &net, &config).unwrap();
         (
             run.max_flow_value,
             run.num_flow_rounds(),
-            run.rounds.iter().map(|r| r.shuffle_bytes).collect::<Vec<_>>(),
+            run.rounds
+                .iter()
+                .map(|r| r.shuffle_bytes)
+                .collect::<Vec<_>>(),
         )
     };
     assert_eq!(run_once(), run_once());

@@ -1,11 +1,15 @@
-//! Property-based stress testing: FFMR must equal the Dinic oracle on
+//! Randomized stress testing: FFMR must equal the Dinic oracle on
 //! arbitrary random networks — the strongest check against subtle early
 //! termination (the paper's movement-counter argument) and against
 //! residual-view divergence between vertex copies.
+//!
+//! Cases are drawn from a seeded [`SplitMix64`] stream (one seed per
+//! case index), so the corpus is deterministic and a failure reproduces
+//! by case number.
 
 use ffmr_core::{run_max_flow, verify, FfConfig, FfVariant, KPolicy};
+use ffmr_prng::SplitMix64;
 use mapreduce::{ClusterConfig, MrRuntime};
-use proptest::prelude::*;
 use swgraph::{FlowNetwork, FlowNetworkBuilder, VertexId};
 
 fn ffmr_value(net: &FlowNetwork, s: VertexId, t: VertexId, variant: FfVariant) -> i64 {
@@ -14,9 +18,8 @@ fn ffmr_value(net: &FlowNetwork, s: VertexId, t: VertexId, variant: FfVariant) -
     let config = FfConfig::new(s, t).variant(variant).reducers(3);
     let run = run_max_flow(&mut rt, net, &config).expect("ffmr run");
     // Always audit the extracted flow for internal consistency.
-    let extracted =
-        verify::extract_flow(rt.dfs(), &run.final_graph_path, &run.pending_deltas, net)
-            .expect("consistent flow extraction");
+    let extracted = verify::extract_flow(rt.dfs(), &run.final_graph_path, &run.pending_deltas, net)
+        .expect("consistent flow extraction");
     assert_eq!(extracted.value_from(net, s), run.max_flow_value);
     assert!(
         !verify::has_augmenting_path(net, &extracted, s, t),
@@ -25,58 +28,71 @@ fn ffmr_value(net: &FlowNetwork, s: VertexId, t: VertexId, variant: FfVariant) -
     run.max_flow_value
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Draws undirected unit edges with endpoints below `max`, self-loops
+/// filtered.
+fn random_unit_edges(rng: &mut SplitMix64, max: u64, count: usize) -> Vec<(u64, u64)> {
+    (0..count)
+        .map(|_| (rng.gen_range(0..max), rng.gen_range(0..max)))
+        .filter(|&(u, v)| u != v)
+        .collect()
+}
 
-    /// Unit-capacity undirected graphs (the paper's experimental regime).
-    #[test]
-    fn ff5_matches_oracle_on_unit_graphs(
-        n in 4u64..24,
-        edges in proptest::collection::vec((0u64..24, 0u64..24), 4..70),
-    ) {
-        let edges: Vec<(u64, u64)> = edges
-            .into_iter()
-            .map(|(u, v)| (u % n, v % n))
-            .filter(|&(u, v)| u != v)
-            .collect();
-        let net = FlowNetwork::from_undirected_unit(n, &edges);
+/// Unit-capacity undirected graphs (the paper's experimental regime).
+#[test]
+fn ff5_matches_oracle_on_unit_graphs() {
+    for case in 0..24u64 {
+        let mut rng = SplitMix64::seed_from_u64(0xFF50 + case);
+        let n = rng.gen_range(4u64..24);
+        let count = rng.gen_range(4usize..70);
+        let net = FlowNetwork::from_undirected_unit(n, &random_unit_edges(&mut rng, n, count));
         let s = VertexId::new(0);
         let t = VertexId::new(n - 1);
         let oracle = maxflow::dinic::max_flow(&net, s, t).value;
-        prop_assert_eq!(ffmr_value(&net, s, t, FfVariant::ff5()), oracle);
+        assert_eq!(
+            ffmr_value(&net, s, t, FfVariant::ff5()),
+            oracle,
+            "case {case}"
+        );
     }
+}
 
-    /// Arbitrary directed capacities exercise cancellation and asymmetric
-    /// residuals.
-    #[test]
-    fn ff1_matches_oracle_on_directed_graphs(
-        n in 3u64..16,
-        edges in proptest::collection::vec((0u64..16, 0u64..16, 1i64..6), 3..40),
-    ) {
+/// Arbitrary directed capacities exercise cancellation and asymmetric
+/// residuals.
+#[test]
+fn ff1_matches_oracle_on_directed_graphs() {
+    for case in 0..24u64 {
+        let mut rng = SplitMix64::seed_from_u64(0xFF10 + case);
+        let n = rng.gen_range(3u64..16);
+        let count = rng.gen_range(3usize..40);
         let mut b = FlowNetworkBuilder::new(n);
-        for (u, v, c) in edges {
-            b.add_edge(u % n, v % n, c);
+        for _ in 0..count {
+            b.add_edge(
+                rng.gen_range(0..n),
+                rng.gen_range(0..n),
+                rng.gen_range(1i64..6),
+            );
         }
         let net = b.build();
         let s = VertexId::new(0);
         let t = VertexId::new(n - 1);
         let oracle = maxflow::dinic::max_flow(&net, s, t).value;
-        prop_assert_eq!(ffmr_value(&net, s, t, FfVariant::ff1()), oracle);
+        assert_eq!(
+            ffmr_value(&net, s, t, FfVariant::ff1()),
+            oracle,
+            "case {case}"
+        );
     }
+}
 
-    /// Tiny k (k = 1) starves storage hardest; termination must still be
-    /// correct because rejected paths are re-sent every round.
-    #[test]
-    fn k_equals_one_still_reaches_max_flow(
-        n in 4u64..14,
-        edges in proptest::collection::vec((0u64..14, 0u64..14), 4..40),
-    ) {
-        let edges: Vec<(u64, u64)> = edges
-            .into_iter()
-            .map(|(u, v)| (u % n, v % n))
-            .filter(|&(u, v)| u != v)
-            .collect();
-        let net = FlowNetwork::from_undirected_unit(n, &edges);
+/// Tiny k (k = 1) starves storage hardest; termination must still be
+/// correct because rejected paths are re-sent every round.
+#[test]
+fn k_equals_one_still_reaches_max_flow() {
+    for case in 0..24u64 {
+        let mut rng = SplitMix64::seed_from_u64(0x0001_0000 + case);
+        let n = rng.gen_range(4u64..14);
+        let count = rng.gen_range(4usize..40);
+        let net = FlowNetwork::from_undirected_unit(n, &random_unit_edges(&mut rng, n, count));
         let s = VertexId::new(0);
         let t = VertexId::new(n - 1);
         let mut rt = MrRuntime::new(ClusterConfig::small_cluster(2));
@@ -86,6 +102,6 @@ proptest! {
             .reducers(2);
         let run = run_max_flow(&mut rt, &net, &config).expect("ffmr run");
         let oracle = maxflow::dinic::max_flow(&net, s, t).value;
-        prop_assert_eq!(run.max_flow_value, oracle);
+        assert_eq!(run.max_flow_value, oracle, "case {case}");
     }
 }

@@ -7,7 +7,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::RwLock;
+use ffmr_sync::RwLock;
 
 /// A concurrent set of named `u64` counters.
 ///

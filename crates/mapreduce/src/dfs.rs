@@ -375,9 +375,7 @@ mod tests {
     #[test]
     fn zero_partitions_rejected() {
         let mut dfs = Dfs::new();
-        let err = dfs
-            .write_records("f", 0, vec![(1u64, 1u64)])
-            .unwrap_err();
+        let err = dfs.write_records("f", 0, vec![(1u64, 1u64)]).unwrap_err();
         assert!(matches!(err, MrError::InvalidJob(_)));
     }
 

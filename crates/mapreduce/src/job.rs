@@ -502,7 +502,11 @@ mod tests {
         assert_eq!(ctx.out.len(), 2);
         assert_eq!(ctx.allocs(), 12);
         assert_eq!(ctx.task(), 3);
-        assert_eq!(counters.value("seen"), 0, "buffered until the attempt succeeds");
+        assert_eq!(
+            counters.value("seen"),
+            0,
+            "buffered until the attempt succeeds"
+        );
         ctx.merge_counters_into(&counters);
         assert_eq!(counters.value("seen"), 5);
     }

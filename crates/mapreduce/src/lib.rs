@@ -60,6 +60,26 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Determinism
+//!
+//! Results are deterministic regardless of thread count: partitioning is
+//! by key hash and reducers sort their input groups, so the same job on
+//! the same input produces byte-identical output. *Side effects* outside
+//! the dataflow — the invocation order of stateful [`Service`] calls
+//! (e.g. FF2's `aug_proc`) and the interleaving of counter updates — do
+//! depend on scheduling. For fully deterministic service-call ordering
+//! (reproducing a failure, diffing two runs record-for-record), pin the
+//! host thread pool to a single worker:
+//!
+//! ```
+//! # use mapreduce::{ClusterConfig, MrRuntime};
+//! let mut rt = MrRuntime::new(ClusterConfig::small_cluster(2));
+//! rt.set_worker_threads(Some(1)); // sequential execution, stable ordering
+//! ```
+//!
+//! `None` (the default) uses the host's available parallelism. The knob
+//! changes wall-clock speed only — never simulated time or results.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

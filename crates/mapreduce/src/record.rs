@@ -196,9 +196,7 @@ pub(crate) fn encode_record<K: Datum, V: Datum>(key: &K, value: &V, buf: &mut Ve
 }
 
 /// Decodes one record written by [`encode_record`].
-pub(crate) fn decode_record<K: Datum, V: Datum>(
-    input: &mut &[u8],
-) -> Result<(K, V), DecodeError> {
+pub(crate) fn decode_record<K: Datum, V: Datum>(input: &mut &[u8]) -> Result<(K, V), DecodeError> {
     let mut kraw = get_bytes(input)?;
     let key = K::decode(&mut kraw)?;
     if !kraw.is_empty() {

@@ -7,7 +7,7 @@ use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
-use parking_lot::Mutex;
+use ffmr_sync::Mutex;
 
 use std::sync::Arc;
 
@@ -695,8 +695,8 @@ mod tests {
     fn retry_recovers_from_transient_faults() {
         // Fail every task's first attempt; all succeed on the second.
         let policy = FailurePolicy::with_injector(3, |_, _, attempt| attempt == 0);
-        let out = run_parallel("map", Some(2), &policy, vec![10, 20, 30], |_, x: i32| Ok(x))
-            .unwrap();
+        let out =
+            run_parallel("map", Some(2), &policy, vec![10, 20, 30], |_, x: i32| Ok(x)).unwrap();
         for (v, attempts) in out {
             assert!(v >= 10);
             assert_eq!(attempts, 2);
@@ -706,8 +706,8 @@ mod tests {
     #[test]
     fn retry_budget_exhaustion_fails_the_job() {
         let policy = FailurePolicy::with_injector(2, |_, task, _| task == 1);
-        let err = run_parallel("map", Some(2), &policy, vec![1, 2, 3], |_, x: i32| Ok(x))
-            .unwrap_err();
+        let err =
+            run_parallel("map", Some(2), &policy, vec![1, 2, 3], |_, x: i32| Ok(x)).unwrap_err();
         assert!(matches!(err, MrError::TaskFailed { task: 1, .. }));
     }
 

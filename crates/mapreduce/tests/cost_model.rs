@@ -44,17 +44,16 @@ fn sim_time_never_below_round_overhead() {
     let overhead = cluster.round_overhead_s;
     let stats = run_identity(cluster, 1, 1);
     assert!(stats.sim_seconds >= overhead);
-    assert!(stats.sim_seconds < overhead + 1.0, "tiny job ≈ pure overhead");
+    assert!(
+        stats.sim_seconds < overhead + 1.0,
+        "tiny job ≈ pure overhead"
+    );
 }
 
 #[test]
 fn scaled_cluster_inflates_data_time_only() {
     let plain = run_identity(ClusterConfig::paper_cluster(20), 5_000, 256);
-    let scaled = run_identity(
-        ClusterConfig::scaled_paper_cluster(20, 1_000.0),
-        5_000,
-        256,
-    );
+    let scaled = run_identity(ClusterConfig::scaled_paper_cluster(20, 1_000.0), 5_000, 256);
     let overhead = ClusterConfig::paper_cluster(20).round_overhead_s;
     let plain_data = plain.sim_seconds - overhead;
     let scaled_data = scaled.sim_seconds - overhead;
@@ -111,9 +110,11 @@ fn skewed_partition_creates_straggler_time() {
         .input("in")
         .output("out")
         .reducers(8)
-        .map(|_k: &u64, v: &Vec<u8>, ctx: &mut MapContext<u64, Vec<u8>>| {
-            ctx.emit(7, v.clone());
-        })
+        .map(
+            |_k: &u64, v: &Vec<u8>, ctx: &mut MapContext<u64, Vec<u8>>| {
+                ctx.emit(7, v.clone());
+            },
+        )
         .reduce(
             |k: &u64, vs: &mut dyn Iterator<Item = Vec<u8>>, ctx: &mut ReduceContext<u64, u64>| {
                 ctx.emit(*k, vs.count() as u64);

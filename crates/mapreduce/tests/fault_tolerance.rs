@@ -35,7 +35,9 @@ fn transient_faults_are_retried_transparently() {
     let mut rt = MrRuntime::new(ClusterConfig::small_cluster(3));
     load_input(&mut rt);
     // Every task's first attempt dies.
-    rt.set_failure_policy(FailurePolicy::with_injector(3, |_, _, attempt| attempt == 0));
+    rt.set_failure_policy(FailurePolicy::with_injector(3, |_, _, attempt| {
+        attempt == 0
+    }));
     let stats = word_job(&mut rt, "out");
     let mut result: Vec<(u64, u64)> = rt.dfs().read_records("out").unwrap();
     result.sort();
@@ -105,7 +107,11 @@ fn budget_exhaustion_fails_the_job_without_output() {
         );
     assert!(matches!(
         rt.run(job),
-        Err(MrError::TaskFailed { phase: "reduce", task: 0, .. })
+        Err(MrError::TaskFailed {
+            phase: "reduce",
+            task: 0,
+            ..
+        })
     ));
     assert!(!rt.dfs().exists("out"));
 }

@@ -27,11 +27,13 @@ fn run_word_count(rt: &mut MrRuntime, combine: bool) -> mapreduce::JobStats {
         .input("in")
         .output("out")
         .reducers(4)
-        .map(|_k: &u64, line: &String, ctx: &mut MapContext<String, u64>| {
-            for w in line.split_whitespace() {
-                ctx.emit(w.to_string(), 1);
-            }
-        });
+        .map(
+            |_k: &u64, line: &String, ctx: &mut MapContext<String, u64>| {
+                for w in line.split_whitespace() {
+                    ctx.emit(w.to_string(), 1);
+                }
+            },
+        );
     let mapped = if combine {
         mapped.combine(
             |w: &String, vs: &mut dyn Iterator<Item = u64>, ctx: &mut MapContext<String, u64>| {
@@ -385,7 +387,10 @@ fn reducer_panic_fails_job() {
         );
     assert!(matches!(
         rt.run(job),
-        Err(MrError::TaskFailed { phase: "reduce", .. })
+        Err(MrError::TaskFailed {
+            phase: "reduce",
+            ..
+        })
     ));
 }
 

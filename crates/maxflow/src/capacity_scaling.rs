@@ -148,7 +148,11 @@ mod tests {
             let net = b.build();
             let (s, t) = (VertexId::new(0), VertexId::new(n - 1));
             let f = max_flow(&net, s, t);
-            assert_eq!(f.value, crate::dinic::max_flow(&net, s, t).value, "seed {seed}");
+            assert_eq!(
+                f.value,
+                crate::dinic::max_flow(&net, s, t).value,
+                "seed {seed}"
+            );
             check_flow(&net, s, t, &f).unwrap();
         }
     }

@@ -52,14 +52,7 @@ pub fn max_flow(net: &FlowNetwork, s: VertexId, t: VertexId) -> FlowResult {
             next_arc.push(arcs);
         }
         loop {
-            let pushed = dfs_push(
-                &mut residual,
-                &level,
-                &mut next_arc,
-                s,
-                t,
-                Capacity::MAX,
-            );
+            let pushed = dfs_push(&mut residual, &level, &mut next_arc, s, t, Capacity::MAX);
             if pushed == 0 {
                 break;
             }

@@ -54,21 +54,33 @@ impl fmt::Display for FlowViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FlowViolation::WrongShape { expected, actual } => {
-                write!(f, "flow vector has {actual} entries, network has {expected}")
+                write!(
+                    f,
+                    "flow vector has {actual} entries, network has {expected}"
+                )
             }
             FlowViolation::Capacity {
                 edge,
                 flow,
                 capacity,
-            } => write!(f, "capacity violated on {edge}: flow {flow} > cap {capacity}"),
+            } => write!(
+                f,
+                "capacity violated on {edge}: flow {flow} > cap {capacity}"
+            ),
             FlowViolation::SkewSymmetry { edge } => {
                 write!(f, "skew symmetry violated on {edge}")
             }
             FlowViolation::Conservation { vertex, net_out } => {
-                write!(f, "conservation violated at {vertex}: net outflow {net_out}")
+                write!(
+                    f,
+                    "conservation violated at {vertex}: net outflow {net_out}"
+                )
             }
             FlowViolation::Value { declared, measured } => {
-                write!(f, "declared value {declared} but measured {measured} at source")
+                write!(
+                    f,
+                    "declared value {declared} but measured {measured} at source"
+                )
             }
         }
     }

@@ -1,9 +1,9 @@
 //! Cross-validation of every sequential solver against each other on
-//! random and adversarial networks, plus property-based testing of the
+//! random and adversarial networks, plus seeded randomized testing of the
 //! max-flow/min-cut relationship.
 
+use ffmr_prng::SplitMix64;
 use maxflow::{min_cut, validate, Algorithm};
-use proptest::prelude::*;
 use swgraph::{gen, FlowNetwork, FlowNetworkBuilder, VertexId};
 
 fn check_all_agree(net: &FlowNetwork, s: VertexId, t: VertexId) -> i64 {
@@ -80,38 +80,43 @@ fn directed_asymmetric_capacities() {
     check_all_agree(&net, VertexId::new(0), VertexId::new(4));
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Random directed multigraphs with random capacities: every solver
-    /// agrees, every flow validates, min-cut matches.
-    #[test]
-    fn solvers_agree_on_random_directed_networks(
-        n in 2u64..25,
-        edges in proptest::collection::vec((0u64..25, 0u64..25, 1i64..20), 0..80),
-        s_raw in 0u64..25,
-        t_raw in 0u64..25,
-    ) {
+/// Random directed multigraphs with random capacities: every solver
+/// agrees, every flow validates, min-cut matches. Cases come from a
+/// seeded SplitMix64 stream, so the corpus is deterministic.
+#[test]
+fn solvers_agree_on_random_directed_networks() {
+    for case in 0..64u64 {
+        let mut rng = SplitMix64::seed_from_u64(0xD1D0 + case);
+        let n = rng.gen_range(2u64..25);
+        let count = rng.gen_range(0usize..80);
         let mut b = FlowNetworkBuilder::new(n);
-        for (u, v, c) in edges {
-            b.add_edge(u % n, v % n, c);
+        for _ in 0..count {
+            b.add_edge(
+                rng.gen_range(0..n),
+                rng.gen_range(0..n),
+                rng.gen_range(1i64..20),
+            );
         }
         let net = b.build();
-        let s = VertexId::new(s_raw % n);
-        let t = VertexId::new(t_raw % n);
-        prop_assume!(s != t);
+        let s = VertexId::new(rng.gen_range(0..n));
+        let t = VertexId::new(rng.gen_range(0..n));
+        if s == t {
+            continue;
+        }
         check_all_agree(&net, s, t);
     }
+}
 
-    /// Unit-capacity undirected graphs: flow is bounded by both terminal
-    /// degrees and equals the vertex connectivity bound on edges.
-    #[test]
-    fn unit_flow_bounded_by_terminal_degrees(
-        n in 2u64..30,
-        edges in proptest::collection::vec((0u64..30, 0u64..30), 1..120),
-    ) {
-        let edges: Vec<(u64, u64)> = edges.into_iter()
-            .map(|(u, v)| (u % n, v % n))
+/// Unit-capacity undirected graphs: flow is bounded by both terminal
+/// degrees and equals the vertex connectivity bound on edges.
+#[test]
+fn unit_flow_bounded_by_terminal_degrees() {
+    for case in 0..64u64 {
+        let mut rng = SplitMix64::seed_from_u64(0x0B0D + case);
+        let n = rng.gen_range(2u64..30);
+        let count = rng.gen_range(1usize..120);
+        let edges: Vec<(u64, u64)> = (0..count)
+            .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
             .filter(|&(u, v)| u != v)
             .collect();
         let net = FlowNetwork::from_undirected_unit(n, &edges);
@@ -120,20 +125,29 @@ proptest! {
         let v = check_all_agree(&net, s, t);
         // Parallel input edges merge by capacity summation, so the bound
         // is outgoing capacity, not degree.
-        prop_assert!(v <= net.capacity_out(s));
-        prop_assert!(v <= net.capacity_out(t));
+        assert!(v <= net.capacity_out(s), "case {case}");
+        assert!(v <= net.capacity_out(t), "case {case}");
     }
+}
 
-    /// Augmenting capacity of one cut edge by delta raises the max flow by
-    /// at most delta (monotonicity / sensitivity property).
-    #[test]
-    fn flow_is_monotone_in_capacity(
-        n in 3u64..15,
-        edges in proptest::collection::vec((0u64..15, 0u64..15, 1i64..10), 1..40),
-        bump in 1i64..10,
-    ) {
-        let edges: Vec<(u64, u64, i64)> =
-            edges.into_iter().map(|(u, v, c)| (u % n, v % n, c)).collect();
+/// Augmenting capacity of one cut edge by delta raises the max flow by
+/// at most delta (monotonicity / sensitivity property).
+#[test]
+fn flow_is_monotone_in_capacity() {
+    for case in 0..64u64 {
+        let mut rng = SplitMix64::seed_from_u64(0x0770 + case);
+        let n = rng.gen_range(3u64..15);
+        let count = rng.gen_range(1usize..40);
+        let bump = rng.gen_range(1i64..10);
+        let edges: Vec<(u64, u64, i64)> = (0..count)
+            .map(|_| {
+                (
+                    rng.gen_range(0..n),
+                    rng.gen_range(0..n),
+                    rng.gen_range(1i64..10),
+                )
+            })
+            .collect();
         let build = |extra: i64| {
             let mut b = FlowNetworkBuilder::new(n);
             for (i, &(u, v, c)) in edges.iter().enumerate() {
@@ -146,7 +160,7 @@ proptest! {
         let t = VertexId::new(n - 1);
         let base = Algorithm::Dinic.run(&build(0), s, t).value;
         let bumped = Algorithm::Dinic.run(&build(bump), s, t).value;
-        prop_assert!(bumped >= base);
-        prop_assert!(bumped <= base + bump);
+        assert!(bumped >= base, "case {case}");
+        assert!(bumped <= base + bump, "case {case}");
     }
 }

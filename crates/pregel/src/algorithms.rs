@@ -49,10 +49,7 @@ impl VertexProgram for Components {
 /// let labels = pregel::algorithms::connected_components(5, &[(0, 1), (2, 3)]).unwrap();
 /// assert_eq!(labels, vec![0, 0, 2, 2, 4]);
 /// ```
-pub fn connected_components(
-    n: u64,
-    edges: &[(u64, u64)],
-) -> Result<Vec<u64>, crate::PregelError> {
+pub fn connected_components(n: u64, edges: &[(u64, u64)]) -> Result<Vec<u64>, crate::PregelError> {
     let mut graph = undirected_graph(n, edges, u64::MAX, ());
     Engine::new(Components).run(&mut graph, n as usize + 2)?;
     Ok(graph.iter().map(|(_, &label)| label).collect())
@@ -250,13 +247,8 @@ mod tests {
 
     #[test]
     fn sssp_matches_dijkstra() {
-        let edges: Vec<(u64, u64, u64)> = vec![
-            (0, 1, 4),
-            (0, 2, 1),
-            (2, 1, 2),
-            (1, 3, 1),
-            (2, 3, 5),
-        ];
+        let edges: Vec<(u64, u64, u64)> =
+            vec![(0, 1, 4), (0, 2, 1), (2, 1, 2), (1, 3, 1), (2, 3, 5)];
         let got = shortest_paths(4, &edges, 0).unwrap();
         assert_eq!(got, dijkstra(4, &edges, 0));
         assert_eq!(got, vec![0, 3, 1, 4]);

@@ -176,7 +176,10 @@ impl<P: VertexProgram> Engine<P> {
                         out
                     }));
                 }
-                handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("no panics"))
+                    .collect()
             });
 
             let mut messages = 0usize;
@@ -201,9 +204,7 @@ impl<P: VertexProgram> Engine<P> {
             stats.total_messages += messages;
             stats.supersteps = superstep + 1;
 
-            let decision = self
-                .program
-                .master(folded.unwrap_or_default(), superstep);
+            let decision = self.program.master(folded.unwrap_or_default(), superstep);
             broadcast = decision.broadcast;
             if decision.halt {
                 stats.halted_by_master = true;

@@ -1,0 +1,290 @@
+//! The flow cache: LRU memoization of answered queries.
+//!
+//! Max-flow answers are expensive (an FF5 run is many MapReduce rounds)
+//! and immutable for a given snapshot, so `ffmrd` memoizes them. A key
+//! canonicalizes everything that determines the answer:
+//!
+//! * dataset name **and snapshot epoch** — a `reload` bumps the epoch,
+//!   so every entry for the old graph is unreachable the instant the
+//!   swap commits (and is swept eagerly by
+//!   [`FlowCache::invalidate_dataset`]);
+//! * the query kind (max-flow vs min-cut — a min-cut answer strictly
+//!   extends a max-flow answer);
+//! * the *resolved, sorted* terminal sets. A plain `s→t` query
+//!   canonicalizes to `([s], [t])`; a super-source/sink query (the
+//!   paper's Sec. V-A1 `--w` construction) canonicalizes to the sorted
+//!   high-degree terminal vertices actually chosen, so two `--w` queries
+//!   that select the same terminals share one entry even across
+//!   different requested seeds.
+//!
+//! Eviction is least-recently-used via a monotonic touch stamp; with the
+//! small capacities a daemon configures (hundreds), the O(capacity) scan
+//! on eviction is noise next to a single solver round.
+
+use std::collections::HashMap;
+
+use ffmr_sync::Mutex;
+use swgraph::Capacity;
+
+/// What was asked of the solver (part of the cache key).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryKind {
+    /// Maximum-flow value only.
+    MaxFlow,
+    /// Maximum flow plus the minimum cut certificate.
+    MinCut,
+}
+
+/// A fully canonicalized query identity.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Dataset name.
+    pub dataset: String,
+    /// Snapshot epoch the answer was computed against.
+    pub epoch: u64,
+    /// Max-flow or min-cut.
+    pub kind: QueryKind,
+    /// Sorted source-side terminal vertices (one entry for plain `s`).
+    pub sources: Vec<u64>,
+    /// Sorted sink-side terminal vertices (one entry for plain `t`).
+    pub sinks: Vec<u64>,
+}
+
+impl CacheKey {
+    /// Builds a key, sorting the terminal sets into canonical order.
+    #[must_use]
+    pub fn new(
+        dataset: &str,
+        epoch: u64,
+        kind: QueryKind,
+        mut sources: Vec<u64>,
+        mut sinks: Vec<u64>,
+    ) -> Self {
+        sources.sort_unstable();
+        sources.dedup();
+        sinks.sort_unstable();
+        sinks.dedup();
+        Self {
+            dataset: dataset.to_string(),
+            epoch,
+            kind,
+            sources,
+            sinks,
+        }
+    }
+}
+
+/// A memoized solver answer, replayed verbatim on a hit (plus a
+/// `cached 1` marker in the response).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedAnswer {
+    /// The max-flow value.
+    pub flow: Capacity,
+    /// Which solver produced it (`dinic`, `ff5`, …).
+    pub solver: String,
+    /// MapReduce rounds consumed (0 for sequential solvers).
+    pub rounds: usize,
+    /// Total shuffle bytes across rounds (0 for sequential solvers).
+    pub shuffle_bytes: u64,
+    /// Total simulated cluster seconds (0 for sequential solvers).
+    pub sim_seconds_milli: u64,
+    /// Min-cut certificate: crossing-edge count (min-cut queries only).
+    pub cut_edges: Option<usize>,
+    /// Min-cut certificate: source-side size (min-cut queries only).
+    pub cut_source_side: Option<usize>,
+}
+
+/// Cache observability counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to a solver.
+    pub misses: u64,
+    /// Entries evicted by the LRU policy.
+    pub evictions: u64,
+    /// Entries swept by snapshot invalidation.
+    pub invalidated: u64,
+    /// Current entry count.
+    pub entries: usize,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    entries: HashMap<CacheKey, (CachedAnswer, u64)>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    invalidated: u64,
+}
+
+/// A bounded LRU cache of [`CachedAnswer`]s.
+#[derive(Debug)]
+pub struct FlowCache {
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+}
+
+impl FlowCache {
+    /// A cache holding at most `capacity` answers. Capacity 0 disables
+    /// caching entirely (every lookup misses).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            inner: Mutex::new(CacheInner::default()),
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    #[must_use]
+    pub fn get(&self, key: &CacheKey) -> Option<CachedAnswer> {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let stamp = inner.clock;
+        match inner.entries.get_mut(key) {
+            Some((answer, touched)) => {
+                *touched = stamp;
+                let answer = answer.clone();
+                inner.hits += 1;
+                Some(answer)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores an answer, evicting the least-recently-used entry on
+    /// overflow.
+    pub fn put(&self, key: CacheKey, answer: CachedAnswer) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let stamp = inner.clock;
+        if inner.entries.len() >= self.capacity && !inner.entries.contains_key(&key) {
+            if let Some(oldest) = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, touched))| *touched)
+                .map(|(k, _)| k.clone())
+            {
+                inner.entries.remove(&oldest);
+                inner.evictions += 1;
+            }
+        }
+        inner.entries.insert(key, (answer, stamp));
+    }
+
+    /// Atomically drops every entry for `dataset` (all epochs). Called
+    /// under the same swap that replaces the snapshot, so a cache reader
+    /// can never observe a new epoch with old entries still served —
+    /// epoch-in-key already guarantees correctness; this reclaims the
+    /// memory.
+    pub fn invalidate_dataset(&self, dataset: &str) {
+        let mut inner = self.inner.lock();
+        let before = inner.entries.len();
+        inner.entries.retain(|k, _| k.dataset != dataset);
+        inner.invalidated += (before - inner.entries.len()) as u64;
+    }
+
+    /// A snapshot of the observability counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            invalidated: inner.invalidated,
+            entries: inner.entries.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(dataset: &str, epoch: u64, s: u64, t: u64) -> CacheKey {
+        CacheKey::new(dataset, epoch, QueryKind::MaxFlow, vec![s], vec![t])
+    }
+
+    fn answer(flow: Capacity) -> CachedAnswer {
+        CachedAnswer {
+            flow,
+            solver: "dinic".into(),
+            rounds: 0,
+            shuffle_bytes: 0,
+            sim_seconds_milli: 0,
+            cut_edges: None,
+            cut_source_side: None,
+        }
+    }
+
+    #[test]
+    fn hit_miss_and_stats() {
+        let cache = FlowCache::new(4);
+        let k = key("g", 1, 0, 9);
+        assert_eq!(cache.get(&k), None);
+        cache.put(k.clone(), answer(3));
+        assert_eq!(cache.get(&k).unwrap().flow, 3);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn terminal_sets_canonicalize() {
+        let a = CacheKey::new("g", 1, QueryKind::MaxFlow, vec![5, 2, 5], vec![9, 7]);
+        let b = CacheKey::new("g", 1, QueryKind::MaxFlow, vec![2, 5], vec![7, 9, 9]);
+        assert_eq!(a, b, "order and duplicates must not matter");
+        let c = CacheKey::new("g", 1, QueryKind::MinCut, vec![2, 5], vec![7, 9]);
+        assert_ne!(a, c, "kind is part of the identity");
+    }
+
+    #[test]
+    fn epoch_partitions_the_keyspace() {
+        let cache = FlowCache::new(4);
+        cache.put(key("g", 1, 0, 9), answer(3));
+        assert_eq!(cache.get(&key("g", 2, 0, 9)), None, "new epoch, no hit");
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest() {
+        let cache = FlowCache::new(2);
+        let (a, b, c) = (key("g", 1, 0, 1), key("g", 1, 0, 2), key("g", 1, 0, 3));
+        cache.put(a.clone(), answer(1));
+        cache.put(b.clone(), answer(2));
+        assert!(cache.get(&a).is_some(), "touch a so b is coldest");
+        cache.put(c.clone(), answer(3));
+        assert!(cache.get(&b).is_none(), "b evicted");
+        assert!(cache.get(&a).is_some() && cache.get(&c).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn invalidation_sweeps_only_the_dataset() {
+        let cache = FlowCache::new(8);
+        cache.put(key("g", 1, 0, 1), answer(1));
+        cache.put(key("g", 2, 0, 1), answer(1));
+        cache.put(key("h", 1, 0, 1), answer(2));
+        cache.invalidate_dataset("g");
+        assert_eq!(cache.get(&key("g", 1, 0, 1)), None);
+        assert_eq!(cache.get(&key("g", 2, 0, 1)), None);
+        assert_eq!(cache.get(&key("h", 1, 0, 1)).unwrap().flow, 2);
+        assert_eq!(cache.stats().invalidated, 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = FlowCache::new(0);
+        let k = key("g", 1, 0, 1);
+        cache.put(k.clone(), answer(1));
+        assert_eq!(cache.get(&k), None);
+        assert_eq!(cache.stats().entries, 0);
+    }
+}

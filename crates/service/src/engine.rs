@@ -1,0 +1,676 @@
+//! The query engine: routes each request to the right solver and
+//! memoizes answers.
+//!
+//! Solver auto-selection follows the structure-aware lesson of
+//! Bläsius/Friedrich/Weyand: on graphs small enough to fit one worker's
+//! memory comfortably, a tuned sequential solver (Dinic) beats any
+//! distributed round structure by orders of magnitude, while past the
+//! threshold the FF5 MapReduce driver wins by keeping the whole graph
+//! out of any single address space. `algorithm auto` (the default)
+//! compares the snapshot's vertex count against
+//! [`EngineConfig::mr_threshold_vertices`]; explicit `algorithm` values
+//! pin a solver. Every response carries the MapReduce round and shuffle
+//! counters (zero for sequential routes) so clients can see what a query
+//! cost.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ffmr_core::{FfConfig, FfError, FfRun, FfVariant};
+use mapreduce::{ClusterConfig, MrRuntime};
+use maxflow::{Algorithm, FlowResult};
+use swgraph::{FlowNetwork, VertexId};
+
+use crate::cache::{CacheKey, CacheStats, CachedAnswer, FlowCache, QueryKind};
+use crate::protocol::{error_response, status, Message};
+use crate::store::GraphStore;
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Graphs with at most this many vertices take the sequential Dinic
+    /// route under `algorithm auto`; larger ones take the FF5 MapReduce
+    /// driver.
+    pub mr_threshold_vertices: usize,
+    /// Simulated cluster size for MapReduce queries.
+    pub cluster_nodes: usize,
+    /// Reduce partitions for MapReduce queries.
+    pub reducers: usize,
+    /// Flow-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Per-query deadline when the request names none.
+    pub default_timeout: Duration,
+    /// Minimum degree for super-terminal selection (`--w` queries).
+    pub super_min_degree: usize,
+    /// Default selection seed for super-terminal queries.
+    pub super_seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            mr_threshold_vertices: 2_000,
+            cluster_nodes: 20,
+            reducers: 8,
+            cache_capacity: 256,
+            default_timeout: Duration::from_secs(30),
+            super_min_degree: 3,
+            super_seed: 42,
+        }
+    }
+}
+
+/// Executes protocol requests against a [`GraphStore`] and [`FlowCache`].
+#[derive(Debug)]
+pub struct QueryEngine {
+    store: Arc<GraphStore>,
+    cache: FlowCache,
+    config: EngineConfig,
+}
+
+/// Which solver a query resolved to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Solver {
+    Sequential(Algorithm),
+    MapReduce(&'static str, FfVariant),
+}
+
+impl Solver {
+    fn name(self) -> String {
+        match self {
+            Solver::Sequential(a) => a.to_string(),
+            Solver::MapReduce(name, _) => name.to_string(),
+        }
+    }
+}
+
+/// The resolved terminals of a query: either the literal `s`/`t` pair or
+/// a super source/sink construction over high-degree terminal sets.
+struct ResolvedQuery {
+    /// Network to solve on (the snapshot graph, or its super-terminal
+    /// augmentation).
+    net: FlowNetwork,
+    source: VertexId,
+    sink: VertexId,
+    /// Canonical terminal vertex sets for the cache key.
+    source_terminals: Vec<u64>,
+    sink_terminals: Vec<u64>,
+}
+
+impl QueryEngine {
+    /// Creates an engine over `store`.
+    #[must_use]
+    pub fn new(store: Arc<GraphStore>, config: EngineConfig) -> Self {
+        Self {
+            cache: FlowCache::new(config.cache_capacity),
+            store,
+            config,
+        }
+    }
+
+    /// The backing store (shared with admin paths).
+    #[must_use]
+    pub fn store(&self) -> &Arc<GraphStore> {
+        &self.store
+    }
+
+    /// Cache observability counters.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Executes one request, returning the response message. Never
+    /// panics on malformed input — protocol errors become `error`
+    /// responses.
+    #[must_use]
+    pub fn execute(&self, request: &Message) -> Message {
+        let started = Instant::now();
+        let result = match request.head.as_str() {
+            "ping" => Ok(Message::new(status::OK).field("pong", 1)),
+            "list" => Ok(self.list()),
+            "stats" => self.stats(request),
+            "load" => self.load(request),
+            "reload" => self.reload(request),
+            "maxflow" => self.flow_query(request, QueryKind::MaxFlow),
+            "mincut" => self.flow_query(request, QueryKind::MinCut),
+            "sleep" => self.sleep(request),
+            other => Err(format!("unknown request '{other}'")),
+        };
+        match result {
+            Ok(mut response) => {
+                response.push("elapsed-us", started.elapsed().as_micros());
+                response
+            }
+            Err(message) => error_response(message),
+        }
+    }
+
+    fn list(&self) -> Message {
+        let mut response = Message::new(status::OK);
+        for (name, epoch, vertices, edges) in self.store.list() {
+            response.push(
+                "dataset",
+                format!("{name} epoch={epoch} v={vertices} e={edges}"),
+            );
+        }
+        response
+    }
+
+    fn stats(&self, request: &Message) -> Result<Message, String> {
+        let mut response = Message::new(status::OK);
+        if let Some(name) = request.get("dataset") {
+            let snap = self
+                .store
+                .get(name)
+                .ok_or_else(|| format!("unknown dataset '{name}'"))?;
+            response.push("dataset", name);
+            response.push("epoch", snap.epoch);
+            response.push("vertices", snap.network.num_vertices());
+            response.push("edge-pairs", snap.network.num_edge_pairs());
+            response.push(
+                "avg-degree",
+                format!("{:.3}", swgraph::props::average_degree(&snap.network)),
+            );
+            response.push("max-degree", swgraph::props::max_degree(&snap.network));
+            let route = if snap.network.num_vertices() <= self.config.mr_threshold_vertices {
+                "sequential"
+            } else {
+                "mapreduce"
+            };
+            response.push("auto-route", route);
+        }
+        let cache = self.cache.stats();
+        response.push("cache-hits", cache.hits);
+        response.push("cache-misses", cache.misses);
+        response.push("cache-entries", cache.entries);
+        response.push("cache-evictions", cache.evictions);
+        response.push("cache-invalidated", cache.invalidated);
+        Ok(response)
+    }
+
+    fn load(&self, request: &Message) -> Result<Message, String> {
+        let name = request.get("dataset").ok_or("load needs 'dataset'")?;
+        let path = request.get("path").ok_or("load needs 'path'")?;
+        let epoch = self
+            .store
+            .load_from_path(name, path)
+            .map_err(|e| e.to_string())?;
+        // The epoch bump already fences stale entries; the sweep frees
+        // their memory immediately.
+        self.cache.invalidate_dataset(name);
+        let snap = self.store.get(name).expect("just loaded");
+        Ok(Message::new(status::OK)
+            .field("dataset", name)
+            .field("epoch", epoch)
+            .field("vertices", snap.network.num_vertices())
+            .field("edge-pairs", snap.network.num_edge_pairs()))
+    }
+
+    fn reload(&self, request: &Message) -> Result<Message, String> {
+        let name = request.get("dataset").ok_or("reload needs 'dataset'")?;
+        if request.get("path").is_some() {
+            // Silently ignoring the path would re-read the *recorded*
+            // file — not what the caller asked for.
+            return Err(
+                "reload re-reads the recorded path; use 'load' to point at a new file".to_string(),
+            );
+        }
+        let epoch = self.store.reload(name).map_err(|e| e.to_string())?;
+        self.cache.invalidate_dataset(name);
+        Ok(Message::new(status::OK)
+            .field("dataset", name)
+            .field("epoch", epoch))
+    }
+
+    /// Diagnostic: occupy a worker slot for `ms` milliseconds. Lets
+    /// operators (and the test suite) probe queue-shedding behaviour
+    /// without crafting an expensive graph query.
+    fn sleep(&self, request: &Message) -> Result<Message, String> {
+        let ms: u64 = request.get_parsed("ms")?.unwrap_or(100).min(60_000);
+        std::thread::sleep(Duration::from_millis(ms));
+        Ok(Message::new(status::OK).field("slept-ms", ms))
+    }
+
+    fn flow_query(&self, request: &Message, kind: QueryKind) -> Result<Message, String> {
+        let dataset = request.get("dataset").ok_or("query needs 'dataset'")?;
+        let snap = self
+            .store
+            .get(dataset)
+            .ok_or_else(|| format!("unknown dataset '{dataset}'"))?;
+
+        let resolved = self.resolve_terminals(request, &snap.network)?;
+        let solver = self.pick_solver(request.get("algorithm"), &resolved.net)?;
+        let key = CacheKey::new(
+            dataset,
+            snap.epoch,
+            kind,
+            resolved.source_terminals.clone(),
+            resolved.sink_terminals.clone(),
+        );
+
+        let use_cache = request.get("no-cache").is_none();
+        if use_cache {
+            if let Some(hit) = self.cache.get(&key) {
+                return Ok(render_answer(
+                    &hit, kind, &resolved, dataset, snap.epoch, true,
+                ));
+            }
+        }
+
+        let timeout_ms: u64 = request
+            .get_parsed("timeout-ms")?
+            .unwrap_or(self.config.default_timeout.as_millis() as u64);
+        let answer = self.solve(&resolved, solver, kind, Duration::from_millis(timeout_ms))?;
+        if use_cache {
+            self.cache.put(key, answer.clone());
+        }
+        Ok(render_answer(
+            &answer, kind, &resolved, dataset, snap.epoch, false,
+        ))
+    }
+
+    fn resolve_terminals(
+        &self,
+        request: &Message,
+        base: &FlowNetwork,
+    ) -> Result<ResolvedQuery, String> {
+        let w: usize = request.get_parsed("w")?.unwrap_or(0);
+        if w > 0 {
+            let seed: u64 = request
+                .get_parsed("seed")?
+                .unwrap_or(self.config.super_seed);
+            let min_degree: usize = request
+                .get_parsed("min-degree")?
+                .unwrap_or(self.config.super_min_degree);
+            let st = swgraph::super_st::attach_super_terminals(base, w, min_degree, seed)
+                .map_err(|e| e.to_string())?;
+            return Ok(ResolvedQuery {
+                net: st.network,
+                source: st.source,
+                sink: st.sink,
+                source_terminals: st.source_terminals.iter().map(|v| v.raw()).collect(),
+                sink_terminals: st.sink_terminals.iter().map(|v| v.raw()).collect(),
+            });
+        }
+        let source: u64 = request
+            .get_parsed("source")?
+            .ok_or("query needs 'source'/'sink' or 'w'")?;
+        let sink: u64 = request
+            .get_parsed("sink")?
+            .ok_or("query needs 'source'/'sink' or 'w'")?;
+        if source == sink {
+            return Err("source equals sink".into());
+        }
+        let n = base.num_vertices() as u64;
+        if source >= n || sink >= n {
+            return Err(format!("terminal outside the graph (0..{n})"));
+        }
+        Ok(ResolvedQuery {
+            net: base.clone(),
+            source: VertexId::new(source),
+            sink: VertexId::new(sink),
+            source_terminals: vec![source],
+            sink_terminals: vec![sink],
+        })
+    }
+
+    fn pick_solver(&self, requested: Option<&str>, net: &FlowNetwork) -> Result<Solver, String> {
+        let auto = || {
+            if net.num_vertices() <= self.config.mr_threshold_vertices {
+                Solver::Sequential(Algorithm::Dinic)
+            } else {
+                Solver::MapReduce("ff5", FfVariant::ff5())
+            }
+        };
+        Ok(match requested.unwrap_or("auto") {
+            "auto" => auto(),
+            "dinic" => Solver::Sequential(Algorithm::Dinic),
+            "edmonds-karp" => Solver::Sequential(Algorithm::EdmondsKarp),
+            "ford-fulkerson" => Solver::Sequential(Algorithm::FordFulkerson),
+            "push-relabel" => Solver::Sequential(Algorithm::PushRelabel),
+            "capacity-scaling" => Solver::Sequential(Algorithm::CapacityScaling),
+            "ff1" => Solver::MapReduce("ff1", FfVariant::ff1()),
+            "ff2" => Solver::MapReduce("ff2", FfVariant::ff2()),
+            "ff3" => Solver::MapReduce("ff3", FfVariant::ff3()),
+            "ff4" => Solver::MapReduce("ff4", FfVariant::ff4()),
+            "ff5" => Solver::MapReduce("ff5", FfVariant::ff5()),
+            other => return Err(format!("unknown algorithm '{other}'")),
+        })
+    }
+
+    fn solve(
+        &self,
+        q: &ResolvedQuery,
+        solver: Solver,
+        kind: QueryKind,
+        timeout: Duration,
+    ) -> Result<CachedAnswer, String> {
+        match solver {
+            Solver::Sequential(algo) => {
+                // Sequential solvers are not cooperatively cancellable;
+                // the auto-threshold keeps them on graphs where they
+                // finish far inside any sane deadline.
+                let flow = algo.run(&q.net, q.source, q.sink);
+                let mut answer = CachedAnswer {
+                    flow: flow.value,
+                    solver: solver.name(),
+                    rounds: 0,
+                    shuffle_bytes: 0,
+                    sim_seconds_milli: 0,
+                    cut_edges: None,
+                    cut_source_side: None,
+                };
+                if kind == QueryKind::MinCut {
+                    let cut = maxflow::min_cut::extract_min_cut(&q.net, q.source, &flow);
+                    answer.cut_edges = Some(cut.cut_edges.len());
+                    answer.cut_source_side = Some(cut.source_side.len());
+                }
+                Ok(answer)
+            }
+            Solver::MapReduce(name, variant) => {
+                let (run, rt) = self.run_mapreduce(q, variant, timeout)?;
+                let mut answer = CachedAnswer {
+                    flow: run.max_flow_value,
+                    solver: name.to_string(),
+                    rounds: run.num_flow_rounds(),
+                    shuffle_bytes: run.rounds.iter().map(|r| r.shuffle_bytes).sum(),
+                    sim_seconds_milli: (run.total_sim_seconds * 1_000.0) as u64,
+                    cut_edges: None,
+                    cut_source_side: None,
+                };
+                if kind == QueryKind::MinCut {
+                    let extracted = ffmr_core::verify::extract_flow(
+                        rt.dfs(),
+                        &run.final_graph_path,
+                        &run.pending_deltas,
+                        &q.net,
+                    )
+                    .map_err(|e| format!("flow extraction failed: {e}"))?;
+                    let flow = FlowResult {
+                        value: run.max_flow_value,
+                        flows: extracted.flows,
+                    };
+                    let cut = maxflow::min_cut::extract_min_cut(&q.net, q.source, &flow);
+                    answer.cut_edges = Some(cut.cut_edges.len());
+                    answer.cut_source_side = Some(cut.source_side.len());
+                }
+                Ok(answer)
+            }
+        }
+    }
+
+    /// Runs the FF driver with a watchdog thread that raises the
+    /// cancellation hook at the deadline; the driver aborts between
+    /// rounds with [`FfError::Cancelled`].
+    fn run_mapreduce(
+        &self,
+        q: &ResolvedQuery,
+        variant: FfVariant,
+        timeout: Duration,
+    ) -> Result<(FfRun, MrRuntime), String> {
+        let mut rt = MrRuntime::new(ClusterConfig::paper_cluster(self.config.cluster_nodes));
+        let cancel = Arc::new(AtomicBool::new(false));
+        let done = Arc::new(AtomicBool::new(false));
+        let watchdog = {
+            let cancel = Arc::clone(&cancel);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let deadline = Instant::now() + timeout;
+                while !done.load(Ordering::Relaxed) {
+                    if Instant::now() >= deadline {
+                        cancel.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(10).min(timeout));
+                }
+            })
+        };
+        let config = FfConfig::new(q.source, q.sink)
+            .variant(variant)
+            .reducers(self.config.reducers)
+            .cancel_flag(Arc::clone(&cancel));
+        let result = ffmr_core::run_max_flow(&mut rt, &q.net, &config);
+        done.store(true, Ordering::Relaxed);
+        let _ = watchdog.join();
+        match result {
+            Ok(run) => Ok((run, rt)),
+            Err(FfError::Cancelled { rounds_completed }) => Err(format!(
+                "timeout after {}ms ({rounds_completed} rounds completed)",
+                timeout.as_millis()
+            )),
+            Err(e) => Err(e.to_string()),
+        }
+    }
+}
+
+fn render_answer(
+    answer: &CachedAnswer,
+    kind: QueryKind,
+    q: &ResolvedQuery,
+    dataset: &str,
+    epoch: u64,
+    cached: bool,
+) -> Message {
+    let mut response = Message::new(status::OK)
+        .field("dataset", dataset)
+        .field("epoch", epoch)
+        .field("flow", answer.flow)
+        .field("solver", &answer.solver)
+        .field("cached", u8::from(cached))
+        .field("rounds", answer.rounds)
+        .field("shuffle-bytes", answer.shuffle_bytes)
+        .field("sim-seconds-milli", answer.sim_seconds_milli);
+    if kind == QueryKind::MinCut {
+        if let (Some(edges), Some(side)) = (answer.cut_edges, answer.cut_source_side) {
+            response.push("cut-edges", edges);
+            response.push("cut-source-side", side);
+        }
+    }
+    response.push("sources", join(&q.source_terminals));
+    response.push("sinks", join(&q.sink_terminals));
+    response
+}
+
+fn join(ids: &[u64]) -> String {
+    let mut out = String::new();
+    for (i, id) in ids.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(&id.to_string());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swgraph::gen;
+
+    fn engine_with(net: FlowNetwork, config: EngineConfig) -> QueryEngine {
+        let store = Arc::new(GraphStore::new());
+        store.insert_network("g", net);
+        QueryEngine::new(store, config)
+    }
+
+    fn two_paths() -> FlowNetwork {
+        FlowNetwork::from_undirected_unit(4, &[(0, 1), (1, 3), (0, 2), (2, 3)])
+    }
+
+    fn query(head: &str) -> Message {
+        Message::new(head)
+            .field("dataset", "g")
+            .field("source", 0)
+            .field("sink", 3)
+    }
+
+    #[test]
+    fn maxflow_small_graph_takes_dinic_and_caches() {
+        let engine = engine_with(two_paths(), EngineConfig::default());
+        let first = engine.execute(&query("maxflow"));
+        assert_eq!(first.head, status::OK, "{first:?}");
+        assert_eq!(first.get("flow"), Some("2"));
+        assert_eq!(first.get("solver"), Some("dinic"));
+        assert_eq!(first.get("cached"), Some("0"));
+        assert_eq!(first.get("rounds"), Some("0"));
+        let second = engine.execute(&query("maxflow"));
+        assert_eq!(second.get("cached"), Some("1"));
+        assert_eq!(second.get("flow"), Some("2"));
+        assert_eq!(engine.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn auto_routes_to_mapreduce_above_threshold() {
+        let config = EngineConfig {
+            mr_threshold_vertices: 3, // force the MR route on 4 vertices
+            ..EngineConfig::default()
+        };
+        let engine = engine_with(two_paths(), config);
+        let r = engine.execute(&query("maxflow"));
+        assert_eq!(r.head, status::OK, "{r:?}");
+        assert_eq!(r.get("solver"), Some("ff5"));
+        assert_eq!(r.get("flow"), Some("2"));
+        let rounds: usize = r.get("rounds").unwrap().parse().unwrap();
+        assert!(rounds > 0, "MR route reports real rounds");
+        let shuffle: u64 = r.get("shuffle-bytes").unwrap().parse().unwrap();
+        assert!(shuffle > 0, "MR route reports shuffle bytes");
+    }
+
+    #[test]
+    fn explicit_algorithms_agree() {
+        let engine = engine_with(two_paths(), EngineConfig::default());
+        for algo in [
+            "dinic",
+            "edmonds-karp",
+            "ford-fulkerson",
+            "push-relabel",
+            "capacity-scaling",
+            "ff1",
+            "ff5",
+        ] {
+            let mut q = query("maxflow").field("algorithm", algo);
+            // Bypass the cache so every solver actually runs.
+            q.push("no-cache", 1);
+            let r = engine.execute(&q);
+            assert_eq!(r.head, status::OK, "{algo}: {r:?}");
+            assert_eq!(r.get("flow"), Some("2"), "{algo} disagrees");
+            assert_eq!(r.get("solver"), Some(algo));
+        }
+    }
+
+    #[test]
+    fn mincut_returns_certificate_on_both_routes() {
+        for threshold in [2_000, 3] {
+            let config = EngineConfig {
+                mr_threshold_vertices: threshold,
+                ..EngineConfig::default()
+            };
+            let engine = engine_with(two_paths(), config);
+            let r = engine.execute(&query("mincut"));
+            assert_eq!(r.head, status::OK, "{r:?}");
+            assert_eq!(r.get("flow"), Some("2"));
+            assert_eq!(r.get("cut-edges"), Some("2"));
+            let side: usize = r.get("cut-source-side").unwrap().parse().unwrap();
+            assert!((1..4).contains(&side));
+        }
+    }
+
+    #[test]
+    fn super_terminal_queries_canonicalize_into_the_cache() {
+        let n = 300;
+        let net = FlowNetwork::from_undirected_unit(n, &gen::barabasi_albert(n, 3, 7));
+        let engine = engine_with(net, EngineConfig::default());
+        let q = Message::new("maxflow")
+            .field("dataset", "g")
+            .field("w", 3)
+            .field("seed", 11);
+        let first = engine.execute(&q);
+        assert_eq!(first.head, status::OK, "{first:?}");
+        assert!(first.get("flow").unwrap().parse::<i64>().unwrap() > 0);
+        assert_eq!(first.get("cached"), Some("0"));
+        // Same w and seed → same resolved terminals → cache hit.
+        let second = engine.execute(&q);
+        assert_eq!(second.get("cached"), Some("1"));
+        assert_eq!(second.get("sources"), first.get("sources"));
+    }
+
+    #[test]
+    fn reload_invalidates_via_epoch() {
+        let store = Arc::new(GraphStore::new());
+        store.insert_network("g", two_paths());
+        let engine = QueryEngine::new(Arc::clone(&store), EngineConfig::default());
+        assert_eq!(engine.execute(&query("maxflow")).get("cached"), Some("0"));
+        assert_eq!(engine.execute(&query("maxflow")).get("cached"), Some("1"));
+        // Swap in a different graph under the same name: one unit path.
+        store.insert_network("g", FlowNetwork::from_undirected_unit(4, &[(0, 1), (1, 3)]));
+        let after = engine.execute(&query("maxflow"));
+        assert_eq!(after.get("cached"), Some("0"), "epoch fenced the cache");
+        assert_eq!(after.get("flow"), Some("1"), "answer is for the new graph");
+    }
+
+    #[test]
+    fn timeouts_cancel_mapreduce_queries() {
+        let n = 2_000;
+        let net = FlowNetwork::from_undirected_unit(n, &gen::barabasi_albert(n, 3, 5));
+        let config = EngineConfig {
+            mr_threshold_vertices: 10,
+            ..EngineConfig::default()
+        };
+        let engine = engine_with(net, config);
+        let q = Message::new("maxflow")
+            .field("dataset", "g")
+            .field("w", 4)
+            .field("timeout-ms", 0);
+        let r = engine.execute(&q);
+        assert_eq!(r.head, status::ERROR, "{r:?}");
+        assert!(r.get("message").unwrap().contains("timeout"), "{r:?}");
+    }
+
+    #[test]
+    fn malformed_requests_become_protocol_errors() {
+        let engine = engine_with(two_paths(), EngineConfig::default());
+        for (req, needle) in [
+            (Message::new("maxflow"), "dataset"),
+            (query("maxflow").field("algorithm", "quantum"), "algorithm"),
+            (
+                Message::new("maxflow")
+                    .field("dataset", "missing")
+                    .field("source", 0)
+                    .field("sink", 1),
+                "unknown dataset",
+            ),
+            (
+                Message::new("maxflow")
+                    .field("dataset", "g")
+                    .field("source", 2)
+                    .field("sink", 2),
+                "source equals sink",
+            ),
+            (
+                Message::new("maxflow")
+                    .field("dataset", "g")
+                    .field("source", 0)
+                    .field("sink", 99),
+                "outside",
+            ),
+            (Message::new("warp"), "unknown request"),
+        ] {
+            let r = engine.execute(&req);
+            assert_eq!(r.head, status::ERROR, "{req:?} → {r:?}");
+            assert!(r.get("message").unwrap().contains(needle), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn stats_and_list_report_the_store() {
+        let engine = engine_with(two_paths(), EngineConfig::default());
+        let list = engine.execute(&Message::new("list"));
+        assert_eq!(list.head, status::OK);
+        assert!(list.get("dataset").unwrap().starts_with("g "));
+        let stats = engine.execute(&Message::new("stats").field("dataset", "g"));
+        assert_eq!(stats.get("vertices"), Some("4"));
+        assert_eq!(stats.get("auto-route"), Some("sequential"));
+    }
+}

@@ -1,0 +1,286 @@
+//! The `ffmrd` wire protocol: length-prefixed UTF-8 frames over TCP.
+//!
+//! Every message is one frame: a 4-byte big-endian payload length
+//! followed by that many bytes of UTF-8 text. The payload's first line
+//! is the request verb (or response status); each following line is one
+//! `key value` field, where the key runs to the first space and the
+//! value is the rest of the line.
+//!
+//! ```text
+//! maxflow            |  ok
+//! dataset fb1        |  flow 318
+//! source 0           |  solver ff5
+//! sink 4038          |  rounds 9
+//! ```
+//!
+//! The format is deliberately line-oriented and std-only: it can be
+//! debugged with a hex dump and needs no serialization dependency.
+
+use std::io::{Read, Write};
+
+/// Hard cap on a single frame (1 MiB) — a malformed or hostile length
+/// prefix must not trigger an unbounded allocation.
+pub const MAX_FRAME_BYTES: u32 = 1 << 20;
+
+/// Wire-level failure while reading or writing a frame.
+#[derive(Debug)]
+pub enum WireError {
+    /// Underlying socket error (includes EOF mid-frame).
+    Io(std::io::Error),
+    /// Peer announced a frame larger than [`MAX_FRAME_BYTES`].
+    FrameTooLarge(u32),
+    /// Frame payload was not valid UTF-8.
+    NotUtf8,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "socket error: {e}"),
+            WireError::FrameTooLarge(n) => write!(f, "frame of {n} bytes exceeds cap"),
+            WireError::NotUtf8 => write!(f, "frame payload is not UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> Result<(), WireError> {
+    let bytes = payload.as_bytes();
+    assert!(bytes.len() <= MAX_FRAME_BYTES as usize, "oversized frame");
+    w.write_all(&(bytes.len() as u32).to_be_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one length-prefixed frame; `Ok(None)` on clean EOF at a frame
+/// boundary (the peer closed the connection).
+pub fn read_frame(r: &mut impl Read) -> Result<Option<String>, WireError> {
+    let mut len_buf = [0u8; 4];
+    // A clean close before any length byte is a normal end of session.
+    match r.read(&mut len_buf) {
+        Ok(0) => return Ok(None),
+        Ok(n) => r.read_exact(&mut len_buf[n..])?,
+        Err(e) => return Err(WireError::Io(e)),
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME_BYTES {
+        return Err(WireError::FrameTooLarge(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|_| WireError::NotUtf8)
+}
+
+/// A decoded message: a verb/status line plus ordered `key value` fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Request verb (`maxflow`, `stats`, …) or response status (`ok`,
+    /// `busy`, `error`).
+    pub head: String,
+    /// Ordered fields; duplicate keys are allowed and preserved.
+    pub fields: Vec<(String, String)>,
+}
+
+impl Message {
+    /// A message with no fields.
+    #[must_use]
+    pub fn new(head: impl Into<String>) -> Self {
+        Self {
+            head: head.into(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Appends a field (builder style).
+    #[must_use]
+    pub fn field(mut self, key: impl Into<String>, value: impl ToString) -> Self {
+        self.push(key, value);
+        self
+    }
+
+    /// Appends a field in place.
+    pub fn push(&mut self, key: impl Into<String>, value: impl ToString) {
+        let key = key.into();
+        let value = value.to_string();
+        debug_assert!(!key.contains([' ', '\n']), "field key must be atomic");
+        debug_assert!(!value.contains('\n'), "field value must be one line");
+        self.fields.push((key, value));
+    }
+
+    /// First value for `key`, if present.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Every value for `key`, in order (for repeatable fields).
+    pub fn get_all<'a>(&'a self, key: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.fields
+            .iter()
+            .filter(move |(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First value for `key`, parsed.
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("field '{key}' has invalid value '{v}'")),
+        }
+    }
+
+    /// Serializes to a frame payload.
+    #[must_use]
+    pub fn encode(&self) -> String {
+        let mut out = self.head.clone();
+        for (k, v) in &self.fields {
+            out.push('\n');
+            out.push_str(k);
+            out.push(' ');
+            out.push_str(v);
+        }
+        out
+    }
+
+    /// Parses a frame payload.
+    ///
+    /// # Errors
+    /// Fails on an empty payload or a field line without a key.
+    pub fn decode(payload: &str) -> Result<Self, String> {
+        let mut lines = payload.lines();
+        let head = lines
+            .next()
+            .filter(|h| !h.is_empty())
+            .ok_or("empty frame")?;
+        let mut fields = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line.split_once(' ').unwrap_or((line, ""));
+            if key.is_empty() {
+                return Err(format!("field line without key: '{line}'"));
+            }
+            fields.push((key.to_string(), value.to_string()));
+        }
+        Ok(Self {
+            head: head.to_string(),
+            fields,
+        })
+    }
+}
+
+/// Response status heads.
+pub mod status {
+    /// The request succeeded; fields carry the answer.
+    pub const OK: &str = "ok";
+    /// The bounded request queue is full — retry later. Sent instead of
+    /// stalling the connection (explicit load shedding).
+    pub const BUSY: &str = "busy";
+    /// The request failed; the `message` field explains why.
+    pub const ERROR: &str = "error";
+}
+
+/// Builds an `error` response.
+#[must_use]
+pub fn error_response(message: impl ToString) -> Message {
+    Message::new(status::ERROR).field("message", message.to_string())
+}
+
+/// Builds the `busy` load-shedding response.
+#[must_use]
+pub fn busy_response() -> Message {
+    Message::new(status::BUSY)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let m = Message::new("maxflow")
+            .field("dataset", "fb1")
+            .field("source", 0)
+            .field("sink", 4038)
+            .field("note", "spaces are fine in values");
+        let back = Message::decode(&m.encode()).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.get("sink"), Some("4038"));
+        assert_eq!(back.get_parsed::<u64>("source").unwrap(), Some(0));
+        assert_eq!(back.get("missing"), None);
+    }
+
+    #[test]
+    fn repeated_fields_preserved() {
+        let m = Message::new("serve")
+            .field("graph", "a=/tmp/a.txt")
+            .field("graph", "b=/tmp/b.txt");
+        let back = Message::decode(&m.encode()).unwrap();
+        let all: Vec<_> = back.get_all("graph").collect();
+        assert_eq!(all, vec!["a=/tmp/a.txt", "b=/tmp/b.txt"]);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Message::decode("").is_err());
+        assert!(Message::decode("ok\n value-with-leading-space").is_err());
+        let bare = Message::decode("ok\nflag").unwrap();
+        assert_eq!(bare.get("flag"), Some(""));
+    }
+
+    #[test]
+    fn parse_errors_name_the_field() {
+        let m = Message::decode("maxflow\nsource abc").unwrap();
+        let err = m.get_parsed::<u64>("source").unwrap_err();
+        assert!(err.contains("source") && err.contains("abc"), "{err}");
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "ok\nflow 7").unwrap();
+        write_frame(&mut buf, "busy").unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), "ok\nflow 7");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), "busy");
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        let mut r = buf.as_slice();
+        assert!(matches!(
+            read_frame(&mut r),
+            Err(WireError::FrameTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_frame_is_an_io_error() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&8u32.to_be_bytes());
+        buf.extend_from_slice(b"abc"); // promised 8, delivered 3
+        let mut r = buf.as_slice();
+        assert!(matches!(read_frame(&mut r), Err(WireError::Io(_))));
+    }
+}

@@ -1,0 +1,343 @@
+//! The `ffmrd` daemon: TCP front-end, bounded work queue, worker pool.
+//!
+//! Threading model (std-only, no async runtime):
+//!
+//! * one **accept thread** owns the listener and spawns a thread per
+//!   connection (clients are few and long-lived; a query, not a
+//!   connection, is the unit of work);
+//! * each **connection thread** reads one frame at a time. Cheap verbs
+//!   (`ping`, `list`, `stats`, `shutdown`) are answered inline; anything
+//!   that runs a solver or touches disk is submitted to the bounded
+//!   queue and the thread blocks for that one reply — the protocol is
+//!   strict request/response per connection;
+//! * a fixed pool of **worker threads** drains the queue and runs
+//!   [`QueryEngine::execute`].
+//!
+//! The queue is a `sync_channel(queue_depth)` submitted to with
+//! `try_send`: when every worker is busy and the queue is full, the
+//! client immediately gets a `busy` frame instead of unbounded latency —
+//! explicit load shedding, never silent queueing.
+//!
+//! Shutdown (via [`ServerHandle::shutdown`] or the `shutdown` verb) sets
+//! one flag; the accept loop is unblocked by a self-connection, the
+//! connection threads notice through their read timeout, the workers
+//! through their receive timeout, and everything is joined — no detached
+//! threads survive the handle.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ffmr_sync::Mutex;
+
+use crate::engine::QueryEngine;
+use crate::protocol::{busy_response, error_response, read_frame, write_frame, Message, WireError};
+
+/// How often blocked threads re-check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Server sizing knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing queries.
+    pub workers: usize,
+    /// Requests that may wait in the queue beyond the ones being
+    /// executed; further submissions are shed with `busy`.
+    pub queue_depth: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_depth: 16,
+        }
+    }
+}
+
+/// One queued unit of work: the request and where to send the reply.
+struct WorkItem {
+    request: Message,
+    reply: mpsc::Sender<Message>,
+}
+
+struct Shared {
+    engine: Arc<QueryEngine>,
+    shutdown: AtomicBool,
+    queue: SyncSender<WorkItem>,
+}
+
+/// A running daemon. Dropping the handle without calling
+/// [`ServerHandle::shutdown`] leaks the threads; call it.
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+/// Binds `addr` and serves `engine` until shutdown.
+///
+/// # Errors
+/// Propagates the bind failure.
+pub fn serve(
+    addr: impl ToSocketAddrs,
+    engine: Arc<QueryEngine>,
+    config: &ServerConfig,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local_addr = listener.local_addr()?;
+    let (queue_tx, queue_rx) = mpsc::sync_channel::<WorkItem>(config.queue_depth.max(1));
+    let shared = Arc::new(Shared {
+        engine,
+        shutdown: AtomicBool::new(false),
+        queue: queue_tx,
+    });
+
+    let queue_rx = Arc::new(Mutex::new(queue_rx));
+    let workers = (0..config.workers.max(1))
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            let queue_rx = Arc::clone(&queue_rx);
+            std::thread::Builder::new()
+                .name(format!("ffmrd-worker-{i}"))
+                .spawn(move || worker_loop(&shared, &queue_rx))
+                .expect("spawn worker")
+        })
+        .collect();
+
+    let connections = Arc::new(Mutex::new(Vec::new()));
+    let accept = {
+        let shared = Arc::clone(&shared);
+        let connections = Arc::clone(&connections);
+        std::thread::Builder::new()
+            .name("ffmrd-accept".into())
+            .spawn(move || accept_loop(&listener, &shared, &connections))
+            .expect("spawn accept thread")
+    };
+
+    Ok(ServerHandle {
+        local_addr,
+        shared,
+        accept: Some(accept),
+        workers,
+        connections,
+    })
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Whether shutdown has been requested (locally or over the wire).
+    #[must_use]
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Blocks until shutdown is requested, then joins everything.
+    pub fn wait(mut self) {
+        while !self.shutdown_requested() {
+            std::thread::sleep(POLL_INTERVAL);
+        }
+        self.join_all();
+    }
+
+    /// Requests shutdown and joins every thread the server owns.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        self.join_all();
+    }
+
+    fn join_all(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        // Unblock accept(): the loop re-checks the flag per connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let connections = std::mem::take(&mut *self.connections.lock());
+        for conn in connections {
+            let _ = conn.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, conns: &Mutex<Vec<JoinHandle<()>>>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name("ffmrd-conn".into())
+            .spawn(move || connection_loop(stream, &shared))
+            .expect("spawn connection thread");
+        let mut conns = conns.lock();
+        // Opportunistically reap finished connections so a long-lived
+        // daemon doesn't accumulate handles.
+        conns.retain(|h| !h.is_finished());
+        conns.push(handle);
+    }
+}
+
+fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
+    // The read timeout is what lets an idle connection observe shutdown.
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    let mut reader = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    loop {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return, // peer closed cleanly
+            Err(WireError::Io(e))
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // Idle poll tick. (A peer that stalls mid-frame longer
+                // than the timeout also lands here and is dropped —
+                // frames are tiny, so that only happens to a broken
+                // peer, and dropping beats serving desynced garbage.)
+                continue;
+            }
+            Err(_) => return,
+        };
+        let response = match Message::decode(&payload) {
+            Ok(request) => dispatch(&request, shared),
+            Err(e) => error_response(e),
+        };
+        if write_frame(&mut writer, &response.encode()).is_err() {
+            return;
+        }
+    }
+}
+
+/// Routes one request: inline for cheap verbs, through the bounded
+/// queue for anything that does real work.
+fn dispatch(request: &Message, shared: &Arc<Shared>) -> Message {
+    match request.head.as_str() {
+        "ping" | "list" | "stats" => shared.engine.execute(request),
+        "shutdown" => {
+            shared.shutdown.store(true, Ordering::Relaxed);
+            Message::new(crate::protocol::status::OK).field("shutdown", 1)
+        }
+        _ => {
+            let (reply_tx, reply_rx) = mpsc::channel();
+            let item = WorkItem {
+                request: request.clone(),
+                reply: reply_tx,
+            };
+            match shared.queue.try_send(item) {
+                Ok(()) => reply_rx
+                    .recv()
+                    .unwrap_or_else(|_| error_response("worker dropped the request")),
+                Err(TrySendError::Full(_)) => busy_response(),
+                Err(TrySendError::Disconnected(_)) => error_response("server is shutting down"),
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>, queue: &Mutex<Receiver<WorkItem>>) {
+    loop {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        // Hold the lock only for the timed receive; replies and solver
+        // work happen outside it so workers drain the queue in parallel.
+        let item = queue.lock().recv_timeout(POLL_INTERVAL);
+        match item {
+            Ok(WorkItem { request, reply }) => {
+                let response = shared.engine.execute(&request);
+                // A gone receiver just means the connection died.
+                let _ = reply.send(response);
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use crate::engine::EngineConfig;
+    use crate::store::GraphStore;
+    use swgraph::FlowNetwork;
+
+    fn start(workers: usize, queue_depth: usize) -> ServerHandle {
+        let store = Arc::new(GraphStore::new());
+        store.insert_network(
+            "g",
+            FlowNetwork::from_undirected_unit(4, &[(0, 1), (1, 3), (0, 2), (2, 3)]),
+        );
+        let engine = Arc::new(QueryEngine::new(store, EngineConfig::default()));
+        serve(
+            "127.0.0.1:0",
+            engine,
+            &ServerConfig {
+                workers,
+                queue_depth,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ping_and_query_round_trip() {
+        let server = start(2, 4);
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let pong = client.request(&Message::new("ping")).unwrap();
+        assert_eq!(pong.head, "ok");
+        let r = client
+            .request(
+                &Message::new("maxflow")
+                    .field("dataset", "g")
+                    .field("source", 0)
+                    .field("sink", 3),
+            )
+            .unwrap();
+        assert_eq!(r.get("flow"), Some("2"), "{r:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_frames_get_error_responses() {
+        let server = start(1, 2);
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let r = client.request(&Message::new("maxflow")).unwrap();
+        assert_eq!(r.head, "error");
+        server.shutdown();
+    }
+
+    #[test]
+    fn remote_shutdown_unblocks_wait() {
+        let server = start(1, 2);
+        let addr = server.local_addr();
+        let waiter = std::thread::spawn(move || server.wait());
+        let mut client = Client::connect(addr).unwrap();
+        let r = client.request(&Message::new("shutdown")).unwrap();
+        assert_eq!(r.head, "ok");
+        waiter.join().unwrap();
+    }
+}

@@ -1,0 +1,224 @@
+//! The snapshot store: named, immutable, atomically swappable graphs.
+//!
+//! `ffmrd` treats every graph as a *snapshot* — an immutable
+//! [`FlowNetwork`] shared by `Arc` among all in-flight queries. Loading
+//! or reloading a dataset builds the new network off to the side and
+//! swaps the map entry atomically: queries that already hold the old
+//! `Arc` finish against a consistent graph, new queries see the new one,
+//! and the old snapshot is freed when its last query completes. Every
+//! swap bumps the snapshot's `epoch`, which is part of every
+//! [`FlowCache`](crate::cache::FlowCache) key — stale cache entries can
+//! never be served for a reloaded graph.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::BufReader;
+use std::sync::Arc;
+
+use ffmr_sync::RwLock;
+use swgraph::FlowNetwork;
+
+/// One immutable loaded graph.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// Dataset name the snapshot is registered under.
+    pub name: String,
+    /// Monotonic per-dataset version, bumped on every (re)load.
+    pub epoch: u64,
+    /// The graph itself.
+    pub network: FlowNetwork,
+    /// Where the graph was read from, when file-backed (reloadable).
+    pub source_path: Option<String>,
+}
+
+/// Failure to load or look up a snapshot.
+#[derive(Debug)]
+pub enum StoreError {
+    /// No dataset registered under this name.
+    UnknownDataset(String),
+    /// The dataset is memory-resident (no source path to reload from).
+    NotReloadable(String),
+    /// Reading or parsing the edge-list file failed.
+    Load(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::UnknownDataset(n) => write!(f, "unknown dataset '{n}'"),
+            StoreError::NotReloadable(n) => {
+                write!(f, "dataset '{n}' is memory-resident and cannot be reloaded")
+            }
+            StoreError::Load(m) => write!(f, "load failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// A concurrent map of named [`Snapshot`]s.
+#[derive(Debug, Default)]
+pub struct GraphStore {
+    snapshots: RwLock<HashMap<String, Arc<Snapshot>>>,
+}
+
+impl GraphStore {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an in-memory network (tests, generated graphs). Returns
+    /// the new epoch.
+    pub fn insert_network(&self, name: &str, network: FlowNetwork) -> u64 {
+        self.swap_in(name, network, None)
+    }
+
+    /// Loads (or replaces) a dataset from an edge-list file. The parse
+    /// happens outside the lock; concurrent queries are never blocked on
+    /// disk I/O. Returns the new epoch.
+    ///
+    /// # Errors
+    /// [`StoreError::Load`] when the file cannot be read or parsed.
+    pub fn load_from_path(&self, name: &str, path: &str) -> Result<u64, StoreError> {
+        let network = read_network(path)?;
+        Ok(self.swap_in(name, network, Some(path.to_string())))
+    }
+
+    /// Re-reads a file-backed dataset from its recorded path.
+    ///
+    /// # Errors
+    /// [`StoreError::UnknownDataset`] or [`StoreError::NotReloadable`]
+    /// for bad targets, [`StoreError::Load`] on I/O failure.
+    pub fn reload(&self, name: &str) -> Result<u64, StoreError> {
+        let path = {
+            let snapshots = self.snapshots.read();
+            let snap = snapshots
+                .get(name)
+                .ok_or_else(|| StoreError::UnknownDataset(name.to_string()))?;
+            snap.source_path
+                .clone()
+                .ok_or_else(|| StoreError::NotReloadable(name.to_string()))?
+        };
+        let network = read_network(&path)?;
+        Ok(self.swap_in(name, network, Some(path)))
+    }
+
+    /// The current snapshot for `name`, if any. Cheap: clones an `Arc`
+    /// under a read lock.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<Arc<Snapshot>> {
+        self.snapshots.read().get(name).map(Arc::clone)
+    }
+
+    /// Snapshot summaries `(name, epoch, vertices, edge pairs)`, sorted
+    /// by name.
+    #[must_use]
+    pub fn list(&self) -> Vec<(String, u64, usize, usize)> {
+        let mut rows: Vec<_> = self
+            .snapshots
+            .read()
+            .values()
+            .map(|s| {
+                (
+                    s.name.clone(),
+                    s.epoch,
+                    s.network.num_vertices(),
+                    s.network.num_edge_pairs(),
+                )
+            })
+            .collect();
+        rows.sort();
+        rows
+    }
+
+    fn swap_in(&self, name: &str, network: FlowNetwork, source_path: Option<String>) -> u64 {
+        let mut snapshots = self.snapshots.write();
+        let epoch = snapshots.get(name).map_or(1, |old| old.epoch + 1);
+        snapshots.insert(
+            name.to_string(),
+            Arc::new(Snapshot {
+                name: name.to_string(),
+                epoch,
+                network,
+                source_path,
+            }),
+        );
+        epoch
+    }
+}
+
+fn read_network(path: &str) -> Result<FlowNetwork, StoreError> {
+    let file = File::open(path).map_err(|e| StoreError::Load(format!("{path}: {e}")))?;
+    swgraph::io::read_edge_list(BufReader::new(file))
+        .map(swgraph::FlowNetworkBuilder::build)
+        .map_err(|e| StoreError::Load(format!("{path}: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> FlowNetwork {
+        FlowNetwork::from_undirected_unit(3, &[(0, 1), (1, 2)])
+    }
+
+    #[test]
+    fn insert_get_and_epoch_bump() {
+        let store = GraphStore::new();
+        assert!(store.get("g").is_none());
+        assert_eq!(store.insert_network("g", tiny()), 1);
+        let first = store.get("g").unwrap();
+        assert_eq!(first.epoch, 1);
+        assert_eq!(store.insert_network("g", tiny()), 2);
+        assert_eq!(store.get("g").unwrap().epoch, 2);
+        // The old Arc is still alive and still readable.
+        assert_eq!(first.network.num_vertices(), 3);
+    }
+
+    #[test]
+    fn reload_requires_a_file_backed_dataset() {
+        let store = GraphStore::new();
+        store.insert_network("mem", tiny());
+        assert!(matches!(
+            store.reload("mem"),
+            Err(StoreError::NotReloadable(_))
+        ));
+        assert!(matches!(
+            store.reload("nope"),
+            Err(StoreError::UnknownDataset(_))
+        ));
+    }
+
+    #[test]
+    fn file_round_trip_and_reload() {
+        let dir = std::env::temp_dir().join(format!("ffmrd-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.txt");
+        {
+            let f = File::create(&path).unwrap();
+            swgraph::io::write_edge_list(&tiny(), std::io::BufWriter::new(f)).unwrap();
+        }
+        let store = GraphStore::new();
+        let p = path.to_str().unwrap();
+        assert_eq!(store.load_from_path("g", p).unwrap(), 1);
+        assert_eq!(store.get("g").unwrap().network.num_vertices(), 3);
+        assert_eq!(store.reload("g").unwrap(), 2);
+        let rows = store.list();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].0, "g");
+        assert_eq!(rows[0].1, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_a_load_error() {
+        let store = GraphStore::new();
+        assert!(matches!(
+            store.load_from_path("g", "/nonexistent/graph.txt"),
+            Err(StoreError::Load(_))
+        ));
+        assert!(store.get("g").is_none(), "failed load must not register");
+    }
+}

@@ -6,8 +6,7 @@
 
 use std::collections::VecDeque;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ffmr_prng::SplitMix64;
 
 use crate::ids::{EdgeId, VertexId};
 use crate::network::FlowNetwork;
@@ -105,7 +104,7 @@ pub fn estimate_diameter(net: &FlowNetwork, samples: usize, seed: u64) -> Diamet
             samples: 0,
         };
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut max_observed = 0;
     let mut all_dists: Vec<u32> = Vec::new();
     let actual = samples.min(n);
@@ -177,7 +176,10 @@ mod tests {
             shortest_path(&net, VertexId::new(0), VertexId::new(0)),
             Some(vec![])
         );
-        assert_eq!(shortest_path(&net, VertexId::new(0), VertexId::new(2)), None);
+        assert_eq!(
+            shortest_path(&net, VertexId::new(0), VertexId::new(2)),
+            None
+        );
     }
 
     #[test]

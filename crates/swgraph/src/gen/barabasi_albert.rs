@@ -2,8 +2,7 @@
 
 use std::collections::HashSet;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ffmr_prng::SplitMix64;
 
 /// Generates a Barabási–Albert scale-free graph: vertices arrive one at a
 /// time and attach `m` edges to existing vertices with probability
@@ -24,7 +23,7 @@ pub fn barabasi_albert(n: u64, m: u64, seed: u64) -> Vec<(u64, u64)> {
         return Vec::new();
     }
     assert!(m > 0, "m must be positive");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     // `endpoints` holds one entry per edge endpoint; sampling uniformly
     // from it is sampling proportionally to degree.
     let mut endpoints: Vec<u64> = Vec::with_capacity((2 * m * n) as usize);

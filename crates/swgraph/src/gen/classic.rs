@@ -3,8 +3,7 @@
 
 use std::collections::HashSet;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ffmr_prng::SplitMix64;
 
 /// Generates a G(n, m) Erdős–Rényi graph: `m` distinct undirected edges
 /// chosen uniformly at random.
@@ -21,7 +20,7 @@ use rand::{Rng, SeedableRng};
 pub fn erdos_renyi(n: u64, m: u64, seed: u64) -> Vec<(u64, u64)> {
     let possible = n.saturating_mul(n.saturating_sub(1)) / 2;
     assert!(m <= possible, "m = {m} exceeds possible edges {possible}");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut seen: HashSet<(u64, u64)> = HashSet::with_capacity(m as usize);
     while (seen.len() as u64) < m {
         let u = rng.gen_range(0..n);

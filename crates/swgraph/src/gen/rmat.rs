@@ -9,8 +9,7 @@
 
 use std::collections::HashSet;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ffmr_prng::SplitMix64;
 
 /// Generates an R-MAT graph over `2^scale` vertices with `edges` distinct
 /// undirected edges (Graph500-style parameters `(a, b, c, d)` summing to
@@ -39,7 +38,7 @@ pub fn rmat(scale: u32, edges: u64, a: f64, b: f64, c: f64, d: f64, seed: u64) -
         edges <= possible / 2,
         "requested {edges} edges of {possible} possible; too dense for R-MAT"
     );
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut seen: HashSet<(u64, u64)> = HashSet::with_capacity(edges as usize);
     let mut out = Vec::with_capacity(edges as usize);
     while (out.len() as u64) < edges {
@@ -47,10 +46,10 @@ pub fn rmat(scale: u32, edges: u64, a: f64, b: f64, c: f64, d: f64, seed: u64) -
         let mut size = n;
         while size > 1 {
             size /= 2;
-            let r = rng.gen::<f64>();
+            let r = rng.next_f64();
             // Add a little per-level noise, as the Graph500 reference
             // implementation does, to avoid exact self-similarity.
-            let noise = 0.9 + 0.2 * rng.gen::<f64>();
+            let noise = 0.9 + 0.2 * rng.next_f64();
             let (pa, pb, pc) = (a * noise, b * noise, c * noise);
             let total = pa + pb + pc + d * noise;
             let r = r * total;

@@ -11,8 +11,7 @@
 
 use std::collections::HashSet;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ffmr_prng::SplitMix64;
 
 /// One nested subset boundary: after `vertices` vertices have arrived the
 /// cumulative edge count should be about `edges`.
@@ -107,7 +106,7 @@ pub fn social_crawl(
         );
     }
 
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let total_vertices = scaled.last().map_or(0, |c| c.0);
     let mut endpoints: Vec<u64> = Vec::new();
     let mut degree: Vec<u64> = vec![0; total_vertices as usize];
@@ -115,11 +114,11 @@ pub fn social_crawl(
     let mut edges: Vec<(u64, u64)> = Vec::new();
 
     let add_edge = |u: u64,
-                        v: u64,
-                        seen: &mut HashSet<(u64, u64)>,
-                        edges: &mut Vec<(u64, u64)>,
-                        endpoints: &mut Vec<u64>,
-                        degree: &mut Vec<u64>|
+                    v: u64,
+                    seen: &mut HashSet<(u64, u64)>,
+                    edges: &mut Vec<(u64, u64)>,
+                    endpoints: &mut Vec<u64>,
+                    degree: &mut Vec<u64>|
      -> bool {
         let key = (u.min(v), u.max(v));
         if u == v || !seen.insert(key) {
@@ -151,7 +150,7 @@ pub fn social_crawl(
         let m_frac = need / span as f64;
         for t in prev_v..cv {
             let mut want = m_frac.floor() as u64;
-            if rng.gen::<f64>() < m_frac.fract() {
+            if rng.next_f64() < m_frac.fract() {
                 want += 1;
             }
             // A new vertex can attach to at most t existing vertices.

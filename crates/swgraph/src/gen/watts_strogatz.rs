@@ -2,8 +2,7 @@
 
 use std::collections::HashSet;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ffmr_prng::SplitMix64;
 
 /// Generates a Watts–Strogatz small-world graph: a ring lattice where each
 /// vertex connects to its `k` nearest neighbors (`k/2` each side), with
@@ -29,7 +28,7 @@ pub fn watts_strogatz(n: u64, k: u64, beta: f64, seed: u64) -> Vec<(u64, u64)> {
     if n == 0 || k == 0 {
         return Vec::new();
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut present: HashSet<(u64, u64)> = HashSet::new();
     let norm = |u: u64, v: u64| (u.min(v), u.max(v));
 
@@ -46,7 +45,7 @@ pub fn watts_strogatz(n: u64, k: u64, beta: f64, seed: u64) -> Vec<(u64, u64)> {
         v
     };
     for (u, v) in lattice {
-        if rng.gen::<f64>() >= beta {
+        if rng.next_f64() >= beta {
             continue;
         }
         // Try a handful of random endpoints; keep the edge if all collide.
@@ -85,13 +84,20 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         assert_eq!(watts_strogatz(50, 4, 0.3, 9), watts_strogatz(50, 4, 0.3, 9));
-        assert_ne!(watts_strogatz(50, 4, 0.3, 9), watts_strogatz(50, 4, 0.3, 10));
+        assert_ne!(
+            watts_strogatz(50, 4, 0.3, 9),
+            watts_strogatz(50, 4, 0.3, 10)
+        );
     }
 
     #[test]
     fn beta_zero_is_pure_lattice() {
         let edges = watts_strogatz(10, 2, 0.0, 3);
-        let expected: Vec<(u64, u64)> = (0..10u64).map(|u| (u.min((u + 1) % 10), u.max((u + 1) % 10))).collect::<HashSet<_>>().into_iter().collect::<Vec<_>>();
+        let expected: Vec<(u64, u64)> = (0..10u64)
+            .map(|u| (u.min((u + 1) % 10), u.max((u + 1) % 10)))
+            .collect::<HashSet<_>>()
+            .into_iter()
+            .collect::<Vec<_>>();
         let mut expected = expected;
         expected.sort_unstable();
         assert_eq!(edges, expected);

@@ -3,8 +3,7 @@
 
 use std::collections::{BTreeMap, HashSet, VecDeque};
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ffmr_prng::SplitMix64;
 
 use crate::ids::VertexId;
 use crate::network::FlowNetwork;
@@ -84,7 +83,7 @@ pub fn clustering_coefficient(net: &FlowNetwork, samples: usize, seed: u64) -> f
     if n == 0 || samples == 0 {
         return 0.0;
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut total = 0.0;
     let mut counted = 0usize;
     let mut attempts = 0usize;

@@ -9,9 +9,7 @@
 use std::error::Error;
 use std::fmt;
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use ffmr_prng::SplitMix64;
 
 use crate::ids::VertexId;
 use crate::network::{FlowNetwork, FlowNetworkBuilder, INFINITE_CAPACITY};
@@ -85,7 +83,7 @@ pub fn attach_super_terminals(
     seed: u64,
 ) -> Result<SuperStNetwork, SuperStError> {
     let n = base.num_vertices();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
 
     let mut qualified: Vec<VertexId> = (0..n as u64)
         .map(VertexId::new)
@@ -106,7 +104,7 @@ pub fn attach_super_terminals(
         }
         qualified = by_degree[..2 * w].to_vec();
     }
-    qualified.shuffle(&mut rng);
+    rng.shuffle(&mut qualified);
     let source_terminals: Vec<VertexId> = qualified[..w].to_vec();
     let sink_terminals: Vec<VertexId> = qualified[w..2 * w].to_vec();
 
@@ -155,11 +153,7 @@ mod tests {
     fn source_reaches_only_its_terminals() {
         let net = base();
         let st = attach_super_terminals(&net, 4, 4, 3).unwrap();
-        let out: Vec<VertexId> = st
-            .network
-            .neighbors(st.source)
-            .map(|(_, v)| v)
-            .collect();
+        let out: Vec<VertexId> = st.network.neighbors(st.source).map(|(_, v)| v).collect();
         assert_eq!(out.len(), 4);
         for v in out {
             assert!(st.source_terminals.contains(&v));

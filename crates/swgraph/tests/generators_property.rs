@@ -1,8 +1,12 @@
-//! Property-based testing of the graph substrate: every generator must
-//! produce well-formed edge lists for arbitrary parameters, structural
-//! properties must hold, and serialization must round-trip.
+//! Randomized stress testing of the graph substrate: every generator
+//! must produce well-formed edge lists for arbitrary parameters,
+//! structural properties must hold, and serialization must round-trip.
+//!
+//! Cases are drawn from a seeded [`SplitMix64`] stream (one seed per
+//! case index), so every run covers the same deterministic corpus — a
+//! failure reproduces by its case number alone.
 
-use proptest::prelude::*;
+use ffmr_prng::SplitMix64;
 use swgraph::{bfs, gen, io, props, FlowNetwork, FlowNetworkBuilder, VertexId};
 
 fn assert_well_formed(n: u64, edges: &[(u64, u64)]) {
@@ -14,57 +18,69 @@ fn assert_well_formed(n: u64, edges: &[(u64, u64)]) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+/// Draws `count` random `(u, v)` pairs with endpoints below `max`.
+fn random_pairs(rng: &mut SplitMix64, max: u64, count: usize) -> Vec<(u64, u64)> {
+    (0..count)
+        .map(|_| (rng.gen_range(0..max), rng.gen_range(0..max)))
+        .collect()
+}
 
-    #[test]
-    fn watts_strogatz_always_well_formed(
-        n in 3u64..200,
-        half_k in 1u64..4,
-        beta in 0.0f64..1.0,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn watts_strogatz_always_well_formed() {
+    for case in 0..32u64 {
+        let mut rng = SplitMix64::seed_from_u64(0x5757_0000 + case);
+        let n = rng.gen_range(3u64..200);
+        let half_k = rng.gen_range(1u64..4);
+        let beta = rng.next_f64();
+        let seed = rng.gen_range(0u64..1000);
         let k = (2 * half_k).min(n - 1) & !1;
-        prop_assume!(k >= 2);
+        if k < 2 {
+            continue;
+        }
         let edges = gen::watts_strogatz(n, k, beta, seed);
         assert_well_formed(n, &edges);
-        prop_assert_eq!(edges.len(), (n * k / 2) as usize);
+        assert_eq!(edges.len(), (n * k / 2) as usize, "case {case}");
     }
+}
 
-    #[test]
-    fn barabasi_albert_always_well_formed(
-        n in 2u64..300,
-        m in 1u64..6,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn barabasi_albert_always_well_formed() {
+    for case in 0..32u64 {
+        let mut rng = SplitMix64::seed_from_u64(0xBA00 + case);
+        let n = rng.gen_range(2u64..300);
+        let m = rng.gen_range(1u64..6);
+        let seed = rng.gen_range(0u64..1000);
         let edges = gen::barabasi_albert(n, m, seed);
         assert_well_formed(n, &edges);
         // Connected by construction.
         let net = FlowNetwork::from_undirected_unit(n, &edges);
-        prop_assert_eq!(props::component_sizes(&net)[0] as u64, n);
+        assert_eq!(props::component_sizes(&net)[0] as u64, n, "case {case}");
     }
+}
 
-    #[test]
-    fn erdos_renyi_always_well_formed(
-        n in 2u64..100,
-        seed in 0u64..1000,
-        frac in 0.0f64..0.9,
-    ) {
+#[test]
+fn erdos_renyi_always_well_formed() {
+    for case in 0..32u64 {
+        let mut rng = SplitMix64::seed_from_u64(0xE600 + case);
+        let n = rng.gen_range(2u64..100);
+        let seed = rng.gen_range(0u64..1000);
+        let frac = rng.next_f64() * 0.9;
         let possible = n * (n - 1) / 2;
         let m = (possible as f64 * frac) as u64;
         let edges = gen::erdos_renyi(n, m, seed);
         assert_well_formed(n, &edges);
-        prop_assert_eq!(edges.len() as u64, m);
+        assert_eq!(edges.len() as u64, m, "case {case}");
     }
+}
 
-    #[test]
-    fn bfs_distances_satisfy_triangle_inequality(
-        n in 2u64..80,
-        edges in proptest::collection::vec((0u64..80, 0u64..80), 1..160),
-    ) {
-        let edges: Vec<(u64, u64)> = edges
+#[test]
+fn bfs_distances_satisfy_triangle_inequality() {
+    for case in 0..32u64 {
+        let mut rng = SplitMix64::seed_from_u64(0xBF50 + case);
+        let n = rng.gen_range(2u64..80);
+        let count = rng.gen_range(1usize..160);
+        let edges: Vec<(u64, u64)> = random_pairs(&mut rng, n, count)
             .into_iter()
-            .map(|(u, v)| (u % n, v % n))
             .filter(|&(u, v)| u != v)
             .collect();
         let net = FlowNetwork::from_undirected_unit(n, &edges);
@@ -73,22 +89,31 @@ proptest! {
         for &(u, v) in &edges {
             match (d[u as usize], d[v as usize]) {
                 (Some(du), Some(dv)) => {
-                    prop_assert!(du.abs_diff(dv) <= 1, "edge ({u},{v}): {du} vs {dv}");
+                    assert!(
+                        du.abs_diff(dv) <= 1,
+                        "case {case}: edge ({u},{v}): {du} vs {dv}"
+                    );
                 }
                 (None, None) => {}
-                _ => prop_assert!(false, "edge with one endpoint unreachable"),
+                _ => panic!("case {case}: edge with one endpoint unreachable"),
             }
         }
     }
+}
 
-    #[test]
-    fn edge_list_io_round_trips_any_network(
-        n in 1u64..50,
-        edges in proptest::collection::vec((0u64..50, 0u64..50, 1i64..100), 0..100),
-    ) {
+#[test]
+fn edge_list_io_round_trips_any_network() {
+    for case in 0..32u64 {
+        let mut rng = SplitMix64::seed_from_u64(0x1000 + case);
+        let n = rng.gen_range(1u64..50);
+        let count = rng.gen_range(0usize..100);
         let mut b = FlowNetworkBuilder::new(n);
-        for (u, v, c) in edges {
-            b.add_edge(u % n, v % n, c);
+        for _ in 0..count {
+            b.add_edge(
+                rng.gen_range(0..n),
+                rng.gen_range(0..n),
+                rng.gen_range(1i64..100),
+            );
         }
         let net = b.build();
         let mut text = Vec::new();
@@ -96,23 +121,25 @@ proptest! {
         let back = io::read_edge_list(text.as_slice()).unwrap().build();
         // Vertex count may shrink for trailing isolated vertices; compare
         // edge structure.
-        prop_assert_eq!(net.num_edge_pairs(), back.num_edge_pairs());
+        assert_eq!(net.num_edge_pairs(), back.num_edge_pairs(), "case {case}");
         for e in net.capacitated_edges() {
             let (u, v) = (net.tail(e), net.head(e));
             let found = back
                 .out_edges(u)
                 .any(|e2| back.head(e2) == v && back.capacity(e2) == net.capacity(e));
-            prop_assert!(found, "edge {u}->{v} lost in round trip");
+            assert!(found, "case {case}: edge {u}->{v} lost in round trip");
         }
     }
+}
 
-    #[test]
-    fn super_terminals_never_reduce_flow(
-        n in 20u64..120,
-        m in 2u64..4,
-        seed in 0u64..100,
-        w in 1usize..6,
-    ) {
+#[test]
+fn super_terminals_never_reduce_flow() {
+    for case in 0..32u64 {
+        let mut rng = SplitMix64::seed_from_u64(0x5700 + case);
+        let n = rng.gen_range(20u64..120);
+        let m = rng.gen_range(2u64..4);
+        let seed = rng.gen_range(0u64..100);
+        let w = rng.gen_range(1usize..6);
         let edges = gen::barabasi_albert(n, m, seed);
         let net = FlowNetwork::from_undirected_unit(n, &edges);
         if let Ok(st) = swgraph::super_st::attach_super_terminals(&net, w, 2, seed) {
@@ -121,7 +148,7 @@ proptest! {
             // terminal (the super edges are unbounded).
             let single = maxflow_value(&st.network, st.source_terminals[0], st.sink_terminals[0]);
             let combined = maxflow_value(&st.network, st.source, st.sink);
-            prop_assert!(combined >= single.min(1));
+            assert!(combined >= single.min(1), "case {case}");
         }
     }
 }

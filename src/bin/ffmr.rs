@@ -6,6 +6,10 @@
 //! ffmr maxflow --input graph.txt --source 0 --sink 999 \
 //!       [--algorithm ff5|ff1|dinic|edmonds-karp|push-relabel|capacity-scaling|pregel]
 //!       [--nodes 20] [--w 0]
+//! ffmr serve --listen 127.0.0.1:7227 --graph fb=graph.txt [--graph ...]
+//!       [--workers 4] [--queue 16] [--cache 256] [--mr-threshold 2000]
+//! ffmr query --addr 127.0.0.1:7227 --op maxflow --dataset fb \
+//!       (--source S --sink T | --w N) [--algorithm auto|...] [--timeout-ms N]
 //! ```
 //!
 //! With `--w N` the source/sink arguments are ignored and a super
@@ -29,6 +33,8 @@ fn main() -> ExitCode {
         "generate" => generate(&args[1..]),
         "info" => info(&args[1..]),
         "maxflow" => run_maxflow(&args[1..]),
+        "serve" => serve(&args[1..]),
+        "query" => query(&args[1..]),
         "--help" | "-h" => {
             print_help();
             Ok(())
@@ -53,7 +59,13 @@ fn print_help() {
          \x20 maxflow  --input FILE (--source S --sink T | --w N)\n\
          \x20          [--algorithm ff1..ff5|dinic|edmonds-karp|ford-fulkerson|\n\
          \x20           push-relabel|capacity-scaling|pregel]\n\
-         \x20          [--nodes N] [--reducers R] [--seed S]"
+         \x20          [--nodes N] [--reducers R] [--seed S]\n\
+         \x20 serve    --listen HOST:PORT --graph NAME=FILE [--graph ...]\n\
+         \x20          [--workers N] [--queue N] [--cache N] [--mr-threshold N]\n\
+         \x20          [--nodes N] [--reducers R] [--timeout-ms N]\n\
+         \x20 query    --addr HOST:PORT --op maxflow|mincut|stats|list|load|reload|\n\
+         \x20          ping|shutdown [--dataset D] (--source S --sink T | --w N)\n\
+         \x20          [--algorithm auto|...] [--seed S] [--timeout-ms N] [--no-cache]"
     );
 }
 
@@ -70,9 +82,7 @@ impl Options {
             let Some(name) = key.strip_prefix("--") else {
                 return Err(format!("expected --option, got '{key}'"));
             };
-            let value = it
-                .next()
-                .ok_or_else(|| format!("--{name} needs a value"))?;
+            let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
             pairs.push((name.to_string(), value.clone()));
         }
         Ok(Self { pairs })
@@ -85,8 +95,17 @@ impl Options {
             .map(|(_, v)| v.as_str())
     }
 
+    /// Every value of a repeatable option (e.g. `--graph`).
+    fn get_all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.pairs
+            .iter()
+            .filter(move |(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
     fn required(&self, name: &str) -> Result<&str, String> {
-        self.get(name).ok_or_else(|| format!("--{name} is required"))
+        self.get(name)
+            .ok_or_else(|| format!("--{name} is required"))
     }
 
     fn parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
@@ -100,7 +119,10 @@ impl Options {
 fn generate(args: &[String]) -> Result<(), String> {
     let opts = Options::parse(args)?;
     let model = opts.required("model")?.to_string();
-    let n: u64 = opts.required("vertices")?.parse().map_err(|_| "invalid --vertices")?;
+    let n: u64 = opts
+        .required("vertices")?
+        .parse()
+        .map_err(|_| "invalid --vertices")?;
     let out = opts.required("out")?.to_string();
     let seed: u64 = opts.parsed("seed", 42)?;
     let param: u64 = opts.parsed("param", 3)?;
@@ -138,10 +160,19 @@ fn info(args: &[String]) -> Result<(), String> {
     println!("vertices:            {}", net.num_vertices());
     println!("edge pairs:          {}", net.num_edge_pairs());
     println!("capacitated edges:   {}", net.num_capacitated_edges());
-    println!("average degree:      {:.2}", swgraph::props::average_degree(&net));
+    println!(
+        "average degree:      {:.2}",
+        swgraph::props::average_degree(&net)
+    );
     println!("max degree:          {}", swgraph::props::max_degree(&net));
-    println!("largest component:   {}", comps.first().copied().unwrap_or(0));
-    println!("diameter (sampled):  >= {}, p90 {}", d.max_observed, d.effective_p90);
+    println!(
+        "largest component:   {}",
+        comps.first().copied().unwrap_or(0)
+    );
+    println!(
+        "diameter (sampled):  >= {}, p90 {}",
+        d.max_observed, d.effective_p90
+    );
     println!(
         "clustering (sampled): {:.4}",
         swgraph::props::clustering_coefficient(&net, 200, 1)
@@ -167,8 +198,16 @@ fn run_maxflow(args: &[String]) -> Result<(), String> {
         );
         (st.network, st.source, st.sink)
     } else {
-        let s = VertexId::new(opts.required("source")?.parse().map_err(|_| "invalid --source")?);
-        let t = VertexId::new(opts.required("sink")?.parse().map_err(|_| "invalid --sink")?);
+        let s = VertexId::new(
+            opts.required("source")?
+                .parse()
+                .map_err(|_| "invalid --source")?,
+        );
+        let t = VertexId::new(
+            opts.required("sink")?
+                .parse()
+                .map_err(|_| "invalid --sink")?,
+        );
         (base, s, t)
     };
 
@@ -218,4 +257,95 @@ fn run_maxflow(args: &[String]) -> Result<(), String> {
         cut.source_side.len()
     );
     Ok(())
+}
+
+fn serve(args: &[String]) -> Result<(), String> {
+    use ffmr::ffmr_service::{engine, server, GraphStore, QueryEngine};
+    let opts = Options::parse(args)?;
+    let listen = opts.get("listen").unwrap_or("127.0.0.1:7227").to_string();
+
+    let store = std::sync::Arc::new(GraphStore::new());
+    let mut loaded = 0usize;
+    for spec in opts.get_all("graph") {
+        let (name, path) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("--graph wants NAME=FILE, got '{spec}'"))?;
+        store
+            .load_from_path(name, path)
+            .map_err(|e| e.to_string())?;
+        let snap = store.get(name).expect("just loaded");
+        println!(
+            "loaded '{name}' from {path}: {} vertices, {} edges",
+            snap.network.num_vertices(),
+            snap.network.num_edge_pairs()
+        );
+        loaded += 1;
+    }
+    if loaded == 0 {
+        return Err("serve needs at least one --graph NAME=FILE".into());
+    }
+
+    let engine_config = engine::EngineConfig {
+        mr_threshold_vertices: opts.parsed("mr-threshold", 2_000)?,
+        cluster_nodes: opts.parsed("nodes", 20)?,
+        reducers: opts.parsed("reducers", 8)?,
+        cache_capacity: opts.parsed("cache", 256)?,
+        default_timeout: std::time::Duration::from_millis(opts.parsed("timeout-ms", 30_000u64)?),
+        ..engine::EngineConfig::default()
+    };
+    let server_config = server::ServerConfig {
+        workers: opts.parsed("workers", 4)?,
+        queue_depth: opts.parsed("queue", 16)?,
+    };
+    let engine = std::sync::Arc::new(QueryEngine::new(store, engine_config));
+    let handle = server::serve(listen.as_str(), engine, &server_config)
+        .map_err(|e| format!("cannot bind {listen}: {e}"))?;
+    println!(
+        "ffmrd listening on {} ({} workers, queue {})",
+        handle.local_addr(),
+        server_config.workers,
+        server_config.queue_depth
+    );
+    // Blocks until a client sends `shutdown`, then joins every thread.
+    handle.wait();
+    println!("ffmrd stopped");
+    Ok(())
+}
+
+fn query(args: &[String]) -> Result<(), String> {
+    use ffmr::ffmr_service::{Client, Message};
+    let opts = Options::parse(args)?;
+    let addr = opts.get("addr").unwrap_or("127.0.0.1:7227");
+    let op = opts.get("op").unwrap_or("maxflow");
+
+    let mut request = Message::new(op);
+    for key in [
+        "dataset",
+        "source",
+        "sink",
+        "w",
+        "seed",
+        "min-degree",
+        "algorithm",
+        "timeout-ms",
+        "no-cache",
+        "path",
+        "ms",
+    ] {
+        if let Some(v) = opts.get(key) {
+            request.push(key, v);
+        }
+    }
+
+    let mut client = Client::connect(addr).map_err(|e| format!("cannot reach {addr}: {e}"))?;
+    let response = client.request(&request).map_err(|e| e.to_string())?;
+    println!("{}", response.head);
+    for (k, v) in &response.fields {
+        println!("{k} {v}");
+    }
+    if response.head == "ok" {
+        Ok(())
+    } else {
+        Err(format!("server replied '{}'", response.head))
+    }
 }

@@ -9,6 +9,8 @@
 //!   Edmonds–Karp, Dinic, Push–Relabel) and min-cut extraction.
 //! * [`ffmr_core`] — the paper's contribution: the FF1–FF5 MapReduce
 //!   max-flow variants, MR-BFS and the MR push–relabel baseline.
+//! * [`ffmr_service`] — `ffmrd`, the resident query daemon: snapshot
+//!   store, solver auto-selection, flow cache, TCP protocol.
 //!
 //! # Quickstart
 //!
@@ -38,6 +40,7 @@
 #![forbid(unsafe_code)]
 
 pub use ffmr_core;
+pub use ffmr_service;
 pub use mapreduce;
 pub use maxflow;
 pub use pregel;

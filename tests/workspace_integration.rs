@@ -45,7 +45,9 @@ fn edge_list_io_round_trips_through_ffmr() {
     let net = FlowNetwork::from_undirected_unit(120, &edges);
     let mut text = Vec::new();
     swgraph::io::write_edge_list(&net, &mut text).unwrap();
-    let reparsed = swgraph::io::read_edge_list(text.as_slice()).unwrap().build();
+    let reparsed = swgraph::io::read_edge_list(text.as_slice())
+        .unwrap()
+        .build();
 
     let (s, t) = (VertexId::new(0), VertexId::new(60));
     let before = maxflow::dinic::max_flow(&net, s, t).value;
@@ -94,9 +96,11 @@ fn mr_push_relabel_matches_oracle_through_facade() {
     let (s, t) = (VertexId::new(0), VertexId::new(30));
     let mut rt = MrRuntime::new(ClusterConfig::small_cluster(2));
     let run =
-        ffmr_core::mr_push_relabel::run_push_relabel(&mut rt, &net, s, t, "pr", 2, 10_000)
-            .unwrap();
-    assert_eq!(run.max_flow_value, maxflow::dinic::max_flow(&net, s, t).value);
+        ffmr_core::mr_push_relabel::run_push_relabel(&mut rt, &net, s, t, "pr", 2, 10_000).unwrap();
+    assert_eq!(
+        run.max_flow_value,
+        maxflow::dinic::max_flow(&net, s, t).value
+    );
 }
 
 #[test]
@@ -108,8 +112,12 @@ fn chained_flows_on_one_runtime_share_the_dfs() {
 
     let c1 = FfConfig::new(VertexId::new(0), VertexId::new(100)).base_path("run-a");
     let c2 = FfConfig::new(VertexId::new(5), VertexId::new(90)).base_path("run-b");
-    let v1 = ffmr_core::run_max_flow(&mut rt, &net, &c1).unwrap().max_flow_value;
-    let v2 = ffmr_core::run_max_flow(&mut rt, &net, &c2).unwrap().max_flow_value;
+    let v1 = ffmr_core::run_max_flow(&mut rt, &net, &c1)
+        .unwrap()
+        .max_flow_value;
+    let v2 = ffmr_core::run_max_flow(&mut rt, &net, &c2)
+        .unwrap()
+        .max_flow_value;
     assert_eq!(
         v1,
         maxflow::dinic::max_flow(&net, VertexId::new(0), VertexId::new(100)).value
@@ -156,7 +164,9 @@ fn mr_algorithm_suite_through_facade() {
     let hadi = ffmr_core::mr_hadi::run_hadi(&mut rt, &net, "hadi", 4).unwrap();
     assert!(hadi.effective_diameter >= 1);
 
-    let weights: Vec<i64> = (0..net.num_edge_pairs() as i64).map(|i| 1 + i * 31 % 997).collect();
+    let weights: Vec<i64> = (0..net.num_edge_pairs() as i64)
+        .map(|i| 1 + i * 31 % 997)
+        .collect();
     let mst = ffmr_core::mr_mst::run_mst(&mut rt, &net, &weights, "mst", 4).unwrap();
     let oracle_edges: Vec<(u64, u64, i64)> = (0..net.num_edge_pairs())
         .map(|p| {
