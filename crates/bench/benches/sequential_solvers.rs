@@ -1,10 +1,12 @@
 //! Bench: the sequential reference solvers against each other on a
 //! small-world graph — context for how far the MR overheads sit above
-//! raw algorithmic cost.
+//! raw algorithmic cost — plus an A/B group measuring the cost of the
+//! per-query metrics recording with the registry enabled vs disabled.
 
 use ffmr_bench::harness::{criterion_group, criterion_main, Criterion};
 use maxflow::Algorithm;
 use std::hint::black_box;
+use std::time::Instant;
 use swgraph::{gen, FlowNetwork};
 
 fn bench(c: &mut Criterion) {
@@ -22,5 +24,37 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
+/// The observability acceptance bar: a solver run plus the exact
+/// recording the query path does per request (one counter increment, one
+/// histogram record) must cost the same with metrics on and off to
+/// within noise — recording is a handful of relaxed atomics, never a
+/// lock.
+fn bench_metrics_overhead(c: &mut Criterion) {
+    let n = 2_000;
+    let net = FlowNetwork::from_undirected_unit(n, &gen::barabasi_albert(n, 4, 7));
+    let st = swgraph::super_st::attach_super_terminals(&net, 8, 4, 3).expect("terminals");
+    let m = ffmr_obs::global();
+    let queries = m.counter("ffmr_bench_queries_total", &[("verb", "maxflow")]);
+    let latency = m.histogram("ffmr_bench_query_latency_us", &[("solver", "dinic")]);
+    let mut group = c.benchmark_group("metrics_overhead");
+    group.sample_size(20);
+    for (id, enabled) in [("metrics_on", true), ("metrics_off", false)] {
+        let (st, queries, latency) = (&st, &queries, &latency);
+        group.bench_function(id, move |b| {
+            m.set_enabled(enabled);
+            b.iter(|| {
+                let started = Instant::now();
+                let flow =
+                    black_box(Algorithm::Dinic.run(black_box(&st.network), st.source, st.sink));
+                queries.inc();
+                latency.record_duration(started.elapsed());
+                flow
+            });
+        });
+    }
+    m.set_enabled(true);
+    group.finish();
+}
+
+criterion_group!(benches, bench, bench_metrics_overhead);
 criterion_main!(benches);

@@ -11,7 +11,12 @@
 //! come from the cost model's own counters, not from wall time.
 //!
 //! Set `FFMR_BENCH_SAMPLES` to override every group's sample count
-//! (e.g. `FFMR_BENCH_SAMPLES=1` for a smoke run).
+//! (e.g. `FFMR_BENCH_SAMPLES=1` for a smoke run). Set `FFMR_BENCH_JSON=1`
+//! to additionally emit one machine-readable JSON line per benchmark:
+//! the timing stats plus a snapshot of the global metrics registry
+//! (MapReduce shuffle bytes, FF round counts, …), so experiment scripts
+//! can fold cost-model counters into tables without scraping the
+//! human-readable output.
 
 use std::time::{Duration, Instant};
 
@@ -75,6 +80,9 @@ impl BenchmarkGroup<'_> {
             self.name,
             times.len(),
         );
+        if std::env::var("FFMR_BENCH_JSON").is_ok() {
+            println!("{}", json_line(&self.name, &id, &times));
+        }
         self
     }
 
@@ -100,6 +108,56 @@ impl Bencher {
             self.times.push(start.elapsed());
         }
     }
+}
+
+/// One machine-readable result line: timing stats plus a snapshot of the
+/// process-wide metrics registry (see the module docs on
+/// `FFMR_BENCH_JSON`).
+fn json_line(group: &str, id: &str, times: &[Duration]) -> String {
+    use std::fmt::Write as _;
+    let total: Duration = times.iter().sum();
+    let mean = total / times.len() as u32;
+    let min = times.iter().min().copied().unwrap_or_default();
+    let max = times.iter().max().copied().unwrap_or_default();
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"bench\":\"{}\",\"samples\":{},\"min_ns\":{},\"mean_ns\":{},\"max_ns\":{},\"metrics\":{{",
+        escape(&format!("{group}/{id}")),
+        times.len(),
+        min.as_nanos(),
+        mean.as_nanos(),
+        max.as_nanos(),
+    );
+    for (i, (name, value)) in ffmr_obs::global().snapshot().into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":", escape(&name));
+        match value {
+            ffmr_obs::MetricValue::Counter(v) => {
+                let _ = write!(out, "{v}");
+            }
+            ffmr_obs::MetricValue::Gauge(v) => {
+                let _ = write!(out, "{v}");
+            }
+            ffmr_obs::MetricValue::Histogram(s) => {
+                let _ = write!(
+                    out,
+                    "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                    s.count, s.sum, s.min, s.max, s.p50, s.p90, s.p99
+                );
+            }
+        }
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Escapes a metric series id for embedding in a JSON string (label
+/// values carry literal quotes: `name{k="v"}`).
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 /// Declares the group function invoked by [`criterion_main!`].
@@ -142,5 +200,26 @@ mod tests {
             assert_eq!(calls, 4);
         }
         group.finish();
+    }
+
+    #[test]
+    fn json_line_is_well_formed() {
+        ffmr_obs::global()
+            .counter("ffmr_bench_test_total", &[("k", "v")])
+            .inc();
+        ffmr_obs::global()
+            .histogram("ffmr_bench_test_us", &[])
+            .record(5);
+        let line = json_line("g", "id", &[Duration::from_micros(5)]);
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(line.contains("\"bench\":\"g/id\""), "{line}");
+        assert!(line.contains("\"samples\":1"), "{line}");
+        // Label quotes are escaped so the line stays valid JSON.
+        assert!(
+            line.contains("ffmr_bench_test_total{k=\\\"v\\\"}"),
+            "{line}"
+        );
+        assert!(line.contains("\"p99\":"), "{line}");
+        assert!(!line.contains('\n'));
     }
 }

@@ -303,6 +303,9 @@ pub struct RoundStats {
     pub shuffle_bytes: u64,
     /// Simulated runtime of the round in seconds.
     pub sim_seconds: f64,
+    /// Host wall-clock the round actually took (the `ff.round` span
+    /// duration: the MR job plus driver bookkeeping around it).
+    pub wall_seconds: f64,
     /// `source move` counter at round end.
     pub source_move: u64,
     /// `sink move` counter at round end.
@@ -395,19 +398,29 @@ pub fn run_max_flow_from_input(
     let mut max_graph_bytes: u64;
     let mut total_value: Capacity = 0;
 
+    let mut run_span = ffmr_obs::span("ff.run");
+    run_span.field("source", config.source);
+    run_span.field("sink", config.sink);
+
     // ---- Round 0: convert the raw edge list into vertex records.
     if config.hooks.is_cancelled() {
         return Err(FfError::Cancelled {
             rounds_completed: 0,
         });
     }
-    let stats0 = round0::run_round0(rt, input_path, &config.base_path, config.reducers, &shared)?;
+    let round0_started = std::time::Instant::now();
+    let stats0 = {
+        let mut span = ffmr_obs::span("ff.round");
+        span.field("round", 0);
+        round0::run_round0(rt, input_path, &config.base_path, config.reducers, &shared)?
+    };
     let graph0 = rt.dfs().file_bytes(&round_path(&config.base_path, 0));
     rounds.push(RoundStats {
         round: 0,
         map_out_records: stats0.map_output_records,
         shuffle_bytes: stats0.shuffle_bytes,
         sim_seconds: stats0.sim_seconds,
+        wall_seconds: round0_started.elapsed().as_secs_f64(),
         graph_bytes: graph0,
         ..RoundStats::default()
     });
@@ -428,6 +441,9 @@ pub fn run_max_flow_from_input(
                 rounds_completed: round - 1,
             });
         }
+        let round_started = std::time::Instant::now();
+        let mut round_span = ffmr_obs::span("ff.round");
+        round_span.field("round", round);
         aug.open_round(round);
 
         let input = round_path(&config.base_path, round - 1);
@@ -463,6 +479,8 @@ pub fn run_max_flow_from_input(
 
         let som = stats.counter("source move");
         let sim = stats.counter("sink move");
+        round_span.field("a_paths", acceptance.accepted_paths);
+        drop(round_span);
         rounds.push(RoundStats {
             round,
             a_paths: acceptance.accepted_paths,
@@ -471,6 +489,7 @@ pub fn run_max_flow_from_input(
             map_out_records: stats.map_output_records,
             shuffle_bytes: stats.shuffle_bytes,
             sim_seconds: stats.sim_seconds,
+            wall_seconds: round_started.elapsed().as_secs_f64(),
             source_move: som,
             sink_move: sim,
             graph_bytes,
@@ -496,6 +515,16 @@ pub fn run_max_flow_from_input(
     // round's mappers); `pending` holds the final round's acceptances that
     // no mapper has applied yet (empty by construction of the break).
     let final_round = rounds.last().map_or(0, |r| r.round);
+    run_span.field("rounds", rounds.len());
+    drop(run_span);
+    let m = ffmr_obs::global();
+    m.counter("ffmr_ff_runs_total", &[]).inc();
+    m.counter("ffmr_ff_rounds_total", &[])
+        .add(rounds.len() as u64);
+    m.counter("ffmr_ff_apaths_total", &[])
+        .add(rounds.iter().map(|r| r.a_paths).sum());
+    m.histogram("ffmr_ff_run_rounds", &[])
+        .record(rounds.len() as u64);
     Ok(FfRun {
         max_flow_value: total_value,
         total_sim_seconds: rounds.iter().map(|r| r.sim_seconds).sum(),

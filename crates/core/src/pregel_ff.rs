@@ -350,12 +350,21 @@ pub fn run_max_flow_pregel(
 
     let program = FfProgram::new(source, sink, usize::MAX);
     let engine = Engine::new(program);
+    let mut span = ffmr_obs::span("pregel.run");
     let stats =
         engine
             .run(&mut graph, max_supersteps)
             .map_err(|_| FfError::RoundLimitExceeded {
                 limit: max_supersteps,
             })?;
+    span.field("supersteps", stats.supersteps);
+    drop(span);
+    let m = ffmr_obs::global();
+    m.counter("ffmr_pregel_runs_total", &[]).inc();
+    m.counter("ffmr_pregel_supersteps_total", &[])
+        .add(stats.supersteps as u64);
+    m.counter("ffmr_pregel_messages_total", &[])
+        .add(stats.total_messages as u64);
     Ok(PregelFfRun {
         max_flow_value: engine.program().max_flow_value(),
         supersteps: stats.supersteps,

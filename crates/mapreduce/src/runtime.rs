@@ -167,6 +167,8 @@ impl MrRuntime {
     {
         let wall_start = Instant::now();
         let cfg = job.config().clone();
+        let mut job_span = ffmr_obs::span("mr.job");
+        job_span.field("job", &cfg.name);
         if cfg.reducers == 0 {
             return Err(MrError::InvalidJob("reducers must be > 0".into()));
         }
@@ -183,6 +185,7 @@ impl MrRuntime {
         // ------------------------------------------------- map phase
         // One map task per block-sized, record-aligned input split
         // (Hadoop's InputSplit), across all input files.
+        let map_span = ffmr_obs::span("mr.map");
         let block_bytes = (self.cluster.dfs_block_mb * 1024.0 * 1024.0).max(1.0) as usize;
         let mut splits: Vec<InputSplit<'_>> = Vec::new();
         for input in &cfg.inputs {
@@ -290,8 +293,10 @@ impl MrRuntime {
             input_bytes += r.cost.read_bytes - side_bytes;
         }
         let map_tasks = map_results.len();
+        drop(map_span);
 
         // ------------------------------------------------- shuffle
+        let shuffle_span = ffmr_obs::span("mr.shuffle");
         // Route every intermediate record to its reduce partition, counting
         // total fetched bytes (Hadoop's reduce-shuffle-bytes) and the subset
         // that crosses node boundaries (network time).
@@ -319,8 +324,12 @@ impl MrRuntime {
         let disk_agg = self.cluster.disk_mb_per_s * self.cluster.nodes as f64;
         let shuffle_seconds = cross_node_bytes as f64 / mb / net_agg
             + self.cluster.sort_factor * shuffle_bytes as f64 / mb / disk_agg;
+        drop(shuffle_span);
 
         // ------------------------------------------------- reduce phase
+        // (Per-task key sorting — Hadoop's sort phase — happens inside
+        // each reduce task and is covered by this span.)
+        let reduce_span = ffmr_obs::span("mr.reduce");
         // Schimmy: pull the matching partition of a previous output and
         // merge it with the shuffled records by key, without shuffling it.
         let schimmy_file: Option<&DfsFile> = match &cfg.schimmy {
@@ -421,6 +430,7 @@ impl MrRuntime {
         }
         let reduce_tasks = partitions.len();
         self.dfs.insert_file(&cfg.output, DfsFile { partitions })?;
+        drop(reduce_span);
 
         // Replication traffic for the extra DFS copies.
         let replication_seconds = output_bytes as f64
@@ -435,7 +445,7 @@ impl MrRuntime {
             + replication_seconds;
         self.total_sim_seconds += sim_seconds;
 
-        Ok(JobStats {
+        let stats = JobStats {
             name: cfg.name,
             map_input_records,
             map_output_records,
@@ -451,8 +461,44 @@ impl MrRuntime {
             sim_seconds,
             wall_seconds: wall_start.elapsed().as_secs_f64(),
             counters: counters.snapshot(),
-        })
+        };
+        fold_job_metrics(&stats);
+        Ok(stats)
     }
+}
+
+/// Folds one job's statistics into the process-wide metrics registry —
+/// the cumulative analogue of Hadoop's per-job counters page. Names
+/// mirror [`JobStats`] fields (`mr_shuffle_bytes_total` ↔
+/// `shuffle_bytes`, the paper's "Shuffle" column of Table I).
+#[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+fn fold_job_metrics(stats: &JobStats) {
+    let m = ffmr_obs::global();
+    m.counter("ffmr_mr_jobs_total", &[]).inc();
+    m.counter("ffmr_mr_map_input_records_total", &[])
+        .add(stats.map_input_records);
+    m.counter("ffmr_mr_map_output_records_total", &[])
+        .add(stats.map_output_records);
+    m.counter("ffmr_mr_shuffle_bytes_total", &[])
+        .add(stats.shuffle_bytes);
+    m.counter("ffmr_mr_reduce_output_records_total", &[])
+        .add(stats.reduce_output_records);
+    m.counter("ffmr_mr_output_bytes_total", &[])
+        .add(stats.output_bytes);
+    m.counter("ffmr_mr_input_bytes_total", &[])
+        .add(stats.input_bytes);
+    m.counter("ffmr_mr_schimmy_bytes_total", &[])
+        .add(stats.schimmy_bytes);
+    m.counter("ffmr_mr_map_tasks_total", &[])
+        .add(stats.map_tasks as u64);
+    m.counter("ffmr_mr_reduce_tasks_total", &[])
+        .add(stats.reduce_tasks as u64);
+    m.counter("ffmr_mr_failed_attempts_total", &[])
+        .add(stats.failed_attempts);
+    m.counter("ffmr_mr_sim_millis_total", &[])
+        .add((stats.sim_seconds * 1_000.0).max(0.0) as u64);
+    m.histogram("ffmr_mr_job_wall_us", &[])
+        .record((stats.wall_seconds * 1_000_000.0).max(0.0) as u64);
 }
 
 /// Stable hash partitioner (deterministic across runs and platforms for a

@@ -1,0 +1,628 @@
+//! The metrics registry: counters, gauges, log-bucketed histograms.
+//!
+//! Hot-path cost model: registering (or re-looking-up) a metric takes a
+//! read-mostly `RwLock` over a `BTreeMap`; **recording** on a held
+//! handle is a handful of relaxed atomic operations and never blocks.
+//! Snapshots and renderings walk the maps under the read lock and read
+//! each atomic individually — values recorded mid-walk may or may not be
+//! included, which is the usual (and harmless) scrape semantics.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Number of log₂ buckets a [`Histogram`] maintains: bucket 0 holds the
+/// value 0, bucket `k ≥ 1` holds values in `[2^(k-1), 2^k)`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A monotonically increasing counter.
+#[derive(Debug)]
+pub struct Counter {
+    enabled: Arc<AtomicBool>,
+    value: AtomicU64,
+}
+
+impl Counter {
+    fn new(enabled: Arc<AtomicBool>) -> Self {
+        Self {
+            enabled,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable instantaneous value (queue depths, pool sizes, ages).
+#[derive(Debug)]
+pub struct Gauge {
+    enabled: Arc<AtomicBool>,
+    value: AtomicI64,
+}
+
+impl Gauge {
+    fn new(enabled: Arc<AtomicBool>) -> Self {
+        Self {
+            enabled,
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// Sets the gauge.
+    pub fn set(&self, v: i64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `n` (may be negative via [`Gauge::sub`]).
+    pub fn add(&self, n: i64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Subtracts `n`.
+    pub fn sub(&self, n: i64) {
+        self.add(-n);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A lock-free latency/size histogram with log₂ buckets.
+///
+/// Recording touches five relaxed atomics (count, sum, min, max, one
+/// bucket); quantiles are estimated from the bucket the rank falls in
+/// and reported as that bucket's upper bound clamped to the observed
+/// maximum — at most a 2× relative overestimate, which is plenty for
+/// latency dashboards and far cheaper than exact reservoirs.
+#[derive(Debug)]
+pub struct Histogram {
+    enabled: Arc<AtomicBool>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+/// A point-in-time digest of a [`Histogram`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Values recorded.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    /// Estimated 50th percentile.
+    pub p50: u64,
+    /// Estimated 90th percentile.
+    pub p90: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
+}
+
+impl Histogram {
+    fn new(enabled: Arc<AtomicBool>) -> Self {
+        Self {
+            enabled,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn bucket_index(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            (64 - v.leading_zeros()) as usize
+        }
+    }
+
+    fn bucket_upper(index: usize) -> u64 {
+        if index == 0 {
+            0
+        } else if index >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << index) - 1
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&self, v: u64) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a [`std::time::Duration`] in microseconds.
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Values recorded so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time digest with estimated p50/p90/p99.
+    #[must_use]
+    pub fn summary(&self) -> HistogramSummary {
+        let count = self.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return HistogramSummary::default();
+        }
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let max = self.max.load(Ordering::Relaxed);
+        let min = self.min.load(Ordering::Relaxed).min(max);
+        // The bucket counters may lag `count` by in-flight records; use
+        // their own total so ranks stay inside the distribution.
+        let total: u64 = buckets.iter().sum();
+        let quantile = |q: f64| -> u64 {
+            if total == 0 {
+                return max;
+            }
+            #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+            let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+            let mut cumulative = 0u64;
+            for (i, n) in buckets.iter().enumerate() {
+                cumulative += n;
+                if cumulative >= rank {
+                    return Self::bucket_upper(i).clamp(min, max);
+                }
+            }
+            max
+        };
+        HistogramSummary {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min,
+            max,
+            p50: quantile(0.50),
+            p90: quantile(0.90),
+            p99: quantile(0.99),
+        }
+    }
+}
+
+/// One metric's identity: a base name plus sorted `key=value` labels.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct MetricId {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl MetricId {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (sanitize_name(k), sanitize_label(v)))
+            .collect();
+        labels.sort();
+        Self {
+            name: sanitize_name(name),
+            labels,
+        }
+    }
+
+    /// `name{k="v",...}` — doubles as the Prometheus series id and the
+    /// wire-protocol field key (no spaces or newlines by construction).
+    fn rendered(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.clone();
+        }
+        format!("{}{{{}}}", self.name, self.render_labels(None))
+    }
+
+    fn render_labels(&self, extra: Option<(&str, &str)>) -> String {
+        let mut out = String::new();
+        for (k, v) in self
+            .labels
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .chain(extra)
+        {
+            if !out.is_empty() {
+                out.push(',');
+            }
+            out.push_str(k);
+            out.push_str("=\"");
+            out.push_str(v);
+            out.push('"');
+        }
+        out
+    }
+}
+
+/// Metric names keep `[A-Za-z0-9_:]`; anything else becomes `_`.
+fn sanitize_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Label values drop the characters that would break either the
+/// Prometheus exposition (`"`, `\`, newline) or the wire protocol's
+/// one-line `key value` fields (space, newline).
+fn sanitize_label(value: &str) -> String {
+    value
+        .chars()
+        .map(|c| match c {
+            '"' | '\\' | '\n' | '\r' | ' ' | '{' | '}' => '_',
+            other => other,
+        })
+        .collect()
+}
+
+/// A snapshot value of one registered metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Histogram digest.
+    Histogram(HistogramSummary),
+}
+
+/// A named collection of metrics (usually the process-wide
+/// [`global()`](crate::global) instance).
+#[derive(Debug, Default)]
+pub struct Registry {
+    enabled: Arc<AtomicBool>,
+    counters: RwLock<BTreeMap<MetricId, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<MetricId, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<MetricId, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// An empty, enabled registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            enabled: Arc::new(AtomicBool::new(true)),
+            counters: RwLock::new(BTreeMap::new()),
+            gauges: RwLock::new(BTreeMap::new()),
+            histograms: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// Turns recording on or off globally. Registered handles observe
+    /// the switch immediately; a disabled record is one relaxed atomic
+    /// load. Used for overhead A/B measurements.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether recording is enabled.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Gets or registers a counter.
+    #[must_use]
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let enabled = Arc::clone(&self.enabled);
+        get_or_insert(&self.counters, MetricId::new(name, labels), || {
+            Counter::new(enabled)
+        })
+    }
+
+    /// Gets or registers a gauge.
+    #[must_use]
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let enabled = Arc::clone(&self.enabled);
+        get_or_insert(&self.gauges, MetricId::new(name, labels), || {
+            Gauge::new(enabled)
+        })
+    }
+
+    /// Gets or registers a histogram.
+    #[must_use]
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        let enabled = Arc::clone(&self.enabled);
+        get_or_insert(&self.histograms, MetricId::new(name, labels), || {
+            Histogram::new(enabled)
+        })
+    }
+
+    /// Value of a counter series by its rendered id (`name` or
+    /// `name{k="v"}`), if registered. Meant for tests and assertions.
+    #[must_use]
+    pub fn counter_value(&self, rendered: &str) -> Option<u64> {
+        read(&self.counters)
+            .iter()
+            .find(|(id, _)| id.rendered() == rendered)
+            .map(|(_, c)| c.get())
+    }
+
+    /// A point-in-time snapshot of every registered metric, sorted by
+    /// series id.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<(String, MetricValue)> {
+        let mut out = Vec::new();
+        for (id, c) in read(&self.counters).iter() {
+            out.push((id.rendered(), MetricValue::Counter(c.get())));
+        }
+        for (id, g) in read(&self.gauges).iter() {
+            out.push((id.rendered(), MetricValue::Gauge(g.get())));
+        }
+        for (id, h) in read(&self.histograms).iter() {
+            out.push((id.rendered(), MetricValue::Histogram(h.summary())));
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Flat `(key, value)` pairs for the wire protocol's `stats` verb:
+    /// counters and gauges render their value, histograms a
+    /// `count=… sum=… min=… max=… p50=… p90=… p99=…` digest. Keys
+    /// contain no spaces or newlines.
+    #[must_use]
+    pub fn render_fields(&self) -> Vec<(String, String)> {
+        self.snapshot()
+            .into_iter()
+            .map(|(id, value)| {
+                let rendered = match value {
+                    MetricValue::Counter(v) => v.to_string(),
+                    MetricValue::Gauge(v) => v.to_string(),
+                    MetricValue::Histogram(s) => format!(
+                        "count={} sum={} min={} max={} p50={} p90={} p99={}",
+                        s.count, s.sum, s.min, s.max, s.p50, s.p90, s.p99
+                    ),
+                };
+                (id, rendered)
+            })
+            .collect()
+    }
+
+    /// The Prometheus text exposition (version 0.0.4): `# TYPE` comments
+    /// per metric family, counters and gauges as plain samples,
+    /// histograms as summaries with `quantile` labels plus `_sum` and
+    /// `_count` series.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_family = String::new();
+        let mut type_line = |out: &mut String, family: &str, kind: &str| {
+            if family != last_family {
+                out.push_str(&format!("# TYPE {family} {kind}\n"));
+                last_family = family.to_string();
+            }
+        };
+        for (id, c) in read(&self.counters).iter() {
+            type_line(&mut out, &id.name, "counter");
+            out.push_str(&format!("{} {}\n", id.rendered(), c.get()));
+        }
+        for (id, g) in read(&self.gauges).iter() {
+            type_line(&mut out, &id.name, "gauge");
+            out.push_str(&format!("{} {}\n", id.rendered(), g.get()));
+        }
+        for (id, h) in read(&self.histograms).iter() {
+            type_line(&mut out, &id.name, "summary");
+            let s = h.summary();
+            for (q, v) in [("0.5", s.p50), ("0.9", s.p90), ("0.99", s.p99)] {
+                out.push_str(&format!(
+                    "{}{{{}}} {v}\n",
+                    id.name,
+                    id.render_labels(Some(("quantile", q))),
+                ));
+            }
+            let labels = if id.labels.is_empty() {
+                String::new()
+            } else {
+                format!("{{{}}}", id.render_labels(None))
+            };
+            out.push_str(&format!("{}_sum{labels} {}\n", id.name, s.sum));
+            out.push_str(&format!("{}_count{labels} {}\n", id.name, s.count));
+        }
+        out
+    }
+}
+
+fn read<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    lock.read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn get_or_insert<M>(
+    map: &RwLock<BTreeMap<MetricId, Arc<M>>>,
+    id: MetricId,
+    build: impl FnOnce() -> M,
+) -> Arc<M> {
+    if let Some(existing) = read(map).get(&id) {
+        return Arc::clone(existing);
+    }
+    let mut map = map
+        .write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    Arc::clone(map.entry(id).or_insert_with(|| Arc::new(build())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let reg = Registry::new();
+        let c = reg.counter("ffmr_test_total", &[("verb", "maxflow")]);
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(
+            reg.counter_value("ffmr_test_total{verb=\"maxflow\"}"),
+            Some(5)
+        );
+        // Same name+labels resolve to the same underlying atomic.
+        reg.counter("ffmr_test_total", &[("verb", "maxflow")]).inc();
+        assert_eq!(c.get(), 6);
+        let g = reg.gauge("ffmr_depth", &[]);
+        g.set(7);
+        g.sub(2);
+        assert_eq!(g.get(), 5);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_the_data() {
+        let reg = Registry::new();
+        let h = reg.histogram("ffmr_lat_us", &[]);
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 1000);
+        // Log-bucket estimates overshoot by at most 2×.
+        assert!((500..=1000).contains(&s.p50), "p50={}", s.p50);
+        assert!((900..=1000).contains(&s.p90), "p90={}", s.p90);
+        assert!((990..=1000).contains(&s.p99), "p99={}", s.p99);
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99);
+    }
+
+    #[test]
+    fn histogram_handles_zero_and_extremes() {
+        let reg = Registry::new();
+        let h = reg.histogram("ffmr_extremes", &[]);
+        let empty = h.summary();
+        assert_eq!(empty, HistogramSummary::default());
+        h.record(0);
+        h.record(u64::MAX);
+        let s = h.summary();
+        assert_eq!((s.count, s.min, s.max), (2, 0, u64::MAX));
+    }
+
+    #[test]
+    fn disabling_stops_recording() {
+        let reg = Registry::new();
+        let c = reg.counter("c_total", &[]);
+        let h = reg.histogram("h_us", &[]);
+        reg.set_enabled(false);
+        c.inc();
+        h.record(10);
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+        reg.set_enabled(true);
+        c.inc();
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn label_order_is_canonical_and_values_sanitized() {
+        let reg = Registry::new();
+        let a = reg.counter("t_total", &[("b", "2"), ("a", "1")]);
+        let b = reg.counter("t_total", &[("a", "1"), ("b", "2")]);
+        a.inc();
+        assert_eq!(b.get(), 1, "label order must not split the series");
+        let c = reg.counter("bad name", &[("k", "has \"quotes\" and\nnewlines")]);
+        c.inc();
+        let ids: Vec<String> = reg.snapshot().into_iter().map(|(id, _)| id).collect();
+        assert!(
+            ids.iter()
+                .any(|id| id.starts_with("bad_name") && !id.contains(' ') && !id.contains('\n')),
+            "{ids:?}"
+        );
+    }
+
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let reg = Registry::new();
+        reg.counter("ffmr_q_total", &[("verb", "maxflow")]).add(3);
+        reg.gauge("ffmr_depth", &[]).set(2);
+        let h = reg.histogram("ffmr_lat_us", &[("verb", "maxflow")]);
+        h.record(100);
+        h.record(200);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE ffmr_q_total counter"));
+        assert!(text.contains("ffmr_q_total{verb=\"maxflow\"} 3"));
+        assert!(text.contains("# TYPE ffmr_depth gauge"));
+        assert!(text.contains("# TYPE ffmr_lat_us summary"));
+        assert!(text.contains("quantile=\"0.99\""));
+        assert!(text.contains("ffmr_lat_us_count{verb=\"maxflow\"} 2"));
+        assert!(text.contains("ffmr_lat_us_sum{verb=\"maxflow\"} 300"));
+        // Every non-comment line is `series value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (series, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(!series.is_empty());
+            assert!(value.parse::<f64>().is_ok(), "unparseable value: {line}");
+        }
+    }
+
+    #[test]
+    fn render_fields_keys_are_wire_safe() {
+        let reg = Registry::new();
+        reg.counter("ffmr_a_total", &[("k", "v")]).inc();
+        reg.histogram("ffmr_h_us", &[]).record(5);
+        for (k, v) in reg.render_fields() {
+            assert!(!k.contains(' ') && !k.contains('\n'), "key: {k}");
+            assert!(!v.contains('\n'), "value: {v}");
+        }
+    }
+
+    #[test]
+    fn concurrent_recording_is_exact_for_counters() {
+        let reg = Arc::new(Registry::new());
+        let c = reg.counter("ffmr_conc_total", &[]);
+        let h = reg.histogram("ffmr_conc_us", &[]);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = Arc::clone(&c);
+                let h = Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 0..10_000u64 {
+                        c.inc();
+                        h.record(i & 1023);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
+        assert_eq!(h.summary().count, 80_000);
+    }
+}

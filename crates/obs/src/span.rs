@@ -1,0 +1,354 @@
+//! Span tracing: named wall-clock scopes emitted as JSON lines.
+//!
+//! A [`Span`] measures one scope (an FF round, one MapReduce phase, one
+//! query) and, when a [`SpanSink`] is installed, emits a single JSON
+//! object on drop:
+//!
+//! ```json
+//! {"name":"mr.map","id":7,"parent":6,"thread":"ffmrd-worker-0",
+//!  "start_us":51234,"dur_us":890,"round":"3"}
+//! ```
+//!
+//! * `id`/`parent` — process-unique span ids; `parent` is the innermost
+//!   span still open **on the same thread** (a per-thread stack), so a
+//!   driver round nests the MR job it runs, which nests its map /
+//!   shuffle / reduce phases.
+//! * `start_us` — microseconds since the first span of the process.
+//! * extra string fields attached via [`Span::field`] appear as
+//!   top-level JSON string members.
+//!
+//! With no sink installed (`set_sink(None)`, the default) starting a
+//! span costs one relaxed atomic load and emits nothing — tracing is
+//! strictly opt-in (the CLI's `--trace-file` flag).
+
+use std::cell::RefCell;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::Instant;
+
+/// Receives one completed span as a JSON line (no trailing newline).
+pub trait SpanSink: Send + Sync {
+    /// Consumes one JSON-encoded span.
+    fn emit(&self, json_line: &str);
+}
+
+/// A sink appending JSON lines to a file, flushed per span so a killed
+/// daemon loses at most the spans still open.
+#[derive(Debug)]
+pub struct FileSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl FileSink {
+    /// Creates (truncates) `path` for writing.
+    ///
+    /// # Errors
+    /// Propagates the file-creation failure.
+    pub fn create(path: &str) -> std::io::Result<Self> {
+        Ok(Self {
+            writer: Mutex::new(BufWriter::new(File::create(path)?)),
+        })
+    }
+}
+
+impl SpanSink for FileSink {
+    fn emit(&self, json_line: &str) {
+        let mut w = self
+            .writer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let _ = writeln!(w, "{json_line}");
+        let _ = w.flush();
+    }
+}
+
+/// A sink collecting spans in memory (tests, programmatic inspection).
+#[derive(Debug, Default)]
+pub struct VecSink {
+    lines: Mutex<Vec<String>>,
+}
+
+impl VecSink {
+    /// An empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The JSON lines captured so far.
+    #[must_use]
+    pub fn lines(&self) -> Vec<String> {
+        self.lines
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+}
+
+impl SpanSink for VecSink {
+    fn emit(&self, json_line: &str) {
+        self.lines
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(json_line.to_string());
+    }
+}
+
+static TRACING: AtomicBool = AtomicBool::new(false);
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+fn sink_slot() -> &'static RwLock<Option<Arc<dyn SpanSink>>> {
+    static SINK: OnceLock<RwLock<Option<Arc<dyn SpanSink>>>> = OnceLock::new();
+    SINK.get_or_init(|| RwLock::new(None))
+}
+
+fn process_epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Installs (or with `None` removes) the process-wide span sink.
+pub fn set_sink(sink: Option<Arc<dyn SpanSink>>) {
+    TRACING.store(sink.is_some(), Ordering::Relaxed);
+    *sink_slot()
+        .write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = sink;
+}
+
+/// Whether a sink is currently installed.
+#[must_use]
+pub fn tracing_enabled() -> bool {
+    TRACING.load(Ordering::Relaxed)
+}
+
+/// Opens a span named `name`. Returns an inert guard when no sink is
+/// installed.
+pub fn span(name: &str) -> Span {
+    if !tracing_enabled() {
+        return Span { inner: None };
+    }
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        let parent = s.last().copied();
+        s.push(id);
+        parent
+    });
+    Span {
+        inner: Some(SpanInner {
+            name: name.to_string(),
+            id,
+            parent,
+            start: Instant::now(),
+            start_us: u64::try_from(process_epoch().elapsed().as_micros()).unwrap_or(u64::MAX),
+            fields: Vec::new(),
+        }),
+    }
+}
+
+#[derive(Debug)]
+struct SpanInner {
+    name: String,
+    id: u64,
+    parent: Option<u64>,
+    start: Instant,
+    start_us: u64,
+    fields: Vec<(String, String)>,
+}
+
+/// An open span; closing (dropping) it emits the JSON line.
+#[derive(Debug)]
+#[must_use = "a span measures until it is dropped"]
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+impl Span {
+    /// Attaches a `key:"value"` string member to the emitted JSON.
+    pub fn field(&mut self, key: &str, value: impl ToString) {
+        if let Some(inner) = &mut self.inner {
+            inner.fields.push((key.to_string(), value.to_string()));
+        }
+    }
+
+    /// This span's process-unique id (0 for an inert span).
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.id)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        let dur_us = u64::try_from(inner.start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            // Normally the top of the stack; tolerate out-of-order drops.
+            if let Some(pos) = s.iter().rposition(|id| *id == inner.id) {
+                s.remove(pos);
+            }
+        });
+        let sink = sink_slot()
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone();
+        let Some(sink) = sink else { return };
+        let mut line = String::with_capacity(128);
+        line.push_str("{\"name\":\"");
+        push_escaped(&mut line, &inner.name);
+        line.push_str(&format!("\",\"id\":{}", inner.id));
+        if let Some(parent) = inner.parent {
+            line.push_str(&format!(",\"parent\":{parent}"));
+        }
+        line.push_str(",\"thread\":\"");
+        push_escaped(
+            &mut line,
+            std::thread::current().name().unwrap_or("unnamed"),
+        );
+        line.push_str(&format!(
+            "\",\"start_us\":{},\"dur_us\":{dur_us}",
+            inner.start_us
+        ));
+        for (k, v) in &inner.fields {
+            line.push_str(",\"");
+            push_escaped(&mut line, k);
+            line.push_str("\":\"");
+            push_escaped(&mut line, v);
+            line.push('"');
+        }
+        line.push('}');
+        sink.emit(&line);
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn push_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Spans share process-global state; serialize the tests touching it.
+    fn sink_guard() -> std::sync::MutexGuard<'static, ()> {
+        static GUARD: Mutex<()> = Mutex::new(());
+        GUARD
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn no_sink_means_inert_spans() {
+        let _g = sink_guard();
+        set_sink(None);
+        let mut s = span("quiet");
+        s.field("k", "v");
+        assert_eq!(s.id(), 0);
+        drop(s); // must not panic or emit
+    }
+
+    #[test]
+    fn nesting_and_fields_are_emitted() {
+        let _g = sink_guard();
+        let sink = Arc::new(VecSink::new());
+        set_sink(Some(Arc::clone(&sink) as Arc<dyn SpanSink>));
+        {
+            let mut outer = span("outer");
+            outer.field("round", 3);
+            let outer_id = outer.id();
+            {
+                let inner = span("inner");
+                assert_ne!(inner.id(), outer_id);
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        set_sink(None);
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        // Children drop first.
+        assert!(lines[0].contains("\"name\":\"inner\""));
+        assert!(lines[0].contains("\"parent\":"));
+        assert!(lines[1].contains("\"name\":\"outer\""));
+        assert!(lines[1].contains("\"round\":\"3\""));
+        assert!(!lines[1].contains("\"parent\":"), "outer has no parent");
+        // Parent id referenced by the child matches the parent's id.
+        let parent_ref = lines[0]
+            .split("\"parent\":")
+            .nth(1)
+            .and_then(|s| s.split([',', '}']).next())
+            .unwrap()
+            .to_string();
+        assert!(lines[1].contains(&format!("\"id\":{parent_ref}")));
+        // Outer duration covers the sleep.
+        let dur: u64 = lines[1]
+            .split("\"dur_us\":")
+            .nth(1)
+            .and_then(|s| s.split([',', '}']).next())
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(dur >= 2_000, "dur_us={dur}");
+    }
+
+    #[test]
+    fn escaping_keeps_lines_valid() {
+        let _g = sink_guard();
+        let sink = Arc::new(VecSink::new());
+        set_sink(Some(Arc::clone(&sink) as Arc<dyn SpanSink>));
+        {
+            let mut s = span("weird \"name\"\n");
+            s.field("path", "a\\b\tc");
+        }
+        set_sink(None);
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 1);
+        assert!(!lines[0].contains('\n'));
+        assert!(lines[0].contains("weird \\\"name\\\"\\n"));
+        assert!(lines[0].contains("a\\\\b\\tc"));
+    }
+
+    #[test]
+    fn threads_get_independent_parent_stacks() {
+        let _g = sink_guard();
+        let sink = Arc::new(VecSink::new());
+        set_sink(Some(Arc::clone(&sink) as Arc<dyn SpanSink>));
+        {
+            let _outer = span("outer");
+            std::thread::spawn(|| {
+                let _s = span("other-thread");
+            })
+            .join()
+            .unwrap();
+        }
+        set_sink(None);
+        let other = sink
+            .lines()
+            .into_iter()
+            .find(|l| l.contains("other-thread"))
+            .unwrap();
+        assert!(
+            !other.contains("\"parent\":"),
+            "cross-thread spans must not inherit parents: {other}"
+        );
+    }
+}

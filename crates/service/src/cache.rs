@@ -140,21 +140,31 @@ impl FlowCache {
     /// Looks up `key`, refreshing its recency on a hit.
     #[must_use]
     pub fn get(&self, key: &CacheKey) -> Option<CachedAnswer> {
-        let mut inner = self.inner.lock();
-        inner.clock += 1;
-        let stamp = inner.clock;
-        match inner.entries.get_mut(key) {
-            Some((answer, touched)) => {
-                *touched = stamp;
-                let answer = answer.clone();
-                inner.hits += 1;
-                Some(answer)
+        let hit = {
+            let mut inner = self.inner.lock();
+            inner.clock += 1;
+            let stamp = inner.clock;
+            match inner.entries.get_mut(key) {
+                Some((answer, touched)) => {
+                    *touched = stamp;
+                    let answer = answer.clone();
+                    inner.hits += 1;
+                    Some(answer)
+                }
+                None => {
+                    inner.misses += 1;
+                    None
+                }
             }
-            None => {
-                inner.misses += 1;
-                None
-            }
-        }
+        };
+        // Global counters are bumped outside the cache lock.
+        let name = if hit.is_some() {
+            "ffmr_cache_hits_total"
+        } else {
+            "ffmr_cache_misses_total"
+        };
+        ffmr_obs::global().counter(name, &[]).inc();
+        hit
     }
 
     /// Stores an answer, evicting the least-recently-used entry on
@@ -163,21 +173,31 @@ impl FlowCache {
         if self.capacity == 0 {
             return;
         }
-        let mut inner = self.inner.lock();
-        inner.clock += 1;
-        let stamp = inner.clock;
-        if inner.entries.len() >= self.capacity && !inner.entries.contains_key(&key) {
-            if let Some(oldest) = inner
-                .entries
-                .iter()
-                .min_by_key(|(_, (_, touched))| *touched)
-                .map(|(k, _)| k.clone())
-            {
-                inner.entries.remove(&oldest);
-                inner.evictions += 1;
+        let evicted = {
+            let mut inner = self.inner.lock();
+            inner.clock += 1;
+            let stamp = inner.clock;
+            let mut evicted = false;
+            if inner.entries.len() >= self.capacity && !inner.entries.contains_key(&key) {
+                if let Some(oldest) = inner
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, (_, touched))| *touched)
+                    .map(|(k, _)| k.clone())
+                {
+                    inner.entries.remove(&oldest);
+                    inner.evictions += 1;
+                    evicted = true;
+                }
             }
+            inner.entries.insert(key, (answer, stamp));
+            evicted
+        };
+        if evicted {
+            ffmr_obs::global()
+                .counter("ffmr_cache_evictions_total", &[])
+                .inc();
         }
-        inner.entries.insert(key, (answer, stamp));
     }
 
     /// Atomically drops every entry for `dataset` (all epochs). Called
@@ -186,10 +206,19 @@ impl FlowCache {
     /// epoch-in-key already guarantees correctness; this reclaims the
     /// memory.
     pub fn invalidate_dataset(&self, dataset: &str) {
-        let mut inner = self.inner.lock();
-        let before = inner.entries.len();
-        inner.entries.retain(|k, _| k.dataset != dataset);
-        inner.invalidated += (before - inner.entries.len()) as u64;
+        let swept = {
+            let mut inner = self.inner.lock();
+            let before = inner.entries.len();
+            inner.entries.retain(|k, _| k.dataset != dataset);
+            let swept = (before - inner.entries.len()) as u64;
+            inner.invalidated += swept;
+            swept
+        };
+        if swept > 0 {
+            ffmr_obs::global()
+                .counter("ffmr_cache_invalidated_total", &[])
+                .add(swept);
+        }
     }
 
     /// A snapshot of the observability counters.

@@ -127,6 +127,8 @@ impl QueryEngine {
     #[must_use]
     pub fn execute(&self, request: &Message) -> Message {
         let started = Instant::now();
+        let mut span = ffmr_obs::span("query");
+        span.field("verb", &request.head);
         let result = match request.head.as_str() {
             "ping" => Ok(Message::new(status::OK).field("pong", 1)),
             "list" => Ok(self.list()),
@@ -138,13 +140,17 @@ impl QueryEngine {
             "sleep" => self.sleep(request),
             other => Err(format!("unknown request '{other}'")),
         };
-        match result {
+        let response = match result {
             Ok(mut response) => {
                 response.push("elapsed-us", started.elapsed().as_micros());
                 response
             }
             Err(message) => error_response(message),
-        }
+        };
+        span.field("status", &response.head);
+        drop(span);
+        record_query_metrics(&request.head, &response, started.elapsed());
+        response
     }
 
     fn list(&self) -> Message {
@@ -187,6 +193,30 @@ impl QueryEngine {
         response.push("cache-entries", cache.entries);
         response.push("cache-evictions", cache.evictions);
         response.push("cache-invalidated", cache.invalidated);
+        // Refresh the scrape-time gauges, then attach the full registry:
+        // flat `series value` fields by default, or the Prometheus text
+        // exposition as repeated one-line `prom` fields when asked
+        // (values may contain spaces; lines may not contain newlines).
+        let m = ffmr_obs::global();
+        m.gauge("ffmr_cache_entries", &[])
+            .set(i64::try_from(cache.entries).unwrap_or(i64::MAX));
+        for (name, epoch, _, _) in self.store.list() {
+            if let Some(snap) = self.store.get(&name) {
+                m.gauge("ffmr_snapshot_epoch", &[("dataset", &name)])
+                    .set(i64::try_from(epoch).unwrap_or(i64::MAX));
+                m.gauge("ffmr_snapshot_age_seconds", &[("dataset", &name)])
+                    .set(i64::try_from(snap.loaded_at.elapsed().as_secs()).unwrap_or(i64::MAX));
+            }
+        }
+        if request.get("format") == Some("prometheus") {
+            for line in m.render_prometheus().lines() {
+                response.push("prom", line);
+            }
+        } else {
+            for (key, value) in m.render_fields() {
+                response.push(key, value);
+            }
+        }
         Ok(response)
     }
 
@@ -445,6 +475,24 @@ impl QueryEngine {
     }
 }
 
+/// Folds one executed request into the process-wide registry: a per-verb
+/// request counter, a per-verb error counter, and a per-verb/per-solver
+/// latency histogram (solver `-` for verbs that never pick one).
+fn record_query_metrics(verb: &str, response: &Message, elapsed: Duration) {
+    let m = ffmr_obs::global();
+    m.counter("ffmr_requests_total", &[("verb", verb)]).inc();
+    if response.head == status::ERROR {
+        m.counter("ffmr_request_errors_total", &[("verb", verb)])
+            .inc();
+    }
+    let solver = response.get("solver").unwrap_or("-");
+    m.histogram(
+        "ffmr_query_latency_us",
+        &[("solver", solver), ("verb", verb)],
+    )
+    .record_duration(elapsed);
+}
+
 fn render_answer(
     answer: &CachedAnswer,
     kind: QueryKind,
@@ -661,6 +709,37 @@ mod tests {
             assert_eq!(r.head, status::ERROR, "{req:?} → {r:?}");
             assert!(r.get("message").unwrap().contains(needle), "{r:?}");
         }
+    }
+
+    #[test]
+    fn stats_exposes_the_metrics_registry() {
+        let engine = engine_with(two_paths(), EngineConfig::default());
+        let _ = engine.execute(&query("maxflow"));
+        let stats = engine.execute(&Message::new("stats"));
+        assert_eq!(stats.head, status::OK);
+        // Flat registry series ride along with the legacy cache fields.
+        assert!(
+            stats
+                .fields
+                .iter()
+                .any(|(k, _)| k.starts_with("ffmr_query_latency_us{")
+                    && k.contains("verb=\"maxflow\"")),
+            "{stats:?}"
+        );
+        assert!(stats.get("ffmr_cache_entries").is_some());
+        // `format prometheus` carries the text exposition as repeated
+        // one-line `prom` fields.
+        let prom = engine.execute(&Message::new("stats").field("format", "prometheus"));
+        let text = prom.joined_lines("prom");
+        assert!(
+            text.contains("# TYPE ffmr_requests_total counter"),
+            "{text}"
+        );
+        assert!(
+            text.contains("ffmr_snapshot_epoch{dataset=\"g\"}"),
+            "{text}"
+        );
+        assert!(text.contains("ffmr_query_latency_us_count{"), "{text}");
     }
 
     #[test]

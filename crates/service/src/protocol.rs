@@ -110,12 +110,17 @@ impl Message {
     }
 
     /// Appends a field in place.
+    ///
+    /// Keys and values are sanitized in **all** builds: a key containing
+    /// a space or newline, or a value containing a newline, would shift
+    /// every later field of the encoded frame (the format is
+    /// line-oriented with space-delimited keys), so offending characters
+    /// are replaced — space/newline in keys become `-`, newlines in
+    /// values become spaces. A `debug_assert!` alone would let release
+    /// builds emit silently corrupted frames.
     pub fn push(&mut self, key: impl Into<String>, value: impl ToString) {
-        let key = key.into();
-        let value = value.to_string();
-        debug_assert!(!key.contains([' ', '\n']), "field key must be atomic");
-        debug_assert!(!value.contains('\n'), "field value must be one line");
-        self.fields.push((key, value));
+        self.fields
+            .push((sanitize_key(key.into()), sanitize_value(value.to_string())));
     }
 
     /// First value for `key`, if present.
@@ -133,6 +138,20 @@ impl Message {
             .iter()
             .filter(move |(k, _)| k == key)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Joins every repeated `key` field back into one newline-terminated
+    /// text block — the inverse of pushing a multi-line document one
+    /// line at a time (how a `stats` response carries the Prometheus
+    /// exposition as repeated `prom` fields).
+    #[must_use]
+    pub fn joined_lines(&self, key: &str) -> String {
+        let mut out = String::new();
+        for v in self.get_all(key) {
+            out.push_str(v);
+            out.push('\n');
+        }
+        out
     }
 
     /// First value for `key`, parsed.
@@ -187,6 +206,36 @@ impl Message {
     }
 }
 
+/// Keys run to the first space and end at the newline; both characters
+/// (and `\r`, which `lines()`-based decoding would strip) become `-`.
+fn sanitize_key(key: String) -> String {
+    if key.contains([' ', '\n', '\r']) {
+        key.chars()
+            .map(|c| {
+                if matches!(c, ' ' | '\n' | '\r') {
+                    '-'
+                } else {
+                    c
+                }
+            })
+            .collect()
+    } else {
+        key
+    }
+}
+
+/// Values end at the newline; embedded line breaks become spaces.
+fn sanitize_value(value: String) -> String {
+    if value.contains(['\n', '\r']) {
+        value
+            .chars()
+            .map(|c| if matches!(c, '\n' | '\r') { ' ' } else { c })
+            .collect()
+    } else {
+        value
+    }
+}
+
 /// Response status heads.
 pub mod status {
     /// The request succeeded; fields carry the answer.
@@ -236,6 +285,30 @@ mod tests {
         let back = Message::decode(&m.encode()).unwrap();
         let all: Vec<_> = back.get_all("graph").collect();
         assert_eq!(all, vec!["a=/tmp/a.txt", "b=/tmp/b.txt"]);
+    }
+
+    #[test]
+    fn push_sanitizes_hostile_keys_and_values() {
+        // Without sanitization these fields would desync the frame: the
+        // embedded newlines would be parsed as extra field lines and the
+        // spacey key would leak into its value.
+        let mut m = Message::new("ok");
+        m.push("bad key\nhere", "multi\nline\r\nvalue");
+        m.push("tail", "intact");
+        let back = Message::decode(&m.encode()).unwrap();
+        assert_eq!(back.fields.len(), 2, "{back:?}");
+        assert_eq!(back.get("bad-key-here"), Some("multi line  value"));
+        assert_eq!(back.get("tail"), Some("intact"), "later fields survive");
+    }
+
+    #[test]
+    fn joined_lines_reassembles_repeated_fields() {
+        let m = Message::new("ok")
+            .field("prom", "# TYPE a counter")
+            .field("prom", "a 1")
+            .field("other", "x");
+        assert_eq!(m.joined_lines("prom"), "# TYPE a counter\na 1\n");
+        assert_eq!(m.joined_lines("absent"), "");
     }
 
     #[test]

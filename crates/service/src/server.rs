@@ -92,6 +92,11 @@ pub fn serve(
 ) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let local_addr = listener.local_addr()?;
+    let m = ffmr_obs::global();
+    m.gauge("ffmr_workers", &[])
+        .set(i64::try_from(config.workers.max(1)).unwrap_or(i64::MAX));
+    m.gauge("ffmr_queue_capacity", &[])
+        .set(i64::try_from(config.queue_depth.max(1)).unwrap_or(i64::MAX));
     let (queue_tx, queue_rx) = mpsc::sync_channel::<WorkItem>(config.queue_depth.max(1));
     let shared = Arc::new(Shared {
         engine,
@@ -190,6 +195,9 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, conns: &Mutex<Vec<J
         // daemon doesn't accumulate handles.
         conns.retain(|h| !h.is_finished());
         conns.push(handle);
+        ffmr_obs::global()
+            .gauge("ffmr_connections", &[])
+            .set(i64::try_from(conns.len()).unwrap_or(i64::MAX));
     }
 }
 
@@ -247,10 +255,16 @@ fn dispatch(request: &Message, shared: &Arc<Shared>) -> Message {
                 reply: reply_tx,
             };
             match shared.queue.try_send(item) {
-                Ok(()) => reply_rx
-                    .recv()
-                    .unwrap_or_else(|_| error_response("worker dropped the request")),
-                Err(TrySendError::Full(_)) => busy_response(),
+                Ok(()) => {
+                    ffmr_obs::global().gauge("ffmr_queue_depth", &[]).add(1);
+                    reply_rx
+                        .recv()
+                        .unwrap_or_else(|_| error_response("worker dropped the request"))
+                }
+                Err(TrySendError::Full(_)) => {
+                    ffmr_obs::global().counter("ffmr_shed_total", &[]).inc();
+                    busy_response()
+                }
                 Err(TrySendError::Disconnected(_)) => error_response("server is shutting down"),
             }
         }
@@ -267,7 +281,11 @@ fn worker_loop(shared: &Arc<Shared>, queue: &Mutex<Receiver<WorkItem>>) {
         let item = queue.lock().recv_timeout(POLL_INTERVAL);
         match item {
             Ok(WorkItem { request, reply }) => {
+                let m = ffmr_obs::global();
+                m.gauge("ffmr_queue_depth", &[]).sub(1);
+                m.gauge("ffmr_workers_busy", &[]).add(1);
                 let response = shared.engine.execute(&request);
+                m.gauge("ffmr_workers_busy", &[]).sub(1);
                 // A gone receiver just means the connection died.
                 let _ = reply.send(response);
             }

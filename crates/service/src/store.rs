@@ -29,6 +29,8 @@ pub struct Snapshot {
     pub network: FlowNetwork,
     /// Where the graph was read from, when file-backed (reloadable).
     pub source_path: Option<String>,
+    /// When this snapshot was swapped in (drives the epoch-age gauge).
+    pub loaded_at: std::time::Instant,
 }
 
 /// Failure to load or look up a snapshot.
@@ -143,6 +145,7 @@ impl GraphStore {
                 epoch,
                 network,
                 source_path,
+                loaded_at: std::time::Instant::now(),
             }),
         );
         epoch

@@ -10,7 +10,11 @@
 //!       [--workers 4] [--queue 16] [--cache 256] [--mr-threshold 2000]
 //! ffmr query --addr 127.0.0.1:7227 --op maxflow --dataset fb \
 //!       (--source S --sink T | --w N) [--algorithm auto|...] [--timeout-ms N]
+//! ffmr stats --addr 127.0.0.1:7227 [--dataset fb] [--prometheus] [--watch]
 //! ```
+//!
+//! `maxflow` and `serve` accept `--trace-file FILE` to record every span
+//! (FF rounds, MapReduce phases, queries) as one JSON line each.
 //!
 //! With `--w N` the source/sink arguments are ignored and a super
 //! source/sink over `N` high-degree terminals each is attached (the
@@ -35,6 +39,7 @@ fn main() -> ExitCode {
         "maxflow" => run_maxflow(&args[1..]),
         "serve" => serve(&args[1..]),
         "query" => query(&args[1..]),
+        "stats" => stats(&args[1..]),
         "--help" | "-h" => {
             print_help();
             Ok(())
@@ -65,11 +70,32 @@ fn print_help() {
          \x20          [--nodes N] [--reducers R] [--timeout-ms N]\n\
          \x20 query    --addr HOST:PORT --op maxflow|mincut|stats|list|load|reload|\n\
          \x20          ping|shutdown [--dataset D] (--source S --sink T | --w N)\n\
-         \x20          [--algorithm auto|...] [--seed S] [--timeout-ms N] [--no-cache]"
+         \x20          [--algorithm auto|...] [--seed S] [--timeout-ms N] [--no-cache]\n\
+         \x20 stats    [--addr HOST:PORT] [--dataset D] [--prometheus] [--watch]\n\
+         \x20          [--interval-ms N]\n\n\
+         observability:\n\
+         \x20 maxflow/serve also accept --trace-file FILE to write one JSON\n\
+         \x20 line per span (FF rounds, MapReduce phases, queries);\n\
+         \x20 `stats --prometheus` prints the text exposition for scraping."
     );
 }
 
-/// Pulls `--name value` pairs out of an argument list.
+/// Installs the JSONL span sink when `--trace-file` was given.
+fn install_trace_file(opts: &Options) -> Result<(), String> {
+    if let Some(path) = opts.get("trace-file") {
+        let sink = ffmr::ffmr_obs::FileSink::create(path)
+            .map_err(|e| format!("cannot create trace file {path}: {e}"))?;
+        ffmr::ffmr_obs::set_sink(Some(std::sync::Arc::new(sink)));
+        eprintln!("tracing spans to {path}");
+    }
+    Ok(())
+}
+
+/// Options that stand alone (no value argument follows them).
+const FLAGS: &[&str] = &["prometheus", "watch", "no-cache"];
+
+/// Pulls `--name value` pairs (and bare `--flag`s) out of an argument
+/// list.
 struct Options {
     pairs: Vec<(String, String)>,
 }
@@ -82,10 +108,18 @@ impl Options {
             let Some(name) = key.strip_prefix("--") else {
                 return Err(format!("expected --option, got '{key}'"));
             };
+            if FLAGS.contains(&name) {
+                pairs.push((name.to_string(), "1".to_string()));
+                continue;
+            }
             let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
             pairs.push((name.to_string(), value.clone()));
         }
         Ok(Self { pairs })
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.get(name).is_some()
     }
 
     fn get(&self, name: &str) -> Option<&str> {
@@ -182,6 +216,7 @@ fn info(args: &[String]) -> Result<(), String> {
 
 fn run_maxflow(args: &[String]) -> Result<(), String> {
     let opts = Options::parse(args)?;
+    install_trace_file(&opts)?;
     let base = load(opts.required("input")?)?;
     let algorithm = opts.get("algorithm").unwrap_or("ff5").to_string();
     let nodes: usize = opts.parsed("nodes", 20)?;
@@ -262,6 +297,7 @@ fn run_maxflow(args: &[String]) -> Result<(), String> {
 fn serve(args: &[String]) -> Result<(), String> {
     use ffmr::ffmr_service::{engine, server, GraphStore, QueryEngine};
     let opts = Options::parse(args)?;
+    install_trace_file(&opts)?;
     let listen = opts.get("listen").unwrap_or("127.0.0.1:7227").to_string();
 
     let store = std::sync::Arc::new(GraphStore::new());
@@ -331,6 +367,7 @@ fn query(args: &[String]) -> Result<(), String> {
         "no-cache",
         "path",
         "ms",
+        "format",
     ] {
         if let Some(v) = opts.get(key) {
             request.push(key, v);
@@ -347,5 +384,48 @@ fn query(args: &[String]) -> Result<(), String> {
         Ok(())
     } else {
         Err(format!("server replied '{}'", response.head))
+    }
+}
+
+/// Scrapes the daemon's `stats` verb: flat `series value` lines by
+/// default, the Prometheus text exposition with `--prometheus`, and a
+/// periodic refresh with `--watch`.
+fn stats(args: &[String]) -> Result<(), String> {
+    use ffmr::ffmr_service::{Client, Message};
+    let opts = Options::parse(args)?;
+    let addr = opts.get("addr").unwrap_or("127.0.0.1:7227");
+    let prometheus = opts.has("prometheus");
+    let watch = opts.has("watch");
+    let interval = std::time::Duration::from_millis(opts.parsed("interval-ms", 2_000u64)?.max(100));
+
+    let mut client = Client::connect(addr).map_err(|e| format!("cannot reach {addr}: {e}"))?;
+    loop {
+        let mut request = Message::new("stats");
+        if let Some(dataset) = opts.get("dataset") {
+            request.push("dataset", dataset);
+        }
+        if prometheus {
+            request.push("format", "prometheus");
+        }
+        let response = client.request(&request).map_err(|e| e.to_string())?;
+        if response.head != "ok" {
+            return Err(format!(
+                "server replied '{}': {}",
+                response.head,
+                response.get("message").unwrap_or("")
+            ));
+        }
+        if prometheus {
+            print!("{}", response.joined_lines("prom"));
+        } else {
+            for (k, v) in &response.fields {
+                println!("{k} {v}");
+            }
+        }
+        if !watch {
+            return Ok(());
+        }
+        println!("---");
+        std::thread::sleep(interval);
     }
 }

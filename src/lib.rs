@@ -11,6 +11,9 @@
 //!   max-flow variants, MR-BFS and the MR push–relabel baseline.
 //! * [`ffmr_service`] — `ffmrd`, the resident query daemon: snapshot
 //!   store, solver auto-selection, flow cache, TCP protocol.
+//! * [`ffmr_obs`] — zero-dependency metrics registry (counters, gauges,
+//!   latency histograms) and JSONL span tracing, wired through the
+//!   runtime, the FF driver, and the daemon.
 //!
 //! # Quickstart
 //!
@@ -40,6 +43,7 @@
 #![forbid(unsafe_code)]
 
 pub use ffmr_core;
+pub use ffmr_obs;
 pub use ffmr_service;
 pub use mapreduce;
 pub use maxflow;
