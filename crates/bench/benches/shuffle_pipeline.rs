@@ -1,0 +1,44 @@
+//! Bench: the MR runtime's intermediate-data plane (map-side sorted
+//! spills → parallel fetch → reduce-side k-way merge) on the Fig. 7
+//! workload, at default host parallelism.
+//!
+//! `fig7_shuffle` measures *simulated* shuffle volume at smoke scale;
+//! this group measures *host wall time* of the same FF runs at the
+//! `small` scale, where the intermediate-data plane dominates. Run with
+//! `FFMR_BENCH_JSON=1` to fold the `ffmr_mr_*` counters (spill bytes,
+//! merge fan-in, shuffle bytes) into one machine-readable line per
+//! entry — `BENCH_shuffle.json` at the workspace root records the
+//! before/after numbers for this group across runtime changes. Set
+//! `FFMR_BENCH_SCALE=smoke` to drop to smoke scale (the CI smoke step
+//! does, to exercise the pipeline and metric names cheaply).
+
+use ffmr_bench::experiments::run_variant;
+use ffmr_bench::harness::{criterion_group, criterion_main, Criterion};
+use ffmr_bench::{FbFamily, Scale};
+use ffmr_core::FfVariant;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scale = match std::env::var("FFMR_BENCH_SCALE").as_deref() {
+        Ok("smoke") => Scale::smoke(),
+        _ => Scale::small(),
+    };
+    let family = FbFamily::generate(scale);
+    let st = family.subset_with_terminals(0, scale.w);
+    let mut group = c.benchmark_group("shuffle_pipeline");
+    group.sample_size(5);
+    // FF1 shuffles the most (every fragment, every round): the stress
+    // case for the sort/merge pipeline. FF5 is the production variant.
+    for (label, variant) in [("FF1", FfVariant::ff1()), ("FF5", FfVariant::ff5())] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let (run, _) = run_variant(black_box(&st), variant, 20, &scale);
+                black_box(run.max_flow_value)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

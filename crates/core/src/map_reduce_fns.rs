@@ -184,6 +184,10 @@ impl Reducer<u64, VertexValue, u64, VertexValue> for FfReducer {
         ctx: &mut ReduceContext<'_, u64, VertexValue>,
     ) {
         let u = *u;
+        // The runtime's merge delivers schimmy records first, then map
+        // tasks in index order — so in schimmy mode the master is the
+        // first value. Scanning the whole group keeps this independent of
+        // that ordering guarantee (a master may arrive anywhere in FF1/2).
         let mut master: Option<VertexValue> = None;
         let mut frag_source: Vec<ExcessPath> = Vec::new();
         let mut frag_sink: Vec<ExcessPath> = Vec::new();

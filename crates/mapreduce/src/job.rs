@@ -55,7 +55,10 @@ where
 }
 
 /// The `REDUCE` function of a job. Values arrive grouped by key, in a
-/// deterministic order (map-task order, then emit order).
+/// deterministic order: schimmy side-input records first, then each map
+/// task's records in task-index order, each task's in emission order.
+/// (Keys arrive in ascending order — the runtime k-way merges the map
+/// tasks' key-sorted spill runs rather than re-sorting the partition.)
 pub trait Reducer<KM, VM, KO, VO>: Send + Sync
 where
     KO: Datum,
@@ -393,6 +396,12 @@ where
     VM: Datum,
 {
     /// Adds a combiner, run per map task over its local output groups.
+    ///
+    /// The map task sorts its output by key first, so the combiner sees
+    /// each distinct key exactly once, in ascending order, with values in
+    /// emission order. Combiners may emit any keys (not just the group's);
+    /// the runtime re-sorts afterwards only if the emitted run is out of
+    /// order, preserving the spill's key-sorted invariant either way.
     #[must_use]
     pub fn combine<C>(mut self, combiner: C) -> Self
     where

@@ -64,8 +64,9 @@
 //! # Determinism
 //!
 //! Results are deterministic regardless of thread count: partitioning is
-//! by key hash and reducers sort their input groups, so the same job on
-//! the same input produces byte-identical output. *Side effects* outside
+//! by key hash, map tasks emit key-sorted spill runs, and reducers k-way
+//! merge those runs in map-task order (schimmy side input first), so the
+//! same job on the same input produces byte-identical output. *Side effects* outside
 //! the dataflow — the invocation order of stateful [`Service`] calls
 //! (e.g. FF2's `aug_proc`) and the interleaving of counter updates — do
 //! depend on scheduling. For fully deterministic service-call ordering
@@ -102,6 +103,6 @@ pub use dfs::Dfs;
 pub use error::MrError;
 pub use job::{JobBuilder, MapContext, Mapper, ReduceContext, Reducer};
 pub use record::{Datum, KeyDatum};
-pub use runtime::{FailurePolicy, MrRuntime};
+pub use runtime::{partition_of, FailurePolicy, MrRuntime};
 pub use service::{Service, ServiceHandle};
 pub use stats::JobStats;

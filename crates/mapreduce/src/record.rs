@@ -99,6 +99,9 @@ impl Datum for String {
             .map(str::to_owned)
             .map_err(|_| DecodeError::new("invalid utf-8 string"))
     }
+    fn encoded_len(&self) -> usize {
+        crate::encode::varint_len(self.len() as u64) + self.len()
+    }
 }
 
 impl Datum for Vec<u8> {
@@ -153,6 +156,10 @@ impl<T: Datum> Datum for Vec<T> {
         }
         Ok(out)
     }
+    fn encoded_len(&self) -> usize {
+        crate::encode::varint_len(self.len() as u64)
+            + self.iter().map(Datum::encoded_len).sum::<usize>()
+    }
 }
 
 impl<T: Datum> Datum for Option<T> {
@@ -187,30 +194,69 @@ impl<T: Datum> Datum for Option<T> {
 /// Encodes one `(key, value)` record with a length-prefixed key so records
 /// can be scanned without knowing the value type.
 pub(crate) fn encode_record<K: Datum, V: Datum>(key: &K, value: &V, buf: &mut Vec<u8>) {
-    let mut kbuf = Vec::new();
-    key.encode(&mut kbuf);
-    put_bytes(&kbuf, buf);
-    let mut vbuf = Vec::new();
-    value.encode(&mut vbuf);
-    put_bytes(&vbuf, buf);
+    put_varint(key.encoded_len() as u64, buf);
+    key.encode(buf);
+    put_varint(value.encoded_len() as u64, buf);
+    value.encode(buf);
 }
 
 /// Decodes one record written by [`encode_record`].
 pub(crate) fn decode_record<K: Datum, V: Datum>(input: &mut &[u8]) -> Result<(K, V), DecodeError> {
-    let mut kraw = get_bytes(input)?;
-    let key = K::decode(&mut kraw)?;
-    if !kraw.is_empty() {
-        return Err(DecodeError::new("trailing key bytes"));
+    let (kraw, vraw) = split_record(input)?;
+    Ok((decode_exact(kraw, "key")?, decode_exact(vraw, "value")?))
+}
+
+/// Splits the next record's raw encoded key and value byte runs off
+/// `input` without decoding either — the spill-merge path uses this to
+/// walk record frames while only the *keys* it compares get decoded.
+pub(crate) fn split_record<'a>(input: &mut &'a [u8]) -> Result<(&'a [u8], &'a [u8]), DecodeError> {
+    let kraw = get_bytes(input)?;
+    let vraw = get_bytes(input)?;
+    Ok((kraw, vraw))
+}
+
+/// Decodes a datum from its raw (already length-stripped) slot, rejecting
+/// trailing garbage. `what` names the slot for the error message.
+pub(crate) fn decode_exact<T: Datum>(mut raw: &[u8], what: &str) -> Result<T, DecodeError> {
+    let v = T::decode(&mut raw)?;
+    if !raw.is_empty() {
+        return Err(DecodeError::new(format!("trailing {what} bytes")));
     }
-    let mut vraw = get_bytes(input)?;
-    let value = V::decode(&mut vraw)?;
-    if !vraw.is_empty() {
-        return Err(DecodeError::new("trailing value bytes"));
+    Ok(v)
+}
+
+/// One key-sorted run of pre-encoded records — the unit of the map→reduce
+/// spill format. Each map task writes one run per reduce partition
+/// (records in key order, framed by [`encode_record`]); reduce tasks
+/// k-way-merge the runs instead of re-sorting the partition. `data.len()`
+/// is the run's exact wire size, so the shuffle accounts bytes per spill
+/// rather than iterating records.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SpillRun {
+    /// Encoded records, back to back, in key order.
+    pub data: Vec<u8>,
+    /// Number of records in `data`.
+    pub records: u64,
+}
+
+impl SpillRun {
+    /// Appends one record (caller upholds the key-order invariant).
+    pub fn push<K: Datum, V: Datum>(&mut self, key: &K, value: &V) {
+        encode_record(key, value, &mut self.data);
+        self.records += 1;
     }
-    Ok((key, value))
+
+    /// The run's exact wire size — its contribution to spill and shuffle
+    /// byte accounting.
+    pub fn bytes(&self) -> u64 {
+        self.data.len() as u64
+    }
 }
 
 /// Wire size of one record as stored in the DFS and counted by the shuffle.
+/// Production accounting now sums spill-run byte lengths instead; this is
+/// kept to assert the two agree.
+#[cfg(test)]
 pub(crate) fn record_len<K: Datum, V: Datum>(key: &K, value: &V) -> usize {
     let kl = key.encoded_len();
     let vl = value.encoded_len();

@@ -1,8 +1,17 @@
 //! The job executor: really runs map → shuffle → reduce on host threads,
 //! while pricing the job against the cluster cost model.
+//!
+//! The intermediate-data plane is Hadoop's sort/merge pipeline: map tasks
+//! emit key-sorted, pre-encoded spill runs (one per reduce partition,
+//! sorted inside the parallel map phase), the shuffle transposes spills
+//! to per-reducer fetch lists and accounts bytes per spill, and reduce
+//! tasks k-way merge the sorted runs — schimmy side input first, then
+//! map-task index order — instead of re-sorting the whole partition. See
+//! DESIGN.md § "Shuffle pipeline" for the format and the determinism
+//! contract.
 
 use std::collections::hash_map::DefaultHasher;
-use std::collections::VecDeque;
+use std::collections::{BinaryHeap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
@@ -14,9 +23,9 @@ use std::sync::Arc;
 use crate::cluster::{ClusterConfig, PhaseCost, TaskCost};
 use crate::counters::Counters;
 use crate::dfs::{Dfs, DfsFile, InputSplit, Partition};
-use crate::error::MrError;
+use crate::error::{DecodeError, MrError};
 use crate::job::{Job, MapContext, ReduceContext};
-use crate::record::{encode_record, record_len, Datum, KeyDatum};
+use crate::record::{decode_exact, encode_record, split_record, Datum, KeyDatum, SpillRun};
 use crate::stats::JobStats;
 
 /// An environment-fault injector: `(phase, task, attempt) -> crash?`.
@@ -210,20 +219,20 @@ impl MrRuntime {
         let combiner = &job.combiner;
         let services = &job.services;
 
-        struct MapResult<KM, VM> {
-            // Per reduce partition: records and their wire sizes.
-            by_partition: Vec<Vec<(KM, VM, usize)>>,
+        struct MapResult {
+            // Per reduce partition: one key-sorted, pre-encoded spill run.
+            spills: Vec<SpillRun>,
             input_records: u64,
             output_records: u64,
             cost: TaskCost,
         }
 
-        let map_results: Vec<(MapResult<KM, VM>, u32)> = run_parallel(
+        let map_results: Vec<(MapResult, u32)> = run_parallel(
             "map",
             self.worker_threads,
             &self.failure_policy,
             splits,
-            |task_idx, split| -> Result<MapResult<KM, VM>, MrError> {
+            |task_idx, split| -> Result<MapResult, MrError> {
                 let records: Vec<(KI, VI)> = split.decode_all()?;
                 let input_records = records.len() as u64;
                 let mut ctx = MapContext::new(&counters, services, task_idx);
@@ -236,32 +245,45 @@ impl MrRuntime {
                 ctx.merge_counters_into(&counters);
                 let mut out = ctx.out;
 
-                // Optional combiner: group task-local output by key.
+                // Map-side sort (Hadoop's sort-at-map): the run is ordered
+                // here, inside the already-parallel map phase; the combiner
+                // and the reduce-side k-way merge both consume sorted runs.
+                // The sort is stable, so equal keys keep emission order.
+                out.sort_by(|a, b| a.0.cmp(&b.0));
+
+                // Optional combiner, fed key groups off the sorted run.
                 if let Some(comb) = combiner {
-                    out.sort_by(|a, b| a.0.cmp(&b.0));
                     let mut cctx = MapContext::new(&counters, services, task_idx);
+                    let mut group: Vec<VM> = Vec::new(); // reused across groups
                     let mut it = out.into_iter().peekable();
                     while let Some((key, first)) = it.next() {
-                        let mut group = vec![first];
+                        group.push(first);
                         while it.peek().is_some_and(|(k, _)| *k == key) {
                             group.push(it.next().expect("peeked").1);
                         }
-                        comb(&key, &mut group.into_iter(), &mut cctx);
+                        // Dropping the drain clears the buffer (allocation
+                        // kept) even if the combiner consumed only part.
+                        comb(&key, &mut group.drain(..), &mut cctx);
                     }
                     allocs += cctx.allocs();
                     cctx.merge_counters_into(&counters);
                     out = cctx.out;
+                    // Combiners normally emit per visited group, i.e.
+                    // already in key order; re-establish the invariant
+                    // only when one emitted out of order.
+                    if !is_key_sorted(&out) {
+                        out.sort_by(|a, b| a.0.cmp(&b.0));
+                    }
                 }
 
-                // Partition and size the (possibly combined) output.
-                let mut by_partition: Vec<Vec<(KM, VM, usize)>> =
-                    (0..reducers).map(|_| Vec::new()).collect();
-                let mut spill_bytes = 0u64;
-                for (k, v) in out {
-                    let len = record_len(&k, &v);
-                    spill_bytes += len as u64;
-                    by_partition[partition_of(&k, reducers)].push((k, v, len));
+                // Partition the sorted run into per-reducer spills; each
+                // spill inherits the key order, so its byte run is ready
+                // to merge without any reduce-side sort.
+                let mut spills: Vec<SpillRun> = vec![SpillRun::default(); reducers];
+                for (k, v) in &out {
+                    spills[partition_of(k, reducers)].push(k, v);
                 }
+                let spill_bytes: u64 = spills.iter().map(SpillRun::bytes).sum();
 
                 let cost = TaskCost {
                     read_bytes: split.data.len() as u64 + side_bytes,
@@ -270,7 +292,7 @@ impl MrRuntime {
                     allocs,
                 };
                 Ok(MapResult {
-                    by_partition,
+                    spills,
                     input_records,
                     output_records,
                     cost,
@@ -282,6 +304,7 @@ impl MrRuntime {
         let mut map_input_records = 0u64;
         let mut map_output_records = 0u64;
         let mut input_bytes = 0u64;
+        let mut spilled_bytes = 0u64;
         let mut failed_attempts = 0u64;
         for (r, attempts) in &map_results {
             // Failed attempts occupied a slot for about as long as the
@@ -291,39 +314,27 @@ impl MrRuntime {
             map_input_records += r.input_records;
             map_output_records += r.output_records;
             input_bytes += r.cost.read_bytes - side_bytes;
+            spilled_bytes += r.cost.write_bytes; // exactly the spill bytes
         }
         let map_tasks = map_results.len();
         drop(map_span);
 
         // ------------------------------------------------- shuffle
+        // Transpose map outputs into each reducer's fetch list: pure
+        // buffer moves, O(map_tasks x reducers), no per-record work.
+        // Empty runs are kept so a fetch list's position i is always map
+        // task i (the reduce task derives cross-node traffic from it).
+        // Byte accounting and the sorted-run merge happen inside the
+        // parallel reduce tasks below — the per-reducer "fetch".
         let shuffle_span = ffmr_obs::span("mr.shuffle");
-        // Route every intermediate record to its reduce partition, counting
-        // total fetched bytes (Hadoop's reduce-shuffle-bytes) and the subset
-        // that crosses node boundaries (network time).
-        let mut groups_in: Vec<Vec<(KM, VM)>> = (0..reducers).map(|_| Vec::new()).collect();
-        let mut partition_bytes: Vec<u64> = vec![0; reducers];
-        let mut shuffle_bytes = 0u64;
-        let mut cross_node_bytes = 0u64;
-        for (task_idx, (result, _)) in map_results.into_iter().enumerate() {
-            let from_node = self.cluster.map_node(task_idx);
-            for (p, records) in result.by_partition.into_iter().enumerate() {
-                let to_node = self.cluster.reduce_node(p);
-                for (k, v, len) in records {
-                    shuffle_bytes += len as u64;
-                    partition_bytes[p] += len as u64;
-                    if from_node != to_node {
-                        cross_node_bytes += len as u64;
-                    }
-                    groups_in[p].push((k, v));
-                }
+        let mut fetches: Vec<Vec<SpillRun>> = (0..reducers)
+            .map(|_| Vec::with_capacity(map_tasks))
+            .collect();
+        for (result, _) in map_results {
+            for (p, spill) in result.spills.into_iter().enumerate() {
+                fetches[p].push(spill);
             }
         }
-
-        let mb = 1024.0 * 1024.0;
-        let net_agg = self.cluster.net_mb_per_s * self.cluster.nodes as f64;
-        let disk_agg = self.cluster.disk_mb_per_s * self.cluster.nodes as f64;
-        let shuffle_seconds = cross_node_bytes as f64 / mb / net_agg
-            + self.cluster.sort_factor * shuffle_bytes as f64 / mb / disk_agg;
         drop(shuffle_span);
 
         // ------------------------------------------------- reduce phase
@@ -354,38 +365,63 @@ impl MrRuntime {
             output_records: u64,
             cost: TaskCost,
             schimmy_bytes: u64,
+            fetched_bytes: u64,
+            cross_node_bytes: u64,
+            spill_runs: u64,
+            merge_fanin: u64,
         }
-
-        let reduce_inputs: Vec<(Vec<(KM, VM)>, u64)> = groups_in
-            .into_iter()
-            .zip(partition_bytes.iter().copied())
-            .collect();
 
         let reduce_results: Vec<(ReduceResult, u32)> = run_parallel(
             "reduce",
             self.worker_threads,
             &self.failure_policy,
-            reduce_inputs,
-            |r, (mut records, fetched_bytes)| -> Result<ReduceResult, MrError> {
-                // Stable sort groups equal keys while preserving map-task
-                // order within a group (deterministic value order).
-                records.sort_by(|a, b| a.0.cmp(&b.0));
-                let consumed = records.len() as u64;
-
-                let (schimmy_records, schimmy_bytes): (Vec<(KM, VM)>, u64) = match schimmy_file {
-                    Some(f) => {
-                        let part = &f.partitions[r];
-                        let mut recs: Vec<(KM, VM)> = part.decode_all()?;
-                        recs.sort_by(|a, b| a.0.cmp(&b.0));
-                        (recs, part.data.len() as u64)
+            fetches,
+            |r, spills: Vec<SpillRun>| -> Result<ReduceResult, MrError> {
+                // The fetch: account every spill from its per-run size
+                // prefix (Hadoop's reduce-shuffle-bytes and the cross-node
+                // subset) — no per-record iteration.
+                let to_node = self.cluster.reduce_node(r);
+                let mut fetched_bytes = 0u64;
+                let mut cross_node_bytes = 0u64;
+                let mut consumed = 0u64;
+                let mut spill_runs = 0u64;
+                for (map_idx, s) in spills.iter().enumerate() {
+                    fetched_bytes += s.bytes();
+                    consumed += s.records;
+                    if s.records > 0 {
+                        spill_runs += 1;
+                        if self.cluster.map_node(map_idx) != to_node {
+                            cross_node_bytes += s.bytes();
+                        }
                     }
-                    None => (Vec::new(), 0),
-                };
+                }
+
+                // Schimmy: the matching partition of a previous output is
+                // one more sorted run in the merge heap (rank 0, so its
+                // values come first within a key group). Already-sorted
+                // partitions — the common case, since reduce outputs are
+                // written in key order — merge straight off their encoded
+                // bytes; unsorted ones fall back to decode + stable sort.
+                let (schimmy_run, schimmy_bytes): (Option<RunCursor<'_, KM, VM>>, u64) =
+                    match schimmy_file {
+                        Some(f) => {
+                            let part = &f.partitions[r];
+                            let cursor = if encoded_keys_sorted::<KM>(&part.data)? {
+                                RunCursor::from_encoded(0, &part.data)?
+                            } else {
+                                let mut recs: Vec<(KM, VM)> = part.decode_all()?;
+                                recs.sort_by(|a, b| a.0.cmp(&b.0));
+                                RunCursor::from_owned(0, recs)
+                            };
+                            (cursor, part.data.len() as u64)
+                        }
+                        None => (None, 0),
+                    };
 
                 let mut ctx = ReduceContext::new(&counters, services, r);
-                merge_reduce(schimmy_records, records, |key, values| {
+                let merge_fanin = merge_sorted_runs(schimmy_run, &spills, |key, values| {
                     reducer.reduce(key, values, &mut ctx);
-                });
+                })?;
                 ctx.merge_counters_into(&counters);
 
                 let output_records = ctx.out.len() as u64;
@@ -404,21 +440,30 @@ impl MrRuntime {
                     partition: Partition {
                         data,
                         records: output_records,
-                        home_node: self.cluster.reduce_node(r),
+                        home_node: to_node,
                     },
                     output_records,
                     cost,
                     schimmy_bytes,
+                    fetched_bytes,
+                    cross_node_bytes,
+                    spill_runs,
+                    merge_fanin,
                 })
             },
         )?;
 
         job.services.end_round();
 
+        let metrics = ffmr_obs::global();
         let mut reduce_phase = PhaseCost::new();
         let mut reduce_output_records = 0u64;
         let mut output_bytes = 0u64;
         let mut schimmy_bytes = 0u64;
+        let mut shuffle_bytes = 0u64;
+        let mut cross_node_bytes = 0u64;
+        let mut spill_runs = 0u64;
+        let mut merge_fanin_max = 0u64;
         let mut partitions = Vec::with_capacity(reducers);
         for (r, attempts) in reduce_results {
             reduce_phase.push_task(r.cost.seconds(&self.cluster) * f64::from(attempts));
@@ -426,11 +471,24 @@ impl MrRuntime {
             reduce_output_records += r.output_records;
             output_bytes += r.partition.data.len() as u64;
             schimmy_bytes += r.schimmy_bytes;
+            shuffle_bytes += r.fetched_bytes;
+            cross_node_bytes += r.cross_node_bytes;
+            spill_runs += r.spill_runs;
+            merge_fanin_max = merge_fanin_max.max(r.merge_fanin);
+            metrics
+                .histogram("ffmr_mr_merge_fanin", &[])
+                .record(r.merge_fanin);
             partitions.push(r.partition);
         }
         let reduce_tasks = partitions.len();
         self.dfs.insert_file(&cfg.output, DfsFile { partitions })?;
         drop(reduce_span);
+
+        let mb = 1024.0 * 1024.0;
+        let net_agg = self.cluster.net_mb_per_s * self.cluster.nodes as f64;
+        let disk_agg = self.cluster.disk_mb_per_s * self.cluster.nodes as f64;
+        let shuffle_seconds = cross_node_bytes as f64 / mb / net_agg
+            + self.cluster.sort_factor * shuffle_bytes as f64 / mb / disk_agg;
 
         // Replication traffic for the extra DFS copies.
         let replication_seconds = output_bytes as f64
@@ -449,7 +507,10 @@ impl MrRuntime {
             name: cfg.name,
             map_input_records,
             map_output_records,
-            map_output_bytes: shuffle_bytes,
+            map_output_bytes: spilled_bytes,
+            spilled_bytes,
+            spill_runs,
+            merge_fanin_max,
             shuffle_bytes,
             reduce_output_records,
             output_bytes,
@@ -481,6 +542,10 @@ fn fold_job_metrics(stats: &JobStats) {
         .add(stats.map_output_records);
     m.counter("ffmr_mr_shuffle_bytes_total", &[])
         .add(stats.shuffle_bytes);
+    m.counter("ffmr_mr_spill_bytes_total", &[])
+        .add(stats.spilled_bytes);
+    m.counter("ffmr_mr_spill_runs_total", &[])
+        .add(stats.spill_runs);
     m.counter("ffmr_mr_reduce_output_records_total", &[])
         .add(stats.reduce_output_records);
     m.counter("ffmr_mr_output_bytes_total", &[])
@@ -502,44 +567,173 @@ fn fold_job_metrics(stats: &JobStats) {
 }
 
 /// Stable hash partitioner (deterministic across runs and platforms for a
-/// given std release; FF only relies on within-run stability).
-pub(crate) fn partition_of<K: Hash>(key: &K, partitions: usize) -> usize {
+/// given std release; FF only relies on within-run stability). Public so
+/// schimmy side inputs — which must be hash-partitioned the same way as
+/// the shuffle — can be prepared outside the runtime.
+pub fn partition_of<K: Hash>(key: &K, partitions: usize) -> usize {
     let mut h = DefaultHasher::new();
     key.hash(&mut h);
     (h.finish() % partitions as u64) as usize
 }
 
-/// Merges key-sorted schimmy records with key-sorted shuffled records and
-/// invokes `f` once per distinct key, schimmy values first.
-fn merge_reduce<K: Ord, V>(
-    schimmy: Vec<(K, V)>,
-    shuffled: Vec<(K, V)>,
-    mut f: impl FnMut(&K, &mut dyn Iterator<Item = V>),
-) {
-    let mut a = schimmy.into_iter().peekable();
-    let mut b = shuffled.into_iter().peekable();
-    loop {
-        let take_a = match (a.peek(), b.peek()) {
-            (None, None) => return,
-            (Some(_), None) => true,
-            (None, Some(_)) => false,
-            (Some((ka, _)), Some((kb, _))) => ka <= kb,
-        };
-        let (key, first) = if take_a {
-            a.next().expect("peeked")
-        } else {
-            b.next().expect("peeked")
-        };
-        let mut values = Vec::new();
-        values.push(first);
-        while a.peek().is_some_and(|(k, _)| *k == key) {
-            values.push(a.next().expect("peeked").1);
+/// Whether a run of records is already in non-decreasing key order.
+fn is_key_sorted<K: Ord, V>(items: &[(K, V)]) -> bool {
+    items.windows(2).all(|w| w[0].0 <= w[1].0)
+}
+
+/// Scans an encoded run's keys (values stay untouched) and reports
+/// whether they are in non-decreasing order — the cheap pre-check that
+/// lets a schimmy partition merge straight off its bytes.
+fn encoded_keys_sorted<K: KeyDatum>(mut data: &[u8]) -> Result<bool, DecodeError> {
+    let mut prev: Option<K> = None;
+    while !data.is_empty() {
+        let (kraw, _vraw) = split_record(&mut data)?;
+        let key: K = decode_exact(kraw, "key")?;
+        if prev.is_some_and(|p| p > key) {
+            return Ok(false);
         }
-        while b.peek().is_some_and(|(k, _)| *k == key) {
-            values.push(b.next().expect("peeked").1);
-        }
-        f(&key, &mut values.into_iter());
+        prev = Some(key);
     }
+    Ok(true)
+}
+
+/// One key-sorted input run staged in the reduce-side merge heap.
+///
+/// The current key is decoded once per record and *borrowed* for every
+/// heap comparison; for encoded runs the value stays raw bytes until its
+/// group is consumed, so comparisons never pay decode costs.
+struct RunCursor<'a, K, V> {
+    /// Tie-break on equal keys: 0 = schimmy, then 1 + map-task index.
+    /// Combined with per-run stable sorting, this reproduces — byte for
+    /// byte — the value order of a stable full-partition sort (schimmy
+    /// first, then map-task order, then emission order).
+    rank: usize,
+    key: K,
+    tail: RunTail<'a, K, V>,
+}
+
+enum RunTail<'a, K, V> {
+    /// A pre-encoded spill (or sorted schimmy partition) byte run.
+    Encoded { value: &'a [u8], rest: &'a [u8] },
+    /// An owned, already-decoded run (unsorted-schimmy fallback).
+    Owned {
+        value: V,
+        rest: std::vec::IntoIter<(K, V)>,
+    },
+}
+
+impl<'a, K: KeyDatum, V: Datum> RunCursor<'a, K, V> {
+    /// Opens a cursor over an encoded run; `None` if the run is empty.
+    fn from_encoded(rank: usize, mut data: &'a [u8]) -> Result<Option<Self>, DecodeError> {
+        if data.is_empty() {
+            return Ok(None);
+        }
+        let (kraw, vraw) = split_record(&mut data)?;
+        Ok(Some(Self {
+            rank,
+            key: decode_exact(kraw, "key")?,
+            tail: RunTail::Encoded {
+                value: vraw,
+                rest: data,
+            },
+        }))
+    }
+
+    /// Opens a cursor over a decoded, key-sorted run.
+    fn from_owned(rank: usize, records: Vec<(K, V)>) -> Option<Self> {
+        let mut rest = records.into_iter();
+        let (key, value) = rest.next()?;
+        Some(Self {
+            rank,
+            key,
+            tail: RunTail::Owned { value, rest },
+        })
+    }
+
+    /// Consumes the current record, returning its key, decoded value and
+    /// the advanced cursor (`None` at end of run).
+    fn consume(self) -> Result<(K, V, Option<Self>), DecodeError> {
+        match self.tail {
+            RunTail::Encoded { value, rest } => {
+                let v: V = decode_exact(value, "value")?;
+                let next = Self::from_encoded(self.rank, rest)?;
+                Ok((self.key, v, next))
+            }
+            RunTail::Owned { value, mut rest } => {
+                let next = rest.next().map(|(key, v)| Self {
+                    rank: self.rank,
+                    key,
+                    tail: RunTail::Owned { value: v, rest },
+                });
+                Ok((self.key, value, next))
+            }
+        }
+    }
+}
+
+// The heap orders by (key, rank), inverted so `BinaryHeap` pops the
+// minimum. Only `key` and `rank` participate — values never do.
+impl<K: KeyDatum, V> PartialEq for RunCursor<'_, K, V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.rank == other.rank && self.key == other.key
+    }
+}
+impl<K: KeyDatum, V> Eq for RunCursor<'_, K, V> {}
+impl<K: KeyDatum, V> PartialOrd for RunCursor<'_, K, V> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<K: KeyDatum, V> Ord for RunCursor<'_, K, V> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .key
+            .cmp(&self.key)
+            .then_with(|| other.rank.cmp(&self.rank))
+    }
+}
+
+/// K-way-merges key-sorted runs — the optional schimmy cursor (rank 0)
+/// plus one spill per map task, visited in map-task index order — and
+/// invokes `f` once per distinct key with the grouped values. The group
+/// buffer is drained and reused across keys, never reallocated. Returns
+/// the merge fan-in (number of non-empty runs, schimmy included).
+fn merge_sorted_runs<K: KeyDatum, V: Datum>(
+    schimmy: Option<RunCursor<'_, K, V>>,
+    spills: &[SpillRun],
+    mut f: impl FnMut(&K, &mut dyn Iterator<Item = V>),
+) -> Result<u64, DecodeError> {
+    let mut heap: BinaryHeap<RunCursor<'_, K, V>> = BinaryHeap::with_capacity(spills.len() + 1);
+    let mut fanin = 0u64;
+    if let Some(cursor) = schimmy {
+        heap.push(cursor);
+        fanin += 1;
+    }
+    for (map_idx, spill) in spills.iter().enumerate() {
+        if let Some(cursor) = RunCursor::from_encoded(map_idx + 1, &spill.data)? {
+            heap.push(cursor);
+            fanin += 1;
+        }
+    }
+    let mut values: Vec<V> = Vec::new();
+    while let Some(cursor) = heap.pop() {
+        let (key, v, next) = cursor.consume()?;
+        values.push(v);
+        if let Some(n) = next {
+            heap.push(n);
+        }
+        while heap.peek().is_some_and(|c| c.key == key) {
+            let (_, v, next) = heap.pop().expect("peeked").consume()?;
+            values.push(v);
+            if let Some(n) = next {
+                heap.push(n);
+            }
+        }
+        // Dropping the drain clears the buffer (allocation kept) even if
+        // the reducer consumed only part of the group.
+        f(&key, &mut values.drain(..));
+    }
+    Ok(fanin)
 }
 
 /// Runs `f` over `items` on a small thread pool, preserving result order,
@@ -612,6 +806,7 @@ where
 {
     let budget = policy.max_attempts.max(1);
     let mut attempt = 0u32;
+    let mut item = Some(item);
     loop {
         // Injected environment fault: the attempt dies before user code.
         let injected = policy
@@ -624,8 +819,17 @@ where
                 task: index,
                 message: format!("injected environment fault (attempt {attempt})"),
             })
+        } else if attempt + 1 >= budget {
+            // Final permitted attempt: hand the input over by value so
+            // single-attempt policies (the default) never deep-copy it.
+            run_task(phase, index, item.take().expect("input unconsumed"), f)
         } else {
-            run_task(phase, index, item.clone(), f)
+            run_task(
+                phase,
+                index,
+                item.as_ref().expect("input unconsumed").clone(),
+                f,
+            )
         };
         attempt += 1;
         match result {
@@ -672,33 +876,103 @@ mod tests {
         }
     }
 
-    #[test]
-    fn merge_reduce_unions_keys_schimmy_first() {
-        let schimmy = vec![(1, "m1"), (3, "m3")];
-        let shuffled = vec![(1, "f1a"), (1, "f1b"), (2, "f2")];
+    fn spill_of(records: &[(u64, String)]) -> SpillRun {
+        let mut run = SpillRun::default();
+        for (k, v) in records {
+            run.push(k, v);
+        }
+        run
+    }
+
+    fn collect_merge(
+        schimmy: Option<Vec<(u64, String)>>,
+        spills: &[SpillRun],
+    ) -> (Vec<(u64, Vec<String>)>, u64) {
+        let cursor = schimmy.and_then(|recs| RunCursor::from_owned(0, recs));
         let mut seen = Vec::new();
-        merge_reduce(schimmy, shuffled, |k, vs| {
-            seen.push((*k, vs.collect::<Vec<_>>()));
-        });
+        let fanin = merge_sorted_runs(cursor, spills, |k: &u64, vs| {
+            seen.push((*k, vs.collect::<Vec<String>>()));
+        })
+        .unwrap();
+        (seen, fanin)
+    }
+
+    fn s(v: &str) -> String {
+        v.to_string()
+    }
+
+    #[test]
+    fn merge_unions_keys_schimmy_first_then_map_task_order() {
+        let schimmy = vec![(1, s("m1")), (3, s("m3"))];
+        let spills = [
+            spill_of(&[(1, s("t0a")), (1, s("t0b")), (2, s("t0c"))]),
+            spill_of(&[(1, s("t1a")), (4, s("t1b"))]),
+        ];
+        let (seen, fanin) = collect_merge(Some(schimmy), &spills);
+        assert_eq!(fanin, 3);
         assert_eq!(
             seen,
             vec![
-                (1, vec!["m1", "f1a", "f1b"]),
-                (2, vec!["f2"]),
-                (3, vec!["m3"]),
+                (1, vec![s("m1"), s("t0a"), s("t0b"), s("t1a")]),
+                (2, vec![s("t0c")]),
+                (3, vec![s("m3")]),
+                (4, vec![s("t1b")]),
             ]
         );
     }
 
     #[test]
-    fn merge_reduce_empty_sides() {
-        let mut count = 0;
-        merge_reduce(Vec::<(u64, ())>::new(), Vec::new(), |_, _| count += 1);
-        assert_eq!(count, 0);
-        merge_reduce(vec![(1u64, ())], Vec::new(), |_, _| count += 1);
-        assert_eq!(count, 1);
-        merge_reduce(Vec::new(), vec![(1u64, ())], |_, _| count += 1);
-        assert_eq!(count, 2);
+    fn merge_handles_empty_runs() {
+        let (seen, fanin) = collect_merge(None, &[]);
+        assert!(seen.is_empty());
+        assert_eq!(fanin, 0);
+
+        // Empty spills don't count toward fan-in and don't disturb ranks.
+        let spills = [
+            SpillRun::default(),
+            spill_of(&[(7, s("a"))]),
+            SpillRun::default(),
+            spill_of(&[(7, s("b"))]),
+        ];
+        let (seen, fanin) = collect_merge(None, &spills);
+        assert_eq!(fanin, 2);
+        assert_eq!(seen, vec![(7, vec![s("a"), s("b")])]);
+    }
+
+    #[test]
+    fn merge_matches_stable_sort_reference() {
+        // The contract the reduce path depends on: merging per-run
+        // stable-sorted records equals one global stable sort of
+        // (schimmy ++ run0 ++ run1 ++ ...).
+        let schimmy = vec![(2, s("s0")), (5, s("s1"))];
+        let runs = [
+            vec![(1, s("a0")), (2, s("a1")), (2, s("a2")), (9, s("a3"))],
+            vec![(2, s("b0")), (5, s("b1"))],
+            vec![(0, s("c0")), (2, s("c1")), (10, s("c2"))],
+        ];
+        let mut reference: Vec<(u64, String)> = schimmy.clone();
+        reference.extend(runs.iter().flatten().cloned());
+        reference.sort_by_key(|r| r.0); // stable
+        let mut expected: Vec<(u64, Vec<String>)> = Vec::new();
+        for (k, v) in reference {
+            match expected.last_mut() {
+                Some((lk, vs)) if *lk == k => vs.push(v),
+                _ => expected.push((k, vec![v])),
+            }
+        }
+        let spills: Vec<SpillRun> = runs.iter().map(|r| spill_of(r)).collect();
+        let (seen, fanin) = collect_merge(Some(schimmy), &spills);
+        assert_eq!(fanin, 4);
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn encoded_keys_sorted_detects_order() {
+        let sorted = spill_of(&[(1, s("a")), (1, s("b")), (2, s("c"))]);
+        assert!(encoded_keys_sorted::<u64>(&sorted.data).unwrap());
+        let unsorted = spill_of(&[(2, s("a")), (1, s("b"))]);
+        assert!(!encoded_keys_sorted::<u64>(&unsorted.data).unwrap());
+        assert!(encoded_keys_sorted::<u64>(&[]).unwrap());
     }
 
     #[test]

@@ -18,6 +18,16 @@ pub struct JobStats {
     /// Intermediate bytes that crossed node boundaries ("Shuffle" in
     /// Table I; Hadoop's `REDUCE_SHUFFLE_BYTES`).
     pub shuffle_bytes: u64,
+    /// Bytes written by map tasks into key-sorted spill runs (one run per
+    /// reduce partition). Equals `map_output_bytes` — the runtime spills
+    /// every intermediate record exactly once.
+    pub spilled_bytes: u64,
+    /// Non-empty spill runs produced across all map tasks (Hadoop's
+    /// "spilled records" analogue at run granularity).
+    pub spill_runs: u64,
+    /// Largest merge fan-in any reduce task saw: the number of non-empty
+    /// sorted runs (schimmy side input included) its k-way merge drew from.
+    pub merge_fanin_max: u64,
     /// Records produced by reducers into the output path.
     pub reduce_output_records: u64,
     /// Bytes written to the DFS output (one replica).

@@ -1,0 +1,220 @@
+//! Property tests for the map-side-sort / reduce-side-merge pipeline.
+//!
+//! The determinism contract under test: k-way merging the map tasks'
+//! key-sorted spill runs (schimmy side input first, then map-task index
+//! order) produces *byte-identical* partition data to the reference
+//! semantics — one global stable sort of the concatenated task outputs.
+//!
+//! Cases are drawn from a seeded [`SplitMix64`] stream (one seed per case
+//! index), so every run covers the same deterministic corpus — a failure
+//! reproduces by its case number alone.
+
+use ffmr_prng::SplitMix64;
+use mapreduce::{partition_of, ClusterConfig, JobBuilder, MapContext, MrRuntime, ReduceContext};
+
+/// Random printable-ish value: varied lengths, including empty.
+fn random_value(rng: &mut SplitMix64) -> String {
+    let len = rng.gen_range(0u64..12) as usize;
+    (0..len)
+        .map(|_| char::from(b'a' + (rng.gen_range(0u64..26) as u8)))
+        .collect()
+}
+
+/// One random corpus: records plus the job/geometry knobs for a case.
+struct Case {
+    records: Vec<(u64, String)>,
+    input_partitions: usize,
+    reducers: usize,
+}
+
+fn draw_case(case: u64) -> Case {
+    let mut rng = SplitMix64::seed_from_u64(0x51f7_e000_0000_0000u64.wrapping_add(case));
+    let n = rng.gen_range(0u64..120) as usize;
+    let key_range = rng.gen_range(1u64..16);
+    let records = (0..n)
+        .map(|_| (rng.gen_range(0..key_range), random_value(&mut rng)))
+        .collect();
+    Case {
+        records,
+        input_partitions: rng.gen_range(1u64..4) as usize,
+        reducers: rng.gen_range(1u64..6) as usize,
+    }
+}
+
+/// Reference semantics of the shuffle: concatenate the map tasks' outputs
+/// in task order (`write_records` spreads records round-robin, one map
+/// task per input partition), prepend the schimmy records, stable-sort by
+/// key, and slice out one reduce partition. With identity map and reduce
+/// functions, the output partition's bytes must encode exactly this
+/// sequence.
+fn reference_partition(
+    records: &[(u64, String)],
+    schimmy: &[(u64, String)],
+    input_partitions: usize,
+    reducers: usize,
+    partition: usize,
+) -> Vec<(u64, String)> {
+    let mut concat: Vec<(u64, String)> = schimmy.to_vec();
+    for t in 0..input_partitions {
+        concat.extend(
+            records
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % input_partitions == t)
+                .map(|(_, r)| r.clone()),
+        );
+    }
+    let mut slice: Vec<(u64, String)> = concat
+        .into_iter()
+        .filter(|(k, _)| partition_of(k, reducers) == partition)
+        .collect();
+    slice.sort_by_key(|r| r.0); // stable, like the old reduce sort
+    slice
+}
+
+/// Runs an identity job over the case's records and returns the raw bytes
+/// of every output partition.
+fn run_identity(case: &Case, worker_threads: Option<usize>) -> Vec<Vec<u8>> {
+    let mut rt = MrRuntime::new(ClusterConfig::small_cluster(3));
+    rt.set_worker_threads(worker_threads);
+    rt.dfs_mut()
+        .write_records("in", case.input_partitions, case.records.iter().cloned())
+        .unwrap();
+    let job = JobBuilder::new("identity")
+        .input("in")
+        .output("out")
+        .reducers(case.reducers)
+        .map(|k: &u64, v: &String, ctx: &mut MapContext<u64, String>| ctx.emit(*k, v.clone()))
+        .reduce(
+            |k: &u64,
+             vs: &mut dyn Iterator<Item = String>,
+             ctx: &mut ReduceContext<u64, String>| {
+                for v in vs {
+                    ctx.emit(*k, v);
+                }
+            },
+        );
+    rt.run(job).unwrap();
+    let file = rt.dfs().file("out").unwrap();
+    file.partitions.iter().map(|p| p.data.clone()).collect()
+}
+
+/// Encodes records exactly as the runtime writes output partitions, by
+/// round-tripping them through a single-partition DFS file.
+fn encode_reference(records: Vec<(u64, String)>) -> Vec<u8> {
+    let mut dfs = mapreduce::Dfs::new();
+    dfs.write_records("ref", 1, records).unwrap();
+    dfs.file("ref").unwrap().partitions[0].data.clone()
+}
+
+#[test]
+fn merge_matches_naive_sort_reference() {
+    for case_no in 0..24u64 {
+        let case = draw_case(case_no);
+        let parts = run_identity(&case, Some(1));
+        assert_eq!(parts.len(), case.reducers, "case {case_no}");
+        for (p, data) in parts.iter().enumerate() {
+            let expected = encode_reference(reference_partition(
+                &case.records,
+                &[],
+                case.input_partitions,
+                case.reducers,
+                p,
+            ));
+            assert_eq!(*data, expected, "case {case_no} partition {p}");
+        }
+    }
+}
+
+#[test]
+fn output_is_thread_count_invariant() {
+    for case_no in 0..12u64 {
+        let case = draw_case(1000 + case_no);
+        let sequential = run_identity(&case, Some(1));
+        assert_eq!(
+            sequential,
+            run_identity(&case, Some(3)),
+            "case {case_no}: Some(3) diverged"
+        );
+        assert_eq!(
+            sequential,
+            run_identity(&case, None),
+            "case {case_no}: None diverged"
+        );
+    }
+}
+
+#[test]
+fn schimmy_merge_matches_reference_with_side_input_first() {
+    for case_no in 0..12u64 {
+        let mut rng = SplitMix64::seed_from_u64(0xdeed_0000 + case_no);
+        let case = draw_case(2000 + case_no);
+        // Distinct master values so schimmy records are recognizable.
+        let masters: Vec<(u64, String)> = (0..rng.gen_range(1u64..20))
+            .map(|i| (rng.gen_range(0..16), format!("M{i}")))
+            .collect();
+
+        let mut rt = MrRuntime::new(ClusterConfig::small_cluster(3));
+        rt.set_worker_threads(Some(1));
+        // Produce a hash-partitioned schimmy file via an identity seed job.
+        rt.dfs_mut()
+            .write_records("masters_raw", 2, masters.iter().cloned())
+            .unwrap();
+        let seed = JobBuilder::new("seed")
+            .input("masters_raw")
+            .output("masters")
+            .reducers(case.reducers)
+            .map(|k: &u64, v: &String, ctx: &mut MapContext<u64, String>| ctx.emit(*k, v.clone()))
+            .reduce(
+                |k: &u64,
+                 vs: &mut dyn Iterator<Item = String>,
+                 ctx: &mut ReduceContext<u64, String>| {
+                    for v in vs {
+                        ctx.emit(*k, v);
+                    }
+                },
+            );
+        rt.run(seed).unwrap();
+
+        rt.dfs_mut()
+            .write_records("in", case.input_partitions, case.records.iter().cloned())
+            .unwrap();
+        let job = JobBuilder::new("apply")
+            .input("in")
+            .output("out")
+            .reducers(case.reducers)
+            .schimmy_input("masters")
+            .map(|k: &u64, v: &String, ctx: &mut MapContext<u64, String>| ctx.emit(*k, v.clone()))
+            .reduce(
+                |k: &u64,
+                 vs: &mut dyn Iterator<Item = String>,
+                 ctx: &mut ReduceContext<u64, String>| {
+                    for v in vs {
+                        ctx.emit(*k, v);
+                    }
+                },
+            );
+        rt.run(job).unwrap();
+
+        // The schimmy side of the reference is each partition's stored
+        // records (the seed job wrote them key-sorted), which the merge
+        // must deliver before any shuffled record of the same key.
+        let schimmy_file = rt.dfs().file("masters").unwrap();
+        let out = rt.dfs().file("out").unwrap();
+        for p in 0..case.reducers {
+            let schimmy_records: Vec<(u64, String)> =
+                schimmy_file.partitions[p].decode_all().unwrap();
+            let expected = encode_reference(reference_partition(
+                &case.records,
+                &schimmy_records,
+                case.input_partitions,
+                case.reducers,
+                p,
+            ));
+            assert_eq!(
+                out.partitions[p].data, expected,
+                "case {case_no} partition {p}"
+            );
+        }
+    }
+}
