@@ -11,9 +11,29 @@ use swgraph::{Capacity, FlowNetwork, VertexId};
 
 use crate::aug_service::AugProc;
 use crate::augmented::AugmentedEdges;
+use crate::checkpoint::{self, CheckpointManifest, ConfigTag};
 use crate::error::FfError;
 use crate::map_reduce_fns::{FfMapper, FfReducer, FfShared};
 use crate::round0;
+
+/// Where an injected driver crash fires. This is the fault-injection
+/// analogue of the *driving program* dying — the blind spot of Hadoop's
+/// task-level fault tolerance, which the per-round checkpoint manifest
+/// (see [`crate::checkpoint`]) closes. Everything already durable in the
+/// DFS survives the "crash"; [`resume_max_flow`] picks the run back up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Crash after round `N` fully completes: its checkpoint is written
+    /// and garbage collection has run. Resume continues at round `N + 1`
+    /// (or just reconstructs the result if `N` was the final round).
+    /// `AfterRound(0)` crashes right after graph preparation.
+    AfterRound(usize),
+    /// Crash in the middle of round `N` (≥ 1): the round's MR job ran and
+    /// its output file exists, but acceptance was never recorded and no
+    /// checkpoint for `N` was written. Resume discards the half-finished
+    /// output and re-executes round `N` from the round `N - 1` state.
+    MidRound(usize),
+}
 
 /// Which optimizations are enabled (cumulative in the paper's ladder).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -191,6 +211,14 @@ pub struct FfConfig {
     pub base_path: String,
     /// Keep this many recent round outputs in the DFS (≥ 2 for schimmy).
     pub keep_rounds: usize,
+    /// Persist a checkpoint manifest to the DFS after every completed
+    /// round (default: on), enabling [`resume_max_flow`]. The manifest is
+    /// tiny (driver state only — the vertex records are already DFS
+    /// files), so there is little reason to turn this off outside of
+    /// micro-benchmarks.
+    pub checkpoint: bool,
+    /// Injected driver crash for fault-tolerance testing (default: none).
+    pub crash_point: Option<CrashPoint>,
     /// Cancellation and progress hooks (default: none).
     pub hooks: FfHooks,
 }
@@ -210,6 +238,8 @@ impl FfConfig {
             max_rounds: 200,
             base_path: "ffmr".to_string(),
             keep_rounds: 3,
+            checkpoint: true,
+            crash_point: None,
             hooks: FfHooks::default(),
         }
     }
@@ -270,6 +300,21 @@ impl FfConfig {
         self
     }
 
+    /// Enables or disables per-round checkpointing.
+    #[must_use]
+    pub fn checkpoint(mut self, enabled: bool) -> Self {
+        self.checkpoint = enabled;
+        self
+    }
+
+    /// Injects a driver crash at the given point (fault-tolerance
+    /// testing; see [`CrashPoint`]).
+    #[must_use]
+    pub fn crash_point(mut self, point: CrashPoint) -> Self {
+        self.crash_point = Some(point);
+        self
+    }
+
     /// Installs a cancellation flag: raise it from any thread to abort
     /// the run between rounds with [`FfError::Cancelled`].
     #[must_use]
@@ -287,7 +332,7 @@ impl FfConfig {
 }
 
 /// Statistics of one FFMR round (one row of the paper's Table I).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RoundStats {
     /// Round number (0 = graph preparation).
     pub round: usize,
@@ -379,24 +424,8 @@ pub fn run_max_flow_from_input(
     input_path: &str,
     config: &FfConfig,
 ) -> Result<FfRun, FfError> {
-    let shared = Arc::new(FfShared {
-        source: config.source.raw(),
-        sink: config.sink.raw(),
-        variant: config.variant,
-        k_policy: config.k_policy,
-        bidirectional: config.bidirectional,
-        extend_all_paths: config.extend_all_paths,
-    });
-
-    let aug = if config.variant.stateful_aug {
-        AugProc::threaded()
-    } else {
-        AugProc::synchronous()
-    };
-
-    let mut rounds: Vec<RoundStats> = Vec::new();
-    let mut max_graph_bytes: u64;
-    let mut total_value: Capacity = 0;
+    let shared = make_shared(config);
+    let aug = make_aug(config);
 
     let mut run_span = ffmr_obs::span("ff.run");
     run_span.field("source", config.source);
@@ -415,22 +444,169 @@ pub fn run_max_flow_from_input(
         round0::run_round0(rt, input_path, &config.base_path, config.reducers, &shared)?
     };
     let graph0 = rt.dfs().file_bytes(&round_path(&config.base_path, 0));
-    rounds.push(RoundStats {
-        round: 0,
-        map_out_records: stats0.map_output_records,
-        shuffle_bytes: stats0.shuffle_bytes,
-        sim_seconds: stats0.sim_seconds,
-        wall_seconds: round0_started.elapsed().as_secs_f64(),
-        graph_bytes: graph0,
-        ..RoundStats::default()
-    });
-    config.hooks.report(rounds.last().expect("round 0 pushed"));
-    max_graph_bytes = graph0;
+    let mut state = LoopState {
+        rounds: vec![RoundStats {
+            round: 0,
+            map_out_records: stats0.map_output_records,
+            shuffle_bytes: stats0.shuffle_bytes,
+            sim_seconds: stats0.sim_seconds,
+            wall_seconds: round0_started.elapsed().as_secs_f64(),
+            graph_bytes: graph0,
+            ..RoundStats::default()
+        }],
+        total_value: 0,
+        max_graph_bytes: graph0,
+        deltas: Arc::new(AugmentedEdges::new(0)),
+        next_round: 1,
+    };
+    config
+        .hooks
+        .report(state.rounds.last().expect("round 0 pushed"));
+    if config.checkpoint {
+        checkpoint::write_checkpoint(
+            rt.dfs_mut(),
+            &config.base_path,
+            &manifest_from_state(config, &state, false),
+        );
+    }
+    if config.crash_point == Some(CrashPoint::AfterRound(0)) {
+        return Err(FfError::CrashInjected { round: 0 });
+    }
 
-    // ---- Rounds 1..: the Ford-Fulkerson loop.
-    let mut deltas = Arc::new(AugmentedEdges::new(0));
-    let mut round = 1usize;
-    let pending = loop {
+    run_rounds(rt, config, &shared, &aug, &mut state, run_span)
+}
+
+/// Resumes a run from the checkpoint manifest in the runtime's DFS
+/// (written by a previous run with [`FfConfig::checkpoint`] on, whose
+/// driver then died — or was crash-injected — at any point after round
+/// 0). Continues at the round after the last checkpointed one; if the
+/// checkpointed run had already terminated, reconstructs its result
+/// without running anything. The flow network itself is not needed: the
+/// vertex records live in the DFS.
+///
+/// The `config` must describe the same problem as the original run
+/// (source, sink, variant, reducers, search switches); hooks, crash
+/// points and round limits may differ.
+///
+/// # Errors
+/// [`FfError::Checkpoint`] when there is no manifest, it is corrupt, its
+/// configuration fingerprint does not match `config`, or the
+/// checkpointed graph file is gone; otherwise the same errors as
+/// [`run_max_flow`].
+pub fn resume_max_flow(rt: &mut MrRuntime, config: &FfConfig) -> Result<FfRun, FfError> {
+    let manifest = checkpoint::read_checkpoint(rt.dfs(), &config.base_path)?;
+    if manifest.tag != ConfigTag::of(config) {
+        return Err(FfError::Checkpoint(
+            "checkpoint was written by a different configuration".into(),
+        ));
+    }
+    if !rt.dfs().exists(&manifest.graph_path) {
+        return Err(FfError::Checkpoint(format!(
+            "checkpointed graph {} is missing from the DFS",
+            manifest.graph_path
+        )));
+    }
+    ffmr_obs::global()
+        .counter("ffmr_ff_resumes_total", &[])
+        .inc();
+
+    // Discard round outputs newer than the manifest: a mid-round crash
+    // leaves the round's output file without a matching checkpoint, and
+    // re-executing the round must start from a DFS identical to the one
+    // the uninterrupted run saw.
+    let round_prefix = format!("{}/round-", config.base_path);
+    let stale: Vec<String> = rt
+        .dfs()
+        .list()
+        .into_iter()
+        .filter(|path| {
+            path.strip_prefix(&round_prefix)
+                .and_then(|n| n.parse::<usize>().ok())
+                .is_some_and(|n| n > manifest.round)
+        })
+        .collect();
+    for path in stale {
+        rt.dfs_mut().delete(&path);
+    }
+
+    let mut run_span = ffmr_obs::span("ff.run");
+    run_span.field("source", config.source);
+    run_span.field("sink", config.sink);
+    run_span.field("resumed_from", manifest.round);
+
+    let finished = manifest.finished;
+    let mut state = LoopState {
+        next_round: manifest.round + 1,
+        total_value: manifest.total_value,
+        max_graph_bytes: manifest.max_graph_bytes,
+        deltas: Arc::new(manifest.deltas),
+        rounds: manifest.rounds,
+    };
+    if finished {
+        return Ok(finish(config, &mut state, run_span));
+    }
+    let shared = make_shared(config);
+    let aug = make_aug(config);
+    run_rounds(rt, config, &shared, &aug, &mut state, run_span)
+}
+
+fn make_shared(config: &FfConfig) -> Arc<FfShared> {
+    Arc::new(FfShared {
+        source: config.source.raw(),
+        sink: config.sink.raw(),
+        variant: config.variant,
+        k_policy: config.k_policy,
+        bidirectional: config.bidirectional,
+        extend_all_paths: config.extend_all_paths,
+    })
+}
+
+fn make_aug(config: &FfConfig) -> Arc<AugProc> {
+    if config.variant.stateful_aug {
+        AugProc::threaded()
+    } else {
+        AugProc::synchronous()
+    }
+}
+
+/// The state of Fig. 2's main loop between rounds — exactly what a
+/// checkpoint manifest persists.
+struct LoopState {
+    rounds: Vec<RoundStats>,
+    total_value: Capacity,
+    max_graph_bytes: u64,
+    /// Accepted deltas of the last completed round, broadcast to the next
+    /// round's mappers.
+    deltas: Arc<AugmentedEdges>,
+    next_round: usize,
+}
+
+fn manifest_from_state(config: &FfConfig, state: &LoopState, finished: bool) -> CheckpointManifest {
+    let last = state.rounds.last().map_or(0, |r| r.round);
+    CheckpointManifest {
+        tag: ConfigTag::of(config),
+        round: last,
+        finished,
+        total_value: state.total_value,
+        max_graph_bytes: state.max_graph_bytes,
+        graph_path: round_path(&config.base_path, last),
+        deltas: (*state.deltas).clone(),
+        rounds: state.rounds.clone(),
+    }
+}
+
+/// Rounds 1..: the Ford-Fulkerson loop, entered fresh (after round 0) or
+/// from a resumed checkpoint.
+fn run_rounds(
+    rt: &mut MrRuntime,
+    config: &FfConfig,
+    shared: &Arc<FfShared>,
+    aug: &Arc<AugProc>,
+    state: &mut LoopState,
+    run_span: ffmr_obs::Span,
+) -> Result<FfRun, FfError> {
+    loop {
+        let round = state.next_round;
         if round > config.max_rounds {
             return Err(FfError::RoundLimitExceeded {
                 limit: config.max_rounds,
@@ -449,15 +625,16 @@ pub fn run_max_flow_from_input(
         let input = round_path(&config.base_path, round - 1);
         let output = round_path(&config.base_path, round);
         let delta_blob_path = side_path(&config.base_path, "augmented", round - 1);
-        rt.dfs_mut().write_blob(&delta_blob_path, deltas.to_blob());
+        rt.dfs_mut()
+            .write_blob(&delta_blob_path, state.deltas.to_blob());
 
         let mapper = FfMapper {
-            shared: Arc::clone(&shared),
-            deltas: Arc::clone(&deltas),
+            shared: Arc::clone(shared),
+            deltas: Arc::clone(&state.deltas),
         };
         let reducer = FfReducer {
-            shared: Arc::clone(&shared),
-            deltas: Arc::clone(&deltas),
+            shared: Arc::clone(shared),
+            deltas: Arc::clone(&state.deltas),
         };
 
         let mut builder = JobBuilder::new(format!("{}-round-{round}", config.base_path))
@@ -465,23 +642,31 @@ pub fn run_max_flow_from_input(
             .output(&output)
             .reducers(config.reducers)
             .side_blob(&delta_blob_path)
-            .attach_service("aug_proc", Arc::clone(&aug) as Arc<dyn Service>);
+            .attach_service("aug_proc", Arc::clone(aug) as Arc<dyn Service>);
         if config.variant.schimmy {
             builder = builder.schimmy_input(&input);
         }
         let job = builder.map(mapper).reduce(reducer);
         let stats = rt.run(job).map_err(FfError::Mr)?;
 
+        if config.crash_point == Some(CrashPoint::MidRound(round)) {
+            // The driver "dies" after the MR job but before recording
+            // acceptance: shut the consumer down cleanly and discard its
+            // results — nothing of round `round` reaches a checkpoint.
+            let _ = aug.close_round();
+            return Err(FfError::CrashInjected { round });
+        }
+
         let acceptance = aug.close_round();
-        total_value += acceptance.value_gained;
+        state.total_value += acceptance.value_gained;
         let graph_bytes = rt.dfs().file_bytes(&output);
-        max_graph_bytes = max_graph_bytes.max(graph_bytes);
+        state.max_graph_bytes = state.max_graph_bytes.max(graph_bytes);
 
         let som = stats.counter("source move");
         let sim = stats.counter("sink move");
         round_span.field("a_paths", acceptance.accepted_paths);
         drop(round_span);
-        rounds.push(RoundStats {
+        state.rounds.push(RoundStats {
             round,
             a_paths: acceptance.accepted_paths,
             value_gained: acceptance.value_gained,
@@ -494,9 +679,9 @@ pub fn run_max_flow_from_input(
             sink_move: sim,
             graph_bytes,
         });
-        config.hooks.report(rounds.last().expect("round pushed"));
-
-        collect_garbage(rt.dfs_mut(), &config.base_path, round, config.keep_rounds);
+        config
+            .hooks
+            .report(state.rounds.last().expect("round pushed"));
 
         // Termination (paper Fig. 2 line 10): stop once either frontier
         // stops moving — with the robustness refinement that a round that
@@ -504,35 +689,51 @@ pub fn run_max_flow_from_input(
         // flow changes have not been applied yet. Without bi-directional
         // search there is no sink frontier to watch.
         let frontier_stuck = som == 0 || (config.bidirectional && sim == 0);
-        if frontier_stuck && acceptance.accepted_paths == 0 {
-            break acceptance.deltas;
-        }
-        deltas = Arc::new(acceptance.deltas);
-        round += 1;
-    };
+        let finished = frontier_stuck && acceptance.accepted_paths == 0;
 
-    // The last applied deltas are `deltas` (already folded in by the final
-    // round's mappers); `pending` holds the final round's acceptances that
-    // no mapper has applied yet (empty by construction of the break).
-    let final_round = rounds.last().map_or(0, |r| r.round);
-    run_span.field("rounds", rounds.len());
+        state.deltas = Arc::new(acceptance.deltas);
+        if config.checkpoint {
+            checkpoint::write_checkpoint(
+                rt.dfs_mut(),
+                &config.base_path,
+                &manifest_from_state(config, state, finished),
+            );
+        }
+        collect_garbage(rt.dfs_mut(), &config.base_path, round, config.keep_rounds);
+        if config.crash_point == Some(CrashPoint::AfterRound(round)) {
+            return Err(FfError::CrashInjected { round });
+        }
+        if finished {
+            return Ok(finish(config, state, run_span));
+        }
+        state.next_round = round + 1;
+    }
+}
+
+/// Emits the run-level metrics and assembles the result. `state.deltas`
+/// holds the final round's acceptances, which no mapper has applied yet
+/// (empty by construction of the termination test — or whatever the
+/// checkpoint of a finished run recorded).
+fn finish(config: &FfConfig, state: &mut LoopState, mut run_span: ffmr_obs::Span) -> FfRun {
+    let final_round = state.rounds.last().map_or(0, |r| r.round);
+    run_span.field("rounds", state.rounds.len());
     drop(run_span);
     let m = ffmr_obs::global();
     m.counter("ffmr_ff_runs_total", &[]).inc();
     m.counter("ffmr_ff_rounds_total", &[])
-        .add(rounds.len() as u64);
+        .add(state.rounds.len() as u64);
     m.counter("ffmr_ff_apaths_total", &[])
-        .add(rounds.iter().map(|r| r.a_paths).sum());
+        .add(state.rounds.iter().map(|r| r.a_paths).sum());
     m.histogram("ffmr_ff_run_rounds", &[])
-        .record(rounds.len() as u64);
-    Ok(FfRun {
-        max_flow_value: total_value,
-        total_sim_seconds: rounds.iter().map(|r| r.sim_seconds).sum(),
-        max_graph_bytes,
+        .record(state.rounds.len() as u64);
+    FfRun {
+        max_flow_value: state.total_value,
+        total_sim_seconds: state.rounds.iter().map(|r| r.sim_seconds).sum(),
+        max_graph_bytes: state.max_graph_bytes,
         final_graph_path: round_path(&config.base_path, final_round),
-        pending_deltas: pending,
-        rounds,
-    })
+        pending_deltas: (*state.deltas).clone(),
+        rounds: std::mem::take(&mut state.rounds),
+    }
 }
 
 #[cfg(test)]

@@ -11,12 +11,12 @@
 //! sequential accumulator run inside the sink's reducer.
 
 use std::any::Any;
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::thread::JoinHandle;
 
 use ffmr_sync::{Condvar, Mutex};
 use mapreduce::Service;
-use swgraph::Capacity;
+use swgraph::{Capacity, EdgeId};
 
 use crate::accumulator::Accumulator;
 use crate::augmented::AugmentedEdges;
@@ -42,11 +42,15 @@ struct Inner {
     queue: VecDeque<ExcessPath>,
     accumulator: Accumulator,
     deltas: AugmentedEdges,
-    // Route hashes submitted this round: retried reduce-task attempts
-    // re-submit the same candidates, and an at-most-once accept per route
-    // per round keeps acceptance idempotent under MR task retries (the
-    // classic external-side-effect caveat of calling out of REDUCE).
-    submitted: HashSet<u64>,
+    // Routes submitted this round, bucketed by route hash: retried
+    // reduce-task attempts (and speculative duplicates) re-submit the same
+    // candidates, and an at-most-once accept per route per round keeps
+    // acceptance idempotent under MR task retries (the classic
+    // external-side-effect caveat of calling out of REDUCE). The full
+    // edge-id sequence is kept and compared on hash collision — two
+    // *distinct* paths that happen to share a hash are both legitimate
+    // candidates, not duplicates.
+    submitted: HashMap<u64, Vec<Box<[EdgeId]>>>,
     accepted: u64,
     rejected: u64,
     max_queue: usize,
@@ -101,9 +105,12 @@ impl AugProc {
     /// mode accepts inline.
     pub fn submit(&self, path: ExcessPath) {
         let mut inner = self.inner.lock();
-        if !inner.submitted.insert(path.route_hash()) {
+        let route: Box<[EdgeId]> = path.edges().iter().map(|hop| hop.eid).collect();
+        let bucket = inner.submitted.entry(path.route_hash()).or_default();
+        if bucket.iter().any(|seen| **seen == *route) {
             return; // duplicate submission (e.g. a retried task attempt)
         }
+        bucket.push(route);
         if self.threaded && inner.round_open {
             inner.queue.push_back(path);
             let depth = inner.queue.len();
@@ -296,6 +303,36 @@ mod tests {
         assert_eq!(r.accepted_paths, 1);
         assert_eq!(r.rejected_paths, 0, "duplicates are dropped, not rejected");
         assert_eq!(r.value_gained, 1);
+    }
+
+    #[test]
+    fn colliding_route_hashes_do_not_merge_distinct_paths() {
+        // route_hash is FNV-1a over edge ids: h = ((BASIS ^ a) * P ^ b) * P
+        // for a two-hop route [a, b]. The fold is invertible, so for any
+        // a1 != a2 we can pick b2 making [a2, b2] collide with [a1, b1].
+        const BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+        const P: u64 = 0x0000_0100_0000_01b3;
+        let (a1, b1, a2) = (2u64, 6u64, 4u64);
+        let b2 = b1 ^ (BASIS ^ a1).wrapping_mul(P) ^ (BASIS ^ a2).wrapping_mul(P);
+        let p1 = unit_path(&[a1, b1]);
+        let p2 = unit_path(&[a2, b2]);
+        assert_eq!(p1.route_hash(), p2.route_hash(), "crafted collision");
+        // The four edges are distinct, so the paths are edge-disjoint and
+        // both are legitimate candidates.
+        let mut eids = [a1, b1, a2, b2];
+        eids.sort_unstable();
+        assert!(eids.windows(2).all(|w| w[0] != w[1]));
+
+        let aug = AugProc::synchronous();
+        aug.open_round(1);
+        aug.submit(p1);
+        aug.submit(p2);
+        let r = aug.close_round();
+        assert_eq!(
+            r.accepted_paths, 2,
+            "a hash collision must not swallow a distinct candidate"
+        );
+        assert_eq!(r.value_gained, 2);
     }
 
     #[test]

@@ -1,0 +1,333 @@
+//! Round checkpointing for the FF driver.
+//!
+//! The paper leans entirely on Hadoop for fault tolerance, which protects
+//! *tasks* — but a crash of the driving program (Fig. 2's main loop) would
+//! lose every completed round. Iterative-MR systems close this gap by
+//! persisting a small amount of driver state per iteration (HaLoop's
+//! reducer-output caching, Pregel's per-superstep checkpoints); FFMR's
+//! analogue is a versioned *checkpoint manifest* written to the DFS after
+//! every accepted round: the cumulative flow value, the round's
+//! `AugmentedEdges` (not yet folded into any vertex record), the
+//! per-round statistics, and the DFS path of the vertex partitions the
+//! round produced. Everything else a resumed driver needs — the vertex
+//! records themselves — is already durable in the DFS.
+//!
+//! [`crate::resume_max_flow`] reads the newest manifest, validates it
+//! against the caller's configuration, discards any half-written round
+//! outputs newer than the manifest (a mid-phase crash leaves those), and
+//! re-enters the round loop at round N+1.
+
+use std::time::Instant;
+
+use mapreduce::encode::{get_bytes, get_varint, get_varint_signed, put_bytes, put_varint};
+use mapreduce::error::DecodeError;
+use mapreduce::Dfs;
+use swgraph::Capacity;
+
+use crate::algo::{FfConfig, KPolicy, RoundStats};
+use crate::augmented::AugmentedEdges;
+use crate::error::FfError;
+
+/// Version tag of the manifest encoding; bumped on incompatible changes.
+const MANIFEST_VERSION: u64 = 1;
+
+/// DFS blob path of the checkpoint manifest for a chain rooted at `base`.
+/// One fixed name per chain, overwritten each round: the DFS write is
+/// atomic in this model, so the newest durable manifest always wins.
+#[must_use]
+pub fn checkpoint_path(base: &str) -> String {
+    format!("{base}/checkpoint")
+}
+
+/// The configuration fingerprint stored in a manifest. Resuming under a
+/// different source/sink/variant/partitioning would silently compute a
+/// different problem, so the fingerprint must match exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigTag {
+    /// Source vertex id.
+    pub source: u64,
+    /// Sink vertex id.
+    pub sink: u64,
+    /// Reduce partitions per round.
+    pub reducers: u64,
+    /// Packed booleans: bits 0–3 are the FF2–FF5 variant switches, bit 4
+    /// bi-directional search, bit 5 extend-all-paths.
+    pub flags: u64,
+    /// Excess-path storage policy: 0 = in-degree, else fixed k + 1.
+    pub k_fixed: u64,
+}
+
+impl ConfigTag {
+    /// The fingerprint of `config`.
+    #[must_use]
+    pub fn of(config: &FfConfig) -> Self {
+        let v = config.variant;
+        let mut flags = 0u64;
+        for (bit, on) in [
+            v.stateful_aug,
+            v.schimmy,
+            v.pooled_objects,
+            v.remember_sent,
+            config.bidirectional,
+            config.extend_all_paths,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            flags |= u64::from(on) << bit;
+        }
+        Self {
+            source: config.source.raw(),
+            sink: config.sink.raw(),
+            reducers: config.reducers as u64,
+            flags,
+            k_fixed: match config.k_policy {
+                KPolicy::InDegree => 0,
+                KPolicy::Fixed(k) => k as u64 + 1,
+            },
+        }
+    }
+}
+
+/// Everything a resumed driver needs that is not already a durable DFS
+/// file: the state of Fig. 2's main loop at the end of round `round`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointManifest {
+    /// Fingerprint of the configuration that wrote the manifest.
+    pub tag: ConfigTag,
+    /// Last fully accepted round (0 = only graph preparation done).
+    pub round: usize,
+    /// Whether the run terminated at `round` (resume then just
+    /// reconstructs the finished result).
+    pub finished: bool,
+    /// Cumulative flow value through `round`.
+    pub total_value: Capacity,
+    /// Largest graph file observed so far.
+    pub max_graph_bytes: u64,
+    /// DFS path of round `round`'s vertex partitions.
+    pub graph_path: String,
+    /// Round `round`'s accepted deltas — the table round `round + 1`'s
+    /// mappers must broadcast (or, on a finished run, the pending deltas
+    /// not yet folded into any vertex record).
+    pub deltas: AugmentedEdges,
+    /// Per-round statistics so a resumed run reports the same totals as
+    /// an uninterrupted one (floats are preserved bit-exactly).
+    pub rounds: Vec<RoundStats>,
+}
+
+impl CheckpointManifest {
+    /// Serializes the manifest (deterministic byte-for-byte).
+    #[must_use]
+    pub fn to_blob(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        put_varint(MANIFEST_VERSION, &mut buf);
+        put_varint(self.tag.source, &mut buf);
+        put_varint(self.tag.sink, &mut buf);
+        put_varint(self.tag.reducers, &mut buf);
+        put_varint(self.tag.flags, &mut buf);
+        put_varint(self.tag.k_fixed, &mut buf);
+        put_varint(self.round as u64, &mut buf);
+        put_varint(u64::from(self.finished), &mut buf);
+        mapreduce::encode::put_varint_signed(self.total_value, &mut buf);
+        put_varint(self.max_graph_bytes, &mut buf);
+        put_bytes(self.graph_path.as_bytes(), &mut buf);
+        put_bytes(&self.deltas.to_blob(), &mut buf);
+        put_varint(self.rounds.len() as u64, &mut buf);
+        for r in &self.rounds {
+            put_varint(r.round as u64, &mut buf);
+            put_varint(r.a_paths, &mut buf);
+            mapreduce::encode::put_varint_signed(r.value_gained, &mut buf);
+            put_varint(r.max_queue as u64, &mut buf);
+            put_varint(r.map_out_records, &mut buf);
+            put_varint(r.shuffle_bytes, &mut buf);
+            // f64s as raw bits: a resumed run must report *identical*
+            // simulated times, not approximately equal ones.
+            put_varint(r.sim_seconds.to_bits(), &mut buf);
+            put_varint(r.wall_seconds.to_bits(), &mut buf);
+            put_varint(r.source_move, &mut buf);
+            put_varint(r.sink_move, &mut buf);
+            put_varint(r.graph_bytes, &mut buf);
+        }
+        buf
+    }
+
+    /// Parses a blob written by [`CheckpointManifest::to_blob`].
+    ///
+    /// # Errors
+    /// [`DecodeError`] on truncation, trailing bytes, or an unknown
+    /// version.
+    pub fn from_blob(mut input: &[u8]) -> Result<Self, DecodeError> {
+        let input = &mut input;
+        if get_varint(input)? != MANIFEST_VERSION {
+            return Err(DecodeError::new("unsupported checkpoint version"));
+        }
+        let tag = ConfigTag {
+            source: get_varint(input)?,
+            sink: get_varint(input)?,
+            reducers: get_varint(input)?,
+            flags: get_varint(input)?,
+            k_fixed: get_varint(input)?,
+        };
+        let round = get_varint(input)? as usize;
+        let finished = get_varint(input)? != 0;
+        let total_value = get_varint_signed(input)?;
+        let max_graph_bytes = get_varint(input)?;
+        let graph_path = String::from_utf8(get_bytes(input)?.to_vec())
+            .map_err(|_| DecodeError::new("graph path is not UTF-8"))?;
+        let deltas = AugmentedEdges::from_blob(get_bytes(input)?)?;
+        let n = get_varint(input)? as usize;
+        let mut rounds = Vec::with_capacity(n.min(input.len()));
+        for _ in 0..n {
+            rounds.push(RoundStats {
+                round: get_varint(input)? as usize,
+                a_paths: get_varint(input)?,
+                value_gained: get_varint_signed(input)?,
+                max_queue: get_varint(input)? as usize,
+                map_out_records: get_varint(input)?,
+                shuffle_bytes: get_varint(input)?,
+                sim_seconds: f64::from_bits(get_varint(input)?),
+                wall_seconds: f64::from_bits(get_varint(input)?),
+                source_move: get_varint(input)?,
+                sink_move: get_varint(input)?,
+                graph_bytes: get_varint(input)?,
+            });
+        }
+        if !input.is_empty() {
+            return Err(DecodeError::new("trailing checkpoint bytes"));
+        }
+        Ok(Self {
+            tag,
+            round,
+            finished,
+            total_value,
+            max_graph_bytes,
+            graph_path,
+            deltas,
+            rounds,
+        })
+    }
+}
+
+/// Writes (replacing) the chain's checkpoint manifest and records the
+/// checkpoint metrics (`ffmr_ff_checkpoint_bytes_total`,
+/// `ffmr_ff_checkpoint_us`).
+pub fn write_checkpoint(dfs: &mut Dfs, base: &str, manifest: &CheckpointManifest) {
+    let started = Instant::now();
+    let blob = manifest.to_blob();
+    let bytes = blob.len() as u64;
+    dfs.write_blob(&checkpoint_path(base), blob);
+    let m = ffmr_obs::global();
+    m.counter("ffmr_ff_checkpoints_total", &[]).inc();
+    m.counter("ffmr_ff_checkpoint_bytes_total", &[]).add(bytes);
+    #[allow(clippy::cast_possible_truncation)]
+    m.histogram("ffmr_ff_checkpoint_us", &[])
+        .record(started.elapsed().as_micros() as u64);
+}
+
+/// Reads the chain's checkpoint manifest.
+///
+/// # Errors
+/// [`FfError::Checkpoint`] when no manifest exists or it fails to parse.
+pub fn read_checkpoint(dfs: &Dfs, base: &str) -> Result<CheckpointManifest, FfError> {
+    let path = checkpoint_path(base);
+    let blob = dfs
+        .read_blob(&path)
+        .map_err(|_| FfError::Checkpoint(format!("no checkpoint manifest at {path}")))?;
+    CheckpointManifest::from_blob(blob)
+        .map_err(|e| FfError::Checkpoint(format!("corrupt checkpoint manifest at {path}: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swgraph::VertexId;
+
+    fn sample_manifest() -> CheckpointManifest {
+        let config = FfConfig::new(VertexId::new(3), VertexId::new(9)).reducers(4);
+        let mut deltas = AugmentedEdges::new(2);
+        deltas.add(swgraph::EdgeId::new(14), 2);
+        CheckpointManifest {
+            tag: ConfigTag::of(&config),
+            round: 2,
+            finished: false,
+            total_value: 5,
+            max_graph_bytes: 12_345,
+            graph_path: "ffmr/round-00002".into(),
+            deltas,
+            rounds: vec![
+                RoundStats {
+                    round: 0,
+                    sim_seconds: 1.25,
+                    ..RoundStats::default()
+                },
+                RoundStats {
+                    round: 1,
+                    a_paths: 3,
+                    value_gained: 5,
+                    sim_seconds: 0.1 + 0.2, // not exactly representable
+                    wall_seconds: 0.007,
+                    source_move: 11,
+                    sink_move: 7,
+                    graph_bytes: 999,
+                    ..RoundStats::default()
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips_bit_exactly() {
+        let m = sample_manifest();
+        let blob = m.to_blob();
+        let back = CheckpointManifest::from_blob(&blob).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(
+            back.rounds[1].sim_seconds.to_bits(),
+            m.rounds[1].sim_seconds.to_bits()
+        );
+        assert_eq!(back.to_blob(), blob, "encoding is a fixed point");
+    }
+
+    #[test]
+    fn manifest_rejects_corruption() {
+        let mut blob = sample_manifest().to_blob();
+        assert!(CheckpointManifest::from_blob(&blob[..blob.len() - 1]).is_err());
+        blob.push(0);
+        assert!(CheckpointManifest::from_blob(&blob).is_err());
+        blob[0] = 0x7f; // bad version
+        assert!(CheckpointManifest::from_blob(&blob[..blob.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn config_tag_discriminates() {
+        let base = FfConfig::new(VertexId::new(0), VertexId::new(5));
+        let tag = ConfigTag::of(&base);
+        assert_eq!(tag, ConfigTag::of(&base.clone()));
+        let other_sink = FfConfig::new(VertexId::new(0), VertexId::new(6));
+        assert_ne!(tag, ConfigTag::of(&other_sink));
+        let other_variant = base.clone().variant(crate::FfVariant::ff1());
+        assert_ne!(tag, ConfigTag::of(&other_variant));
+        let other_reducers = base.clone().reducers(99);
+        assert_ne!(tag, ConfigTag::of(&other_reducers));
+        let unidirectional = base.bidirectional(false);
+        assert_ne!(tag, ConfigTag::of(&unidirectional));
+    }
+
+    #[test]
+    fn read_missing_checkpoint_is_checkpoint_error() {
+        let dfs = Dfs::new();
+        assert!(matches!(
+            read_checkpoint(&dfs, "nope"),
+            Err(FfError::Checkpoint(_))
+        ));
+    }
+
+    #[test]
+    fn write_then_read() {
+        let mut dfs = Dfs::new();
+        let m = sample_manifest();
+        write_checkpoint(&mut dfs, "ffmr", &m);
+        assert!(dfs.blob_bytes(&checkpoint_path("ffmr")) > 0);
+        assert_eq!(read_checkpoint(&dfs, "ffmr").unwrap(), m);
+    }
+}

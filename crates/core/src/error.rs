@@ -25,6 +25,17 @@ pub enum FfError {
         /// Rounds completed before cancellation was observed.
         rounds_completed: usize,
     },
+    /// A checkpoint manifest was missing, corrupt, or written by an
+    /// incompatible configuration, so the run cannot be resumed.
+    Checkpoint(String),
+    /// An injected driver crash (see
+    /// [`CrashPoint`](crate::CrashPoint)) fired — the fault-injection
+    /// analogue of the driver process dying. The DFS retains everything
+    /// written so far, including the latest checkpoint manifest.
+    CrashInjected {
+        /// The round during/after which the crash fired.
+        round: usize,
+    },
 }
 
 impl fmt::Display for FfError {
@@ -37,6 +48,10 @@ impl fmt::Display for FfError {
             }
             FfError::Cancelled { rounds_completed } => {
                 write!(f, "run cancelled after {rounds_completed} rounds")
+            }
+            FfError::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
+            FfError::CrashInjected { round } => {
+                write!(f, "injected driver crash at round {round}")
             }
         }
     }

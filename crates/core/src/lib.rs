@@ -44,6 +44,7 @@ pub mod accumulator;
 pub mod algo;
 pub mod aug_service;
 pub mod augmented;
+pub mod checkpoint;
 pub mod error;
 pub mod map_reduce_fns;
 pub mod mr_bfs;
@@ -59,7 +60,10 @@ pub mod verify;
 pub mod vertex;
 
 pub use accumulator::Accumulator;
-pub use algo::{run_max_flow, FfConfig, FfHooks, FfRun, FfVariant, KPolicy, RoundStats};
+pub use algo::{
+    resume_max_flow, run_max_flow, CrashPoint, FfConfig, FfHooks, FfRun, FfVariant, KPolicy,
+    RoundStats,
+};
 pub use aug_service::AugProc;
 pub use augmented::AugmentedEdges;
 pub use error::FfError;

@@ -7,6 +7,7 @@
 
 use std::collections::{HashMap, HashSet};
 
+use crate::encode::{get_bytes, get_varint, put_bytes, put_varint};
 use crate::error::{DecodeError, MrError};
 use crate::record::{decode_record, encode_record, Datum};
 
@@ -136,7 +137,13 @@ pub struct Dfs {
     blobs: HashMap<String, Vec<u8>>,
     failed_nodes: HashSet<usize>,
     replication: u32,
+    /// Cluster node count replica placement wraps around (0 = unbounded,
+    /// for standalone `Dfs` instances not owned by a runtime).
+    nodes: usize,
 }
+
+/// Version tag of the serialized [`Dfs`] image format.
+const DFS_IMAGE_VERSION: u64 = 1;
 
 impl Dfs {
     /// Creates an empty DFS with replication factor 2 (the paper's
@@ -154,6 +161,14 @@ impl Dfs {
         self.replication = replication.max(1);
     }
 
+    /// Sets the cluster node count replica placement wraps around
+    /// (0 keeps the legacy unbounded namespace). The runtime calls this
+    /// with its `ClusterConfig::nodes` so replicas of partitions homed on
+    /// the last node land back on real nodes instead of phantom ones.
+    pub fn set_nodes(&mut self, nodes: usize) {
+        self.nodes = nodes;
+    }
+
     /// Simulates the death of a cluster node: partitions whose replicas
     /// all lived on failed nodes become unavailable. With the default
     /// replication of 2 a single node failure never loses data — the
@@ -168,12 +183,25 @@ impl Dfs {
     }
 
     /// Whether any replica of `p` survives (replicas live on consecutive
-    /// nodes starting at the home node — a simple deterministic
-    /// placement).
+    /// nodes starting at the home node, wrapping at the cluster edge — a
+    /// simple deterministic placement).
     fn partition_available(&self, p: &Partition) -> bool {
         (0..self.replication as usize)
-            .map(|i| p.home_node + i)
+            .map(|i| self.replica_node(p.home_node, i))
             .any(|n| !self.failed_nodes.contains(&n))
+    }
+
+    /// The node holding replica `i` of a partition homed on `home`.
+    /// Placement wraps modulo the cluster node count so the last node's
+    /// replicas land on real nodes (that can fail) rather than phantom
+    /// ones past the cluster edge.
+    fn replica_node(&self, home: usize, i: usize) -> usize {
+        let n = home + i;
+        if self.nodes > 0 {
+            n % self.nodes
+        } else {
+            n
+        }
     }
 
     /// Checks that every partition of `path` is readable.
@@ -325,6 +353,95 @@ impl Dfs {
         names.sort();
         names
     }
+
+    /// Serializes the whole namespace — files, blobs, failure state and
+    /// placement parameters — into a deterministic byte image. A driver
+    /// process about to exit (or crash, in tests) can persist this and a
+    /// later process can [`Dfs::from_image`] it to resume where the first
+    /// left off; this is the simulated analogue of HDFS simply outliving
+    /// the job driver.
+    #[must_use]
+    pub fn to_image(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_varint(DFS_IMAGE_VERSION, &mut out);
+        put_varint(u64::from(self.replication), &mut out);
+        put_varint(self.nodes as u64, &mut out);
+        let mut failed: Vec<usize> = self.failed_nodes.iter().copied().collect();
+        failed.sort_unstable();
+        put_varint(failed.len() as u64, &mut out);
+        for node in failed {
+            put_varint(node as u64, &mut out);
+        }
+        let mut names = self.list();
+        put_varint(names.len() as u64, &mut out);
+        for name in &names {
+            let file = &self.files[name];
+            put_bytes(name.as_bytes(), &mut out);
+            put_varint(file.partitions.len() as u64, &mut out);
+            for p in &file.partitions {
+                put_varint(p.home_node as u64, &mut out);
+                put_varint(p.records, &mut out);
+                put_bytes(&p.data, &mut out);
+            }
+        }
+        names = self.blobs.keys().cloned().collect();
+        names.sort();
+        put_varint(names.len() as u64, &mut out);
+        for name in &names {
+            put_bytes(name.as_bytes(), &mut out);
+            put_bytes(&self.blobs[name], &mut out);
+        }
+        out
+    }
+
+    /// Reconstructs a [`Dfs`] from a [`Dfs::to_image`] byte image.
+    ///
+    /// # Errors
+    /// [`DecodeError`] on truncation, trailing bytes, or a version this
+    /// build does not understand.
+    pub fn from_image(mut input: &[u8]) -> Result<Self, DecodeError> {
+        let input = &mut input;
+        if get_varint(input)? != DFS_IMAGE_VERSION {
+            return Err(DecodeError::new("unsupported DFS image version"));
+        }
+        let mut dfs = Self {
+            replication: u32::try_from(get_varint(input)?)
+                .map_err(|_| DecodeError::new("replication out of range"))?,
+            ..Self::default()
+        };
+        dfs.nodes = usize::try_from(get_varint(input)?)
+            .map_err(|_| DecodeError::new("node count out of range"))?;
+        for _ in 0..get_varint(input)? {
+            dfs.failed_nodes.insert(
+                usize::try_from(get_varint(input)?)
+                    .map_err(|_| DecodeError::new("failed node out of range"))?,
+            );
+        }
+        for _ in 0..get_varint(input)? {
+            let name = String::from_utf8(get_bytes(input)?.to_vec())
+                .map_err(|_| DecodeError::new("file name is not UTF-8"))?;
+            let parts = get_varint(input)?;
+            let mut partitions = Vec::with_capacity(parts as usize);
+            for _ in 0..parts {
+                partitions.push(Partition {
+                    home_node: usize::try_from(get_varint(input)?)
+                        .map_err(|_| DecodeError::new("home node out of range"))?,
+                    records: get_varint(input)?,
+                    data: get_bytes(input)?.to_vec(),
+                });
+            }
+            dfs.files.insert(name, DfsFile { partitions });
+        }
+        for _ in 0..get_varint(input)? {
+            let name = String::from_utf8(get_bytes(input)?.to_vec())
+                .map_err(|_| DecodeError::new("blob name is not UTF-8"))?;
+            dfs.blobs.insert(name, get_bytes(input)?.to_vec());
+        }
+        if !input.is_empty() {
+            return Err(DecodeError::new("trailing bytes after DFS image"));
+        }
+        Ok(dfs)
+    }
 }
 
 #[cfg(test)]
@@ -445,6 +562,71 @@ mod tests {
     fn splits_of_empty_partition() {
         let p = Partition::default();
         assert!(p.splits(64).unwrap().is_empty());
+    }
+
+    #[test]
+    fn replica_placement_wraps_at_cluster_edge() {
+        // 4 nodes, replication 2: a partition homed on node 3 replicates
+        // to nodes {3, 0}. Failing both must lose it; the pre-fix phantom
+        // replica on "node 4" made it immortal.
+        let mut dfs = Dfs::new();
+        dfs.set_nodes(4);
+        dfs.write_records("f", 4, (0..8u64).map(|i| (i, i)))
+            .unwrap();
+        assert_eq!(dfs.file("f").unwrap().partitions[3].home_node, 3);
+        dfs.fail_node(3);
+        dfs.fail_node(0);
+        assert!(matches!(
+            dfs.check_available("f"),
+            Err(MrError::DataLost { partition: 3, .. })
+        ));
+        dfs.recover_node(0);
+        dfs.check_available("f").unwrap();
+    }
+
+    #[test]
+    fn unbounded_dfs_keeps_legacy_placement() {
+        let mut dfs = Dfs::new();
+        dfs.write_records("f", 2, (0..4u64).map(|i| (i, i)))
+            .unwrap();
+        dfs.fail_node(1);
+        // Without a node count, partition 1's second replica sits on
+        // "node 2" and survives.
+        dfs.check_available("f").unwrap();
+    }
+
+    #[test]
+    fn image_round_trips_every_field() {
+        let mut dfs = Dfs::new();
+        dfs.set_replication(3);
+        dfs.set_nodes(5);
+        dfs.write_records("f", 2, (0..6u64).map(|i| (i, format!("v{i}"))))
+            .unwrap();
+        dfs.write_blob("side", vec![9, 8, 7]);
+        dfs.fail_node(4);
+        let image = dfs.to_image();
+        let back = Dfs::from_image(&image).unwrap();
+        assert_eq!(back.to_image(), image, "image is a fixed point");
+        assert_eq!(back.replication, 3);
+        assert_eq!(back.nodes, 5);
+        assert!(back.failed_nodes.contains(&4));
+        let recs: Vec<(u64, String)> = back.read_records("f").unwrap();
+        assert_eq!(recs.len(), 6);
+        assert_eq!(back.read_blob("side").unwrap(), &[9, 8, 7]);
+    }
+
+    #[test]
+    fn image_rejects_corruption() {
+        let dfs = Dfs::new();
+        let mut image = dfs.to_image();
+        assert!(
+            Dfs::from_image(&image[..image.len() - 1]).is_err(),
+            "truncated"
+        );
+        image.push(0);
+        assert!(Dfs::from_image(&image).is_err(), "trailing byte");
+        image[0] = 99; // bad version
+        assert!(Dfs::from_image(&image[..image.len() - 1]).is_err());
     }
 
     #[test]

@@ -97,12 +97,12 @@ pub mod runtime;
 pub mod service;
 pub mod stats;
 
-pub use cluster::ClusterConfig;
+pub use cluster::{ClusterConfig, SlowTask};
 pub use counters::Counters;
 pub use dfs::Dfs;
 pub use error::MrError;
 pub use job::{JobBuilder, MapContext, Mapper, ReduceContext, Reducer};
 pub use record::{Datum, KeyDatum};
-pub use runtime::{partition_of, FailurePolicy, MrRuntime};
+pub use runtime::{partition_of, FailurePolicy, MrRuntime, SpeculationPolicy};
 pub use service::{Service, ServiceHandle};
 pub use stats::JobStats;

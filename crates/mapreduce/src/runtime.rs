@@ -92,6 +92,55 @@ impl FailurePolicy {
     }
 }
 
+/// When and how the runtime launches speculative duplicate attempts for
+/// straggling tasks — Hadoop's speculative execution, priced in the
+/// simulated cost model and really re-executed on the host (outputs and
+/// counters of the losing attempt are discarded; attached services see
+/// the duplicate calls a real cluster would produce).
+///
+/// A task speculates when its simulated duration exceeds the phase's
+/// `percentile` duration by more than `slack`x. The duplicate starts at
+/// that detection threshold on a healthy (un-slowed) node; whichever
+/// attempt finishes first wins, and the loser's slot occupancy is still
+/// charged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeculationPolicy {
+    /// Master switch (default off: identical behavior to the pre-existing
+    /// runtime).
+    pub enabled: bool,
+    /// Percentile (0..=1) of the phase's task durations used as the
+    /// baseline for straggler detection.
+    pub percentile: f64,
+    /// A task is a straggler when it exceeds the percentile duration by
+    /// this factor (clamped to at least 1).
+    pub slack: f64,
+    /// Phases with fewer tasks than this never speculate (too little
+    /// signal to call anything a straggler).
+    pub min_tasks: usize,
+}
+
+impl Default for SpeculationPolicy {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            percentile: 0.75,
+            slack: 1.5,
+            min_tasks: 2,
+        }
+    }
+}
+
+impl SpeculationPolicy {
+    /// Speculation on, with Hadoop-like thresholds.
+    #[must_use]
+    pub fn hadoop_default() -> Self {
+        Self {
+            enabled: true,
+            ..Self::default()
+        }
+    }
+}
+
 /// Executes jobs against a [`Dfs`] and accumulates simulated time.
 ///
 /// See the [crate docs](crate) for a full word-count example.
@@ -102,24 +151,33 @@ pub struct MrRuntime {
     worker_threads: Option<usize>,
     total_sim_seconds: f64,
     failure_policy: FailurePolicy,
+    speculation: SpeculationPolicy,
 }
 
 impl MrRuntime {
     /// Creates a runtime simulating `cluster`.
     #[must_use]
     pub fn new(cluster: ClusterConfig) -> Self {
+        let mut dfs = Dfs::new();
+        dfs.set_nodes(cluster.nodes);
         Self {
             cluster,
-            dfs: Dfs::new(),
+            dfs,
             worker_threads: None,
             total_sim_seconds: 0.0,
             failure_policy: FailurePolicy::default(),
+            speculation: SpeculationPolicy::default(),
         }
     }
 
     /// Sets the task failure-handling policy (default: no retries).
     pub fn set_failure_policy(&mut self, policy: FailurePolicy) {
         self.failure_policy = policy;
+    }
+
+    /// Sets the speculative-execution policy (default: off).
+    pub fn set_speculation(&mut self, policy: SpeculationPolicy) {
+        self.speculation = policy;
     }
 
     /// The simulated cluster configuration.
@@ -130,6 +188,7 @@ impl MrRuntime {
 
     /// Replaces the cluster model (affects subsequent jobs only).
     pub fn set_cluster(&mut self, cluster: ClusterConfig) {
+        self.dfs.set_nodes(cluster.nodes);
         self.cluster = cluster;
     }
 
@@ -227,78 +286,103 @@ impl MrRuntime {
             cost: TaskCost,
         }
 
+        // The split list is kept (splits are `Copy` byte-range views) so
+        // speculative duplicates can re-execute a straggling task.
+        let spec_splits = splits.clone();
+        let map_fn = |task_idx: usize, split: InputSplit<'_>| -> Result<MapResult, MrError> {
+            let records: Vec<(KI, VI)> = split.decode_all()?;
+            let input_records = records.len() as u64;
+            let mut ctx = MapContext::new(&counters, services, task_idx);
+            for (k, v) in &records {
+                mapper.map(k, v, &mut ctx);
+            }
+            mapper.finish_split(&mut ctx);
+            let output_records = ctx.out.len() as u64;
+            let mut allocs = ctx.allocs() + input_records;
+            ctx.merge_counters_into(&counters);
+            let mut out = ctx.out;
+
+            // Map-side sort (Hadoop's sort-at-map): the run is ordered
+            // here, inside the already-parallel map phase; the combiner
+            // and the reduce-side k-way merge both consume sorted runs.
+            // The sort is stable, so equal keys keep emission order.
+            out.sort_by(|a, b| a.0.cmp(&b.0));
+
+            // Optional combiner, fed key groups off the sorted run.
+            if let Some(comb) = combiner {
+                let mut cctx = MapContext::new(&counters, services, task_idx);
+                let mut group: Vec<VM> = Vec::new(); // reused across groups
+                let mut it = out.into_iter().peekable();
+                while let Some((key, first)) = it.next() {
+                    group.push(first);
+                    while it.peek().is_some_and(|(k, _)| *k == key) {
+                        group.push(it.next().expect("peeked").1);
+                    }
+                    // Dropping the drain clears the buffer (allocation
+                    // kept) even if the combiner consumed only part.
+                    comb(&key, &mut group.drain(..), &mut cctx);
+                }
+                allocs += cctx.allocs();
+                cctx.merge_counters_into(&counters);
+                out = cctx.out;
+                // Combiners normally emit per visited group, i.e.
+                // already in key order; re-establish the invariant
+                // only when one emitted out of order.
+                if !is_key_sorted(&out) {
+                    out.sort_by(|a, b| a.0.cmp(&b.0));
+                }
+            }
+
+            // Partition the sorted run into per-reducer spills; each
+            // spill inherits the key order, so its byte run is ready
+            // to merge without any reduce-side sort.
+            let mut spills: Vec<SpillRun> = vec![SpillRun::default(); reducers];
+            for (k, v) in &out {
+                spills[partition_of(k, reducers)].push(k, v);
+            }
+            let spill_bytes: u64 = spills.iter().map(SpillRun::bytes).sum();
+
+            let cost = TaskCost {
+                read_bytes: split.data.len() as u64 + side_bytes,
+                write_bytes: spill_bytes,
+                records: input_records + output_records,
+                allocs,
+            };
+            Ok(MapResult {
+                spills,
+                input_records,
+                output_records,
+                cost,
+            })
+        };
+
         let map_results: Vec<(MapResult, u32)> = run_parallel(
             "map",
             self.worker_threads,
             &self.failure_policy,
             splits,
-            |task_idx, split| -> Result<MapResult, MrError> {
-                let records: Vec<(KI, VI)> = split.decode_all()?;
-                let input_records = records.len() as u64;
-                let mut ctx = MapContext::new(&counters, services, task_idx);
-                for (k, v) in &records {
-                    mapper.map(k, v, &mut ctx);
-                }
-                mapper.finish_split(&mut ctx);
-                let output_records = ctx.out.len() as u64;
-                let mut allocs = ctx.allocs() + input_records;
-                ctx.merge_counters_into(&counters);
-                let mut out = ctx.out;
-
-                // Map-side sort (Hadoop's sort-at-map): the run is ordered
-                // here, inside the already-parallel map phase; the combiner
-                // and the reduce-side k-way merge both consume sorted runs.
-                // The sort is stable, so equal keys keep emission order.
-                out.sort_by(|a, b| a.0.cmp(&b.0));
-
-                // Optional combiner, fed key groups off the sorted run.
-                if let Some(comb) = combiner {
-                    let mut cctx = MapContext::new(&counters, services, task_idx);
-                    let mut group: Vec<VM> = Vec::new(); // reused across groups
-                    let mut it = out.into_iter().peekable();
-                    while let Some((key, first)) = it.next() {
-                        group.push(first);
-                        while it.peek().is_some_and(|(k, _)| *k == key) {
-                            group.push(it.next().expect("peeked").1);
-                        }
-                        // Dropping the drain clears the buffer (allocation
-                        // kept) even if the combiner consumed only part.
-                        comb(&key, &mut group.drain(..), &mut cctx);
-                    }
-                    allocs += cctx.allocs();
-                    cctx.merge_counters_into(&counters);
-                    out = cctx.out;
-                    // Combiners normally emit per visited group, i.e.
-                    // already in key order; re-establish the invariant
-                    // only when one emitted out of order.
-                    if !is_key_sorted(&out) {
-                        out.sort_by(|a, b| a.0.cmp(&b.0));
-                    }
-                }
-
-                // Partition the sorted run into per-reducer spills; each
-                // spill inherits the key order, so its byte run is ready
-                // to merge without any reduce-side sort.
-                let mut spills: Vec<SpillRun> = vec![SpillRun::default(); reducers];
-                for (k, v) in &out {
-                    spills[partition_of(k, reducers)].push(k, v);
-                }
-                let spill_bytes: u64 = spills.iter().map(SpillRun::bytes).sum();
-
-                let cost = TaskCost {
-                    read_bytes: split.data.len() as u64 + side_bytes,
-                    write_bytes: spill_bytes,
-                    records: input_records + output_records,
-                    allocs,
-                };
-                Ok(MapResult {
-                    spills,
-                    input_records,
-                    output_records,
-                    cost,
-                })
-            },
+            map_fn,
         )?;
+
+        // Straggler mitigation: detect simulated stragglers among the map
+        // durations and really re-run duplicates (outputs discarded).
+        let map_durations: Vec<f64> = map_results
+            .iter()
+            .enumerate()
+            .map(|(i, (r, _))| r.cost.seconds(&self.cluster) * self.cluster.slowdown_for("map", i))
+            .collect();
+        let map_attempts: Vec<u32> = map_results.iter().map(|&(_, a)| a).collect();
+        let map_spec = run_speculation(
+            "map",
+            &self.speculation,
+            &self.failure_policy,
+            &self.cluster,
+            &counters,
+            &map_durations,
+            &map_attempts,
+            &spec_splits,
+            &map_fn,
+        );
 
         let mut map_phase = PhaseCost::new();
         let mut map_input_records = 0u64;
@@ -306,15 +390,19 @@ impl MrRuntime {
         let mut input_bytes = 0u64;
         let mut spilled_bytes = 0u64;
         let mut failed_attempts = 0u64;
-        for (r, attempts) in &map_results {
+        for (i, (r, attempts)) in map_results.iter().enumerate() {
             // Failed attempts occupied a slot for about as long as the
-            // successful one; charge them.
-            map_phase.push_task(r.cost.seconds(&self.cluster) * f64::from(*attempts));
+            // successful one; charge them. The successful attempt itself
+            // is charged at its speculation-adjusted effective duration.
+            map_phase.push_task(map_spec.effective[i] + map_durations[i] * f64::from(attempts - 1));
             failed_attempts += u64::from(attempts - 1);
             map_input_records += r.input_records;
             map_output_records += r.output_records;
             input_bytes += r.cost.read_bytes - side_bytes;
             spilled_bytes += r.cost.write_bytes; // exactly the spill bytes
+        }
+        for &occupancy in &map_spec.extra_slots {
+            map_phase.push_task(occupancy);
         }
         let map_tasks = map_results.len();
         drop(map_span);
@@ -371,87 +459,116 @@ impl MrRuntime {
             merge_fanin: u64,
         }
 
+        // Reduce tasks are dispatched by partition index and borrow their
+        // fetch list, so a retry or a speculative duplicate re-runs off
+        // the same spills without deep-copying them.
+        let reduce_fn = |r: usize, _item: usize| -> Result<ReduceResult, MrError> {
+            let spills = &fetches[r];
+            // The fetch: account every spill from its per-run size
+            // prefix (Hadoop's reduce-shuffle-bytes and the cross-node
+            // subset) — no per-record iteration.
+            let to_node = self.cluster.reduce_node(r);
+            let mut fetched_bytes = 0u64;
+            let mut cross_node_bytes = 0u64;
+            let mut consumed = 0u64;
+            let mut spill_runs = 0u64;
+            for (map_idx, s) in spills.iter().enumerate() {
+                fetched_bytes += s.bytes();
+                consumed += s.records;
+                if s.records > 0 {
+                    spill_runs += 1;
+                    if self.cluster.map_node(map_idx) != to_node {
+                        cross_node_bytes += s.bytes();
+                    }
+                }
+            }
+
+            // Schimmy: the matching partition of a previous output is
+            // one more sorted run in the merge heap (rank 0, so its
+            // values come first within a key group). Already-sorted
+            // partitions — the common case, since reduce outputs are
+            // written in key order — merge straight off their encoded
+            // bytes; unsorted ones fall back to decode + stable sort.
+            let (schimmy_run, schimmy_bytes): (Option<RunCursor<'_, KM, VM>>, u64) =
+                match schimmy_file {
+                    Some(f) => {
+                        let part = &f.partitions[r];
+                        let cursor = if encoded_keys_sorted::<KM>(&part.data)? {
+                            RunCursor::from_encoded(0, &part.data)?
+                        } else {
+                            let mut recs: Vec<(KM, VM)> = part.decode_all()?;
+                            recs.sort_by(|a, b| a.0.cmp(&b.0));
+                            RunCursor::from_owned(0, recs)
+                        };
+                        (cursor, part.data.len() as u64)
+                    }
+                    None => (None, 0),
+                };
+
+            let mut ctx = ReduceContext::new(&counters, services, r);
+            let merge_fanin = merge_sorted_runs(schimmy_run, spills, |key, values| {
+                reducer.reduce(key, values, &mut ctx);
+            })?;
+            ctx.merge_counters_into(&counters);
+
+            let output_records = ctx.out.len() as u64;
+            let allocs = ctx.allocs() + consumed;
+            let mut data = Vec::new();
+            for (k, v) in &ctx.out {
+                encode_record(k, v, &mut data);
+            }
+            let cost = TaskCost {
+                read_bytes: fetched_bytes + schimmy_bytes,
+                write_bytes: data.len() as u64,
+                records: consumed + output_records,
+                allocs,
+            };
+            Ok(ReduceResult {
+                partition: Partition {
+                    data,
+                    records: output_records,
+                    home_node: to_node,
+                },
+                output_records,
+                cost,
+                schimmy_bytes,
+                fetched_bytes,
+                cross_node_bytes,
+                spill_runs,
+                merge_fanin,
+            })
+        };
+
         let reduce_results: Vec<(ReduceResult, u32)> = run_parallel(
             "reduce",
             self.worker_threads,
             &self.failure_policy,
-            fetches,
-            |r, spills: Vec<SpillRun>| -> Result<ReduceResult, MrError> {
-                // The fetch: account every spill from its per-run size
-                // prefix (Hadoop's reduce-shuffle-bytes and the cross-node
-                // subset) — no per-record iteration.
-                let to_node = self.cluster.reduce_node(r);
-                let mut fetched_bytes = 0u64;
-                let mut cross_node_bytes = 0u64;
-                let mut consumed = 0u64;
-                let mut spill_runs = 0u64;
-                for (map_idx, s) in spills.iter().enumerate() {
-                    fetched_bytes += s.bytes();
-                    consumed += s.records;
-                    if s.records > 0 {
-                        spill_runs += 1;
-                        if self.cluster.map_node(map_idx) != to_node {
-                            cross_node_bytes += s.bytes();
-                        }
-                    }
-                }
-
-                // Schimmy: the matching partition of a previous output is
-                // one more sorted run in the merge heap (rank 0, so its
-                // values come first within a key group). Already-sorted
-                // partitions — the common case, since reduce outputs are
-                // written in key order — merge straight off their encoded
-                // bytes; unsorted ones fall back to decode + stable sort.
-                let (schimmy_run, schimmy_bytes): (Option<RunCursor<'_, KM, VM>>, u64) =
-                    match schimmy_file {
-                        Some(f) => {
-                            let part = &f.partitions[r];
-                            let cursor = if encoded_keys_sorted::<KM>(&part.data)? {
-                                RunCursor::from_encoded(0, &part.data)?
-                            } else {
-                                let mut recs: Vec<(KM, VM)> = part.decode_all()?;
-                                recs.sort_by(|a, b| a.0.cmp(&b.0));
-                                RunCursor::from_owned(0, recs)
-                            };
-                            (cursor, part.data.len() as u64)
-                        }
-                        None => (None, 0),
-                    };
-
-                let mut ctx = ReduceContext::new(&counters, services, r);
-                let merge_fanin = merge_sorted_runs(schimmy_run, &spills, |key, values| {
-                    reducer.reduce(key, values, &mut ctx);
-                })?;
-                ctx.merge_counters_into(&counters);
-
-                let output_records = ctx.out.len() as u64;
-                let allocs = ctx.allocs() + consumed;
-                let mut data = Vec::new();
-                for (k, v) in &ctx.out {
-                    encode_record(k, v, &mut data);
-                }
-                let cost = TaskCost {
-                    read_bytes: fetched_bytes + schimmy_bytes,
-                    write_bytes: data.len() as u64,
-                    records: consumed + output_records,
-                    allocs,
-                };
-                Ok(ReduceResult {
-                    partition: Partition {
-                        data,
-                        records: output_records,
-                        home_node: to_node,
-                    },
-                    output_records,
-                    cost,
-                    schimmy_bytes,
-                    fetched_bytes,
-                    cross_node_bytes,
-                    spill_runs,
-                    merge_fanin,
-                })
-            },
+            (0..reducers).collect(),
+            reduce_fn,
         )?;
+
+        let reduce_durations: Vec<f64> = reduce_results
+            .iter()
+            .enumerate()
+            .map(|(r, (res, _))| {
+                res.cost.seconds(&self.cluster) * self.cluster.slowdown_for("reduce", r)
+            })
+            .collect();
+        let reduce_attempts: Vec<u32> = reduce_results.iter().map(|&(_, a)| a).collect();
+        // Duplicates run before `end_round` so stateful services (e.g. the
+        // FF driver's aug_proc) see their submissions within the round,
+        // exactly as a real speculative reducer's would arrive.
+        let reduce_spec = run_speculation(
+            "reduce",
+            &self.speculation,
+            &self.failure_policy,
+            &self.cluster,
+            &counters,
+            &reduce_durations,
+            &reduce_attempts,
+            &(0..reducers).collect::<Vec<usize>>(),
+            &reduce_fn,
+        );
 
         job.services.end_round();
 
@@ -465,8 +582,10 @@ impl MrRuntime {
         let mut spill_runs = 0u64;
         let mut merge_fanin_max = 0u64;
         let mut partitions = Vec::with_capacity(reducers);
-        for (r, attempts) in reduce_results {
-            reduce_phase.push_task(r.cost.seconds(&self.cluster) * f64::from(attempts));
+        for (i, (r, attempts)) in reduce_results.into_iter().enumerate() {
+            reduce_phase.push_task(
+                reduce_spec.effective[i] + reduce_durations[i] * f64::from(attempts - 1),
+            );
             failed_attempts += u64::from(attempts - 1);
             reduce_output_records += r.output_records;
             output_bytes += r.partition.data.len() as u64;
@@ -480,7 +599,12 @@ impl MrRuntime {
                 .record(r.merge_fanin);
             partitions.push(r.partition);
         }
+        for &occupancy in &reduce_spec.extra_slots {
+            reduce_phase.push_task(occupancy);
+        }
         let reduce_tasks = partitions.len();
+        let speculative_launched = map_spec.launched + reduce_spec.launched;
+        let speculative_won = map_spec.won + reduce_spec.won;
         self.dfs.insert_file(&cfg.output, DfsFile { partitions })?;
         drop(reduce_span);
 
@@ -519,6 +643,8 @@ impl MrRuntime {
             map_tasks,
             reduce_tasks,
             failed_attempts,
+            speculative_launched,
+            speculative_won,
             sim_seconds,
             wall_seconds: wall_start.elapsed().as_secs_f64(),
             counters: counters.snapshot(),
@@ -560,10 +686,119 @@ fn fold_job_metrics(stats: &JobStats) {
         .add(stats.reduce_tasks as u64);
     m.counter("ffmr_mr_failed_attempts_total", &[])
         .add(stats.failed_attempts);
+    m.counter("ffmr_mr_speculative_launched_total", &[])
+        .add(stats.speculative_launched);
+    m.counter("ffmr_mr_speculative_won_total", &[])
+        .add(stats.speculative_won);
     m.counter("ffmr_mr_sim_millis_total", &[])
         .add((stats.sim_seconds * 1_000.0).max(0.0) as u64);
     m.histogram("ffmr_mr_job_wall_us", &[])
         .record((stats.wall_seconds * 1_000_000.0).max(0.0) as u64);
+}
+
+/// What one phase's speculation pass decided and charged.
+struct SpecOutcome {
+    /// Per task: the successful attempt's effective duration — the base
+    /// duration, or the earlier speculative finish when a duplicate won.
+    effective: Vec<f64>,
+    /// Slot occupancy of each losing attempt (original or duplicate),
+    /// charged as extra phase entries.
+    extra_slots: Vec<f64>,
+    /// Duplicates launched.
+    launched: u64,
+    /// Duplicates that finished first.
+    won: u64,
+}
+
+/// Detects simulated stragglers in one phase and runs their speculative
+/// duplicates.
+///
+/// Simulation: a task whose duration exceeds the phase's `percentile`
+/// duration by `slack`x gets a duplicate, launched at that detection
+/// threshold on a healthy node (so it runs at the un-slowed duration).
+/// Whichever attempt finishes first wins; the loser occupies a slot until
+/// it is killed and that occupancy is charged.
+///
+/// Host side: the duplicate genuinely re-executes the task closure — so
+/// attached services observe duplicate calls, which must be idempotent —
+/// but its output is dropped and counter increments are rolled back, as
+/// only one attempt's results may count. The duplicate's attempt index
+/// continues the retry numbering so fault injectors can target it; an
+/// injected or panicking duplicate simply never wins.
+#[allow(
+    clippy::too_many_arguments,
+    clippy::cast_precision_loss,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss
+)]
+fn run_speculation<T, R, F>(
+    phase: &'static str,
+    spec: &SpeculationPolicy,
+    failure: &FailurePolicy,
+    cluster: &ClusterConfig,
+    counters: &Counters,
+    durations: &[f64],
+    attempts: &[u32],
+    items: &[T],
+    f: &F,
+) -> SpecOutcome
+where
+    T: Clone,
+    F: Fn(usize, T) -> Result<R, MrError> + Sync,
+{
+    let n = durations.len();
+    let mut out = SpecOutcome {
+        effective: durations.to_vec(),
+        extra_slots: Vec::new(),
+        launched: 0,
+        won: 0,
+    };
+    if !spec.enabled || n < spec.min_tasks.max(1) {
+        return out;
+    }
+    let mut sorted = durations.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let baseline = sorted[((n - 1) as f64 * spec.percentile.clamp(0.0, 1.0)).floor() as usize];
+    let threshold = baseline * spec.slack.max(1.0);
+    if threshold <= 0.0 {
+        // Degenerate all-zero phase: nothing to win against.
+        return out;
+    }
+    for (i, &d) in durations.iter().enumerate() {
+        if d <= threshold {
+            continue;
+        }
+        out.launched += 1;
+        // Really re-run the task, then roll its counter increments back:
+        // exactly one attempt's counters count (Hadoop keeps the winner's;
+        // for pure tasks the two are identical, so keeping the original's
+        // is equivalent and keeps outputs byte-identical).
+        let snapshot = counters.snapshot();
+        let attempt = attempts[i];
+        let injected = failure
+            .injector
+            .as_ref()
+            .is_some_and(|inject| inject(phase, i, attempt));
+        let completed = !injected && run_task(phase, i, items[i].clone(), f).is_ok();
+        counters.restore(&snapshot);
+
+        let healthy = d / cluster.slowdown_for(phase, i).max(1.0);
+        let spec_finish = threshold + healthy;
+        if completed && spec_finish < d {
+            // Duplicate wins: the original is killed at the speculative
+            // finish (its occupancy is the new effective duration); the
+            // duplicate occupied a slot for its whole healthy run.
+            out.won += 1;
+            out.effective[i] = spec_finish;
+            out.extra_slots.push(healthy);
+        } else if completed {
+            // Original wins: the duplicate is killed when the original
+            // finishes, after (d - threshold) seconds in its slot.
+            out.extra_slots.push(d - threshold);
+        }
+        // A crashed duplicate vacates its slot immediately: no charge.
+    }
+    out
 }
 
 /// Stable hash partitioner (deterministic across runs and platforms for a

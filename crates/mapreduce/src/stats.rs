@@ -43,6 +43,11 @@ pub struct JobStats {
     /// Task attempts that failed and were retried (see
     /// [`FailurePolicy`](crate::runtime::FailurePolicy)).
     pub failed_attempts: u64,
+    /// Speculative duplicate attempts launched for straggling tasks (see
+    /// [`SpeculationPolicy`](crate::runtime::SpeculationPolicy)).
+    pub speculative_launched: u64,
+    /// Speculative duplicates that finished before the original attempt.
+    pub speculative_won: u64,
     /// Simulated job duration in seconds under the cluster cost model.
     pub sim_seconds: f64,
     /// Host wall-clock spent actually executing the job, in seconds.

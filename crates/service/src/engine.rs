@@ -13,8 +13,9 @@
 //! counters (zero for sequential routes) so clients can see what a query
 //! cost.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use ffmr_core::{FfConfig, FfError, FfRun, FfVariant};
@@ -67,7 +68,25 @@ pub struct QueryEngine {
     store: Arc<GraphStore>,
     cache: FlowCache,
     config: EngineConfig,
+    /// Runtimes whose MapReduce query was cancelled after checkpointing
+    /// at least one round. A retry of the *same* query (same cache key
+    /// and solver) resumes from the stashed runtime's DFS instead of
+    /// recomputing from round 0 — turning a too-tight deadline into
+    /// incremental progress. Bounded FIFO: the oldest stash is dropped
+    /// when full.
+    stash: Mutex<VecDeque<StashedRun>>,
 }
+
+/// One cancelled-but-checkpointed MapReduce runtime awaiting a retry.
+#[derive(Debug)]
+struct StashedRun {
+    key: CacheKey,
+    solver: String,
+    rt: MrRuntime,
+}
+
+/// How many cancelled runtimes the engine keeps for resumption.
+const STASH_CAPACITY: usize = 4;
 
 /// Which solver a query resolved to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,6 +125,7 @@ impl QueryEngine {
             cache: FlowCache::new(config.cache_capacity),
             store,
             config,
+            stash: Mutex::new(VecDeque::new()),
         }
     }
 
@@ -292,13 +312,24 @@ impl QueryEngine {
         let timeout_ms: u64 = request
             .get_parsed("timeout-ms")?
             .unwrap_or(self.config.default_timeout.as_millis() as u64);
-        let answer = self.solve(&resolved, solver, kind, Duration::from_millis(timeout_ms))?;
+        // Diagnostic: cooperatively cancel the MR driver once it has
+        // completed this many rounds — exercises the cancel/checkpoint/
+        // resume path without tuning a wall-clock deadline.
+        let cancel_after_rounds: Option<usize> = request.get_parsed("cancel-after-rounds")?;
+        let (answer, resumed) = self.solve(
+            &resolved,
+            solver,
+            kind,
+            Duration::from_millis(timeout_ms),
+            &key,
+            cancel_after_rounds,
+        )?;
         if use_cache {
             self.cache.put(key, answer.clone());
         }
-        Ok(render_answer(
-            &answer, kind, &resolved, dataset, snap.epoch, false,
-        ))
+        let mut response = render_answer(&answer, kind, &resolved, dataset, snap.epoch, false);
+        response.push("resumed", u8::from(resumed));
+        Ok(response)
     }
 
     fn resolve_terminals(
@@ -370,13 +401,17 @@ impl QueryEngine {
         })
     }
 
+    /// Solves the query; the second result element reports whether a
+    /// MapReduce run was resumed from a stashed checkpoint.
     fn solve(
         &self,
         q: &ResolvedQuery,
         solver: Solver,
         kind: QueryKind,
         timeout: Duration,
-    ) -> Result<CachedAnswer, String> {
+        key: &CacheKey,
+        cancel_after_rounds: Option<usize>,
+    ) -> Result<(CachedAnswer, bool), String> {
         match solver {
             Solver::Sequential(algo) => {
                 // Sequential solvers are not cooperatively cancellable;
@@ -397,10 +432,11 @@ impl QueryEngine {
                     answer.cut_edges = Some(cut.cut_edges.len());
                     answer.cut_source_side = Some(cut.source_side.len());
                 }
-                Ok(answer)
+                Ok((answer, false))
             }
             Solver::MapReduce(name, variant) => {
-                let (run, rt) = self.run_mapreduce(q, variant, timeout)?;
+                let (run, rt, resumed) =
+                    self.run_mapreduce(q, name, variant, timeout, key, cancel_after_rounds)?;
                 let mut answer = CachedAnswer {
                     flow: run.max_flow_value,
                     solver: name.to_string(),
@@ -426,21 +462,45 @@ impl QueryEngine {
                     answer.cut_edges = Some(cut.cut_edges.len());
                     answer.cut_source_side = Some(cut.source_side.len());
                 }
-                Ok(answer)
+                Ok((answer, resumed))
             }
         }
     }
 
+    /// Pops a stashed runtime matching this query, if any.
+    fn take_stashed(&self, key: &CacheKey, solver: &str) -> Option<MrRuntime> {
+        let mut stash = self.stash.lock().expect("stash lock");
+        let pos = stash
+            .iter()
+            .position(|s| s.key == *key && s.solver == solver)?;
+        stash.remove(pos).map(|s| s.rt)
+    }
+
+    /// Stashes a cancelled-but-checkpointed runtime for later resumption.
+    fn stash_runtime(&self, key: CacheKey, solver: String, rt: MrRuntime) {
+        let mut stash = self.stash.lock().expect("stash lock");
+        // A retry of the same query must find the *newest* progress.
+        stash.retain(|s| !(s.key == key && s.solver == solver));
+        if stash.len() >= STASH_CAPACITY {
+            stash.pop_front();
+        }
+        stash.push_back(StashedRun { key, solver, rt });
+    }
+
     /// Runs the FF driver with a watchdog thread that raises the
     /// cancellation hook at the deadline; the driver aborts between
-    /// rounds with [`FfError::Cancelled`].
+    /// rounds with [`FfError::Cancelled`]. A cancelled run that reached a
+    /// checkpoint is stashed so an identical retry resumes it; the third
+    /// result element reports whether *this* run was such a resumption.
     fn run_mapreduce(
         &self,
         q: &ResolvedQuery,
+        solver_name: &str,
         variant: FfVariant,
         timeout: Duration,
-    ) -> Result<(FfRun, MrRuntime), String> {
-        let mut rt = MrRuntime::new(ClusterConfig::paper_cluster(self.config.cluster_nodes));
+        key: &CacheKey,
+        cancel_after_rounds: Option<usize>,
+    ) -> Result<(FfRun, MrRuntime, bool), String> {
         let cancel = Arc::new(AtomicBool::new(false));
         let done = Arc::new(AtomicBool::new(false));
         let watchdog = {
@@ -457,19 +517,56 @@ impl QueryEngine {
                 }
             })
         };
-        let config = FfConfig::new(q.source, q.sink)
+        let mut config = FfConfig::new(q.source, q.sink)
             .variant(variant)
             .reducers(self.config.reducers)
             .cancel_flag(Arc::clone(&cancel));
-        let result = ffmr_core::run_max_flow(&mut rt, &q.net, &config);
+        if let Some(limit) = cancel_after_rounds {
+            let flag = Arc::clone(&cancel);
+            config = config.on_round(move |stats| {
+                if stats.round >= limit {
+                    flag.store(true, Ordering::Relaxed);
+                }
+            });
+        }
+
+        let fresh_run = |config: &FfConfig| {
+            let mut rt = MrRuntime::new(ClusterConfig::paper_cluster(self.config.cluster_nodes));
+            let result = ffmr_core::run_max_flow(&mut rt, &q.net, config);
+            (rt, result, false)
+        };
+        let (rt, result, resumed) = match self.take_stashed(key, solver_name) {
+            Some(mut rt) => match ffmr_core::resume_max_flow(&mut rt, &config) {
+                // An unusable checkpoint (e.g. clobbered DFS) falls back
+                // to a full recomputation rather than failing the query.
+                Err(FfError::Checkpoint(_)) => fresh_run(&config),
+                result => (rt, result, true),
+            },
+            None => fresh_run(&config),
+        };
         done.store(true, Ordering::Relaxed);
         let _ = watchdog.join();
         match result {
-            Ok(run) => Ok((run, rt)),
-            Err(FfError::Cancelled { rounds_completed }) => Err(format!(
-                "timeout after {}ms ({rounds_completed} rounds completed)",
-                timeout.as_millis()
-            )),
+            Ok(run) => {
+                if resumed {
+                    ffmr_obs::global()
+                        .counter("ffmr_query_resumed_total", &[])
+                        .inc();
+                }
+                Ok((run, rt, resumed))
+            }
+            Err(FfError::Cancelled { rounds_completed }) => {
+                let base = format!(
+                    "timeout after {}ms ({rounds_completed} rounds completed",
+                    timeout.as_millis()
+                );
+                if rt.dfs().blob_bytes("ffmr/checkpoint") > 0 {
+                    self.stash_runtime(key.clone(), solver_name.to_string(), rt);
+                    Err(format!("{base}; progress checkpointed, retry to resume)"))
+                } else {
+                    Err(format!("{base})"))
+                }
+            }
             Err(e) => Err(e.to_string()),
         }
     }
@@ -674,6 +771,43 @@ mod tests {
         let r = engine.execute(&q);
         assert_eq!(r.head, status::ERROR, "{r:?}");
         assert!(r.get("message").unwrap().contains("timeout"), "{r:?}");
+    }
+
+    #[test]
+    fn cancelled_mapreduce_queries_resume_on_retry() {
+        let n = 600;
+        let net = FlowNetwork::from_undirected_unit(n, &gen::barabasi_albert(n, 3, 11));
+        let config = EngineConfig {
+            mr_threshold_vertices: 10, // force the MR route
+            ..EngineConfig::default()
+        };
+        let engine = engine_with(net, config);
+        let base_query = || {
+            Message::new("maxflow")
+                .field("dataset", "g")
+                .field("w", 3)
+                .field("seed", 11)
+        };
+
+        // Cancel deterministically after the first flow round: the run
+        // dies mid-flight but its checkpoint survives in the stash.
+        let cancelled = engine.execute(&base_query().field("cancel-after-rounds", 1));
+        assert_eq!(cancelled.head, status::ERROR, "{cancelled:?}");
+        let message = cancelled.get("message").unwrap();
+        assert!(message.contains("1 rounds completed"), "{message}");
+        assert!(message.contains("retry to resume"), "{message}");
+
+        // The identical retry resumes from the checkpoint instead of
+        // recomputing from round 0 and completes normally.
+        let retry = engine.execute(&base_query());
+        assert_eq!(retry.head, status::OK, "{retry:?}");
+        assert_eq!(retry.get("resumed"), Some("1"));
+        assert_eq!(retry.get("cached"), Some("0"));
+
+        // A from-scratch run agrees on the answer.
+        let fresh = engine.execute(&base_query().field("no-cache", 1));
+        assert_eq!(fresh.get("resumed"), Some("0"), "stash was consumed");
+        assert_eq!(fresh.get("flow"), retry.get("flow"));
     }
 
     #[test]

@@ -5,7 +5,9 @@
 //! ffmr info --input graph.txt
 //! ffmr maxflow --input graph.txt --source 0 --sink 999 \
 //!       [--algorithm ff5|ff1|dinic|edmonds-karp|push-relabel|capacity-scaling|pregel]
-//!       [--nodes 20] [--w 0]
+//!       [--nodes 20] [--w 0] [--threads N] [--state FILE] [--resume]
+//!       [--crash-after-round N] [--crash-in-round N]
+//!       [--speculate] [--slow-task PHASE:TASKxFACTOR]
 //! ffmr serve --listen 127.0.0.1:7227 --graph fb=graph.txt [--graph ...]
 //!       [--workers 4] [--queue 16] [--cache 256] [--mr-threshold 2000]
 //! ffmr query --addr 127.0.0.1:7227 --op maxflow --dataset fb \
@@ -64,19 +66,30 @@ fn print_help() {
          \x20 maxflow  --input FILE (--source S --sink T | --w N)\n\
          \x20          [--algorithm ff1..ff5|dinic|edmonds-karp|ford-fulkerson|\n\
          \x20           push-relabel|capacity-scaling|pregel]\n\
-         \x20          [--nodes N] [--reducers R] [--seed S]\n\
+         \x20          [--nodes N] [--reducers R] [--seed S] [--threads N]\n\
+         \x20          [--state FILE] [--resume] [--crash-after-round N]\n\
+         \x20          [--crash-in-round N] [--speculate]\n\
+         \x20          [--slow-task PHASE:TASKxFACTOR]\n\
          \x20 serve    --listen HOST:PORT --graph NAME=FILE [--graph ...]\n\
          \x20          [--workers N] [--queue N] [--cache N] [--mr-threshold N]\n\
          \x20          [--nodes N] [--reducers R] [--timeout-ms N]\n\
          \x20 query    --addr HOST:PORT --op maxflow|mincut|stats|list|load|reload|\n\
          \x20          ping|shutdown [--dataset D] (--source S --sink T | --w N)\n\
          \x20          [--algorithm auto|...] [--seed S] [--timeout-ms N] [--no-cache]\n\
+         \x20          [--cancel-after-rounds N]\n\
          \x20 stats    [--addr HOST:PORT] [--dataset D] [--prometheus] [--watch]\n\
          \x20          [--interval-ms N]\n\n\
          observability:\n\
          \x20 maxflow/serve also accept --trace-file FILE to write one JSON\n\
          \x20 line per span (FF rounds, MapReduce phases, queries);\n\
-         \x20 `stats --prometheus` prints the text exposition for scraping."
+         \x20 `stats --prometheus` prints the text exposition for scraping.\n\n\
+         fault tolerance:\n\
+         \x20 FF runs checkpoint every round. --state FILE persists the\n\
+         \x20 simulated DFS on exit (success or injected crash) and\n\
+         \x20 --resume --state FILE continues from the newest checkpoint.\n\
+         \x20 --crash-after-round/--crash-in-round N inject driver crashes;\n\
+         \x20 --speculate launches duplicates for stragglers injected with\n\
+         \x20 --slow-task (e.g. --slow-task map:2x10 = map task 2, 10x slow)."
     );
 }
 
@@ -92,7 +105,7 @@ fn install_trace_file(opts: &Options) -> Result<(), String> {
 }
 
 /// Options that stand alone (no value argument follows them).
-const FLAGS: &[&str] = &["prometheus", "watch", "no-cache"];
+const FLAGS: &[&str] = &["prometheus", "watch", "no-cache", "resume", "speculate"];
 
 /// Pulls `--name value` pairs (and bare `--flag`s) out of an argument
 /// list.
@@ -255,9 +268,66 @@ fn run_maxflow(args: &[String]) -> Result<(), String> {
         _ => None,
     };
     if let Some(variant) = variant {
-        let mut rt = MrRuntime::new(ClusterConfig::paper_cluster(nodes));
-        let config = FfConfig::new(s, t).variant(variant).reducers(reducers);
-        let run = ffmr_core::run_max_flow(&mut rt, &net, &config).map_err(|e| e.to_string())?;
+        let mut cluster = ClusterConfig::paper_cluster(nodes);
+        for spec in opts.get_all("slow-task") {
+            cluster.slow_tasks.push(parse_slow_task(spec)?);
+        }
+        let mut rt = MrRuntime::new(cluster);
+        let threads: usize = opts.parsed("threads", 0)?;
+        if threads > 0 {
+            // 1 pins service-call ordering (bit-reproducible runs).
+            rt.set_worker_threads(Some(threads));
+        }
+        if opts.has("speculate") {
+            rt.set_speculation(SpeculationPolicy::hadoop_default());
+        }
+
+        let mut config = FfConfig::new(s, t).variant(variant).reducers(reducers);
+        if let Some(round) = opts.get("crash-after-round") {
+            let round = round.parse().map_err(|_| "invalid --crash-after-round")?;
+            config = config.crash_point(CrashPoint::AfterRound(round));
+        }
+        if let Some(round) = opts.get("crash-in-round") {
+            let round = round.parse().map_err(|_| "invalid --crash-in-round")?;
+            config = config.crash_point(CrashPoint::MidRound(round));
+        }
+
+        let state_file = opts.get("state");
+        let result = if opts.has("resume") {
+            let path = state_file.ok_or("--resume needs --state FILE")?;
+            let image =
+                std::fs::read(path).map_err(|e| format!("cannot read state file {path}: {e}"))?;
+            *rt.dfs_mut() =
+                Dfs::from_image(&image).map_err(|e| format!("corrupt state file {path}: {e}"))?;
+            let manifest = ffmr_core::checkpoint::read_checkpoint(rt.dfs(), &config.base_path)
+                .map_err(|e| e.to_string())?;
+            println!("resumed from round {}", manifest.round);
+            ffmr_core::resume_max_flow(&mut rt, &config)
+        } else {
+            ffmr_core::run_max_flow(&mut rt, &net, &config)
+        };
+
+        let run = match result {
+            Ok(run) => run,
+            Err(FfError::CrashInjected { round }) => {
+                let Some(path) = state_file else {
+                    return Err(format!(
+                        "injected driver crash at round {round} (no --state FILE, progress lost)"
+                    ));
+                };
+                std::fs::write(path, rt.dfs().to_image())
+                    .map_err(|e| format!("cannot write state file {path}: {e}"))?;
+                return Err(format!(
+                    "injected driver crash at round {round}; state saved to {path} \
+                     (resume with --resume --state {path})"
+                ));
+            }
+            Err(e) => return Err(e.to_string()),
+        };
+        if let Some(path) = state_file {
+            std::fs::write(path, rt.dfs().to_image())
+                .map_err(|e| format!("cannot write state file {path}: {e}"))?;
+        }
         println!(
             "max flow = {} ({} rounds, {:.1} simulated min on {nodes} nodes)",
             run.max_flow_value,
@@ -292,6 +362,29 @@ fn run_maxflow(args: &[String]) -> Result<(), String> {
         cut.source_side.len()
     );
     Ok(())
+}
+
+/// Parses a straggler-injection spec `PHASE:TASKxFACTOR`, e.g.
+/// `map:2x10` (map task 2 runs 10x slower) or `any:0x3`.
+fn parse_slow_task(spec: &str) -> Result<SlowTask, String> {
+    let bad = || format!("--slow-task wants PHASE:TASKxFACTOR (e.g. map:2x10), got '{spec}'");
+    let (phase, rest) = spec.split_once(':').ok_or_else(bad)?;
+    let phase: &'static str = match phase {
+        "map" => "map",
+        "reduce" => "reduce",
+        "any" | "" => "",
+        _ => {
+            return Err(format!(
+                "--slow-task phase must be map|reduce|any: '{spec}'"
+            ))
+        }
+    };
+    let (task, factor) = rest.split_once('x').ok_or_else(bad)?;
+    Ok(SlowTask {
+        phase,
+        task: task.parse().map_err(|_| bad())?,
+        factor: factor.parse().map_err(|_| bad())?,
+    })
 }
 
 fn serve(args: &[String]) -> Result<(), String> {
@@ -364,6 +457,7 @@ fn query(args: &[String]) -> Result<(), String> {
         "min-degree",
         "algorithm",
         "timeout-ms",
+        "cancel-after-rounds",
         "no-cache",
         "path",
         "ms",

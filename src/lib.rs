@@ -53,9 +53,10 @@ pub use swgraph;
 /// The most common imports in one place.
 pub mod prelude {
     pub use ffmr_core::{
-        run_max_flow, AugProc, ExcessPath, FfConfig, FfError, FfRun, FfVariant, KPolicy,
+        resume_max_flow, run_max_flow, AugProc, CrashPoint, ExcessPath, FfConfig, FfError, FfRun,
+        FfVariant, KPolicy,
     };
-    pub use mapreduce::{ClusterConfig, Dfs, JobBuilder, MrRuntime};
+    pub use mapreduce::{ClusterConfig, Dfs, JobBuilder, MrRuntime, SlowTask, SpeculationPolicy};
     pub use maxflow::{Algorithm, FlowResult};
     pub use swgraph::{Capacity, EdgeId, FlowNetwork, FlowNetworkBuilder, VertexId};
 }
