@@ -1,7 +1,8 @@
 //! Bench: the sequential reference solvers against each other on a
 //! small-world graph — context for how far the MR overheads sit above
-//! raw algorithmic cost — plus an A/B group measuring the cost of the
-//! per-query metrics recording with the registry enabled vs disabled.
+//! raw algorithmic cost — plus A/B groups measuring the cost of the
+//! per-query metrics recording (registry enabled vs disabled) and of
+//! the per-attempt flight recorder (events on vs off).
 
 use ffmr_bench::harness::{criterion_group, criterion_main, Criterion};
 use maxflow::Algorithm;
@@ -56,5 +57,51 @@ fn bench_metrics_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench, bench_metrics_overhead);
+/// The flight-recorder acceptance bar: a full MapReduce job with
+/// per-attempt event recording on must cost the same as with the
+/// recorder off to within a few percent (<5% is the budget) — an event
+/// is one timeline reconstruction per phase plus one ring push per
+/// attempt, never a serialization pass unless a sink is installed.
+fn bench_report_overhead(c: &mut Criterion) {
+    use mapreduce::{ClusterConfig, JobBuilder, MapContext, MrRuntime, ReduceContext};
+    let recorder = ffmr_obs::events::recorder();
+    let mut group = c.benchmark_group("report_overhead");
+    group.sample_size(20);
+    for (id, enabled) in [("events_on", true), ("events_off", false)] {
+        group.bench_function(id, move |b| {
+            recorder.set_enabled(enabled);
+            let mut rt = MrRuntime::new(ClusterConfig::small_cluster(4));
+            rt.dfs_mut()
+                .write_records("in", 4, (0..20_000u64).map(|i| (i, i % 97)))
+                .expect("write input");
+            b.iter(|| {
+                rt.dfs_mut().delete("out");
+                let job = JobBuilder::new("report-overhead")
+                    .input("in")
+                    .output("out")
+                    .reducers(4)
+                    .map(|k: &u64, v: &u64, ctx: &mut MapContext<u64, u64>| {
+                        ctx.emit(k % 64, *v);
+                    })
+                    .reduce(
+                        |k: &u64,
+                         vs: &mut dyn Iterator<Item = u64>,
+                         ctx: &mut ReduceContext<u64, u64>| {
+                            ctx.emit(*k, vs.sum());
+                        },
+                    );
+                black_box(rt.run(job).expect("job"))
+            });
+        });
+    }
+    recorder.set_enabled(false);
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench,
+    bench_metrics_overhead,
+    bench_report_overhead
+);
 criterion_main!(benches);

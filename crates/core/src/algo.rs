@@ -414,6 +414,15 @@ fn raw_input_path(base: &str) -> String {
     format!("{base}/raw-edges")
 }
 
+/// DFS blob path of the job-history file for a chain base path: one
+/// [`ffmr_obs::RoundProfile`] JSON line per completed round, appended as
+/// the run progresses (beside the round checkpoints). `ffmr report`
+/// reads this file; a resumed run keeps extending it.
+#[must_use]
+pub fn history_path(base: &str) -> String {
+    format!("{base}/history/rounds.jsonl")
+}
+
 /// Like [`run_max_flow`] but starting from an already-loaded raw edge
 /// file (see [`round0::load_raw_edges`]).
 ///
@@ -438,7 +447,7 @@ pub fn run_max_flow_from_input(
         });
     }
     let round0_started = std::time::Instant::now();
-    let stats0 = {
+    let mut stats0 = {
         let mut span = ffmr_obs::span("ff.round");
         span.field("round", 0);
         round0::run_round0(rt, input_path, &config.base_path, config.reducers, &shared)?
@@ -458,10 +467,21 @@ pub fn run_max_flow_from_input(
         max_graph_bytes: graph0,
         deltas: Arc::new(AugmentedEdges::new(0)),
         next_round: 1,
+        history: String::new(),
     };
     config
         .hooks
         .report(state.rounds.last().expect("round 0 pushed"));
+    record_history(
+        rt,
+        config,
+        &mut state,
+        0,
+        stats0.name.clone(),
+        std::mem::take(&mut stats0.task_events),
+        stats0.sim_seconds,
+        round0_started.elapsed().as_secs_f64(),
+    );
     if config.checkpoint {
         checkpoint::write_checkpoint(
             rt.dfs_mut(),
@@ -534,6 +554,20 @@ pub fn resume_max_flow(rt: &mut MrRuntime, config: &FfConfig) -> Result<FfRun, F
     run_span.field("sink", config.sink);
     run_span.field("resumed_from", manifest.round);
 
+    // Reload the job history written so far, dropping any lines newer
+    // than the manifest (a crash can leave the blob ahead of the
+    // checkpoint only if ordering ever changes; filtering is cheap
+    // insurance either way).
+    let mut history = String::new();
+    if let Ok(bytes) = rt.dfs().read_blob(&history_path(&config.base_path)) {
+        for line in String::from_utf8_lossy(bytes).lines() {
+            if ffmr_obs::RoundProfile::from_json(line).is_ok_and(|p| p.round <= manifest.round) {
+                history.push_str(line);
+                history.push('\n');
+            }
+        }
+    }
+
     let finished = manifest.finished;
     let mut state = LoopState {
         next_round: manifest.round + 1,
@@ -541,6 +575,7 @@ pub fn resume_max_flow(rt: &mut MrRuntime, config: &FfConfig) -> Result<FfRun, F
         max_graph_bytes: manifest.max_graph_bytes,
         deltas: Arc::new(manifest.deltas),
         rounds: manifest.rounds,
+        history,
     };
     if finished {
         return Ok(finish(config, &mut state, run_span));
@@ -579,6 +614,61 @@ struct LoopState {
     /// round's mappers.
     deltas: Arc<AugmentedEdges>,
     next_round: usize,
+    /// Accumulated job-history JSONL (one [`ffmr_obs::RoundProfile`] line
+    /// per completed round), mirrored to the [`history_path`] blob after
+    /// every round. Not part of the checkpoint manifest: a resumed run
+    /// reloads it from the blob instead.
+    history: String,
+}
+
+/// Appends the round's flight-recorder profile to the in-memory history
+/// and re-persists the [`history_path`] blob. Runs only when
+/// checkpointing is on — history rides the same durability switch.
+#[allow(clippy::too_many_arguments)]
+fn record_history(
+    rt: &mut MrRuntime,
+    config: &FfConfig,
+    state: &mut LoopState,
+    round: usize,
+    job: String,
+    events: Vec<ffmr_obs::TaskEvent>,
+    sim_seconds: f64,
+    wall_seconds: f64,
+) {
+    if !config.checkpoint {
+        return;
+    }
+    let profile = ffmr_obs::RoundProfile::compute(round, job, events, sim_seconds, wall_seconds);
+    state.history.push_str(&profile.to_json());
+    state.history.push('\n');
+    rt.dfs_mut().write_blob(
+        &history_path(&config.base_path),
+        state.history.clone().into_bytes(),
+    );
+}
+
+/// Window of trailing flow-round wall times the anomaly sentinel
+/// considers.
+const ANOMALY_WINDOW: usize = 8;
+/// A round is anomalous when its wall time exceeds this multiple of the
+/// trailing median.
+const ANOMALY_FACTOR: f64 = 4.0;
+/// Rounds faster than this (seconds) are never flagged — sub-second
+/// rounds jitter wildly on loaded hosts and the absolute cost is noise.
+const ANOMALY_MIN_WALL: f64 = 0.25;
+
+/// Whether `current` (a round's wall seconds) is anomalously slow
+/// relative to the trailing median of `prior_walls` (previous flow
+/// rounds, oldest first). Requires at least three samples in the window
+/// so one slow warm-up round cannot become the whole baseline.
+fn round_is_anomalous(prior_walls: &[f64], current: f64, factor: f64, min_wall: f64) -> bool {
+    let tail = &prior_walls[prior_walls.len().saturating_sub(ANOMALY_WINDOW)..];
+    if tail.len() < 3 || current < min_wall {
+        return false;
+    }
+    let mut sorted = tail.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    current > factor * sorted[sorted.len() / 2]
 }
 
 fn manifest_from_state(config: &FfConfig, state: &LoopState, finished: bool) -> CheckpointManifest {
@@ -647,7 +737,7 @@ fn run_rounds(
             builder = builder.schimmy_input(&input);
         }
         let job = builder.map(mapper).reduce(reducer);
-        let stats = rt.run(job).map_err(FfError::Mr)?;
+        let mut stats = rt.run(job).map_err(FfError::Mr)?;
 
         if config.crash_point == Some(CrashPoint::MidRound(round)) {
             // The driver "dies" after the MR job but before recording
@@ -666,6 +756,28 @@ fn run_rounds(
         let sim = stats.counter("sink move");
         round_span.field("a_paths", acceptance.accepted_paths);
         drop(round_span);
+        let wall_seconds = round_started.elapsed().as_secs_f64();
+
+        // Regression sentinel: a flow round much slower than its recent
+        // peers usually means contention or a perf regression, not more
+        // work — the loop's per-round workload shrinks as frontiers
+        // drain. Flag it but keep running.
+        let prior_walls: Vec<f64> = state
+            .rounds
+            .iter()
+            .filter(|r| r.round >= 1)
+            .map(|r| r.wall_seconds)
+            .collect();
+        if round_is_anomalous(&prior_walls, wall_seconds, ANOMALY_FACTOR, ANOMALY_MIN_WALL) {
+            ffmr_obs::global()
+                .counter("ffmr_ff_round_anomaly_total", &[])
+                .inc();
+            eprintln!(
+                "ffmr: round {round} wall time {wall_seconds:.3}s exceeds {ANOMALY_FACTOR}x \
+                 the trailing median of recent rounds; possible regression or host contention"
+            );
+        }
+
         state.rounds.push(RoundStats {
             round,
             a_paths: acceptance.accepted_paths,
@@ -674,7 +786,7 @@ fn run_rounds(
             map_out_records: stats.map_output_records,
             shuffle_bytes: stats.shuffle_bytes,
             sim_seconds: stats.sim_seconds,
-            wall_seconds: round_started.elapsed().as_secs_f64(),
+            wall_seconds,
             source_move: som,
             sink_move: sim,
             graph_bytes,
@@ -682,6 +794,16 @@ fn run_rounds(
         config
             .hooks
             .report(state.rounds.last().expect("round pushed"));
+        record_history(
+            rt,
+            config,
+            state,
+            round,
+            stats.name.clone(),
+            std::mem::take(&mut stats.task_events),
+            stats.sim_seconds,
+            wall_seconds,
+        );
 
         // Termination (paper Fig. 2 line 10): stop once either frontier
         // stops moving — with the robustness refinement that a round that
@@ -766,6 +888,29 @@ mod tests {
         assert_eq!(c1.k_policy, KPolicy::Fixed(4));
         let c5 = FfConfig::new(s, t).variant(FfVariant::ff5());
         assert_eq!(c5.k_policy, KPolicy::InDegree);
+    }
+
+    #[test]
+    fn anomaly_sentinel_needs_samples_and_magnitude() {
+        // Fewer than three prior flow rounds: never anomalous.
+        assert!(!round_is_anomalous(&[1.0, 1.0], 100.0, 4.0, 0.25));
+        // Median 1.0, factor 4: 4.1s trips the sentinel, 3.9s does not.
+        let walls = [1.0, 1.0, 1.0];
+        assert!(round_is_anomalous(&walls, 4.1, 4.0, 0.25));
+        assert!(!round_is_anomalous(&walls, 3.9, 4.0, 0.25));
+        // Below the absolute floor nothing is flagged, however relative
+        // the blow-up.
+        assert!(!round_is_anomalous(&[0.01, 0.01, 0.01], 0.2, 4.0, 0.25));
+        // Only the trailing window counts: an ancient slow round ages out
+        // of the baseline.
+        let mut walls = vec![50.0];
+        walls.extend(std::iter::repeat_n(1.0, ANOMALY_WINDOW));
+        assert!(round_is_anomalous(&walls, 4.1, 4.0, 0.25));
+    }
+
+    #[test]
+    fn history_path_sits_beside_checkpoints() {
+        assert_eq!(history_path("ffmr"), "ffmr/history/rounds.jsonl");
     }
 
     #[test]

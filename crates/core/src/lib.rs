@@ -61,8 +61,8 @@ pub mod vertex;
 
 pub use accumulator::Accumulator;
 pub use algo::{
-    resume_max_flow, run_max_flow, CrashPoint, FfConfig, FfHooks, FfRun, FfVariant, KPolicy,
-    RoundStats,
+    history_path, resume_max_flow, run_max_flow, CrashPoint, FfConfig, FfHooks, FfRun, FfVariant,
+    KPolicy, RoundStats,
 };
 pub use aug_service::AugProc;
 pub use augmented::AugmentedEdges;

@@ -279,3 +279,44 @@ fn task_retries_and_speculation_do_not_double_accept_paths() {
         assert_eq!(d.value_gained, c.value_gained, "round {}", c.round);
     }
 }
+
+/// The job-history file rides the checkpoint durability switch: it exists
+/// after a clean run, and a crash-and-resume cycle reloads and keeps
+/// extending it instead of starting over.
+#[test]
+fn job_history_survives_crash_and_resume() {
+    let n = 36;
+    let net = net_for(11, n);
+    let config = base_config(n, FfVariant::ff5());
+    let (clean, clean_rt) = clean_run(&net, &config);
+    let last = clean.rounds.last().expect("rounds").round;
+
+    let history_rounds = |rt: &MrRuntime| -> Vec<usize> {
+        let bytes = rt
+            .dfs()
+            .read_blob(&ffmr_core::history_path("ffmr"))
+            .expect("history blob");
+        String::from_utf8_lossy(bytes)
+            .lines()
+            .map(|l| {
+                ffmr_obs::RoundProfile::from_json(l)
+                    .expect("parseable profile line")
+                    .round
+            })
+            .collect()
+    };
+    assert_eq!(history_rounds(&clean_rt), (0..=last).collect::<Vec<_>>());
+
+    // A mid-round crash loses the in-flight round; the resumed run must
+    // re-execute it and end with one history line per round, no dupes.
+    let (_, resumed_rt) = crash_and_resume(&net, &config, CrashPoint::MidRound(1));
+    assert_eq!(history_rounds(&resumed_rt), (0..=last).collect::<Vec<_>>());
+
+    // Checkpointing off writes no history at all.
+    let mut rt = new_rt();
+    run_max_flow(&mut rt, &net, &config.clone().checkpoint(false)).expect("run");
+    assert!(rt
+        .dfs()
+        .read_blob(&ffmr_core::history_path("ffmr"))
+        .is_err());
+}

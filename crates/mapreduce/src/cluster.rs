@@ -170,6 +170,18 @@ impl ClusterConfig {
     pub fn reduce_node(&self, partition: usize) -> usize {
         partition % self.nodes
     }
+
+    /// The node a speculative duplicate of a task on `node` is placed
+    /// on: the next node round-robin — a healthy stand-in, since
+    /// `slow_tasks` slowdowns are keyed by task index, not node.
+    #[must_use]
+    pub fn speculation_node(&self, node: usize) -> usize {
+        if self.nodes <= 1 {
+            node
+        } else {
+            (node + 1) % self.nodes
+        }
+    }
 }
 
 impl Default for ClusterConfig {

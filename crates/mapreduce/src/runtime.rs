@@ -31,8 +31,17 @@ use crate::stats::JobStats;
 /// An environment-fault injector: `(phase, task, attempt) -> crash?`.
 pub type FaultInjector = Arc<dyn Fn(&'static str, usize, u32) -> bool + Send + Sync>;
 
+/// One attempt's host wall-clock window: `(start_us, end_us)` relative
+/// to the job's `run()` entry, for the flight recorder.
+type WallWindow = (u64, u64);
+
 /// One task's outcome slot in the parallel runner.
-type TaskSlot<R> = Option<Result<(R, u32), MrError>>;
+type TaskSlot<R> = Option<Result<(R, u32, Vec<WallWindow>), MrError>>;
+
+/// Microseconds elapsed on `epoch`, saturating.
+fn elapsed_us(epoch: Instant) -> u64 {
+    u64::try_from(epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
 
 /// Decides how task failures are handled, mirroring Hadoop's
 /// `mapred.map.max.attempts`: a failed task attempt (a panic in the user
@@ -356,12 +365,13 @@ impl MrRuntime {
             })
         };
 
-        let map_results: Vec<(MapResult, u32)> = run_parallel(
+        let map_results: Vec<(MapResult, u32, Vec<WallWindow>)> = run_parallel(
             "map",
             self.worker_threads,
             &self.failure_policy,
             splits,
             map_fn,
+            wall_start,
         )?;
 
         // Straggler mitigation: detect simulated stragglers among the map
@@ -369,9 +379,9 @@ impl MrRuntime {
         let map_durations: Vec<f64> = map_results
             .iter()
             .enumerate()
-            .map(|(i, (r, _))| r.cost.seconds(&self.cluster) * self.cluster.slowdown_for("map", i))
+            .map(|(i, (r, ..))| r.cost.seconds(&self.cluster) * self.cluster.slowdown_for("map", i))
             .collect();
-        let map_attempts: Vec<u32> = map_results.iter().map(|&(_, a)| a).collect();
+        let map_attempts: Vec<u32> = map_results.iter().map(|(_, a, _)| *a).collect();
         let map_spec = run_speculation(
             "map",
             &self.speculation,
@@ -382,6 +392,7 @@ impl MrRuntime {
             &map_attempts,
             &spec_splits,
             &map_fn,
+            wall_start,
         );
 
         let mut map_phase = PhaseCost::new();
@@ -390,7 +401,8 @@ impl MrRuntime {
         let mut input_bytes = 0u64;
         let mut spilled_bytes = 0u64;
         let mut failed_attempts = 0u64;
-        for (i, (r, attempts)) in map_results.iter().enumerate() {
+        let mut map_bytes: Vec<(u64, u64)> = Vec::with_capacity(map_results.len());
+        for (i, (r, attempts, _)) in map_results.iter().enumerate() {
             // Failed attempts occupied a slot for about as long as the
             // successful one; charge them. The successful attempt itself
             // is charged at its speculation-adjusted effective duration.
@@ -400,6 +412,7 @@ impl MrRuntime {
             map_output_records += r.output_records;
             input_bytes += r.cost.read_bytes - side_bytes;
             spilled_bytes += r.cost.write_bytes; // exactly the spill bytes
+            map_bytes.push((r.cost.read_bytes - side_bytes, r.cost.write_bytes));
         }
         for &occupancy in &map_spec.extra_slots {
             map_phase.push_task(occupancy);
@@ -415,14 +428,18 @@ impl MrRuntime {
         // Byte accounting and the sorted-run merge happen inside the
         // parallel reduce tasks below — the per-reducer "fetch".
         let shuffle_span = ffmr_obs::span("mr.shuffle");
+        let shuffle_wall_start = elapsed_us(wall_start);
         let mut fetches: Vec<Vec<SpillRun>> = (0..reducers)
             .map(|_| Vec::with_capacity(map_tasks))
             .collect();
-        for (result, _) in map_results {
+        let mut map_walls: Vec<Vec<WallWindow>> = Vec::with_capacity(map_tasks);
+        for (result, _, walls) in map_results {
+            map_walls.push(walls);
             for (p, spill) in result.spills.into_iter().enumerate() {
                 fetches[p].push(spill);
             }
         }
+        let shuffle_wall_end = elapsed_us(wall_start);
         drop(shuffle_span);
 
         // ------------------------------------------------- reduce phase
@@ -539,22 +556,23 @@ impl MrRuntime {
             })
         };
 
-        let reduce_results: Vec<(ReduceResult, u32)> = run_parallel(
+        let reduce_results: Vec<(ReduceResult, u32, Vec<WallWindow>)> = run_parallel(
             "reduce",
             self.worker_threads,
             &self.failure_policy,
             (0..reducers).collect(),
             reduce_fn,
+            wall_start,
         )?;
 
         let reduce_durations: Vec<f64> = reduce_results
             .iter()
             .enumerate()
-            .map(|(r, (res, _))| {
+            .map(|(r, (res, ..))| {
                 res.cost.seconds(&self.cluster) * self.cluster.slowdown_for("reduce", r)
             })
             .collect();
-        let reduce_attempts: Vec<u32> = reduce_results.iter().map(|&(_, a)| a).collect();
+        let reduce_attempts: Vec<u32> = reduce_results.iter().map(|(_, a, _)| *a).collect();
         // Duplicates run before `end_round` so stateful services (e.g. the
         // FF driver's aug_proc) see their submissions within the round,
         // exactly as a real speculative reducer's would arrive.
@@ -568,6 +586,7 @@ impl MrRuntime {
             &reduce_attempts,
             &(0..reducers).collect::<Vec<usize>>(),
             &reduce_fn,
+            wall_start,
         );
 
         job.services.end_round();
@@ -582,13 +601,20 @@ impl MrRuntime {
         let mut spill_runs = 0u64;
         let mut merge_fanin_max = 0u64;
         let mut partitions = Vec::with_capacity(reducers);
-        for (i, (r, attempts)) in reduce_results.into_iter().enumerate() {
+        let mut reduce_bytes: Vec<(u64, u64)> = Vec::with_capacity(reducers);
+        let mut reduce_walls: Vec<Vec<WallWindow>> = Vec::with_capacity(reducers);
+        for (i, (r, attempts, walls)) in reduce_results.into_iter().enumerate() {
             reduce_phase.push_task(
                 reduce_spec.effective[i] + reduce_durations[i] * f64::from(attempts - 1),
             );
             failed_attempts += u64::from(attempts - 1);
             reduce_output_records += r.output_records;
             output_bytes += r.partition.data.len() as u64;
+            reduce_bytes.push((
+                r.fetched_bytes + r.schimmy_bytes,
+                r.partition.data.len() as u64,
+            ));
+            reduce_walls.push(walls);
             schimmy_bytes += r.schimmy_bytes;
             shuffle_bytes += r.fetched_bytes;
             cross_node_bytes += r.cross_node_bytes;
@@ -627,6 +653,61 @@ impl MrRuntime {
             + replication_seconds;
         self.total_sim_seconds += sim_seconds;
 
+        // ------------------------------------------- flight recorder
+        // One event per task attempt plus a synthetic shuffle-barrier
+        // event, on the derived timeline: scheduling overhead, then the
+        // map wave, the shuffle, the reduce wave (replication follows).
+        let recorder = ffmr_obs::events::recorder();
+        let mut task_events: Vec<ffmr_obs::TaskEvent> = Vec::new();
+        if recorder.enabled() {
+            let map_start = self.cluster.round_overhead_s;
+            let map_end = map_start + map_phase.makespan(self.cluster.total_map_slots());
+            phase_events(
+                &mut task_events,
+                &cfg.name,
+                "map",
+                map_start,
+                self.cluster.total_map_slots(),
+                &self.cluster,
+                &map_durations,
+                &map_attempts,
+                &map_spec,
+                &map_walls,
+                &map_bytes,
+            );
+            task_events.push(ffmr_obs::TaskEvent {
+                job: cfg.name.clone(),
+                phase: "shuffle".to_owned(),
+                task: 0,
+                attempt: 0,
+                node: 0,
+                partition: None,
+                sim_start: map_end,
+                sim_end: map_end + shuffle_seconds,
+                wall_start_us: shuffle_wall_start,
+                wall_end_us: shuffle_wall_end,
+                bytes_in: shuffle_bytes,
+                bytes_out: cross_node_bytes,
+                outcome: ffmr_obs::TaskOutcome::Ok,
+            });
+            phase_events(
+                &mut task_events,
+                &cfg.name,
+                "reduce",
+                map_end + shuffle_seconds,
+                self.cluster.total_reduce_slots(),
+                &self.cluster,
+                &reduce_durations,
+                &reduce_attempts,
+                &reduce_spec,
+                &reduce_walls,
+                &reduce_bytes,
+            );
+            for event in &task_events {
+                recorder.record(event.clone());
+            }
+        }
+
         let stats = JobStats {
             name: cfg.name,
             map_input_records,
@@ -648,6 +729,7 @@ impl MrRuntime {
             sim_seconds,
             wall_seconds: wall_start.elapsed().as_secs_f64(),
             counters: counters.snapshot(),
+            task_events,
         };
         fold_job_metrics(&stats);
         Ok(stats)
@@ -696,6 +778,25 @@ fn fold_job_metrics(stats: &JobStats) {
         .record((stats.wall_seconds * 1_000_000.0).max(0.0) as u64);
 }
 
+/// One speculative duplicate attempt, as the flight recorder sees it.
+struct SpecDup {
+    /// Task it duplicated.
+    task: usize,
+    /// Attempt index (continues the retry numbering).
+    attempt: u32,
+    /// Simulated seconds after the original attempt's start at which
+    /// the duplicate launched (the detection threshold).
+    threshold: f64,
+    /// The duplicate's healthy-node simulated duration.
+    healthy: f64,
+    /// Whether the duplicate ran to completion (false: crashed).
+    completed: bool,
+    /// Whether it beat the original.
+    won: bool,
+    /// Host wall-clock window of the duplicate execution.
+    wall: WallWindow,
+}
+
 /// What one phase's speculation pass decided and charged.
 struct SpecOutcome {
     /// Per task: the successful attempt's effective duration — the base
@@ -708,6 +809,8 @@ struct SpecOutcome {
     launched: u64,
     /// Duplicates that finished first.
     won: u64,
+    /// Per-duplicate details for the flight recorder.
+    dups: Vec<SpecDup>,
 }
 
 /// Detects simulated stragglers in one phase and runs their speculative
@@ -741,6 +844,7 @@ fn run_speculation<T, R, F>(
     attempts: &[u32],
     items: &[T],
     f: &F,
+    epoch: Instant,
 ) -> SpecOutcome
 where
     T: Clone,
@@ -752,6 +856,7 @@ where
         extra_slots: Vec::new(),
         launched: 0,
         won: 0,
+        dups: Vec::new(),
     };
     if !spec.enabled || n < spec.min_tasks.max(1) {
         return out;
@@ -779,12 +884,15 @@ where
             .injector
             .as_ref()
             .is_some_and(|inject| inject(phase, i, attempt));
+        let dup_started_us = elapsed_us(epoch);
         let completed = !injected && run_task(phase, i, items[i].clone(), f).is_ok();
+        let dup_wall = (dup_started_us, elapsed_us(epoch));
         counters.restore(&snapshot);
 
         let healthy = d / cluster.slowdown_for(phase, i).max(1.0);
         let spec_finish = threshold + healthy;
-        if completed && spec_finish < d {
+        let won = completed && spec_finish < d;
+        if won {
             // Duplicate wins: the original is killed at the speculative
             // finish (its occupancy is the new effective duration); the
             // duplicate occupied a slot for its whole healthy run.
@@ -797,8 +905,141 @@ where
             out.extra_slots.push(d - threshold);
         }
         // A crashed duplicate vacates its slot immediately: no charge.
+        out.dups.push(SpecDup {
+            task: i,
+            attempt,
+            threshold,
+            healthy,
+            completed,
+            won,
+            wall: dup_wall,
+        });
     }
     out
+}
+
+/// Greedy earliest-free-slot list schedule: returns, in task order, the
+/// phase-relative start offset each occupancy gets when placed on the
+/// soonest-free of `slots` slots. This reconstructs the shape of the
+/// phase makespan model for the flight recorder's event timeline — it
+/// is a visualization aid, not a second cost model (the charged phase
+/// time stays `PhaseCost::makespan`).
+fn list_schedule(occupancies: &[f64], slots: usize) -> Vec<f64> {
+    let slots = slots.clamp(1, occupancies.len().max(1));
+    let mut free = vec![0.0f64; slots];
+    occupancies
+        .iter()
+        .map(|&occupancy| {
+            let idx = free
+                .iter()
+                .enumerate()
+                .min_by(|a, b| f64::total_cmp(a.1, b.1))
+                .map_or(0, |(i, _)| i);
+            let start = free[idx];
+            free[idx] = start + occupancy;
+            start
+        })
+        .collect()
+}
+
+/// Assembles the flight-recorder events of one phase: per task, every
+/// failed attempt, the final attempt, and any speculative duplicate.
+///
+/// Timeline conventions (documented on
+/// [`ffmr_obs::TaskEvent`]): attempts of one task run back to back on
+/// the slot the list schedule assigned; an attempt that *lost* a
+/// speculative race is shown at the full duration it would have run,
+/// with the winning duplicate's earlier finish bounding the phase.
+#[allow(clippy::too_many_arguments)]
+fn phase_events(
+    out: &mut Vec<ffmr_obs::TaskEvent>,
+    job: &str,
+    phase: &'static str,
+    phase_start: f64,
+    slots: usize,
+    cluster: &ClusterConfig,
+    durations: &[f64],
+    attempts: &[u32],
+    spec: &SpecOutcome,
+    walls: &[Vec<WallWindow>],
+    bytes: &[(u64, u64)],
+) {
+    use ffmr_obs::{TaskEvent, TaskOutcome};
+    let is_reduce = phase == "reduce";
+    let occupancies: Vec<f64> = (0..durations.len())
+        .map(|i| spec.effective[i] + durations[i] * f64::from(attempts[i].saturating_sub(1)))
+        .collect();
+    let starts = list_schedule(&occupancies, slots);
+    let event = |task: usize, attempt: u32, node: usize| TaskEvent {
+        job: job.to_owned(),
+        phase: phase.to_owned(),
+        task,
+        attempt,
+        node,
+        partition: is_reduce.then_some(task),
+        sim_start: 0.0,
+        sim_end: 0.0,
+        wall_start_us: 0,
+        wall_end_us: 0,
+        bytes_in: bytes[task].0,
+        bytes_out: bytes[task].1,
+        outcome: TaskOutcome::Ok,
+    };
+    for (i, &duration) in durations.iter().enumerate() {
+        let node = if is_reduce {
+            cluster.reduce_node(i)
+        } else {
+            cluster.map_node(i)
+        };
+        let task_start = phase_start + starts[i];
+        let failed = attempts[i].saturating_sub(1);
+        let windows = &walls[i];
+        for a in 0..failed {
+            let s = task_start + duration * f64::from(a);
+            let wall = windows.get(a as usize).copied().unwrap_or((0, 0));
+            let mut ev = event(i, a, node);
+            ev.sim_start = s;
+            ev.sim_end = s + duration;
+            ev.wall_start_us = wall.0;
+            ev.wall_end_us = wall.1;
+            ev.outcome = TaskOutcome::Failed;
+            out.push(ev);
+        }
+        let dup = spec.dups.iter().find(|d| d.task == i);
+        let final_start = task_start + duration * f64::from(failed);
+        let wall = windows.last().copied().unwrap_or((0, 0));
+        let mut ev = event(i, failed, node);
+        ev.sim_start = final_start;
+        ev.sim_end = final_start + duration;
+        ev.wall_start_us = wall.0;
+        ev.wall_end_us = wall.1;
+        ev.outcome = if dup.is_some_and(|d| d.won) {
+            TaskOutcome::SpeculativeLost
+        } else {
+            TaskOutcome::Ok
+        };
+        out.push(ev);
+        if let Some(d) = dup {
+            let dup_start = final_start + d.threshold;
+            let mut ev = event(i, d.attempt, cluster.speculation_node(node));
+            ev.sim_start = dup_start;
+            ev.sim_end = if d.completed {
+                dup_start + d.healthy
+            } else {
+                dup_start
+            };
+            ev.wall_start_us = d.wall.0;
+            ev.wall_end_us = d.wall.1;
+            ev.outcome = if d.won {
+                TaskOutcome::SpeculativeWon
+            } else if d.completed {
+                TaskOutcome::SpeculativeLost
+            } else {
+                TaskOutcome::Failed
+            };
+            out.push(ev);
+        }
+    }
 }
 
 /// Stable hash partitioner (deterministic across runs and platforms for a
@@ -974,14 +1215,15 @@ fn merge_sorted_runs<K: KeyDatum, V: Datum>(
 /// Runs `f` over `items` on a small thread pool, preserving result order,
 /// converting panics into [`MrError::TaskFailed`], and retrying failed
 /// tasks per the [`FailurePolicy`]. Returns each result with the number
-/// of attempts it took.
+/// of attempts it took and each attempt's wall-clock window on `epoch`.
 fn run_parallel<T, R, F>(
     phase: &'static str,
     worker_threads: Option<usize>,
     policy: &FailurePolicy,
     items: Vec<T>,
     f: F,
-) -> Result<Vec<(R, u32)>, MrError>
+    epoch: Instant,
+) -> Result<Vec<(R, u32, Vec<WallWindow>)>, MrError>
 where
     T: Send + Clone,
     R: Send,
@@ -1001,7 +1243,7 @@ where
         // Fast path, also the deterministic mode.
         let mut out = Vec::with_capacity(n);
         for (i, item) in items.into_iter().enumerate() {
-            out.push(run_task_with_retry(phase, policy, i, item, &f)?);
+            out.push(run_task_with_retry(phase, policy, i, item, &f, epoch)?);
         }
         return Ok(out);
     }
@@ -1014,7 +1256,7 @@ where
             scope.spawn(|| loop {
                 let next = queue.lock().pop_front();
                 let Some((i, item)) = next else { break };
-                let result = run_task_with_retry(phase, policy, i, item, &f);
+                let result = run_task_with_retry(phase, policy, i, item, &f, epoch);
                 results.lock()[i] = Some(result);
             });
         }
@@ -1027,22 +1269,25 @@ where
         .collect()
 }
 
-/// One task with the policy's retry budget; returns the result and the
-/// attempts consumed.
+/// One task with the policy's retry budget; returns the result, the
+/// attempts consumed, and one wall-clock window per attempt.
 fn run_task_with_retry<T, R>(
     phase: &'static str,
     policy: &FailurePolicy,
     index: usize,
     item: T,
     f: &(impl Fn(usize, T) -> Result<R, MrError> + Sync),
-) -> Result<(R, u32), MrError>
+    epoch: Instant,
+) -> Result<(R, u32, Vec<WallWindow>), MrError>
 where
     T: Clone,
 {
     let budget = policy.max_attempts.max(1);
     let mut attempt = 0u32;
     let mut item = Some(item);
+    let mut windows: Vec<WallWindow> = Vec::with_capacity(1);
     loop {
+        let started_us = elapsed_us(epoch);
         // Injected environment fault: the attempt dies before user code.
         let injected = policy
             .injector
@@ -1066,9 +1311,10 @@ where
                 f,
             )
         };
+        windows.push((started_us, elapsed_us(epoch)));
         attempt += 1;
         match result {
-            Ok(r) => return Ok((r, attempt)),
+            Ok(r) => return Ok((r, attempt, windows)),
             Err(e) if attempt >= budget => return Err(e),
             Err(_) => {} // retry
         }
@@ -1213,21 +1459,33 @@ mod tests {
     #[test]
     fn run_parallel_preserves_order() {
         let policy = FailurePolicy::default();
-        let out = run_parallel("map", Some(4), &policy, (0..100).collect(), |i, x: i32| {
-            Ok(i as i32 * 2 + x - x)
-        })
+        let out = run_parallel(
+            "map",
+            Some(4),
+            &policy,
+            (0..100).collect(),
+            |i, x: i32| Ok(i as i32 * 2 + x - x),
+            Instant::now(),
+        )
         .unwrap();
-        let values: Vec<i32> = out.into_iter().map(|(v, _)| v).collect();
+        let values: Vec<i32> = out.into_iter().map(|(v, ..)| v).collect();
         assert_eq!(values, (0..100).map(|i| i * 2).collect::<Vec<_>>());
     }
 
     #[test]
     fn run_parallel_surfaces_panics() {
         let policy = FailurePolicy::default();
-        let err = run_parallel("reduce", Some(2), &policy, vec![1, 2, 3], |_, x: i32| {
-            assert!(x != 2, "boom on two");
-            Ok(x)
-        })
+        let err = run_parallel(
+            "reduce",
+            Some(2),
+            &policy,
+            vec![1, 2, 3],
+            |_, x: i32| {
+                assert!(x != 2, "boom on two");
+                Ok(x)
+            },
+            Instant::now(),
+        )
         .unwrap_err();
         match err {
             MrError::TaskFailed { phase, message, .. } => {
@@ -1241,8 +1499,15 @@ mod tests {
     #[test]
     fn run_parallel_empty() {
         let policy = FailurePolicy::default();
-        let out: Vec<(i32, u32)> =
-            run_parallel("map", None, &policy, Vec::<i32>::new(), |_, x| Ok(x)).unwrap();
+        let out: Vec<(i32, u32, Vec<WallWindow>)> = run_parallel(
+            "map",
+            None,
+            &policy,
+            Vec::<i32>::new(),
+            |_, x| Ok(x),
+            Instant::now(),
+        )
+        .unwrap();
         assert!(out.is_empty());
     }
 
@@ -1250,19 +1515,34 @@ mod tests {
     fn retry_recovers_from_transient_faults() {
         // Fail every task's first attempt; all succeed on the second.
         let policy = FailurePolicy::with_injector(3, |_, _, attempt| attempt == 0);
-        let out =
-            run_parallel("map", Some(2), &policy, vec![10, 20, 30], |_, x: i32| Ok(x)).unwrap();
-        for (v, attempts) in out {
+        let out = run_parallel(
+            "map",
+            Some(2),
+            &policy,
+            vec![10, 20, 30],
+            |_, x: i32| Ok(x),
+            Instant::now(),
+        )
+        .unwrap();
+        for (v, attempts, walls) in out {
             assert!(v >= 10);
             assert_eq!(attempts, 2);
+            assert_eq!(walls.len(), 2, "one wall window per attempt");
         }
     }
 
     #[test]
     fn retry_budget_exhaustion_fails_the_job() {
         let policy = FailurePolicy::with_injector(2, |_, task, _| task == 1);
-        let err =
-            run_parallel("map", Some(2), &policy, vec![1, 2, 3], |_, x: i32| Ok(x)).unwrap_err();
+        let err = run_parallel(
+            "map",
+            Some(2),
+            &policy,
+            vec![1, 2, 3],
+            |_, x: i32| Ok(x),
+            Instant::now(),
+        )
+        .unwrap_err();
         assert!(matches!(err, MrError::TaskFailed { task: 1, .. }));
     }
 
@@ -1271,13 +1551,33 @@ mod tests {
         use std::sync::atomic::{AtomicU32, Ordering};
         static CALLS: AtomicU32 = AtomicU32::new(0);
         let policy = FailurePolicy::hadoop_default();
-        let out = run_parallel("map", Some(1), &policy, vec![1], |_, x: i32| {
-            if CALLS.fetch_add(1, Ordering::SeqCst) < 2 {
-                panic!("flaky");
-            }
-            Ok(x)
-        })
+        let out = run_parallel(
+            "map",
+            Some(1),
+            &policy,
+            vec![1],
+            |_, x: i32| {
+                if CALLS.fetch_add(1, Ordering::SeqCst) < 2 {
+                    panic!("flaky");
+                }
+                Ok(x)
+            },
+            Instant::now(),
+        )
         .unwrap();
-        assert_eq!(out[0], (1, 3));
+        assert_eq!((out[0].0, out[0].1), (1, 3));
+    }
+
+    #[test]
+    fn list_schedule_packs_earliest_free_slot() {
+        // Two slots, four unit tasks: starts 0,0,1,1.
+        let starts = list_schedule(&[1.0, 1.0, 1.0, 1.0], 2);
+        assert_eq!(starts, vec![0.0, 0.0, 1.0, 1.0]);
+        // A long task occupies one slot while short ones cycle the other.
+        let starts = list_schedule(&[10.0, 1.0, 1.0, 1.0], 2);
+        assert_eq!(starts, vec![0.0, 0.0, 1.0, 2.0]);
+        // Zero slots are clamped to one (serial).
+        let starts = list_schedule(&[2.0, 3.0], 0);
+        assert_eq!(starts, vec![0.0, 2.0]);
     }
 }

@@ -54,6 +54,11 @@ pub struct JobStats {
     pub wall_seconds: f64,
     /// Snapshot of user counters at job end, sorted by name.
     pub counters: Vec<(String, u64)>,
+    /// Flight-recorder events: one per task attempt (including failed
+    /// retries and speculative duplicates) plus one for the shuffle
+    /// barrier. Empty unless the global
+    /// [`ffmr_obs::events::recorder`] is enabled when the job runs.
+    pub task_events: Vec<ffmr_obs::TaskEvent>,
 }
 
 impl JobStats {

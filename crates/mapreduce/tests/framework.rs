@@ -567,3 +567,49 @@ fn shuffle_bytes_scale_with_payload_size() {
     let large = run_payload(512);
     assert!(large > small * 10);
 }
+
+#[test]
+fn flight_recorder_captures_task_timeline() {
+    // The recorder is process-global: enabling it here may also populate
+    // `task_events` for jobs run by concurrently executing tests, which
+    // is harmless (nothing asserts the field is empty).
+    ffmr_obs::events::recorder().set_enabled(true);
+    let mut rt = MrRuntime::new(ClusterConfig::small_cluster(3));
+    let stats = run_word_count(&mut rt, false);
+    let events = &stats.task_events;
+
+    let phase_count = |p: &str| events.iter().filter(|e| e.phase == p).count();
+    assert_eq!(phase_count("map"), stats.map_tasks);
+    assert_eq!(phase_count("shuffle"), 1);
+    assert_eq!(phase_count("reduce"), stats.reduce_tasks);
+
+    for e in events {
+        assert_eq!(e.job, "wc");
+        assert_eq!(e.outcome, ffmr_obs::TaskOutcome::Ok);
+        assert!(e.sim_end >= e.sim_start, "timeline runs forward: {e:?}");
+        assert!(e.wall_end_us >= e.wall_start_us);
+        assert_eq!(e.partition.is_some(), e.phase == "reduce");
+    }
+
+    // Barrier ordering on the simulated timeline: every map attempt ends
+    // by the time the shuffle starts, and every reduce attempt starts
+    // once the shuffle ends.
+    let shuffle = events.iter().find(|e| e.phase == "shuffle").unwrap();
+    for e in events.iter().filter(|e| e.phase == "map") {
+        assert!(e.sim_end <= shuffle.sim_start + 1e-9);
+    }
+    for e in events.iter().filter(|e| e.phase == "reduce") {
+        assert!(e.sim_start >= shuffle.sim_end - 1e-9);
+    }
+
+    // Reduce inputs account for all fetched bytes.
+    let fetched: u64 = events
+        .iter()
+        .filter(|e| e.phase == "reduce")
+        .map(|e| e.bytes_in)
+        .sum();
+    assert!(fetched >= stats.shuffle_bytes);
+
+    // The same events were pushed into the global ring.
+    assert!(ffmr_obs::events::recorder().recorded() >= events.len() as u64);
+}

@@ -1,0 +1,563 @@
+//! Flight recorder: structured per-task-attempt events.
+//!
+//! The MapReduce runtime records one [`TaskEvent`] per task attempt
+//! (map, reduce, speculative duplicates, failed retries) plus one
+//! synthetic event for the shuffle barrier of each job. Events carry
+//! both simulated-cluster timings (the paper's cost model) and host
+//! wall-clock timings, so a job history can answer "which attempt
+//! bounded this round" after the fact.
+//!
+//! Events flow through a global [`EventRecorder`]:
+//!
+//! * a bounded ring buffer keeps the most recent events in memory for
+//!   live inspection (oldest entries are overwritten; a drop counter
+//!   says how many were lost), and
+//! * an optional [`EventSink`] receives every event as one JSON line,
+//!   which is how `ffmr --events FILE` persists a JSONL trace.
+//!
+//! Recording is off by default; when disabled the runtime skips event
+//! assembly entirely, so the recorder costs one atomic load per job.
+
+use std::fs::File;
+use std::io::{BufWriter, Write as IoWrite};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+use crate::json::Value;
+
+/// Default capacity of the global event ring.
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+/// How a task attempt ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskOutcome {
+    /// The attempt completed and its output was used.
+    Ok,
+    /// The attempt crashed (fault injection or panic) and was retried
+    /// or, for a speculative duplicate, discarded.
+    Failed,
+    /// A speculative duplicate that finished first and won the task.
+    SpeculativeWon,
+    /// An attempt that lost a speculative race: either the original
+    /// that was killed when its duplicate won, or a duplicate that
+    /// finished after the original.
+    SpeculativeLost,
+}
+
+impl TaskOutcome {
+    /// Stable wire spelling, used in JSON lines and reports.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TaskOutcome::Ok => "ok",
+            TaskOutcome::Failed => "failed",
+            TaskOutcome::SpeculativeWon => "speculative-won",
+            TaskOutcome::SpeculativeLost => "speculative-lost",
+        }
+    }
+
+    /// Inverse of [`TaskOutcome::as_str`].
+    #[must_use]
+    pub fn parse(text: &str) -> Option<TaskOutcome> {
+        match text {
+            "ok" => Some(TaskOutcome::Ok),
+            "failed" => Some(TaskOutcome::Failed),
+            "speculative-won" => Some(TaskOutcome::SpeculativeWon),
+            "speculative-lost" => Some(TaskOutcome::SpeculativeLost),
+            _ => None,
+        }
+    }
+}
+
+/// One task attempt as observed by the runtime.
+///
+/// Simulated times are seconds relative to the start of the round the
+/// job ran in (0.0 = round start; the per-round scheduling overhead
+/// precedes the first map attempt). They are a *reconstruction*: the
+/// runtime charges phases via a makespan model, and the recorder lays
+/// attempts onto slots with a greedy earliest-free-slot schedule that
+/// reproduces that model's shape, not a byte-exact replay. Wall times
+/// are microseconds since the job's `run()` entry on the host clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskEvent {
+    /// Name of the MapReduce job this attempt belonged to.
+    pub job: String,
+    /// `"map"`, `"shuffle"` or `"reduce"`.
+    pub phase: String,
+    /// Task index within the phase (partition index for reducers).
+    pub task: usize,
+    /// Attempt number, starting at 0; speculative duplicates continue
+    /// the numbering after any failed attempts.
+    pub attempt: u32,
+    /// Simulated cluster node the attempt was placed on.
+    pub node: usize,
+    /// Reduce partition id (`None` for map and shuffle events).
+    pub partition: Option<usize>,
+    /// Simulated start, seconds from round start.
+    pub sim_start: f64,
+    /// Simulated end, seconds from round start. For an attempt that
+    /// lost a speculative race this is the finish it *would* have had;
+    /// the phase barrier is bounded by the winning attempts.
+    pub sim_end: f64,
+    /// Host wall-clock start, microseconds since job start.
+    pub wall_start_us: u64,
+    /// Host wall-clock end, microseconds since job start.
+    pub wall_end_us: u64,
+    /// Bytes read by the attempt (split bytes for maps, fetched
+    /// segment + Schimmy partition bytes for reducers, total shuffle
+    /// bytes for the shuffle event).
+    pub bytes_in: u64,
+    /// Bytes written by the attempt (spills for maps, final output for
+    /// reducers, cross-node bytes for the shuffle event).
+    pub bytes_out: u64,
+    /// How the attempt ended.
+    pub outcome: TaskOutcome,
+}
+
+impl TaskEvent {
+    /// Simulated duration in seconds.
+    #[must_use]
+    pub fn sim_seconds(&self) -> f64 {
+        (self.sim_end - self.sim_start).max(0.0)
+    }
+
+    /// Encodes the event as one single-line JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"job\":\"");
+        push_escaped(&mut out, &self.job);
+        out.push_str("\",\"phase\":\"");
+        push_escaped(&mut out, &self.phase);
+        out.push_str("\",\"task\":");
+        out.push_str(&self.task.to_string());
+        out.push_str(",\"attempt\":");
+        out.push_str(&self.attempt.to_string());
+        out.push_str(",\"node\":");
+        out.push_str(&self.node.to_string());
+        if let Some(p) = self.partition {
+            out.push_str(",\"partition\":");
+            out.push_str(&p.to_string());
+        }
+        out.push_str(",\"sim_start\":");
+        push_f64(&mut out, self.sim_start);
+        out.push_str(",\"sim_end\":");
+        push_f64(&mut out, self.sim_end);
+        out.push_str(",\"wall_start_us\":");
+        out.push_str(&self.wall_start_us.to_string());
+        out.push_str(",\"wall_end_us\":");
+        out.push_str(&self.wall_end_us.to_string());
+        out.push_str(",\"bytes_in\":");
+        out.push_str(&self.bytes_in.to_string());
+        out.push_str(",\"bytes_out\":");
+        out.push_str(&self.bytes_out.to_string());
+        out.push_str(",\"outcome\":\"");
+        out.push_str(self.outcome.as_str());
+        out.push_str("\"}");
+        out
+    }
+
+    /// Decodes an event from a parsed JSON object.
+    ///
+    /// # Errors
+    /// Names the first missing or ill-typed field.
+    pub fn from_value(v: &Value) -> Result<TaskEvent, String> {
+        let str_field = |k: &str| {
+            v.get(k)
+                .and_then(Value::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("event missing string field '{k}'"))
+        };
+        let num_field = |k: &str| {
+            v.get(k)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("event missing numeric field '{k}'"))
+        };
+        let int_field = |k: &str| {
+            v.get(k)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("event missing integer field '{k}'"))
+        };
+        let outcome_text = str_field("outcome")?;
+        Ok(TaskEvent {
+            job: str_field("job")?,
+            phase: str_field("phase")?,
+            task: usize::try_from(int_field("task")?).map_err(|_| "task overflows usize")?,
+            attempt: u32::try_from(int_field("attempt")?).map_err(|_| "attempt overflows u32")?,
+            node: usize::try_from(int_field("node")?).map_err(|_| "node overflows usize")?,
+            partition: v.get("partition").and_then(Value::as_usize),
+            sim_start: num_field("sim_start")?,
+            sim_end: num_field("sim_end")?,
+            wall_start_us: int_field("wall_start_us")?,
+            wall_end_us: int_field("wall_end_us")?,
+            bytes_in: int_field("bytes_in")?,
+            bytes_out: int_field("bytes_out")?,
+            outcome: TaskOutcome::parse(&outcome_text)
+                .ok_or_else(|| format!("unknown outcome '{outcome_text}'"))?,
+        })
+    }
+
+    /// Decodes an event from one JSON line.
+    ///
+    /// # Errors
+    /// Propagates parse errors from the line or its fields.
+    pub fn from_json(line: &str) -> Result<TaskEvent, String> {
+        TaskEvent::from_value(&Value::parse(line)?)
+    }
+}
+
+/// Appends `value` to `out` with JSON string escaping.
+pub(crate) fn push_escaped(out: &mut String, value: &str) {
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Appends a finite decimal rendering of `v` (JSON has no NaN/inf).
+pub(crate) fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&v.to_string());
+    } else {
+        out.push('0');
+    }
+}
+
+/// Receives each recorded event as one JSON line.
+pub trait EventSink: Send + Sync {
+    /// Called once per event with a single-line JSON object.
+    fn emit(&self, json_line: &str);
+}
+
+/// An [`EventSink`] that appends JSON lines to a file.
+pub struct JsonlSink {
+    file: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (or truncates) `path` for writing.
+    ///
+    /// # Errors
+    /// Propagates the underlying I/O error.
+    pub fn create(path: &Path) -> std::io::Result<JsonlSink> {
+        Ok(JsonlSink {
+            file: Mutex::new(BufWriter::new(File::create(path)?)),
+        })
+    }
+}
+
+impl EventSink for JsonlSink {
+    fn emit(&self, json_line: &str) {
+        if let Ok(mut file) = self.file.lock() {
+            // Flush per line: traces should survive a crash.
+            let _ = writeln!(file, "{json_line}");
+            let _ = file.flush();
+        }
+    }
+}
+
+/// An [`EventSink`] that collects lines in memory, for tests.
+#[derive(Default)]
+pub struct VecEventSink {
+    lines: Mutex<Vec<String>>,
+}
+
+impl VecEventSink {
+    /// Creates an empty sink.
+    #[must_use]
+    pub fn new() -> VecEventSink {
+        VecEventSink::default()
+    }
+
+    /// A snapshot of the collected lines.
+    ///
+    /// # Panics
+    /// Panics if the interior mutex is poisoned.
+    #[must_use]
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().unwrap().clone()
+    }
+}
+
+impl EventSink for VecEventSink {
+    fn emit(&self, json_line: &str) {
+        if let Ok(mut lines) = self.lines.lock() {
+            lines.push(json_line.to_owned());
+        }
+    }
+}
+
+/// A bounded ring of the most recent events.
+///
+/// Writers claim a monotonically increasing sequence number with one
+/// atomic add, then store the event in `slots[seq % capacity]`; the
+/// slot lock covers only the single clone in or out. When the ring
+/// wraps, the oldest event is overwritten and counted as dropped.
+pub struct EventRing {
+    slots: Vec<RwLock<Option<TaskEvent>>>,
+    head: AtomicU64,
+}
+
+impl EventRing {
+    /// Creates a ring holding at most `capacity` events.
+    #[must_use]
+    pub fn new(capacity: usize) -> EventRing {
+        let capacity = capacity.max(1);
+        EventRing {
+            slots: (0..capacity).map(|_| RwLock::new(None)).collect(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum number of retained events.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Appends an event, overwriting the oldest once full.
+    pub fn push(&self, event: TaskEvent) {
+        let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        let idx = usize::try_from(seq % self.slots.len() as u64).unwrap_or(0);
+        if let Ok(mut slot) = self.slots[idx].write() {
+            *slot = Some(event);
+        }
+    }
+
+    /// Total number of events ever pushed.
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Number of events lost to wraparound.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.recorded().saturating_sub(self.slots.len() as u64)
+    }
+
+    /// Number of events currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        usize::try_from(self.recorded().min(self.slots.len() as u64)).unwrap_or(usize::MAX)
+    }
+
+    /// Whether nothing has been recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.recorded() == 0
+    }
+
+    /// The retained events, oldest first. A best-effort snapshot:
+    /// pushes racing the scan may shift the window.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<TaskEvent> {
+        let head = self.recorded();
+        let start = head.saturating_sub(self.slots.len() as u64);
+        let mut out = Vec::with_capacity(usize::try_from(head - start).unwrap_or(0));
+        for seq in start..head {
+            let idx = usize::try_from(seq % self.slots.len() as u64).unwrap_or(0);
+            if let Ok(slot) = self.slots[idx].read() {
+                if let Some(event) = slot.as_ref() {
+                    out.push(event.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The global flight recorder: an enable flag, a bounded ring, and an
+/// optional JSONL sink.
+pub struct EventRecorder {
+    enabled: AtomicBool,
+    ring: EventRing,
+    sink: RwLock<Option<Arc<dyn EventSink>>>,
+}
+
+impl EventRecorder {
+    fn new(capacity: usize) -> EventRecorder {
+        EventRecorder {
+            enabled: AtomicBool::new(false),
+            ring: EventRing::new(capacity),
+            sink: RwLock::new(None),
+        }
+    }
+
+    /// Whether the runtime should assemble and record events.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns recording on or off (off by default).
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Installs (or clears) the JSONL sink and enables recording when
+    /// a sink is provided.
+    pub fn set_sink(&self, sink: Option<Arc<dyn EventSink>>) {
+        if let Ok(mut slot) = self.sink.write() {
+            if sink.is_some() {
+                self.enabled.store(true, Ordering::Relaxed);
+            }
+            *slot = sink;
+        }
+    }
+
+    /// Records one event: the ring always takes it, the sink (if any)
+    /// gets its JSON line. No-op while disabled.
+    pub fn record(&self, event: TaskEvent) {
+        if !self.enabled() {
+            return;
+        }
+        if let Ok(slot) = self.sink.read() {
+            if let Some(sink) = slot.as_ref() {
+                sink.emit(&event.to_json());
+            }
+        }
+        self.ring.push(event);
+    }
+
+    /// The retained events, oldest first.
+    #[must_use]
+    pub fn recent(&self) -> Vec<TaskEvent> {
+        self.ring.snapshot()
+    }
+
+    /// Number of events lost to ring wraparound.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.ring.dropped()
+    }
+
+    /// Total number of events recorded since startup.
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.ring.recorded()
+    }
+}
+
+/// The process-wide recorder used by the MapReduce runtime.
+pub fn recorder() -> &'static EventRecorder {
+    static RECORDER: OnceLock<EventRecorder> = OnceLock::new();
+    RECORDER.get_or_init(|| EventRecorder::new(DEFAULT_RING_CAPACITY))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(task: usize, attempt: u32) -> TaskEvent {
+        TaskEvent {
+            job: "job".into(),
+            phase: "map".into(),
+            task,
+            attempt,
+            node: task % 4,
+            partition: None,
+            sim_start: 1.5,
+            sim_end: 2.25,
+            wall_start_us: 10,
+            wall_end_us: 20,
+            bytes_in: 100,
+            bytes_out: 50,
+            outcome: TaskOutcome::Ok,
+        }
+    }
+
+    #[test]
+    fn event_json_round_trips() {
+        let mut ev = event(3, 1);
+        ev.job = "na\"me\\with\nodd chars".into();
+        ev.partition = Some(7);
+        ev.outcome = TaskOutcome::SpeculativeWon;
+        let line = ev.to_json();
+        assert!(!line.contains('\n'), "JSONL lines must be single-line");
+        let back = TaskEvent::from_json(&line).unwrap();
+        assert_eq!(back, ev);
+    }
+
+    #[test]
+    fn event_json_omits_missing_partition() {
+        let line = event(0, 0).to_json();
+        assert!(!line.contains("partition"));
+        assert_eq!(TaskEvent::from_json(&line).unwrap().partition, None);
+    }
+
+    #[test]
+    fn outcome_spellings_round_trip() {
+        for outcome in [
+            TaskOutcome::Ok,
+            TaskOutcome::Failed,
+            TaskOutcome::SpeculativeWon,
+            TaskOutcome::SpeculativeLost,
+        ] {
+            assert_eq!(TaskOutcome::parse(outcome.as_str()), Some(outcome));
+        }
+        assert_eq!(TaskOutcome::parse("bogus"), None);
+    }
+
+    #[test]
+    fn ring_wraparound_drops_oldest_and_counts_drops() {
+        let ring = EventRing::new(8);
+        for i in 0..11 {
+            ring.push(event(i, 0));
+        }
+        assert_eq!(ring.capacity(), 8);
+        assert_eq!(ring.len(), 8);
+        assert_eq!(ring.recorded(), 11);
+        assert_eq!(ring.dropped(), 3, "three oldest events were overwritten");
+        let kept = ring.snapshot();
+        assert_eq!(kept.len(), 8);
+        // The three oldest (tasks 0..2) are gone; 3..10 remain in order.
+        assert_eq!(
+            kept.iter().map(|e| e.task).collect::<Vec<_>>(),
+            (3..11).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ring_under_capacity_keeps_everything() {
+        let ring = EventRing::new(16);
+        assert!(ring.is_empty());
+        for i in 0..5 {
+            ring.push(event(i, 0));
+        }
+        assert_eq!(ring.dropped(), 0);
+        assert_eq!(ring.snapshot().len(), 5);
+    }
+
+    #[test]
+    fn recorder_respects_enable_flag_and_feeds_sink() {
+        // Private recorder instance: the global one is shared across
+        // tests in this binary.
+        let rec = EventRecorder::new(4);
+        rec.record(event(0, 0));
+        assert!(rec.recent().is_empty(), "disabled recorder drops events");
+
+        let sink = Arc::new(VecEventSink::new());
+        rec.set_sink(Some(sink.clone()));
+        assert!(rec.enabled(), "installing a sink enables recording");
+        rec.record(event(1, 0));
+        assert_eq!(rec.recent().len(), 1);
+        assert_eq!(sink.lines().len(), 1);
+        assert!(sink.lines()[0].contains("\"task\":1"));
+
+        rec.set_sink(None);
+        rec.set_enabled(false);
+        rec.record(event(2, 0));
+        assert_eq!(rec.recent().len(), 1);
+    }
+}

@@ -21,6 +21,11 @@
 //! * Prometheus text exposition ([`Registry::render_prometheus`]) and a
 //!   flat key/value rendering ([`Registry::render_fields`]) for the
 //!   `ffmrd` `stats` protocol verb.
+//! * [`events`] — the job-history flight recorder: one structured
+//!   [`events::TaskEvent`] per task attempt, kept in a bounded ring and
+//!   optionally streamed to a JSONL [`events::EventSink`], aggregated
+//!   per round into a [`RoundProfile`] (phase breakdown, partition
+//!   skew, stragglers, critical path, speculation ROI).
 //!
 //! # Example
 //!
@@ -44,12 +49,17 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod events;
+mod json;
 mod metrics;
+pub mod profile;
 pub mod span;
 
+pub use events::{EventRecorder, EventRing, EventSink, JsonlSink, TaskEvent, TaskOutcome};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSummary, MetricValue, Registry, HISTOGRAM_BUCKETS,
 };
+pub use profile::{PathStep, RoundProfile, SkewReport, Straggler};
 pub use span::{set_sink, span, FileSink, Span, SpanSink, VecSink};
 
 use std::sync::OnceLock;

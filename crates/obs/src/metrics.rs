@@ -244,7 +244,9 @@ impl MetricId {
     }
 
     /// `name{k="v",...}` — doubles as the Prometheus series id and the
-    /// wire-protocol field key (no spaces or newlines by construction).
+    /// wire-protocol field key (no spaces or newlines by construction:
+    /// spaces are sanitized at registration, `"`/`\`/newline are
+    /// escaped here at render time).
     fn rendered(&self) -> String {
         if self.labels.is_empty() {
             return self.name.clone();
@@ -265,10 +267,24 @@ impl MetricId {
             }
             out.push_str(k);
             out.push_str("=\"");
-            out.push_str(v);
+            push_escaped_label(&mut out, v);
             out.push('"');
         }
         out
+    }
+}
+
+/// Escapes a label value per the Prometheus text-format spec: `\` as
+/// `\\`, `"` as `\"`, and newline as `\n`. Stored values are escaped
+/// only here, at render time, so lookups see the original text.
+fn push_escaped_label(out: &mut String, value: &str) {
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
     }
 }
 
@@ -285,14 +301,17 @@ fn sanitize_name(name: &str) -> String {
         .collect()
 }
 
-/// Label values drop the characters that would break either the
-/// Prometheus exposition (`"`, `\`, newline) or the wire protocol's
-/// one-line `key value` fields (space, newline).
+/// Label values drop only the characters that would break the wire
+/// protocol's one-line `key value` fields (space, carriage return) or
+/// its `{...}` series ids (braces). `"`, `\` and newline are *kept* in
+/// the stored value and escaped per the Prometheus text-format spec at
+/// render time ([`push_escaped_label`]); their escaped forms contain
+/// no whitespace, so rendered ids stay wire-safe.
 fn sanitize_label(value: &str) -> String {
     value
         .chars()
         .map(|c| match c {
-            '"' | '\\' | '\n' | '\r' | ' ' | '{' | '}' => '_',
+            '\r' | ' ' | '{' | '}' => '_',
             other => other,
         })
         .collect()
@@ -422,9 +441,13 @@ impl Registry {
     }
 
     /// The Prometheus text exposition (version 0.0.4): `# TYPE` comments
-    /// per metric family, counters and gauges as plain samples,
-    /// histograms as summaries with `quantile` labels plus `_sum` and
-    /// `_count` series.
+    /// per metric family, counters and gauges as plain samples, and
+    /// histograms as cumulative `_bucket{le="…"}` series (one per log₂
+    /// bucket up to the last occupied one, then `le="+Inf"`) plus
+    /// `_sum` and `_count`. The `le` bounds are each bucket's inclusive
+    /// integer upper bound; `+Inf` and `_count` both report the bucket
+    /// total so the exposition is internally consistent even while
+    /// records are in flight.
     #[must_use]
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
@@ -444,22 +467,38 @@ impl Registry {
             out.push_str(&format!("{} {}\n", id.rendered(), g.get()));
         }
         for (id, h) in read(&self.histograms).iter() {
-            type_line(&mut out, &id.name, "summary");
-            let s = h.summary();
-            for (q, v) in [("0.5", s.p50), ("0.9", s.p90), ("0.99", s.p99)] {
-                out.push_str(&format!(
-                    "{}{{{}}} {v}\n",
-                    id.name,
-                    id.render_labels(Some(("quantile", q))),
-                ));
+            type_line(&mut out, &id.name, "histogram");
+            let counts: Vec<u64> = h
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect();
+            let total: u64 = counts.iter().sum();
+            let mut cumulative = 0u64;
+            if let Some(last) = counts.iter().rposition(|&n| n > 0) {
+                for (i, n) in counts.iter().enumerate().take(last + 1) {
+                    cumulative += n;
+                    let le = Histogram::bucket_upper(i).to_string();
+                    out.push_str(&format!(
+                        "{}_bucket{{{}}} {cumulative}\n",
+                        id.name,
+                        id.render_labels(Some(("le", &le))),
+                    ));
+                }
             }
+            out.push_str(&format!(
+                "{}_bucket{{{}}} {total}\n",
+                id.name,
+                id.render_labels(Some(("le", "+Inf"))),
+            ));
             let labels = if id.labels.is_empty() {
                 String::new()
             } else {
                 format!("{{{}}}", id.render_labels(None))
             };
-            out.push_str(&format!("{}_sum{labels} {}\n", id.name, s.sum));
-            out.push_str(&format!("{}_count{labels} {}\n", id.name, s.count));
+            let sum = h.sum.load(Ordering::Relaxed);
+            out.push_str(&format!("{}_sum{labels} {sum}\n", id.name));
+            out.push_str(&format!("{}_count{labels} {total}\n", id.name));
         }
         out
     }
@@ -582,8 +621,8 @@ mod tests {
         assert!(text.contains("# TYPE ffmr_q_total counter"));
         assert!(text.contains("ffmr_q_total{verb=\"maxflow\"} 3"));
         assert!(text.contains("# TYPE ffmr_depth gauge"));
-        assert!(text.contains("# TYPE ffmr_lat_us summary"));
-        assert!(text.contains("quantile=\"0.99\""));
+        assert!(text.contains("# TYPE ffmr_lat_us histogram"));
+        assert!(text.contains("ffmr_lat_us_bucket{verb=\"maxflow\",le=\"+Inf\"} 2"));
         assert!(text.contains("ffmr_lat_us_count{verb=\"maxflow\"} 2"));
         assert!(text.contains("ffmr_lat_us_sum{verb=\"maxflow\"} 300"));
         // Every non-comment line is `series value`.
@@ -591,6 +630,54 @@ mod tests {
             let (series, value) = line.rsplit_once(' ').expect("sample line");
             assert!(!series.is_empty());
             assert!(value.parse::<f64>().is_ok(), "unparseable value: {line}");
+        }
+    }
+
+    #[test]
+    fn histogram_exposition_is_cumulative_and_conformant() {
+        let reg = Registry::new();
+        let h = reg.histogram("ffmr_lat_us", &[("verb", "maxflow")]);
+        for v in [1u64, 2, 3, 200] {
+            h.record(v);
+        }
+        let text = reg.render_prometheus();
+        // Inclusive integer upper bounds: 1 lands in le="1", 2 and 3 in
+        // le="3", 200 in le="255".
+        assert!(text.contains("ffmr_lat_us_bucket{verb=\"maxflow\",le=\"1\"} 1"));
+        assert!(text.contains("ffmr_lat_us_bucket{verb=\"maxflow\",le=\"3\"} 3"));
+        assert!(text.contains("ffmr_lat_us_bucket{verb=\"maxflow\",le=\"255\"} 4"));
+        assert!(text.contains("ffmr_lat_us_bucket{verb=\"maxflow\",le=\"+Inf\"} 4"));
+        assert!(text.contains("ffmr_lat_us_count{verb=\"maxflow\"} 4"));
+        assert!(text.contains("ffmr_lat_us_sum{verb=\"maxflow\"} 206"));
+        // Bucket counts are cumulative, hence non-decreasing, and the
+        // +Inf bucket equals _count.
+        let buckets: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("ffmr_lat_us_bucket{"))
+            .map(|l| l.rsplit_once(' ').unwrap().1.parse().unwrap())
+            .collect();
+        assert!(buckets.len() >= 2);
+        assert!(buckets.windows(2).all(|w| w[0] <= w[1]), "{buckets:?}");
+    }
+
+    #[test]
+    fn label_values_are_escaped_at_render_time() {
+        let reg = Registry::new();
+        let c = reg.counter("ffmr_esc_total", &[("path", "a\\b\"c\nd")]);
+        c.inc();
+        let text = reg.render_prometheus();
+        // Spec escaping: backslash, quote, newline.
+        assert!(
+            text.contains("path=\"a\\\\b\\\"c\\nd\""),
+            "escaped label missing in:\n{text}"
+        );
+        // The escaped forms keep every series id one-line and wire-safe.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (series, _) = line.rsplit_once(' ').expect("sample line");
+            assert!(!series.contains(' ') && !series.contains('\n'), "{series}");
+        }
+        for (k, _) in reg.render_fields() {
+            assert!(!k.contains(' ') && !k.contains('\n'), "key: {k}");
         }
     }
 

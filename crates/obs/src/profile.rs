@@ -1,0 +1,615 @@
+//! Per-round aggregation of flight-recorder events.
+//!
+//! A [`RoundProfile`] condenses the raw [`TaskEvent`] stream of one
+//! MapReduce round into the diagnostics the paper reads off Hadoop's
+//! job-history pages: a phase-duration breakdown, reduce-partition
+//! skew, a straggler list, the critical path through the
+//! map → shuffle → reduce barriers, and speculation ROI. Profiles are
+//! persisted as JSONL (one line per round) in the FF driver's job
+//! history and rendered by `ffmr report`.
+
+use crate::events::{push_escaped, push_f64, TaskEvent, TaskOutcome};
+use crate::json::Value;
+
+/// Stragglers are attempts slower than `p75 × STRAGGLER_SLACK` of the
+/// winning attempts in their phase — the same shape as the runtime's
+/// default speculation trigger.
+pub const STRAGGLER_PERCENTILE: f64 = 0.75;
+/// Multiplier applied to the percentile baseline.
+pub const STRAGGLER_SLACK: f64 = 1.5;
+
+/// Reduce-partition byte skew for one round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkewReport {
+    /// Partition that fetched the most bytes.
+    pub partition: usize,
+    /// Bytes fetched by that partition.
+    pub max_bytes: u64,
+    /// Mean bytes fetched across all partitions.
+    pub mean_bytes: f64,
+    /// `max_bytes / mean_bytes` (1.0 = perfectly balanced).
+    pub ratio: f64,
+}
+
+/// One attempt that ran beyond the straggler threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Straggler {
+    /// `"map"` or `"reduce"`.
+    pub phase: String,
+    /// Task index within the phase.
+    pub task: usize,
+    /// Attempt number.
+    pub attempt: u32,
+    /// Simulated duration of the attempt, seconds.
+    pub seconds: f64,
+    /// The `p75 × 1.5` threshold it exceeded, seconds.
+    pub threshold_seconds: f64,
+}
+
+/// One step on the round's critical path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathStep {
+    /// `"map"`, `"shuffle"` or `"reduce"`.
+    pub phase: String,
+    /// Task index within the phase.
+    pub task: usize,
+    /// Attempt number.
+    pub attempt: u32,
+    /// Simulated start, seconds from round start.
+    pub sim_start: f64,
+    /// Simulated end, seconds from round start.
+    pub sim_end: f64,
+}
+
+/// The aggregated profile of one FF round (one MapReduce job).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RoundProfile {
+    /// Round number within the FF run.
+    pub round: usize,
+    /// MapReduce job name.
+    pub job: String,
+    /// Simulated seconds charged to the round (cost model).
+    pub sim_seconds: f64,
+    /// Host wall-clock seconds the round took.
+    pub wall_seconds: f64,
+    /// Simulated span of the map phase, seconds.
+    pub map_seconds: f64,
+    /// Simulated span of the shuffle barrier, seconds.
+    pub shuffle_seconds: f64,
+    /// Simulated span of the reduce phase, seconds.
+    pub reduce_seconds: f64,
+    /// Reduce-partition byte skew, when the round had reducers.
+    pub skew: Option<SkewReport>,
+    /// Attempts beyond the straggler threshold, slowest first.
+    pub stragglers: Vec<Straggler>,
+    /// The chain of attempts that bounded the round, in time order:
+    /// the last-finishing map attempt, the shuffle barrier, and the
+    /// last-finishing reduce attempt. Removing any of them would
+    /// shorten the round.
+    pub critical_path: Vec<PathStep>,
+    /// Speculative duplicates launched this round.
+    pub speculative_launched: u64,
+    /// Duplicates that beat their original.
+    pub speculative_won: u64,
+    /// Simulated seconds saved by winning duplicates (the losing
+    /// original's would-be finish minus the winner's finish).
+    pub speculation_saved_seconds: f64,
+    /// The raw events the profile was computed from.
+    pub events: Vec<TaskEvent>,
+}
+
+/// Did this attempt's output count toward the phase barrier?
+fn completed(e: &TaskEvent) -> bool {
+    matches!(e.outcome, TaskOutcome::Ok | TaskOutcome::SpeculativeWon)
+}
+
+/// Index of `p` (0..1) into `sorted` by the nearest-rank-below rule.
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).floor() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+impl RoundProfile {
+    /// Builds the profile of one round from its events.
+    #[must_use]
+    pub fn compute(
+        round: usize,
+        job: String,
+        events: Vec<TaskEvent>,
+        sim_seconds: f64,
+        wall_seconds: f64,
+    ) -> RoundProfile {
+        let mut profile = RoundProfile {
+            round,
+            job,
+            sim_seconds,
+            wall_seconds,
+            ..RoundProfile::default()
+        };
+        profile.compute_phase_spans(&events);
+        profile.compute_skew(&events);
+        profile.compute_stragglers(&events);
+        profile.compute_critical_path(&events);
+        profile.compute_speculation(&events);
+        profile.events = events;
+        profile
+    }
+
+    fn compute_phase_spans(&mut self, events: &[TaskEvent]) {
+        for phase in ["map", "shuffle", "reduce"] {
+            let mut start = f64::INFINITY;
+            let mut end = 0.0f64;
+            for e in events.iter().filter(|e| e.phase == phase && completed(e)) {
+                start = start.min(e.sim_start);
+                end = end.max(e.sim_end);
+            }
+            let span = if end > start { end - start } else { 0.0 };
+            match phase {
+                "map" => self.map_seconds = span,
+                "shuffle" => self.shuffle_seconds = span,
+                _ => self.reduce_seconds = span,
+            }
+        }
+    }
+
+    fn compute_skew(&mut self, events: &[TaskEvent]) {
+        let mut per_partition: Vec<(usize, u64)> = Vec::new();
+        for e in events
+            .iter()
+            .filter(|e| e.phase == "reduce" && completed(e))
+        {
+            if let Some(p) = e.partition {
+                if !per_partition.iter().any(|&(q, _)| q == p) {
+                    per_partition.push((p, e.bytes_in));
+                }
+            }
+        }
+        if per_partition.is_empty() {
+            return;
+        }
+        let total: u64 = per_partition.iter().map(|&(_, b)| b).sum();
+        #[allow(clippy::cast_precision_loss)]
+        let mean = total as f64 / per_partition.len() as f64;
+        let &(partition, max_bytes) = per_partition
+            .iter()
+            .max_by_key(|&&(p, b)| (b, std::cmp::Reverse(p)))
+            .expect("non-empty");
+        #[allow(clippy::cast_precision_loss)]
+        let ratio = if mean > 0.0 {
+            max_bytes as f64 / mean
+        } else {
+            1.0
+        };
+        self.skew = Some(SkewReport {
+            partition,
+            max_bytes,
+            mean_bytes: mean,
+            ratio,
+        });
+    }
+
+    fn compute_stragglers(&mut self, events: &[TaskEvent]) {
+        for phase in ["map", "reduce"] {
+            // Baseline: the duration each task's *winning* attempt took.
+            let mut winners: Vec<f64> = events
+                .iter()
+                .filter(|e| e.phase == phase && completed(e))
+                .map(TaskEvent::sim_seconds)
+                .collect();
+            if winners.len() < 2 {
+                continue;
+            }
+            winners.sort_by(f64::total_cmp);
+            let threshold = percentile(&winners, STRAGGLER_PERCENTILE) * STRAGGLER_SLACK;
+            if threshold <= 0.0 {
+                continue;
+            }
+            for e in events.iter().filter(|e| {
+                e.phase == phase && e.outcome != TaskOutcome::Failed && e.sim_seconds() > threshold
+            }) {
+                self.stragglers.push(Straggler {
+                    phase: e.phase.clone(),
+                    task: e.task,
+                    attempt: e.attempt,
+                    seconds: e.sim_seconds(),
+                    threshold_seconds: threshold,
+                });
+            }
+        }
+        self.stragglers
+            .sort_by(|a, b| f64::total_cmp(&b.seconds, &a.seconds));
+    }
+
+    fn compute_critical_path(&mut self, events: &[TaskEvent]) {
+        for phase in ["map", "shuffle", "reduce"] {
+            let bound = events
+                .iter()
+                .filter(|e| e.phase == phase && completed(e))
+                .max_by(|a, b| {
+                    f64::total_cmp(&a.sim_end, &b.sim_end).then_with(|| b.task.cmp(&a.task))
+                });
+            if let Some(e) = bound {
+                self.critical_path.push(PathStep {
+                    phase: e.phase.clone(),
+                    task: e.task,
+                    attempt: e.attempt,
+                    sim_start: e.sim_start,
+                    sim_end: e.sim_end,
+                });
+            }
+        }
+    }
+
+    fn compute_speculation(&mut self, events: &[TaskEvent]) {
+        // Group per (phase, task): a task raced if it has any
+        // speculative-* event; the duplicate won iff a
+        // speculative-won event exists.
+        let mut tasks: Vec<(&str, usize)> = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.outcome,
+                    TaskOutcome::SpeculativeWon | TaskOutcome::SpeculativeLost
+                )
+            })
+            .map(|e| (e.phase.as_str(), e.task))
+            .collect();
+        tasks.sort_unstable();
+        tasks.dedup();
+        for (phase, task) in tasks {
+            self.speculative_launched += 1;
+            let won = events.iter().find(|e| {
+                e.phase == phase && e.task == task && e.outcome == TaskOutcome::SpeculativeWon
+            });
+            let lost = events.iter().find(|e| {
+                e.phase == phase && e.task == task && e.outcome == TaskOutcome::SpeculativeLost
+            });
+            if let Some(w) = won {
+                self.speculative_won += 1;
+                if let Some(l) = lost {
+                    self.speculation_saved_seconds += (l.sim_end - w.sim_end).max(0.0);
+                }
+            }
+        }
+    }
+
+    /// Encodes the profile as one single-line JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512 + self.events.len() * 256);
+        out.push_str("{\"round\":");
+        out.push_str(&self.round.to_string());
+        out.push_str(",\"job\":\"");
+        push_escaped(&mut out, &self.job);
+        out.push_str("\",\"sim_seconds\":");
+        push_f64(&mut out, self.sim_seconds);
+        out.push_str(",\"wall_seconds\":");
+        push_f64(&mut out, self.wall_seconds);
+        out.push_str(",\"map_seconds\":");
+        push_f64(&mut out, self.map_seconds);
+        out.push_str(",\"shuffle_seconds\":");
+        push_f64(&mut out, self.shuffle_seconds);
+        out.push_str(",\"reduce_seconds\":");
+        push_f64(&mut out, self.reduce_seconds);
+        if let Some(skew) = &self.skew {
+            out.push_str(",\"skew\":{\"partition\":");
+            out.push_str(&skew.partition.to_string());
+            out.push_str(",\"max_bytes\":");
+            out.push_str(&skew.max_bytes.to_string());
+            out.push_str(",\"mean_bytes\":");
+            push_f64(&mut out, skew.mean_bytes);
+            out.push_str(",\"ratio\":");
+            push_f64(&mut out, skew.ratio);
+            out.push('}');
+        }
+        out.push_str(",\"stragglers\":[");
+        for (i, s) in self.stragglers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"phase\":\"");
+            push_escaped(&mut out, &s.phase);
+            out.push_str("\",\"task\":");
+            out.push_str(&s.task.to_string());
+            out.push_str(",\"attempt\":");
+            out.push_str(&s.attempt.to_string());
+            out.push_str(",\"seconds\":");
+            push_f64(&mut out, s.seconds);
+            out.push_str(",\"threshold_seconds\":");
+            push_f64(&mut out, s.threshold_seconds);
+            out.push('}');
+        }
+        out.push_str("],\"critical_path\":[");
+        for (i, step) in self.critical_path.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"phase\":\"");
+            push_escaped(&mut out, &step.phase);
+            out.push_str("\",\"task\":");
+            out.push_str(&step.task.to_string());
+            out.push_str(",\"attempt\":");
+            out.push_str(&step.attempt.to_string());
+            out.push_str(",\"sim_start\":");
+            push_f64(&mut out, step.sim_start);
+            out.push_str(",\"sim_end\":");
+            push_f64(&mut out, step.sim_end);
+            out.push('}');
+        }
+        out.push_str("],\"speculative_launched\":");
+        out.push_str(&self.speculative_launched.to_string());
+        out.push_str(",\"speculative_won\":");
+        out.push_str(&self.speculative_won.to_string());
+        out.push_str(",\"speculation_saved_seconds\":");
+        push_f64(&mut out, self.speculation_saved_seconds);
+        out.push_str(",\"events\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&e.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Decodes a profile from one JSON line.
+    ///
+    /// # Errors
+    /// Names the first missing or ill-typed field.
+    pub fn from_json(line: &str) -> Result<RoundProfile, String> {
+        let v = Value::parse(line)?;
+        let num = |k: &str| {
+            v.get(k)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("profile missing numeric field '{k}'"))
+        };
+        let mut profile = RoundProfile {
+            round: v
+                .get("round")
+                .and_then(Value::as_usize)
+                .ok_or("profile missing 'round'")?,
+            job: v
+                .get("job")
+                .and_then(Value::as_str)
+                .ok_or("profile missing 'job'")?
+                .to_owned(),
+            sim_seconds: num("sim_seconds")?,
+            wall_seconds: num("wall_seconds")?,
+            map_seconds: num("map_seconds")?,
+            shuffle_seconds: num("shuffle_seconds")?,
+            reduce_seconds: num("reduce_seconds")?,
+            speculative_launched: v
+                .get("speculative_launched")
+                .and_then(Value::as_u64)
+                .unwrap_or(0),
+            speculative_won: v
+                .get("speculative_won")
+                .and_then(Value::as_u64)
+                .unwrap_or(0),
+            speculation_saved_seconds: v
+                .get("speculation_saved_seconds")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0),
+            ..RoundProfile::default()
+        };
+        if let Some(skew) = v.get("skew") {
+            profile.skew = Some(SkewReport {
+                partition: skew
+                    .get("partition")
+                    .and_then(Value::as_usize)
+                    .ok_or("skew missing 'partition'")?,
+                max_bytes: skew
+                    .get("max_bytes")
+                    .and_then(Value::as_u64)
+                    .ok_or("skew missing 'max_bytes'")?,
+                mean_bytes: skew
+                    .get("mean_bytes")
+                    .and_then(Value::as_f64)
+                    .unwrap_or(0.0),
+                ratio: skew.get("ratio").and_then(Value::as_f64).unwrap_or(1.0),
+            });
+        }
+        for s in v
+            .get("stragglers")
+            .and_then(Value::as_array)
+            .unwrap_or_default()
+        {
+            profile.stragglers.push(Straggler {
+                phase: s
+                    .get("phase")
+                    .and_then(Value::as_str)
+                    .ok_or("straggler missing 'phase'")?
+                    .to_owned(),
+                task: s
+                    .get("task")
+                    .and_then(Value::as_usize)
+                    .ok_or("straggler missing 'task'")?,
+                attempt: s
+                    .get("attempt")
+                    .and_then(Value::as_u64)
+                    .and_then(|n| u32::try_from(n).ok())
+                    .unwrap_or(0),
+                seconds: s.get("seconds").and_then(Value::as_f64).unwrap_or(0.0),
+                threshold_seconds: s
+                    .get("threshold_seconds")
+                    .and_then(Value::as_f64)
+                    .unwrap_or(0.0),
+            });
+        }
+        for step in v
+            .get("critical_path")
+            .and_then(Value::as_array)
+            .unwrap_or_default()
+        {
+            profile.critical_path.push(PathStep {
+                phase: step
+                    .get("phase")
+                    .and_then(Value::as_str)
+                    .ok_or("path step missing 'phase'")?
+                    .to_owned(),
+                task: step
+                    .get("task")
+                    .and_then(Value::as_usize)
+                    .ok_or("path step missing 'task'")?,
+                attempt: step
+                    .get("attempt")
+                    .and_then(Value::as_u64)
+                    .and_then(|n| u32::try_from(n).ok())
+                    .unwrap_or(0),
+                sim_start: step.get("sim_start").and_then(Value::as_f64).unwrap_or(0.0),
+                sim_end: step.get("sim_end").and_then(Value::as_f64).unwrap_or(0.0),
+            });
+        }
+        for e in v
+            .get("events")
+            .and_then(Value::as_array)
+            .unwrap_or_default()
+        {
+            profile.events.push(TaskEvent::from_value(e)?);
+        }
+        Ok(profile)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(
+        phase: &str,
+        task: usize,
+        attempt: u32,
+        sim_start: f64,
+        sim_end: f64,
+        outcome: TaskOutcome,
+    ) -> TaskEvent {
+        TaskEvent {
+            job: "j".into(),
+            phase: phase.into(),
+            task,
+            attempt,
+            node: task,
+            partition: if phase == "reduce" { Some(task) } else { None },
+            sim_start,
+            sim_end,
+            wall_start_us: 0,
+            wall_end_us: 1,
+            bytes_in: 100,
+            bytes_out: 10,
+            outcome,
+        }
+    }
+
+    fn sample_events() -> Vec<TaskEvent> {
+        let mut events = vec![
+            event("map", 0, 0, 1.0, 2.0, TaskOutcome::Ok),
+            event("map", 1, 0, 1.0, 2.1, TaskOutcome::Ok),
+            event("map", 2, 0, 1.0, 2.0, TaskOutcome::Ok),
+            // Straggling map task: 10x its peers.
+            event("map", 3, 0, 1.0, 11.0, TaskOutcome::Ok),
+            event("shuffle", 0, 0, 11.0, 12.0, TaskOutcome::Ok),
+            event("reduce", 0, 0, 12.0, 13.0, TaskOutcome::Ok),
+            event("reduce", 1, 0, 12.0, 13.5, TaskOutcome::Ok),
+        ];
+        // Skewed partition 1 fetched 4x the bytes.
+        events[6].bytes_in = 400;
+        events
+    }
+
+    #[test]
+    fn phase_spans_cover_each_barrier() {
+        let p = RoundProfile::compute(1, "j".into(), sample_events(), 14.0, 0.01);
+        assert!((p.map_seconds - 10.0).abs() < 1e-9);
+        assert!((p.shuffle_seconds - 1.0).abs() < 1e-9);
+        assert!((p.reduce_seconds - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skew_names_the_heaviest_partition() {
+        let p = RoundProfile::compute(1, "j".into(), sample_events(), 14.0, 0.01);
+        let skew = p.skew.expect("reduce events present");
+        assert_eq!(skew.partition, 1);
+        assert_eq!(skew.max_bytes, 400);
+        assert!((skew.mean_bytes - 250.0).abs() < 1e-9);
+        assert!((skew.ratio - 1.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stragglers_exceeding_p75_times_slack_are_listed() {
+        let p = RoundProfile::compute(1, "j".into(), sample_events(), 14.0, 0.01);
+        assert_eq!(p.stragglers.len(), 1);
+        let s = &p.stragglers[0];
+        assert_eq!((s.phase.as_str(), s.task), ("map", 3));
+        assert!((s.seconds - 10.0).abs() < 1e-9);
+        // p75 of [1.0, 1.0, 1.1, 10.0] by nearest-rank-below is 1.1.
+        assert!((s.threshold_seconds - 1.65).abs() < 1e-9);
+    }
+
+    #[test]
+    fn critical_path_walks_the_barriers_and_names_the_straggler() {
+        let p = RoundProfile::compute(1, "j".into(), sample_events(), 14.0, 0.01);
+        let path: Vec<(&str, usize)> = p
+            .critical_path
+            .iter()
+            .map(|s| (s.phase.as_str(), s.task))
+            .collect();
+        assert_eq!(path, vec![("map", 3), ("shuffle", 0), ("reduce", 1)]);
+    }
+
+    #[test]
+    fn speculation_roi_counts_wins_and_saved_seconds() {
+        let mut events = sample_events();
+        // Task 3's duplicate won at t=4.0; the original would have run
+        // to t=11.0.
+        events[3].outcome = TaskOutcome::SpeculativeLost;
+        events.push(event("map", 3, 1, 2.65, 4.0, TaskOutcome::SpeculativeWon));
+        // Reduce task 0 raced a duplicate but the original won.
+        events.push(event(
+            "reduce",
+            0,
+            1,
+            12.5,
+            14.0,
+            TaskOutcome::SpeculativeLost,
+        ));
+        let p = RoundProfile::compute(1, "j".into(), events, 14.0, 0.01);
+        assert_eq!(p.speculative_launched, 2);
+        assert_eq!(p.speculative_won, 1);
+        assert!((p.speculation_saved_seconds - 7.0).abs() < 1e-9);
+        // The winning duplicate, not the killed original, now bounds
+        // the map phase.
+        let head = &p.critical_path[0];
+        assert_eq!(
+            (head.phase.as_str(), head.task, head.attempt),
+            ("map", 3, 1)
+        );
+        assert!((head.sim_end - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn profile_json_round_trips() {
+        let mut events = sample_events();
+        events[3].outcome = TaskOutcome::SpeculativeLost;
+        events.push(event("map", 3, 1, 2.65, 4.0, TaskOutcome::SpeculativeWon));
+        let p = RoundProfile::compute(7, "round-7".into(), events, 14.0, 0.25);
+        let line = p.to_json();
+        assert!(!line.contains('\n'));
+        let back = RoundProfile::from_json(&line).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn minimal_profile_round_trips_without_optionals() {
+        let p = RoundProfile::compute(0, "r0".into(), Vec::new(), 0.0, 0.0);
+        assert!(p.skew.is_none());
+        assert!(p.stragglers.is_empty());
+        assert!(p.critical_path.is_empty());
+        let back = RoundProfile::from_json(&p.to_json()).unwrap();
+        assert_eq!(back, p);
+    }
+}

@@ -328,6 +328,64 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_threads_preserve_nesting_and_do_not_tear_lines() {
+        let _g = sink_guard();
+        let sink = Arc::new(VecSink::new());
+        set_sink(Some(Arc::clone(&sink) as Arc<dyn SpanSink>));
+        const THREADS: usize = 8;
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        let _outer = span(&format!("outer-{t}-{i}"));
+                        let _inner = span(&format!("inner-{t}-{i}"));
+                    }
+                });
+            }
+        });
+        set_sink(None);
+        let lines = sink.lines();
+        assert_eq!(lines.len(), THREADS * 50 * 2, "every span emitted once");
+        let member = |line: &str, key: &str| -> Option<String> {
+            line.split(&format!("\"{key}\":"))
+                .nth(1)
+                .and_then(|s| s.split([',', '}']).next())
+                .map(str::to_string)
+        };
+        for line in &lines {
+            // No torn or interleaved writes: each captured line is one
+            // complete JSON object.
+            assert!(
+                line.starts_with("{\"name\":\"") && line.ends_with('}'),
+                "{line}"
+            );
+            assert!(!line.contains('\n'), "{line}");
+            assert_eq!(line.matches('{').count(), 1, "interleaved write: {line}");
+        }
+        for t in 0..THREADS {
+            for i in 0..50 {
+                let outer = lines
+                    .iter()
+                    .find(|l| l.contains(&format!("\"name\":\"outer-{t}-{i}\"")))
+                    .expect("outer span emitted");
+                let inner = lines
+                    .iter()
+                    .find(|l| l.contains(&format!("\"name\":\"inner-{t}-{i}\"")))
+                    .expect("inner span emitted");
+                // Per-thread nesting survived the concurrency: each
+                // inner's parent is its own thread's outer, never a
+                // span from another thread.
+                assert_eq!(
+                    member(inner, "parent"),
+                    member(outer, "id"),
+                    "outer={outer} inner={inner}"
+                );
+                assert_eq!(member(outer, "parent"), None, "{outer}");
+            }
+        }
+    }
+
+    #[test]
     fn threads_get_independent_parent_stacks() {
         let _g = sink_guard();
         let sink = Arc::new(VecSink::new());

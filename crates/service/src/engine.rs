@@ -75,6 +75,9 @@ pub struct QueryEngine {
     /// incremental progress. Bounded FIFO: the oldest stash is dropped
     /// when full.
     stash: Mutex<VecDeque<StashedRun>>,
+    /// Flight-recorder round profiles of recent MapReduce queries,
+    /// newest last (bounded FIFO; served by the `history` verb).
+    history: Mutex<VecDeque<ffmr_obs::RoundProfile>>,
 }
 
 /// One cancelled-but-checkpointed MapReduce runtime awaiting a retry.
@@ -87,6 +90,9 @@ struct StashedRun {
 
 /// How many cancelled runtimes the engine keeps for resumption.
 const STASH_CAPACITY: usize = 4;
+
+/// How many round profiles the engine keeps for the `history` verb.
+const HISTORY_CAPACITY: usize = 64;
 
 /// Which solver a query resolved to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,11 +127,16 @@ impl QueryEngine {
     /// Creates an engine over `store`.
     #[must_use]
     pub fn new(store: Arc<GraphStore>, config: EngineConfig) -> Self {
+        // MapReduce queries feed the job history (`history` verb) from
+        // their flight-recorder events; turn the recorder on for the
+        // life of the process.
+        ffmr_obs::events::recorder().set_enabled(true);
         Self {
             cache: FlowCache::new(config.cache_capacity),
             store,
             config,
             stash: Mutex::new(VecDeque::new()),
+            history: Mutex::new(VecDeque::new()),
         }
     }
 
@@ -153,6 +164,7 @@ impl QueryEngine {
             "ping" => Ok(Message::new(status::OK).field("pong", 1)),
             "list" => Ok(self.list()),
             "stats" => self.stats(request),
+            "history" => self.history(request),
             "load" => self.load(request),
             "reload" => self.reload(request),
             "maxflow" => self.flow_query(request, QueryKind::MaxFlow),
@@ -238,6 +250,39 @@ impl QueryEngine {
             }
         }
         Ok(response)
+    }
+
+    /// Serves the job history of recent MapReduce queries: a `rounds`
+    /// count plus up to `limit` (default 16) repeated `profile` fields,
+    /// each one single-line [`ffmr_obs::RoundProfile`] JSON, newest last.
+    fn history(&self, request: &Message) -> Result<Message, String> {
+        let limit: usize = request.get_parsed("limit")?.unwrap_or(16);
+        let history = self.history.lock().expect("history lock");
+        let mut response = Message::new(status::OK);
+        response.push("rounds", history.len());
+        let skip = history.len().saturating_sub(limit);
+        for profile in history.iter().skip(skip) {
+            response.push("profile", profile.to_json());
+        }
+        Ok(response)
+    }
+
+    /// Folds the round profiles a finished MapReduce run left in its
+    /// DFS history blob into the engine-wide bounded history.
+    fn ingest_history(&self, rt: &MrRuntime, base_path: &str) {
+        let Ok(bytes) = rt.dfs().read_blob(&ffmr_core::history_path(base_path)) else {
+            return;
+        };
+        let text = String::from_utf8_lossy(bytes);
+        let mut history = self.history.lock().expect("history lock");
+        for line in text.lines() {
+            if let Ok(profile) = ffmr_obs::RoundProfile::from_json(line) {
+                if history.len() >= HISTORY_CAPACITY {
+                    history.pop_front();
+                }
+                history.push_back(profile);
+            }
+        }
     }
 
     fn load(&self, request: &Message) -> Result<Message, String> {
@@ -521,10 +566,22 @@ impl QueryEngine {
             .variant(variant)
             .reducers(self.config.reducers)
             .cancel_flag(Arc::clone(&cancel));
-        if let Some(limit) = cancel_after_rounds {
+        {
+            // Live progress gauges for `stats --watch`: refreshed after
+            // every completed round of the in-flight MR query. The same
+            // hook enforces the diagnostic round limit.
             let flag = Arc::clone(&cancel);
             config = config.on_round(move |stats| {
-                if stats.round >= limit {
+                let m = ffmr_obs::global();
+                m.gauge("ffmr_ff_live_round", &[])
+                    .set(i64::try_from(stats.round).unwrap_or(i64::MAX));
+                m.gauge("ffmr_ff_live_apaths", &[])
+                    .set(i64::try_from(stats.a_paths).unwrap_or(i64::MAX));
+                m.gauge("ffmr_ff_live_shuffle_bytes", &[])
+                    .set(i64::try_from(stats.shuffle_bytes).unwrap_or(i64::MAX));
+                m.gauge("ffmr_ff_live_round_wall_us", &[])
+                    .set((stats.wall_seconds * 1e6) as i64);
+                if cancel_after_rounds.is_some_and(|limit| stats.round >= limit) {
                     flag.store(true, Ordering::Relaxed);
                 }
             });
@@ -553,6 +610,7 @@ impl QueryEngine {
                         .counter("ffmr_query_resumed_total", &[])
                         .inc();
                 }
+                self.ingest_history(&rt, &config.base_path);
                 Ok((run, rt, resumed))
             }
             Err(FfError::Cancelled { rounds_completed }) => {
@@ -874,6 +932,55 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("ffmr_query_latency_us_count{"), "{text}");
+    }
+
+    #[test]
+    fn history_serves_round_profiles_of_mapreduce_queries() {
+        let config = EngineConfig {
+            mr_threshold_vertices: 3, // force the MR route on 4 vertices
+            ..EngineConfig::default()
+        };
+        let engine = engine_with(two_paths(), config);
+        let empty = engine.execute(&Message::new("history"));
+        assert_eq!(empty.head, status::OK, "{empty:?}");
+        assert_eq!(empty.get("rounds"), Some("0"));
+
+        let r = engine.execute(&query("maxflow"));
+        assert_eq!(r.head, status::OK, "{r:?}");
+        let h = engine.execute(&Message::new("history"));
+        let rounds: usize = h.get("rounds").unwrap().parse().unwrap();
+        assert!(rounds > 0, "MR query left round profiles: {h:?}");
+        let profiles: Vec<ffmr_obs::RoundProfile> = h
+            .fields
+            .iter()
+            .filter(|(k, _)| k == "profile")
+            .map(|(_, v)| ffmr_obs::RoundProfile::from_json(v).expect("profile parses"))
+            .collect();
+        assert_eq!(profiles.len(), rounds.min(16));
+        assert!(
+            profiles.iter().any(|p| !p.events.is_empty()),
+            "engine-enabled recorder fills event timelines"
+        );
+        assert!(
+            profiles.iter().all(|p| !p.critical_path.is_empty()),
+            "every profile carries a critical path"
+        );
+
+        // `limit` trims to the newest profiles.
+        let limited = engine.execute(&Message::new("history").field("limit", 1));
+        let kept: Vec<&(String, String)> = limited
+            .fields
+            .iter()
+            .filter(|(k, _)| k == "profile")
+            .collect();
+        assert_eq!(kept.len(), 1);
+
+        // The per-round hook refreshed the live progress gauges.
+        let fields = ffmr_obs::global().render_fields();
+        assert!(
+            fields.iter().any(|(k, _)| k == "ffmr_ff_live_round"),
+            "live round gauge exists"
+        );
     }
 
     #[test]

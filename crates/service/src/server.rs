@@ -6,7 +6,8 @@
 //!   connection (clients are few and long-lived; a query, not a
 //!   connection, is the unit of work);
 //! * each **connection thread** reads one frame at a time. Cheap verbs
-//!   (`ping`, `list`, `stats`, `shutdown`) are answered inline; anything
+//!   (`ping`, `list`, `stats`, `history`, `shutdown`) are answered
+//!   inline; anything
 //!   that runs a solver or touches disk is submitted to the bounded
 //!   queue and the thread blocks for that one reply — the protocol is
 //!   strict request/response per connection;
@@ -243,7 +244,7 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
 /// queue for anything that does real work.
 fn dispatch(request: &Message, shared: &Arc<Shared>) -> Message {
     match request.head.as_str() {
-        "ping" | "list" | "stats" => shared.engine.execute(request),
+        "ping" | "list" | "stats" | "history" => shared.engine.execute(request),
         "shutdown" => {
             shared.shutdown.store(true, Ordering::Relaxed);
             Message::new(crate::protocol::status::OK).field("shutdown", 1)

@@ -13,6 +13,7 @@
 //! ffmr query --addr 127.0.0.1:7227 --op maxflow --dataset fb \
 //!       (--source S --sink T | --w N) [--algorithm auto|...] [--timeout-ms N]
 //! ffmr stats --addr 127.0.0.1:7227 [--dataset fb] [--prometheus] [--watch]
+//! ffmr report (--state FILE | --history FILE) [--base PATH] [--json]
 //! ```
 //!
 //! `maxflow` and `serve` accept `--trace-file FILE` to record every span
@@ -23,7 +24,7 @@
 //! paper's Sec. V-A1 construction).
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
 
 use ffmr::prelude::*;
@@ -42,6 +43,7 @@ fn main() -> ExitCode {
         "serve" => serve(&args[1..]),
         "query" => query(&args[1..]),
         "stats" => stats(&args[1..]),
+        "report" => report(&args[1..]),
         "--help" | "-h" => {
             print_help();
             Ok(())
@@ -73,16 +75,21 @@ fn print_help() {
          \x20 serve    --listen HOST:PORT --graph NAME=FILE [--graph ...]\n\
          \x20          [--workers N] [--queue N] [--cache N] [--mr-threshold N]\n\
          \x20          [--nodes N] [--reducers R] [--timeout-ms N]\n\
-         \x20 query    --addr HOST:PORT --op maxflow|mincut|stats|list|load|reload|\n\
-         \x20          ping|shutdown [--dataset D] (--source S --sink T | --w N)\n\
+         \x20 query    --addr HOST:PORT --op maxflow|mincut|stats|history|list|\n\
+         \x20          load|reload|ping|shutdown [--dataset D] [--limit N]\n\
+         \x20          (--source S --sink T | --w N)\n\
          \x20          [--algorithm auto|...] [--seed S] [--timeout-ms N] [--no-cache]\n\
          \x20          [--cancel-after-rounds N]\n\
          \x20 stats    [--addr HOST:PORT] [--dataset D] [--prometheus] [--watch]\n\
-         \x20          [--interval-ms N]\n\n\
+         \x20          [--interval-ms N]\n\
+         \x20 report   (--state FILE | --history FILE) [--base PATH] [--json]\n\n\
          observability:\n\
          \x20 maxflow/serve also accept --trace-file FILE to write one JSON\n\
          \x20 line per span (FF rounds, MapReduce phases, queries);\n\
-         \x20 `stats --prometheus` prints the text exposition for scraping.\n\n\
+         \x20 `stats --prometheus` prints the text exposition for scraping.\n\
+         \x20 maxflow records a per-round job history (task timelines, skew,\n\
+         \x20 stragglers, critical path) into the DFS beside its checkpoints;\n\
+         \x20 `report --state FILE` renders it, `--json` dumps raw profiles.\n\n\
          fault tolerance:\n\
          \x20 FF runs checkpoint every round. --state FILE persists the\n\
          \x20 simulated DFS on exit (success or injected crash) and\n\
@@ -105,7 +112,14 @@ fn install_trace_file(opts: &Options) -> Result<(), String> {
 }
 
 /// Options that stand alone (no value argument follows them).
-const FLAGS: &[&str] = &["prometheus", "watch", "no-cache", "resume", "speculate"];
+const FLAGS: &[&str] = &[
+    "prometheus",
+    "watch",
+    "no-cache",
+    "resume",
+    "speculate",
+    "json",
+];
 
 /// Pulls `--name value` pairs (and bare `--flag`s) out of an argument
 /// list.
@@ -268,6 +282,10 @@ fn run_maxflow(args: &[String]) -> Result<(), String> {
         _ => None,
     };
     if let Some(variant) = variant {
+        // Record one flight-recorder event per task attempt so the
+        // per-round history (readable with `ffmr report --state FILE`)
+        // carries full task timelines.
+        ffmr::ffmr_obs::events::recorder().set_enabled(true);
         let mut cluster = ClusterConfig::paper_cluster(nodes);
         for spec in opts.get_all("slow-task") {
             cluster.slow_tasks.push(parse_slow_task(spec)?);
@@ -462,6 +480,7 @@ fn query(args: &[String]) -> Result<(), String> {
         "path",
         "ms",
         "format",
+        "limit",
     ] {
         if let Some(v) = opts.get(key) {
             request.push(key, v);
@@ -483,7 +502,9 @@ fn query(args: &[String]) -> Result<(), String> {
 
 /// Scrapes the daemon's `stats` verb: flat `series value` lines by
 /// default, the Prometheus text exposition with `--prometheus`, and a
-/// periodic refresh with `--watch`.
+/// periodic refresh with `--watch`. A watch outlives daemon restarts:
+/// when the connection drops it reconnects with capped exponential
+/// backoff (one notice line per outage) instead of exiting.
 fn stats(args: &[String]) -> Result<(), String> {
     use ffmr::ffmr_service::{Client, Message};
     let opts = Options::parse(args)?;
@@ -501,7 +522,18 @@ fn stats(args: &[String]) -> Result<(), String> {
         if prometheus {
             request.push("format", "prometheus");
         }
-        let response = client.request(&request).map_err(|e| e.to_string())?;
+        let response = match client.request(&request) {
+            Ok(response) => response,
+            Err(e) if watch => {
+                // The daemon restarted (or the network blipped) mid-watch;
+                // keep the watch alive rather than dying on the operator.
+                eprintln!("stats: connection to {addr} lost ({e}); reconnecting...");
+                client = reconnect(addr);
+                eprintln!("stats: reconnected to {addr}");
+                continue;
+            }
+            Err(e) => return Err(e.to_string()),
+        };
         if response.head != "ok" {
             return Err(format!(
                 "server replied '{}': {}",
@@ -522,4 +554,214 @@ fn stats(args: &[String]) -> Result<(), String> {
         println!("---");
         std::thread::sleep(interval);
     }
+}
+
+/// Redials `addr` until it answers, doubling the delay between attempts
+/// from 200ms up to a 5s cap.
+fn reconnect(addr: &str) -> ffmr::ffmr_service::Client {
+    let mut backoff = std::time::Duration::from_millis(200);
+    loop {
+        std::thread::sleep(backoff);
+        match ffmr::ffmr_service::Client::connect(addr) {
+            Ok(client) => return client,
+            Err(_) => backoff = (backoff * 2).min(std::time::Duration::from_secs(5)),
+        }
+    }
+}
+
+/// Renders the job history of an FF run: per-round task timelines
+/// (Gantt), partition skew, stragglers, the critical path and the
+/// speculation ROI. Reads either a `--state FILE` DFS image (as written
+/// by `maxflow --state`) or a plain `--history FILE` JSONL copied out of
+/// the DFS; `--json` re-emits the raw profile lines for machines.
+fn report(args: &[String]) -> Result<(), String> {
+    use ffmr::ffmr_obs::RoundProfile;
+
+    let opts = Options::parse(args)?;
+    let text = if let Some(path) = opts.get("history") {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
+    } else if let Some(path) = opts.get("state") {
+        let image =
+            std::fs::read(path).map_err(|e| format!("cannot read state file {path}: {e}"))?;
+        let dfs = Dfs::from_image(&image).map_err(|e| format!("corrupt state file {path}: {e}"))?;
+        let base = opts.get("base").unwrap_or("ffmr");
+        let blob = dfs.read_blob(&ffmr_core::history_path(base)).map_err(|_| {
+            format!(
+                "state file {path} has no job history under base '{base}' \
+                     (was the run made with checkpointing on?)"
+            )
+        })?;
+        String::from_utf8_lossy(blob).into_owned()
+    } else {
+        return Err("report needs --state FILE or --history FILE".into());
+    };
+
+    let mut profiles = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        profiles.push(
+            RoundProfile::from_json(line).map_err(|e| format!("history line {}: {e}", i + 1))?,
+        );
+    }
+    if profiles.is_empty() {
+        return Err("history is empty".into());
+    }
+
+    // A closed pipe downstream (`ffmr report | head`) is a normal way to
+    // read a long report — treat it as done, not as an error.
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    match write_report(&mut out, &profiles, opts.has("json")) {
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => Ok(()),
+        Err(e) => Err(format!("cannot write report: {e}")),
+        Ok(()) => Ok(()),
+    }
+}
+
+/// Writes the parsed profiles to `out`, raw JSONL or rendered.
+fn write_report(
+    out: &mut impl Write,
+    profiles: &[ffmr::ffmr_obs::RoundProfile],
+    json: bool,
+) -> std::io::Result<()> {
+    if json {
+        for p in profiles {
+            writeln!(out, "{}", p.to_json())?;
+        }
+        return out.flush();
+    }
+    for p in profiles {
+        render_profile(out, p)?;
+    }
+    let total_sim: f64 = profiles.iter().map(|p| p.sim_seconds).sum();
+    let total_wall: f64 = profiles.iter().map(|p| p.wall_seconds).sum();
+    writeln!(
+        out,
+        "total: {} rounds, {:.1}s simulated, {:.3}s wall",
+        profiles.len(),
+        total_sim,
+        total_wall
+    )?;
+    out.flush()
+}
+
+/// Pretty-prints one round profile as a text Gantt plus summaries.
+fn render_profile(out: &mut impl Write, p: &ffmr::ffmr_obs::RoundProfile) -> std::io::Result<()> {
+    use ffmr::ffmr_obs::TaskOutcome;
+
+    writeln!(
+        out,
+        "round {}  job {}  sim {:.1}s  wall {:.3}s  (map {:.1}s | shuffle {:.1}s | reduce {:.1}s)",
+        p.round,
+        p.job,
+        p.sim_seconds,
+        p.wall_seconds,
+        p.map_seconds,
+        p.shuffle_seconds,
+        p.reduce_seconds
+    )?;
+
+    // ---- Gantt timeline over the event window on the simulated clock.
+    // The window starts at the first task attempt, not at 0: the
+    // constant per-round scheduling overhead before it would otherwise
+    // squash every bar into the right margin on small runs.
+    const WIDTH: usize = 40;
+    const MAX_ROWS: usize = 64;
+    let t0 = p
+        .events
+        .iter()
+        .map(|e| e.sim_start)
+        .fold(f64::INFINITY, f64::min);
+    let t1 = p.events.iter().map(|e| e.sim_end).fold(0.0f64, f64::max);
+    let window = (t1 - t0).max(1e-9);
+    if p.events.is_empty() {
+        writeln!(
+            out,
+            "  timeline: (no task events recorded — run with the flight recorder on)"
+        )?;
+    } else {
+        writeln!(out, "  timeline (sim clock {t0:.1}s..{t1:.1}s):")?;
+    }
+    for e in p.events.iter().take(MAX_ROWS) {
+        let clamp = |s: f64| (((s - t0) / window) * WIDTH as f64).round().max(0.0) as usize;
+        // Keep the start cell on-canvas so even a zero-width attempt at
+        // the very end of the round stays visible.
+        let start = clamp(e.sim_start).min(WIDTH - 1);
+        let end = clamp(e.sim_end).clamp(start, WIDTH);
+        let fill = match e.outcome {
+            TaskOutcome::Ok => '#',
+            TaskOutcome::Failed => 'x',
+            TaskOutcome::SpeculativeWon => '+',
+            TaskOutcome::SpeculativeLost => '-',
+        };
+        let mut bar = String::with_capacity(WIDTH);
+        for col in 0..WIDTH {
+            // Zero-width attempts still get one visible cell.
+            if col >= start && (col < end || col == start) {
+                bar.push(fill);
+            } else {
+                bar.push(' ');
+            }
+        }
+        writeln!(
+            out,
+            "  {:<7} t{:03} a{} |{bar}| {:>8.2}s {}",
+            e.phase,
+            e.task,
+            e.attempt,
+            e.sim_seconds(),
+            e.outcome.as_str()
+        )?;
+    }
+    if p.events.len() > MAX_ROWS {
+        writeln!(
+            out,
+            "  ... ({} more attempts not shown)",
+            p.events.len() - MAX_ROWS
+        )?;
+    }
+
+    // ---- Summaries. The `skew:` and `critical path:` lines are always
+    // printed (CI greps for them).
+    match &p.skew {
+        Some(s) => writeln!(
+            out,
+            "  skew: partition {} got {} B vs {:.0} B mean ({:.2}x)",
+            s.partition, s.max_bytes, s.mean_bytes, s.ratio
+        )?,
+        None => writeln!(out, "  skew: n/a (no reduce input bytes recorded)")?,
+    }
+    if p.stragglers.is_empty() {
+        writeln!(out, "  stragglers: none")?;
+    }
+    for s in &p.stragglers {
+        writeln!(
+            out,
+            "  straggler: {} t{:03} a{} took {:.2}s (threshold {:.2}s)",
+            s.phase, s.task, s.attempt, s.seconds, s.threshold_seconds
+        )?;
+    }
+    if p.critical_path.is_empty() {
+        writeln!(out, "  critical path: (no events recorded)")?;
+    } else {
+        let chain: Vec<String> = p
+            .critical_path
+            .iter()
+            .map(|s| {
+                format!(
+                    "{} t{} a{} ({:.1}s..{:.1}s)",
+                    s.phase, s.task, s.attempt, s.sim_start, s.sim_end
+                )
+            })
+            .collect();
+        writeln!(out, "  critical path: {}", chain.join(" -> "))?;
+    }
+    writeln!(
+        out,
+        "  speculation: launched {}, won {}, saved {:.2}s",
+        p.speculative_launched, p.speculative_won, p.speculation_saved_seconds
+    )?;
+    writeln!(out)
 }
