@@ -1,0 +1,122 @@
+//! Bench: in-process task execution vs. real distributed dispatch.
+//!
+//! Runs the same FF5 job three ways — in-process (the default
+//! closure-calling executor) and through the `ffmr-worker` dispatch
+//! plane with 2 and 4 local workers — and measures host wall time.
+//! `BENCH_dist.json` at the workspace root records the numbers.
+//!
+//! One honest caveat: the workers here are *threads* of the bench
+//! process running [`ffmr_worker::run_worker`] over real localhost TCP,
+//! not separate OS processes (a bench target cannot portably locate the
+//! `ffmr` binary). Every byte still crosses the socket — blob fetch,
+//! task dispatch, result push — so the wire overhead being measured is
+//! the same; only process-isolation cost (fork/exec, separate heaps) is
+//! absent. The OS-process path is exercised by `tests/distributed.rs`.
+//!
+//! Distributed dispatch is expected to be *slower* in wall time at this
+//! scale: the simulated cluster charges identical cost either way (the
+//! cost model is driver-side), but the real round trips, base64 blob
+//! framing, and poll loops are pure overhead on a single host. The
+//! point of the bench is to quantify that overhead, not to win.
+
+use std::hint::black_box;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ffmr_bench::harness::{criterion_group, criterion_main, Criterion};
+use ffmr_bench::{FbFamily, Scale};
+use ffmr_core::{run_max_flow, FfConfig, FfVariant};
+use ffmr_worker::{Coordinator, CoordinatorConfig, JobKindRegistry, WorkerConfig};
+use mapreduce::{ClusterConfig, MrRuntime};
+
+/// A coordinator plus `n` in-thread workers speaking real TCP.
+struct LocalFleet {
+    coordinator: Option<Coordinator>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl LocalFleet {
+    fn start(n: usize) -> Self {
+        let coordinator =
+            Coordinator::start(CoordinatorConfig::default()).expect("start coordinator");
+        let addr = coordinator.local_addr().to_string();
+        let threads = (0..n)
+            .map(|_| {
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    let mut registry = JobKindRegistry::new();
+                    registry.register(ffmr_core::FF_JOB_KIND, ffmr_core::ff_task_runner);
+                    let config = WorkerConfig::new(addr);
+                    ffmr_worker::run_worker(&config, &registry).expect("worker loop");
+                })
+            })
+            .collect();
+        assert!(
+            coordinator.wait_for_workers(n, Duration::from_secs(10)),
+            "workers did not register"
+        );
+        Self {
+            coordinator: Some(coordinator),
+            threads,
+        }
+    }
+
+    fn executor(&self) -> Arc<ffmr_worker::RemoteExecutor> {
+        self.coordinator.as_ref().expect("running").executor()
+    }
+}
+
+impl Drop for LocalFleet {
+    fn drop(&mut self) {
+        if let Some(coordinator) = self.coordinator.take() {
+            coordinator.shutdown();
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let scale = match std::env::var("FFMR_BENCH_SCALE").as_deref() {
+        Ok("smoke") => Scale::smoke(),
+        _ => Scale::small(),
+    };
+    let family = FbFamily::generate(scale);
+    let st = family.subset_with_terminals(0, scale.w);
+    let config = FfConfig::new(st.source, st.sink)
+        .variant(FfVariant::ff5())
+        .reducers(scale.reducers)
+        .max_rounds(500);
+
+    let mut group = c.benchmark_group("dist_workers");
+    group.sample_size(5);
+
+    group.bench_function("in-process", |b| {
+        b.iter(|| {
+            let mut rt =
+                MrRuntime::new(ClusterConfig::scaled_paper_cluster(20, scale.sim_slowdown));
+            let run = run_max_flow(&mut rt, black_box(&st.network), &config).expect("run");
+            black_box((run.max_flow_value, run.total_sim_seconds))
+        })
+    });
+
+    for workers in [2usize, 4] {
+        let fleet = LocalFleet::start(workers);
+        group.bench_function(format!("{workers}-workers"), |b| {
+            b.iter(|| {
+                let mut rt =
+                    MrRuntime::new(ClusterConfig::scaled_paper_cluster(20, scale.sim_slowdown));
+                rt.set_task_executor(Some(fleet.executor()));
+                let run = run_max_flow(&mut rt, black_box(&st.network), &config).expect("run");
+                black_box((run.max_flow_value, run.total_sim_seconds))
+            })
+        });
+        drop(fleet);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -736,6 +736,15 @@ fn run_rounds(
         if config.variant.schimmy {
             builder = builder.schimmy_input(&input);
         }
+        if rt.has_task_executor() {
+            // Distributed mode: describe how a worker process rebuilds
+            // this round's mapper/reducer. (Round 0's graph-prep job uses
+            // closures and always runs in process.)
+            builder = builder.wire(
+                crate::wire::FF_JOB_KIND,
+                crate::wire::ff_wire_params(shared, &state.deltas),
+            );
+        }
         let job = builder.map(mapper).reduce(reducer);
         let mut stats = rt.run(job).map_err(FfError::Mr)?;
 

@@ -15,7 +15,7 @@ use std::collections::{HashMap, VecDeque};
 use std::thread::JoinHandle;
 
 use ffmr_sync::{Condvar, Mutex};
-use mapreduce::Service;
+use mapreduce::{Datum, Service};
 use swgraph::{Capacity, EdgeId};
 
 use crate::accumulator::Accumulator;
@@ -51,6 +51,9 @@ struct Inner {
     // *distinct* paths that happen to share a hash are both legitimate
     // candidates, not duplicates.
     submitted: HashMap<u64, Vec<Box<[EdgeId]>>>,
+    // Capture mode only: the encoded submissions, in call order, for the
+    // driver to replay via `Service::apply_remote`.
+    captured: Vec<Vec<u8>>,
     accepted: u64,
     rejected: u64,
     max_queue: usize,
@@ -64,6 +67,7 @@ pub struct AugProc {
     inner: Mutex<Inner>,
     work: Condvar,
     threaded: bool,
+    capturing: bool,
 }
 
 impl std::fmt::Debug for AugProc {
@@ -86,6 +90,7 @@ impl AugProc {
             inner: Mutex::new(Inner::default()),
             work: Condvar::new(),
             threaded: true,
+            capturing: false,
         })
     }
 
@@ -97,6 +102,22 @@ impl AugProc {
             inner: Mutex::new(Inner::default()),
             work: Condvar::new(),
             threaded: false,
+            capturing: false,
+        })
+    }
+
+    /// A capture-mode stand-in for remote worker processes: [`Self::submit`]
+    /// records the encoded path instead of accepting it, and the driver
+    /// replays the recording against its real acceptor through
+    /// [`Service::apply_remote`] — in task order, reproducing the call
+    /// sequence of a single-threaded in-process run.
+    #[must_use]
+    pub fn capturing() -> std::sync::Arc<Self> {
+        std::sync::Arc::new(Self {
+            inner: Mutex::new(Inner::default()),
+            work: Condvar::new(),
+            threaded: false,
+            capturing: true,
         })
     }
 
@@ -105,6 +126,12 @@ impl AugProc {
     /// mode accepts inline.
     pub fn submit(&self, path: ExcessPath) {
         let mut inner = self.inner.lock();
+        if self.capturing {
+            let mut buf = Vec::new();
+            Datum::encode(&path, &mut buf);
+            inner.captured.push(buf);
+            return;
+        }
         let route: Box<[EdgeId]> = path.edges().iter().map(|hop| hop.eid).collect();
         let bucket = inner.submitted.entry(path.route_hash()).or_default();
         if bucket.iter().any(|seen| **seen == *route) {
@@ -205,6 +232,20 @@ impl Service for AugProc {
     // MR-level hooks are intentionally no-ops.
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    fn apply_remote(&self, payload: &[u8]) -> Result<(), String> {
+        let mut input = payload;
+        let path = ExcessPath::decode(&mut input).map_err(|e| e.to_string())?;
+        if !input.is_empty() {
+            return Err("trailing bytes after excess path".into());
+        }
+        self.submit(path);
+        Ok(())
+    }
+
+    fn drain_captured(&self) -> Vec<Vec<u8>> {
+        std::mem::take(&mut self.inner.lock().captured)
     }
 }
 
@@ -333,6 +374,47 @@ mod tests {
             "a hash collision must not swallow a distinct candidate"
         );
         assert_eq!(r.value_gained, 2);
+    }
+
+    #[test]
+    fn capture_and_replay_reproduce_direct_submissions() {
+        // A capture-mode stand-in records; replaying its recording into a
+        // real acceptor yields the same round results as direct submits.
+        let stand_in = AugProc::capturing();
+        stand_in.submit(unit_path(&[0, 2]));
+        stand_in.submit(unit_path(&[0, 4]));
+        stand_in.submit(unit_path(&[6]));
+        let captured = Service::drain_captured(&*stand_in);
+        assert_eq!(captured.len(), 3);
+        assert!(
+            Service::drain_captured(&*stand_in).is_empty(),
+            "drain empties the buffer"
+        );
+
+        let replayed = AugProc::synchronous();
+        replayed.open_round(1);
+        for payload in &captured {
+            Service::apply_remote(&*replayed, payload).unwrap();
+        }
+        let r = replayed.close_round();
+
+        let direct = AugProc::synchronous();
+        direct.open_round(1);
+        direct.submit(unit_path(&[0, 2]));
+        direct.submit(unit_path(&[0, 4]));
+        direct.submit(unit_path(&[6]));
+        let d = direct.close_round();
+
+        assert_eq!(r.accepted_paths, d.accepted_paths);
+        assert_eq!(r.rejected_paths, d.rejected_paths);
+        assert_eq!(r.value_gained, d.value_gained);
+        assert_eq!(r.deltas.to_blob(), d.deltas.to_blob());
+    }
+
+    #[test]
+    fn apply_remote_rejects_garbage() {
+        let aug = AugProc::synchronous();
+        assert!(Service::apply_remote(&*aug, &[0xff, 0xff, 0xff]).is_err());
     }
 
     #[test]

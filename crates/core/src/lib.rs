@@ -58,6 +58,7 @@ pub mod pregel_ff;
 pub mod round0;
 pub mod verify;
 pub mod vertex;
+pub mod wire;
 
 pub use accumulator::Accumulator;
 pub use algo::{
@@ -69,3 +70,4 @@ pub use augmented::AugmentedEdges;
 pub use error::FfError;
 pub use path::{ExcessPath, PathEdge};
 pub use vertex::{VertexEdge, VertexValue};
+pub use wire::{ff_task_runner, ff_wire_params, FF_JOB_KIND};

@@ -57,6 +57,11 @@ pub enum MrError {
         /// The unavailable partition index.
         partition: usize,
     },
+    /// A distributed-mode wire failure: a task spec or result failed to
+    /// encode/decode, or the coordinator/worker link misbehaved in a way
+    /// that is not attributable to one task attempt (those surface as
+    /// [`MrError::TaskFailed`] so the retry policy can re-dispatch them).
+    Wire(String),
 }
 
 impl fmt::Display for MrError {
@@ -75,6 +80,7 @@ impl fmt::Display for MrError {
             MrError::DataLost { path, partition } => {
                 write!(f, "all replicas lost for {path} partition {partition}")
             }
+            MrError::Wire(m) => write!(f, "wire error: {m}"),
         }
     }
 }
@@ -111,6 +117,7 @@ mod tests {
             },
             MrError::InvalidJob("no reducers".into()),
             MrError::ServiceMissing("aug_proc".into()),
+            MrError::Wire("truncated result".into()),
         ];
         for e in errs {
             let s = e.to_string();

@@ -262,6 +262,18 @@ impl<'a, KO: Datum, VO: Datum> ReduceContext<'a, KO, VO> {
     }
 }
 
+/// How a job's user code travels to a remote worker process: a registered
+/// job-kind name plus an opaque parameter blob the worker-side factory
+/// turns back into mapper/combiner/reducer instances. Jobs without a wire
+/// spec always execute in-process (closures cannot be shipped).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireSpec {
+    /// Job-kind name, resolved by the worker's job-kind registry.
+    pub kind: String,
+    /// Opaque, kind-specific construction parameters.
+    pub params: Vec<u8>,
+}
+
 /// Untyped job configuration shared by every stage of the builder.
 #[derive(Debug, Clone)]
 pub struct JobConfig {
@@ -279,6 +291,9 @@ pub struct JobConfig {
     /// Side-file blobs each map task reads (e.g. `AugmentedEdges`); the
     /// cost model charges their bytes per map task.
     pub side_blobs: Vec<String>,
+    /// Remote-execution description; `None` pins the job in-process even
+    /// when the runtime has a task executor.
+    pub wire: Option<WireSpec>,
 }
 
 /// First builder stage: paths, partitions, services.
@@ -290,6 +305,7 @@ pub struct JobBuilder {
     reducers: usize,
     schimmy: Option<String>,
     side_blobs: Vec<String>,
+    wire: Option<WireSpec>,
     services: ServiceHandle,
 }
 
@@ -346,6 +362,18 @@ impl JobBuilder {
         self
     }
 
+    /// Declares how remote workers reconstruct this job's user code (see
+    /// [`WireSpec`]). Without this, the job runs in-process even on a
+    /// runtime with a task executor.
+    #[must_use]
+    pub fn wire(mut self, kind: impl Into<String>, params: Vec<u8>) -> Self {
+        self.wire = Some(WireSpec {
+            kind: kind.into(),
+            params,
+        });
+        self
+    }
+
     /// Supplies the `MAP` function, fixing the input and intermediate
     /// record types.
     pub fn map<M, KI, VI, KM, VM>(self, mapper: M) -> MappedJob<KI, VI, KM, VM>
@@ -364,6 +392,7 @@ impl JobBuilder {
                 reducers: self.reducers,
                 schimmy: self.schimmy,
                 side_blobs: self.side_blobs,
+                wire: self.wire,
             },
             services: self.services,
             mapper: Arc::new(mapper),

@@ -91,6 +91,7 @@ pub mod dfs;
 pub mod driver;
 pub mod encode;
 pub mod error;
+pub mod exec;
 pub mod job;
 pub mod record;
 pub mod runtime;
@@ -101,8 +102,12 @@ pub use cluster::{ClusterConfig, SlowTask};
 pub use counters::Counters;
 pub use dfs::Dfs;
 pub use error::MrError;
-pub use job::{JobBuilder, MapContext, Mapper, ReduceContext, Reducer};
-pub use record::{Datum, KeyDatum};
+pub use exec::{
+    JobTaskRunner, MapTaskResult, MapTaskSpec, ReduceTaskResult, ReduceTaskSpec, TaskExecutor,
+    TaskRunner,
+};
+pub use job::{JobBuilder, MapContext, Mapper, ReduceContext, Reducer, WireSpec};
+pub use record::{Datum, KeyDatum, SpillRun};
 pub use runtime::{partition_of, FailurePolicy, MrRuntime, SpeculationPolicy};
 pub use service::{Service, ServiceHandle};
 pub use stats::JobStats;

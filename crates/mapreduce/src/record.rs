@@ -227,12 +227,12 @@ pub(crate) fn decode_exact<T: Datum>(mut raw: &[u8], what: &str) -> Result<T, De
 
 /// One key-sorted run of pre-encoded records — the unit of the map→reduce
 /// spill format. Each map task writes one run per reduce partition
-/// (records in key order, framed by [`encode_record`]); reduce tasks
+/// (records in key order, framed by `encode_record`); reduce tasks
 /// k-way-merge the runs instead of re-sorting the partition. `data.len()`
 /// is the run's exact wire size, so the shuffle accounts bytes per spill
 /// rather than iterating records.
-#[derive(Debug, Clone, Default)]
-pub(crate) struct SpillRun {
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpillRun {
     /// Encoded records, back to back, in key order.
     pub data: Vec<u8>,
     /// Number of records in `data`.

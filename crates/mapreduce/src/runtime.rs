@@ -24,8 +24,9 @@ use crate::cluster::{ClusterConfig, PhaseCost, TaskCost};
 use crate::counters::Counters;
 use crate::dfs::{Dfs, DfsFile, InputSplit, Partition};
 use crate::error::{DecodeError, MrError};
-use crate::job::{Job, MapContext, ReduceContext};
-use crate::record::{decode_exact, encode_record, split_record, Datum, KeyDatum, SpillRun};
+use crate::exec::{JobTaskRunner, MapTaskResult, MapTaskSpec, ReduceTaskSpec, TaskExecutor};
+use crate::job::{Job, WireSpec};
+use crate::record::{decode_exact, split_record, Datum, KeyDatum, SpillRun};
 use crate::stats::JobStats;
 
 /// An environment-fault injector: `(phase, task, attempt) -> crash?`.
@@ -153,7 +154,6 @@ impl SpeculationPolicy {
 /// Executes jobs against a [`Dfs`] and accumulates simulated time.
 ///
 /// See the [crate docs](crate) for a full word-count example.
-#[derive(Debug)]
 pub struct MrRuntime {
     cluster: ClusterConfig,
     dfs: Dfs,
@@ -161,6 +161,20 @@ pub struct MrRuntime {
     total_sim_seconds: f64,
     failure_policy: FailurePolicy,
     speculation: SpeculationPolicy,
+    executor: Option<Arc<dyn TaskExecutor>>,
+}
+
+impl std::fmt::Debug for MrRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MrRuntime")
+            .field("cluster", &self.cluster)
+            .field("worker_threads", &self.worker_threads)
+            .field("total_sim_seconds", &self.total_sim_seconds)
+            .field("failure_policy", &self.failure_policy)
+            .field("speculation", &self.speculation)
+            .field("executor", &self.executor.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl MrRuntime {
@@ -176,7 +190,24 @@ impl MrRuntime {
             total_sim_seconds: 0.0,
             failure_policy: FailurePolicy::default(),
             speculation: SpeculationPolicy::default(),
+            executor: None,
         }
+    }
+
+    /// Installs (or clears) the task executor jobs with a
+    /// [`WireSpec`] are dispatched through —
+    /// distributed mode's entry point. Jobs without a wire spec, and
+    /// every runtime without an executor, run tasks in process exactly
+    /// as before.
+    pub fn set_task_executor(&mut self, executor: Option<Arc<dyn TaskExecutor>>) {
+        self.executor = executor;
+    }
+
+    /// Whether a task executor is installed (drivers use this to decide
+    /// whether to attach wire specs to their jobs).
+    #[must_use]
+    pub fn has_task_executor(&self) -> bool {
+        self.executor.is_some()
     }
 
     /// Sets the task failure-handling policy (default: no retries).
@@ -283,15 +314,24 @@ impl MrRuntime {
         let side_bytes: u64 = cfg.side_blobs.iter().map(|p| self.dfs.blob_bytes(p)).sum();
 
         let reducers = cfg.reducers;
-        let mapper = &job.mapper;
-        let combiner = &job.combiner;
-        let services = &job.services;
+
+        // The typed task bodies (decode → map → sort → combine → spill,
+        // and the reduce merge) live in `JobTaskRunner` — the same code a
+        // remote worker runs after reconstructing the job from its wire
+        // spec, which is what makes distributed output byte-identical.
+        let runner = JobTaskRunner::from_parts(
+            Arc::clone(&job.mapper),
+            job.combiner.clone(),
+            Arc::clone(&job.reducer),
+            job.services.clone(),
+        );
+        // Dispatch remotely only when both halves exist: an installed
+        // executor and a job that declared how to rebuild its user code.
+        let remote: Option<(&Arc<dyn TaskExecutor>, &WireSpec)> =
+            self.executor.as_ref().zip(cfg.wire.as_ref());
 
         struct MapResult {
-            // Per reduce partition: one key-sorted, pre-encoded spill run.
-            spills: Vec<SpillRun>,
-            input_records: u64,
-            output_records: u64,
+            inner: MapTaskResult,
             cost: TaskCost,
         }
 
@@ -299,70 +339,31 @@ impl MrRuntime {
         // speculative duplicates can re-execute a straggling task.
         let spec_splits = splits.clone();
         let map_fn = |task_idx: usize, split: InputSplit<'_>| -> Result<MapResult, MrError> {
-            let records: Vec<(KI, VI)> = split.decode_all()?;
-            let input_records = records.len() as u64;
-            let mut ctx = MapContext::new(&counters, services, task_idx);
-            for (k, v) in &records {
-                mapper.map(k, v, &mut ctx);
+            let inner = match remote {
+                Some((executor, wire)) => executor.execute_map(
+                    wire,
+                    MapTaskSpec {
+                        task: task_idx,
+                        reducers,
+                        input: split.data.to_vec(),
+                    },
+                )?,
+                None => runner.run_map_bytes(task_idx, split.data, reducers)?,
+            };
+            // Merge counters here, on the attempt's success path, so
+            // retried attempts never double-count and speculation's
+            // snapshot/rollback still brackets them.
+            for (name, delta) in &inner.counters {
+                counters.incr(name, *delta);
             }
-            mapper.finish_split(&mut ctx);
-            let output_records = ctx.out.len() as u64;
-            let mut allocs = ctx.allocs() + input_records;
-            ctx.merge_counters_into(&counters);
-            let mut out = ctx.out;
-
-            // Map-side sort (Hadoop's sort-at-map): the run is ordered
-            // here, inside the already-parallel map phase; the combiner
-            // and the reduce-side k-way merge both consume sorted runs.
-            // The sort is stable, so equal keys keep emission order.
-            out.sort_by(|a, b| a.0.cmp(&b.0));
-
-            // Optional combiner, fed key groups off the sorted run.
-            if let Some(comb) = combiner {
-                let mut cctx = MapContext::new(&counters, services, task_idx);
-                let mut group: Vec<VM> = Vec::new(); // reused across groups
-                let mut it = out.into_iter().peekable();
-                while let Some((key, first)) = it.next() {
-                    group.push(first);
-                    while it.peek().is_some_and(|(k, _)| *k == key) {
-                        group.push(it.next().expect("peeked").1);
-                    }
-                    // Dropping the drain clears the buffer (allocation
-                    // kept) even if the combiner consumed only part.
-                    comb(&key, &mut group.drain(..), &mut cctx);
-                }
-                allocs += cctx.allocs();
-                cctx.merge_counters_into(&counters);
-                out = cctx.out;
-                // Combiners normally emit per visited group, i.e.
-                // already in key order; re-establish the invariant
-                // only when one emitted out of order.
-                if !is_key_sorted(&out) {
-                    out.sort_by(|a, b| a.0.cmp(&b.0));
-                }
-            }
-
-            // Partition the sorted run into per-reducer spills; each
-            // spill inherits the key order, so its byte run is ready
-            // to merge without any reduce-side sort.
-            let mut spills: Vec<SpillRun> = vec![SpillRun::default(); reducers];
-            for (k, v) in &out {
-                spills[partition_of(k, reducers)].push(k, v);
-            }
-            let spill_bytes: u64 = spills.iter().map(SpillRun::bytes).sum();
-
+            let spill_bytes: u64 = inner.spills.iter().map(SpillRun::bytes).sum();
             let cost = TaskCost {
                 read_bytes: split.data.len() as u64 + side_bytes,
                 write_bytes: spill_bytes,
-                records: input_records + output_records,
-                allocs,
+                records: inner.input_records + inner.output_records,
+                allocs: inner.allocs,
             };
-            Ok(MapResult {
-                spills,
-                input_records,
-                output_records,
-                cost,
-            })
+            Ok(MapResult { inner, cost })
         };
 
         let map_results: Vec<(MapResult, u32, Vec<WallWindow>)> = run_parallel(
@@ -408,8 +409,8 @@ impl MrRuntime {
             // is charged at its speculation-adjusted effective duration.
             map_phase.push_task(map_spec.effective[i] + map_durations[i] * f64::from(attempts - 1));
             failed_attempts += u64::from(attempts - 1);
-            map_input_records += r.input_records;
-            map_output_records += r.output_records;
+            map_input_records += r.inner.input_records;
+            map_output_records += r.inner.output_records;
             input_bytes += r.cost.read_bytes - side_bytes;
             spilled_bytes += r.cost.write_bytes; // exactly the spill bytes
             map_bytes.push((r.cost.read_bytes - side_bytes, r.cost.write_bytes));
@@ -418,6 +419,17 @@ impl MrRuntime {
             map_phase.push_task(occupancy);
         }
         let map_tasks = map_results.len();
+        // Remote map tasks couldn't reach the driver's live services;
+        // replay what their capture-mode stand-ins recorded, in task
+        // order — the sequence a single-threaded in-process run makes.
+        // (In-process results carry no captures; this loop is a no-op.)
+        for (r, _, _) in &map_results {
+            for (name, payloads) in &r.inner.captured {
+                for payload in payloads {
+                    job.services.apply_remote(name, payload)?;
+                }
+            }
+        }
         drop(map_span);
 
         // ------------------------------------------------- shuffle
@@ -435,7 +447,7 @@ impl MrRuntime {
         let mut map_walls: Vec<Vec<WallWindow>> = Vec::with_capacity(map_tasks);
         for (result, _, walls) in map_results {
             map_walls.push(walls);
-            for (p, spill) in result.spills.into_iter().enumerate() {
+            for (p, spill) in result.inner.spills.into_iter().enumerate() {
                 fetches[p].push(spill);
             }
         }
@@ -464,7 +476,6 @@ impl MrRuntime {
             None => None,
         };
 
-        let reducer = &job.reducer;
         struct ReduceResult {
             partition: Partition,
             output_records: u64,
@@ -474,6 +485,7 @@ impl MrRuntime {
             cross_node_bytes: u64,
             spill_runs: u64,
             merge_fanin: u64,
+            captured: Vec<(String, Vec<Vec<u8>>)>,
         }
 
         // Reduce tasks are dispatched by partition index and borrow their
@@ -499,50 +511,36 @@ impl MrRuntime {
                     }
                 }
             }
+            let schimmy_part = schimmy_file.map(|f| &f.partitions[r]);
+            let schimmy_bytes = schimmy_part.map_or(0, |p| p.data.len() as u64);
 
-            // Schimmy: the matching partition of a previous output is
-            // one more sorted run in the merge heap (rank 0, so its
-            // values come first within a key group). Already-sorted
-            // partitions — the common case, since reduce outputs are
-            // written in key order — merge straight off their encoded
-            // bytes; unsorted ones fall back to decode + stable sort.
-            let (schimmy_run, schimmy_bytes): (Option<RunCursor<'_, KM, VM>>, u64) =
-                match schimmy_file {
-                    Some(f) => {
-                        let part = &f.partitions[r];
-                        let cursor = if encoded_keys_sorted::<KM>(&part.data)? {
-                            RunCursor::from_encoded(0, &part.data)?
-                        } else {
-                            let mut recs: Vec<(KM, VM)> = part.decode_all()?;
-                            recs.sort_by(|a, b| a.0.cmp(&b.0));
-                            RunCursor::from_owned(0, recs)
-                        };
-                        (cursor, part.data.len() as u64)
-                    }
-                    None => (None, 0),
-                };
-
-            let mut ctx = ReduceContext::new(&counters, services, r);
-            let merge_fanin = merge_sorted_runs(schimmy_run, spills, |key, values| {
-                reducer.reduce(key, values, &mut ctx);
-            })?;
-            ctx.merge_counters_into(&counters);
-
-            let output_records = ctx.out.len() as u64;
-            let allocs = ctx.allocs() + consumed;
-            let mut data = Vec::new();
-            for (k, v) in &ctx.out {
-                encode_record(k, v, &mut data);
+            let inner = match remote {
+                Some((executor, wire)) => executor.execute_reduce(
+                    wire,
+                    ReduceTaskSpec {
+                        task: r,
+                        spills: spills.clone(),
+                        schimmy: schimmy_part.map(|p| p.data.clone()),
+                    },
+                )?,
+                None => {
+                    runner.run_reduce_parts(r, spills, schimmy_part.map(|p| p.data.as_slice()))?
+                }
+            };
+            for (name, delta) in &inner.counters {
+                counters.incr(name, *delta);
             }
+
+            let output_records = inner.records;
             let cost = TaskCost {
                 read_bytes: fetched_bytes + schimmy_bytes,
-                write_bytes: data.len() as u64,
+                write_bytes: inner.data.len() as u64,
                 records: consumed + output_records,
-                allocs,
+                allocs: inner.allocs,
             };
             Ok(ReduceResult {
                 partition: Partition {
-                    data,
+                    data: inner.data,
                     records: output_records,
                     home_node: to_node,
                 },
@@ -552,7 +550,8 @@ impl MrRuntime {
                 fetched_bytes,
                 cross_node_bytes,
                 spill_runs,
-                merge_fanin,
+                merge_fanin: inner.merge_fanin,
+                captured: inner.captured,
             })
         };
 
@@ -589,6 +588,18 @@ impl MrRuntime {
             wall_start,
         );
 
+        // Replay the reduce tasks' captured service calls in task order
+        // (speculative duplicates were discarded with their results, so
+        // no duplicate replays), then close the round: services see the
+        // same call sequence, in the same order, as an in-process
+        // single-threaded run.
+        for (r, _, _) in &reduce_results {
+            for (name, payloads) in &r.captured {
+                for payload in payloads {
+                    job.services.apply_remote(name, payload)?;
+                }
+            }
+        }
         job.services.end_round();
 
         let metrics = ffmr_obs::global();
@@ -1053,14 +1064,14 @@ pub fn partition_of<K: Hash>(key: &K, partitions: usize) -> usize {
 }
 
 /// Whether a run of records is already in non-decreasing key order.
-fn is_key_sorted<K: Ord, V>(items: &[(K, V)]) -> bool {
+pub(crate) fn is_key_sorted<K: Ord, V>(items: &[(K, V)]) -> bool {
     items.windows(2).all(|w| w[0].0 <= w[1].0)
 }
 
 /// Scans an encoded run's keys (values stay untouched) and reports
 /// whether they are in non-decreasing order — the cheap pre-check that
 /// lets a schimmy partition merge straight off its bytes.
-fn encoded_keys_sorted<K: KeyDatum>(mut data: &[u8]) -> Result<bool, DecodeError> {
+pub(crate) fn encoded_keys_sorted<K: KeyDatum>(mut data: &[u8]) -> Result<bool, DecodeError> {
     let mut prev: Option<K> = None;
     while !data.is_empty() {
         let (kraw, _vraw) = split_record(&mut data)?;
@@ -1078,7 +1089,7 @@ fn encoded_keys_sorted<K: KeyDatum>(mut data: &[u8]) -> Result<bool, DecodeError
 /// The current key is decoded once per record and *borrowed* for every
 /// heap comparison; for encoded runs the value stays raw bytes until its
 /// group is consumed, so comparisons never pay decode costs.
-struct RunCursor<'a, K, V> {
+pub(crate) struct RunCursor<'a, K, V> {
     /// Tie-break on equal keys: 0 = schimmy, then 1 + map-task index.
     /// Combined with per-run stable sorting, this reproduces — byte for
     /// byte — the value order of a stable full-partition sort (schimmy
@@ -1100,7 +1111,10 @@ enum RunTail<'a, K, V> {
 
 impl<'a, K: KeyDatum, V: Datum> RunCursor<'a, K, V> {
     /// Opens a cursor over an encoded run; `None` if the run is empty.
-    fn from_encoded(rank: usize, mut data: &'a [u8]) -> Result<Option<Self>, DecodeError> {
+    pub(crate) fn from_encoded(
+        rank: usize,
+        mut data: &'a [u8],
+    ) -> Result<Option<Self>, DecodeError> {
         if data.is_empty() {
             return Ok(None);
         }
@@ -1116,7 +1130,7 @@ impl<'a, K: KeyDatum, V: Datum> RunCursor<'a, K, V> {
     }
 
     /// Opens a cursor over a decoded, key-sorted run.
-    fn from_owned(rank: usize, records: Vec<(K, V)>) -> Option<Self> {
+    pub(crate) fn from_owned(rank: usize, records: Vec<(K, V)>) -> Option<Self> {
         let mut rest = records.into_iter();
         let (key, value) = rest.next()?;
         Some(Self {
@@ -1174,7 +1188,7 @@ impl<K: KeyDatum, V> Ord for RunCursor<'_, K, V> {
 /// invokes `f` once per distinct key with the grouped values. The group
 /// buffer is drained and reused across keys, never reallocated. Returns
 /// the merge fan-in (number of non-empty runs, schimmy included).
-fn merge_sorted_runs<K: KeyDatum, V: Datum>(
+pub(crate) fn merge_sorted_runs<K: KeyDatum, V: Datum>(
     schimmy: Option<RunCursor<'_, K, V>>,
     spills: &[SpillRun],
     mut f: impl FnMut(&K, &mut dyn Iterator<Item = V>),
@@ -1265,7 +1279,19 @@ where
     results
         .into_inner()
         .into_iter()
-        .map(|slot| slot.expect("every task produced a result"))
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.unwrap_or_else(|| {
+                // A worker thread can only leave a slot empty by dying
+                // before writing its result; surface that as a typed
+                // task failure instead of aborting the process.
+                Err(MrError::TaskFailed {
+                    phase,
+                    task: i,
+                    message: "task produced no result (worker thread died)".into(),
+                })
+            })
+        })
         .collect()
 }
 

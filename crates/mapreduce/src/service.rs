@@ -28,6 +28,27 @@ pub trait Service: Send + Sync + 'static {
     /// queues and finalize round state here.
     fn end_round(&self) {}
 
+    /// Applies one call that a *remote* task recorded against its
+    /// worker-side stand-in of this service (see
+    /// [`Service::drain_captured`]). The driver replays captured calls in
+    /// task-index order, reproducing the call sequence of a
+    /// single-threaded in-process run.
+    ///
+    /// # Errors
+    /// A human-readable reason when the payload does not decode; the
+    /// runtime fails the job with [`MrError::Wire`].
+    fn apply_remote(&self, _payload: &[u8]) -> Result<(), String> {
+        Ok(())
+    }
+
+    /// Drains the calls buffered by a capture-mode instance (the
+    /// worker-side stand-in): each payload is one encoded call for
+    /// [`Service::apply_remote`] on the driver's real instance, in the
+    /// order the task made them. Non-capturing instances return nothing.
+    fn drain_captured(&self) -> Vec<Vec<u8>> {
+        Vec::new()
+    }
+
     /// Upcast for typed access via [`ServiceHandle::get`].
     fn as_any(&self) -> &dyn Any;
 }
@@ -90,6 +111,36 @@ impl ServiceHandle {
         for s in self.services.values() {
             s.end_round();
         }
+    }
+
+    /// Replays one captured remote call against the service bound under
+    /// `name`.
+    ///
+    /// # Errors
+    /// [`MrError::ServiceMissing`] if nothing is bound under `name`;
+    /// [`MrError::Wire`] if the service rejects the payload.
+    pub fn apply_remote(&self, name: &str, payload: &[u8]) -> Result<(), MrError> {
+        let service = self
+            .services
+            .get(name)
+            .ok_or_else(|| MrError::ServiceMissing(name.to_owned()))?;
+        service
+            .apply_remote(payload)
+            .map_err(|m| MrError::Wire(format!("service {name} rejected remote call: {m}")))
+    }
+
+    /// Drains every attached service's captured calls, name-sorted so the
+    /// result is deterministic regardless of `HashMap` iteration order.
+    #[must_use]
+    pub fn drain_captured(&self) -> Vec<(String, Vec<Vec<u8>>)> {
+        let mut out: Vec<(String, Vec<Vec<u8>>)> = self
+            .services
+            .iter()
+            .map(|(name, s)| (name.clone(), s.drain_captured()))
+            .filter(|(_, calls)| !calls.is_empty())
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
     }
 }
 

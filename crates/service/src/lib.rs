@@ -34,6 +34,8 @@ pub mod store;
 pub use cache::{CacheKey, CacheStats, CachedAnswer, FlowCache, QueryKind};
 pub use client::Client;
 pub use engine::{EngineConfig, QueryEngine};
-pub use protocol::{status, Message, WireError};
+pub use protocol::{
+    error_response, read_frame, status, write_frame, Message, WireError, MAX_FRAME_BYTES,
+};
 pub use server::{serve, ServerConfig, ServerHandle};
 pub use store::{GraphStore, Snapshot, StoreError};

@@ -1,0 +1,164 @@
+//! Wire-robustness property tests: the frame reader and message parser
+//! must survive anything a hostile or broken peer can put on the socket
+//! — truncated frames, oversized length prefixes, binary garbage,
+//! malformed text — returning *typed* errors, never panicking.
+//!
+//! The corpora are seeded, so a failure reproduces by seed.
+
+use std::io::Cursor;
+
+use ffmr_prng::SplitMix64;
+use ffmr_service::{read_frame, write_frame, Message, WireError, MAX_FRAME_BYTES};
+
+/// Builds a raw frame by hand (length prefix + body) without the
+/// `write_frame` assertions, so tests can lie about the length.
+fn raw_frame(declared_len: u32, body: &[u8]) -> Vec<u8> {
+    let mut out = declared_len.to_be_bytes().to_vec();
+    out.extend_from_slice(body);
+    out
+}
+
+#[test]
+fn clean_eof_is_none_not_an_error() {
+    assert!(read_frame(&mut Cursor::new(Vec::new())).unwrap().is_none());
+}
+
+#[test]
+fn every_truncation_of_a_valid_frame_is_a_typed_io_error() {
+    let mut frame = Vec::new();
+    write_frame(&mut frame, "maxflow\nsource 3\nsink 42").unwrap();
+    // cut = 0 is clean EOF; every other prefix is a mid-frame cut.
+    for cut in 1..frame.len() {
+        match read_frame(&mut Cursor::new(frame[..cut].to_vec())) {
+            Err(WireError::Io(e)) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof, "cut {cut}");
+            }
+            other => panic!("cut {cut}: expected Io(UnexpectedEof), got {other:?}"),
+        }
+    }
+    // The whole frame still reads fine.
+    let payload = read_frame(&mut Cursor::new(frame)).unwrap().unwrap();
+    assert_eq!(payload, "maxflow\nsource 3\nsink 42");
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected_before_allocation() {
+    for declared in [
+        MAX_FRAME_BYTES + 1,
+        MAX_FRAME_BYTES * 2,
+        u32::MAX, // a 4 GiB allocation if the cap were ignored
+    ] {
+        match read_frame(&mut Cursor::new(raw_frame(declared, &[]))) {
+            Err(WireError::FrameTooLarge(n)) => assert_eq!(n, declared),
+            other => panic!("declared {declared}: expected FrameTooLarge, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn non_utf8_payload_is_a_typed_error() {
+    let body = [0xff, 0xfe, 0x80, 0x00];
+    match read_frame(&mut Cursor::new(raw_frame(4, &body))) {
+        Err(WireError::NotUtf8) => {}
+        other => panic!("expected NotUtf8, got {other:?}"),
+    }
+}
+
+#[test]
+fn seeded_garbage_corpus_never_panics_read_frame() {
+    let mut rng = SplitMix64::seed_from_u64(0x57_12e);
+    for case in 0..2_000 {
+        let len = (rng.next_u64() % 64) as usize;
+        let bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        // Any outcome is fine — Ok(None), Ok(Some), or a typed error —
+        // as long as it returns rather than panicking or hanging.
+        let _ = read_frame(&mut Cursor::new(bytes.clone()));
+
+        // The same bytes with a *valid* length prefix must also never
+        // panic: this drives the UTF-8 and parser paths with garbage.
+        let framed = raw_frame(len as u32, &bytes);
+        if let Ok(Some(payload)) = read_frame(&mut Cursor::new(framed)) {
+            let _ = Message::decode(&payload);
+        }
+        let _ = case;
+    }
+}
+
+#[test]
+fn seeded_text_corpus_never_panics_message_decode() {
+    let mut rng = SplitMix64::seed_from_u64(0xdec0de);
+    let alphabet: Vec<char> = ('a'..='f')
+        .chain([' ', '\n', '\r', '\t', '\0', '=', '-', '\u{1F600}'])
+        .collect();
+    for _ in 0..2_000 {
+        let len = (rng.next_u64() % 40) as usize;
+        let text: String = (0..len)
+            .map(|_| alphabet[(rng.next_u64() as usize) % alphabet.len()])
+            .collect();
+        match Message::decode(&text) {
+            Ok(message) => {
+                // Decode/encode must converge: each cycle strips at
+                // most one trailing `\r` per line (`lines()`
+                // semantics), so `len + 2` cycles bound it. A cycle may
+                // also *reject* the re-encoding (e.g. a head of exactly
+                // "\r" collapses to an empty line) — that is fine, as
+                // long as the rejection is a typed error, not a panic.
+                let mut current = message;
+                let mut settled = false;
+                for _ in 0..len + 2 {
+                    match Message::decode(&current.encode()) {
+                        Ok(next) if next == current => {
+                            settled = true;
+                            break;
+                        }
+                        Ok(next) => current = next,
+                        Err(e) => {
+                            assert!(!e.is_empty(), "errors carry a reason");
+                            settled = true;
+                            break;
+                        }
+                    }
+                }
+                assert!(settled, "decode/encode never reached a fixed point");
+            }
+            Err(e) => assert!(!e.is_empty(), "errors carry a reason"),
+        }
+    }
+}
+
+#[test]
+fn empty_and_headless_payloads_are_errors() {
+    assert!(Message::decode("").is_err());
+    assert!(Message::decode("\nfield value").is_err(), "empty head line");
+    assert!(Message::decode("ok\n value-without-key").is_err());
+}
+
+#[test]
+fn random_messages_round_trip_through_frame_and_parser() {
+    let mut rng = SplitMix64::seed_from_u64(42);
+    for _ in 0..200 {
+        let mut message = Message::new(format!("verb{}", rng.next_u64() % 10));
+        for f in 0..(rng.next_u64() % 6) {
+            // Keys/values containing the format's delimiters are
+            // sanitized on push, so anything we build here must survive.
+            message.push(
+                format!("key {f}\nx"),
+                format!("value {} with\nnewline\rand cr", rng.next_u64()),
+            );
+        }
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &message.encode()).unwrap();
+        let payload = read_frame(&mut Cursor::new(buf)).unwrap().unwrap();
+        let decoded = Message::decode(&payload).unwrap();
+        assert_eq!(decoded, message);
+    }
+}
+
+#[test]
+fn frame_at_exactly_the_cap_round_trips() {
+    let payload = "x".repeat(MAX_FRAME_BYTES as usize);
+    let mut buf = Vec::new();
+    write_frame(&mut buf, &payload).unwrap();
+    let back = read_frame(&mut Cursor::new(buf)).unwrap().unwrap();
+    assert_eq!(back.len(), payload.len());
+}

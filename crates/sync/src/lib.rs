@@ -160,6 +160,22 @@ impl Condvar {
         guard.inner = Some(reacquired);
     }
 
+    /// Like [`Condvar::wait`], but gives up after `timeout`. Returns
+    /// `true` if the wait timed out (the lock is re-acquired either way).
+    pub fn wait_timeout<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> bool {
+        let std_guard = guard.inner.take().expect("guard present outside wait");
+        let (reacquired, result) = match self.inner.wait_timeout(std_guard, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        guard.inner = Some(reacquired);
+        result.timed_out()
+    }
+
     /// Wakes one waiting thread.
     pub fn notify_one(&self) {
         self.inner.notify_one();
@@ -214,6 +230,34 @@ mod tests {
         *lock.lock() = true;
         cv.notify_all();
         assert!(waiter.join().unwrap());
+    }
+
+    #[test]
+    fn condvar_wait_timeout_reports_expiry() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        // No notifier: the wait must expire and report it.
+        let (lock, cv) = &*pair;
+        let mut ready = lock.lock();
+        assert!(cv.wait_timeout(&mut ready, Duration::from_millis(10)));
+        assert!(!*ready, "lock re-acquired after timeout");
+        drop(ready);
+
+        // With a notifier the wait returns before the (long) timeout.
+        let pair2 = Arc::clone(&pair);
+        let notifier = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            let (lock, cv) = &*pair2;
+            *lock.lock() = true;
+            cv.notify_all();
+        });
+        let (lock, cv) = &*pair;
+        let mut ready = lock.lock();
+        while !*ready {
+            let timed_out = cv.wait_timeout(&mut ready, Duration::from_secs(10));
+            assert!(!timed_out, "notified well before the timeout");
+        }
+        drop(ready);
+        notifier.join().unwrap();
     }
 
     #[test]

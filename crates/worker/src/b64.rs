@@ -1,0 +1,121 @@
+//! Minimal standard-alphabet base64, written by hand because the
+//! workspace builds with zero registry dependencies.
+//!
+//! Blob chunks travel inside [`Message`](ffmr_service::Message) fields,
+//! whose values must survive the protocol's whitespace-sensitive text
+//! encoding — the base64 alphabet (`A–Z a–z 0–9 + / =`) contains no
+//! whitespace or newlines, so encoded chunks pass through untouched.
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encodes `data` as padded standard base64.
+#[must_use]
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let triple = (b0 << 16) | (b1 << 8) | b2;
+        out.push(ALPHABET[(triple >> 18) as usize & 0x3f] as char);
+        out.push(ALPHABET[(triple >> 12) as usize & 0x3f] as char);
+        out.push(if chunk.len() > 1 {
+            ALPHABET[(triple >> 6) as usize & 0x3f] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            ALPHABET[triple as usize & 0x3f] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+fn decode_char(c: u8) -> Result<u32, String> {
+    match c {
+        b'A'..=b'Z' => Ok(u32::from(c - b'A')),
+        b'a'..=b'z' => Ok(u32::from(c - b'a') + 26),
+        b'0'..=b'9' => Ok(u32::from(c - b'0') + 52),
+        b'+' => Ok(62),
+        b'/' => Ok(63),
+        _ => Err(format!("invalid base64 byte 0x{c:02x}")),
+    }
+}
+
+/// Decodes padded standard base64.
+///
+/// # Errors
+/// On characters outside the alphabet, bad length, or misplaced padding.
+pub fn decode(text: &str) -> Result<Vec<u8>, String> {
+    let bytes = text.as_bytes();
+    if !bytes.len().is_multiple_of(4) {
+        return Err(format!("base64 length {} not a multiple of 4", bytes.len()));
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for (i, quad) in bytes.chunks(4).enumerate() {
+        let last = (i + 1) * 4 == bytes.len();
+        let pad = quad.iter().filter(|&&c| c == b'=').count();
+        if pad > 2 || (pad > 0 && !last) {
+            return Err("misplaced base64 padding".into());
+        }
+        if pad >= 1 && quad[3] != b'=' {
+            return Err("misplaced base64 padding".into());
+        }
+        if pad == 2 && quad[2] != b'=' {
+            return Err("misplaced base64 padding".into());
+        }
+        let c0 = decode_char(quad[0])?;
+        let c1 = decode_char(quad[1])?;
+        let c2 = if pad == 2 { 0 } else { decode_char(quad[2])? };
+        let c3 = if pad >= 1 { 0 } else { decode_char(quad[3])? };
+        let triple = (c0 << 18) | (c1 << 12) | (c2 << 6) | c3;
+        out.push((triple >> 16) as u8);
+        if pad < 2 {
+            out.push((triple >> 8) as u8);
+        }
+        if pad < 1 {
+            out.push(triple as u8);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(encode(b""), "");
+        assert_eq!(encode(b"f"), "Zg==");
+        assert_eq!(encode(b"fo"), "Zm8=");
+        assert_eq!(encode(b"foo"), "Zm9v");
+        assert_eq!(encode(b"foob"), "Zm9vYg==");
+        assert_eq!(encode(b"fooba"), "Zm9vYmE=");
+        assert_eq!(encode(b"foobar"), "Zm9vYmFy");
+        assert_eq!(decode("Zm9vYmFy").unwrap(), b"foobar");
+    }
+
+    #[test]
+    fn round_trips_every_length_and_byte() {
+        let mut rng = ffmr_prng::SplitMix64::seed_from_u64(0xb64);
+        for len in 0..130 {
+            let data: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+            let enc = encode(&data);
+            assert_eq!(decode(&enc).unwrap(), data, "len {len}");
+        }
+        let all: Vec<u8> = (0u16..=255).map(|b| b as u8).collect();
+        assert_eq!(decode(&encode(&all)).unwrap(), all);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(decode("Zm9").is_err(), "bad length");
+        assert!(decode("Zm=v").is_err(), "pad mid-quad");
+        assert!(decode("Zg==Zg==").is_err(), "pad before final quad");
+        assert!(decode("Zm9\n").is_err(), "whitespace");
+        assert!(decode("Zm9!").is_err(), "out of alphabet");
+    }
+}

@@ -1,0 +1,737 @@
+//! Driver-side coordination for distributed mode: a TCP task-dispatch
+//! server plus the [`RemoteExecutor`] that plugs into the MapReduce
+//! runtime as its [`TaskExecutor`].
+//!
+//! The division of labor keeps the simulation contract intact: worker
+//! processes only ever *execute task bodies over bytes*. Every cost-model
+//! and scheduling decision — simulated task durations, shuffle and
+//! cross-node accounting, retry budgets, speculative execution — stays in
+//! the driver, computed from the numbers each task result reports. A
+//! distributed run therefore prices out identically to the in-process
+//! run it mirrors.
+//!
+//! Failure model: a worker is declared dead when its registration
+//! connection drops (a `kill -9` closes the socket, so this is the fast
+//! path) or when its heartbeats go quiet past the configured timeout.
+//! Death fails that worker's in-flight dispatches with
+//! [`MrError::TaskFailed`], which re-enters the runtime's existing
+//! retry/speculation machinery; the re-dispatch gets a *fresh* dispatch
+//! id, so a `task-done` from a zombie attempt refers to a retired id and
+//! is discarded — recovery is exactly-once. If every worker is gone for
+//! [`CoordinatorConfig::dead_cluster_timeout`], pending dispatches fail
+//! instead of hanging forever.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ffmr_service::{error_response, status, write_frame, Message, MAX_FRAME_BYTES};
+use ffmr_sync::{Condvar, Mutex};
+use mapreduce::{
+    MapTaskResult, MapTaskSpec, MrError, ReduceTaskResult, ReduceTaskSpec, TaskExecutor, WireSpec,
+};
+
+use crate::b64;
+use crate::proto::{self, verb, RAW_CHUNK_BYTES};
+
+/// How long a connection lingers after shutdown to let workers drain.
+const SHUTDOWN_GRACE: Duration = Duration::from_secs(2);
+/// Socket read timeout; doubles as the shutdown poll interval.
+const POLL: Duration = Duration::from_millis(50);
+/// Heartbeat-monitor scan interval.
+const MONITOR_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Tuning knobs for [`Coordinator::start`].
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Silence longer than this marks a worker dead (its connection
+    /// dropping is detected immediately, independent of this).
+    pub heartbeat_timeout: Duration,
+    /// How long a dispatch may sit with zero live workers before it is
+    /// failed rather than left waiting for a worker that may never come.
+    pub dead_cluster_timeout: Duration,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            heartbeat_timeout: Duration::from_secs(3),
+            dead_cluster_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Map,
+    Reduce,
+}
+
+impl Phase {
+    fn as_str(self) -> &'static str {
+        match self {
+            Phase::Map => "map",
+            Phase::Reduce => "reduce",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Dispatch {
+    phase: Phase,
+    task: usize,
+    running_on: Option<u64>,
+    outcome: Option<Result<Vec<u8>, String>>,
+}
+
+#[derive(Debug)]
+struct WorkerEntry {
+    last_seen: Instant,
+    alive: bool,
+    /// Told to shut down cleanly; not a death when it disconnects.
+    departing: bool,
+    running: Vec<u64>,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    blobs: HashMap<String, Vec<u8>>,
+    queue: VecDeque<u64>,
+    dispatches: HashMap<u64, Dispatch>,
+    workers: HashMap<u64, WorkerEntry>,
+    next_worker: u64,
+    next_dispatch: u64,
+    deaths: u64,
+}
+
+impl State {
+    fn live_workers(&self) -> usize {
+        self.workers
+            .values()
+            .filter(|w| w.alive && !w.departing)
+            .count()
+    }
+}
+
+#[derive(Debug)]
+struct Shared {
+    state: Mutex<State>,
+    changed: Condvar,
+    shutdown: AtomicBool,
+    heartbeat_timeout: Duration,
+    dead_cluster_timeout: Duration,
+}
+
+impl Shared {
+    fn publish_worker_gauge(&self, state: &State) {
+        ffmr_obs::global()
+            .gauge("ffmr_dist_workers", &[])
+            .set(state.live_workers() as i64);
+    }
+
+    /// Marks `worker` dead and fails its in-flight dispatches so the
+    /// runtime's retry path re-dispatches them.
+    fn mark_dead(&self, worker: u64, why: &str) {
+        let mut st = self.state.lock();
+        let Some(entry) = st.workers.get_mut(&worker) else {
+            return;
+        };
+        if !entry.alive {
+            return;
+        }
+        entry.alive = false;
+        let departing = entry.departing;
+        let running = std::mem::take(&mut entry.running);
+        if !departing {
+            st.deaths += 1;
+            ffmr_obs::global()
+                .counter("ffmr_dist_worker_deaths_total", &[])
+                .inc();
+        }
+        for d in running {
+            if let Some(dispatch) = st.dispatches.get_mut(&d) {
+                if dispatch.outcome.is_none() {
+                    dispatch.outcome = Some(Err(format!(
+                        "worker {worker} died ({why}) while running {} task {} (dispatch {d})",
+                        dispatch.phase.as_str(),
+                        dispatch.task,
+                    )));
+                }
+            }
+        }
+        self.publish_worker_gauge(&st);
+        drop(st);
+        self.changed.notify_all();
+    }
+}
+
+/// The distributed-mode coordinator: owns the dispatch server, blob
+/// store and worker table. Create one per driver process, register it
+/// with the runtime via [`Coordinator::executor`], and point `ffmr
+/// worker` processes at [`Coordinator::local_addr`].
+pub struct Coordinator {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    monitor: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl std::fmt::Debug for Coordinator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Coordinator")
+            .field("local_addr", &self.local_addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Coordinator {
+    /// Binds the dispatch server and starts the accept loop and the
+    /// heartbeat monitor.
+    ///
+    /// # Errors
+    /// If the listener cannot bind `config.addr`.
+    pub fn start(config: CoordinatorConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State::default()),
+            changed: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            heartbeat_timeout: config.heartbeat_timeout,
+            dead_cluster_timeout: config.dead_cluster_timeout,
+        });
+        let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let connections = Arc::clone(&connections);
+            std::thread::spawn(move || accept_loop(&listener, &shared, &connections))
+        };
+        let monitor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || monitor_loop(&shared))
+        };
+
+        Ok(Self {
+            shared,
+            local_addr,
+            accept: Some(accept),
+            monitor: Some(monitor),
+            connections,
+        })
+    }
+
+    /// The bound address workers should connect to.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A [`TaskExecutor`] handle for
+    /// [`MrRuntime::set_task_executor`](mapreduce::MrRuntime::set_task_executor).
+    #[must_use]
+    pub fn executor(&self) -> Arc<RemoteExecutor> {
+        Arc::new(RemoteExecutor {
+            shared: Arc::clone(&self.shared),
+        })
+    }
+
+    /// Number of registered workers currently believed alive.
+    #[must_use]
+    pub fn live_workers(&self) -> usize {
+        self.shared.state.lock().live_workers()
+    }
+
+    /// Total workers declared dead so far (connection drop or heartbeat
+    /// timeout; clean departures don't count).
+    #[must_use]
+    pub fn worker_deaths(&self) -> u64 {
+        self.shared.state.lock().deaths
+    }
+
+    /// Blocks until at least `n` workers are live, or `timeout` passes.
+    /// Returns whether the quorum arrived.
+    pub fn wait_for_workers(&self, n: usize, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.shared.state.lock();
+        while st.live_workers() < n {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            self.shared.changed.wait_timeout(&mut st, deadline - now);
+        }
+        true
+    }
+
+    /// Stops the server: connected workers get `shutdown 1` on their
+    /// next `task-request`, then all coordinator threads are joined.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.changed.notify_all();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.monitor.take() {
+            let _ = h.join();
+        }
+        let handles = std::mem::take(&mut *self.connections.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Coordinator {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    connections: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(shared);
+                let handle = std::thread::spawn(move || serve_connection(stream, &shared));
+                connections.lock().push(handle);
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                std::thread::sleep(POLL);
+            }
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+}
+
+fn monitor_loop(shared: &Arc<Shared>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(MONITOR_INTERVAL);
+        let stale: Vec<u64> = {
+            let st = shared.state.lock();
+            st.workers
+                .iter()
+                .filter(|(_, w)| {
+                    w.alive && !w.departing && w.last_seen.elapsed() > shared.heartbeat_timeout
+                })
+                .map(|(&id, _)| id)
+                .collect()
+        };
+        for id in stale {
+            shared.mark_dead(id, "heartbeat timeout");
+        }
+    }
+}
+
+enum Close {
+    Eof,
+    Shutdown,
+    Error,
+}
+
+/// Fills `buf` from `stream`, polling the shutdown flag on read
+/// timeouts. Once shutdown is requested the read keeps serving for
+/// [`SHUTDOWN_GRACE`] so in-flight workers can drain, then closes.
+fn read_full(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    shared: &Shared,
+    grace: &mut Option<Instant>,
+) -> Result<(), Close> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return Err(Close::Eof),
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    let started = *grace.get_or_insert_with(Instant::now);
+                    if started.elapsed() > SHUTDOWN_GRACE {
+                        return Err(Close::Shutdown);
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return Err(Close::Error),
+        }
+    }
+    Ok(())
+}
+
+fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(POLL));
+    let _ = stream.set_nodelay(true);
+    let mut registered: Option<u64> = None;
+    let mut grace: Option<Instant> = None;
+    loop {
+        let mut header = [0u8; 4];
+        if read_full(&mut stream, &mut header, shared, &mut grace).is_err() {
+            break;
+        }
+        let len = u32::from_be_bytes(header);
+        if len > MAX_FRAME_BYTES {
+            break; // protocol violation: drop the connection
+        }
+        let mut body = vec![0u8; len as usize];
+        if read_full(&mut stream, &mut body, shared, &mut grace).is_err() {
+            break;
+        }
+        let Ok(payload) = String::from_utf8(body) else {
+            break;
+        };
+        let response = match Message::decode(&payload) {
+            Ok(request) => handle_request(shared, &request, &mut registered),
+            Err(e) => error_response(format!("bad request: {e}")),
+        };
+        if write_frame(&mut stream, &response.encode()).is_err() {
+            break;
+        }
+    }
+    if let Some(id) = registered {
+        shared.mark_dead(id, "connection closed");
+    }
+}
+
+fn parse_u64(request: &Message, key: &str) -> Result<u64, Message> {
+    match request.get_parsed::<u64>(key) {
+        Ok(Some(v)) => Ok(v),
+        Ok(None) => Err(error_response(format!("missing field {key}"))),
+        Err(e) => Err(error_response(format!("bad field {key}: {e}"))),
+    }
+}
+
+fn handle_request(
+    shared: &Arc<Shared>,
+    request: &Message,
+    registered: &mut Option<u64>,
+) -> Message {
+    match request.head.as_str() {
+        verb::REGISTER => {
+            if registered.is_some() {
+                return error_response("connection already registered a worker");
+            }
+            let mut st = shared.state.lock();
+            let id = st.next_worker;
+            st.next_worker += 1;
+            st.workers.insert(
+                id,
+                WorkerEntry {
+                    last_seen: Instant::now(),
+                    alive: true,
+                    departing: false,
+                    running: Vec::new(),
+                },
+            );
+            *registered = Some(id);
+            shared.publish_worker_gauge(&st);
+            drop(st);
+            shared.changed.notify_all();
+            let mut resp = Message::new(status::OK);
+            resp.push("worker", id);
+            resp
+        }
+        verb::HEARTBEAT => {
+            let worker = match parse_u64(request, "worker") {
+                Ok(v) => v,
+                Err(resp) => return resp,
+            };
+            let mut st = shared.state.lock();
+            match st.workers.get_mut(&worker) {
+                Some(entry) if entry.alive => {
+                    entry.last_seen = Instant::now();
+                    Message::new(status::OK)
+                }
+                _ => error_response(format!("unknown or dead worker {worker}")),
+            }
+        }
+        verb::TASK_REQUEST => {
+            let worker = match parse_u64(request, "worker") {
+                Ok(v) => v,
+                Err(resp) => return resp,
+            };
+            let mut st = shared.state.lock();
+            let Some(entry) = st.workers.get_mut(&worker) else {
+                return error_response(format!("unknown worker {worker}"));
+            };
+            if !entry.alive {
+                return error_response(format!("worker {worker} was declared dead"));
+            }
+            entry.last_seen = Instant::now();
+            if shared.shutdown.load(Ordering::SeqCst) {
+                entry.departing = true;
+                shared.publish_worker_gauge(&st);
+                let mut resp = Message::new(status::OK);
+                resp.push("shutdown", 1);
+                return resp;
+            }
+            if let Some(d) = st.queue.pop_front() {
+                let phase = {
+                    let dispatch = st
+                        .dispatches
+                        .get_mut(&d)
+                        .expect("queued dispatch has an entry");
+                    dispatch.running_on = Some(worker);
+                    dispatch.phase
+                };
+                st.workers
+                    .get_mut(&worker)
+                    .expect("checked above")
+                    .running
+                    .push(d);
+                let mut resp = Message::new(status::OK);
+                resp.push("dispatch", d);
+                resp.push("phase", phase.as_str());
+                resp
+            } else {
+                let mut resp = Message::new(status::OK);
+                resp.push("none", 1);
+                resp
+            }
+        }
+        verb::BLOB_GET => {
+            let Some(name) = request.get("name") else {
+                return error_response("missing field name");
+            };
+            let offset = match parse_u64(request, "offset") {
+                Ok(v) => v as usize,
+                Err(resp) => return resp,
+            };
+            let st = shared.state.lock();
+            let Some(blob) = st.blobs.get(name) else {
+                return error_response(format!("no such blob {name}"));
+            };
+            if offset > blob.len() {
+                return error_response(format!(
+                    "blob {name} offset {offset} out of range (len {})",
+                    blob.len()
+                ));
+            }
+            let end = blob.len().min(offset + RAW_CHUNK_BYTES);
+            let chunk = &blob[offset..end];
+            ffmr_obs::global()
+                .counter("ffmr_dist_blob_bytes_total", &[("dir", "get")])
+                .add(chunk.len() as u64);
+            let mut resp = Message::new(status::OK);
+            resp.push("data", b64::encode(chunk));
+            resp.push("len", blob.len());
+            resp.push("more", u8::from(end < blob.len()));
+            resp
+        }
+        verb::BLOB_PUT => {
+            let Some(name) = request.get("name") else {
+                return error_response("missing field name");
+            };
+            let offset = match parse_u64(request, "offset") {
+                Ok(v) => v as usize,
+                Err(resp) => return resp,
+            };
+            let data = match b64::decode(request.get("data").unwrap_or_default()) {
+                Ok(d) => d,
+                Err(e) => return error_response(format!("bad blob chunk: {e}")),
+            };
+            let mut st = shared.state.lock();
+            let blob = if offset == 0 {
+                st.blobs.insert(name.to_string(), Vec::new());
+                st.blobs.get_mut(name).expect("just inserted")
+            } else {
+                match st.blobs.get_mut(name) {
+                    Some(b) if b.len() == offset => b,
+                    Some(b) => {
+                        let len = b.len();
+                        return error_response(format!(
+                            "blob {name} offset {offset} does not match length {len}"
+                        ));
+                    }
+                    None => return error_response(format!("no such blob {name}")),
+                }
+            };
+            ffmr_obs::global()
+                .counter("ffmr_dist_blob_bytes_total", &[("dir", "put")])
+                .add(data.len() as u64);
+            blob.extend_from_slice(&data);
+            Message::new(status::OK)
+        }
+        verb::TASK_DONE => {
+            let worker = match parse_u64(request, "worker") {
+                Ok(v) => v,
+                Err(resp) => return resp,
+            };
+            let d = match parse_u64(request, "dispatch") {
+                Ok(v) => v,
+                Err(resp) => return resp,
+            };
+            let ok = match request.get("status") {
+                Some("ok") => true,
+                Some("err") => false,
+                _ => return error_response("missing or bad field status"),
+            };
+            let mut st = shared.state.lock();
+            if let Some(entry) = st.workers.get_mut(&worker) {
+                entry.last_seen = Instant::now();
+                entry.running.retain(|&r| r != d);
+            }
+            // A dispatch the coordinator no longer tracks (or that was
+            // reassigned after this worker was declared dead) is a stale
+            // attempt: acknowledge and discard so retries stay
+            // exactly-once.
+            let current = st
+                .dispatches
+                .get(&d)
+                .is_some_and(|disp| disp.running_on == Some(worker) && disp.outcome.is_none());
+            if current {
+                let outcome = if ok {
+                    match st.blobs.remove(&proto::result_blob(d)) {
+                        Some(bytes) => Ok(bytes),
+                        None => Err(format!(
+                            "worker {worker} reported dispatch {d} ok but uploaded no result"
+                        )),
+                    }
+                } else {
+                    Err(request
+                        .get("message")
+                        .unwrap_or("worker reported failure without a message")
+                        .to_string())
+                };
+                st.dispatches.get_mut(&d).expect("checked above").outcome = Some(outcome);
+                drop(st);
+                shared.changed.notify_all();
+            }
+            Message::new(status::OK)
+        }
+        other => error_response(format!("unknown verb {other:?}")),
+    }
+}
+
+/// The [`TaskExecutor`] that ships tasks to worker processes.
+///
+/// `execute_map`/`execute_reduce` stage the job and spec blobs, enqueue
+/// a dispatch, and block until a worker uploads the result (or the
+/// dispatch fails). Called concurrently from the runtime's task threads,
+/// so `worker_threads` bounds how many dispatches are in flight.
+#[derive(Debug)]
+pub struct RemoteExecutor {
+    shared: Arc<Shared>,
+}
+
+impl RemoteExecutor {
+    fn run_remote(
+        &self,
+        phase: Phase,
+        task: usize,
+        wire: &WireSpec,
+        spec_bytes: Vec<u8>,
+    ) -> Result<Vec<u8>, MrError> {
+        let d = {
+            let mut st = self.shared.state.lock();
+            let d = st.next_dispatch;
+            st.next_dispatch += 1;
+            st.blobs.insert(
+                proto::job_blob(d),
+                proto::encode_job_blob(&wire.kind, &wire.params),
+            );
+            st.blobs.insert(proto::spec_blob(d), spec_bytes);
+            st.dispatches.insert(
+                d,
+                Dispatch {
+                    phase,
+                    task,
+                    running_on: None,
+                    outcome: None,
+                },
+            );
+            st.queue.push_back(d);
+            d
+        };
+        ffmr_obs::global()
+            .counter("ffmr_dist_dispatches_total", &[("phase", phase.as_str())])
+            .inc();
+        self.shared.changed.notify_all();
+
+        let mut no_worker_since: Option<Instant> = None;
+        let mut st = self.shared.state.lock();
+        loop {
+            if let Some(outcome) = st
+                .dispatches
+                .get_mut(&d)
+                .and_then(|disp| disp.outcome.take())
+            {
+                cleanup_dispatch(&mut st, d);
+                drop(st);
+                return outcome.map_err(|message| MrError::TaskFailed {
+                    phase: phase.as_str(),
+                    task,
+                    message,
+                });
+            }
+            if st.live_workers() == 0 {
+                let since = *no_worker_since.get_or_insert_with(Instant::now);
+                if since.elapsed() >= self.shared.dead_cluster_timeout {
+                    cleanup_dispatch(&mut st, d);
+                    drop(st);
+                    return Err(MrError::TaskFailed {
+                        phase: phase.as_str(),
+                        task,
+                        message: format!(
+                            "no live workers for {:?}; dispatch {d} abandoned",
+                            self.shared.dead_cluster_timeout
+                        ),
+                    });
+                }
+            } else {
+                no_worker_since = None;
+            }
+            self.shared.changed.wait_timeout(&mut st, MONITOR_INTERVAL);
+        }
+    }
+}
+
+fn cleanup_dispatch(st: &mut State, d: u64) {
+    st.dispatches.remove(&d);
+    st.queue.retain(|&q| q != d);
+    st.blobs.remove(&proto::job_blob(d));
+    st.blobs.remove(&proto::spec_blob(d));
+    st.blobs.remove(&proto::result_blob(d));
+}
+
+impl TaskExecutor for RemoteExecutor {
+    fn execute_map(&self, wire: &WireSpec, spec: MapTaskSpec) -> Result<MapTaskResult, MrError> {
+        let task = spec.task;
+        let bytes = self.run_remote(Phase::Map, task, wire, spec.to_bytes())?;
+        MapTaskResult::from_bytes(&bytes)
+            .map_err(|e| MrError::Wire(format!("map task {task} result: {e}")))
+    }
+
+    fn execute_reduce(
+        &self,
+        wire: &WireSpec,
+        spec: ReduceTaskSpec,
+    ) -> Result<ReduceTaskResult, MrError> {
+        let task = spec.task;
+        let bytes = self.run_remote(Phase::Reduce, task, wire, spec.to_bytes())?;
+        ReduceTaskResult::from_bytes(&bytes)
+            .map_err(|e| MrError::Wire(format!("reduce task {task} result: {e}")))
+    }
+}

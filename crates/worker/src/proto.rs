@@ -1,0 +1,120 @@
+//! The task-dispatch protocol spoken between the coordinator and worker
+//! processes, layered on the ffmrd wire format (`ffmr-service`'s
+//! length-prefixed [`Message`](ffmr_service::Message) frames).
+//!
+//! Verbs (all requests are worker → coordinator; the coordinator only
+//! ever answers):
+//!
+//! | head           | request fields                                  | ok-response fields                  |
+//! |----------------|--------------------------------------------------|-------------------------------------|
+//! | `register`     | —                                                | `worker <id>`                       |
+//! | `heartbeat`    | `worker <id>`                                    | —                                   |
+//! | `task-request` | `worker <id>`                                    | `dispatch <id>` + `phase map\|reduce`, or `none 1`, or `shutdown 1` |
+//! | `blob-get`     | `name <n>` `offset <o>`                          | `data <b64>` `len <total>` `more 0\|1` |
+//! | `blob-put`     | `name <n>` `offset <o>` `data <b64>` `last 0\|1` | —                                   |
+//! | `task-done`    | `worker <id>` `dispatch <id>` `status ok\|err` [`message <m>`] | —                     |
+//!
+//! Blobs move in chunks of at most [`RAW_CHUNK_BYTES`] raw bytes per
+//! frame: base64 inflates 3→4 and `write_frame` *asserts* payloads stay
+//! under `MAX_FRAME_BYTES` (1 MiB), so the chunk size leaves generous
+//! headroom (256 KiB raw → ~342 KiB encoded).
+//!
+//! Per dispatch `<d>` the coordinator stages blobs `task/<d>/job` (the
+//! job kind + wire params, see [`encode_job_blob`]) and `task/<d>/spec`
+//! (the encoded `MapTaskSpec`/`ReduceTaskSpec`); the worker pushes
+//! `task/<d>/result` before reporting `task-done`. Dispatch ids are
+//! fresh per attempt, so a `task-done` for a dispatch the coordinator
+//! has already failed (worker declared dead, task re-dispatched) refers
+//! to a retired id and is ignored — retries stay exactly-once.
+
+use mapreduce::encode::{get_bytes, put_bytes};
+use mapreduce::error::DecodeError;
+
+/// Largest raw (pre-base64) blob chunk carried in one frame.
+pub const RAW_CHUNK_BYTES: usize = 256 * 1024;
+
+/// Request heads.
+pub mod verb {
+    /// Announce a new worker; response carries its id.
+    pub const REGISTER: &str = "register";
+    /// Liveness ping from a worker's heartbeat thread.
+    pub const HEARTBEAT: &str = "heartbeat";
+    /// Ask for a task to run.
+    pub const TASK_REQUEST: &str = "task-request";
+    /// Fetch one chunk of a staged blob.
+    pub const BLOB_GET: &str = "blob-get";
+    /// Append one chunk to an uploaded blob.
+    pub const BLOB_PUT: &str = "blob-put";
+    /// Report a dispatch finished (ok or err).
+    pub const TASK_DONE: &str = "task-done";
+}
+
+/// Name of the job blob staged for dispatch `d`.
+#[must_use]
+pub fn job_blob(dispatch: u64) -> String {
+    format!("task/{dispatch}/job")
+}
+
+/// Name of the task-spec blob staged for dispatch `d`.
+#[must_use]
+pub fn spec_blob(dispatch: u64) -> String {
+    format!("task/{dispatch}/spec")
+}
+
+/// Name of the result blob a worker uploads for dispatch `d`.
+#[must_use]
+pub fn result_blob(dispatch: u64) -> String {
+    format!("task/{dispatch}/result")
+}
+
+/// Packs a job's wire kind and parameter blob into the `task/<d>/job`
+/// blob body.
+#[must_use]
+pub fn encode_job_blob(kind: &str, params: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(kind.len() + params.len() + 8);
+    put_bytes(kind.as_bytes(), &mut buf);
+    put_bytes(params, &mut buf);
+    buf
+}
+
+/// Unpacks [`encode_job_blob`] bytes into `(kind, params)`.
+///
+/// # Errors
+/// On truncated, trailing or non-UTF-8 kind bytes.
+pub fn decode_job_blob(mut input: &[u8]) -> Result<(String, Vec<u8>), DecodeError> {
+    let kind = std::str::from_utf8(get_bytes(&mut input)?)
+        .map_err(|_| DecodeError::new("job kind is not utf-8"))?
+        .to_string();
+    let params = get_bytes(&mut input)?.to_vec();
+    if !input.is_empty() {
+        return Err(DecodeError::new("trailing bytes after job blob"));
+    }
+    Ok((kind, params))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_blob_round_trip() {
+        let bytes = encode_job_blob("ff", &[9, 8, 7]);
+        let (kind, params) = decode_job_blob(&bytes).unwrap();
+        assert_eq!(kind, "ff");
+        assert_eq!(params, vec![9, 8, 7]);
+        for cut in 0..bytes.len() {
+            assert!(decode_job_blob(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        let mut padded = bytes;
+        padded.push(0);
+        assert!(decode_job_blob(&padded).is_err());
+    }
+
+    #[test]
+    fn blob_names_are_distinct_per_dispatch() {
+        assert_eq!(job_blob(7), "task/7/job");
+        assert_eq!(spec_blob(7), "task/7/spec");
+        assert_eq!(result_blob(7), "task/7/result");
+        assert_ne!(result_blob(7), result_blob(8));
+    }
+}

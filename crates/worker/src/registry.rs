@@ -1,0 +1,100 @@
+//! The job-kind registry: how a worker process turns a wire-shipped
+//! `(kind, params)` pair back into runnable mapper/reducer code.
+//!
+//! Closures cannot cross a process boundary, so distributed jobs carry a
+//! [`WireSpec`](mapreduce::WireSpec) naming a *job kind* plus an opaque
+//! parameter blob. Every worker process holds a registry mapping kind →
+//! factory; the factory deserializes the parameters and rebuilds the
+//! exact [`TaskRunner`] the driver would have run in process. The `ffmr`
+//! binary registers `ffmr_core::FF_JOB_KIND` → `ffmr_core::ff_task_runner`;
+//! tests register their own kinds.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use mapreduce::{MrError, TaskRunner};
+
+/// A factory rebuilding a [`TaskRunner`] from wire parameter bytes.
+pub type RunnerFactory = Arc<dyn Fn(&[u8]) -> Result<Box<dyn TaskRunner>, MrError> + Send + Sync>;
+
+/// Maps job-kind names to [`RunnerFactory`] functions.
+#[derive(Clone, Default)]
+pub struct JobKindRegistry {
+    factories: HashMap<String, RunnerFactory>,
+}
+
+impl JobKindRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `factory` under `kind`, replacing any previous entry.
+    pub fn register(
+        &mut self,
+        kind: impl Into<String>,
+        factory: impl Fn(&[u8]) -> Result<Box<dyn TaskRunner>, MrError> + Send + Sync + 'static,
+    ) {
+        self.factories.insert(kind.into(), Arc::new(factory));
+    }
+
+    /// Builds a runner for `kind` from `params`.
+    ///
+    /// # Errors
+    /// [`MrError::Wire`] for an unregistered kind; whatever the factory
+    /// returns for malformed parameters.
+    pub fn build(&self, kind: &str, params: &[u8]) -> Result<Box<dyn TaskRunner>, MrError> {
+        match self.factories.get(kind) {
+            Some(factory) => factory(params),
+            None => Err(MrError::Wire(format!(
+                "job kind {kind:?} not registered in this worker"
+            ))),
+        }
+    }
+
+    /// The registered kind names, sorted (for logs and error messages).
+    #[must_use]
+    pub fn kinds(&self) -> Vec<String> {
+        let mut kinds: Vec<String> = self.factories.keys().cloned().collect();
+        kinds.sort();
+        kinds
+    }
+}
+
+impl std::fmt::Debug for JobKindRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobKindRegistry")
+            .field("kinds", &self.kinds())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_kind_is_a_wire_error() {
+        let registry = JobKindRegistry::new();
+        match registry.build("nope", &[]) {
+            Err(MrError::Wire(m)) => assert!(m.contains("nope")),
+            Err(other) => panic!("expected wire error, got {other}"),
+            Ok(_) => panic!("expected wire error, got a runner"),
+        }
+    }
+
+    #[test]
+    fn registered_factory_is_invoked_with_params() {
+        let mut registry = JobKindRegistry::new();
+        registry.register("echo", |params| {
+            Err(MrError::Wire(format!("params len {}", params.len())))
+        });
+        assert_eq!(registry.kinds(), vec!["echo".to_string()]);
+        match registry.build("echo", &[1, 2, 3]) {
+            Err(MrError::Wire(m)) => assert_eq!(m, "params len 3"),
+            Err(other) => panic!("unexpected {other}"),
+            Ok(_) => panic!("factory result ignored"),
+        }
+    }
+}

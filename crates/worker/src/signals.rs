@@ -1,0 +1,59 @@
+//! Process-signal plumbing for graceful shutdown, std-only.
+//!
+//! The workspace takes no registry dependencies, so instead of a `signal`
+//! crate this module binds libc's `signal(2)` directly — the only
+//! `unsafe` in the workspace, confined to these few lines. The handler
+//! does the single async-signal-safe thing possible: it flips a static
+//! [`AtomicBool`] that `ffmr serve` / `ffmr worker` loops poll.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+extern "C" fn on_signal(_signum: i32) {
+    // Only async-signal-safe operations are allowed here; an atomic
+    // store qualifies, almost nothing else does.
+    REQUESTED.store(true, Ordering::SeqCst);
+}
+
+/// Installs SIGINT/SIGTERM handlers that set the [`requested`] flag.
+/// Idempotent; call once near process start.
+pub fn install() {
+    unsafe {
+        signal(SIGINT, on_signal as *const () as usize);
+        signal(SIGTERM, on_signal as *const () as usize);
+    }
+}
+
+/// True once SIGINT or SIGTERM has been delivered (after [`install`]).
+#[must_use]
+pub fn requested() -> bool {
+    REQUESTED.load(Ordering::SeqCst)
+}
+
+/// Sets or clears the flag directly — lets tests (and in-process worker
+/// threads) exercise the signal-driven shutdown path without signals.
+pub fn set_requested(value: bool) {
+    REQUESTED.store(value, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_round_trip() {
+        set_requested(false);
+        assert!(!requested());
+        set_requested(true);
+        assert!(requested());
+        set_requested(false);
+    }
+}

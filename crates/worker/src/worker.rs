@@ -1,0 +1,284 @@
+//! The worker-process main loop: poll the coordinator for tasks, fetch
+//! their bytes, execute, push results back.
+//!
+//! A worker is deliberately stateless between dispatches — everything a
+//! task needs arrives as blobs (`task/<d>/job`, `task/<d>/spec`) and
+//! everything it produces leaves as one (`task/<d>/result`). The only
+//! cache is the reconstructed [`TaskRunner`], keyed by `(kind, params)`:
+//! within one round every task shares the same job parameters, so the
+//! mapper/reducer is rebuilt once per round, not once per task.
+//!
+//! Shutdown paths: the coordinator answers `task-request` with
+//! `shutdown 1` (clean departure), or SIGINT/SIGTERM flips the
+//! [`signals`] flag and the loop exits before its next
+//! poll. A worker the coordinator has declared dead gets an error
+//! response and exits nonzero — by then its tasks have been
+//! re-dispatched, and its uploads for retired dispatch ids are ignored.
+
+use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use ffmr_service::{status, Client, Message};
+use mapreduce::{MapTaskSpec, MrError, ReduceTaskSpec, TaskRunner};
+
+use crate::b64;
+use crate::proto::{self, verb, RAW_CHUNK_BYTES};
+use crate::registry::JobKindRegistry;
+use crate::signals;
+
+/// Tuning knobs for [`run_worker`].
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Coordinator address (`host:port`).
+    pub addr: String,
+    /// Sleep between `task-request` polls when the queue is empty.
+    pub poll_interval: Duration,
+    /// Interval between heartbeats (keep well under the coordinator's
+    /// heartbeat timeout).
+    pub heartbeat_interval: Duration,
+}
+
+impl WorkerConfig {
+    /// A config with default pacing for `addr`.
+    #[must_use]
+    pub fn new(addr: impl Into<String>) -> Self {
+        Self {
+            addr: addr.into(),
+            poll_interval: Duration::from_millis(20),
+            heartbeat_interval: Duration::from_millis(300),
+        }
+    }
+}
+
+/// Sends `request` and insists on an `ok` response.
+fn rpc(client: &mut Client, request: &Message) -> Result<Message, MrError> {
+    let response = client
+        .request(request)
+        .map_err(|e| MrError::Wire(format!("{} request failed: {e}", request.head)))?;
+    if response.head == status::OK {
+        Ok(response)
+    } else {
+        Err(MrError::Wire(format!(
+            "{} rejected: {}",
+            request.head,
+            response.get("message").unwrap_or(&response.head)
+        )))
+    }
+}
+
+/// Downloads a staged blob chunk by chunk.
+fn fetch_blob(client: &mut Client, name: &str) -> Result<Vec<u8>, MrError> {
+    let mut out = Vec::new();
+    loop {
+        let mut req = Message::new(verb::BLOB_GET);
+        req.push("name", name);
+        req.push("offset", out.len());
+        let resp = rpc(client, &req)?;
+        let chunk = b64::decode(resp.get("data").unwrap_or_default())
+            .map_err(|e| MrError::Wire(format!("blob {name}: {e}")))?;
+        let more = resp.get("more") == Some("1");
+        if more && chunk.is_empty() {
+            return Err(MrError::Wire(format!(
+                "blob {name}: empty chunk with more data claimed"
+            )));
+        }
+        out.extend_from_slice(&chunk);
+        if !more {
+            let len = resp
+                .get_parsed::<usize>("len")
+                .ok()
+                .flatten()
+                .unwrap_or(out.len());
+            if out.len() != len {
+                return Err(MrError::Wire(format!(
+                    "blob {name}: got {} bytes, coordinator reported {len}",
+                    out.len()
+                )));
+            }
+            return Ok(out);
+        }
+    }
+}
+
+/// Uploads `bytes` as blob `name`, chunked under the frame cap.
+fn push_blob(client: &mut Client, name: &str, bytes: &[u8]) -> Result<(), MrError> {
+    let mut offset = 0;
+    loop {
+        let end = bytes.len().min(offset + RAW_CHUNK_BYTES);
+        let last = end == bytes.len();
+        let mut req = Message::new(verb::BLOB_PUT);
+        req.push("name", name);
+        req.push("offset", offset);
+        req.push("data", b64::encode(&bytes[offset..end]));
+        req.push("last", u8::from(last));
+        rpc(client, &req)?;
+        if last {
+            return Ok(());
+        }
+        offset = end;
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "task panicked".to_string()
+    }
+}
+
+type RunnerCache = HashMap<(String, Vec<u8>), Arc<dyn TaskRunner>>;
+
+/// Fetches, decodes and executes one dispatch, returning the encoded
+/// result bytes to upload.
+fn run_dispatch(
+    client: &mut Client,
+    registry: &JobKindRegistry,
+    cache: &mut RunnerCache,
+    dispatch: u64,
+    phase: &str,
+) -> Result<Vec<u8>, MrError> {
+    let job = fetch_blob(client, &proto::job_blob(dispatch))?;
+    let (kind, params) = proto::decode_job_blob(&job)
+        .map_err(|e| MrError::Wire(format!("dispatch {dispatch} job blob: {e}")))?;
+    let key = (kind.clone(), params.clone());
+    let runner = if let Some(cached) = cache.get(&key) {
+        Arc::clone(cached)
+    } else {
+        let built: Arc<dyn TaskRunner> = Arc::from(registry.build(&kind, &params)?);
+        // A new round means new params; drop the previous round's
+        // runner rather than accumulating one per round.
+        cache.clear();
+        cache.insert(key, Arc::clone(&built));
+        built
+    };
+    let spec_bytes = fetch_blob(client, &proto::spec_blob(dispatch))?;
+    let outcome = match phase {
+        "map" => {
+            let spec = MapTaskSpec::from_bytes(&spec_bytes)
+                .map_err(|e| MrError::Wire(format!("dispatch {dispatch} map spec: {e}")))?;
+            std::panic::catch_unwind(AssertUnwindSafe(|| runner.run_map(&spec)))
+                .map(|r| r.map(|res| res.to_bytes()))
+        }
+        "reduce" => {
+            let spec = ReduceTaskSpec::from_bytes(&spec_bytes)
+                .map_err(|e| MrError::Wire(format!("dispatch {dispatch} reduce spec: {e}")))?;
+            std::panic::catch_unwind(AssertUnwindSafe(|| runner.run_reduce(&spec)))
+                .map(|r| r.map(|res| res.to_bytes()))
+        }
+        other => {
+            return Err(MrError::Wire(format!(
+                "dispatch {dispatch} has unknown phase {other:?}"
+            )))
+        }
+    };
+    match outcome {
+        Ok(result) => result,
+        Err(payload) => Err(MrError::TaskFailed {
+            phase: if phase == "map" { "map" } else { "reduce" },
+            task: dispatch as usize,
+            message: panic_message(payload.as_ref()),
+        }),
+    }
+}
+
+/// Connects to the coordinator and serves tasks until told to shut
+/// down (coordinator `shutdown 1` response or SIGINT/SIGTERM after
+/// [`signals::install`]).
+///
+/// # Errors
+/// [`MrError::Wire`] when the coordinator link breaks or rejects this
+/// worker (e.g. it was declared dead after a heartbeat lapse).
+pub fn run_worker(config: &WorkerConfig, registry: &JobKindRegistry) -> Result<(), MrError> {
+    let mut client = Client::connect(&config.addr)
+        .map_err(|e| MrError::Wire(format!("connect {}: {e}", config.addr)))?;
+    let resp = rpc(&mut client, &Message::new(verb::REGISTER))?;
+    let worker_id: u64 = resp
+        .get_parsed("worker")
+        .ok()
+        .flatten()
+        .ok_or_else(|| MrError::Wire("register response carried no worker id".into()))?;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let heartbeat = {
+        let stop = Arc::clone(&stop);
+        let addr = config.addr.clone();
+        let interval = config.heartbeat_interval;
+        std::thread::spawn(move || {
+            let Ok(mut client) = Client::connect(&addr) else {
+                return;
+            };
+            let mut ping = Message::new(verb::HEARTBEAT);
+            ping.push("worker", worker_id);
+            while !stop.load(Ordering::SeqCst) && !signals::requested() {
+                match client.request(&ping) {
+                    Ok(resp) if resp.head == status::OK => {}
+                    _ => return,
+                }
+                std::thread::sleep(interval);
+            }
+        })
+    };
+
+    let mut cache: RunnerCache = HashMap::new();
+    let result = loop {
+        if signals::requested() {
+            break Ok(());
+        }
+        let mut req = Message::new(verb::TASK_REQUEST);
+        req.push("worker", worker_id);
+        let resp = match rpc(&mut client, &req) {
+            Ok(r) => r,
+            Err(_) if signals::requested() => break Ok(()),
+            Err(e) => break Err(e),
+        };
+        if resp.get("shutdown").is_some() {
+            break Ok(());
+        }
+        if resp.get("none").is_some() {
+            std::thread::sleep(config.poll_interval);
+            continue;
+        }
+        let (Ok(Some(dispatch)), Some(phase)) =
+            (resp.get_parsed::<u64>("dispatch"), resp.get("phase"))
+        else {
+            break Err(MrError::Wire(
+                "task-request response carried neither work nor idle/shutdown".into(),
+            ));
+        };
+        let phase = phase.to_string();
+        match run_dispatch(&mut client, registry, &mut cache, dispatch, &phase) {
+            Ok(result_bytes) => {
+                if let Err(e) = push_blob(&mut client, &proto::result_blob(dispatch), &result_bytes)
+                {
+                    break Err(e);
+                }
+                let mut done = Message::new(verb::TASK_DONE);
+                done.push("worker", worker_id);
+                done.push("dispatch", dispatch);
+                done.push("status", "ok");
+                if let Err(e) = rpc(&mut client, &done) {
+                    break Err(e);
+                }
+            }
+            Err(task_err) => {
+                let mut done = Message::new(verb::TASK_DONE);
+                done.push("worker", worker_id);
+                done.push("dispatch", dispatch);
+                done.push("status", "err");
+                done.push("message", task_err.to_string());
+                if let Err(e) = rpc(&mut client, &done) {
+                    break Err(e);
+                }
+            }
+        }
+    };
+    stop.store(true, Ordering::SeqCst);
+    let _ = heartbeat.join();
+    result
+}

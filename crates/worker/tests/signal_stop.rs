@@ -1,0 +1,23 @@
+//! The signal-driven shutdown path, isolated in its own test binary:
+//! the signal flag is process-global, so it must not race the other
+//! integration tests' in-thread workers.
+
+use std::time::Duration;
+
+use ffmr_worker::{run_worker, Coordinator, CoordinatorConfig, JobKindRegistry, WorkerConfig};
+
+#[test]
+fn signal_flag_stops_a_worker_loop() {
+    ffmr_worker::signals::install();
+    let coordinator = Coordinator::start(CoordinatorConfig::default()).unwrap();
+    let addr = coordinator.local_addr().to_string();
+    let worker =
+        std::thread::spawn(move || run_worker(&WorkerConfig::new(addr), &JobKindRegistry::new()));
+    assert!(coordinator.wait_for_workers(1, Duration::from_secs(10)));
+
+    // Stand in for SIGTERM delivery: the handler does exactly this.
+    ffmr_worker::signals::set_requested(true);
+    worker.join().unwrap().unwrap();
+    ffmr_worker::signals::set_requested(false);
+    coordinator.shutdown();
+}

@@ -10,6 +10,7 @@
 //!       [--speculate] [--slow-task PHASE:TASKxFACTOR]
 //! ffmr serve --listen 127.0.0.1:7227 --graph fb=graph.txt [--graph ...]
 //!       [--workers 4] [--queue 16] [--cache 256] [--mr-threshold 2000]
+//! ffmr worker --connect HOST:PORT [--poll-ms 20] [--heartbeat-ms 300]
 //! ffmr query --addr 127.0.0.1:7227 --op maxflow --dataset fb \
 //!       (--source S --sink T | --w N) [--algorithm auto|...] [--timeout-ms N]
 //! ffmr stats --addr 127.0.0.1:7227 [--dataset fb] [--prometheus] [--watch]
@@ -22,6 +23,13 @@
 //! With `--w N` the source/sink arguments are ignored and a super
 //! source/sink over `N` high-degree terminals each is attached (the
 //! paper's Sec. V-A1 construction).
+//!
+//! `maxflow --workers N` runs the MapReduce rounds in *distributed
+//! mode*: `N` separate `ffmr worker` OS processes are spawned against an
+//! in-driver coordinator and execute every map/reduce task over TCP.
+//! The simulated cost model, retries and output bytes are identical to
+//! the in-process run. `ffmr worker --connect` joins a coordinator by
+//! hand (e.g. from another terminal or machine).
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
@@ -41,6 +49,7 @@ fn main() -> ExitCode {
         "info" => info(&args[1..]),
         "maxflow" => run_maxflow(&args[1..]),
         "serve" => serve(&args[1..]),
+        "worker" => worker(&args[1..]),
         "query" => query(&args[1..]),
         "stats" => stats(&args[1..]),
         "report" => report(&args[1..]),
@@ -71,10 +80,11 @@ fn print_help() {
          \x20          [--nodes N] [--reducers R] [--seed S] [--threads N]\n\
          \x20          [--state FILE] [--resume] [--crash-after-round N]\n\
          \x20          [--crash-in-round N] [--speculate]\n\
-         \x20          [--slow-task PHASE:TASKxFACTOR]\n\
+         \x20          [--slow-task PHASE:TASKxFACTOR] [--workers N]\n\
          \x20 serve    --listen HOST:PORT --graph NAME=FILE [--graph ...]\n\
          \x20          [--workers N] [--queue N] [--cache N] [--mr-threshold N]\n\
          \x20          [--nodes N] [--reducers R] [--timeout-ms N]\n\
+         \x20 worker   --connect HOST:PORT [--poll-ms N] [--heartbeat-ms N]\n\
          \x20 query    --addr HOST:PORT --op maxflow|mincut|stats|history|list|\n\
          \x20          load|reload|ping|shutdown [--dataset D] [--limit N]\n\
          \x20          (--source S --sink T | --w N)\n\
@@ -96,7 +106,13 @@ fn print_help() {
          \x20 --resume --state FILE continues from the newest checkpoint.\n\
          \x20 --crash-after-round/--crash-in-round N inject driver crashes;\n\
          \x20 --speculate launches duplicates for stragglers injected with\n\
-         \x20 --slow-task (e.g. --slow-task map:2x10 = map task 2, 10x slow)."
+         \x20 --slow-task (e.g. --slow-task map:2x10 = map task 2, 10x slow).\n\n\
+         distributed mode:\n\
+         \x20 maxflow --workers N spawns N `ffmr worker` OS processes and\n\
+         \x20 executes every map/reduce task in them over localhost TCP.\n\
+         \x20 A worker killed mid-round is detected (connection drop or\n\
+         \x20 heartbeat silence) and its tasks are re-dispatched under the\n\
+         \x20 Hadoop retry budget. Output is byte-identical to --threads 1."
     );
 }
 
@@ -300,6 +316,45 @@ fn run_maxflow(args: &[String]) -> Result<(), String> {
             rt.set_speculation(SpeculationPolicy::hadoop_default());
         }
 
+        // Distributed mode: spawn real worker OS processes and route
+        // every map/reduce task through them. The coordinator (and the
+        // children, told to shut down on their next poll) are torn down
+        // when `_dist` drops, including on the error paths below.
+        let dist_workers: usize = opts.parsed("workers", 0)?;
+        let _dist = if dist_workers > 0 {
+            let coordinator = ffmr::ffmr_worker::Coordinator::start(
+                ffmr::ffmr_worker::CoordinatorConfig::default(),
+            )
+            .map_err(|e| format!("cannot start coordinator: {e}"))?;
+            let addr = coordinator.local_addr().to_string();
+            let exe = std::env::current_exe()
+                .map_err(|e| format!("cannot locate own executable: {e}"))?;
+            let mut children = Vec::new();
+            for _ in 0..dist_workers {
+                let child = std::process::Command::new(&exe)
+                    .arg("worker")
+                    .arg("--connect")
+                    .arg(&addr)
+                    .spawn()
+                    .map_err(|e| format!("cannot spawn worker process: {e}"))?;
+                children.push(child);
+            }
+            if !coordinator.wait_for_workers(dist_workers, std::time::Duration::from_secs(10)) {
+                return Err("worker processes did not register within 10s".into());
+            }
+            rt.set_task_executor(Some(coordinator.executor()));
+            // Worker deaths surface as failed task attempts; give them
+            // Hadoop's retry budget instead of the fail-fast default.
+            rt.set_failure_policy(FailurePolicy::hadoop_default());
+            println!("distributed mode: {dist_workers} worker processes via {addr}");
+            Some(DistributedRun {
+                coordinator: Some(coordinator),
+                children,
+            })
+        } else {
+            None
+        };
+
         let mut config = FfConfig::new(s, t).variant(variant).reducers(reducers);
         if let Some(round) = opts.get("crash-after-round") {
             let round = round.parse().map_err(|_| "invalid --crash-after-round")?;
@@ -382,6 +437,47 @@ fn run_maxflow(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Owns the distributed-mode coordinator and worker child processes for
+/// one `maxflow --workers N` run; tears both down on drop so every exit
+/// path (success, injected crash, error) reaps its children.
+struct DistributedRun {
+    coordinator: Option<ffmr::ffmr_worker::Coordinator>,
+    children: Vec<std::process::Child>,
+}
+
+impl Drop for DistributedRun {
+    fn drop(&mut self) {
+        if let Some(coordinator) = self.coordinator.take() {
+            // Workers get `shutdown 1` on their next poll and exit.
+            coordinator.shutdown();
+        }
+        for child in &mut self.children {
+            let _ = child.wait();
+        }
+    }
+}
+
+/// `ffmr worker` — join a coordinator and execute dispatched tasks
+/// until it says shutdown or the process receives SIGINT/SIGTERM.
+fn worker(args: &[String]) -> Result<(), String> {
+    use ffmr::ffmr_worker::{self, JobKindRegistry, WorkerConfig};
+    let opts = Options::parse(args)?;
+    let addr = opts.required("connect")?.to_string();
+    let mut config = WorkerConfig::new(addr.clone());
+    config.poll_interval = std::time::Duration::from_millis(opts.parsed("poll-ms", 20u64)?.max(1));
+    config.heartbeat_interval =
+        std::time::Duration::from_millis(opts.parsed("heartbeat-ms", 300u64)?.max(10));
+
+    ffmr_worker::signals::install();
+    let mut registry = JobKindRegistry::new();
+    registry.register(ffmr_core::FF_JOB_KIND, ffmr_core::ff_task_runner);
+    eprintln!(
+        "worker connecting to {addr} (job kinds: {})",
+        registry.kinds().join(", ")
+    );
+    ffmr_worker::run_worker(&config, &registry).map_err(|e| e.to_string())
+}
+
 /// Parses a straggler-injection spec `PHASE:TASKxFACTOR`, e.g.
 /// `map:2x10` (map task 2 runs 10x slower) or `any:0x3`.
 fn parse_slow_task(spec: &str) -> Result<SlowTask, String> {
@@ -453,8 +549,24 @@ fn serve(args: &[String]) -> Result<(), String> {
         server_config.workers,
         server_config.queue_depth
     );
-    // Blocks until a client sends `shutdown`, then joins every thread.
-    handle.wait();
+    // Blocks until a client sends `shutdown` or the process receives
+    // SIGINT/SIGTERM, then joins every thread.
+    ffmr::ffmr_worker::signals::install();
+    let signaled = loop {
+        if ffmr::ffmr_worker::signals::requested() {
+            break true;
+        }
+        if handle.shutdown_requested() {
+            break false;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    };
+    if signaled {
+        println!("signal received; shutting down");
+        handle.shutdown();
+    } else {
+        handle.wait();
+    }
     println!("ffmrd stopped");
     Ok(())
 }

@@ -14,6 +14,9 @@
 //! * [`ffmr_obs`] — zero-dependency metrics registry (counters, gauges,
 //!   latency histograms) and JSONL span tracing, wired through the
 //!   runtime, the FF driver, and the daemon.
+//! * [`ffmr_worker`] — distributed mode: the task-dispatch coordinator
+//!   and the `ffmr worker` process loop that executes map/reduce tasks
+//!   over the wire.
 //!
 //! # Quickstart
 //!
@@ -45,6 +48,7 @@
 pub use ffmr_core;
 pub use ffmr_obs;
 pub use ffmr_service;
+pub use ffmr_worker;
 pub use mapreduce;
 pub use maxflow;
 pub use pregel;
@@ -56,7 +60,9 @@ pub mod prelude {
         resume_max_flow, run_max_flow, AugProc, CrashPoint, ExcessPath, FfConfig, FfError, FfRun,
         FfVariant, KPolicy,
     };
-    pub use mapreduce::{ClusterConfig, Dfs, JobBuilder, MrRuntime, SlowTask, SpeculationPolicy};
+    pub use mapreduce::{
+        ClusterConfig, Dfs, FailurePolicy, JobBuilder, MrRuntime, SlowTask, SpeculationPolicy,
+    };
     pub use maxflow::{Algorithm, FlowResult};
     pub use swgraph::{Capacity, EdgeId, FlowNetwork, FlowNetworkBuilder, VertexId};
 }

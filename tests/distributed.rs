@@ -1,0 +1,181 @@
+//! Distributed-mode acceptance tests: real `ffmr worker` OS processes
+//! executing every map/reduce task over localhost TCP.
+//!
+//! The headline cross-check: a distributed run must be *byte-identical*
+//! to the deterministic in-process run (`worker_threads = Some(1)`) —
+//! same flow value, same per-round path counts, same final vertex-record
+//! bytes — even though tasks execute in other processes in whatever
+//! order the workers get to them. The driver replays worker-captured
+//! service calls in task order, which pins the remaining nondeterminism.
+//!
+//! Plus the failure drill from the issue: `kill -9` one worker mid-job
+//! and the run must still complete correctly via the retry path.
+
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use ffmr::prelude::*;
+use ffmr::{ffmr_core, ffmr_worker, maxflow, swgraph};
+
+fn test_network(n: u64, w: usize, seed: u64) -> (FlowNetwork, VertexId, VertexId) {
+    let edges = swgraph::gen::barabasi_albert(n, 3, seed);
+    let net = FlowNetwork::from_undirected_unit(n, &edges);
+    let st = swgraph::super_st::attach_super_terminals(&net, w, 3, 1).expect("terminals");
+    (st.network, st.source, st.sink)
+}
+
+/// A run's determinism fingerprint: flow value, per-round progress, the
+/// final vertex-record bytes, and the still-pending deltas.
+fn fingerprint(rt: &MrRuntime, run: &ffmr_core::FfRun) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(format!("value={}\n", run.max_flow_value).as_bytes());
+    for r in &run.rounds {
+        out.extend_from_slice(
+            format!(
+                "round={} a_paths={} gained={} map_out={} shuffle={}\n",
+                r.round, r.a_paths, r.value_gained, r.map_out_records, r.shuffle_bytes
+            )
+            .as_bytes(),
+        );
+    }
+    let file = rt.dfs().file(&run.final_graph_path).expect("final graph");
+    for p in &file.partitions {
+        out.extend_from_slice(&p.data);
+    }
+    out.extend_from_slice(&run.pending_deltas.to_blob());
+    out
+}
+
+fn spawn_worker_process(addr: &str) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_ffmr"))
+        .args(["worker", "--connect", addr])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn ffmr worker")
+}
+
+struct WorkerFleet {
+    coordinator: Option<ffmr_worker::Coordinator>,
+    children: Vec<Child>,
+}
+
+impl WorkerFleet {
+    fn start(n: usize) -> Self {
+        let coordinator =
+            ffmr_worker::Coordinator::start(ffmr_worker::CoordinatorConfig::default())
+                .expect("start coordinator");
+        let addr = coordinator.local_addr().to_string();
+        let children: Vec<Child> = (0..n).map(|_| spawn_worker_process(&addr)).collect();
+        assert!(
+            coordinator.wait_for_workers(n, Duration::from_secs(30)),
+            "worker processes did not register"
+        );
+        Self {
+            coordinator: Some(coordinator),
+            children,
+        }
+    }
+
+    fn coordinator(&self) -> &ffmr_worker::Coordinator {
+        self.coordinator.as_ref().expect("fleet running")
+    }
+}
+
+impl Drop for WorkerFleet {
+    fn drop(&mut self) {
+        if let Some(coordinator) = self.coordinator.take() {
+            coordinator.shutdown();
+        }
+        for child in &mut self.children {
+            // Workers exit on the coordinator's shutdown answer; reap
+            // them (kill first in case one is wedged).
+            let _ = child.wait();
+        }
+    }
+}
+
+#[test]
+fn two_worker_processes_match_the_inprocess_fingerprint() {
+    let (net, s, t) = test_network(250, 2, 11);
+    let config = FfConfig::new(s, t).variant(FfVariant::ff5()).reducers(6);
+
+    // Baseline: the deterministic serial in-process run.
+    let mut rt_base = MrRuntime::new(ClusterConfig::small_cluster(4));
+    rt_base.set_worker_threads(Some(1));
+    let run_base = ffmr_core::run_max_flow(&mut rt_base, &net, &config).expect("baseline run");
+    let base_print = fingerprint(&rt_base, &run_base);
+
+    // Distributed: two real worker processes, parallel dispatch.
+    let fleet = WorkerFleet::start(2);
+    let mut rt_dist = MrRuntime::new(ClusterConfig::small_cluster(4));
+    rt_dist.set_task_executor(Some(fleet.coordinator().executor()));
+    let run_dist = ffmr_core::run_max_flow(&mut rt_dist, &net, &config).expect("distributed run");
+    let dist_print = fingerprint(&rt_dist, &run_dist);
+
+    assert_eq!(run_base.max_flow_value, run_dist.max_flow_value);
+    assert_eq!(
+        base_print, dist_print,
+        "distributed run diverged from the serial in-process fingerprint"
+    );
+
+    // Simulated cost model is computed driver-side from task-reported
+    // numbers, so the simulated clock must agree exactly too.
+    assert!(
+        (run_base.total_sim_seconds - run_dist.total_sim_seconds).abs() < 1e-9,
+        "simulated cost diverged: {} vs {}",
+        run_base.total_sim_seconds,
+        run_dist.total_sim_seconds
+    );
+
+    // And the flow itself must be the true maximum.
+    let oracle = maxflow::dinic::max_flow(&net, s, t);
+    assert_eq!(run_dist.max_flow_value, oracle.value);
+}
+
+#[test]
+fn kill_nine_mid_job_is_recovered_by_retry() {
+    let (net, s, t) = test_network(700, 3, 23);
+    let config = FfConfig::new(s, t).variant(FfVariant::ff5()).reducers(6);
+
+    let mut fleet = WorkerFleet::start(2);
+    let victim = fleet.children.remove(0);
+
+    let mut rt = MrRuntime::new(ClusterConfig::small_cluster(4));
+    rt.set_task_executor(Some(fleet.coordinator().executor()));
+    // Worker death fails the in-flight attempt; Hadoop's budget retries.
+    rt.set_failure_policy(FailurePolicy::hadoop_default());
+
+    // SIGKILL the victim shortly into the run, from another thread —
+    // the driver never gets a chance to say goodbye on its behalf.
+    let killer = std::thread::spawn(move || {
+        let mut victim = victim;
+        std::thread::sleep(Duration::from_millis(50));
+        victim.kill().expect("kill -9 the worker");
+        victim.wait().expect("reap the victim");
+    });
+
+    let run = ffmr_core::run_max_flow(&mut rt, &net, &config).expect("run survives the kill");
+    killer.join().expect("killer thread");
+
+    assert_eq!(
+        fleet.coordinator().worker_deaths(),
+        1,
+        "the killed worker must be declared dead"
+    );
+    assert_eq!(fleet.coordinator().live_workers(), 1);
+
+    let oracle = maxflow::dinic::max_flow(&net, s, t);
+    assert_eq!(
+        run.max_flow_value, oracle.value,
+        "flow wrong after recovery"
+    );
+
+    // The fingerprint must still match a clean serial run: retries and
+    // the lost worker must leave no trace in the output.
+    let print_dist = fingerprint(&rt, &run);
+    let mut rt_base = MrRuntime::new(ClusterConfig::small_cluster(4));
+    rt_base.set_worker_threads(Some(1));
+    let run_base = ffmr_core::run_max_flow(&mut rt_base, &net, &config).expect("baseline");
+    assert_eq!(print_dist, fingerprint(&rt_base, &run_base));
+}
