@@ -467,7 +467,6 @@ pub fn run_max_flow_from_input(
         max_graph_bytes: graph0,
         deltas: Arc::new(AugmentedEdges::new(0)),
         next_round: 1,
-        history: String::new(),
     };
     config
         .hooks
@@ -475,10 +474,10 @@ pub fn run_max_flow_from_input(
     record_history(
         rt,
         config,
-        &mut state,
         0,
         stats0.name.clone(),
         std::mem::take(&mut stats0.task_events),
+        std::mem::take(&mut stats0.dispatch_notes),
         stats0.sim_seconds,
         round0_started.elapsed().as_secs_f64(),
     );
@@ -554,18 +553,20 @@ pub fn resume_max_flow(rt: &mut MrRuntime, config: &FfConfig) -> Result<FfRun, F
     run_span.field("sink", config.sink);
     run_span.field("resumed_from", manifest.round);
 
-    // Reload the job history written so far, dropping any lines newer
-    // than the manifest (a crash can leave the blob ahead of the
-    // checkpoint only if ordering ever changes; filtering is cheap
-    // insurance either way).
-    let mut history = String::new();
+    // Rewrite the job-history blob without any lines newer than the
+    // manifest (a crash can leave the blob ahead of the checkpoint only
+    // if ordering ever changes; filtering is cheap insurance either
+    // way). Later rounds append to the filtered blob in place.
     if let Ok(bytes) = rt.dfs().read_blob(&history_path(&config.base_path)) {
+        let mut history = String::new();
         for line in String::from_utf8_lossy(bytes).lines() {
             if ffmr_obs::RoundProfile::from_json(line).is_ok_and(|p| p.round <= manifest.round) {
                 history.push_str(line);
                 history.push('\n');
             }
         }
+        rt.dfs_mut()
+            .write_blob(&history_path(&config.base_path), history.into_bytes());
     }
 
     let finished = manifest.finished;
@@ -575,7 +576,6 @@ pub fn resume_max_flow(rt: &mut MrRuntime, config: &FfConfig) -> Result<FfRun, F
         max_graph_bytes: manifest.max_graph_bytes,
         deltas: Arc::new(manifest.deltas),
         rounds: manifest.rounds,
-        history,
     };
     if finished {
         return Ok(finish(config, &mut state, run_span));
@@ -614,37 +614,38 @@ struct LoopState {
     /// round's mappers.
     deltas: Arc<AugmentedEdges>,
     next_round: usize,
-    /// Accumulated job-history JSONL (one [`ffmr_obs::RoundProfile`] line
-    /// per completed round), mirrored to the [`history_path`] blob after
-    /// every round. Not part of the checkpoint manifest: a resumed run
-    /// reloads it from the blob instead.
-    history: String,
 }
 
-/// Appends the round's flight-recorder profile to the in-memory history
-/// and re-persists the [`history_path`] blob. Runs only when
-/// checkpointing is on — history rides the same durability switch.
+/// Appends the round's flight-recorder profile to the [`history_path`]
+/// blob (one JSONL line per round; a resumed run keeps appending to the
+/// blob it finds). Runs only when checkpointing is on — history rides
+/// the same durability switch.
 #[allow(clippy::too_many_arguments)]
 fn record_history(
     rt: &mut MrRuntime,
     config: &FfConfig,
-    state: &mut LoopState,
     round: usize,
     job: String,
     events: Vec<ffmr_obs::TaskEvent>,
+    dispatches: Vec<ffmr_obs::DispatchNote>,
     sim_seconds: f64,
     wall_seconds: f64,
 ) {
     if !config.checkpoint {
         return;
     }
-    let profile = ffmr_obs::RoundProfile::compute(round, job, events, sim_seconds, wall_seconds);
-    state.history.push_str(&profile.to_json());
-    state.history.push('\n');
-    rt.dfs_mut().write_blob(
-        &history_path(&config.base_path),
-        state.history.clone().into_bytes(),
+    let profile = ffmr_obs::RoundProfile::compute_with_dispatches(
+        round,
+        job,
+        events,
+        dispatches,
+        sim_seconds,
+        wall_seconds,
     );
+    let mut line = profile.to_json();
+    line.push('\n');
+    rt.dfs_mut()
+        .append_blob(&history_path(&config.base_path), line.as_bytes());
 }
 
 /// Window of trailing flow-round wall times the anomaly sentinel
@@ -806,10 +807,10 @@ fn run_rounds(
         record_history(
             rt,
             config,
-            state,
             round,
             stats.name.clone(),
             std::mem::take(&mut stats.task_events),
+            std::mem::take(&mut stats.dispatch_notes),
             stats.sim_seconds,
             wall_seconds,
         );

@@ -329,6 +329,16 @@ impl Dfs {
         self.blobs.insert(path.to_owned(), bytes);
     }
 
+    /// Appends bytes to a side-file blob, creating it if absent. Unlike
+    /// rewriting via [`Dfs::write_blob`], the cost is proportional to
+    /// the appended slice — what a per-round log (the job history) needs.
+    pub fn append_blob(&mut self, path: &str, bytes: &[u8]) {
+        self.blobs
+            .entry(path.to_owned())
+            .or_default()
+            .extend_from_slice(bytes);
+    }
+
     /// Reads a side-file blob.
     ///
     /// # Errors

@@ -145,6 +145,15 @@ pub trait TaskExecutor: Send + Sync {
         wire: &crate::job::WireSpec,
         spec: ReduceTaskSpec,
     ) -> Result<ReduceTaskResult, MrError>;
+
+    /// Hands over the per-dispatch telemetry notes accumulated since
+    /// the last drain (queue/transfer/compute timings with worker
+    /// attribution, on the executor's process-epoch clock). The default
+    /// executor has none; the remote executor feeds the flight
+    /// recorder's distributed lanes through this.
+    fn drain_dispatch_notes(&self) -> Vec<ffmr_obs::DispatchNote> {
+        Vec::new()
+    }
 }
 
 /// The typed task bodies of one job: decode → map → sort → combine →

@@ -277,6 +277,11 @@ impl MrRuntime {
         let cfg = job.config().clone();
         let mut job_span = ffmr_obs::span("mr.job");
         job_span.field("job", &cfg.name);
+        // The job span's id doubles as the trace id: every span this
+        // process (and, via the dispatch protocol, every worker) opens
+        // until the next job carries it, stitching one cross-process
+        // trace per job. Zero when tracing is off — nothing to stitch.
+        ffmr_obs::set_trace_id(job_span.id());
         if cfg.reducers == 0 {
             return Err(MrError::InvalidJob("reducers must be > 0".into()));
         }
@@ -669,6 +674,14 @@ impl MrRuntime {
         // event, on the derived timeline: scheduling overhead, then the
         // map wave, the shuffle, the reduce wave (replication follows).
         let recorder = ffmr_obs::events::recorder();
+        // Drain unconditionally so notes never pile up across jobs when
+        // the recorder is toggled mid-flight; they are empty in local
+        // mode and when the coordinator saw the recorder disabled.
+        let mut dispatch_notes: Vec<ffmr_obs::DispatchNote> = self
+            .executor
+            .as_ref()
+            .map(|e| e.drain_dispatch_notes())
+            .unwrap_or_default();
         let mut task_events: Vec<ffmr_obs::TaskEvent> = Vec::new();
         if recorder.enabled() {
             let map_start = self.cluster.round_overhead_s;
@@ -693,6 +706,7 @@ impl MrRuntime {
                 attempt: 0,
                 node: 0,
                 partition: None,
+                worker: None,
                 sim_start: map_end,
                 sim_end: map_end + shuffle_seconds,
                 wall_start_us: shuffle_wall_start,
@@ -714,6 +728,21 @@ impl MrRuntime {
                 &reduce_walls,
                 &reduce_bytes,
             );
+            if !dispatch_notes.is_empty() {
+                // The coordinator stamps notes on the process epoch
+                // clock; rebase them onto this job's wall clock (the
+                // timeline `wall_start_us`/`wall_end_us` use).
+                let rebase = u64::try_from(
+                    wall_start
+                        .saturating_duration_since(ffmr_obs::span::process_epoch())
+                        .as_micros(),
+                )
+                .unwrap_or(u64::MAX);
+                for note in &mut dispatch_notes {
+                    note.rebase(rebase);
+                }
+                attach_worker_attribution(&mut task_events, &dispatch_notes);
+            }
             for event in &task_events {
                 recorder.record(event.clone());
             }
@@ -741,6 +770,7 @@ impl MrRuntime {
             wall_seconds: wall_start.elapsed().as_secs_f64(),
             counters: counters.snapshot(),
             task_events,
+            dispatch_notes,
         };
         fold_job_metrics(&stats);
         Ok(stats)
@@ -953,6 +983,26 @@ fn list_schedule(occupancies: &[f64], slots: usize) -> Vec<f64> {
         .collect()
 }
 
+/// Stamps each task event with the worker that ran the matching
+/// dispatch. Events and notes are both ordered attempt-by-attempt
+/// within a `(phase, task)` pair, so pairing them positionally keeps
+/// retries and speculative duplicates attributed to the right worker.
+fn attach_worker_attribution(events: &mut [ffmr_obs::TaskEvent], notes: &[ffmr_obs::DispatchNote]) {
+    use std::collections::HashMap;
+    let mut per_task: HashMap<(&str, usize), std::collections::VecDeque<u64>> = HashMap::new();
+    for note in notes {
+        per_task
+            .entry((note.phase.as_str(), note.task))
+            .or_default()
+            .push_back(note.worker);
+    }
+    for event in events {
+        if let Some(queue) = per_task.get_mut(&(event.phase.as_str(), event.task)) {
+            event.worker = queue.pop_front();
+        }
+    }
+}
+
 /// Assembles the flight-recorder events of one phase: per task, every
 /// failed attempt, the final attempt, and any speculative duplicate.
 ///
@@ -988,6 +1038,7 @@ fn phase_events(
         attempt,
         node,
         partition: is_reduce.then_some(task),
+        worker: None,
         sim_start: 0.0,
         sim_end: 0.0,
         wall_start_us: 0,

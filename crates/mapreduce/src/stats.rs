@@ -59,6 +59,11 @@ pub struct JobStats {
     /// barrier. Empty unless the global
     /// [`ffmr_obs::events::recorder`] is enabled when the job runs.
     pub task_events: Vec<ffmr_obs::TaskEvent>,
+    /// Per-dispatch telemetry from the remote executor (distributed
+    /// mode only): queue/transfer/compute timings with worker
+    /// attribution, rebased onto this job's wall clock. Empty in local
+    /// mode or when the flight recorder is disabled.
+    pub dispatch_notes: Vec<ffmr_obs::DispatchNote>,
 }
 
 impl JobStats {

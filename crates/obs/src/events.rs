@@ -18,16 +18,18 @@
 //! Recording is off by default; when disabled the runtime skips event
 //! assembly entirely, so the recorder costs one atomic load per job.
 
-use std::fs::File;
-use std::io::{BufWriter, Write as IoWrite};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use crate::json::Value;
 
-/// Default capacity of the global event ring.
+/// Default capacity of the global event ring. Overridable at process
+/// start with the `FFMR_EVENT_RING_CAP` environment variable.
 pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+/// Environment variable overriding the global ring's capacity.
+pub const RING_CAP_ENV: &str = "FFMR_EVENT_RING_CAP";
 
 /// How a task attempt ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,6 +94,9 @@ pub struct TaskEvent {
     pub attempt: u32,
     /// Simulated cluster node the attempt was placed on.
     pub node: usize,
+    /// Real worker-process id that executed the attempt in distributed
+    /// mode (`None` for in-process execution and synthetic events).
+    pub worker: Option<u64>,
     /// Reduce partition id (`None` for map and shuffle events).
     pub partition: Option<usize>,
     /// Simulated start, seconds from round start.
@@ -136,6 +141,10 @@ impl TaskEvent {
         out.push_str(&self.attempt.to_string());
         out.push_str(",\"node\":");
         out.push_str(&self.node.to_string());
+        if let Some(w) = self.worker {
+            out.push_str(",\"worker\":");
+            out.push_str(&w.to_string());
+        }
         if let Some(p) = self.partition {
             out.push_str(",\"partition\":");
             out.push_str(&p.to_string());
@@ -186,6 +195,7 @@ impl TaskEvent {
             task: usize::try_from(int_field("task")?).map_err(|_| "task overflows usize")?,
             attempt: u32::try_from(int_field("attempt")?).map_err(|_| "attempt overflows u32")?,
             node: usize::try_from(int_field("node")?).map_err(|_| "node overflows usize")?,
+            worker: v.get("worker").and_then(Value::as_u64),
             partition: v.get("partition").and_then(Value::as_usize),
             sim_start: num_field("sim_start")?,
             sim_end: num_field("sim_end")?,
@@ -239,19 +249,33 @@ pub trait EventSink: Send + Sync {
     fn emit(&self, json_line: &str);
 }
 
-/// An [`EventSink`] that appends JSON lines to a file.
+/// An [`EventSink`] that appends JSON lines to a file, optionally
+/// size-capped: see [`JsonlSink::with_max_bytes`].
 pub struct JsonlSink {
-    file: Mutex<BufWriter<File>>,
+    file: Mutex<crate::rotate::RotatingFile>,
 }
 
 impl JsonlSink {
-    /// Creates (or truncates) `path` for writing.
+    /// Creates (or truncates) `path` for writing, with no size cap.
     ///
     /// # Errors
     /// Propagates the underlying I/O error.
     pub fn create(path: &Path) -> std::io::Result<JsonlSink> {
         Ok(JsonlSink {
-            file: Mutex::new(BufWriter::new(File::create(path)?)),
+            file: Mutex::new(crate::rotate::RotatingFile::create(path, None)?),
+        })
+    }
+
+    /// Creates (or truncates) `path` for writing; when an append would
+    /// push the file past `max_bytes` it is rotated to `<path>.1`
+    /// (replacing the previous rotation), so long-lived sessions keep
+    /// at most two generations.
+    ///
+    /// # Errors
+    /// Propagates the underlying I/O error.
+    pub fn with_max_bytes(path: &Path, max_bytes: u64) -> std::io::Result<JsonlSink> {
+        Ok(JsonlSink {
+            file: Mutex::new(crate::rotate::RotatingFile::create(path, Some(max_bytes))?),
         })
     }
 }
@@ -259,9 +283,8 @@ impl JsonlSink {
 impl EventSink for JsonlSink {
     fn emit(&self, json_line: &str) {
         if let Ok(mut file) = self.file.lock() {
-            // Flush per line: traces should survive a crash.
-            let _ = writeln!(file, "{json_line}");
-            let _ = file.flush();
+            // Flushed per line: traces should survive a crash.
+            file.write_line(json_line);
         }
     }
 }
@@ -325,13 +348,16 @@ impl EventRing {
         self.slots.len()
     }
 
-    /// Appends an event, overwriting the oldest once full.
-    pub fn push(&self, event: TaskEvent) {
+    /// Appends an event, overwriting the oldest once full. Returns the
+    /// event's sequence number (sequence ≥ capacity means an older
+    /// event was just overwritten).
+    pub fn push(&self, event: TaskEvent) -> u64 {
         let seq = self.head.fetch_add(1, Ordering::Relaxed);
         let idx = usize::try_from(seq % self.slots.len() as u64).unwrap_or(0);
         if let Ok(mut slot) = self.slots[idx].write() {
             *slot = Some(event);
         }
+        seq
     }
 
     /// Total number of events ever pushed.
@@ -417,7 +443,9 @@ impl EventRecorder {
     }
 
     /// Records one event: the ring always takes it, the sink (if any)
-    /// gets its JSON line. No-op while disabled.
+    /// gets its JSON line. No-op while disabled. Ring overwrites bump
+    /// the `ffmr_obs_events_dropped_total` counter so silent profile
+    /// truncation on large jobs is visible.
     pub fn record(&self, event: TaskEvent) {
         if !self.enabled() {
             return;
@@ -427,7 +455,12 @@ impl EventRecorder {
                 sink.emit(&event.to_json());
             }
         }
-        self.ring.push(event);
+        let seq = self.ring.push(event);
+        if seq >= self.ring.capacity() as u64 {
+            crate::global()
+                .counter("ffmr_obs_events_dropped_total", &[])
+                .inc();
+        }
     }
 
     /// The retained events, oldest first.
@@ -449,10 +482,20 @@ impl EventRecorder {
     }
 }
 
-/// The process-wide recorder used by the MapReduce runtime.
+/// The process-wide recorder used by the MapReduce runtime. Ring
+/// capacity defaults to [`DEFAULT_RING_CAPACITY`] and can be raised or
+/// lowered with the `FFMR_EVENT_RING_CAP` environment variable (read
+/// once, at first use).
 pub fn recorder() -> &'static EventRecorder {
     static RECORDER: OnceLock<EventRecorder> = OnceLock::new();
-    RECORDER.get_or_init(|| EventRecorder::new(DEFAULT_RING_CAPACITY))
+    RECORDER.get_or_init(|| {
+        let capacity = std::env::var(RING_CAP_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&cap| cap > 0)
+            .unwrap_or(DEFAULT_RING_CAPACITY);
+        EventRecorder::new(capacity)
+    })
 }
 
 #[cfg(test)]
@@ -466,6 +509,7 @@ mod tests {
             task,
             attempt,
             node: task % 4,
+            worker: None,
             partition: None,
             sim_start: 1.5,
             sim_end: 2.25,
@@ -494,6 +538,34 @@ mod tests {
         let line = event(0, 0).to_json();
         assert!(!line.contains("partition"));
         assert_eq!(TaskEvent::from_json(&line).unwrap().partition, None);
+    }
+
+    #[test]
+    fn worker_attribution_round_trips_and_is_optional() {
+        let mut ev = event(2, 0);
+        ev.worker = Some(5);
+        let line = ev.to_json();
+        assert!(line.contains("\"worker\":5"));
+        assert_eq!(TaskEvent::from_json(&line).unwrap(), ev);
+        let bare = event(2, 0).to_json();
+        assert!(!bare.contains("worker"));
+        assert_eq!(TaskEvent::from_json(&bare).unwrap().worker, None);
+    }
+
+    #[test]
+    fn ring_overflow_is_counted_in_the_global_registry() {
+        let rec = EventRecorder::new(2);
+        rec.set_enabled(true);
+        let before = crate::global()
+            .counter("ffmr_obs_events_dropped_total", &[])
+            .get();
+        for i in 0..5 {
+            rec.record(event(i, 0));
+        }
+        let after = crate::global()
+            .counter("ffmr_obs_events_dropped_total", &[])
+            .get();
+        assert!(after >= before + 3, "3 of 5 events overwrote older ones");
     }
 
     #[test]

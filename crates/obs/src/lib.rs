@@ -53,14 +53,17 @@ pub mod events;
 mod json;
 mod metrics;
 pub mod profile;
+mod rotate;
 pub mod span;
 
 pub use events::{EventRecorder, EventRing, EventSink, JsonlSink, TaskEvent, TaskOutcome};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSummary, MetricValue, Registry, HISTOGRAM_BUCKETS,
 };
-pub use profile::{PathStep, RoundProfile, SkewReport, Straggler};
-pub use span::{set_sink, span, FileSink, Span, SpanSink, VecSink};
+pub use profile::{
+    DispatchNote, DistBlame, DistPathStep, PathStep, RoundProfile, SkewReport, Straggler,
+};
+pub use span::{set_sink, set_trace_id, span, span_child_of, FileSink, Span, SpanSink, VecSink};
 
 use std::sync::OnceLock;
 

@@ -179,6 +179,30 @@ impl Histogram {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// A snapshot of the raw bucket counters, index 0 first.
+    fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Folds pre-aggregated deltas from another histogram (a worker's
+    /// shipped snapshot) into this one. Bypasses the enable flag — the
+    /// caller gates on the destination registry.
+    fn merge_raw(&self, count: u64, sum: u64, min: u64, max: u64, buckets: &[(usize, u64)]) {
+        if count == 0 {
+            return;
+        }
+        self.count.fetch_add(count, Ordering::Relaxed);
+        self.sum.fetch_add(sum, Ordering::Relaxed);
+        self.min.fetch_min(min, Ordering::Relaxed);
+        self.max.fetch_max(max, Ordering::Relaxed);
+        for &(index, n) in buckets {
+            self.buckets[index.min(HISTOGRAM_BUCKETS - 1)].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
     /// A point-in-time digest with estimated p50/p90/p99.
     #[must_use]
     pub fn summary(&self) -> HistogramSummary {
@@ -502,6 +526,177 @@ impl Registry {
         }
         out
     }
+
+    /// Serializes every non-empty metric as one tab-separated line, for
+    /// shipping a worker process's registry to the coordinator:
+    ///
+    /// ```text
+    /// c\t<value>\t<name>[\t<k>\t<v>]...
+    /// g\t<value>\t<name>[\t<k>\t<v>]...
+    /// h\t<count>\t<sum>\t<min>\t<max>\t<i>:<n>,...\t<name>[\t<k>\t<v>]...
+    /// ```
+    ///
+    /// Values are cumulative since process start; the receiving side
+    /// ([`Registry::merge_snapshot`]) turns them into deltas, so the
+    /// shipper needs no bookkeeping between snapshots. Names and label
+    /// values never contain tabs (sanitized at registration).
+    #[must_use]
+    pub fn encode_snapshot(&self) -> String {
+        self.encode_snapshot_prefixed("")
+    }
+
+    /// Like [`Registry::encode_snapshot`] but restricted to series whose
+    /// name starts with `prefix`. A worker ships its own plane
+    /// (`ffmr_worker_*`) without dragging along driver-side series when
+    /// it shares the process registry (in-thread bench fleets).
+    #[must_use]
+    pub fn encode_snapshot_prefixed(&self, prefix: &str) -> String {
+        let mut out = String::new();
+        let push_id = |out: &mut String, id: &MetricId| {
+            out.push('\t');
+            out.push_str(&id.name);
+            for (k, v) in &id.labels {
+                out.push('\t');
+                out.push_str(k);
+                out.push('\t');
+                out.push_str(v);
+            }
+            out.push('\n');
+        };
+        for (id, c) in read(&self.counters).iter() {
+            let v = c.get();
+            if v > 0 && id.name.starts_with(prefix) {
+                out.push_str(&format!("c\t{v}"));
+                push_id(&mut out, id);
+            }
+        }
+        for (id, g) in read(&self.gauges).iter() {
+            if !id.name.starts_with(prefix) {
+                continue;
+            }
+            out.push_str(&format!("g\t{}", g.get()));
+            push_id(&mut out, id);
+        }
+        for (id, h) in read(&self.histograms).iter() {
+            let count = h.count();
+            if count == 0 || !id.name.starts_with(prefix) {
+                continue;
+            }
+            let buckets = h
+                .bucket_counts()
+                .into_iter()
+                .enumerate()
+                .filter(|&(_, n)| n > 0)
+                .map(|(i, n)| format!("{i}:{n}"))
+                .collect::<Vec<_>>()
+                .join(",");
+            out.push_str(&format!(
+                "h\t{count}\t{}\t{}\t{}\t{buckets}",
+                h.sum.load(Ordering::Relaxed),
+                h.min
+                    .load(Ordering::Relaxed)
+                    .min(h.max.load(Ordering::Relaxed)),
+                h.max.load(Ordering::Relaxed),
+            ));
+            push_id(&mut out, id);
+        }
+        out
+    }
+
+    /// Merges an [`Registry::encode_snapshot`] payload into this
+    /// registry, attaching `extra` (e.g. `("worker", "3")`) as an
+    /// additional label on every series. Counter and histogram values
+    /// in the payload are cumulative; because exactly one shipper feeds
+    /// each `(series, extra-label)` pair, the delta against the current
+    /// local value is applied, so repeated snapshots never double-count.
+    /// Gauges are set to the shipped value. Malformed lines are skipped
+    /// — telemetry must never take a job down. No-op while disabled.
+    pub fn merge_snapshot(&self, encoded: &str, extra: (&str, &str)) {
+        if !self.enabled() {
+            return;
+        }
+        for line in encoded.lines() {
+            let mut parts = line.split('\t');
+            let Some(kind) = parts.next() else { continue };
+            let fixed = match kind {
+                "c" | "g" => 1,
+                "h" => 5,
+                _ => continue,
+            };
+            let values: Vec<&str> = parts.by_ref().take(fixed).collect();
+            if values.len() < fixed {
+                continue;
+            }
+            let Some(name) = parts.next() else { continue };
+            let mut labels: Vec<(&str, &str)> = Vec::new();
+            loop {
+                match (parts.next(), parts.next()) {
+                    (Some(k), Some(v)) => labels.push((k, v)),
+                    (None, _) => break,
+                    (Some(_), None) => break,
+                }
+            }
+            // A series already carrying the attribution key was merged
+            // from somewhere else (an in-process worker snapshots the
+            // registry its own merges land in); re-labeling it would
+            // mint `{worker=a, worker=b}` series without bound.
+            if labels.iter().any(|&(k, _)| k == extra.0) {
+                continue;
+            }
+            labels.push(extra);
+            match kind {
+                "c" => {
+                    let Ok(value) = values[0].parse::<u64>() else {
+                        continue;
+                    };
+                    let counter = self.counter(name, &labels);
+                    let delta = value.saturating_sub(counter.get());
+                    if delta > 0 {
+                        counter.add(delta);
+                    }
+                }
+                "g" => {
+                    let Ok(value) = values[0].parse::<i64>() else {
+                        continue;
+                    };
+                    self.gauge(name, &labels).set(value);
+                }
+                "h" => {
+                    let parsed: Option<[u64; 4]> = values[..4]
+                        .iter()
+                        .map(|v| v.parse::<u64>().ok())
+                        .collect::<Option<Vec<_>>>()
+                        .and_then(|v| v.try_into().ok());
+                    let Some([count, sum, min, max]) = parsed else {
+                        continue;
+                    };
+                    let histogram = self.histogram(name, &labels);
+                    let current = histogram.bucket_counts();
+                    let mut deltas = Vec::new();
+                    for pair in values[4].split(',').filter(|p| !p.is_empty()) {
+                        let Some((i, n)) = pair.split_once(':') else {
+                            continue;
+                        };
+                        let (Ok(i), Ok(n)) = (i.parse::<usize>(), n.parse::<u64>()) else {
+                            continue;
+                        };
+                        let have = current.get(i).copied().unwrap_or(0);
+                        if n > have {
+                            deltas.push((i, n - have));
+                        }
+                    }
+                    histogram.merge_raw(
+                        count.saturating_sub(histogram.count()),
+                        sum.saturating_sub(histogram.sum.load(Ordering::Relaxed)),
+                        min,
+                        max,
+                        &deltas,
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
 }
 
 fn read<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
@@ -690,6 +885,66 @@ mod tests {
             assert!(!k.contains(' ') && !k.contains('\n'), "key: {k}");
             assert!(!v.contains('\n'), "value: {v}");
         }
+    }
+
+    #[test]
+    fn snapshot_merge_applies_deltas_with_the_extra_label() {
+        let worker = Registry::new();
+        worker
+            .counter("ffmr_mr_records_total", &[("phase", "map")])
+            .add(10);
+        worker.gauge("ffmr_w_depth", &[]).set(3);
+        let h = worker.histogram("ffmr_w_lat_us", &[]);
+        h.record(5);
+        h.record(300);
+
+        let driver = Registry::new();
+        driver.merge_snapshot(&worker.encode_snapshot(), ("worker", "2"));
+        assert_eq!(
+            driver.counter_value("ffmr_mr_records_total{phase=\"map\",worker=\"2\"}"),
+            Some(10)
+        );
+        assert_eq!(driver.gauge("ffmr_w_depth", &[("worker", "2")]).get(), 3);
+        let merged = driver
+            .histogram("ffmr_w_lat_us", &[("worker", "2")])
+            .summary();
+        assert_eq!(
+            (merged.count, merged.sum, merged.min, merged.max),
+            (2, 305, 5, 300)
+        );
+
+        // A second snapshot with more data only applies the delta.
+        worker
+            .counter("ffmr_mr_records_total", &[("phase", "map")])
+            .add(7);
+        h.record(80);
+        driver.merge_snapshot(&worker.encode_snapshot(), ("worker", "2"));
+        driver.merge_snapshot(&worker.encode_snapshot(), ("worker", "2"));
+        assert_eq!(
+            driver.counter_value("ffmr_mr_records_total{phase=\"map\",worker=\"2\"}"),
+            Some(17)
+        );
+        let merged = driver
+            .histogram("ffmr_w_lat_us", &[("worker", "2")])
+            .summary();
+        assert_eq!((merged.count, merged.sum), (3, 385));
+
+        // Malformed lines and unknown kinds are skipped, not fatal.
+        driver.merge_snapshot(
+            "x\t1\tbogus\nc\tnot-a-number\tz_total\nc\t5",
+            ("worker", "2"),
+        );
+        assert_eq!(driver.counter_value("z_total{worker=\"2\"}"), None);
+    }
+
+    #[test]
+    fn merge_snapshot_is_a_noop_while_disabled() {
+        let worker = Registry::new();
+        worker.counter("w_total", &[]).add(4);
+        let driver = Registry::new();
+        driver.set_enabled(false);
+        driver.merge_snapshot(&worker.encode_snapshot(), ("worker", "1"));
+        assert_eq!(driver.counter_value("w_total{worker=\"1\"}"), None);
     }
 
     #[test]

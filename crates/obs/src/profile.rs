@@ -61,6 +61,182 @@ pub struct PathStep {
     pub sim_end: f64,
 }
 
+/// What one completed remote dispatch cost, as observed by the
+/// coordinator and the worker that ran it. All `_us` values are
+/// microseconds on the driver's job clock: driver-side stamps are taken
+/// there directly, worker-side window stamps are aligned with the
+/// worker's heartbeat-RTT-midpoint clock offset.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DispatchNote {
+    /// `"map"` or `"reduce"`.
+    pub phase: String,
+    /// Task index within the phase.
+    pub task: usize,
+    /// Worker-process id that ran the dispatch.
+    pub worker: u64,
+    /// Whether the attempt succeeded.
+    pub ok: bool,
+    /// Driver clock when the dispatch entered the queue.
+    pub queued_us: u64,
+    /// Driver clock when the outcome was accepted.
+    pub done_us: u64,
+    /// Clock-aligned worker window start (first blob fetch).
+    pub started_us: u64,
+    /// Clock-aligned worker window end (`task-done` sent).
+    pub finished_us: u64,
+    /// Time the worker spent downloading job + spec blobs.
+    pub fetch_us: u64,
+    /// Time the worker spent uploading the result blob.
+    pub push_us: u64,
+    /// Driver-side spec encode + result decode time.
+    pub ser_us: u64,
+    /// Bytes the worker downloaded for this dispatch.
+    pub bytes_in: u64,
+    /// Bytes the worker uploaded for this dispatch.
+    pub bytes_out: u64,
+}
+
+impl DispatchNote {
+    /// Queue wait: enqueue until the worker began working on it.
+    #[must_use]
+    pub fn dispatch_wait_us(&self) -> u64 {
+        self.started_us.saturating_sub(self.queued_us)
+    }
+
+    /// Blob movement (fetch + push) inside the worker window.
+    #[must_use]
+    pub fn transfer_us(&self) -> u64 {
+        self.fetch_us + self.push_us
+    }
+
+    /// Worker window minus blob movement: decode + user code + encode.
+    #[must_use]
+    pub fn compute_us(&self) -> u64 {
+        self.finished_us
+            .saturating_sub(self.started_us)
+            .saturating_sub(self.transfer_us())
+    }
+
+    /// Shifts every driver-clock stamp back by `offset_us` — used by
+    /// the runtime to rebase coordinator stamps (process epoch) onto
+    /// the job clock (microseconds since `run()` entry).
+    pub fn rebase(&mut self, offset_us: u64) {
+        self.queued_us = self.queued_us.saturating_sub(offset_us);
+        self.done_us = self.done_us.saturating_sub(offset_us);
+        self.started_us = self.started_us.saturating_sub(offset_us);
+        self.finished_us = self.finished_us.saturating_sub(offset_us);
+    }
+
+    /// Encodes the note as one single-line JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(192);
+        out.push_str("{\"phase\":\"");
+        push_escaped(&mut out, &self.phase);
+        out.push_str("\",\"task\":");
+        out.push_str(&self.task.to_string());
+        out.push_str(",\"worker\":");
+        out.push_str(&self.worker.to_string());
+        out.push_str(",\"ok\":");
+        out.push_str(if self.ok { "true" } else { "false" });
+        for (key, value) in [
+            ("queued_us", self.queued_us),
+            ("done_us", self.done_us),
+            ("started_us", self.started_us),
+            ("finished_us", self.finished_us),
+            ("fetch_us", self.fetch_us),
+            ("push_us", self.push_us),
+            ("ser_us", self.ser_us),
+            ("bytes_in", self.bytes_in),
+            ("bytes_out", self.bytes_out),
+        ] {
+            out.push_str(",\"");
+            out.push_str(key);
+            out.push_str("\":");
+            out.push_str(&value.to_string());
+        }
+        out.push('}');
+        out
+    }
+
+    /// Decodes a note from a parsed JSON object.
+    ///
+    /// # Errors
+    /// Names the first missing or ill-typed field.
+    pub fn from_value(v: &Value) -> Result<DispatchNote, String> {
+        let int = |k: &str| {
+            v.get(k)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("dispatch note missing integer field '{k}'"))
+        };
+        Ok(DispatchNote {
+            phase: v
+                .get("phase")
+                .and_then(Value::as_str)
+                .ok_or("dispatch note missing 'phase'")?
+                .to_owned(),
+            task: v
+                .get("task")
+                .and_then(Value::as_usize)
+                .ok_or("dispatch note missing 'task'")?,
+            worker: int("worker")?,
+            ok: matches!(v.get("ok"), Some(Value::Bool(true))),
+            queued_us: int("queued_us")?,
+            done_us: int("done_us")?,
+            started_us: int("started_us")?,
+            finished_us: int("finished_us")?,
+            fetch_us: int("fetch_us").unwrap_or(0),
+            push_us: int("push_us").unwrap_or(0),
+            ser_us: int("ser_us").unwrap_or(0),
+            bytes_in: int("bytes_in").unwrap_or(0),
+            bytes_out: int("bytes_out").unwrap_or(0),
+        })
+    }
+}
+
+/// Where a round's distributed overhead went, summed over completed
+/// dispatches: the wall-clock blame split `ffmr report` prints for
+/// `--workers` runs.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DistBlame {
+    /// Driver-side spec encode + result decode, seconds.
+    pub serialization_seconds: f64,
+    /// Worker-side blob fetch + push, seconds.
+    pub transfer_seconds: f64,
+    /// Queue time between enqueue and worker pickup, seconds.
+    pub dispatch_wait_seconds: f64,
+    /// Worker-side decode + user code + encode, seconds.
+    pub compute_seconds: f64,
+}
+
+impl DistBlame {
+    /// Sum of all four shares, seconds.
+    #[must_use]
+    pub fn total_seconds(&self) -> f64 {
+        self.serialization_seconds
+            + self.transfer_seconds
+            + self.dispatch_wait_seconds
+            + self.compute_seconds
+    }
+}
+
+/// One wall-clock segment of a critical-path dispatch: how the step's
+/// round trip split into queue wait, blob movement and compute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistPathStep {
+    /// `"<phase>/dispatch-wait"`, `"<phase>/fetch"`,
+    /// `"<phase>/compute"` or `"<phase>/push"`.
+    pub phase: String,
+    /// Task index within the parent phase.
+    pub task: usize,
+    /// Worker that ran the dispatch.
+    pub worker: u64,
+    /// Segment start, microseconds on the job clock.
+    pub start_us: u64,
+    /// Segment end, microseconds on the job clock.
+    pub end_us: u64,
+}
+
 /// The aggregated profile of one FF round (one MapReduce job).
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct RoundProfile {
@@ -94,6 +270,15 @@ pub struct RoundProfile {
     /// Simulated seconds saved by winning duplicates (the losing
     /// original's would-be finish minus the winner's finish).
     pub speculation_saved_seconds: f64,
+    /// Per-dispatch cost notes from the coordinator (distributed runs
+    /// only; empty for in-process rounds and pre-distributed history).
+    pub dispatches: Vec<DispatchNote>,
+    /// Where the round's distributed overhead went (when dispatches
+    /// were recorded).
+    pub dist_blame: Option<DistBlame>,
+    /// Wall-clock wait/fetch/compute/push segments of the dispatches
+    /// backing the critical-path map and reduce steps.
+    pub critical_path_dist: Vec<DistPathStep>,
     /// The raw events the profile was computed from.
     pub events: Vec<TaskEvent>,
 }
@@ -123,6 +308,22 @@ impl RoundProfile {
         sim_seconds: f64,
         wall_seconds: f64,
     ) -> RoundProfile {
+        Self::compute_with_dispatches(round, job, events, Vec::new(), sim_seconds, wall_seconds)
+    }
+
+    /// Builds the profile of one round from its events plus the
+    /// coordinator's per-dispatch notes (distributed runs): adds the
+    /// distributed-overhead blame split and the wall-clock breakdown of
+    /// the critical-path dispatches.
+    #[must_use]
+    pub fn compute_with_dispatches(
+        round: usize,
+        job: String,
+        events: Vec<TaskEvent>,
+        dispatches: Vec<DispatchNote>,
+        sim_seconds: f64,
+        wall_seconds: f64,
+    ) -> RoundProfile {
         let mut profile = RoundProfile {
             round,
             job,
@@ -135,8 +336,64 @@ impl RoundProfile {
         profile.compute_stragglers(&events);
         profile.compute_critical_path(&events);
         profile.compute_speculation(&events);
+        profile.dispatches = dispatches;
+        profile.compute_dist_blame();
+        profile.compute_dist_path();
         profile.events = events;
         profile
+    }
+
+    fn compute_dist_blame(&mut self) {
+        if self.dispatches.is_empty() {
+            return;
+        }
+        let us = |v: u64| {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                v as f64 / 1e6
+            }
+        };
+        let mut blame = DistBlame::default();
+        for note in &self.dispatches {
+            blame.serialization_seconds += us(note.ser_us);
+            blame.transfer_seconds += us(note.transfer_us());
+            blame.dispatch_wait_seconds += us(note.dispatch_wait_us());
+            blame.compute_seconds += us(note.compute_us());
+        }
+        self.dist_blame = Some(blame);
+    }
+
+    /// Splits the dispatch behind each critical-path map/reduce step
+    /// into its wait → fetch → compute → push wall-clock segments.
+    fn compute_dist_path(&mut self) {
+        for step in &self.critical_path {
+            // The last successful note for the task is the attempt that
+            // actually bounded the barrier (earlier ones failed).
+            let Some(note) = self
+                .dispatches
+                .iter()
+                .rfind(|n| n.ok && n.phase == step.phase && n.task == step.task)
+            else {
+                continue;
+            };
+            let fetch_end = note.started_us.saturating_add(note.fetch_us);
+            let push_start = note.finished_us.saturating_sub(note.push_us);
+            let segments = [
+                ("dispatch-wait", note.queued_us, note.started_us),
+                ("fetch", note.started_us, fetch_end),
+                ("compute", fetch_end, push_start.max(fetch_end)),
+                ("push", push_start.max(fetch_end), note.finished_us),
+            ];
+            for (kind, start_us, end_us) in segments {
+                self.critical_path_dist.push(DistPathStep {
+                    phase: format!("{}/{kind}", step.phase),
+                    task: step.task,
+                    worker: note.worker,
+                    start_us,
+                    end_us: end_us.max(start_us),
+                });
+            }
+        }
     }
 
     fn compute_phase_spans(&mut self, events: &[TaskEvent]) {
@@ -346,6 +603,47 @@ impl RoundProfile {
         out.push_str(&self.speculative_won.to_string());
         out.push_str(",\"speculation_saved_seconds\":");
         push_f64(&mut out, self.speculation_saved_seconds);
+        if !self.dispatches.is_empty() {
+            out.push_str(",\"dispatches\":[");
+            for (i, note) in self.dispatches.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&note.to_json());
+            }
+            out.push(']');
+        }
+        if let Some(blame) = &self.dist_blame {
+            out.push_str(",\"dist_blame\":{\"serialization_seconds\":");
+            push_f64(&mut out, blame.serialization_seconds);
+            out.push_str(",\"transfer_seconds\":");
+            push_f64(&mut out, blame.transfer_seconds);
+            out.push_str(",\"dispatch_wait_seconds\":");
+            push_f64(&mut out, blame.dispatch_wait_seconds);
+            out.push_str(",\"compute_seconds\":");
+            push_f64(&mut out, blame.compute_seconds);
+            out.push('}');
+        }
+        if !self.critical_path_dist.is_empty() {
+            out.push_str(",\"critical_path_dist\":[");
+            for (i, seg) in self.critical_path_dist.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"phase\":\"");
+                push_escaped(&mut out, &seg.phase);
+                out.push_str("\",\"task\":");
+                out.push_str(&seg.task.to_string());
+                out.push_str(",\"worker\":");
+                out.push_str(&seg.worker.to_string());
+                out.push_str(",\"start_us\":");
+                out.push_str(&seg.start_us.to_string());
+                out.push_str(",\"end_us\":");
+                out.push_str(&seg.end_us.to_string());
+                out.push('}');
+            }
+            out.push(']');
+        }
         out.push_str(",\"events\":[");
         for (i, e) in self.events.iter().enumerate() {
             if i > 0 {
@@ -465,6 +763,47 @@ impl RoundProfile {
                 sim_end: step.get("sim_end").and_then(Value::as_f64).unwrap_or(0.0),
             });
         }
+        for note in v
+            .get("dispatches")
+            .and_then(Value::as_array)
+            .unwrap_or_default()
+        {
+            profile.dispatches.push(DispatchNote::from_value(note)?);
+        }
+        if let Some(blame) = v.get("dist_blame") {
+            let field = |k: &str| blame.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+            profile.dist_blame = Some(DistBlame {
+                serialization_seconds: field("serialization_seconds"),
+                transfer_seconds: field("transfer_seconds"),
+                dispatch_wait_seconds: field("dispatch_wait_seconds"),
+                compute_seconds: field("compute_seconds"),
+            });
+        }
+        for seg in v
+            .get("critical_path_dist")
+            .and_then(Value::as_array)
+            .unwrap_or_default()
+        {
+            let int = |k: &str| {
+                seg.get(k)
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("dist path step missing '{k}'"))
+            };
+            profile.critical_path_dist.push(DistPathStep {
+                phase: seg
+                    .get("phase")
+                    .and_then(Value::as_str)
+                    .ok_or("dist path step missing 'phase'")?
+                    .to_owned(),
+                task: seg
+                    .get("task")
+                    .and_then(Value::as_usize)
+                    .ok_or("dist path step missing 'task'")?,
+                worker: int("worker")?,
+                start_us: int("start_us")?,
+                end_us: int("end_us")?,
+            });
+        }
         for e in v
             .get("events")
             .and_then(Value::as_array)
@@ -494,6 +833,7 @@ mod tests {
             task,
             attempt,
             node: task,
+            worker: None,
             partition: if phase == "reduce" { Some(task) } else { None },
             sim_start,
             sim_end,
@@ -609,7 +949,70 @@ mod tests {
         assert!(p.skew.is_none());
         assert!(p.stragglers.is_empty());
         assert!(p.critical_path.is_empty());
+        assert!(p.dispatches.is_empty() && p.dist_blame.is_none());
         let back = RoundProfile::from_json(&p.to_json()).unwrap();
         assert_eq!(back, p);
+    }
+
+    fn note(phase: &str, task: usize, worker: u64, queued: u64, started: u64) -> DispatchNote {
+        DispatchNote {
+            phase: phase.into(),
+            task,
+            worker,
+            ok: true,
+            queued_us: queued,
+            done_us: started + 1_000,
+            started_us: started,
+            finished_us: started + 900,
+            fetch_us: 100,
+            push_us: 50,
+            ser_us: 20,
+            bytes_in: 4096,
+            bytes_out: 512,
+        }
+    }
+
+    #[test]
+    fn dispatch_notes_produce_blame_and_path_segments() {
+        let events = sample_events();
+        let notes = vec![
+            note("map", 3, 1, 0, 200),
+            note("reduce", 1, 2, 5_000, 5_300),
+        ];
+        let p = RoundProfile::compute_with_dispatches(1, "j".into(), events, notes, 14.0, 0.01);
+        let blame = p.dist_blame.expect("notes recorded");
+        // Two notes: wait 200 + 300 µs, transfer 2×150 µs, compute
+        // 2×750 µs, serialization 2×20 µs.
+        assert!((blame.dispatch_wait_seconds - 500e-6).abs() < 1e-12);
+        assert!((blame.transfer_seconds - 300e-6).abs() < 1e-12);
+        assert!((blame.compute_seconds - 1_500e-6).abs() < 1e-12);
+        assert!((blame.serialization_seconds - 40e-6).abs() < 1e-12);
+        // The critical-path map (task 3) and reduce (task 1) steps both
+        // have notes, so each contributes 4 segments.
+        assert_eq!(p.critical_path_dist.len(), 8);
+        let segs: Vec<&str> = p
+            .critical_path_dist
+            .iter()
+            .map(|s| s.phase.as_str())
+            .collect();
+        assert_eq!(
+            &segs[..4],
+            &["map/dispatch-wait", "map/fetch", "map/compute", "map/push"]
+        );
+        assert!(p.critical_path_dist.iter().all(|s| s.end_us >= s.start_us));
+
+        // And everything round-trips through JSONL.
+        let back = RoundProfile::from_json(&p.to_json()).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn dispatch_note_blame_arithmetic_saturates() {
+        let mut n = note("map", 0, 1, 500, 200);
+        assert_eq!(n.dispatch_wait_us(), 0, "clock jitter must not underflow");
+        assert_eq!(n.transfer_us(), 150);
+        assert_eq!(n.compute_us(), 750);
+        n.rebase(250);
+        assert_eq!((n.queued_us, n.started_us), (250, 0));
     }
 }

@@ -20,10 +20,25 @@
 //! With no sink installed (`set_sink(None)`, the default) starting a
 //! span costs one relaxed atomic load and emits nothing — tracing is
 //! strictly opt-in (the CLI's `--trace-file` flag).
+//!
+//! # Cross-process trace context
+//!
+//! Distributed runs stitch driver and worker spans into one trace:
+//!
+//! * [`set_trace_id`] installs a process-wide trace id (the driver mints
+//!   one per MapReduce job); every span emitted while it is set carries a
+//!   `"trace":N` member.
+//! * [`span_child_of`] opens a span whose parent id was received from
+//!   another process (the dispatch span id carried on `task-request`),
+//!   so a worker's `map` span nests under the driver's `dispatch` span.
+//! * [`seed_ids`] namespaces this process's span ids (workers seed with
+//!   `(worker_id + 1) << 40`) so ids from different processes never
+//!   collide in the merged trace.
+//! * [`emit_raw`] forwards an already-encoded span line into the
+//!   installed sink — how the coordinator folds worker-shipped span
+//!   lines into the driver's `--trace-file`.
 
 use std::cell::RefCell;
-use std::fs::File;
-use std::io::{BufWriter, Write};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Instant;
@@ -36,31 +51,46 @@ pub trait SpanSink: Send + Sync {
 
 /// A sink appending JSON lines to a file, flushed per span so a killed
 /// daemon loses at most the spans still open.
+///
+/// With [`FileSink::with_max_bytes`] the file is size-capped: when an
+/// emit would push it past the cap, the current file is renamed to
+/// `<path>.1` (replacing any previous rotation) and a fresh file is
+/// started — long `serve` sessions keep at most two generations.
 #[derive(Debug)]
 pub struct FileSink {
-    writer: Mutex<BufWriter<File>>,
+    state: Mutex<crate::rotate::RotatingFile>,
 }
 
 impl FileSink {
-    /// Creates (truncates) `path` for writing.
+    /// Creates (truncates) `path` for writing, with no size cap.
     ///
     /// # Errors
     /// Propagates the file-creation failure.
     pub fn create(path: &str) -> std::io::Result<Self> {
         Ok(Self {
-            writer: Mutex::new(BufWriter::new(File::create(path)?)),
+            state: Mutex::new(crate::rotate::RotatingFile::create(path, None)?),
+        })
+    }
+
+    /// Creates (truncates) `path` for writing, rotating to `<path>.1`
+    /// whenever the file would exceed `max_bytes`.
+    ///
+    /// # Errors
+    /// Propagates the file-creation failure.
+    pub fn with_max_bytes(path: &str, max_bytes: u64) -> std::io::Result<Self> {
+        Ok(Self {
+            state: Mutex::new(crate::rotate::RotatingFile::create(path, Some(max_bytes))?),
         })
     }
 }
 
 impl SpanSink for FileSink {
     fn emit(&self, json_line: &str) {
-        let mut w = self
-            .writer
+        let mut state = self
+            .state
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        let _ = writeln!(w, "{json_line}");
-        let _ = w.flush();
+        state.write_line(json_line);
     }
 }
 
@@ -98,15 +128,58 @@ impl SpanSink for VecSink {
 
 static TRACING: AtomicBool = AtomicBool::new(false);
 static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+static TRACE_ID: AtomicU64 = AtomicU64::new(0);
 
 fn sink_slot() -> &'static RwLock<Option<Arc<dyn SpanSink>>> {
     static SINK: OnceLock<RwLock<Option<Arc<dyn SpanSink>>>> = OnceLock::new();
     SINK.get_or_init(|| RwLock::new(None))
 }
 
-fn process_epoch() -> Instant {
+/// The instant `start_us` values are measured from: the first call into
+/// this module in the process. Stable for the process lifetime.
+pub fn process_epoch() -> Instant {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
     *EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds elapsed since [`process_epoch`] — the timebase every
+/// span's `start_us` and the dispatch telemetry fields share.
+#[must_use]
+pub fn epoch_us() -> u64 {
+    u64::try_from(process_epoch().elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Installs the process-wide trace id (0 clears it). While set, every
+/// emitted span carries a `"trace":N` member; the driver mints one per
+/// MapReduce job and ships it to workers with each dispatch.
+pub fn set_trace_id(id: u64) {
+    TRACE_ID.store(id, Ordering::Relaxed);
+}
+
+/// The current trace id (0 when none is set).
+#[must_use]
+pub fn current_trace_id() -> u64 {
+    TRACE_ID.load(Ordering::Relaxed)
+}
+
+/// Seeds this process's span-id counter so ids from different processes
+/// never collide in a merged trace. Workers call this once with
+/// `(worker_id + 1) << 40` after registering; ids only move forward.
+pub fn seed_ids(base: u64) {
+    NEXT_ID.fetch_max(base.max(1), Ordering::Relaxed);
+}
+
+/// Forwards an already-encoded span line (no trailing newline) into the
+/// installed sink, if any — used by the coordinator to merge span lines
+/// shipped from worker processes into the driver's trace file.
+pub fn emit_raw(json_line: &str) {
+    let sink = sink_slot()
+        .read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone();
+    if let Some(sink) = sink {
+        sink.emit(json_line);
+    }
 }
 
 thread_local! {
@@ -130,13 +203,24 @@ pub fn tracing_enabled() -> bool {
 /// Opens a span named `name`. Returns an inert guard when no sink is
 /// installed.
 pub fn span(name: &str) -> Span {
+    open_span(name, None)
+}
+
+/// Opens a span whose parent id came from another process (the dispatch
+/// span id a worker received on `task-request`). The span still joins
+/// this thread's stack, so spans opened inside it nest normally.
+pub fn span_child_of(name: &str, parent: u64) -> Span {
+    open_span(name, Some(parent))
+}
+
+fn open_span(name: &str, explicit_parent: Option<u64>) -> Span {
     if !tracing_enabled() {
         return Span { inner: None };
     }
     let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
     let parent = STACK.with(|s| {
         let mut s = s.borrow_mut();
-        let parent = s.last().copied();
+        let parent = explicit_parent.or_else(|| s.last().copied());
         s.push(id);
         parent
     });
@@ -145,8 +229,9 @@ pub fn span(name: &str) -> Span {
             name: name.to_string(),
             id,
             parent,
+            trace: current_trace_id(),
             start: Instant::now(),
-            start_us: u64::try_from(process_epoch().elapsed().as_micros()).unwrap_or(u64::MAX),
+            start_us: epoch_us(),
             fields: Vec::new(),
         }),
     }
@@ -157,6 +242,7 @@ struct SpanInner {
     name: String,
     id: u64,
     parent: Option<u64>,
+    trace: u64,
     start: Instant,
     start_us: u64,
     fields: Vec<(String, String)>,
@@ -208,6 +294,9 @@ impl Drop for Span {
         line.push_str(&format!("\",\"id\":{}", inner.id));
         if let Some(parent) = inner.parent {
             line.push_str(&format!(",\"parent\":{parent}"));
+        }
+        if inner.trace != 0 {
+            line.push_str(&format!(",\"trace\":{}", inner.trace));
         }
         line.push_str(",\"thread\":\"");
         push_escaped(
@@ -383,6 +472,75 @@ mod tests {
                 assert_eq!(member(outer, "parent"), None, "{outer}");
             }
         }
+    }
+
+    #[test]
+    fn trace_id_and_explicit_parent_are_emitted() {
+        let _g = sink_guard();
+        let sink = Arc::new(VecSink::new());
+        set_sink(Some(Arc::clone(&sink) as Arc<dyn SpanSink>));
+        set_trace_id(77);
+        {
+            let remote_parent = 1u64 << 40;
+            let outer = span_child_of("remote-child", remote_parent);
+            assert_ne!(outer.id(), 0);
+            {
+                // Nested spans chain below the explicit-parent span.
+                let _inner = span("nested");
+            }
+        }
+        set_trace_id(0);
+        set_sink(None);
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        assert!(lines[0].contains("\"name\":\"nested\""));
+        assert!(lines[0].contains("\"trace\":77"));
+        assert!(lines[1].contains(&format!("\"parent\":{}", 1u64 << 40)));
+        assert!(lines[1].contains("\"trace\":77"));
+        // The nested span's parent is the remote-child span, not the
+        // remote parent id.
+        let outer_id = lines[1]
+            .split("\"id\":")
+            .nth(1)
+            .and_then(|s| s.split([',', '}']).next())
+            .unwrap();
+        assert!(lines[0].contains(&format!("\"parent\":{outer_id}")));
+    }
+
+    #[test]
+    fn emit_raw_forwards_to_the_sink() {
+        let _g = sink_guard();
+        let sink = Arc::new(VecSink::new());
+        set_sink(Some(Arc::clone(&sink) as Arc<dyn SpanSink>));
+        emit_raw("{\"name\":\"shipped\"}");
+        set_sink(None);
+        emit_raw("{\"name\":\"dropped\"}");
+        assert_eq!(sink.lines(), vec!["{\"name\":\"shipped\"}".to_string()]);
+    }
+
+    #[test]
+    fn file_sink_rotates_at_the_size_cap() {
+        let _g = sink_guard();
+        let dir = std::env::temp_dir().join(format!("ffmr-span-rot-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let path_str = path.to_str().unwrap().to_string();
+        {
+            let sink = FileSink::with_max_bytes(&path_str, 64).unwrap();
+            for i in 0..8 {
+                sink.emit(&format!("{{\"name\":\"padpadpadpadpad-{i}\"}}"));
+            }
+        }
+        let rotated = std::fs::read_to_string(format!("{path_str}.1")).unwrap();
+        let current = std::fs::read_to_string(&path_str).unwrap();
+        assert!(!rotated.is_empty(), "rotation must have happened");
+        assert!(current.len() as u64 <= 64 + 32, "current file stays capped");
+        // No line is torn across the rotation boundary.
+        assert!(rotated
+            .lines()
+            .chain(current.lines())
+            .all(|l| l.starts_with('{') && l.ends_with('}')));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -29,6 +29,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use ffmr_obs::DispatchNote;
 use ffmr_service::{error_response, status, write_frame, Message, MAX_FRAME_BYTES};
 use ffmr_sync::{Condvar, Mutex};
 use mapreduce::{
@@ -44,6 +45,9 @@ const SHUTDOWN_GRACE: Duration = Duration::from_secs(2);
 const POLL: Duration = Duration::from_millis(50);
 /// Heartbeat-monitor scan interval.
 const MONITOR_INTERVAL: Duration = Duration::from_millis(100);
+/// Dispatch-note backstop: a runtime that never drains (recorder turned
+/// on with no job collecting stats) must not grow memory without bound.
+const NOTES_CAP: usize = 65_536;
 
 /// Tuning knobs for [`Coordinator::start`].
 #[derive(Debug, Clone)]
@@ -89,6 +93,13 @@ struct Dispatch {
     task: usize,
     running_on: Option<u64>,
     outcome: Option<Result<Vec<u8>, String>>,
+    /// When the driver enqueued this dispatch, on the process-epoch
+    /// clock ([`ffmr_obs::span::epoch_us`]).
+    queued_us: u64,
+    /// Trace context handed to the worker on `task-request` (zero when
+    /// the driver is not tracing).
+    trace: u64,
+    span: u64,
 }
 
 #[derive(Debug)]
@@ -98,6 +109,17 @@ struct WorkerEntry {
     /// Told to shut down cleanly; not a death when it disconnects.
     departing: bool,
     running: Vec<u64>,
+    /// Estimated worker-clock → coordinator-clock offset in µs, from
+    /// the lowest-RTT heartbeat sample (see `crate::proto` docs).
+    offset_us: i64,
+    /// RTT of the sample backing `offset_us` (`u64::MAX` until the
+    /// first heartbeat carries one).
+    min_rtt_us: u64,
+    last_rtt_us: u64,
+    tasks_ok: u64,
+    tasks_failed: u64,
+    bytes_in: u64,
+    bytes_out: u64,
 }
 
 #[derive(Debug, Default)]
@@ -109,6 +131,14 @@ struct State {
     next_worker: u64,
     next_dispatch: u64,
     deaths: u64,
+    /// Flight-recorder notes, one per completed dispatch attempt;
+    /// drained by the runtime through
+    /// [`TaskExecutor::drain_dispatch_notes`]. Only populated while the
+    /// global event recorder is enabled.
+    notes: Vec<DispatchNote>,
+    /// Dispatch id → index into `notes`, so the executor can attach
+    /// driver-side serialization time after the fact.
+    note_index: HashMap<u64, usize>,
 }
 
 impl State {
@@ -415,6 +445,43 @@ fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
     }
 }
 
+/// Worker-clock → coordinator-clock offset: the worker stamped `now_us`
+/// roughly half an RTT before the coordinator read it.
+fn clock_offset(now_us: u64, rtt_us: u64) -> i64 {
+    let received = i128::from(ffmr_obs::span::epoch_us());
+    let sent = i128::from(now_us) + i128::from(rtt_us / 2);
+    i64::try_from(received - sent).unwrap_or(0)
+}
+
+/// Maps a worker-clock timestamp onto the coordinator's process-epoch
+/// clock, clamping at zero.
+fn align_to_driver(worker_us: u64, offset_us: i64) -> u64 {
+    u64::try_from(i128::from(worker_us) + i128::from(offset_us)).unwrap_or(0)
+}
+
+/// Merges telemetry payloads a worker piggybacked on `task-done` (or
+/// sent as a final `telemetry` flush): a cumulative metrics snapshot
+/// merged into the driver registry under a `worker` label, and captured
+/// span JSONL forwarded verbatim to the driver's trace sink.
+fn absorb_telemetry(request: &Message, worker: u64) {
+    if let Some(encoded) = request.get("metrics") {
+        if let Ok(bytes) = b64::decode(encoded) {
+            if let Ok(text) = String::from_utf8(bytes) {
+                ffmr_obs::global().merge_snapshot(&text, ("worker", &worker.to_string()));
+            }
+        }
+    }
+    if let Some(encoded) = request.get("spans") {
+        if let Ok(bytes) = b64::decode(encoded) {
+            if let Ok(text) = String::from_utf8(bytes) {
+                for line in text.lines().filter(|l| !l.is_empty()) {
+                    ffmr_obs::span::emit_raw(line);
+                }
+            }
+        }
+    }
+}
+
 fn parse_u64(request: &Message, key: &str) -> Result<u64, Message> {
     match request.get_parsed::<u64>(key) {
         Ok(Some(v)) => Ok(v),
@@ -433,6 +500,13 @@ fn handle_request(
             if registered.is_some() {
                 return error_response("connection already registered a worker");
             }
+            // Crude first offset estimate from the registration itself;
+            // refined by every lower-RTT heartbeat sample.
+            let offset_us = request
+                .get_parsed::<u64>("now-us")
+                .ok()
+                .flatten()
+                .map_or(0, |now| clock_offset(now, 0));
             let mut st = shared.state.lock();
             let id = st.next_worker;
             st.next_worker += 1;
@@ -443,6 +517,13 @@ fn handle_request(
                     alive: true,
                     departing: false,
                     running: Vec::new(),
+                    offset_us,
+                    min_rtt_us: u64::MAX,
+                    last_rtt_us: 0,
+                    tasks_ok: 0,
+                    tasks_failed: 0,
+                    bytes_in: 0,
+                    bytes_out: 0,
                 },
             );
             *registered = Some(id);
@@ -458,10 +539,32 @@ fn handle_request(
                 Ok(v) => v,
                 Err(resp) => return resp,
             };
+            let now_us = request.get_parsed::<u64>("now-us").ok().flatten();
+            let rtt_us = request.get_parsed::<u64>("rtt-us").ok().flatten();
+            if let Some(rtt) = rtt_us {
+                ffmr_obs::global()
+                    .histogram("ffmr_dist_heartbeat_rtt_us", &[])
+                    .record(rtt);
+            }
             let mut st = shared.state.lock();
             match st.workers.get_mut(&worker) {
                 Some(entry) if entry.alive => {
                     entry.last_seen = Instant::now();
+                    match (now_us, rtt_us) {
+                        // The lowest-RTT sample bounds the one-way delay
+                        // tightest, so it wins the offset estimate.
+                        (Some(now), Some(rtt)) => {
+                            entry.last_rtt_us = rtt;
+                            if rtt <= entry.min_rtt_us {
+                                entry.min_rtt_us = rtt;
+                                entry.offset_us = clock_offset(now, rtt);
+                            }
+                        }
+                        (Some(now), None) if entry.min_rtt_us == u64::MAX => {
+                            entry.offset_us = clock_offset(now, 0);
+                        }
+                        _ => {}
+                    }
                     Message::new(status::OK)
                 }
                 _ => error_response(format!("unknown or dead worker {worker}")),
@@ -488,13 +591,13 @@ fn handle_request(
                 return resp;
             }
             if let Some(d) = st.queue.pop_front() {
-                let phase = {
+                let (phase, trace, span) = {
                     let dispatch = st
                         .dispatches
                         .get_mut(&d)
                         .expect("queued dispatch has an entry");
                     dispatch.running_on = Some(worker);
-                    dispatch.phase
+                    (dispatch.phase, dispatch.trace, dispatch.span)
                 };
                 st.workers
                     .get_mut(&worker)
@@ -504,6 +607,10 @@ fn handle_request(
                 let mut resp = Message::new(status::OK);
                 resp.push("dispatch", d);
                 resp.push("phase", phase.as_str());
+                if trace != 0 {
+                    resp.push("trace", trace);
+                    resp.push("span", span);
+                }
                 resp
             } else {
                 let mut resp = Message::new(status::OK);
@@ -512,67 +619,81 @@ fn handle_request(
             }
         }
         verb::BLOB_GET => {
-            let Some(name) = request.get("name") else {
-                return error_response("missing field name");
-            };
-            let offset = match parse_u64(request, "offset") {
-                Ok(v) => v as usize,
-                Err(resp) => return resp,
-            };
-            let st = shared.state.lock();
-            let Some(blob) = st.blobs.get(name) else {
-                return error_response(format!("no such blob {name}"));
-            };
-            if offset > blob.len() {
-                return error_response(format!(
-                    "blob {name} offset {offset} out of range (len {})",
-                    blob.len()
-                ));
-            }
-            let end = blob.len().min(offset + RAW_CHUNK_BYTES);
-            let chunk = &blob[offset..end];
+            let started = Instant::now();
+            let resp = (|| {
+                let Some(name) = request.get("name") else {
+                    return error_response("missing field name");
+                };
+                let offset = match parse_u64(request, "offset") {
+                    Ok(v) => v as usize,
+                    Err(resp) => return resp,
+                };
+                let st = shared.state.lock();
+                let Some(blob) = st.blobs.get(name) else {
+                    return error_response(format!("no such blob {name}"));
+                };
+                if offset > blob.len() {
+                    return error_response(format!(
+                        "blob {name} offset {offset} out of range (len {})",
+                        blob.len()
+                    ));
+                }
+                let end = blob.len().min(offset + RAW_CHUNK_BYTES);
+                let chunk = &blob[offset..end];
+                ffmr_obs::global()
+                    .counter("ffmr_dist_blob_bytes_total", &[("dir", "get")])
+                    .add(chunk.len() as u64);
+                let mut resp = Message::new(status::OK);
+                resp.push("data", b64::encode(chunk));
+                resp.push("len", blob.len());
+                resp.push("more", u8::from(end < blob.len()));
+                resp
+            })();
             ffmr_obs::global()
-                .counter("ffmr_dist_blob_bytes_total", &[("dir", "get")])
-                .add(chunk.len() as u64);
-            let mut resp = Message::new(status::OK);
-            resp.push("data", b64::encode(chunk));
-            resp.push("len", blob.len());
-            resp.push("more", u8::from(end < blob.len()));
+                .histogram("ffmr_dist_blob_get_us", &[])
+                .record(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
             resp
         }
         verb::BLOB_PUT => {
-            let Some(name) = request.get("name") else {
-                return error_response("missing field name");
-            };
-            let offset = match parse_u64(request, "offset") {
-                Ok(v) => v as usize,
-                Err(resp) => return resp,
-            };
-            let data = match b64::decode(request.get("data").unwrap_or_default()) {
-                Ok(d) => d,
-                Err(e) => return error_response(format!("bad blob chunk: {e}")),
-            };
-            let mut st = shared.state.lock();
-            let blob = if offset == 0 {
-                st.blobs.insert(name.to_string(), Vec::new());
-                st.blobs.get_mut(name).expect("just inserted")
-            } else {
-                match st.blobs.get_mut(name) {
-                    Some(b) if b.len() == offset => b,
-                    Some(b) => {
-                        let len = b.len();
-                        return error_response(format!(
-                            "blob {name} offset {offset} does not match length {len}"
-                        ));
+            let started = Instant::now();
+            let resp = (|| {
+                let Some(name) = request.get("name") else {
+                    return error_response("missing field name");
+                };
+                let offset = match parse_u64(request, "offset") {
+                    Ok(v) => v as usize,
+                    Err(resp) => return resp,
+                };
+                let data = match b64::decode(request.get("data").unwrap_or_default()) {
+                    Ok(d) => d,
+                    Err(e) => return error_response(format!("bad blob chunk: {e}")),
+                };
+                let mut st = shared.state.lock();
+                let blob = if offset == 0 {
+                    st.blobs.insert(name.to_string(), Vec::new());
+                    st.blobs.get_mut(name).expect("just inserted")
+                } else {
+                    match st.blobs.get_mut(name) {
+                        Some(b) if b.len() == offset => b,
+                        Some(b) => {
+                            let len = b.len();
+                            return error_response(format!(
+                                "blob {name} offset {offset} does not match length {len}"
+                            ));
+                        }
+                        None => return error_response(format!("no such blob {name}")),
                     }
-                    None => return error_response(format!("no such blob {name}")),
-                }
-            };
+                };
+                ffmr_obs::global()
+                    .counter("ffmr_dist_blob_bytes_total", &[("dir", "put")])
+                    .add(data.len() as u64);
+                blob.extend_from_slice(&data);
+                Message::new(status::OK)
+            })();
             ffmr_obs::global()
-                .counter("ffmr_dist_blob_bytes_total", &[("dir", "put")])
-                .add(data.len() as u64);
-            blob.extend_from_slice(&data);
-            Message::new(status::OK)
+                .histogram("ffmr_dist_blob_put_us", &[])
+                .record(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+            resp
         }
         verb::TASK_DONE => {
             let worker = match parse_u64(request, "worker") {
@@ -588,11 +709,28 @@ fn handle_request(
                 Some("err") => false,
                 _ => return error_response("missing or bad field status"),
             };
+            absorb_telemetry(request, worker);
+            let done_us = ffmr_obs::span::epoch_us();
+            let t = |key: &str| request.get_parsed::<u64>(key).ok().flatten();
+            let (t_start, t_end) = (t("t-start-us"), t("t-end-us"));
+            let (fetch_us, push_us) = (t("t-fetch-us"), t("t-push-us"));
+            let (bytes_in, bytes_out) = (t("t-bytes-in"), t("t-bytes-out"));
             let mut st = shared.state.lock();
-            if let Some(entry) = st.workers.get_mut(&worker) {
-                entry.last_seen = Instant::now();
-                entry.running.retain(|&r| r != d);
-            }
+            let offset_us = match st.workers.get_mut(&worker) {
+                Some(entry) => {
+                    entry.last_seen = Instant::now();
+                    entry.running.retain(|&r| r != d);
+                    if ok {
+                        entry.tasks_ok += 1;
+                    } else {
+                        entry.tasks_failed += 1;
+                    }
+                    entry.bytes_in += bytes_in.unwrap_or(0);
+                    entry.bytes_out += bytes_out.unwrap_or(0);
+                    entry.offset_us
+                }
+                None => 0,
+            };
             // A dispatch the coordinator no longer tracks (or that was
             // reassigned after this worker was declared dead) is a stale
             // attempt: acknowledge and discard so retries stay
@@ -602,6 +740,28 @@ fn handle_request(
                 .get(&d)
                 .is_some_and(|disp| disp.running_on == Some(worker) && disp.outcome.is_none());
             if current {
+                if ffmr_obs::events::recorder().enabled() && st.notes.len() < NOTES_CAP {
+                    let disp = st.dispatches.get(&d).expect("checked above");
+                    let queued_us = disp.queued_us;
+                    let note = DispatchNote {
+                        phase: disp.phase.as_str().to_string(),
+                        task: disp.task,
+                        worker,
+                        ok,
+                        queued_us,
+                        done_us,
+                        started_us: t_start.map_or(queued_us, |t| align_to_driver(t, offset_us)),
+                        finished_us: t_end.map_or(done_us, |t| align_to_driver(t, offset_us)),
+                        fetch_us: fetch_us.unwrap_or(0),
+                        push_us: push_us.unwrap_or(0),
+                        ser_us: 0,
+                        bytes_in: bytes_in.unwrap_or(0),
+                        bytes_out: bytes_out.unwrap_or(0),
+                    };
+                    let idx = st.notes.len();
+                    st.notes.push(note);
+                    st.note_index.insert(d, idx);
+                }
                 let outcome = if ok {
                     match st.blobs.remove(&proto::result_blob(d)) {
                         Some(bytes) => Ok(bytes),
@@ -620,6 +780,44 @@ fn handle_request(
                 shared.changed.notify_all();
             }
             Message::new(status::OK)
+        }
+        verb::TELEMETRY => {
+            let worker = match parse_u64(request, "worker") {
+                Ok(v) => v,
+                Err(resp) => return resp,
+            };
+            absorb_telemetry(request, worker);
+            Message::new(status::OK)
+        }
+        verb::WORKERS => {
+            let st = shared.state.lock();
+            let mut resp = Message::new(status::OK);
+            resp.push("queue-depth", st.queue.len());
+            let mut ids: Vec<u64> = st.workers.keys().copied().collect();
+            ids.sort_unstable();
+            for id in ids {
+                let w = &st.workers[&id];
+                resp.push("worker", id);
+                resp.push(
+                    "state",
+                    if !w.alive {
+                        "dead"
+                    } else if w.departing {
+                        "departing"
+                    } else {
+                        "live"
+                    },
+                );
+                resp.push("hb-age-ms", w.last_seen.elapsed().as_millis());
+                resp.push("rtt-us", w.last_rtt_us);
+                resp.push("offset-us", w.offset_us);
+                resp.push("inflight", w.running.len());
+                resp.push("tasks-ok", w.tasks_ok);
+                resp.push("tasks-failed", w.tasks_failed);
+                resp.push("bytes-in", w.bytes_in);
+                resp.push("bytes-out", w.bytes_out);
+            }
+            resp
         }
         other => error_response(format!("unknown verb {other:?}")),
     }
@@ -643,7 +841,19 @@ impl RemoteExecutor {
         task: usize,
         wire: &WireSpec,
         spec_bytes: Vec<u8>,
-    ) -> Result<Vec<u8>, MrError> {
+    ) -> Result<(Vec<u8>, u64), MrError> {
+        // The dispatch span parents the worker-side task span: its id
+        // travels in the `task-request` response and returns inside the
+        // worker's captured span lines, stitching driver and worker
+        // into one trace (the trace id is the job span's id).
+        let trace = ffmr_obs::span::current_trace_id();
+        let mut dispatch_span = if trace == 0 {
+            ffmr_obs::span("mr.dispatch")
+        } else {
+            ffmr_obs::span_child_of("mr.dispatch", trace)
+        };
+        dispatch_span.field("phase", phase.as_str());
+        dispatch_span.field("task", task);
         let d = {
             let mut st = self.shared.state.lock();
             let d = st.next_dispatch;
@@ -660,11 +870,15 @@ impl RemoteExecutor {
                     task,
                     running_on: None,
                     outcome: None,
+                    queued_us: ffmr_obs::span::epoch_us(),
+                    trace,
+                    span: dispatch_span.id(),
                 },
             );
             st.queue.push_back(d);
             d
         };
+        dispatch_span.field("dispatch", d);
         ffmr_obs::global()
             .counter("ffmr_dist_dispatches_total", &[("phase", phase.as_str())])
             .inc();
@@ -680,11 +894,13 @@ impl RemoteExecutor {
             {
                 cleanup_dispatch(&mut st, d);
                 drop(st);
-                return outcome.map_err(|message| MrError::TaskFailed {
-                    phase: phase.as_str(),
-                    task,
-                    message,
-                });
+                return outcome
+                    .map(|bytes| (bytes, d))
+                    .map_err(|message| MrError::TaskFailed {
+                        phase: phase.as_str(),
+                        task,
+                        message,
+                    });
             }
             if st.live_workers() == 0 {
                 let since = *no_worker_since.get_or_insert_with(Instant::now);
@@ -706,6 +922,17 @@ impl RemoteExecutor {
             self.shared.changed.wait_timeout(&mut st, MONITOR_INTERVAL);
         }
     }
+
+    /// Attaches driver-side serialization time to the note `dispatch`
+    /// produced (no-op when no note was recorded).
+    fn record_ser_us(&self, dispatch: u64, ser_us: u64) {
+        let mut st = self.shared.state.lock();
+        if let Some(&idx) = st.note_index.get(&dispatch) {
+            if let Some(note) = st.notes.get_mut(idx) {
+                note.ser_us = ser_us;
+            }
+        }
+    }
 }
 
 fn cleanup_dispatch(st: &mut State, d: u64) {
@@ -719,9 +946,16 @@ fn cleanup_dispatch(st: &mut State, d: u64) {
 impl TaskExecutor for RemoteExecutor {
     fn execute_map(&self, wire: &WireSpec, spec: MapTaskSpec) -> Result<MapTaskResult, MrError> {
         let task = spec.task;
-        let bytes = self.run_remote(Phase::Map, task, wire, spec.to_bytes())?;
-        MapTaskResult::from_bytes(&bytes)
-            .map_err(|e| MrError::Wire(format!("map task {task} result: {e}")))
+        let encode_started = Instant::now();
+        let spec_bytes = spec.to_bytes();
+        let encode_us = encode_started.elapsed();
+        let (bytes, d) = self.run_remote(Phase::Map, task, wire, spec_bytes)?;
+        let decode_started = Instant::now();
+        let result = MapTaskResult::from_bytes(&bytes)
+            .map_err(|e| MrError::Wire(format!("map task {task} result: {e}")));
+        let ser = encode_us + decode_started.elapsed();
+        self.record_ser_us(d, u64::try_from(ser.as_micros()).unwrap_or(u64::MAX));
+        result
     }
 
     fn execute_reduce(
@@ -730,8 +964,21 @@ impl TaskExecutor for RemoteExecutor {
         spec: ReduceTaskSpec,
     ) -> Result<ReduceTaskResult, MrError> {
         let task = spec.task;
-        let bytes = self.run_remote(Phase::Reduce, task, wire, spec.to_bytes())?;
-        ReduceTaskResult::from_bytes(&bytes)
-            .map_err(|e| MrError::Wire(format!("reduce task {task} result: {e}")))
+        let encode_started = Instant::now();
+        let spec_bytes = spec.to_bytes();
+        let encode_us = encode_started.elapsed();
+        let (bytes, d) = self.run_remote(Phase::Reduce, task, wire, spec_bytes)?;
+        let decode_started = Instant::now();
+        let result = ReduceTaskResult::from_bytes(&bytes)
+            .map_err(|e| MrError::Wire(format!("reduce task {task} result: {e}")));
+        let ser = encode_us + decode_started.elapsed();
+        self.record_ser_us(d, u64::try_from(ser.as_micros()).unwrap_or(u64::MAX));
+        result
+    }
+
+    fn drain_dispatch_notes(&self) -> Vec<ffmr_obs::DispatchNote> {
+        let mut st = self.shared.state.lock();
+        st.note_index.clear();
+        std::mem::take(&mut st.notes)
     }
 }

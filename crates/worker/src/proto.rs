@@ -7,12 +7,30 @@
 //!
 //! | head           | request fields                                  | ok-response fields                  |
 //! |----------------|--------------------------------------------------|-------------------------------------|
-//! | `register`     | —                                                | `worker <id>`                       |
-//! | `heartbeat`    | `worker <id>`                                    | —                                   |
-//! | `task-request` | `worker <id>`                                    | `dispatch <id>` + `phase map\|reduce`, or `none 1`, or `shutdown 1` |
+//! | `register`     | [`now-us <t>`]                                   | `worker <id>`                       |
+//! | `heartbeat`    | `worker <id>` [`now-us <t>` `rtt-us <r>`]        | —                                   |
+//! | `task-request` | `worker <id>`                                    | `dispatch <id>` + `phase map\|reduce` [+ `trace <t>` `span <s>`], or `none 1`, or `shutdown 1` |
 //! | `blob-get`     | `name <n>` `offset <o>`                          | `data <b64>` `len <total>` `more 0\|1` |
 //! | `blob-put`     | `name <n>` `offset <o>` `data <b64>` `last 0\|1` | —                                   |
-//! | `task-done`    | `worker <id>` `dispatch <id>` `status ok\|err` [`message <m>`] | —                     |
+//! | `task-done`    | `worker <id>` `dispatch <id>` `status ok\|err` [`message <m>`] + telemetry (below) | — |
+//! | `telemetry`    | `worker <id>` [`metrics <b64>`] [`spans <b64>`]  | —                                   |
+//! | `workers`      | —                                                | `queue-depth <n>` + per worker: `worker <id>` `state …` `hb-age-ms …` `rtt-us …` `offset-us …` `inflight …` `tasks-ok …` `tasks-failed …` `bytes-in …` `bytes-out …` |
+//!
+//! ## Telemetry piggybacked on `task-done`
+//!
+//! When the worker measured the dispatch it adds `t-start-us`,
+//! `t-end-us` (its own process clock), `t-fetch-us`, `t-push-us`,
+//! `t-bytes-in`, `t-bytes-out`, plus optionally `metrics` (base64 of
+//! its registry's cumulative snapshot, see
+//! `Registry::encode_snapshot`) and `spans` (base64 of captured span
+//! JSONL). The coordinator aligns the worker-clock window with the
+//! per-worker offset estimated from heartbeats (`now-us` = worker
+//! clock at send, `rtt-us` = worker-measured round trip of the
+//! *previous* beat; offset = driver receive time − (`now-us` +
+//! rtt/2), keeping the minimum-RTT sample). The `telemetry` verb
+//! carries the same `metrics`/`spans` payloads as a final flush on
+//! shutdown. The `workers` verb is the read side (driver tools, not
+//! workers): a point-in-time table for `ffmr top`.
 //!
 //! Blobs move in chunks of at most [`RAW_CHUNK_BYTES`] raw bytes per
 //! frame: base64 inflates 3→4 and `write_frame` *asserts* payloads stay
@@ -47,6 +65,10 @@ pub mod verb {
     pub const BLOB_PUT: &str = "blob-put";
     /// Report a dispatch finished (ok or err).
     pub const TASK_DONE: &str = "task-done";
+    /// Ship metrics/span telemetry outside a dispatch (shutdown flush).
+    pub const TELEMETRY: &str = "telemetry";
+    /// Point-in-time per-worker cluster table (`ffmr top`).
+    pub const WORKERS: &str = "workers";
 }
 
 /// Name of the job blob staged for dispatch `d`.

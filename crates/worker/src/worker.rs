@@ -18,8 +18,8 @@
 use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use ffmr_service::{status, Client, Message};
 use mapreduce::{MapTaskSpec, MrError, ReduceTaskSpec, TaskRunner};
@@ -39,6 +39,10 @@ pub struct WorkerConfig {
     /// Interval between heartbeats (keep well under the coordinator's
     /// heartbeat timeout).
     pub heartbeat_interval: Duration,
+    /// Ship this process's metrics registry and captured spans to the
+    /// coordinator (piggybacked on `task-done`, flushed on shutdown).
+    /// On by default; benches toggle it for overhead A/B runs.
+    pub telemetry: bool,
 }
 
 impl WorkerConfig {
@@ -49,8 +53,46 @@ impl WorkerConfig {
             addr: addr.into(),
             poll_interval: Duration::from_millis(20),
             heartbeat_interval: Duration::from_millis(300),
+            telemetry: true,
         }
     }
+}
+
+/// Span sink buffering lines for shipment to the coordinator. Installed
+/// lazily, only in a standalone worker process (never when the worker
+/// shares its process — and span sink — with the driver).
+#[derive(Debug, Default)]
+struct CaptureSink {
+    lines: Mutex<Vec<String>>,
+}
+
+impl CaptureSink {
+    fn drain(&self) -> Vec<String> {
+        std::mem::take(
+            &mut self
+                .lines
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        )
+    }
+}
+
+impl ffmr_obs::SpanSink for CaptureSink {
+    fn emit(&self, json_line: &str) {
+        self.lines
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(json_line.to_string());
+    }
+}
+
+/// What the worker measured about one dispatch, on its own clock.
+#[derive(Debug, Default)]
+struct DispatchMeasure {
+    fetch_us: u64,
+    push_us: u64,
+    bytes_in: u64,
+    bytes_out: u64,
 }
 
 /// Sends `request` and insists on an `ok` response.
@@ -135,15 +177,21 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 type RunnerCache = HashMap<(String, Vec<u8>), Arc<dyn TaskRunner>>;
 
 /// Fetches, decodes and executes one dispatch, returning the encoded
-/// result bytes to upload.
+/// result bytes to upload. Fetch timing and input bytes land in
+/// `measure`; the caller accounts for the result upload.
 fn run_dispatch(
     client: &mut Client,
     registry: &JobKindRegistry,
     cache: &mut RunnerCache,
     dispatch: u64,
     phase: &str,
+    measure: &mut DispatchMeasure,
 ) -> Result<Vec<u8>, MrError> {
-    let job = fetch_blob(client, &proto::job_blob(dispatch))?;
+    let fetch_started = Instant::now();
+    let job = {
+        let _s = ffmr_obs::span("worker.blob.get");
+        fetch_blob(client, &proto::job_blob(dispatch))?
+    };
     let (kind, params) = proto::decode_job_blob(&job)
         .map_err(|e| MrError::Wire(format!("dispatch {dispatch} job blob: {e}")))?;
     let key = (kind.clone(), params.clone());
@@ -157,7 +205,12 @@ fn run_dispatch(
         cache.insert(key, Arc::clone(&built));
         built
     };
-    let spec_bytes = fetch_blob(client, &proto::spec_blob(dispatch))?;
+    let spec_bytes = {
+        let _s = ffmr_obs::span("worker.blob.get");
+        fetch_blob(client, &proto::spec_blob(dispatch))?
+    };
+    measure.fetch_us = u64::try_from(fetch_started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    measure.bytes_in = (job.len() + spec_bytes.len()) as u64;
     let outcome = match phase {
         "map" => {
             let spec = MapTaskSpec::from_bytes(&spec_bytes)
@@ -197,12 +250,18 @@ fn run_dispatch(
 pub fn run_worker(config: &WorkerConfig, registry: &JobKindRegistry) -> Result<(), MrError> {
     let mut client = Client::connect(&config.addr)
         .map_err(|e| MrError::Wire(format!("connect {}: {e}", config.addr)))?;
-    let resp = rpc(&mut client, &Message::new(verb::REGISTER))?;
+    let mut register = Message::new(verb::REGISTER);
+    register.push("now-us", ffmr_obs::span::epoch_us());
+    let resp = rpc(&mut client, &register)?;
     let worker_id: u64 = resp
         .get_parsed("worker")
         .ok()
         .flatten()
         .ok_or_else(|| MrError::Wire("register response carried no worker id".into()))?;
+    // Partition the span-id space per worker so ids minted here never
+    // collide with the driver's (or another worker's) when merged into
+    // one trace file.
+    ffmr_obs::span::seed_ids((worker_id + 1) << 40);
 
     let stop = Arc::new(AtomicBool::new(false));
     let heartbeat = {
@@ -213,11 +272,23 @@ pub fn run_worker(config: &WorkerConfig, registry: &JobKindRegistry) -> Result<(
             let Ok(mut client) = Client::connect(&addr) else {
                 return;
             };
-            let mut ping = Message::new(verb::HEARTBEAT);
-            ping.push("worker", worker_id);
+            // Each beat carries this worker's clock and the measured
+            // round trip of the *previous* beat, so the coordinator can
+            // estimate a clock offset from the lowest-RTT sample.
+            let mut last_rtt_us: Option<u64> = None;
             while !stop.load(Ordering::SeqCst) && !signals::requested() {
+                let mut ping = Message::new(verb::HEARTBEAT);
+                ping.push("worker", worker_id);
+                ping.push("now-us", ffmr_obs::span::epoch_us());
+                if let Some(rtt) = last_rtt_us {
+                    ping.push("rtt-us", rtt);
+                }
+                let sent = Instant::now();
                 match client.request(&ping) {
-                    Ok(resp) if resp.head == status::OK => {}
+                    Ok(resp) if resp.head == status::OK => {
+                        last_rtt_us =
+                            Some(u64::try_from(sent.elapsed().as_micros()).unwrap_or(u64::MAX));
+                    }
                     _ => return,
                 }
                 std::thread::sleep(interval);
@@ -226,6 +297,8 @@ pub fn run_worker(config: &WorkerConfig, registry: &JobKindRegistry) -> Result<(
     };
 
     let mut cache: RunnerCache = HashMap::new();
+    let mut span_capture: Option<Arc<CaptureSink>> = None;
+    let mut last_metrics_ship: Option<Instant> = None;
     let result = loop {
         if signals::requested() {
             break Ok(());
@@ -252,32 +325,125 @@ pub fn run_worker(config: &WorkerConfig, registry: &JobKindRegistry) -> Result<(
             ));
         };
         let phase = phase.to_string();
-        match run_dispatch(&mut client, registry, &mut cache, dispatch, &phase) {
+        // Trace context from the driver: adopt its trace id and open
+        // the task span as a child of the driver's dispatch span. The
+        // capture sink is installed lazily, and only when this process
+        // has no sink of its own (an in-process worker thread shares
+        // the driver's sink — its spans land in the trace directly).
+        let trace = resp.get_parsed::<u64>("trace").ok().flatten();
+        let parent_span = resp.get_parsed::<u64>("span").ok().flatten();
+        if trace.is_some() && span_capture.is_none() && !ffmr_obs::span::tracing_enabled() {
+            let sink = Arc::new(CaptureSink::default());
+            ffmr_obs::set_sink(Some(Arc::clone(&sink) as Arc<dyn ffmr_obs::SpanSink>));
+            span_capture = Some(sink);
+        }
+        if let Some(t) = trace {
+            ffmr_obs::set_trace_id(t);
+        }
+        let start_us = ffmr_obs::span::epoch_us();
+        let mut measure = DispatchMeasure::default();
+        let mut task_span = parent_span.map_or_else(
+            || ffmr_obs::span(&format!("worker.{phase}")),
+            |p| ffmr_obs::span_child_of(&format!("worker.{phase}"), p),
+        );
+        task_span.field("dispatch", dispatch);
+        task_span.field("worker", worker_id);
+        let outcome = run_dispatch(
+            &mut client,
+            registry,
+            &mut cache,
+            dispatch,
+            &phase,
+            &mut measure,
+        );
+        let outcome = match outcome {
             Ok(result_bytes) => {
-                if let Err(e) = push_blob(&mut client, &proto::result_blob(dispatch), &result_bytes)
-                {
+                let push_started = Instant::now();
+                let pushed = {
+                    let _s = ffmr_obs::span("worker.blob.put");
+                    push_blob(&mut client, &proto::result_blob(dispatch), &result_bytes)
+                };
+                if let Err(e) = pushed {
                     break Err(e);
                 }
-                let mut done = Message::new(verb::TASK_DONE);
-                done.push("worker", worker_id);
-                done.push("dispatch", dispatch);
-                done.push("status", "ok");
-                if let Err(e) = rpc(&mut client, &done) {
-                    break Err(e);
-                }
+                measure.push_us =
+                    u64::try_from(push_started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                measure.bytes_out = result_bytes.len() as u64;
+                Ok(())
             }
+            Err(task_err) => Err(task_err),
+        };
+        drop(task_span);
+        let end_us = ffmr_obs::span::epoch_us();
+        let reg = ffmr_obs::global();
+        let status_label = if outcome.is_ok() { "ok" } else { "err" };
+        reg.counter(
+            "ffmr_worker_dispatches_total",
+            &[("phase", &phase), ("status", status_label)],
+        )
+        .inc();
+        reg.histogram("ffmr_worker_blob_fetch_us", &[])
+            .record(measure.fetch_us);
+        reg.histogram("ffmr_worker_blob_push_us", &[])
+            .record(measure.push_us);
+        reg.histogram("ffmr_worker_task_us", &[])
+            .record(end_us.saturating_sub(start_us));
+
+        let mut done = Message::new(verb::TASK_DONE);
+        done.push("worker", worker_id);
+        done.push("dispatch", dispatch);
+        match &outcome {
+            Ok(()) => done.push("status", "ok"),
             Err(task_err) => {
-                let mut done = Message::new(verb::TASK_DONE);
-                done.push("worker", worker_id);
-                done.push("dispatch", dispatch);
                 done.push("status", "err");
                 done.push("message", task_err.to_string());
-                if let Err(e) = rpc(&mut client, &done) {
-                    break Err(e);
-                }
             }
         }
+        done.push("t-start-us", start_us);
+        done.push("t-end-us", end_us);
+        done.push("t-fetch-us", measure.fetch_us);
+        done.push("t-push-us", measure.push_us);
+        done.push("t-bytes-in", measure.bytes_in);
+        done.push("t-bytes-out", measure.bytes_out);
+        // Snapshots are cumulative, so shipping them less often loses
+        // nothing: throttle to one per 100 ms so busy fleets don't pay
+        // an encode+merge per task (the shutdown flush below delivers
+        // whatever the throttle held back). Only the worker plane
+        // ships: in-thread fleets (benches) share the driver's
+        // registry, and its other series must not ride along with a
+        // worker label.
+        if config.telemetry
+            && last_metrics_ship.is_none_or(|t| t.elapsed() >= Duration::from_millis(100))
+        {
+            last_metrics_ship = Some(Instant::now());
+            let snapshot = reg.encode_snapshot_prefixed("ffmr_worker_");
+            done.push("metrics", b64::encode(snapshot.as_bytes()));
+        }
+        if let Some(capture) = &span_capture {
+            let lines = capture.drain();
+            if !lines.is_empty() {
+                done.push("spans", b64::encode(lines.join("\n").as_bytes()));
+            }
+        }
+        if let Err(e) = rpc(&mut client, &done) {
+            break Err(e);
+        }
     };
+    // Final telemetry flush so short-lived workers' last metric deltas
+    // and spans reach the coordinator even with no task in flight.
+    if config.telemetry {
+        let mut flush = Message::new(verb::TELEMETRY);
+        flush.push("worker", worker_id);
+        let snapshot = ffmr_obs::global().encode_snapshot_prefixed("ffmr_worker_");
+        flush.push("metrics", b64::encode(snapshot.as_bytes()));
+        if let Some(capture) = &span_capture {
+            let lines = capture.drain();
+            if !lines.is_empty() {
+                flush.push("spans", b64::encode(lines.join("\n").as_bytes()));
+            }
+        }
+        let _ = client.request(&flush);
+    }
     stop.store(true, Ordering::SeqCst);
     let _ = heartbeat.join();
     result

@@ -52,6 +52,7 @@ fn main() -> ExitCode {
         "worker" => worker(&args[1..]),
         "query" => query(&args[1..]),
         "stats" => stats(&args[1..]),
+        "top" => top(&args[1..]),
         "report" => report(&args[1..]),
         "--help" | "-h" => {
             print_help();
@@ -81,6 +82,7 @@ fn print_help() {
          \x20          [--state FILE] [--resume] [--crash-after-round N]\n\
          \x20          [--crash-in-round N] [--speculate]\n\
          \x20          [--slow-task PHASE:TASKxFACTOR] [--workers N]\n\
+         \x20          [--coordinator HOST:PORT]\n\
          \x20 serve    --listen HOST:PORT --graph NAME=FILE [--graph ...]\n\
          \x20          [--workers N] [--queue N] [--cache N] [--mr-threshold N]\n\
          \x20          [--nodes N] [--reducers R] [--timeout-ms N]\n\
@@ -92,14 +94,20 @@ fn print_help() {
          \x20          [--cancel-after-rounds N]\n\
          \x20 stats    [--addr HOST:PORT] [--dataset D] [--prometheus] [--watch]\n\
          \x20          [--interval-ms N]\n\
+         \x20 top      --connect HOST:PORT [--watch] [--interval-ms N]\n\
          \x20 report   (--state FILE | --history FILE) [--base PATH] [--json]\n\n\
          observability:\n\
          \x20 maxflow/serve also accept --trace-file FILE to write one JSON\n\
-         \x20 line per span (FF rounds, MapReduce phases, queries);\n\
+         \x20 line per span (FF rounds, MapReduce phases, queries); the file\n\
+         \x20 rotates to FILE.1 at FFMR_TRACE_MAX_BYTES (default 64 MiB).\n\
          \x20 `stats --prometheus` prints the text exposition for scraping.\n\
          \x20 maxflow records a per-round job history (task timelines, skew,\n\
          \x20 stragglers, critical path) into the DFS beside its checkpoints;\n\
-         \x20 `report --state FILE` renders it, `--json` dumps raw profiles.\n\n\
+         \x20 `report --state FILE` renders it, `--json` dumps raw profiles.\n\
+         \x20 In distributed mode the history carries per-dispatch notes with\n\
+         \x20 worker attribution; `report` adds worker lanes and a blame\n\
+         \x20 split, and `top --connect` shows live per-worker health\n\
+         \x20 (heartbeat age, RTT, in-flight tasks, bytes moved).\n\n\
          fault tolerance:\n\
          \x20 FF runs checkpoint every round. --state FILE persists the\n\
          \x20 simulated DFS on exit (success or injected crash) and\n\
@@ -116,11 +124,28 @@ fn print_help() {
     );
 }
 
-/// Installs the JSONL span sink when `--trace-file` was given.
+/// Default `--trace-file` size cap before rotation (64 MiB); override
+/// with the `FFMR_TRACE_MAX_BYTES` environment variable (0 disables).
+const TRACE_MAX_BYTES_DEFAULT: u64 = 64 * 1024 * 1024;
+
+/// Installs the JSONL span sink when `--trace-file` was given. The sink
+/// rotates `FILE` to `FILE.1` at the size cap so an unattended run
+/// cannot fill the disk with spans.
 fn install_trace_file(opts: &Options) -> Result<(), String> {
     if let Some(path) = opts.get("trace-file") {
-        let sink = ffmr::ffmr_obs::FileSink::create(path)
-            .map_err(|e| format!("cannot create trace file {path}: {e}"))?;
+        let max_bytes = match std::env::var("FFMR_TRACE_MAX_BYTES") {
+            Ok(v) => v
+                .trim()
+                .parse::<u64>()
+                .map_err(|_| format!("invalid FFMR_TRACE_MAX_BYTES '{v}'"))?,
+            Err(_) => TRACE_MAX_BYTES_DEFAULT,
+        };
+        let sink = if max_bytes > 0 {
+            ffmr::ffmr_obs::FileSink::with_max_bytes(path, max_bytes)
+        } else {
+            ffmr::ffmr_obs::FileSink::create(path)
+        }
+        .map_err(|e| format!("cannot create trace file {path}: {e}"))?;
         ffmr::ffmr_obs::set_sink(Some(std::sync::Arc::new(sink)));
         eprintln!("tracing spans to {path}");
     }
@@ -322,10 +347,14 @@ fn run_maxflow(args: &[String]) -> Result<(), String> {
         // when `_dist` drops, including on the error paths below.
         let dist_workers: usize = opts.parsed("workers", 0)?;
         let _dist = if dist_workers > 0 {
-            let coordinator = ffmr::ffmr_worker::Coordinator::start(
-                ffmr::ffmr_worker::CoordinatorConfig::default(),
-            )
-            .map_err(|e| format!("cannot start coordinator: {e}"))?;
+            let mut coordinator_config = ffmr::ffmr_worker::CoordinatorConfig::default();
+            if let Some(addr) = opts.get("coordinator") {
+                // A pinned bind address lets `ffmr top --connect` (and
+                // extra `ffmr worker` processes) find this run.
+                coordinator_config.addr = addr.to_string();
+            }
+            let coordinator = ffmr::ffmr_worker::Coordinator::start(coordinator_config)
+                .map_err(|e| format!("cannot start coordinator: {e}"))?;
             let addr = coordinator.local_addr().to_string();
             let exe = std::env::current_exe()
                 .map_err(|e| format!("cannot locate own executable: {e}"))?;
@@ -668,6 +697,99 @@ fn stats(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// `ffmr top` — live cluster view over the coordinator's `workers`
+/// verb: one row per worker with state, heartbeat age, RTT, estimated
+/// clock offset, in-flight dispatches and task/byte totals. `--watch`
+/// refreshes until interrupted (reconnecting like `stats --watch`).
+fn top(args: &[String]) -> Result<(), String> {
+    use ffmr::ffmr_service::{Client, Message};
+    let opts = Options::parse(args)?;
+    let addr = opts.required("connect")?;
+    let watch = opts.has("watch");
+    let interval = std::time::Duration::from_millis(opts.parsed("interval-ms", 1_000u64)?.max(100));
+
+    let mut client = Client::connect(addr).map_err(|e| format!("cannot reach {addr}: {e}"))?;
+    loop {
+        let response = match client.request(&Message::new("workers")) {
+            Ok(response) => response,
+            Err(e) if watch => {
+                eprintln!("top: connection to {addr} lost ({e}); reconnecting...");
+                client = reconnect(addr);
+                eprintln!("top: reconnected to {addr}");
+                continue;
+            }
+            Err(e) => return Err(e.to_string()),
+        };
+        if response.head != "ok" {
+            return Err(format!(
+                "coordinator replied '{}': {}",
+                response.head,
+                response.get("message").unwrap_or("")
+            ));
+        }
+        print_worker_table(addr, &response);
+        if !watch {
+            return Ok(());
+        }
+        println!("---");
+        std::thread::sleep(interval);
+    }
+}
+
+/// Renders one `workers` response: a cluster summary line plus one row
+/// per worker, grouped by the repeated `worker` field.
+fn print_worker_table(addr: &str, response: &ffmr::ffmr_service::Message) {
+    let queue_depth = response.get("queue-depth").unwrap_or("0");
+    let mut rows: Vec<Vec<(&str, &str)>> = Vec::new();
+    for (k, v) in &response.fields {
+        if k == "worker" {
+            rows.push(vec![(k.as_str(), v.as_str())]);
+        } else if let Some(row) = rows.last_mut() {
+            row.push((k.as_str(), v.as_str()));
+        }
+    }
+    let live = rows.iter().filter(|r| field(r, "state") == "live").count();
+    println!(
+        "cluster @ {addr}: {live}/{} workers live, queue depth {queue_depth}",
+        rows.len()
+    );
+    if rows.is_empty() {
+        return;
+    }
+    println!(
+        "  {:<7} {:<10} {:>9} {:>8} {:>10} {:>8} {:>8} {:>7} {:>10} {:>10}",
+        "worker",
+        "state",
+        "hb-age-ms",
+        "rtt-us",
+        "offset-us",
+        "inflight",
+        "ok",
+        "failed",
+        "bytes-in",
+        "bytes-out"
+    );
+    for row in &rows {
+        println!(
+            "  {:<7} {:<10} {:>9} {:>8} {:>10} {:>8} {:>8} {:>7} {:>10} {:>10}",
+            field(row, "worker"),
+            field(row, "state"),
+            field(row, "hb-age-ms"),
+            field(row, "rtt-us"),
+            field(row, "offset-us"),
+            field(row, "inflight"),
+            field(row, "tasks-ok"),
+            field(row, "tasks-failed"),
+            field(row, "bytes-in"),
+            field(row, "bytes-out")
+        );
+    }
+}
+
+fn field<'a>(row: &[(&'a str, &'a str)], key: &str) -> &'a str {
+    row.iter().find(|(k, _)| *k == key).map_or("-", |(_, v)| v)
+}
+
 /// Redials `addr` until it answers, doubling the delay between attempts
 /// from 200ms up to a 5s cap.
 fn reconnect(addr: &str) -> ffmr::ffmr_service::Client {
@@ -817,9 +939,10 @@ fn render_profile(out: &mut impl Write, p: &ffmr::ffmr_obs::RoundProfile) -> std
                 bar.push(' ');
             }
         }
+        let worker = e.worker.map_or_else(String::new, |w| format!(" w{w}"));
         writeln!(
             out,
-            "  {:<7} t{:03} a{} |{bar}| {:>8.2}s {}",
+            "  {:<7} t{:03} a{} |{bar}| {:>8.2}s {}{worker}",
             e.phase,
             e.task,
             e.attempt,
@@ -875,5 +998,100 @@ fn render_profile(out: &mut impl Write, p: &ffmr::ffmr_obs::RoundProfile) -> std
         "  speculation: launched {}, won {}, saved {:.2}s",
         p.speculative_launched, p.speculative_won, p.speculation_saved_seconds
     )?;
+    render_dist_sections(out, p)?;
     writeln!(out)
+}
+
+/// The distributed-telemetry additions to a round report: per-worker
+/// wall-clock Gantt lanes, the blame split, and the critical path
+/// re-told as dispatch phases. Silent for local (note-free) rounds.
+fn render_dist_sections(
+    out: &mut impl Write,
+    p: &ffmr::ffmr_obs::RoundProfile,
+) -> std::io::Result<()> {
+    const WIDTH: usize = 40;
+    if !p.dispatches.is_empty() {
+        let t0 = p.dispatches.iter().map(|n| n.queued_us).min().unwrap_or(0);
+        let t1 = p
+            .dispatches
+            .iter()
+            .map(|n| n.done_us.max(n.finished_us))
+            .max()
+            .unwrap_or(t0);
+        let window = (t1.saturating_sub(t0)).max(1) as f64;
+        let mut workers: Vec<u64> = p.dispatches.iter().map(|n| n.worker).collect();
+        workers.sort_unstable();
+        workers.dedup();
+        writeln!(
+            out,
+            "  worker lanes (wall clock {:.3}s..{:.3}s, m=map r=reduce x=failed):",
+            t0 as f64 / 1e6,
+            t1 as f64 / 1e6
+        )?;
+        for &w in &workers {
+            let mut lane = [' '; WIDTH];
+            let mut tasks = 0usize;
+            let mut busy_us = 0u64;
+            for n in p.dispatches.iter().filter(|n| n.worker == w) {
+                tasks += 1;
+                busy_us += n.finished_us.saturating_sub(n.started_us);
+                let clamp = |us: u64| {
+                    (((us.saturating_sub(t0)) as f64 / window) * WIDTH as f64).round() as usize
+                };
+                let start = clamp(n.started_us).min(WIDTH - 1);
+                let end = clamp(n.finished_us).clamp(start, WIDTH);
+                let fill = if !n.ok {
+                    'x'
+                } else if n.phase == "map" {
+                    'm'
+                } else {
+                    'r'
+                };
+                for cell in lane.iter_mut().take(end.max(start + 1)).skip(start) {
+                    *cell = fill;
+                }
+            }
+            writeln!(
+                out,
+                "  worker {w:<3} |{}| {tasks} dispatches, {:.3}s busy",
+                lane.iter().collect::<String>(),
+                busy_us as f64 / 1e6
+            )?;
+        }
+    }
+    if let Some(b) = &p.dist_blame {
+        let total = b.total_seconds().max(1e-12);
+        let pct = |share: f64| 100.0 * share / total;
+        writeln!(
+            out,
+            "  blame: serialization {:.3}s ({:.0}%) | transfer {:.3}s ({:.0}%) | \
+             dispatch-wait {:.3}s ({:.0}%) | compute {:.3}s ({:.0}%)",
+            b.serialization_seconds,
+            pct(b.serialization_seconds),
+            b.transfer_seconds,
+            pct(b.transfer_seconds),
+            b.dispatch_wait_seconds,
+            pct(b.dispatch_wait_seconds),
+            b.compute_seconds,
+            pct(b.compute_seconds)
+        )?;
+    }
+    if !p.critical_path_dist.is_empty() {
+        let chain: Vec<String> = p
+            .critical_path_dist
+            .iter()
+            .map(|s| {
+                format!(
+                    "{} t{} w{} ({:.3}s..{:.3}s)",
+                    s.phase,
+                    s.task,
+                    s.worker,
+                    s.start_us as f64 / 1e6,
+                    s.end_us as f64 / 1e6
+                )
+            })
+            .collect();
+        writeln!(out, "  dispatch path: {}", chain.join(" -> "))?;
+    }
+    Ok(())
 }

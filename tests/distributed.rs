@@ -133,6 +133,143 @@ fn two_worker_processes_match_the_inprocess_fingerprint() {
     assert_eq!(run_dist.max_flow_value, oracle.value);
 }
 
+/// The merged flight recorder must be complete and must not perturb the
+/// computation: with telemetry on, a `--workers 2` run yields (a) a
+/// round history whose dispatch notes cover every map/reduce attempt
+/// exactly once with real worker attribution, (b) per-worker
+/// clock-aligned windows consistent with sequential execution, and (c)
+/// flow output byte-identical to the serial in-process baseline.
+#[test]
+fn merged_flight_recorder_is_complete_and_does_not_perturb_the_run() {
+    use std::collections::HashMap;
+
+    let (net, s, t) = test_network(250, 2, 17);
+    let config = FfConfig::new(s, t).variant(FfVariant::ff5()).reducers(6);
+
+    // Telemetry fully on: flight recorder + per-dispatch notes. The
+    // recorder is process-global; this test reads history out of its
+    // own runtime's DFS, so parallel tests sharing the ring don't leak
+    // into the assertions.
+    ffmr::ffmr_obs::events::recorder().set_enabled(true);
+
+    let fleet = WorkerFleet::start(2);
+    let mut rt_dist = MrRuntime::new(ClusterConfig::small_cluster(4));
+    rt_dist.set_task_executor(Some(fleet.coordinator().executor()));
+    let run_dist = ffmr_core::run_max_flow(&mut rt_dist, &net, &config).expect("distributed run");
+    let dist_print = fingerprint(&rt_dist, &run_dist);
+
+    // (c) Byte-identical to the serial baseline, recorder still on.
+    let mut rt_base = MrRuntime::new(ClusterConfig::small_cluster(4));
+    rt_base.set_worker_threads(Some(1));
+    let run_base = ffmr_core::run_max_flow(&mut rt_base, &net, &config).expect("baseline run");
+    assert_eq!(
+        dist_print,
+        fingerprint(&rt_base, &run_base),
+        "telemetry must not perturb the distributed output"
+    );
+
+    // (a) + (b): parse the history blob the distributed run persisted.
+    let history = rt_dist
+        .dfs()
+        .read_blob(&ffmr_core::history_path(&config.base_path))
+        .expect("history blob");
+    let text = String::from_utf8(history.to_vec()).expect("history is utf-8");
+    let profiles: Vec<ffmr::ffmr_obs::RoundProfile> = text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| ffmr::ffmr_obs::RoundProfile::from_json(l).expect("parse profile"))
+        .collect();
+    assert!(!profiles.is_empty(), "no round profiles recorded");
+
+    // Round 0's graph-prep job uses closures and always runs in
+    // process (no wire spec), so it legitimately carries no dispatch
+    // notes. Every augmenting round does go through the executor.
+    let dist_profiles: Vec<_> = profiles
+        .iter()
+        .filter(|p| !p.dispatches.is_empty())
+        .collect();
+    assert!(
+        !dist_profiles.is_empty(),
+        "no round profile carries dispatch notes"
+    );
+
+    for p in &dist_profiles {
+        // Every map/reduce attempt appears exactly once as a dispatch
+        // note, attributed to a real worker of the 2-worker fleet.
+        let mut noted: HashMap<(&str, usize), usize> = HashMap::new();
+        for n in &p.dispatches {
+            assert!(
+                n.worker < 2,
+                "round {}: bogus worker id {}",
+                p.round,
+                n.worker
+            );
+            assert!(n.ok, "round {}: unexpected failed dispatch", p.round);
+            *noted.entry((n.phase.as_str(), n.task)).or_default() += 1;
+        }
+        let mut expected: HashMap<(&str, usize), usize> = HashMap::new();
+        for e in p
+            .events
+            .iter()
+            .filter(|e| e.phase == "map" || e.phase == "reduce")
+        {
+            assert!(
+                e.worker.is_some(),
+                "round {}: {} t{} lacks worker attribution",
+                p.round,
+                e.phase,
+                e.task
+            );
+            *expected.entry((e.phase.as_str(), e.task)).or_default() += 1;
+        }
+        assert_eq!(
+            noted, expected,
+            "round {}: dispatch notes disagree with task events",
+            p.round
+        );
+        assert!(p.dist_blame.is_some(), "round {}: no blame split", p.round);
+        assert!(
+            !p.critical_path_dist.is_empty(),
+            "round {}: no dispatch-phase critical path",
+            p.round
+        );
+
+        // Per-worker windows: well-formed, and consistent with a
+        // worker executing one dispatch at a time once clock-aligned
+        // (a small slack absorbs offset refinement between beats).
+        let mut per_worker: HashMap<u64, Vec<(u64, u64)>> = HashMap::new();
+        for n in &p.dispatches {
+            assert!(
+                n.started_us <= n.finished_us,
+                "round {}: inverted window",
+                p.round
+            );
+            per_worker
+                .entry(n.worker)
+                .or_default()
+                .push((n.started_us, n.finished_us));
+        }
+        for (worker, mut windows) in per_worker {
+            windows.sort_unstable();
+            for pair in windows.windows(2) {
+                let overlap = pair[0].1.saturating_sub(pair[1].0);
+                assert!(
+                    overlap <= 5_000,
+                    "round {}: worker {worker} windows overlap by {overlap}us",
+                    p.round
+                );
+            }
+        }
+    }
+
+    // The dispatch notes exercised both workers at least once overall.
+    let workers_seen: std::collections::HashSet<u64> = dist_profiles
+        .iter()
+        .flat_map(|p| p.dispatches.iter().map(|n| n.worker))
+        .collect();
+    assert_eq!(workers_seen.len(), 2, "both workers should run dispatches");
+}
+
 #[test]
 fn kill_nine_mid_job_is_recovered_by_retry() {
     let (net, s, t) = test_network(700, 3, 23);
