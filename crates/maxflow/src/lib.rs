@@ -31,6 +31,7 @@ pub mod dinic;
 pub mod edmonds_karp;
 pub mod ford_fulkerson;
 pub mod min_cut;
+pub mod parallel_push_relabel;
 pub mod push_relabel;
 pub mod residual;
 pub mod validate;
@@ -50,20 +51,24 @@ pub enum Algorithm {
     EdmondsKarp,
     /// Dinic's layered blocking flow.
     Dinic,
-    /// FIFO Push–Relabel with the gap heuristic.
+    /// FIFO Push–Relabel with global-relabeling and gap heuristics.
     PushRelabel,
     /// Capacity-scaling Ford–Fulkerson.
     CapacityScaling,
+    /// Bulk-synchronous parallel Push–Relabel (deterministic for any
+    /// thread count).
+    ParallelPushRelabel,
 }
 
 impl Algorithm {
     /// Every implemented algorithm.
-    pub const ALL: [Algorithm; 5] = [
+    pub const ALL: [Algorithm; 6] = [
         Algorithm::FordFulkerson,
         Algorithm::EdmondsKarp,
         Algorithm::Dinic,
         Algorithm::PushRelabel,
         Algorithm::CapacityScaling,
+        Algorithm::ParallelPushRelabel,
     ];
 
     /// Runs this algorithm on `net` from `s` to `t`.
@@ -75,6 +80,7 @@ impl Algorithm {
             Algorithm::Dinic => dinic::max_flow(net, s, t),
             Algorithm::PushRelabel => push_relabel::max_flow(net, s, t),
             Algorithm::CapacityScaling => capacity_scaling::max_flow(net, s, t),
+            Algorithm::ParallelPushRelabel => parallel_push_relabel::max_flow(net, s, t),
         }
     }
 }
@@ -87,6 +93,7 @@ impl std::fmt::Display for Algorithm {
             Algorithm::Dinic => "dinic",
             Algorithm::PushRelabel => "push-relabel",
             Algorithm::CapacityScaling => "capacity-scaling",
+            Algorithm::ParallelPushRelabel => "parallel-pr",
         };
         f.write_str(name)
     }

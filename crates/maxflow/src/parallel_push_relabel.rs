@@ -1,0 +1,811 @@
+//! Synchronous (bulk-parallel) Push–Relabel in shared memory, after
+//! Baumstark/Blelloch/Shun: the active frontier is discharged in
+//! deterministic pulses — every worker plans pushes and relabels against
+//! the *round-start* state into private per-chunk buffers, and the
+//! buffers are applied in frontier order between pulses. The result is
+//! bit-identical for any thread count, which is what lets the serving
+//! tier adopt it as the default in-memory solver without giving up
+//! reproducible answers.
+//!
+//! Heuristics match the sequential [`crate::push_relabel`] twin: exact
+//! heights from a periodic global relabeling (reverse BFS from the sink,
+//! then from the source for the excess-return phase — itself run as a
+//! chunked parallel BFS) plus gap relabeling between pulses, so the two
+//! solvers differ only in scheduling.
+//!
+//! No shared cell is ever written concurrently: each directed edge is
+//! planned only by its unique tail, chunk outputs are private, and the
+//! apply phase is sequential — lock-free by construction, with the
+//! [`ffmr_sync`] primitives (one `RwLock` over the solver state, a
+//! `Mutex`+`Condvar` job board) coordinating the persistent worker pool.
+//!
+//! # Example
+//! ```
+//! use swgraph::{FlowNetwork, VertexId};
+//! let net = FlowNetwork::from_undirected_unit(4, &[(0, 1), (1, 3), (0, 2), (2, 3)]);
+//! let f = maxflow::parallel_push_relabel::max_flow(&net, VertexId::new(0), VertexId::new(3));
+//! assert_eq!(f.value, 2);
+//! ```
+
+use ffmr_sync::{Condvar, Mutex, RwLock};
+use swgraph::{Capacity, EdgeId, FlowNetwork, VertexId};
+
+use crate::residual::FlowResult;
+
+/// Tuning knobs for the parallel solver.
+#[derive(Debug, Clone)]
+pub struct PrConfig {
+    /// Worker threads for the discharge and BFS phases. `1` runs the
+    /// identical pulse schedule inline without spawning a pool; any
+    /// value produces the same flow (see the module docs).
+    pub threads: usize,
+    /// Global relabeling runs whenever the work counter (edges scanned
+    /// plus relabels) exceeds `factor * (n + m)` since the last one.
+    pub global_relabel_factor: f64,
+}
+
+impl Default for PrConfig {
+    fn default() -> Self {
+        Self {
+            threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
+            global_relabel_factor: 3.0,
+        }
+    }
+}
+
+/// Counters describing one solved instance.
+#[derive(Debug, Clone, Default)]
+pub struct PrStats {
+    /// Bulk-synchronous discharge pulses executed.
+    pub passes: usize,
+    /// Global relabelings (including the initial one).
+    pub global_relabels: usize,
+    /// Individual push operations applied.
+    pub pushes: usize,
+    /// Individual relabel operations applied (gap lifts not counted).
+    pub relabels: usize,
+    /// Largest active frontier seen at a pulse boundary.
+    pub max_frontier: usize,
+    /// Worker threads the run was configured with.
+    pub threads: usize,
+}
+
+/// A parallel push-relabel run: the flow plus its execution counters.
+#[derive(Debug, Clone)]
+pub struct PrRun {
+    /// The computed maximum flow.
+    pub result: FlowResult,
+    /// Execution counters (pulses, global relabels, frontier sizes).
+    pub stats: PrStats,
+}
+
+/// Computes the maximum `s`–`t` flow with the default configuration
+/// (all available cores).
+#[must_use]
+pub fn max_flow(net: &FlowNetwork, s: VertexId, t: VertexId) -> FlowResult {
+    max_flow_with(net, s, t, &PrConfig::default()).result
+}
+
+/// Like [`max_flow`] but with explicit tuning, returning the execution
+/// counters alongside the flow. The flow (value *and* per-edge
+/// assignment) is independent of `threads`.
+#[must_use]
+pub fn max_flow_with(net: &FlowNetwork, s: VertexId, t: VertexId, config: &PrConfig) -> PrRun {
+    let n = net.num_vertices();
+    if s == t || n == 0 || s.index() >= n || t.index() >= n {
+        return PrRun {
+            result: FlowResult {
+                value: 0,
+                flows: vec![0; net.num_directed_edges()],
+            },
+            stats: PrStats::default(),
+        };
+    }
+    let threads = config.threads.max(1);
+    let state = RwLock::new(State::new(net, s, t));
+    let run = if threads == 1 {
+        let mut solver = Solver::new(net, s, t, config, threads, &state);
+        solver.solve(&mut |state, job| run_job_inline(net, state, job))
+    } else {
+        let board = JobBoard::new();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| worker_loop(net, &state, &board));
+            }
+            let mut solver = Solver::new(net, s, t, config, threads, &state);
+            let run = solver.solve(&mut |_, job| board.execute(job));
+            board.shutdown();
+            run
+        })
+    };
+    record_metrics(&run.stats);
+    run
+}
+
+/// Frontier slice each discharge/BFS chunk covers. Fixed (and in
+/// particular independent of the thread count) so the chunk decomposition
+/// — and with it the apply order — never changes with parallelism.
+const CHUNK: usize = 128;
+
+/// Work-counter charge for one relabel (edges scanned charge 1 each).
+const RELABEL_WORK: u64 = 12;
+
+/// Solver state shared read-only with workers during a job and mutated
+/// exclusively by the coordinator between jobs.
+struct State {
+    /// Per-directed-edge flow, skew-symmetric like [`crate::Residual`].
+    flow: Vec<Capacity>,
+    excess: Vec<Capacity>,
+    height: Vec<u32>,
+    /// Active vertices for the current discharge pulse, ascending.
+    frontier: Vec<u32>,
+    /// Current BFS level during a global relabeling.
+    bfs_frontier: Vec<u32>,
+    /// BFS distance scratch (`u32::MAX` = unreached).
+    dist: Vec<u32>,
+}
+
+impl State {
+    fn new(net: &FlowNetwork, s: VertexId, t: VertexId) -> Self {
+        let n = net.num_vertices();
+        let mut st = Self {
+            flow: vec![0; net.num_directed_edges()],
+            excess: vec![0; n],
+            height: vec![0; n],
+            frontier: Vec::new(),
+            bfs_frontier: Vec::new(),
+            dist: vec![u32::MAX; n],
+        };
+        // Saturate every source edge; terminal excess is untracked (it
+        // is never read, and could overflow with several unbounded
+        // terminal edges).
+        for e in net.out_edges(s) {
+            let cap = net.capacity(e);
+            if cap > 0 {
+                st.flow[e.index()] += cap;
+                st.flow[e.reverse().index()] -= cap;
+                let v = net.head(e);
+                if v != s && v != t {
+                    st.excess[v.index()] += cap;
+                }
+            }
+        }
+        st
+    }
+
+    fn residual(&self, net: &FlowNetwork, e: EdgeId) -> Capacity {
+        net.capacity(e) - self.flow[e.index()]
+    }
+}
+
+/// What one dispatched job asks the pool to compute.
+#[derive(Debug, Clone, Copy)]
+enum JobKind {
+    /// Plan pushes/relabels for `state.frontier` chunks.
+    Discharge,
+    /// Expand `state.bfs_frontier` one level over reverse residual arcs.
+    BfsExpand,
+}
+
+/// One parallel job: `chunks` slices of the relevant frontier.
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    kind: JobKind,
+    chunks: usize,
+}
+
+/// Private output of one chunk, applied sequentially in chunk order.
+#[derive(Debug, Default)]
+struct ChunkOut {
+    /// Planned pushes `(edge, amount)`; each edge appears at most once
+    /// across all chunks because only its tail plans it.
+    pushes: Vec<(EdgeId, Capacity)>,
+    /// Planned relabels `(vertex, round-start height, new height)`.
+    relabels: Vec<(u32, u32, u32)>,
+    /// Edges scanned (the global-relabel trigger currency).
+    work: u64,
+    /// BFS: vertices adjacent to this chunk's slice (pre-dedup).
+    candidates: Vec<u32>,
+}
+
+/// Shared job board coordinating the persistent worker pool: the
+/// coordinator posts a [`Job`], workers claim chunk indices until they
+/// run out, and the last finished chunk wakes the coordinator.
+struct JobBoard {
+    slot: Mutex<BoardSlot>,
+    /// Workers wait here for a new job (or shutdown).
+    work_ready: Condvar,
+    /// The coordinator waits here for the last chunk of the job.
+    job_done: Condvar,
+}
+
+#[derive(Default)]
+struct BoardSlot {
+    job: Option<Job>,
+    next_chunk: usize,
+    remaining: usize,
+    outputs: Vec<Option<ChunkOut>>,
+    shutdown: bool,
+}
+
+impl JobBoard {
+    fn new() -> Self {
+        Self {
+            slot: Mutex::new(BoardSlot::default()),
+            work_ready: Condvar::new(),
+            job_done: Condvar::new(),
+        }
+    }
+
+    /// Posts `job`, blocks until every chunk is computed, and returns
+    /// the outputs in chunk order.
+    fn execute(&self, job: Job) -> Vec<ChunkOut> {
+        if job.chunks == 0 {
+            return Vec::new();
+        }
+        let mut slot = self.slot.lock();
+        debug_assert!(slot.job.is_none(), "one job in flight at a time");
+        slot.job = Some(job);
+        slot.next_chunk = 0;
+        slot.remaining = job.chunks;
+        slot.outputs = (0..job.chunks).map(|_| None).collect();
+        self.work_ready.notify_all();
+        while slot.remaining > 0 {
+            self.job_done.wait(&mut slot);
+        }
+        slot.job = None;
+        let outputs = std::mem::take(&mut slot.outputs);
+        outputs
+            .into_iter()
+            .map(|o| o.expect("every chunk produced output"))
+            .collect()
+    }
+
+    fn shutdown(&self) {
+        self.slot.lock().shutdown = true;
+        self.work_ready.notify_all();
+    }
+}
+
+/// Body of one pool worker: claim a chunk, compute it against a read
+/// lock on the state, deposit the output, repeat; park between jobs.
+fn worker_loop(net: &FlowNetwork, state: &RwLock<State>, board: &JobBoard) {
+    loop {
+        let (job, index) = {
+            let mut slot = board.slot.lock();
+            loop {
+                if slot.shutdown {
+                    return;
+                }
+                if let Some(job) = slot.job {
+                    if slot.next_chunk < job.chunks {
+                        let index = slot.next_chunk;
+                        slot.next_chunk += 1;
+                        break (job, index);
+                    }
+                }
+                board.work_ready.wait(&mut slot);
+            }
+        };
+        let out = {
+            let st = state.read();
+            compute_chunk(net, &st, job, index)
+        };
+        let mut slot = board.slot.lock();
+        slot.outputs[index] = Some(out);
+        slot.remaining -= 1;
+        if slot.remaining == 0 {
+            board.job_done.notify_all();
+        }
+    }
+}
+
+/// Single-threaded executor: computes every chunk inline, in order.
+fn run_job_inline(net: &FlowNetwork, state: &RwLock<State>, job: Job) -> Vec<ChunkOut> {
+    let st = state.read();
+    (0..job.chunks)
+        .map(|i| compute_chunk(net, &st, job, i))
+        .collect()
+}
+
+fn compute_chunk(net: &FlowNetwork, st: &State, job: Job, index: usize) -> ChunkOut {
+    let mut out = ChunkOut::default();
+    match job.kind {
+        JobKind::Discharge => {
+            let lo = index * CHUNK;
+            let hi = (lo + CHUNK).min(st.frontier.len());
+            for &u in &st.frontier[lo..hi] {
+                plan_discharge(net, st, u, &mut out);
+            }
+        }
+        JobKind::BfsExpand => {
+            let lo = index * CHUNK;
+            let hi = (lo + CHUNK).min(st.bfs_frontier.len());
+            for &w in &st.bfs_frontier[lo..hi] {
+                // Reverse residual arcs into `w`: out-edge `e` of `w`
+                // pairs with `e.reverse()`, the arc `head(e) → w`.
+                for e in net.out_edges(VertexId::new(u64::from(w))) {
+                    out.work += 1;
+                    if st.residual(net, e.reverse()) > 0 {
+                        let x = net.head(e);
+                        if st.dist[x.index()] == u32::MAX {
+                            out.candidates.push(x.index() as u32);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Plans one active vertex's pulse against the round-start state:
+/// saturating pushes down every admissible arc while excess lasts, and
+/// a relabel proposal if excess remains. Writes only into `out`.
+fn plan_discharge(net: &FlowNetwork, st: &State, u: u32, out: &mut ChunkOut) {
+    let ui = u as usize;
+    let mut remaining = st.excess[ui];
+    debug_assert!(
+        remaining > 0,
+        "frontier holds only positive-excess vertices"
+    );
+    let hu = st.height[ui];
+    let mut min_h = u32::MAX;
+    for e in net.out_edges(VertexId::new(u64::from(u))) {
+        out.work += 1;
+        let rc = st.residual(net, e);
+        if rc <= 0 {
+            continue;
+        }
+        let hv = st.height[net.head(e).index()];
+        if hu == hv + 1 {
+            let amount = rc.min(remaining);
+            remaining -= amount;
+            out.pushes.push((e, amount));
+            if remaining == 0 {
+                // All excess placed: no relabel, and the residual min
+                // is irrelevant — stop scanning.
+                return;
+            }
+        } else {
+            min_h = min_h.min(hv);
+        }
+    }
+    // Excess remains, so every admissible arc above was saturated; the
+    // surviving residual arcs all point at `min_h >= hu`, making the
+    // proposal a strict increase.
+    if min_h != u32::MAX {
+        out.relabels.push((u, hu, min_h.saturating_add(1)));
+    }
+}
+
+/// The pulse-loop coordinator. Owns the bookkeeping the apply phase
+/// needs (height counts for the gap heuristic, scratch bitmaps) and
+/// drives jobs through an executor closure — the pool or the inline
+/// runner — so the schedule is one piece of code for any thread count.
+struct Solver<'a> {
+    net: &'a FlowNetwork,
+    s: VertexId,
+    t: VertexId,
+    n: usize,
+    state: &'a RwLock<State>,
+    /// Vertices per height, for the gap heuristic.
+    height_count: Vec<usize>,
+    /// Scratch: vertex received a push in the pulse being applied.
+    received: Vec<bool>,
+    /// Scratch: vertex already queued for the next frontier.
+    queued: Vec<bool>,
+    /// Work since the last global relabeling.
+    work_since_relabel: u64,
+    /// Work threshold that triggers the next global relabeling.
+    relabel_threshold: u64,
+    stats: PrStats,
+}
+
+type Executor<'e> = dyn FnMut(&RwLock<State>, Job) -> Vec<ChunkOut> + 'e;
+
+impl<'a> Solver<'a> {
+    fn new(
+        net: &'a FlowNetwork,
+        s: VertexId,
+        t: VertexId,
+        config: &PrConfig,
+        threads: usize,
+        state: &'a RwLock<State>,
+    ) -> Self {
+        let n = net.num_vertices();
+        let m = net.num_directed_edges();
+        let budget = (config.global_relabel_factor * (n + m) as f64).max(1.0);
+        Self {
+            net,
+            s,
+            t,
+            n,
+            state,
+            height_count: vec![0; 2 * n + 1],
+            received: vec![false; n],
+            queued: vec![false; n],
+            work_since_relabel: 0,
+            relabel_threshold: budget as u64,
+            stats: PrStats {
+                threads,
+                ..PrStats::default()
+            },
+        }
+    }
+
+    fn solve(&mut self, run: &mut Executor<'_>) -> PrRun {
+        self.global_relabel(run);
+        self.rebuild_frontier();
+        loop {
+            let frontier_len = self.state.read().frontier.len();
+            if frontier_len == 0 {
+                break;
+            }
+            self.stats.max_frontier = self.stats.max_frontier.max(frontier_len);
+            ffmr_obs::global()
+                .histogram("ffmr_pr_frontier_size", &[])
+                .record(frontier_len as u64);
+            if self.work_since_relabel >= self.relabel_threshold {
+                self.global_relabel(run);
+                self.refilter_frontier();
+                if self.state.read().frontier.is_empty() {
+                    break;
+                }
+            }
+            self.pulse(run);
+            self.stats.passes += 1;
+        }
+        let st = self.state.read();
+        let value = self.net.out_edges(self.s).map(|e| st.flow[e.index()]).sum();
+        PrRun {
+            result: FlowResult {
+                value,
+                flows: st.flow.clone(),
+            },
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// One bulk-synchronous pulse: parallel planning over the frontier,
+    /// then the sequential apply (pushes, then relabels + gap lifts),
+    /// then the next frontier.
+    fn pulse(&mut self, run: &mut Executor<'_>) {
+        let started = std::time::Instant::now();
+        let chunks = {
+            let st = self.state.read();
+            st.frontier.len().div_ceil(CHUNK)
+        };
+        let outputs = run(
+            self.state,
+            Job {
+                kind: JobKind::Discharge,
+                chunks,
+            },
+        );
+        self.apply(&outputs);
+        ffmr_obs::global()
+            .histogram("ffmr_pr_pass_wall_us", &[])
+            .record_duration(started.elapsed());
+    }
+
+    /// Applies one pulse's buffered outputs in chunk order. Pushes land
+    /// first (each planned against round-start residuals by its unique
+    /// tail, so no arc over-subscribes); relabels follow, clamped to
+    /// `round-start + 2` for push receivers — the newly created reverse
+    /// arc back to a pusher at `h+1` caps how far the receiver may rise
+    /// this pulse — and skipped entirely if a gap lift got there first.
+    fn apply(&mut self, outputs: &[ChunkOut]) {
+        let mut st = self.state.write();
+        let st = &mut *st;
+        let (si, ti) = (self.s.index(), self.t.index());
+        let mut receivers: Vec<u32> = Vec::new();
+        for out in outputs {
+            self.work_since_relabel += out.work;
+            for &(e, amount) in &out.pushes {
+                debug_assert!(amount <= self.net.capacity(e) - st.flow[e.index()]);
+                st.flow[e.index()] += amount;
+                st.flow[e.reverse().index()] -= amount;
+                let u = self.net.tail(e).index();
+                let v = self.net.head(e).index();
+                st.excess[u] -= amount;
+                debug_assert!(st.excess[u] >= 0);
+                if v != si && v != ti {
+                    st.excess[v] += amount;
+                    if !self.received[v] {
+                        self.received[v] = true;
+                        receivers.push(v as u32);
+                    }
+                }
+                self.stats.pushes += 1;
+            }
+        }
+        let cap = (2 * self.n) as u32;
+        for out in outputs {
+            for &(u, old, proposal) in &out.relabels {
+                let ui = u as usize;
+                if st.height[ui] != old {
+                    // A gap lift in this same apply already raised the
+                    // vertex; the stale proposal no longer applies.
+                    continue;
+                }
+                let mut new = proposal.min(cap);
+                if self.received[ui] {
+                    new = new.min(old + 2);
+                }
+                if new <= old {
+                    continue;
+                }
+                self.height_count[old as usize] -= 1;
+                self.height_count[new as usize] += 1;
+                st.height[ui] = new;
+                self.stats.relabels += 1;
+                self.work_since_relabel += RELABEL_WORK;
+                if self.height_count[old as usize] == 0 && (old as usize) < self.n {
+                    gap_lift(st, &mut self.height_count, self.n, old, si);
+                }
+            }
+        }
+        // Next frontier: pulse survivors plus push receivers, dedup'd
+        // and sorted so the chunk decomposition stays canonical.
+        let old_frontier = std::mem::take(&mut st.frontier);
+        let mut next: Vec<u32> = Vec::with_capacity(old_frontier.len() + receivers.len());
+        for &u in old_frontier.iter().chain(receivers.iter()) {
+            let ui = u as usize;
+            if !self.queued[ui] && st.excess[ui] > 0 && st.height[ui] < cap {
+                self.queued[ui] = true;
+                next.push(u);
+            }
+        }
+        next.sort_unstable();
+        for &u in &next {
+            self.queued[u as usize] = false;
+        }
+        for &v in &receivers {
+            self.received[v as usize] = false;
+        }
+        st.frontier = next;
+    }
+
+    /// Exact heights by two chunked reverse BFS waves: distance to `t`
+    /// over residual arcs for the sink-reaching side, then `n +`
+    /// distance to `s` for everyone else (the excess-return phase);
+    /// unreached by both parks at `2n`. `s` stays pinned at `n`, `t` at
+    /// `0`. Labels only ever increase (heights are valid lower bounds
+    /// on the exact distances), so the relabel discipline is preserved.
+    fn global_relabel(&mut self, run: &mut Executor<'_>) {
+        let n = self.n;
+        let (si, ti) = (self.s.index(), self.t.index());
+        let dist_t = self.reverse_bfs(run, self.t, si);
+        let dist_s = self.reverse_bfs(run, self.s, ti);
+        let mut st = self.state.write();
+        self.height_count.iter_mut().for_each(|c| *c = 0);
+        for v in 0..n {
+            let h = if v == si {
+                n as u32
+            } else if v == ti {
+                0
+            } else if dist_t[v] != u32::MAX {
+                dist_t[v]
+            } else if dist_s[v] != u32::MAX {
+                n as u32 + dist_s[v]
+            } else {
+                (2 * n) as u32
+            };
+            debug_assert!(h >= st.height[v], "global relabeling never lowers");
+            st.height[v] = h;
+            self.height_count[h as usize] += 1;
+        }
+        self.work_since_relabel = 0;
+        self.stats.global_relabels += 1;
+        ffmr_obs::global()
+            .counter("ffmr_pr_global_relabels_total", &[])
+            .inc();
+    }
+
+    /// Level-synchronous reverse BFS from `root` over residual arcs
+    /// (`x` joins level `k+1` when the arc `x → w` has residual capacity
+    /// for some level-`k` vertex `w`), chunked through the executor.
+    /// `skip` (the opposite terminal) is never entered.
+    fn reverse_bfs(&mut self, run: &mut Executor<'_>, root: VertexId, skip: usize) -> Vec<u32> {
+        {
+            let mut st = self.state.write();
+            st.dist.iter_mut().for_each(|d| *d = u32::MAX);
+            st.dist[root.index()] = 0;
+            st.bfs_frontier.clear();
+            st.bfs_frontier.push(root.index() as u32);
+        }
+        let mut level = 0u32;
+        loop {
+            let chunks = {
+                let st = self.state.read();
+                st.bfs_frontier.len().div_ceil(CHUNK)
+            };
+            if chunks == 0 {
+                break;
+            }
+            let outputs = run(
+                self.state,
+                Job {
+                    kind: JobKind::BfsExpand,
+                    chunks,
+                },
+            );
+            level += 1;
+            let mut st = self.state.write();
+            st.bfs_frontier.clear();
+            let st = &mut *st;
+            for out in &outputs {
+                for &x in &out.candidates {
+                    let xi = x as usize;
+                    if xi != skip && st.dist[xi] == u32::MAX {
+                        st.dist[xi] = level;
+                        st.bfs_frontier.push(x);
+                    }
+                }
+            }
+        }
+        self.state.read().dist.clone()
+    }
+
+    /// Initial frontier: every positive-excess non-terminal.
+    fn rebuild_frontier(&mut self) {
+        let mut st = self.state.write();
+        let cap = (2 * self.n) as u32;
+        let (si, ti) = (self.s.index(), self.t.index());
+        let st = &mut *st;
+        let (excess, height) = (&st.excess, &st.height);
+        let next: Vec<u32> = (0..self.n)
+            .filter(|&v| v != si && v != ti && excess[v] > 0 && height[v] < cap)
+            .map(|v| v as u32)
+            .collect();
+        st.frontier = next;
+    }
+
+    /// Drops frontier entries a global relabeling pushed to `2n`.
+    fn refilter_frontier(&mut self) {
+        let mut st = self.state.write();
+        let cap = (2 * self.n) as u32;
+        let st = &mut *st;
+        let height = &st.height;
+        st.frontier.retain(|&u| height[u as usize] < cap);
+    }
+}
+
+/// The gap heuristic: `old` just became unoccupied below `n`, so no
+/// vertex strictly above it (and below `n`) can reach the sink any
+/// more — lift them all past `n` in one sweep. Validity is preserved
+/// because any residual arc out of a lifted vertex points at another
+/// vertex above the gap (itself lifted or already at `>= n`).
+fn gap_lift(st: &mut State, height_count: &mut [usize], n: usize, old: u32, s_index: usize) {
+    for (w, h) in st.height.iter_mut().enumerate() {
+        if *h > old && (*h as usize) < n && w != s_index {
+            height_count[*h as usize] -= 1;
+            *h = (n + 1) as u32;
+            height_count[n + 1] += 1;
+        }
+    }
+}
+
+/// Folds one run into the process-wide registry (`ffmr stats` /
+/// `ffmr report` surface these).
+fn record_metrics(stats: &PrStats) {
+    let m = ffmr_obs::global();
+    m.counter("ffmr_pr_discharge_passes_total", &[])
+        .add(stats.passes as u64);
+    m.counter("ffmr_pr_pushes_total", &[])
+        .add(stats.pushes as u64);
+    m.counter("ffmr_pr_relabels_total", &[])
+        .add(stats.relabels as u64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::check_flow;
+    use swgraph::gen;
+    use swgraph::FlowNetworkBuilder;
+
+    fn config(threads: usize) -> PrConfig {
+        PrConfig {
+            threads,
+            ..PrConfig::default()
+        }
+    }
+
+    #[test]
+    fn clrs_network_value() {
+        let mut b = FlowNetworkBuilder::new(6);
+        b.add_edge(0, 1, 16);
+        b.add_edge(0, 2, 13);
+        b.add_edge(1, 2, 10);
+        b.add_edge(2, 1, 4);
+        b.add_edge(1, 3, 12);
+        b.add_edge(3, 2, 9);
+        b.add_edge(2, 4, 14);
+        b.add_edge(4, 3, 7);
+        b.add_edge(3, 5, 20);
+        b.add_edge(4, 5, 4);
+        let net = b.build();
+        for threads in [1, 2, 8] {
+            let run = max_flow_with(&net, VertexId::new(0), VertexId::new(5), &config(threads));
+            assert_eq!(run.result.value, 23, "threads={threads}");
+            check_flow(&net, VertexId::new(0), VertexId::new(5), &run.result).unwrap();
+        }
+    }
+
+    #[test]
+    fn agrees_with_dinic_on_random_graphs() {
+        for seed in 0..15 {
+            let edges = gen::erdos_renyi(30, 90, seed);
+            let net = FlowNetwork::from_undirected_unit(30, &edges);
+            let s = VertexId::new(0);
+            let t = VertexId::new(29);
+            let f = max_flow(&net, s, t);
+            let d = crate::dinic::max_flow(&net, s, t);
+            assert_eq!(f.value, d.value, "seed {seed}");
+            check_flow(&net, s, t, &f).unwrap();
+        }
+    }
+
+    #[test]
+    fn flow_assignment_is_thread_count_invariant() {
+        let edges = gen::barabasi_albert(300, 3, 9);
+        let net = FlowNetwork::from_undirected_unit(300, &edges);
+        let s = VertexId::new(0);
+        let t = VertexId::new(299);
+        let reference = max_flow_with(&net, s, t, &config(1));
+        check_flow(&net, s, t, &reference.result).unwrap();
+        for threads in [2, 3, 8] {
+            let run = max_flow_with(&net, s, t, &config(threads));
+            assert_eq!(
+                run.result, reference.result,
+                "threads={threads}: full per-edge assignment must match"
+            );
+            assert_eq!(run.stats.passes, reference.stats.passes);
+            assert_eq!(run.stats.global_relabels, reference.stats.global_relabels);
+        }
+    }
+
+    #[test]
+    fn stats_reflect_the_run() {
+        let edges = gen::watts_strogatz(200, 4, 0.2, 3);
+        let net = FlowNetwork::from_undirected_unit(200, &edges);
+        let run = max_flow_with(&net, VertexId::new(0), VertexId::new(199), &config(2));
+        assert!(run.result.value > 0);
+        assert!(run.stats.passes > 0);
+        assert!(run.stats.global_relabels >= 1, "initial relabel counted");
+        assert!(run.stats.max_frontier >= 1);
+        assert_eq!(run.stats.threads, 2);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let net = FlowNetwork::from_undirected_unit(2, &[(0, 1)]);
+        assert_eq!(max_flow(&net, VertexId::new(0), VertexId::new(0)).value, 0);
+        assert_eq!(max_flow(&net, VertexId::new(7), VertexId::new(1)).value, 0);
+        assert_eq!(max_flow(&net, VertexId::new(0), VertexId::new(9)).value, 0);
+    }
+
+    #[test]
+    fn disconnected_terminals_yield_zero() {
+        // Two components: s in one, t in the other.
+        let net = FlowNetwork::from_undirected_unit(4, &[(0, 1), (2, 3)]);
+        let run = max_flow_with(&net, VertexId::new(0), VertexId::new(3), &config(2));
+        assert_eq!(run.result.value, 0);
+        check_flow(&net, VertexId::new(0), VertexId::new(3), &run.result).unwrap();
+    }
+
+    #[test]
+    fn directed_asymmetric_capacities() {
+        let mut b = FlowNetworkBuilder::new(4);
+        b.add_edge(0, 1, 7);
+        b.add_edge(1, 2, 3);
+        b.add_edge(1, 3, 5);
+        b.add_edge(2, 3, 9);
+        let net = b.build();
+        let f = max_flow(&net, VertexId::new(0), VertexId::new(3));
+        assert_eq!(f.value, 7);
+        check_flow(&net, VertexId::new(0), VertexId::new(3), &f).unwrap();
+    }
+}

@@ -1,13 +1,26 @@
-//! FIFO Push–Relabel \[13\] with the gap heuristic \[28\] — the comparator
-//! the paper examined and rejected for MapReduce (Sec. II): it is fast
-//! sequentially, but its active set is often tiny relative to the graph,
-//! which is exactly what starves parallel MR rounds.
+//! FIFO Push–Relabel \[13\] with the global-relabeling and gap
+//! heuristics \[28\] — the comparator the paper examined and rejected for
+//! MapReduce (Sec. II): it is fast sequentially, but its active set is
+//! often tiny relative to the graph, which is exactly what starves
+//! parallel MR rounds.
+//!
+//! The heuristics mirror [`crate::parallel_push_relabel`] exactly (exact
+//! heights from periodic reverse BFS off the sink and source, gap lifts
+//! on vacated levels), so the sequential/parallel pair differ only in
+//! scheduling.
 
 use std::collections::VecDeque;
 
 use swgraph::{Capacity, FlowNetwork, VertexId};
 
 use crate::residual::{FlowResult, Residual};
+
+/// Work (edges scanned + weighted relabels) between global relabelings,
+/// as a multiple of `n + m` — the same budget the parallel twin uses.
+const GLOBAL_RELABEL_FACTOR: u64 = 3;
+
+/// Work-counter charge for one relabel (edge scans charge 1 each).
+const RELABEL_WORK: u64 = 12;
 
 /// Computes the maximum `s`–`t` flow with FIFO Push–Relabel.
 ///
@@ -53,8 +66,6 @@ pub fn max_flow_instrumented(net: &FlowNetwork, s: VertexId, t: VertexId) -> Ins
     let mut excess: Vec<Capacity> = vec![0; n];
     let mut height_count: Vec<usize> = vec![0; 2 * n + 1];
     height[s.index()] = n;
-    height_count[0] = n - 1;
-    height_count[n] = 1;
 
     let mut queue: VecDeque<VertexId> = VecDeque::new();
     let mut in_queue = vec![false; n];
@@ -79,11 +90,21 @@ pub fn max_flow_instrumented(net: &FlowNetwork, s: VertexId, t: VertexId) -> Ins
         }
     }
 
-    // FIFO discharge loop. Sample the active set once per sweep boundary.
+    // Exact initial heights, then the FIFO discharge loop with periodic
+    // re-relabeling once enough work (edge scans + relabels) piles up.
+    // Sample the active set once per sweep boundary.
+    let m = net.num_directed_edges();
+    let relabel_threshold = GLOBAL_RELABEL_FACTOR * (n + m) as u64;
+    let mut work: u64 = 0;
+    global_relabel(net, &residual, s, t, &mut height, &mut height_count);
     let mut sweep_budget = queue.len();
     active_trace.push(queue.len());
     while let Some(u) = queue.pop_front() {
         in_queue[u.index()] = false;
+        if work >= relabel_threshold {
+            work = 0;
+            global_relabel(net, &residual, s, t, &mut height, &mut height_count);
+        }
         discharge(
             net,
             &mut residual,
@@ -92,6 +113,7 @@ pub fn max_flow_instrumented(net: &FlowNetwork, s: VertexId, t: VertexId) -> Ins
             &mut height_count,
             &mut queue,
             &mut in_queue,
+            &mut work,
             u,
             s,
             t,
@@ -112,6 +134,69 @@ pub fn max_flow_instrumented(net: &FlowNetwork, s: VertexId, t: VertexId) -> Ins
     }
 }
 
+/// Recomputes every height as its exact residual distance: `dist(v, t)`
+/// for the sink-reaching side (reverse BFS from `t`, `s` excluded),
+/// `n + dist(v, s)` for the rest (the excess-return phase), `2n` when
+/// unreached by both. `s` stays pinned at `n`, `t` at `0`; valid labels
+/// are lower bounds on these distances, so no height ever decreases.
+fn global_relabel(
+    net: &FlowNetwork,
+    residual: &Residual<'_>,
+    s: VertexId,
+    t: VertexId,
+    height: &mut [usize],
+    height_count: &mut [usize],
+) {
+    let n = net.num_vertices();
+    let dist_t = reverse_bfs(net, residual, t, s);
+    let dist_s = reverse_bfs(net, residual, s, t);
+    height_count.iter_mut().for_each(|c| *c = 0);
+    for v in 0..n {
+        let h = if v == s.index() {
+            n
+        } else if v == t.index() {
+            0
+        } else if dist_t[v] != usize::MAX {
+            dist_t[v]
+        } else if dist_s[v] != usize::MAX {
+            n + dist_s[v]
+        } else {
+            2 * n
+        };
+        debug_assert!(h >= height[v], "global relabeling never lowers");
+        height[v] = h;
+        height_count[h] += 1;
+    }
+}
+
+/// BFS from `root` along *reverse* residual arcs: `x` is at distance
+/// `k+1` when some distance-`k` vertex `w` has a residual arc `x → w`.
+/// `skip` (the opposite terminal) is never entered.
+fn reverse_bfs(
+    net: &FlowNetwork,
+    residual: &Residual<'_>,
+    root: VertexId,
+    skip: VertexId,
+) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; net.num_vertices()];
+    dist[root.index()] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(root);
+    while let Some(w) = queue.pop_front() {
+        for e in net.out_edges(w) {
+            // `e` runs w → x; its pair is the arc x → w.
+            if residual.residual_capacity(e.reverse()) > 0 {
+                let x = net.head(e);
+                if x != skip && dist[x.index()] == usize::MAX {
+                    dist[x.index()] = dist[w.index()] + 1;
+                    queue.push_back(x);
+                }
+            }
+        }
+    }
+    dist
+}
+
 #[allow(clippy::too_many_arguments)]
 fn discharge(
     net: &FlowNetwork,
@@ -121,6 +206,7 @@ fn discharge(
     height_count: &mut [usize],
     queue: &mut VecDeque<VertexId>,
     in_queue: &mut [bool],
+    work: &mut u64,
     u: VertexId,
     s: VertexId,
     t: VertexId,
@@ -130,6 +216,7 @@ fn discharge(
         let mut min_height = usize::MAX;
         let mut pushed_any = false;
         for e in net.out_edges(u) {
+            *work += 1;
             let rc = residual.residual_capacity(e);
             if rc <= 0 {
                 continue;
@@ -170,6 +257,7 @@ fn discharge(
             let new = min_height + 1;
             height[u.index()] = new.min(2 * n);
             height_count[height[u.index()]] += 1;
+            *work += RELABEL_WORK;
             if height_count[old] == 0 && old < n {
                 // Gap: every vertex above `old` (but below n) can never
                 // reach t again; lift them above n to avoid useless work.

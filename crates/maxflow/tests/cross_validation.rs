@@ -107,6 +107,52 @@ fn solvers_agree_on_random_directed_networks() {
     }
 }
 
+/// The bulk-synchronous parallel push-relabel must return the identical
+/// per-edge flow assignment (and identical pulse/relabel counts) no
+/// matter how many worker threads execute the pulses.
+#[test]
+fn parallel_pr_is_thread_count_invariant_on_random_networks() {
+    use maxflow::parallel_push_relabel::{max_flow_with, PrConfig};
+    for case in 0..24u64 {
+        let mut rng = SplitMix64::seed_from_u64(0x9A11 + case);
+        let n = rng.gen_range(2u64..40);
+        let count = rng.gen_range(0usize..120);
+        let mut b = FlowNetworkBuilder::new(n);
+        for _ in 0..count {
+            b.add_edge(
+                rng.gen_range(0..n),
+                rng.gen_range(0..n),
+                rng.gen_range(1i64..30),
+            );
+        }
+        let net = b.build();
+        let s = VertexId::new(0);
+        let t = VertexId::new(n - 1);
+        let config = |threads| PrConfig {
+            threads,
+            ..PrConfig::default()
+        };
+        let single = max_flow_with(&net, s, t, &config(1));
+        validate::check_flow(&net, s, t, &single.result).expect("valid flow");
+        for threads in [2, 3, 8] {
+            let multi = max_flow_with(&net, s, t, &config(threads));
+            assert_eq!(
+                multi.result, single.result,
+                "case {case}, {threads} threads"
+            );
+            assert_eq!(
+                (multi.stats.passes, multi.stats.relabels, multi.stats.pushes),
+                (
+                    single.stats.passes,
+                    single.stats.relabels,
+                    single.stats.pushes
+                ),
+                "case {case}: schedule diverged at {threads} threads"
+            );
+        }
+    }
+}
+
 /// Unit-capacity undirected graphs: flow is bounded by both terminal
 /// degrees and equals the vertex connectivity bound on edges.
 #[test]

@@ -3,13 +3,17 @@
 //!
 //! Solver auto-selection follows the structure-aware lesson of
 //! Bläsius/Friedrich/Weyand: on graphs small enough to fit one worker's
-//! memory comfortably, a tuned sequential solver (Dinic) beats any
-//! distributed round structure by orders of magnitude, while past the
-//! threshold the FF5 MapReduce driver wins by keeping the whole graph
-//! out of any single address space. `algorithm auto` (the default)
+//! memory comfortably, an in-memory solver beats any distributed round
+//! structure by orders of magnitude, while past the threshold the FF5
+//! MapReduce driver wins by keeping the whole graph out of any single
+//! address space. The in-memory tier is the deterministic parallel
+//! push-relabel ([`maxflow::parallel_push_relabel`]), which uses every
+//! core [`EngineConfig::worker_threads`] grants while answering
+//! bit-identically for any thread count. `algorithm auto` (the default)
 //! compares the snapshot's vertex count against
 //! [`EngineConfig::mr_threshold_vertices`]; explicit `algorithm` values
-//! pin a solver. Every response carries the MapReduce round and shuffle
+//! (`parallel-pr`, `dinic`, `ff5`, ...) pin a solver. Every response
+//! carries the chosen solver plus the MapReduce round and shuffle
 //! counters (zero for sequential routes) so clients can see what a query
 //! cost.
 
@@ -30,10 +34,13 @@ use crate::store::GraphStore;
 /// Engine tuning knobs.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
-    /// Graphs with at most this many vertices take the sequential Dinic
-    /// route under `algorithm auto`; larger ones take the FF5 MapReduce
-    /// driver.
+    /// Graphs with at most this many vertices take the in-memory
+    /// parallel push-relabel route under `algorithm auto`; larger ones
+    /// take the FF5 MapReduce driver.
     pub mr_threshold_vertices: usize,
+    /// Worker threads for the in-memory parallel solver and for MR task
+    /// execution (`None` uses every available core).
+    pub worker_threads: Option<usize>,
     /// Simulated cluster size for MapReduce queries.
     pub cluster_nodes: usize,
     /// Reduce partitions for MapReduce queries.
@@ -52,6 +59,7 @@ impl Default for EngineConfig {
     fn default() -> Self {
         Self {
             mr_threshold_vertices: 2_000,
+            worker_threads: None,
             cluster_nodes: 20,
             reducers: 8,
             cache_capacity: 256,
@@ -425,13 +433,14 @@ impl QueryEngine {
     fn pick_solver(&self, requested: Option<&str>, net: &FlowNetwork) -> Result<Solver, String> {
         let auto = || {
             if net.num_vertices() <= self.config.mr_threshold_vertices {
-                Solver::Sequential(Algorithm::Dinic)
+                Solver::Sequential(Algorithm::ParallelPushRelabel)
             } else {
                 Solver::MapReduce("ff5", FfVariant::ff5())
             }
         };
         Ok(match requested.unwrap_or("auto") {
             "auto" => auto(),
+            "parallel-pr" => Solver::Sequential(Algorithm::ParallelPushRelabel),
             "dinic" => Solver::Sequential(Algorithm::Dinic),
             "edmonds-karp" => Solver::Sequential(Algorithm::EdmondsKarp),
             "ford-fulkerson" => Solver::Sequential(Algorithm::FordFulkerson),
@@ -459,10 +468,23 @@ impl QueryEngine {
     ) -> Result<(CachedAnswer, bool), String> {
         match solver {
             Solver::Sequential(algo) => {
-                // Sequential solvers are not cooperatively cancellable;
+                // In-memory solvers are not cooperatively cancellable;
                 // the auto-threshold keeps them on graphs where they
-                // finish far inside any sane deadline.
-                let flow = algo.run(&q.net, q.source, q.sink);
+                // finish far inside any sane deadline. The parallel
+                // push-relabel route honours the engine's thread knob
+                // (its answer is thread-count invariant by design).
+                let flow = if algo == Algorithm::ParallelPushRelabel {
+                    let config = maxflow::parallel_push_relabel::PrConfig {
+                        threads: self.config.worker_threads.unwrap_or_else(|| {
+                            std::thread::available_parallelism().map_or(1, |p| p.get())
+                        }),
+                        ..maxflow::parallel_push_relabel::PrConfig::default()
+                    };
+                    maxflow::parallel_push_relabel::max_flow_with(&q.net, q.source, q.sink, &config)
+                        .result
+                } else {
+                    algo.run(&q.net, q.source, q.sink)
+                };
                 let mut answer = CachedAnswer {
                     flow: flow.value,
                     solver: solver.name(),
@@ -589,6 +611,7 @@ impl QueryEngine {
 
         let fresh_run = |config: &FfConfig| {
             let mut rt = MrRuntime::new(ClusterConfig::paper_cluster(self.config.cluster_nodes));
+            rt.set_worker_threads(self.config.worker_threads);
             let result = ffmr_core::run_max_flow(&mut rt, &q.net, config);
             (rt, result, false)
         };
@@ -710,12 +733,12 @@ mod tests {
     }
 
     #[test]
-    fn maxflow_small_graph_takes_dinic_and_caches() {
+    fn maxflow_small_graph_takes_parallel_pr_and_caches() {
         let engine = engine_with(two_paths(), EngineConfig::default());
         let first = engine.execute(&query("maxflow"));
         assert_eq!(first.head, status::OK, "{first:?}");
         assert_eq!(first.get("flow"), Some("2"));
-        assert_eq!(first.get("solver"), Some("dinic"));
+        assert_eq!(first.get("solver"), Some("parallel-pr"));
         assert_eq!(first.get("cached"), Some("0"));
         assert_eq!(first.get("rounds"), Some("0"));
         let second = engine.execute(&query("maxflow"));
@@ -745,6 +768,7 @@ mod tests {
     fn explicit_algorithms_agree() {
         let engine = engine_with(two_paths(), EngineConfig::default());
         for algo in [
+            "parallel-pr",
             "dinic",
             "edmonds-karp",
             "ford-fulkerson",
@@ -761,6 +785,29 @@ mod tests {
             assert_eq!(r.get("flow"), Some("2"), "{algo} disagrees");
             assert_eq!(r.get("solver"), Some(algo));
         }
+    }
+
+    #[test]
+    fn worker_threads_knob_does_not_change_the_answer() {
+        let n = 400;
+        let net = FlowNetwork::from_undirected_unit(n, &gen::barabasi_albert(n, 3, 13));
+        let mut flows = Vec::new();
+        for threads in [1, 4] {
+            let config = EngineConfig {
+                worker_threads: Some(threads),
+                ..EngineConfig::default()
+            };
+            let engine = engine_with(net.clone(), config);
+            let q = Message::new("maxflow")
+                .field("dataset", "g")
+                .field("source", 0)
+                .field("sink", 399);
+            let r = engine.execute(&q);
+            assert_eq!(r.head, status::OK, "{r:?}");
+            assert_eq!(r.get("solver"), Some("parallel-pr"));
+            flows.push(r.get("flow").unwrap().to_string());
+        }
+        assert_eq!(flows[0], flows[1], "deterministic across thread counts");
     }
 
     #[test]
@@ -919,6 +966,23 @@ mod tests {
             "{stats:?}"
         );
         assert!(stats.get("ffmr_cache_entries").is_some());
+        // The auto route picked the parallel solver, so its label shows
+        // up in the per-solver latency split and its ffmr_pr_* counters
+        // ride along in the registry dump.
+        assert!(
+            stats
+                .fields
+                .iter()
+                .any(|(k, _)| k.contains("solver=\"parallel-pr\"")),
+            "{stats:?}"
+        );
+        assert!(
+            stats
+                .fields
+                .iter()
+                .any(|(k, _)| k.starts_with("ffmr_pr_discharge_passes_total")),
+            "{stats:?}"
+        );
         // `format prometheus` carries the text exposition as repeated
         // one-line `prom` fields.
         let prom = engine.execute(&Message::new("stats").field("format", "prometheus"));

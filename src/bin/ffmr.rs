@@ -4,7 +4,8 @@
 //! ffmr generate --model ba --vertices 1000 --out graph.txt [--param 3] [--seed 42]
 //! ffmr info --input graph.txt
 //! ffmr maxflow --input graph.txt --source 0 --sink 999 \
-//!       [--algorithm ff5|ff1|dinic|edmonds-karp|push-relabel|capacity-scaling|pregel]
+//!       [--algorithm ff5|ff1|parallel-pr|dinic|edmonds-karp|push-relabel|
+//!        capacity-scaling|pregel]
 //!       [--nodes 20] [--w 0] [--threads N] [--state FILE] [--resume]
 //!       [--crash-after-round N] [--crash-in-round N]
 //!       [--speculate] [--slow-task PHASE:TASKxFACTOR]
@@ -76,8 +77,8 @@ fn print_help() {
          \x20 generate --model ba|ws|er --vertices N --out FILE [--param P] [--seed S]\n\
          \x20 info     --input FILE\n\
          \x20 maxflow  --input FILE (--source S --sink T | --w N)\n\
-         \x20          [--algorithm ff1..ff5|dinic|edmonds-karp|ford-fulkerson|\n\
-         \x20           push-relabel|capacity-scaling|pregel]\n\
+         \x20          [--algorithm ff1..ff5|parallel-pr|dinic|edmonds-karp|\n\
+         \x20           ford-fulkerson|push-relabel|capacity-scaling|pregel]\n\
          \x20          [--nodes N] [--reducers R] [--seed S] [--threads N]\n\
          \x20          [--state FILE] [--resume] [--crash-after-round N]\n\
          \x20          [--crash-in-round N] [--speculate]\n\
@@ -85,7 +86,7 @@ fn print_help() {
          \x20          [--coordinator HOST:PORT]\n\
          \x20 serve    --listen HOST:PORT --graph NAME=FILE [--graph ...]\n\
          \x20          [--workers N] [--queue N] [--cache N] [--mr-threshold N]\n\
-         \x20          [--nodes N] [--reducers R] [--timeout-ms N]\n\
+         \x20          [--threads N] [--nodes N] [--reducers R] [--timeout-ms N]\n\
          \x20 worker   --connect HOST:PORT [--poll-ms N] [--heartbeat-ms N]\n\
          \x20 query    --addr HOST:PORT --op maxflow|mincut|stats|history|list|\n\
          \x20          load|reload|ping|shutdown [--dataset D] [--limit N]\n\
@@ -447,6 +448,28 @@ fn run_maxflow(args: &[String]) -> Result<(), String> {
         );
         return Ok(());
     }
+    if algorithm == "parallel-pr" {
+        // The shared-memory parallel solver; --threads caps the pool
+        // (default: every core) without changing the answer.
+        let threads: usize = opts.parsed("threads", 0)?;
+        let mut config = maxflow::parallel_push_relabel::PrConfig::default();
+        if threads > 0 {
+            config.threads = threads;
+        }
+        let run = maxflow::parallel_push_relabel::max_flow_with(&net, s, t, &config);
+        let cut = maxflow::min_cut::extract_min_cut(&net, s, &run.result);
+        println!(
+            "max flow = {} (parallel-pr, {} threads, {} passes, {} global relabels); \
+             min cut crosses {} edges, source side has {} vertices",
+            run.result.value,
+            run.stats.threads,
+            run.stats.passes,
+            run.stats.global_relabels,
+            cut.cut_edges.len(),
+            cut.source_side.len()
+        );
+        return Ok(());
+    }
     let algo = match algorithm.as_str() {
         "dinic" => Algorithm::Dinic,
         "edmonds-karp" => Algorithm::EdmondsKarp,
@@ -557,8 +580,10 @@ fn serve(args: &[String]) -> Result<(), String> {
         return Err("serve needs at least one --graph NAME=FILE".into());
     }
 
+    let solver_threads: usize = opts.parsed("threads", 0)?;
     let engine_config = engine::EngineConfig {
         mr_threshold_vertices: opts.parsed("mr-threshold", 2_000)?,
+        worker_threads: (solver_threads > 0).then_some(solver_threads),
         cluster_nodes: opts.parsed("nodes", 20)?,
         reducers: opts.parsed("reducers", 8)?,
         cache_capacity: opts.parsed("cache", 256)?,

@@ -1,9 +1,12 @@
 //! Solver-agreement matrix: every solver the query daemon can route to —
-//! the sequential family (Dinic, Edmonds–Karp, push–relabel,
-//! capacity-scaling) and the paper's MapReduce variants (FF1, FF5) — must
-//! return the same max-flow value on the paper's two graph families
-//! (Barabási–Albert and Watts–Strogatz), and every returned flow
-//! assignment must pass feasibility validation.
+//! the in-memory family (Dinic, Edmonds–Karp, push–relabel, capacity-
+//! scaling, the bulk-synchronous parallel push–relabel) and the paper's
+//! MapReduce variants (FF1, FF5) — must return the same max-flow value
+//! on the paper's two graph families (Barabási–Albert and
+//! Watts–Strogatz), and every returned flow assignment must pass
+//! feasibility validation. The parallel solver is additionally required
+//! to return the *identical per-edge assignment* for 1, 2 and 8 worker
+//! threads.
 
 use ffmr::prelude::*;
 use ffmr::{ffmr_core, maxflow, swgraph};
@@ -53,6 +56,22 @@ fn assert_all_solvers_agree(net: &FlowNetwork, s: VertexId, t: VertexId) {
         reference.value,
         "ff5 disagrees with dinic"
     );
+
+    // The parallel solver must be deterministic across thread counts:
+    // not just the value but the full per-edge flow assignment.
+    let pr_config = |threads| maxflow::parallel_push_relabel::PrConfig {
+        threads,
+        ..maxflow::parallel_push_relabel::PrConfig::default()
+    };
+    let single = maxflow::parallel_push_relabel::max_flow_with(net, s, t, &pr_config(1));
+    assert_eq!(single.result.value, reference.value);
+    for threads in [2, 8] {
+        let run = maxflow::parallel_push_relabel::max_flow_with(net, s, t, &pr_config(threads));
+        assert_eq!(
+            run.result, single.result,
+            "parallel-pr with {threads} threads diverged from 1 thread"
+        );
+    }
 }
 
 #[test]
