@@ -1,0 +1,222 @@
+//! Bench: sustained query throughput of the serving tier on an
+//! FB4'-scale small-world snapshot.
+//!
+//! Drives the in-process [`QueryEngine`] — snapshot store, core-
+//! contraction planner, persistent parallel push-relabel pool, LRU flow
+//! cache and single-flight coalescing — with several concurrent client
+//! threads, the way `ffmrd`'s worker pool does, and reports sustained
+//! queries/second with p50/p99 latency. Two workloads:
+//!
+//! * **mixed** — terminal pairs drawn from a bounded pool, the repeat-
+//!   heavy shape real serving traffic has (cache + coalescing carry it);
+//! * **unique** — every query a fresh terminal pair, so every query
+//!   pays for a plan and (for core plans) a solve. This is the
+//!   engine-pool number: no clone-per-query, no spawn-per-query.
+//!
+//! Before timing, the bench asserts planner answers agree with full-
+//! graph solves on sampled pairs. `FFMR_BENCH_SCALE=smoke|small|paper`
+//! picks the preset (default `small`); `BENCH_qps.json` at the
+//! workspace root records the numbers.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use ffmr_bench::{FbFamily, Scale};
+use ffmr_prng::SplitMix64;
+use ffmr_service::engine::{EngineConfig, QueryEngine};
+use ffmr_service::protocol::{status, Message};
+use ffmr_service::GraphStore;
+
+const DATASET: &str = "fb4";
+const CLIENTS: u64 = 4;
+
+struct WorkloadResult {
+    qps: f64,
+    p50_us: u64,
+    p99_us: u64,
+    direct: u64,
+    core: u64,
+    full: u64,
+    cached: u64,
+    coalesced: u64,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Fires `queries` requests at the engine from `CLIENTS` threads, pairs
+/// drawn per-thread from `pool_size` seeded terminal pairs (`u64::MAX`
+/// pool = every query unique).
+fn run_workload(
+    engine: &Arc<QueryEngine>,
+    n: u64,
+    queries: u64,
+    pool_size: u64,
+    seed: u64,
+) -> WorkloadResult {
+    let started = Instant::now();
+    let per_client = queries / CLIENTS;
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|client| {
+            let engine = Arc::clone(engine);
+            std::thread::spawn(move || {
+                let mut rng = SplitMix64::seed_from_u64(seed ^ (client << 32));
+                let mut latencies = Vec::with_capacity(per_client as usize);
+                let mut counts = [0u64; 5]; // direct, core, full, cached, coalesced
+                for i in 0..per_client {
+                    // Unique mode spreads pairs across clients; pool
+                    // mode re-draws from a shared keyspace.
+                    let draw = if pool_size == u64::MAX {
+                        client * per_client + i
+                    } else {
+                        rng.next_u64() % pool_size
+                    };
+                    let mut pair = SplitMix64::seed_from_u64(seed.wrapping_add(draw));
+                    let s = pair.next_u64() % n;
+                    let mut t = pair.next_u64() % n;
+                    if t == s {
+                        t = (t + 1) % n;
+                    }
+                    let q = Message::new("maxflow")
+                        .field("dataset", DATASET)
+                        .field("source", s)
+                        .field("sink", t);
+                    let sent = Instant::now();
+                    let r = engine.execute(&q);
+                    latencies.push(sent.elapsed().as_micros() as u64);
+                    assert_eq!(r.head, status::OK, "({s},{t}) → {r:?}");
+                    match r.get("plan") {
+                        Some("direct") => counts[0] += 1,
+                        Some("core") => counts[1] += 1,
+                        _ => counts[2] += 1,
+                    }
+                    if r.get("cached") == Some("1") {
+                        counts[3] += 1;
+                    }
+                    if r.get("coalesced") == Some("1") {
+                        counts[4] += 1;
+                    }
+                }
+                (latencies, counts)
+            })
+        })
+        .collect();
+    let mut latencies = Vec::new();
+    let mut totals = [0u64; 5];
+    for h in handles {
+        let (lat, counts) = h.join().expect("client thread");
+        latencies.extend(lat);
+        for (t, c) in totals.iter_mut().zip(counts) {
+            *t += c;
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    WorkloadResult {
+        qps: latencies.len() as f64 / elapsed,
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+        direct: totals[0],
+        core: totals[1],
+        full: totals[2],
+        cached: totals[3],
+        coalesced: totals[4],
+    }
+}
+
+fn report(name: &str, r: &WorkloadResult) {
+    let answered = r.direct + r.core;
+    let total = answered + r.full;
+    println!(
+        "  qps/{name}: qps={:.0} p50_us={} p99_us={} core-hit-rate={:.3} \
+         plans direct={} core={} full={} cached={} coalesced={}",
+        r.qps,
+        r.p50_us,
+        r.p99_us,
+        answered as f64 / total.max(1) as f64,
+        r.direct,
+        r.core,
+        r.full,
+        r.cached,
+        r.coalesced
+    );
+}
+
+fn main() {
+    let scale_name = std::env::var("FFMR_BENCH_SCALE").unwrap_or_else(|_| "small".into());
+    let scale = Scale::by_name(&scale_name).unwrap_or_else(Scale::small);
+    let family = FbFamily::generate(scale);
+    // FB4' — the same mid-size subset the solver benches centre on.
+    let net = family.subset(3);
+    let n = net.num_vertices() as u64;
+    let m = net.num_edge_pairs();
+
+    let store = Arc::new(GraphStore::new());
+    store.insert_network(DATASET, net);
+    let snap = store.get(DATASET).expect("just inserted");
+    println!(
+        "  qps: FB4' n={n} m={m} core_vertices={} core_edge_pairs={} periphery={} host_cores={}",
+        snap.core.core_vertex_count(),
+        snap.core.core_edge_pairs(),
+        snap.core.periphery_vertex_count(),
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    );
+    // Each workload gets its own engine (shared snapshot store) so the
+    // mixed workload's warm cache cannot subsidize the unique one.
+    let fresh_engine = || {
+        Arc::new(QueryEngine::new(
+            Arc::clone(&store),
+            EngineConfig {
+                // The serving tier is the in-memory tier: keep every
+                // query on the engine pool rather than the MapReduce
+                // simulator.
+                mr_threshold_vertices: usize::MAX,
+                cache_capacity: 4096,
+                ..EngineConfig::default()
+            },
+        ))
+    };
+    let engine = fresh_engine();
+
+    // Correctness gate before any timing: planner answers must equal
+    // full-graph solves.
+    let mut rng = SplitMix64::seed_from_u64(7);
+    for _ in 0..5 {
+        let s = rng.next_u64() % n;
+        let mut t = rng.next_u64() % n;
+        if t == s {
+            t = (t + 1) % n;
+        }
+        let base = Message::new("maxflow")
+            .field("dataset", DATASET)
+            .field("source", s)
+            .field("sink", t)
+            .field("no-cache", 1);
+        let planned = engine.execute(&base.clone());
+        let full = engine.execute(&base.field("no-core", 1));
+        assert_eq!(planned.head, status::OK, "{planned:?}");
+        assert_eq!(
+            planned.get("flow"),
+            full.get("flow"),
+            "({s},{t}): planner disagrees with the full graph"
+        );
+    }
+
+    let (mixed_queries, unique_queries, pool) = match scale_name.as_str() {
+        "smoke" => (200u64, 100u64, 64u64),
+        "paper" => (10_000, 2_000, 512),
+        _ => (2_000, 600, 256),
+    };
+
+    let mixed = run_workload(&engine, n, mixed_queries, pool, 11);
+    report("mixed", &mixed);
+    // Disjoint pair-seed space (`<< 40`) so no unique pair can repeat a
+    // mixed-workload pair even by seed arithmetic.
+    let unique = run_workload(&fresh_engine(), n, unique_queries, u64::MAX, 13 << 40);
+    report("unique", &unique);
+}

@@ -1,0 +1,125 @@
+//! Cooperative cancellation for the in-memory solvers.
+//!
+//! The serving tier hands every query a deadline; MapReduce queries have
+//! long been cancellable through the round watchdog, but the sequential
+//! and parallel-PR solvers used to run to completion no matter what. A
+//! [`Cancel`] token closes that gap: solvers poll it at their natural
+//! progress boundaries (augmenting path, discharge batch, pulse) and bail
+//! out with [`Cancelled`] instead of pinning a pool thread.
+//!
+//! Polling [`Cancel::never`] compiles down to two branch-not-taken checks,
+//! so the always-available `*_cancellable` entry points cost nothing on
+//! the common path.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A cancellation token combining an optional wall-clock deadline with an
+/// optional externally-settable flag.
+#[derive(Debug, Clone, Default)]
+pub struct Cancel {
+    deadline: Option<Instant>,
+    flag: Option<Arc<AtomicBool>>,
+}
+
+impl Cancel {
+    /// A token that never fires — solvers run to completion.
+    #[must_use]
+    pub fn never() -> Self {
+        Self::default()
+    }
+
+    /// Cancels once the wall clock passes `deadline`.
+    #[must_use]
+    pub fn at(deadline: Instant) -> Self {
+        Self {
+            deadline: Some(deadline),
+            flag: None,
+        }
+    }
+
+    /// Cancels `timeout` from now.
+    #[must_use]
+    pub fn after(timeout: Duration) -> Self {
+        Self::at(Instant::now() + timeout)
+    }
+
+    /// Cancels when `flag` becomes `true` (e.g. from a watchdog thread).
+    #[must_use]
+    pub fn with_flag(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.flag = Some(flag);
+        self
+    }
+
+    /// True once the deadline has passed or the flag has been raised.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        if let Some(flag) = &self.flag {
+            if flag.load(Ordering::Relaxed) {
+                return true;
+            }
+        }
+        match self.deadline {
+            Some(deadline) => Instant::now() >= deadline,
+            None => false,
+        }
+    }
+
+    /// Returns `Err(Cancelled)` when the token has fired.
+    pub fn check(&self) -> Result<(), Cancelled> {
+        if self.is_cancelled() {
+            Err(Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// The error a cancellable solver returns when its [`Cancel`] token fires
+/// mid-run. Partial flow state is discarded — the caller retries or
+/// reports a timeout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("solver cancelled before completion")
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_does_not_fire() {
+        let c = Cancel::never();
+        assert!(!c.is_cancelled());
+        assert!(c.check().is_ok());
+    }
+
+    #[test]
+    fn expired_deadline_fires() {
+        let c = Cancel::after(Duration::from_secs(0));
+        assert!(c.is_cancelled());
+        assert_eq!(c.check(), Err(Cancelled));
+    }
+
+    #[test]
+    fn future_deadline_does_not_fire() {
+        let c = Cancel::after(Duration::from_secs(3600));
+        assert!(!c.is_cancelled());
+    }
+
+    #[test]
+    fn flag_fires_when_raised() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let c = Cancel::never().with_flag(Arc::clone(&flag));
+        assert!(!c.is_cancelled());
+        flag.store(true, Ordering::Relaxed);
+        assert!(c.is_cancelled());
+    }
+}

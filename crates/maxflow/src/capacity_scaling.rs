@@ -8,6 +8,7 @@ use std::collections::VecDeque;
 
 use swgraph::{Capacity, EdgeId, FlowNetwork, VertexId};
 
+use crate::cancel::{Cancel, Cancelled};
 use crate::residual::{FlowResult, Residual};
 
 /// Computes the maximum `s`–`t` flow with capacity scaling.
@@ -24,29 +25,41 @@ use crate::residual::{FlowResult, Residual};
 /// ```
 #[must_use]
 pub fn max_flow(net: &FlowNetwork, s: VertexId, t: VertexId) -> FlowResult {
+    max_flow_cancellable(net, s, t, &Cancel::never()).expect("never-cancel solve cannot fail")
+}
+
+/// [`max_flow`] with a cooperative [`Cancel`] token, polled once per
+/// augmenting path.
+pub fn max_flow_cancellable(
+    net: &FlowNetwork,
+    s: VertexId,
+    t: VertexId,
+    cancel: &Cancel,
+) -> Result<FlowResult, Cancelled> {
     let mut residual = Residual::new(net);
     let n = net.num_vertices();
     if s == t || n == 0 || s.index() >= n || t.index() >= n {
-        return residual.into_result(s);
+        return Ok(residual.into_result(s));
     }
     let max_cap = (0..net.num_directed_edges() as u64)
         .map(|e| net.capacity(EdgeId::new(e)))
         .max()
         .unwrap_or(0);
     if max_cap <= 0 {
-        return residual.into_result(s);
+        return Ok(residual.into_result(s));
     }
     // Largest power of two not exceeding the largest capacity.
     let mut delta: Capacity = 1 << (63 - max_cap.leading_zeros().min(62));
     while delta >= 1 {
         while let Some((path, bottleneck)) = find_wide_path(&residual, s, t, delta) {
+            cancel.check()?;
             for e in path {
                 residual.push(e, bottleneck);
             }
         }
         delta /= 2;
     }
-    residual.into_result(s)
+    Ok(residual.into_result(s))
 }
 
 /// BFS restricted to residual capacity >= `delta`; returns the path and

@@ -6,6 +6,7 @@ use std::collections::VecDeque;
 
 use swgraph::{Capacity, EdgeId, FlowNetwork, VertexId};
 
+use crate::cancel::{Cancel, Cancelled};
 use crate::residual::{FlowResult, Residual};
 
 /// Computes the maximum `s`–`t` flow with Dinic's algorithm.
@@ -19,13 +20,25 @@ use crate::residual::{FlowResult, Residual};
 /// ```
 #[must_use]
 pub fn max_flow(net: &FlowNetwork, s: VertexId, t: VertexId) -> FlowResult {
+    max_flow_cancellable(net, s, t, &Cancel::never()).expect("never-cancel solve cannot fail")
+}
+
+/// [`max_flow`] with a cooperative [`Cancel`] token, polled once per BFS
+/// phase and once per blocking-flow augmentation.
+pub fn max_flow_cancellable(
+    net: &FlowNetwork,
+    s: VertexId,
+    t: VertexId,
+    cancel: &Cancel,
+) -> Result<FlowResult, Cancelled> {
     let mut residual = Residual::new(net);
     let n = net.num_vertices();
     if s == t || n == 0 || s.index() >= n || t.index() >= n {
-        return residual.into_result(s);
+        return Ok(residual.into_result(s));
     }
     let mut level: Vec<i32> = vec![-1; n];
     loop {
+        cancel.check()?;
         // Build the level graph by BFS over positive-residual edges.
         level.iter_mut().for_each(|l| *l = -1);
         level[s.index()] = 0;
@@ -52,13 +65,14 @@ pub fn max_flow(net: &FlowNetwork, s: VertexId, t: VertexId) -> FlowResult {
             next_arc.push(arcs);
         }
         loop {
+            cancel.check()?;
             let pushed = dfs_push(&mut residual, &level, &mut next_arc, s, t, Capacity::MAX);
             if pushed == 0 {
                 break;
             }
         }
     }
-    residual.into_result(s)
+    Ok(residual.into_result(s))
 }
 
 /// Pushes up to `limit` flow along one level-respecting path via iterative

@@ -6,6 +6,7 @@ use std::collections::VecDeque;
 
 use swgraph::{Capacity, EdgeId, FlowNetwork, VertexId};
 
+use crate::cancel::{Cancel, Cancelled};
 use crate::residual::{FlowResult, Residual};
 
 /// Computes the maximum `s`–`t` flow with BFS shortest augmenting paths.
@@ -19,13 +20,25 @@ use crate::residual::{FlowResult, Residual};
 /// ```
 #[must_use]
 pub fn max_flow(net: &FlowNetwork, s: VertexId, t: VertexId) -> FlowResult {
+    max_flow_cancellable(net, s, t, &Cancel::never()).expect("never-cancel solve cannot fail")
+}
+
+/// [`max_flow`] with a cooperative [`Cancel`] token, polled once per
+/// augmenting path.
+pub fn max_flow_cancellable(
+    net: &FlowNetwork,
+    s: VertexId,
+    t: VertexId,
+    cancel: &Cancel,
+) -> Result<FlowResult, Cancelled> {
     let mut residual = Residual::new(net);
     let n = net.num_vertices();
     if s == t || n == 0 || s.index() >= n || t.index() >= n {
-        return residual.into_result(s);
+        return Ok(residual.into_result(s));
     }
     let mut parent: Vec<Option<EdgeId>> = vec![None; n];
     loop {
+        cancel.check()?;
         // BFS over positive-residual edges.
         parent.iter_mut().for_each(|p| *p = None);
         let mut visited = vec![false; n];
@@ -69,7 +82,7 @@ pub fn max_flow(net: &FlowNetwork, s: VertexId, t: VertexId) -> FlowResult {
             cur = net.tail(e);
         }
     }
-    residual.into_result(s)
+    Ok(residual.into_result(s))
 }
 
 #[cfg(test)]

@@ -4,6 +4,7 @@
 
 use swgraph::{Capacity, EdgeId, FlowNetwork, VertexId};
 
+use crate::cancel::{Cancel, Cancelled};
 use crate::residual::{FlowResult, Residual};
 
 /// Computes the maximum `s`–`t` flow with DFS augmenting paths.
@@ -21,17 +22,29 @@ use crate::residual::{FlowResult, Residual};
 /// ```
 #[must_use]
 pub fn max_flow(net: &FlowNetwork, s: VertexId, t: VertexId) -> FlowResult {
+    max_flow_cancellable(net, s, t, &Cancel::never()).expect("never-cancel solve cannot fail")
+}
+
+/// [`max_flow`] with a cooperative [`Cancel`] token, polled once per
+/// augmenting path.
+pub fn max_flow_cancellable(
+    net: &FlowNetwork,
+    s: VertexId,
+    t: VertexId,
+    cancel: &Cancel,
+) -> Result<FlowResult, Cancelled> {
     let mut residual = Residual::new(net);
     let n = net.num_vertices();
     if s == t || n == 0 || s.index() >= n || t.index() >= n {
-        return residual.into_result(s);
+        return Ok(residual.into_result(s));
     }
     while let Some((path, bottleneck)) = find_path_dfs(&residual, s, t) {
+        cancel.check()?;
         for e in path {
             residual.push(e, bottleneck);
         }
     }
-    residual.into_result(s)
+    Ok(residual.into_result(s))
 }
 
 /// Iterative DFS for an augmenting path; returns the edge sequence and its

@@ -26,7 +26,9 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cancel;
 pub mod capacity_scaling;
+pub mod contraction;
 pub mod dinic;
 pub mod edmonds_karp;
 pub mod ford_fulkerson;
@@ -36,6 +38,7 @@ pub mod push_relabel;
 pub mod residual;
 pub mod validate;
 
+pub use cancel::{Cancel, Cancelled};
 pub use residual::{FlowResult, Residual};
 
 use swgraph::{FlowNetwork, VertexId};
@@ -74,13 +77,34 @@ impl Algorithm {
     /// Runs this algorithm on `net` from `s` to `t`.
     #[must_use]
     pub fn run(self, net: &FlowNetwork, s: VertexId, t: VertexId) -> FlowResult {
+        self.run_cancellable(net, s, t, &Cancel::never())
+            .expect("never-cancel solve cannot fail")
+    }
+
+    /// Like [`Algorithm::run`] but polls `cancel` at the algorithm's
+    /// natural progress boundary (augmenting path, discharge, pulse) and
+    /// returns [`Cancelled`] when the token fires.
+    pub fn run_cancellable(
+        self,
+        net: &FlowNetwork,
+        s: VertexId,
+        t: VertexId,
+        cancel: &Cancel,
+    ) -> Result<FlowResult, Cancelled> {
         match self {
-            Algorithm::FordFulkerson => ford_fulkerson::max_flow(net, s, t),
-            Algorithm::EdmondsKarp => edmonds_karp::max_flow(net, s, t),
-            Algorithm::Dinic => dinic::max_flow(net, s, t),
-            Algorithm::PushRelabel => push_relabel::max_flow(net, s, t),
-            Algorithm::CapacityScaling => capacity_scaling::max_flow(net, s, t),
-            Algorithm::ParallelPushRelabel => parallel_push_relabel::max_flow(net, s, t),
+            Algorithm::FordFulkerson => ford_fulkerson::max_flow_cancellable(net, s, t, cancel),
+            Algorithm::EdmondsKarp => edmonds_karp::max_flow_cancellable(net, s, t, cancel),
+            Algorithm::Dinic => dinic::max_flow_cancellable(net, s, t, cancel),
+            Algorithm::PushRelabel => push_relabel::max_flow_cancellable(net, s, t, cancel),
+            Algorithm::CapacityScaling => capacity_scaling::max_flow_cancellable(net, s, t, cancel),
+            Algorithm::ParallelPushRelabel => parallel_push_relabel::max_flow_with_cancel(
+                net,
+                s,
+                t,
+                &parallel_push_relabel::PrConfig::default(),
+                cancel,
+            )
+            .map(|run| run.result),
         }
     }
 }

@@ -27,9 +27,12 @@
 //! assert_eq!(f.value, 2);
 //! ```
 
+use std::sync::Arc;
+
 use ffmr_sync::{Condvar, Mutex, RwLock};
 use swgraph::{Capacity, EdgeId, FlowNetwork, VertexId};
 
+use crate::cancel::{Cancel, Cancelled};
 use crate::residual::FlowResult;
 
 /// Tuning knobs for the parallel solver.
@@ -91,21 +94,30 @@ pub fn max_flow(net: &FlowNetwork, s: VertexId, t: VertexId) -> FlowResult {
 /// assignment) is independent of `threads`.
 #[must_use]
 pub fn max_flow_with(net: &FlowNetwork, s: VertexId, t: VertexId, config: &PrConfig) -> PrRun {
+    max_flow_with_cancel(net, s, t, config, &Cancel::never())
+        .expect("never-cancel solve cannot fail")
+}
+
+/// [`max_flow_with`] plus a cooperative [`Cancel`] token, polled before
+/// every pulse and every global-relabel BFS level. Spawns a scoped
+/// worker pool per call; the serving tier uses [`max_flow_pooled`] to
+/// amortize the spawns away.
+pub fn max_flow_with_cancel(
+    net: &FlowNetwork,
+    s: VertexId,
+    t: VertexId,
+    config: &PrConfig,
+    cancel: &Cancel,
+) -> Result<PrRun, Cancelled> {
     let n = net.num_vertices();
     if s == t || n == 0 || s.index() >= n || t.index() >= n {
-        return PrRun {
-            result: FlowResult {
-                value: 0,
-                flows: vec![0; net.num_directed_edges()],
-            },
-            stats: PrStats::default(),
-        };
+        return Ok(trivial_run(net));
     }
     let threads = config.threads.max(1);
     let state = RwLock::new(State::new(net, s, t));
     let run = if threads == 1 {
         let mut solver = Solver::new(net, s, t, config, threads, &state);
-        solver.solve(&mut |state, job| run_job_inline(net, state, job))
+        solver.solve(&mut |state, job| run_job_inline(net, state, job), cancel)
     } else {
         let board = JobBoard::new();
         std::thread::scope(|scope| {
@@ -113,13 +125,53 @@ pub fn max_flow_with(net: &FlowNetwork, s: VertexId, t: VertexId, config: &PrCon
                 scope.spawn(|| worker_loop(net, &state, &board));
             }
             let mut solver = Solver::new(net, s, t, config, threads, &state);
-            let run = solver.solve(&mut |_, job| board.execute(job));
+            let run = solver.solve(&mut |_, job| board.execute(job), cancel);
             board.shutdown();
             run
         })
-    };
+    }?;
     record_metrics(&run.stats);
-    run
+    Ok(run)
+}
+
+/// Runs the identical pulse schedule against a persistent [`SolverPool`]
+/// instead of spawning scoped workers: the network and solver state are
+/// shared with the pool via `Arc`, so concurrent serving-tier queries
+/// reuse one set of threads with no per-query spawn cost. The flow is
+/// byte-identical to [`max_flow_with`] for any pool size (the chunk
+/// decomposition and apply order do not depend on who computes a chunk).
+pub fn max_flow_pooled(
+    net: &Arc<FlowNetwork>,
+    s: VertexId,
+    t: VertexId,
+    config: &PrConfig,
+    pool: &SolverPool,
+    cancel: &Cancel,
+) -> Result<PrRun, Cancelled> {
+    let n = net.num_vertices();
+    if s == t || n == 0 || s.index() >= n || t.index() >= n {
+        return Ok(trivial_run(net));
+    }
+    let state = Arc::new(RwLock::new(State::new(net, s, t)));
+    let threads = pool.threads().max(1);
+    let mut solver = Solver::new(net, s, t, config, threads, &state);
+    let run = if pool.threads() <= 1 {
+        solver.solve(&mut |state, job| run_job_inline(net, state, job), cancel)
+    } else {
+        solver.solve(&mut |_, job| pool.execute(net, &state, job), cancel)
+    }?;
+    record_metrics(&run.stats);
+    Ok(run)
+}
+
+fn trivial_run(net: &FlowNetwork) -> PrRun {
+    PrRun {
+        result: FlowResult {
+            value: 0,
+            flows: vec![0; net.num_directed_edges()],
+        },
+        stats: PrStats::default(),
+    }
 }
 
 /// Frontier slice each discharge/BFS chunk covers. Fixed (and in
@@ -264,6 +316,173 @@ impl JobBoard {
     fn shutdown(&self) {
         self.slot.lock().shutdown = true;
         self.work_ready.notify_all();
+    }
+}
+
+/// A persistent worker pool for [`max_flow_pooled`]: threads are spawned
+/// once and shared across every query the serving tier admits, instead
+/// of the spawn-per-solve model of [`max_flow_with`].
+///
+/// One job occupies the board at a time; concurrent coordinators queue on
+/// an internal condvar, which serializes the *compute* phases of
+/// concurrent solves while letting their setup/apply phases overlap —
+/// the right trade on the bulk-synchronous schedule, where a pulse wants
+/// every core anyway. Jobs carry `Arc` handles to their network and
+/// state, so the pool never borrows from a coordinator's stack and the
+/// crate stays `forbid(unsafe_code)`.
+pub struct SolverPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+struct PoolShared {
+    slot: Mutex<PoolSlot>,
+    /// Workers wait here for a new job (or shutdown).
+    work_ready: Condvar,
+    /// The owning coordinator waits here for its last chunk.
+    job_done: Condvar,
+    /// Other coordinators wait here for the board to free up.
+    slot_free: Condvar,
+}
+
+#[derive(Default)]
+struct PoolSlot {
+    job: Option<PoolJob>,
+    shutdown: bool,
+}
+
+/// A posted job plus the owned handles workers need to compute it.
+struct PoolJob {
+    net: Arc<FlowNetwork>,
+    state: Arc<RwLock<State>>,
+    job: Job,
+    next_chunk: usize,
+    remaining: usize,
+    outputs: Vec<Option<ChunkOut>>,
+}
+
+impl SolverPool {
+    /// Spawns a pool of `threads` workers. With `threads <= 1` no
+    /// threads are spawned and [`max_flow_pooled`] runs chunks inline.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            slot: Mutex::new(PoolSlot::default()),
+            work_ready: Condvar::new(),
+            job_done: Condvar::new(),
+            slot_free: Condvar::new(),
+        });
+        let handles = if threads <= 1 {
+            Vec::new()
+        } else {
+            (0..threads)
+                .map(|_| {
+                    let shared = Arc::clone(&shared);
+                    std::thread::spawn(move || pool_worker(&shared))
+                })
+                .collect()
+        };
+        Self { shared, handles }
+    }
+
+    /// The worker count the pool was built with (0 or 1 means inline).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.handles.len().max(1)
+    }
+
+    /// Posts `job`, blocks until every chunk is computed, and returns
+    /// the outputs in chunk order. Waits for the board first when
+    /// another coordinator's job is in flight.
+    fn execute(
+        &self,
+        net: &Arc<FlowNetwork>,
+        state: &Arc<RwLock<State>>,
+        job: Job,
+    ) -> Vec<ChunkOut> {
+        if job.chunks == 0 {
+            return Vec::new();
+        }
+        let shared = &*self.shared;
+        let mut slot = shared.slot.lock();
+        while slot.job.is_some() {
+            shared.slot_free.wait(&mut slot);
+        }
+        slot.job = Some(PoolJob {
+            net: Arc::clone(net),
+            state: Arc::clone(state),
+            job,
+            next_chunk: 0,
+            remaining: job.chunks,
+            outputs: (0..job.chunks).map(|_| None).collect(),
+        });
+        shared.work_ready.notify_all();
+        // Only this coordinator can clear the slot, so the job observed
+        // here is always ours.
+        while slot.job.as_ref().is_some_and(|pj| pj.remaining > 0) {
+            shared.job_done.wait(&mut slot);
+        }
+        let done = slot.job.take().expect("job slot owned by this coordinator");
+        shared.slot_free.notify_one();
+        done.outputs
+            .into_iter()
+            .map(|o| o.expect("every chunk produced output"))
+            .collect()
+    }
+}
+
+impl Drop for SolverPool {
+    fn drop(&mut self) {
+        self.shared.slot.lock().shutdown = true;
+        self.shared.work_ready.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for SolverPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolverPool")
+            .field("threads", &self.threads())
+            .finish()
+    }
+}
+
+/// Body of one persistent pool worker: like [`worker_loop`] but claims
+/// the job's `Arc` handles instead of borrowing a coordinator's stack.
+/// A claimed chunk pins its job on the board (the coordinator cannot
+/// observe `remaining == 0` until every claim is deposited), so the
+/// deposit below always finds the job it claimed from.
+fn pool_worker(shared: &PoolShared) {
+    loop {
+        let (net, state, job, index) = {
+            let mut slot = shared.slot.lock();
+            loop {
+                if slot.shutdown {
+                    return;
+                }
+                if let Some(pj) = slot.job.as_mut() {
+                    if pj.next_chunk < pj.job.chunks {
+                        let index = pj.next_chunk;
+                        pj.next_chunk += 1;
+                        break (Arc::clone(&pj.net), Arc::clone(&pj.state), pj.job, index);
+                    }
+                }
+                shared.work_ready.wait(&mut slot);
+            }
+        };
+        let out = {
+            let st = state.read();
+            compute_chunk(&net, &st, job, index)
+        };
+        let mut slot = shared.slot.lock();
+        let pj = slot.job.as_mut().expect("claimed chunk pins its job");
+        pj.outputs[index] = Some(out);
+        pj.remaining -= 1;
+        if pj.remaining == 0 {
+            shared.job_done.notify_all();
+        }
     }
 }
 
@@ -434,10 +653,12 @@ impl<'a> Solver<'a> {
         }
     }
 
-    fn solve(&mut self, run: &mut Executor<'_>) -> PrRun {
-        self.global_relabel(run);
+    fn solve(&mut self, run: &mut Executor<'_>, cancel: &Cancel) -> Result<PrRun, Cancelled> {
+        cancel.check()?;
+        self.global_relabel(run, cancel)?;
         self.rebuild_frontier();
         loop {
+            cancel.check()?;
             let frontier_len = self.state.read().frontier.len();
             if frontier_len == 0 {
                 break;
@@ -447,7 +668,7 @@ impl<'a> Solver<'a> {
                 .histogram("ffmr_pr_frontier_size", &[])
                 .record(frontier_len as u64);
             if self.work_since_relabel >= self.relabel_threshold {
-                self.global_relabel(run);
+                self.global_relabel(run, cancel)?;
                 self.refilter_frontier();
                 if self.state.read().frontier.is_empty() {
                     break;
@@ -458,13 +679,13 @@ impl<'a> Solver<'a> {
         }
         let st = self.state.read();
         let value = self.net.out_edges(self.s).map(|e| st.flow[e.index()]).sum();
-        PrRun {
+        Ok(PrRun {
             result: FlowResult {
                 value,
                 flows: st.flow.clone(),
             },
             stats: self.stats.clone(),
-        }
+        })
     }
 
     /// One bulk-synchronous pulse: parallel planning over the frontier,
@@ -573,11 +794,11 @@ impl<'a> Solver<'a> {
     /// unreached by both parks at `2n`. `s` stays pinned at `n`, `t` at
     /// `0`. Labels only ever increase (heights are valid lower bounds
     /// on the exact distances), so the relabel discipline is preserved.
-    fn global_relabel(&mut self, run: &mut Executor<'_>) {
+    fn global_relabel(&mut self, run: &mut Executor<'_>, cancel: &Cancel) -> Result<(), Cancelled> {
         let n = self.n;
         let (si, ti) = (self.s.index(), self.t.index());
-        let dist_t = self.reverse_bfs(run, self.t, si);
-        let dist_s = self.reverse_bfs(run, self.s, ti);
+        let dist_t = self.reverse_bfs(run, self.t, si, cancel)?;
+        let dist_s = self.reverse_bfs(run, self.s, ti, cancel)?;
         let mut st = self.state.write();
         self.height_count.iter_mut().for_each(|c| *c = 0);
         for v in 0..n {
@@ -601,13 +822,20 @@ impl<'a> Solver<'a> {
         ffmr_obs::global()
             .counter("ffmr_pr_global_relabels_total", &[])
             .inc();
+        Ok(())
     }
 
     /// Level-synchronous reverse BFS from `root` over residual arcs
     /// (`x` joins level `k+1` when the arc `x → w` has residual capacity
     /// for some level-`k` vertex `w`), chunked through the executor.
     /// `skip` (the opposite terminal) is never entered.
-    fn reverse_bfs(&mut self, run: &mut Executor<'_>, root: VertexId, skip: usize) -> Vec<u32> {
+    fn reverse_bfs(
+        &mut self,
+        run: &mut Executor<'_>,
+        root: VertexId,
+        skip: usize,
+        cancel: &Cancel,
+    ) -> Result<Vec<u32>, Cancelled> {
         {
             let mut st = self.state.write();
             st.dist.iter_mut().for_each(|d| *d = u32::MAX);
@@ -617,6 +845,7 @@ impl<'a> Solver<'a> {
         }
         let mut level = 0u32;
         loop {
+            cancel.check()?;
             let chunks = {
                 let st = self.state.read();
                 st.bfs_frontier.len().div_ceil(CHUNK)
@@ -645,7 +874,7 @@ impl<'a> Solver<'a> {
                 }
             }
         }
-        self.state.read().dist.clone()
+        Ok(self.state.read().dist.clone())
     }
 
     /// Initial frontier: every positive-excess non-terminal.
@@ -794,6 +1023,58 @@ mod tests {
         let run = max_flow_with(&net, VertexId::new(0), VertexId::new(3), &config(2));
         assert_eq!(run.result.value, 0);
         check_flow(&net, VertexId::new(0), VertexId::new(3), &run.result).unwrap();
+    }
+
+    #[test]
+    fn pooled_solve_matches_scoped_and_inline() {
+        let edges = gen::barabasi_albert(300, 3, 9);
+        let net = Arc::new(FlowNetwork::from_undirected_unit(300, &edges));
+        let s = VertexId::new(0);
+        let t = VertexId::new(299);
+        let reference = max_flow_with(&net, s, t, &config(1));
+        for pool_threads in [1, 2, 4] {
+            let pool = SolverPool::new(pool_threads);
+            let run = max_flow_pooled(&net, s, t, &config(pool_threads), &pool, &Cancel::never())
+                .expect("never-cancel solve cannot fail");
+            assert_eq!(
+                run.result, reference.result,
+                "pool_threads={pool_threads}: per-edge assignment must match scoped/inline"
+            );
+            assert_eq!(run.stats.passes, reference.stats.passes);
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_solves_and_graphs() {
+        let pool = SolverPool::new(2);
+        for seed in 0..4 {
+            let edges = gen::erdos_renyi(40, 120, seed);
+            let net = Arc::new(FlowNetwork::from_undirected_unit(40, &edges));
+            let s = VertexId::new(0);
+            let t = VertexId::new(39);
+            let pooled = max_flow_pooled(&net, s, t, &config(2), &pool, &Cancel::never()).unwrap();
+            let d = crate::dinic::max_flow(&net, s, t);
+            assert_eq!(pooled.result.value, d.value, "seed {seed}");
+            check_flow(&net, s, t, &pooled.result).unwrap();
+        }
+    }
+
+    #[test]
+    fn expired_deadline_cancels_scoped_and_pooled() {
+        let edges = gen::barabasi_albert(200, 3, 5);
+        let net = Arc::new(FlowNetwork::from_undirected_unit(200, &edges));
+        let s = VertexId::new(0);
+        let t = VertexId::new(199);
+        let expired = Cancel::after(std::time::Duration::from_secs(0));
+        assert!(matches!(
+            max_flow_with_cancel(&net, s, t, &config(2), &expired),
+            Err(Cancelled)
+        ));
+        let pool = SolverPool::new(2);
+        assert!(matches!(
+            max_flow_pooled(&net, s, t, &config(2), &pool, &expired),
+            Err(Cancelled)
+        ));
     }
 
     #[test]

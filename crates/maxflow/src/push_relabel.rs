@@ -13,6 +13,7 @@ use std::collections::VecDeque;
 
 use swgraph::{Capacity, FlowNetwork, VertexId};
 
+use crate::cancel::{Cancel, Cancelled};
 use crate::residual::{FlowResult, Residual};
 
 /// Work (edges scanned + weighted relabels) between global relabelings,
@@ -39,6 +40,22 @@ pub fn max_flow(net: &FlowNetwork, s: VertexId, t: VertexId) -> FlowResult {
     max_flow_instrumented(net, s, t).result
 }
 
+/// [`max_flow`] with a cooperative [`Cancel`] token, polled every
+/// `CANCEL_POLL_INTERVAL` discharges.
+pub fn max_flow_cancellable(
+    net: &FlowNetwork,
+    s: VertexId,
+    t: VertexId,
+    cancel: &Cancel,
+) -> Result<FlowResult, Cancelled> {
+    run_instrumented(net, s, t, cancel).map(|run| run.result)
+}
+
+/// How many FIFO discharges happen between [`Cancel`] polls: frequent
+/// enough that a deadline lands within microseconds, rare enough that
+/// the `Instant::now()` call is invisible in profiles.
+const CANCEL_POLL_INTERVAL: u64 = 64;
+
 /// A push-relabel run plus the per-sweep count of active vertices.
 #[derive(Debug, Clone)]
 pub struct InstrumentedRun {
@@ -53,13 +70,22 @@ pub struct InstrumentedRun {
 /// Like [`max_flow`] but records how many vertices were active over time.
 #[must_use]
 pub fn max_flow_instrumented(net: &FlowNetwork, s: VertexId, t: VertexId) -> InstrumentedRun {
+    run_instrumented(net, s, t, &Cancel::never()).expect("never-cancel solve cannot fail")
+}
+
+fn run_instrumented(
+    net: &FlowNetwork,
+    s: VertexId,
+    t: VertexId,
+    cancel: &Cancel,
+) -> Result<InstrumentedRun, Cancelled> {
     let n = net.num_vertices();
     let mut residual = Residual::new(net);
     if s == t || n == 0 || s.index() >= n || t.index() >= n {
-        return InstrumentedRun {
+        return Ok(InstrumentedRun {
             result: residual.into_result(s),
             active_trace: Vec::new(),
-        };
+        });
     }
 
     let mut height: Vec<usize> = vec![0; n];
@@ -99,7 +125,14 @@ pub fn max_flow_instrumented(net: &FlowNetwork, s: VertexId, t: VertexId) -> Ins
     global_relabel(net, &residual, s, t, &mut height, &mut height_count);
     let mut sweep_budget = queue.len();
     active_trace.push(queue.len());
+    let mut discharges: u64 = 0;
     while let Some(u) = queue.pop_front() {
+        // Poll on the first discharge (so an already-expired deadline
+        // fails deterministically even on tiny graphs), then periodically.
+        if discharges.is_multiple_of(CANCEL_POLL_INTERVAL) {
+            cancel.check()?;
+        }
+        discharges += 1;
         in_queue[u.index()] = false;
         if work >= relabel_threshold {
             work = 0;
@@ -128,10 +161,10 @@ pub fn max_flow_instrumented(net: &FlowNetwork, s: VertexId, t: VertexId) -> Ins
         }
     }
 
-    InstrumentedRun {
+    Ok(InstrumentedRun {
         result: residual.into_result(s),
         active_trace,
-    }
+    })
 }
 
 /// Recomputes every height as its exact residual distance: `dist(v, t)`

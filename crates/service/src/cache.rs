@@ -15,11 +15,16 @@
 //!   paper's Sec. V-A1 `--w` construction) canonicalizes to the sorted
 //!   high-degree terminal vertices actually chosen, so two `--w` queries
 //!   that select the same terminals share one entry even across
-//!   different requested seeds.
+//!   different requested seeds. The query planner also stores its core
+//!   solves under the terminals' *anchor* pair, so every query whose
+//!   periphery trees resolve to the same anchors shares one core solve.
 //!
-//! Eviction is least-recently-used via a monotonic touch stamp; with the
-//! small capacities a daemon configures (hundreds), the O(capacity) scan
-//! on eviction is noise next to a single solver round.
+//! Eviction is least-recently-used in O(1): a slab of entries threaded
+//! on an intrusive doubly-linked recency list, plus a key → slot map.
+//! The previous implementation scanned all of `capacity` on every
+//! overflowing insert, which was noise at daemon-scale capacities
+//! (hundreds) but turned every insert into a full sweep at the
+//! QPS-tier capacities (100k+) the serving tier configures.
 
 use std::collections::HashMap;
 
@@ -82,6 +87,8 @@ pub struct CachedAnswer {
     pub flow: Capacity,
     /// Which solver produced it (`dinic`, `ff5`, …).
     pub solver: String,
+    /// How the planner routed it (`full`, `core`, or `direct`).
+    pub plan: String,
     /// MapReduce rounds consumed (0 for sequential solvers).
     pub rounds: usize,
     /// Total shuffle bytes across rounds (0 for sequential solvers).
@@ -109,17 +116,120 @@ pub struct CacheStats {
     pub entries: usize,
 }
 
-#[derive(Debug, Default)]
+/// Slab sentinel: "no slot".
+const NIL: u32 = u32::MAX;
+
+/// One resident entry, threaded on the recency list.
+#[derive(Debug)]
+struct Slot {
+    key: CacheKey,
+    answer: CachedAnswer,
+    /// Toward more-recent (NIL at the head).
+    prev: u32,
+    /// Toward less-recent (NIL at the tail).
+    next: u32,
+}
+
+#[derive(Debug)]
 struct CacheInner {
-    entries: HashMap<CacheKey, (CachedAnswer, u64)>,
-    clock: u64,
+    /// Key → slab index of the resident entry.
+    map: HashMap<CacheKey, u32>,
+    /// Slot storage; `None` entries are on the free list.
+    slots: Vec<Option<Slot>>,
+    /// Recycled slab indices.
+    free: Vec<u32>,
+    /// Most recently used slot (NIL when empty).
+    head: u32,
+    /// Least recently used slot (NIL when empty).
+    tail: u32,
     hits: u64,
     misses: u64,
     evictions: u64,
     invalidated: u64,
 }
 
-/// A bounded LRU cache of [`CachedAnswer`]s.
+impl CacheInner {
+    fn new() -> Self {
+        Self {
+            map: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            invalidated: 0,
+        }
+    }
+
+    fn slot(&self, i: u32) -> &Slot {
+        self.slots[i as usize].as_ref().expect("live slot")
+    }
+
+    fn slot_mut(&mut self, i: u32) -> &mut Slot {
+        self.slots[i as usize].as_mut().expect("live slot")
+    }
+
+    /// Detaches slot `i` from the recency list (it stays in the slab).
+    fn unlink(&mut self, i: u32) {
+        let (prev, next) = {
+            let s = self.slot(i);
+            (s.prev, s.next)
+        };
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slot_mut(prev).next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slot_mut(next).prev = prev;
+        }
+    }
+
+    /// Makes slot `i` the most recently used.
+    fn push_front(&mut self, i: u32) {
+        let old_head = self.head;
+        {
+            let s = self.slot_mut(i);
+            s.prev = NIL;
+            s.next = old_head;
+        }
+        if old_head != NIL {
+            self.slot_mut(old_head).prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    /// Removes slot `i` entirely: off the list, out of the map, slab
+    /// index recycled. Returns its key.
+    fn remove(&mut self, i: u32) -> CacheKey {
+        self.unlink(i);
+        let slot = self.slots[i as usize].take().expect("live slot");
+        self.map.remove(&slot.key);
+        self.free.push(i);
+        slot.key
+    }
+
+    /// Allocates a slab index for a new slot.
+    fn insert_slot(&mut self, slot: Slot) -> u32 {
+        if let Some(i) = self.free.pop() {
+            self.slots[i as usize] = Some(slot);
+            i
+        } else {
+            self.slots.push(Some(slot));
+            (self.slots.len() - 1) as u32
+        }
+    }
+}
+
+/// A bounded LRU cache of [`CachedAnswer`]s. Lookup, insert and evict
+/// are all O(1).
 #[derive(Debug)]
 pub struct FlowCache {
     capacity: usize,
@@ -133,7 +243,7 @@ impl FlowCache {
     pub fn new(capacity: usize) -> Self {
         Self {
             capacity,
-            inner: Mutex::new(CacheInner::default()),
+            inner: Mutex::new(CacheInner::new()),
         }
     }
 
@@ -142,14 +252,12 @@ impl FlowCache {
     pub fn get(&self, key: &CacheKey) -> Option<CachedAnswer> {
         let hit = {
             let mut inner = self.inner.lock();
-            inner.clock += 1;
-            let stamp = inner.clock;
-            match inner.entries.get_mut(key) {
-                Some((answer, touched)) => {
-                    *touched = stamp;
-                    let answer = answer.clone();
+            match inner.map.get(key).copied() {
+                Some(i) => {
+                    inner.unlink(i);
+                    inner.push_front(i);
                     inner.hits += 1;
-                    Some(answer)
+                    Some(inner.slot(i).answer.clone())
                 }
                 None => {
                     inner.misses += 1;
@@ -175,23 +283,31 @@ impl FlowCache {
         }
         let evicted = {
             let mut inner = self.inner.lock();
-            inner.clock += 1;
-            let stamp = inner.clock;
-            let mut evicted = false;
-            if inner.entries.len() >= self.capacity && !inner.entries.contains_key(&key) {
-                if let Some(oldest) = inner
-                    .entries
-                    .iter()
-                    .min_by_key(|(_, (_, touched))| *touched)
-                    .map(|(k, _)| k.clone())
-                {
-                    inner.entries.remove(&oldest);
+            if let Some(i) = inner.map.get(&key).copied() {
+                // Overwrite in place and refresh recency.
+                inner.unlink(i);
+                inner.push_front(i);
+                inner.slot_mut(i).answer = answer;
+                false
+            } else {
+                let mut evicted = false;
+                if inner.map.len() >= self.capacity {
+                    let coldest = inner.tail;
+                    debug_assert_ne!(coldest, NIL, "non-empty cache has a tail");
+                    inner.remove(coldest);
                     inner.evictions += 1;
                     evicted = true;
                 }
+                let i = inner.insert_slot(Slot {
+                    key: key.clone(),
+                    answer,
+                    prev: NIL,
+                    next: NIL,
+                });
+                inner.push_front(i);
+                inner.map.insert(key, i);
+                evicted
             }
-            inner.entries.insert(key, (answer, stamp));
-            evicted
         };
         if evicted {
             ffmr_obs::global()
@@ -204,13 +320,21 @@ impl FlowCache {
     /// under the same swap that replaces the snapshot, so a cache reader
     /// can never observe a new epoch with old entries still served —
     /// epoch-in-key already guarantees correctness; this reclaims the
-    /// memory.
+    /// memory. O(entries), unlike the O(1) hot paths.
     pub fn invalidate_dataset(&self, dataset: &str) {
         let swept = {
             let mut inner = self.inner.lock();
-            let before = inner.entries.len();
-            inner.entries.retain(|k, _| k.dataset != dataset);
-            let swept = (before - inner.entries.len()) as u64;
+            let doomed: Vec<u32> = (0..inner.slots.len() as u32)
+                .filter(|&i| {
+                    inner.slots[i as usize]
+                        .as_ref()
+                        .is_some_and(|s| s.key.dataset == dataset)
+                })
+                .collect();
+            for i in &doomed {
+                inner.remove(*i);
+            }
+            let swept = doomed.len() as u64;
             inner.invalidated += swept;
             swept
         };
@@ -230,7 +354,7 @@ impl FlowCache {
             misses: inner.misses,
             evictions: inner.evictions,
             invalidated: inner.invalidated,
-            entries: inner.entries.len(),
+            entries: inner.map.len(),
         }
     }
 }
@@ -247,6 +371,7 @@ mod tests {
         CachedAnswer {
             flow,
             solver: "dinic".into(),
+            plan: "full".into(),
             rounds: 0,
             shuffle_bytes: 0,
             sim_seconds_milli: 0,
@@ -296,6 +421,21 @@ mod tests {
     }
 
     #[test]
+    fn overwriting_put_refreshes_recency_without_eviction() {
+        let cache = FlowCache::new(2);
+        let (a, b, c) = (key("g", 1, 0, 1), key("g", 1, 0, 2), key("g", 1, 0, 3));
+        cache.put(a.clone(), answer(1));
+        cache.put(b.clone(), answer(2));
+        // Overwrite a: no eviction, and a becomes the warmest.
+        cache.put(a.clone(), answer(10));
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.stats().entries, 2);
+        cache.put(c.clone(), answer(3));
+        assert!(cache.get(&b).is_none(), "b was coldest after the overwrite");
+        assert_eq!(cache.get(&a).unwrap().flow, 10);
+    }
+
+    #[test]
     fn invalidation_sweeps_only_the_dataset() {
         let cache = FlowCache::new(8);
         cache.put(key("g", 1, 0, 1), answer(1));
@@ -315,5 +455,80 @@ mod tests {
         cache.put(k.clone(), answer(1));
         assert_eq!(cache.get(&k), None);
         assert_eq!(cache.stats().entries, 0);
+    }
+
+    /// Replays a seeded op sequence against a naive reference LRU and
+    /// demands identical observable behaviour (hits, evict victims).
+    #[test]
+    fn matches_a_reference_lru_model() {
+        struct Model {
+            cap: usize,
+            // Most-recent-first (key, flow) pairs.
+            entries: Vec<(CacheKey, Capacity)>,
+        }
+        impl Model {
+            fn get(&mut self, k: &CacheKey) -> Option<Capacity> {
+                let pos = self.entries.iter().position(|(ek, _)| ek == k)?;
+                let e = self.entries.remove(pos);
+                let flow = e.1;
+                self.entries.insert(0, e);
+                Some(flow)
+            }
+            fn put(&mut self, k: CacheKey, flow: Capacity) {
+                if let Some(pos) = self.entries.iter().position(|(ek, _)| ek == &k) {
+                    self.entries.remove(pos);
+                } else if self.entries.len() >= self.cap {
+                    self.entries.pop();
+                }
+                self.entries.insert(0, (k, flow));
+            }
+        }
+
+        let cache = FlowCache::new(8);
+        let mut model = Model {
+            cap: 8,
+            entries: Vec::new(),
+        };
+        // SplitMix64-style scramble for a deterministic op stream.
+        let mut x: u64 = 0x9E37_79B9_7F4A_7C15;
+        for step in 0..2000u64 {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let k = key("g", 1, z % 20, 99);
+            if z.is_multiple_of(3) {
+                let flow = (z % 1000) as Capacity;
+                cache.put(k.clone(), answer(flow));
+                model.put(k, flow);
+            } else {
+                let got = cache.get(&k).map(|a| a.flow);
+                assert_eq!(got, model.get(&k), "step {step}: hit/value mismatch");
+            }
+        }
+        assert_eq!(cache.stats().entries, model.entries.len());
+    }
+
+    /// The O(1) regression bar: at a QPS-tier capacity, a stream of
+    /// inserts must not degrade into per-insert full scans. The old
+    /// `min_by_key` eviction took minutes on this workload; the slab
+    /// LRU finishes in well under the bound even in debug builds.
+    #[test]
+    fn qps_tier_capacity_insert_stream_is_fast() {
+        let capacity = 50_000;
+        let cache = FlowCache::new(capacity);
+        let started = std::time::Instant::now();
+        for i in 0..150_000u64 {
+            cache.put(key("g", 1, i, i + 1), answer(1));
+        }
+        let elapsed = started.elapsed();
+        assert_eq!(cache.stats().entries, capacity);
+        assert_eq!(cache.stats().evictions, 100_000);
+        assert!(
+            elapsed < std::time::Duration::from_secs(30),
+            "LRU insert stream took {elapsed:?}; eviction has regressed \
+             to a per-insert scan"
+        );
     }
 }

@@ -17,14 +17,16 @@
 //! counters (zero for sequential routes) so clients can see what a query
 //! cost.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use ffmr_core::{FfConfig, FfError, FfRun, FfVariant};
 use mapreduce::{ClusterConfig, MrRuntime};
-use maxflow::{Algorithm, FlowResult};
+use maxflow::contraction::CorePlan;
+use maxflow::parallel_push_relabel::{max_flow_pooled, PrConfig, SolverPool};
+use maxflow::{Algorithm, Cancel, FlowResult};
 use swgraph::{FlowNetwork, VertexId};
 
 use crate::cache::{CacheKey, CacheStats, CachedAnswer, FlowCache, QueryKind};
@@ -53,6 +55,11 @@ pub struct EngineConfig {
     pub super_min_degree: usize,
     /// Default selection seed for super-terminal queries.
     pub super_seed: u64,
+    /// Whether plain `s→t` max-flow queries may be answered on the
+    /// snapshot's precomputed core contraction (periphery-tree direct
+    /// answers and anchor-pair core solves). Off routes everything to
+    /// the full graph.
+    pub core_planner: bool,
 }
 
 impl Default for EngineConfig {
@@ -66,6 +73,7 @@ impl Default for EngineConfig {
             default_timeout: Duration::from_secs(30),
             super_min_degree: 3,
             super_seed: 42,
+            core_planner: true,
         }
     }
 }
@@ -86,6 +94,28 @@ pub struct QueryEngine {
     /// Flight-recorder round profiles of recent MapReduce queries,
     /// newest last (bounded FIFO; served by the `history` verb).
     history: Mutex<VecDeque<ffmr_obs::RoundProfile>>,
+    /// One persistent worker pool shared by every in-memory parallel
+    /// push-relabel solve — queries borrow its threads for the duration
+    /// of their solve instead of spawning (and joining) a fresh set.
+    pool: SolverPool,
+    /// Queries currently being solved, keyed by their cache key. A
+    /// duplicate arriving while the leader is still solving waits for
+    /// the leader's answer instead of solving again (single-flight).
+    inflight: Mutex<HashMap<CacheKey, Arc<InflightSlot>>>,
+}
+
+/// Rendezvous for queries coalesced onto one in-flight solve.
+#[derive(Debug)]
+struct InflightSlot {
+    /// `None` while the leader is solving; the final result after.
+    done: Mutex<Option<Result<(CachedAnswer, bool), String>>>,
+    ready: Condvar,
+}
+
+/// Whether this query leads the solve or follows an identical one.
+enum InflightRole {
+    Lead(Arc<InflightSlot>),
+    Follow(Arc<InflightSlot>),
 }
 
 /// One cancelled-but-checkpointed MapReduce runtime awaiting a retry.
@@ -121,14 +151,17 @@ impl Solver {
 /// The resolved terminals of a query: either the literal `s`/`t` pair or
 /// a super source/sink construction over high-degree terminal sets.
 struct ResolvedQuery {
-    /// Network to solve on (the snapshot graph, or its super-terminal
-    /// augmentation).
-    net: FlowNetwork,
+    /// Network to solve on. A plain `s→t` query shares the snapshot's
+    /// own `Arc` (no copy); only a `--w` query materializes a new
+    /// (super-terminal-augmented) network.
+    net: Arc<FlowNetwork>,
     source: VertexId,
     sink: VertexId,
     /// Canonical terminal vertex sets for the cache key.
     source_terminals: Vec<u64>,
     sink_terminals: Vec<u64>,
+    /// Whether the terminals are a super source/sink construction.
+    super_st: bool,
 }
 
 impl QueryEngine {
@@ -139,12 +172,17 @@ impl QueryEngine {
         // their flight-recorder events; turn the recorder on for the
         // life of the process.
         ffmr_obs::events::recorder().set_enabled(true);
+        let threads = config
+            .worker_threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()));
         Self {
             cache: FlowCache::new(config.cache_capacity),
             store,
             config,
             stash: Mutex::new(VecDeque::new()),
             history: Mutex::new(VecDeque::new()),
+            pool: SolverPool::new(threads),
+            inflight: Mutex::new(HashMap::new()),
         }
     }
 
@@ -220,6 +258,9 @@ impl QueryEngine {
                 format!("{:.3}", swgraph::props::average_degree(&snap.network)),
             );
             response.push("max-degree", swgraph::props::max_degree(&snap.network));
+            response.push("core-vertices", snap.core.core_vertex_count());
+            response.push("core-edge-pairs", snap.core.core_edge_pairs());
+            response.push("periphery-vertices", snap.core.periphery_vertex_count());
             let route = if snap.network.num_vertices() <= self.config.mr_threshold_vertices {
                 "sequential"
             } else {
@@ -344,7 +385,8 @@ impl QueryEngine {
             .ok_or_else(|| format!("unknown dataset '{dataset}'"))?;
 
         let resolved = self.resolve_terminals(request, &snap.network)?;
-        let solver = self.pick_solver(request.get("algorithm"), &resolved.net)?;
+        let requested = request.get("algorithm");
+        let solver = self.pick_solver(requested, &resolved.net)?;
         let key = CacheKey::new(
             dataset,
             snap.epoch,
@@ -356,39 +398,216 @@ impl QueryEngine {
         let use_cache = request.get("no-cache").is_none();
         if use_cache {
             if let Some(hit) = self.cache.get(&key) {
-                return Ok(render_answer(
-                    &hit, kind, &resolved, dataset, snap.epoch, true,
-                ));
+                let mut response = render_answer(&hit, kind, &resolved, dataset, snap.epoch, true);
+                response.push("coalesced", 0u8);
+                return Ok(response);
             }
         }
 
         let timeout_ms: u64 = request
             .get_parsed("timeout-ms")?
             .unwrap_or(self.config.default_timeout.as_millis() as u64);
+        let timeout = Duration::from_millis(timeout_ms);
         // Diagnostic: cooperatively cancel the MR driver once it has
         // completed this many rounds — exercises the cancel/checkpoint/
         // resume path without tuning a wall-clock deadline.
         let cancel_after_rounds: Option<usize> = request.get_parsed("cancel-after-rounds")?;
-        let (answer, resumed) = self.solve(
-            &resolved,
-            solver,
-            kind,
-            Duration::from_millis(timeout_ms),
-            &key,
-            cancel_after_rounds,
-        )?;
-        if use_cache {
+
+        // The core planner applies to plain s→t max-flow queries only:
+        // min-cut needs the full graph for its certificate, `--w`
+        // queries solve an augmented graph the core was not built for,
+        // and an explicit MapReduce algorithm request pins the solver to
+        // the full graph (`no-core` opts a single request out).
+        let mr_requested = matches!(requested, Some("ff1" | "ff2" | "ff3" | "ff4" | "ff5"));
+        let plan = if self.config.core_planner
+            && !resolved.super_st
+            && kind == QueryKind::MaxFlow
+            && !mr_requested
+            && request.get("no-core").is_none()
+        {
+            Some(snap.core.plan(resolved.source, resolved.sink))
+        } else {
+            None
+        };
+
+        let compute = || -> Result<(CachedAnswer, bool), String> {
+            self.execute_plan(
+                &plan,
+                &snap,
+                &resolved,
+                requested,
+                solver,
+                kind,
+                timeout,
+                dataset,
+                &key,
+                use_cache,
+                cancel_after_rounds,
+            )
+        };
+
+        // Single-flight: an identical cacheable in-memory query arriving
+        // while another is solving waits for that answer instead of
+        // solving again. MapReduce queries are exempt — their stash/
+        // resume and round-accounting semantics are per-execution.
+        let coalescible = use_cache && matches!(solver, Solver::Sequential(_));
+        let (answer, resumed, coalesced) = if coalescible {
+            match self.join_or_lead(&key) {
+                InflightRole::Lead(slot) => {
+                    let result = compute();
+                    *slot.done.lock().expect("inflight slot") = Some(result.clone());
+                    slot.ready.notify_all();
+                    self.inflight.lock().expect("inflight map").remove(&key);
+                    let (answer, resumed) = result?;
+                    (answer, resumed, false)
+                }
+                InflightRole::Follow(slot) => {
+                    let mut done = slot.done.lock().expect("inflight slot");
+                    while done.is_none() {
+                        done = slot.ready.wait(done).expect("inflight wait");
+                    }
+                    ffmr_obs::global()
+                        .counter("ffmr_query_coalesced_total", &[])
+                        .inc();
+                    let (answer, resumed) = done.clone().expect("leader published")?;
+                    (answer, resumed, true)
+                }
+            }
+        } else {
+            let (answer, resumed) = compute()?;
+            (answer, resumed, false)
+        };
+        if use_cache && !coalesced {
             self.cache.put(key, answer.clone());
         }
         let mut response = render_answer(&answer, kind, &resolved, dataset, snap.epoch, false);
         response.push("resumed", u8::from(resumed));
+        response.push("coalesced", u8::from(coalesced));
         Ok(response)
+    }
+
+    /// Registers this query in the in-flight table, either as the leader
+    /// (first arrival) or as a follower of an identical running query.
+    fn join_or_lead(&self, key: &CacheKey) -> InflightRole {
+        let mut inflight = self.inflight.lock().expect("inflight map");
+        if let Some(slot) = inflight.get(key) {
+            InflightRole::Follow(Arc::clone(slot))
+        } else {
+            let slot = Arc::new(InflightSlot {
+                done: Mutex::new(None),
+                ready: Condvar::new(),
+            });
+            inflight.insert(key.clone(), Arc::clone(&slot));
+            InflightRole::Lead(slot)
+        }
+    }
+
+    /// Executes a planned query: direct periphery answers, core solves
+    /// (with anchor-pair caching), or the full-graph fallback.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_plan(
+        &self,
+        plan: &Option<CorePlan>,
+        snap: &crate::store::Snapshot,
+        resolved: &ResolvedQuery,
+        requested: Option<&str>,
+        solver: Solver,
+        kind: QueryKind,
+        timeout: Duration,
+        dataset: &str,
+        key: &CacheKey,
+        use_cache: bool,
+        cancel_after_rounds: Option<usize>,
+    ) -> Result<(CachedAnswer, bool), String> {
+        let metrics = ffmr_obs::global();
+        match *plan {
+            // The periphery trees fully determine the value: no solver.
+            Some(CorePlan::Direct(flow)) => {
+                metrics.counter("ffmr_core_answered_total", &[]).inc();
+                let answer = CachedAnswer {
+                    flow,
+                    solver: "periphery".to_string(),
+                    plan: "direct".to_string(),
+                    rounds: 0,
+                    shuffle_bytes: 0,
+                    sim_seconds_milli: 0,
+                    cut_edges: None,
+                    cut_source_side: None,
+                };
+                Ok((answer, false))
+            }
+            // Solve between the anchors on the contracted core; the
+            // solve is cached under the anchor pair, so every query
+            // whose periphery trees meet the core at the same anchors
+            // shares it.
+            Some(CorePlan::Core {
+                source,
+                sink,
+                limit,
+                source_anchor,
+                sink_anchor,
+            }) => {
+                metrics.counter("ffmr_core_answered_total", &[]).inc();
+                let core_net = snap.core.core_net();
+                let core_solver = self.pick_solver(requested, core_net)?;
+                let core_key = CacheKey::new(
+                    dataset,
+                    snap.epoch,
+                    QueryKind::MaxFlow,
+                    vec![source_anchor],
+                    vec![sink_anchor],
+                );
+                // When both terminals are core vertices the core key IS
+                // the query key, and that lookup already missed.
+                let core_hit = if use_cache && core_key != *key {
+                    self.cache.get(&core_key)
+                } else {
+                    None
+                };
+                let (mut core_answer, resumed) = match core_hit {
+                    Some(hit) => (hit, false),
+                    None => {
+                        let core_q = ResolvedQuery {
+                            net: Arc::clone(core_net),
+                            source,
+                            sink,
+                            source_terminals: vec![source_anchor],
+                            sink_terminals: vec![sink_anchor],
+                            super_st: false,
+                        };
+                        let (mut answer, resumed) = self.solve(
+                            &core_q,
+                            core_solver,
+                            QueryKind::MaxFlow,
+                            timeout,
+                            &core_key,
+                            cancel_after_rounds,
+                        )?;
+                        answer.plan = "core".to_string();
+                        if use_cache && core_key != *key {
+                            // The unclamped anchor-pair value is what
+                            // other queries sharing these anchors need.
+                            self.cache.put(core_key, answer.clone());
+                        }
+                        (answer, resumed)
+                    }
+                };
+                core_answer.flow = limit.min(core_answer.flow);
+                Ok((core_answer, resumed))
+            }
+            None => {
+                if !resolved.super_st && kind == QueryKind::MaxFlow {
+                    metrics.counter("ffmr_core_fallback_total", &[]).inc();
+                }
+                self.solve(resolved, solver, kind, timeout, key, cancel_after_rounds)
+            }
+        }
     }
 
     fn resolve_terminals(
         &self,
         request: &Message,
-        base: &FlowNetwork,
+        base: &Arc<FlowNetwork>,
     ) -> Result<ResolvedQuery, String> {
         let w: usize = request.get_parsed("w")?.unwrap_or(0);
         if w > 0 {
@@ -401,11 +620,12 @@ impl QueryEngine {
             let st = swgraph::super_st::attach_super_terminals(base, w, min_degree, seed)
                 .map_err(|e| e.to_string())?;
             return Ok(ResolvedQuery {
-                net: st.network,
+                net: Arc::new(st.network),
                 source: st.source,
                 sink: st.sink,
                 source_terminals: st.source_terminals.iter().map(|v| v.raw()).collect(),
                 sink_terminals: st.sink_terminals.iter().map(|v| v.raw()).collect(),
+                super_st: true,
             });
         }
         let source: u64 = request
@@ -422,11 +642,14 @@ impl QueryEngine {
             return Err(format!("terminal outside the graph (0..{n})"));
         }
         Ok(ResolvedQuery {
-            net: base.clone(),
+            // Shares the snapshot's Arc — a plain query never copies
+            // the graph.
+            net: Arc::clone(base),
             source: VertexId::new(source),
             sink: VertexId::new(sink),
             source_terminals: vec![source],
             sink_terminals: vec![sink],
+            super_st: false,
         })
     }
 
@@ -468,26 +691,33 @@ impl QueryEngine {
     ) -> Result<(CachedAnswer, bool), String> {
         match solver {
             Solver::Sequential(algo) => {
-                // In-memory solvers are not cooperatively cancellable;
-                // the auto-threshold keeps them on graphs where they
-                // finish far inside any sane deadline. The parallel
-                // push-relabel route honours the engine's thread knob
-                // (its answer is thread-count invariant by design).
-                let flow = if algo == Algorithm::ParallelPushRelabel {
-                    let config = maxflow::parallel_push_relabel::PrConfig {
-                        threads: self.config.worker_threads.unwrap_or_else(|| {
-                            std::thread::available_parallelism().map_or(1, |p| p.get())
-                        }),
-                        ..maxflow::parallel_push_relabel::PrConfig::default()
+                // Every in-memory solver polls a deadline at its natural
+                // progress boundaries; a query that blows its budget
+                // returns a timeout error instead of holding the
+                // connection hostage. The parallel push-relabel route
+                // runs on the engine's persistent worker pool (no
+                // per-query thread spawn) and is thread-count invariant.
+                let cancel = Cancel::after(timeout);
+                let solved = if algo == Algorithm::ParallelPushRelabel {
+                    let config = PrConfig {
+                        threads: self.pool.threads(),
+                        ..PrConfig::default()
                     };
-                    maxflow::parallel_push_relabel::max_flow_with(&q.net, q.source, q.sink, &config)
-                        .result
+                    max_flow_pooled(&q.net, q.source, q.sink, &config, &self.pool, &cancel)
+                        .map(|run| run.result)
                 } else {
-                    algo.run(&q.net, q.source, q.sink)
+                    algo.run_cancellable(&q.net, q.source, q.sink, &cancel)
                 };
+                let flow = solved.map_err(|_| {
+                    format!(
+                        "timeout after {}ms (in-memory solve cancelled at the deadline)",
+                        timeout.as_millis()
+                    )
+                })?;
                 let mut answer = CachedAnswer {
                     flow: flow.value,
                     solver: solver.name(),
+                    plan: "full".to_string(),
                     rounds: 0,
                     shuffle_bytes: 0,
                     sim_seconds_milli: 0,
@@ -507,6 +737,7 @@ impl QueryEngine {
                 let mut answer = CachedAnswer {
                     flow: run.max_flow_value,
                     solver: name.to_string(),
+                    plan: "full".to_string(),
                     rounds: run.num_flow_rounds(),
                     shuffle_bytes: run.rounds.iter().map(|r| r.shuffle_bytes).sum(),
                     sim_seconds_milli: (run.total_sim_seconds * 1_000.0) as u64,
@@ -684,6 +915,7 @@ fn render_answer(
         .field("epoch", epoch)
         .field("flow", answer.flow)
         .field("solver", &answer.solver)
+        .field("plan", &answer.plan)
         .field("cached", u8::from(cached))
         .field("rounds", answer.rounds)
         .field("shuffle-bytes", answer.shuffle_bytes)
@@ -1045,6 +1277,197 @@ mod tests {
             fields.iter().any(|(k, _)| k == "ffmr_ff_live_round"),
             "live round gauge exists"
         );
+    }
+
+    #[test]
+    fn plain_queries_share_the_snapshot_arc() {
+        // Regression: plain s→t queries used to clone the whole graph
+        // per query. They must now borrow the snapshot's own Arc.
+        let engine = engine_with(two_paths(), EngineConfig::default());
+        let snap = engine.store().get("g").unwrap();
+        let request = query("maxflow");
+        let resolved = engine.resolve_terminals(&request, &snap.network).unwrap();
+        assert!(
+            Arc::ptr_eq(&resolved.net, &snap.network),
+            "plain query must not copy the graph"
+        );
+        // Super-terminal queries still materialize an augmented graph.
+        let super_request = Message::new("maxflow").field("dataset", "g").field("w", 1);
+        let resolved = engine
+            .resolve_terminals(&super_request, &snap.network)
+            .unwrap();
+        assert!(!Arc::ptr_eq(&resolved.net, &snap.network));
+        assert_eq!(resolved.net.num_vertices(), 6, "base + super s + super t");
+    }
+
+    #[test]
+    fn timeouts_cancel_in_memory_queries() {
+        // Regression: `timeout-ms` was silently ignored on the
+        // sequential route; the deadline now reaches the solver's
+        // progress boundaries. An already-expired deadline must fail
+        // deterministically even on a graph this small, for every
+        // in-memory solver.
+        let engine = engine_with(two_paths(), EngineConfig::default());
+        for algo in ["parallel-pr", "dinic", "push-relabel", "edmonds-karp"] {
+            let q = query("maxflow")
+                .field("algorithm", algo)
+                .field("no-core", 1)
+                .field("timeout-ms", 0);
+            let r = engine.execute(&q);
+            assert_eq!(r.head, status::ERROR, "{algo}: {r:?}");
+            let message = r.get("message").unwrap();
+            assert!(message.contains("timeout after 0ms"), "{algo}: {message}");
+        }
+        // A sane deadline still answers.
+        let r = engine.execute(&query("maxflow").field("timeout-ms", 30_000));
+        assert_eq!(r.head, status::OK, "{r:?}");
+    }
+
+    /// A path graph peels entirely into periphery: the planner answers
+    /// without running any solver.
+    #[test]
+    fn periphery_queries_are_answered_directly() {
+        let net = FlowNetwork::from_undirected_unit(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let engine = engine_with(net, EngineConfig::default());
+        let q = Message::new("maxflow")
+            .field("dataset", "g")
+            .field("source", 0)
+            .field("sink", 4);
+        let r = engine.execute(&q);
+        assert_eq!(r.head, status::OK, "{r:?}");
+        assert_eq!(r.get("flow"), Some("1"));
+        assert_eq!(r.get("solver"), Some("periphery"));
+        assert_eq!(r.get("plan"), Some("direct"));
+        assert_eq!(r.get("rounds"), Some("0"));
+    }
+
+    /// A lollipop graph: triangle core {0,1,2} with a pendant chain
+    /// 2-3-4. Queries from the chain solve on the core between anchors
+    /// and clamp by the tree bottleneck; queries sharing the anchor pair
+    /// share the cached core solve.
+    #[test]
+    fn core_plans_clamp_and_share_anchor_solves() {
+        let net = FlowNetwork::from_undirected_unit(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)]);
+        let engine = engine_with(net, EngineConfig::default());
+        let ask = |s: u64, t: u64| {
+            engine.execute(
+                &Message::new("maxflow")
+                    .field("dataset", "g")
+                    .field("source", s)
+                    .field("sink", t),
+            )
+        };
+        // 4 → 0: up the chain (bottleneck 1), then core anchor 2 → 0.
+        let r = ask(4, 0);
+        assert_eq!(r.head, status::OK, "{r:?}");
+        assert_eq!(r.get("flow"), Some("1"));
+        assert_eq!(r.get("plan"), Some("core"));
+        assert_eq!(r.get("cached"), Some("0"));
+        // 3 → 0 shares the anchor pair (2, 0): the core solve is reused
+        // even though the full query key differs.
+        let before = engine.cache_stats().hits;
+        let r = ask(3, 0);
+        assert_eq!(r.get("flow"), Some("1"));
+        assert_eq!(r.get("plan"), Some("core"));
+        assert!(
+            engine.cache_stats().hits > before,
+            "anchor-pair entry served the second query's core solve"
+        );
+        // Core-to-core queries agree with a full-graph solve.
+        let r = ask(0, 1);
+        assert_eq!(r.get("flow"), Some("2"), "triangle carries 2 units");
+    }
+
+    #[test]
+    fn no_core_and_disabled_planner_route_to_the_full_graph() {
+        let net = FlowNetwork::from_undirected_unit(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)]);
+        // Per-request opt-out.
+        let engine = engine_with(net.clone(), EngineConfig::default());
+        let q = Message::new("maxflow")
+            .field("dataset", "g")
+            .field("source", 4)
+            .field("sink", 0)
+            .field("no-core", 1);
+        let r = engine.execute(&q);
+        assert_eq!(r.get("plan"), Some("full"), "{r:?}");
+        assert_eq!(r.get("flow"), Some("1"));
+        // Engine-wide kill switch.
+        let engine = engine_with(
+            net,
+            EngineConfig {
+                core_planner: false,
+                ..EngineConfig::default()
+            },
+        );
+        let q = Message::new("maxflow")
+            .field("dataset", "g")
+            .field("source", 4)
+            .field("sink", 0);
+        let r = engine.execute(&q);
+        assert_eq!(r.get("plan"), Some("full"), "{r:?}");
+        assert_eq!(r.get("flow"), Some("1"));
+    }
+
+    /// Core-planned answers agree with full-graph answers across a
+    /// seeded scale-free graph, including periphery terminals.
+    #[test]
+    fn planner_agrees_with_full_solves_end_to_end() {
+        let n = 200;
+        let net = FlowNetwork::from_undirected_unit(n, &gen::barabasi_albert(n, 2, 3));
+        let engine = engine_with(net, EngineConfig::default());
+        for (s, t) in [(0u64, 199u64), (1, 150), (42, 43), (199, 0), (7, 180)] {
+            let planned = engine.execute(
+                &Message::new("maxflow")
+                    .field("dataset", "g")
+                    .field("source", s)
+                    .field("sink", t)
+                    .field("no-cache", 1),
+            );
+            let full = engine.execute(
+                &Message::new("maxflow")
+                    .field("dataset", "g")
+                    .field("source", s)
+                    .field("sink", t)
+                    .field("no-cache", 1)
+                    .field("no-core", 1),
+            );
+            assert_eq!(planned.head, status::OK, "{planned:?}");
+            assert_eq!(
+                planned.get("flow"),
+                full.get("flow"),
+                "({s},{t}): plan {:?} disagrees with full solve",
+                planned.get("plan")
+            );
+        }
+    }
+
+    #[test]
+    fn coalesced_queries_share_one_solve() {
+        let n = 300;
+        let net = FlowNetwork::from_undirected_unit(n, &gen::barabasi_albert(n, 3, 9));
+        let engine = Arc::new(engine_with(net, EngineConfig::default()));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let engine = Arc::clone(&engine);
+                std::thread::spawn(move || {
+                    engine.execute(
+                        &Message::new("maxflow")
+                            .field("dataset", "g")
+                            .field("source", 0)
+                            .field("sink", 299),
+                    )
+                })
+            })
+            .collect();
+        let responses: Vec<Message> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+        let flows: Vec<_> = responses.iter().map(|r| r.get("flow")).collect();
+        assert!(flows.windows(2).all(|w| w[0] == w[1]), "{flows:?}");
+        for r in &responses {
+            assert_eq!(r.head, status::OK, "{r:?}");
+            // Every concurrent duplicate either led the solve, followed
+            // it (coalesced), or hit the cache after the leader's put.
+            assert!(r.get("coalesced").is_some());
+        }
     }
 
     #[test]

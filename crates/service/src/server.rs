@@ -64,6 +64,8 @@ impl Default for ServerConfig {
 struct WorkItem {
     request: Message,
     reply: mpsc::Sender<Message>,
+    /// When the item entered the queue (drives `ffmr_queue_wait_us`).
+    enqueued: std::time::Instant,
 }
 
 struct Shared {
@@ -254,6 +256,7 @@ fn dispatch(request: &Message, shared: &Arc<Shared>) -> Message {
             let item = WorkItem {
                 request: request.clone(),
                 reply: reply_tx,
+                enqueued: std::time::Instant::now(),
             };
             match shared.queue.try_send(item) {
                 Ok(()) => {
@@ -281,9 +284,18 @@ fn worker_loop(shared: &Arc<Shared>, queue: &Mutex<Receiver<WorkItem>>) {
         // work happen outside it so workers drain the queue in parallel.
         let item = queue.lock().recv_timeout(POLL_INTERVAL);
         match item {
-            Ok(WorkItem { request, reply }) => {
+            Ok(WorkItem {
+                request,
+                reply,
+                enqueued,
+            }) => {
                 let m = ffmr_obs::global();
                 m.gauge("ffmr_queue_depth", &[]).sub(1);
+                // Queue-wait latency: how long the request sat behind
+                // busy workers before one picked it up — the knob
+                // operators watch to size the worker pool.
+                m.histogram("ffmr_queue_wait_us", &[])
+                    .record_duration(enqueued.elapsed());
                 m.gauge("ffmr_workers_busy", &[]).add(1);
                 let response = shared.engine.execute(&request);
                 m.gauge("ffmr_workers_busy", &[]).sub(1);

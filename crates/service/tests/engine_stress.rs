@@ -1,0 +1,175 @@
+//! Concurrency stress: many client threads firing mixed queries at one
+//! engine while the snapshot is repeatedly swapped underneath them.
+//!
+//! The invariant under test is epoch consistency: every response names
+//! the epoch it was answered against, and the flow value must be the
+//! correct answer *for that epoch's graph* — never a hybrid of two
+//! snapshots and never a stale cache entry served across a reload.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use ffmr_service::engine::{EngineConfig, QueryEngine};
+use ffmr_service::protocol::{status, Message};
+use ffmr_service::GraphStore;
+use swgraph::FlowNetwork;
+
+const VERTICES: u64 = 8;
+const SOURCE: u64 = 0;
+const SINK: u64 = 7;
+const EPOCHS: u64 = 6;
+
+/// The epoch-`k` graph: `k` disjoint two-edge paths from SOURCE to SINK,
+/// so its max flow is exactly `k`. Epoch 1 is a single path (pure
+/// periphery, answered directly); later epochs have a 2-core.
+fn variant(k: u64) -> FlowNetwork {
+    let mut edges = Vec::new();
+    for i in 0..k {
+        edges.push((SOURCE, 1 + i));
+        edges.push((1 + i, SINK));
+    }
+    FlowNetwork::from_undirected_unit(VERTICES, &edges)
+}
+
+#[test]
+fn concurrent_queries_survive_snapshot_swaps() {
+    let store = Arc::new(GraphStore::new());
+    assert_eq!(store.insert_network("g", variant(1)), 1);
+    let engine = Arc::new(QueryEngine::new(
+        Arc::clone(&store),
+        EngineConfig {
+            cache_capacity: 16, // small enough to evict under load
+            worker_threads: Some(2),
+            ..EngineConfig::default()
+        },
+    ));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let checked = Arc::new(AtomicU64::new(0));
+    let workers: Vec<_> = (0..6)
+        .map(|worker: u64| {
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            let checked = Arc::clone(&checked);
+            std::thread::spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    i += 1;
+                    let mut q = Message::new(if (worker + i) % 4 == 3 {
+                        "mincut"
+                    } else {
+                        "maxflow"
+                    })
+                    .field("dataset", "g")
+                    .field("source", SOURCE)
+                    .field("sink", SINK);
+                    match (worker + i) % 4 {
+                        1 => q.push("no-cache", 1),
+                        2 => q.push("no-core", 1),
+                        _ => {}
+                    }
+                    let r = engine.execute(&q);
+                    assert_eq!(r.head, status::OK, "{q:?} → {r:?}");
+                    let epoch: u64 = r.get("epoch").unwrap().parse().unwrap();
+                    let flow: u64 = r.get("flow").unwrap().parse().unwrap();
+                    assert!(
+                        (1..=EPOCHS).contains(&epoch),
+                        "epoch {epoch} was never swapped in"
+                    );
+                    // Epoch k's graph has max flow exactly k: any other
+                    // value means a stale or hybrid answer leaked.
+                    assert_eq!(
+                        flow, epoch,
+                        "answer {flow} is wrong for epoch {epoch}: {r:?}"
+                    );
+                    checked.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+
+    // Swap the snapshot underneath the query storm, pausing briefly so
+    // every epoch actually serves some queries.
+    for k in 2..=EPOCHS {
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(store.insert_network("g", variant(k)), k);
+    }
+    std::thread::sleep(Duration::from_millis(30));
+    stop.store(true, Ordering::Relaxed);
+    for w in workers {
+        w.join().expect("worker panicked (invariant violated)");
+    }
+    assert!(
+        checked.load(Ordering::Relaxed) > 100,
+        "stress test did real work"
+    );
+
+    // Cache stats stayed coherent through the churn.
+    let stats = engine.cache_stats();
+    assert!(stats.entries <= 16, "capacity respected: {stats:?}");
+    assert!(stats.hits + stats.misses > 0, "{stats:?}");
+
+    // The final epoch answers deterministically and caches normally.
+    let q = Message::new("maxflow")
+        .field("dataset", "g")
+        .field("source", SOURCE)
+        .field("sink", SINK);
+    let warm = engine.execute(&q);
+    assert_eq!(warm.get("epoch"), Some("6"));
+    assert_eq!(warm.get("flow"), Some("6"));
+    let hit = engine.execute(&q);
+    assert_eq!(hit.get("cached"), Some("1"), "{hit:?}");
+    assert_eq!(hit.get("flow"), Some("6"));
+}
+
+/// A barrage of identical expensive queries lands while the first is
+/// still solving: followers coalesce onto the leader's solve (or hit
+/// the cache the leader filled) — every response agrees, and the
+/// engine never runs more solves than leaders.
+#[test]
+fn identical_query_storms_coalesce() {
+    let n = 400;
+    let net = FlowNetwork::from_undirected_unit(n, &swgraph::gen::barabasi_albert(n, 3, 17));
+    let store = Arc::new(GraphStore::new());
+    store.insert_network("g", net);
+    let engine = Arc::new(QueryEngine::new(
+        Arc::clone(&store),
+        EngineConfig::default(),
+    ));
+
+    let threads: Vec<_> = (0..8)
+        .map(|_| {
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || {
+                engine.execute(
+                    &Message::new("maxflow")
+                        .field("dataset", "g")
+                        .field("source", 0)
+                        .field("sink", 399),
+                )
+            })
+        })
+        .collect();
+    let responses: Vec<Message> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+    let first_flow = responses[0].get("flow").unwrap();
+    let mut led = 0u32;
+    for r in &responses {
+        assert_eq!(r.head, status::OK, "{r:?}");
+        assert_eq!(r.get("flow"), Some(first_flow), "all answers agree");
+        let cached = r.get("cached") == Some("1");
+        let coalesced = r.get("coalesced") == Some("1");
+        if !cached && !coalesced {
+            led += 1;
+        }
+    }
+    assert!(led >= 1, "someone actually solved");
+    // Solves happened only for leaders: cache misses from this storm
+    // are bounded by the lead count (each leader misses the main key
+    // once; its core solve may add one more miss on the anchor key).
+    let stats = engine.cache_stats();
+    assert!(
+        stats.misses <= u64::from(led) * 2,
+        "followers must not fall through to the solver: {led} leaders, {stats:?}"
+    );
+}

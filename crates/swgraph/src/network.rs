@@ -241,6 +241,77 @@ impl FlowNetwork {
             .filter(|&e| self.capacity(e) > 0)
     }
 
+    /// Returns a copy of this network extended with a super source
+    /// (vertex `n`) and super sink (vertex `n + 1`): one
+    /// [`INFINITE_CAPACITY`] pair `n → v` per source terminal and
+    /// `v → n+1` per sink terminal.
+    ///
+    /// Existing edge ids are preserved (terminal pairs are appended
+    /// after them) and the adjacency structure is rebuilt with one
+    /// counting pass — `O(n + m)` with no re-sorting, unlike routing
+    /// the whole graph through [`FlowNetworkBuilder`] again. This is
+    /// the serving tier's per-query path for `--w` queries, so the
+    /// constant matters.
+    ///
+    /// # Panics
+    /// Panics if any terminal id is out of range.
+    #[must_use]
+    pub fn with_super_terminals(&self, sources: &[u64], sinks: &[u64]) -> FlowNetwork {
+        let n = self.num_vertices() as u64;
+        for &v in sources.iter().chain(sinks) {
+            assert!(v < n, "terminal {v} out of range (n = {n})");
+        }
+        let (super_s, super_t) = (n, n + 1);
+        let extra_pairs = sources.len() + sinks.len();
+        let old_slots = self.tails.len();
+        let mut tails = Vec::with_capacity(old_slots + 2 * extra_pairs);
+        let mut heads = Vec::with_capacity(old_slots + 2 * extra_pairs);
+        let mut caps = Vec::with_capacity(old_slots + 2 * extra_pairs);
+        tails.extend_from_slice(&self.tails);
+        heads.extend_from_slice(&self.heads);
+        caps.extend_from_slice(&self.caps);
+        for &v in sources {
+            tails.push(super_s);
+            heads.push(v);
+            caps.push(INFINITE_CAPACITY);
+            tails.push(v);
+            heads.push(super_s);
+            caps.push(0);
+        }
+        for &v in sinks {
+            tails.push(v);
+            heads.push(super_t);
+            caps.push(INFINITE_CAPACITY);
+            tails.push(super_t);
+            heads.push(v);
+            caps.push(0);
+        }
+        let new_n = n as usize + 2;
+        let mut degree = vec![0usize; new_n];
+        for &tail in &tails {
+            degree[tail as usize] += 1;
+        }
+        let mut adj_offsets = Vec::with_capacity(new_n + 1);
+        adj_offsets.push(0);
+        for d in &degree {
+            adj_offsets.push(adj_offsets.last().copied().unwrap_or(0) + d);
+        }
+        let mut cursor = adj_offsets.clone();
+        let mut adj = vec![EdgeId::new(0); tails.len()];
+        for (e, &tail) in tails.iter().enumerate() {
+            let t = tail as usize;
+            adj[cursor[t]] = EdgeId::new(e as u64);
+            cursor[t] += 1;
+        }
+        FlowNetwork {
+            tails,
+            heads,
+            caps,
+            adj_offsets,
+            adj,
+        }
+    }
+
     /// The undirected edge list (canonical direction only, positive
     /// capacity in either direction), useful for re-serialization.
     #[must_use]
@@ -352,6 +423,51 @@ mod tests {
         b.add_edge(0, 2, INFINITE_CAPACITY);
         let net = b.build();
         assert!(net.capacity_out(VertexId::new(0)) >= INFINITE_CAPACITY);
+    }
+
+    #[test]
+    fn super_terminal_augmentation_matches_builder_route() {
+        let base = diamond();
+        let fast = base.with_super_terminals(&[0, 1], &[2, 3]);
+        // The builder route: re-insert everything plus the terminal edges.
+        let mut b = FlowNetworkBuilder::new(6);
+        for e in base.capacitated_edges() {
+            b.add_edge(base.tail(e).raw(), base.head(e).raw(), base.capacity(e));
+        }
+        for v in [0u64, 1] {
+            b.add_edge(4, v, INFINITE_CAPACITY);
+        }
+        for v in [2u64, 3] {
+            b.add_edge(v, 5, INFINITE_CAPACITY);
+        }
+        let slow = b.build();
+        assert_eq!(fast.num_vertices(), slow.num_vertices());
+        assert_eq!(fast.num_edge_pairs(), slow.num_edge_pairs());
+        // Same multiset of capacitated directed edges, whatever the ids.
+        let canon = |net: &FlowNetwork| {
+            let mut edges: Vec<(u64, u64, Capacity)> = net
+                .capacitated_edges()
+                .map(|e| (net.tail(e).raw(), net.head(e).raw(), net.capacity(e)))
+                .collect();
+            edges.sort_unstable();
+            edges
+        };
+        assert_eq!(canon(&fast), canon(&slow));
+        // Pre-existing edge ids are untouched by the augmentation.
+        for e in (0..base.num_directed_edges() as u64).map(EdgeId::new) {
+            assert_eq!(base.tail(e), fast.tail(e));
+            assert_eq!(base.head(e), fast.head(e));
+            assert_eq!(base.capacity(e), fast.capacity(e));
+        }
+        // The adjacency of a terminal covers its new incident slot.
+        assert_eq!(fast.out_edges(VertexId::new(4)).count(), 2);
+        assert_eq!(fast.out_edges(VertexId::new(5)).count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn super_terminal_augmentation_rejects_bad_ids() {
+        let _ = diamond().with_super_terminals(&[9], &[3]);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use std::fmt;
 use ffmr_prng::SplitMix64;
 
 use crate::ids::VertexId;
-use crate::network::{FlowNetwork, FlowNetworkBuilder, INFINITE_CAPACITY};
+use crate::network::FlowNetwork;
 
 /// A flow network augmented with super terminals.
 #[derive(Debug, Clone)]
@@ -108,22 +108,17 @@ pub fn attach_super_terminals(
     let source_terminals: Vec<VertexId> = qualified[..w].to_vec();
     let sink_terminals: Vec<VertexId> = qualified[w..2 * w].to_vec();
 
-    let s = n as u64;
-    let t = n as u64 + 1;
-    let mut b = FlowNetworkBuilder::new(n as u64 + 2);
-    for e in base.capacitated_edges() {
-        b.add_edge(base.tail(e).raw(), base.head(e).raw(), base.capacity(e));
-    }
-    for &v in &source_terminals {
-        b.add_edge(s, v.raw(), INFINITE_CAPACITY);
-    }
-    for &v in &sink_terminals {
-        b.add_edge(v.raw(), t, INFINITE_CAPACITY);
-    }
+    // Append the terminal pairs directly onto the base CSR instead of
+    // re-inserting every edge through the builder: O(n + m) with no
+    // re-sort, which is what keeps per-query `--w` materialization cheap
+    // in the serving tier.
+    let sources: Vec<u64> = source_terminals.iter().map(|v| v.raw()).collect();
+    let sinks: Vec<u64> = sink_terminals.iter().map(|v| v.raw()).collect();
+    let network = base.with_super_terminals(&sources, &sinks);
     Ok(SuperStNetwork {
-        network: b.build(),
-        source: VertexId::new(s),
-        sink: VertexId::new(t),
+        network,
+        source: VertexId::new(n as u64),
+        sink: VertexId::new(n as u64 + 1),
         source_terminals,
         sink_terminals,
     })
@@ -133,6 +128,7 @@ pub fn attach_super_terminals(
 mod tests {
     use super::*;
     use crate::gen;
+    use crate::network::INFINITE_CAPACITY;
 
     fn base() -> FlowNetwork {
         FlowNetwork::from_undirected_unit(500, &gen::barabasi_albert(500, 3, 2))

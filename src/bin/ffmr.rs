@@ -87,12 +87,13 @@ fn print_help() {
          \x20 serve    --listen HOST:PORT --graph NAME=FILE [--graph ...]\n\
          \x20          [--workers N] [--queue N] [--cache N] [--mr-threshold N]\n\
          \x20          [--threads N] [--nodes N] [--reducers R] [--timeout-ms N]\n\
+         \x20          [--no-core]  (disable the core-contraction planner)\n\
          \x20 worker   --connect HOST:PORT [--poll-ms N] [--heartbeat-ms N]\n\
          \x20 query    --addr HOST:PORT --op maxflow|mincut|stats|history|list|\n\
          \x20          load|reload|ping|shutdown [--dataset D] [--limit N]\n\
          \x20          (--source S --sink T | --w N)\n\
          \x20          [--algorithm auto|...] [--seed S] [--timeout-ms N] [--no-cache]\n\
-         \x20          [--cancel-after-rounds N]\n\
+         \x20          [--no-core] [--cancel-after-rounds N]\n\
          \x20 stats    [--addr HOST:PORT] [--dataset D] [--prometheus] [--watch]\n\
          \x20          [--interval-ms N]\n\
          \x20 top      --connect HOST:PORT [--watch] [--interval-ms N]\n\
@@ -158,6 +159,7 @@ const FLAGS: &[&str] = &[
     "prometheus",
     "watch",
     "no-cache",
+    "no-core",
     "resume",
     "speculate",
     "json",
@@ -588,6 +590,7 @@ fn serve(args: &[String]) -> Result<(), String> {
         reducers: opts.parsed("reducers", 8)?,
         cache_capacity: opts.parsed("cache", 256)?,
         default_timeout: std::time::Duration::from_millis(opts.parsed("timeout-ms", 30_000u64)?),
+        core_planner: !opts.has("no-core"),
         ..engine::EngineConfig::default()
     };
     let server_config = server::ServerConfig {
@@ -643,6 +646,7 @@ fn query(args: &[String]) -> Result<(), String> {
         "timeout-ms",
         "cancel-after-rounds",
         "no-cache",
+        "no-core",
         "path",
         "ms",
         "format",
