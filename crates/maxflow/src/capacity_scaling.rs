@@ -9,6 +9,7 @@ use std::collections::VecDeque;
 use swgraph::{Capacity, EdgeId, FlowNetwork, VertexId};
 
 use crate::cancel::{Cancel, Cancelled};
+use crate::report::SolveReport;
 use crate::residual::{FlowResult, Residual};
 
 /// Computes the maximum `s`–`t` flow with capacity scaling.
@@ -36,30 +37,45 @@ pub fn max_flow_cancellable(
     t: VertexId,
     cancel: &Cancel,
 ) -> Result<FlowResult, Cancelled> {
+    max_flow_with_report(net, s, t, cancel).map(|(r, _)| r)
+}
+
+/// [`max_flow_cancellable`] returning the [`SolveReport`] counters (Δ
+/// scaling phases, augmenting paths, cancel polls) alongside the flow.
+pub fn max_flow_with_report(
+    net: &FlowNetwork,
+    s: VertexId,
+    t: VertexId,
+    cancel: &Cancel,
+) -> Result<(FlowResult, SolveReport), Cancelled> {
     let mut residual = Residual::new(net);
+    let mut report = SolveReport::default();
     let n = net.num_vertices();
     if s == t || n == 0 || s.index() >= n || t.index() >= n {
-        return Ok(residual.into_result(s));
+        return Ok((residual.into_result(s), report));
     }
     let max_cap = (0..net.num_directed_edges() as u64)
         .map(|e| net.capacity(EdgeId::new(e)))
         .max()
         .unwrap_or(0);
     if max_cap <= 0 {
-        return Ok(residual.into_result(s));
+        return Ok((residual.into_result(s), report));
     }
     // Largest power of two not exceeding the largest capacity.
     let mut delta: Capacity = 1 << (63 - max_cap.leading_zeros().min(62));
     while delta >= 1 {
+        report.phases += 1;
         while let Some((path, bottleneck)) = find_wide_path(&residual, s, t, delta) {
+            report.cancel_polls += 1;
             cancel.check()?;
+            report.augmenting_paths += 1;
             for e in path {
                 residual.push(e, bottleneck);
             }
         }
         delta /= 2;
     }
-    Ok(residual.into_result(s))
+    Ok((residual.into_result(s), report))
 }
 
 /// BFS restricted to residual capacity >= `delta`; returns the path and

@@ -7,6 +7,7 @@ use std::collections::VecDeque;
 use swgraph::{Capacity, EdgeId, FlowNetwork, VertexId};
 
 use crate::cancel::{Cancel, Cancelled};
+use crate::report::SolveReport;
 use crate::residual::{FlowResult, Residual};
 
 /// Computes the maximum `s`–`t` flow with Dinic's algorithm.
@@ -31,13 +32,26 @@ pub fn max_flow_cancellable(
     t: VertexId,
     cancel: &Cancel,
 ) -> Result<FlowResult, Cancelled> {
+    max_flow_with_report(net, s, t, cancel).map(|(r, _)| r)
+}
+
+/// [`max_flow_cancellable`] returning the [`SolveReport`] counters (BFS
+/// phases, augmenting paths, cancel polls) alongside the flow.
+pub fn max_flow_with_report(
+    net: &FlowNetwork,
+    s: VertexId,
+    t: VertexId,
+    cancel: &Cancel,
+) -> Result<(FlowResult, SolveReport), Cancelled> {
     let mut residual = Residual::new(net);
+    let mut report = SolveReport::default();
     let n = net.num_vertices();
     if s == t || n == 0 || s.index() >= n || t.index() >= n {
-        return Ok(residual.into_result(s));
+        return Ok((residual.into_result(s), report));
     }
     let mut level: Vec<i32> = vec![-1; n];
     loop {
+        report.cancel_polls += 1;
         cancel.check()?;
         // Build the level graph by BFS over positive-residual edges.
         level.iter_mut().for_each(|l| *l = -1);
@@ -56,6 +70,7 @@ pub fn max_flow_cancellable(
         if level[t.index()] < 0 {
             break;
         }
+        report.phases += 1;
         // Blocking flow with the current-arc optimization: each vertex
         // remembers which out-edges it has exhausted this phase.
         let mut next_arc: Vec<Vec<EdgeId>> = Vec::with_capacity(n);
@@ -65,14 +80,16 @@ pub fn max_flow_cancellable(
             next_arc.push(arcs);
         }
         loop {
+            report.cancel_polls += 1;
             cancel.check()?;
             let pushed = dfs_push(&mut residual, &level, &mut next_arc, s, t, Capacity::MAX);
             if pushed == 0 {
                 break;
             }
+            report.augmenting_paths += 1;
         }
     }
-    Ok(residual.into_result(s))
+    Ok((residual.into_result(s), report))
 }
 
 /// Pushes up to `limit` flow along one level-respecting path via iterative

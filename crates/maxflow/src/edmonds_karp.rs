@@ -7,6 +7,7 @@ use std::collections::VecDeque;
 use swgraph::{Capacity, EdgeId, FlowNetwork, VertexId};
 
 use crate::cancel::{Cancel, Cancelled};
+use crate::report::SolveReport;
 use crate::residual::{FlowResult, Residual};
 
 /// Computes the maximum `s`–`t` flow with BFS shortest augmenting paths.
@@ -31,13 +32,26 @@ pub fn max_flow_cancellable(
     t: VertexId,
     cancel: &Cancel,
 ) -> Result<FlowResult, Cancelled> {
+    max_flow_with_report(net, s, t, cancel).map(|(r, _)| r)
+}
+
+/// [`max_flow_cancellable`] returning the [`SolveReport`] counters
+/// (augmenting paths, cancel polls) alongside the flow.
+pub fn max_flow_with_report(
+    net: &FlowNetwork,
+    s: VertexId,
+    t: VertexId,
+    cancel: &Cancel,
+) -> Result<(FlowResult, SolveReport), Cancelled> {
     let mut residual = Residual::new(net);
+    let mut report = SolveReport::default();
     let n = net.num_vertices();
     if s == t || n == 0 || s.index() >= n || t.index() >= n {
-        return Ok(residual.into_result(s));
+        return Ok((residual.into_result(s), report));
     }
     let mut parent: Vec<Option<EdgeId>> = vec![None; n];
     loop {
+        report.cancel_polls += 1;
         cancel.check()?;
         // BFS over positive-residual edges.
         parent.iter_mut().for_each(|p| *p = None);
@@ -67,6 +81,7 @@ pub fn max_flow_cancellable(
         if !found {
             break;
         }
+        report.augmenting_paths += 1;
         // Walk back to find the bottleneck, then augment.
         let mut bottleneck = Capacity::MAX;
         let mut cur = t;
@@ -82,7 +97,7 @@ pub fn max_flow_cancellable(
             cur = net.tail(e);
         }
     }
-    Ok(residual.into_result(s))
+    Ok((residual.into_result(s), report))
 }
 
 #[cfg(test)]

@@ -5,6 +5,7 @@
 use swgraph::{Capacity, EdgeId, FlowNetwork, VertexId};
 
 use crate::cancel::{Cancel, Cancelled};
+use crate::report::SolveReport;
 use crate::residual::{FlowResult, Residual};
 
 /// Computes the maximum `s`–`t` flow with DFS augmenting paths.
@@ -33,18 +34,32 @@ pub fn max_flow_cancellable(
     t: VertexId,
     cancel: &Cancel,
 ) -> Result<FlowResult, Cancelled> {
+    max_flow_with_report(net, s, t, cancel).map(|(r, _)| r)
+}
+
+/// [`max_flow_cancellable`] returning the [`SolveReport`] counters
+/// (augmenting paths, cancel polls) alongside the flow.
+pub fn max_flow_with_report(
+    net: &FlowNetwork,
+    s: VertexId,
+    t: VertexId,
+    cancel: &Cancel,
+) -> Result<(FlowResult, SolveReport), Cancelled> {
     let mut residual = Residual::new(net);
+    let mut report = SolveReport::default();
     let n = net.num_vertices();
     if s == t || n == 0 || s.index() >= n || t.index() >= n {
-        return Ok(residual.into_result(s));
+        return Ok((residual.into_result(s), report));
     }
     while let Some((path, bottleneck)) = find_path_dfs(&residual, s, t) {
+        report.cancel_polls += 1;
         cancel.check()?;
+        report.augmenting_paths += 1;
         for e in path {
             residual.push(e, bottleneck);
         }
     }
-    Ok(residual.into_result(s))
+    Ok((residual.into_result(s), report))
 }
 
 /// Iterative DFS for an augmenting path; returns the edge sequence and its

@@ -35,10 +35,12 @@ pub mod ford_fulkerson;
 pub mod min_cut;
 pub mod parallel_push_relabel;
 pub mod push_relabel;
+pub mod report;
 pub mod residual;
 pub mod validate;
 
 pub use cancel::{Cancel, Cancelled};
+pub use report::SolveReport;
 pub use residual::{FlowResult, Residual};
 
 use swgraph::{FlowNetwork, VertexId};
@@ -91,12 +93,24 @@ impl Algorithm {
         t: VertexId,
         cancel: &Cancel,
     ) -> Result<FlowResult, Cancelled> {
+        self.run_with_report(net, s, t, cancel).map(|(r, _)| r)
+    }
+
+    /// Like [`Algorithm::run_cancellable`] but also returns the solver's
+    /// [`SolveReport`] execution counters.
+    pub fn run_with_report(
+        self,
+        net: &FlowNetwork,
+        s: VertexId,
+        t: VertexId,
+        cancel: &Cancel,
+    ) -> Result<(FlowResult, SolveReport), Cancelled> {
         match self {
-            Algorithm::FordFulkerson => ford_fulkerson::max_flow_cancellable(net, s, t, cancel),
-            Algorithm::EdmondsKarp => edmonds_karp::max_flow_cancellable(net, s, t, cancel),
-            Algorithm::Dinic => dinic::max_flow_cancellable(net, s, t, cancel),
-            Algorithm::PushRelabel => push_relabel::max_flow_cancellable(net, s, t, cancel),
-            Algorithm::CapacityScaling => capacity_scaling::max_flow_cancellable(net, s, t, cancel),
+            Algorithm::FordFulkerson => ford_fulkerson::max_flow_with_report(net, s, t, cancel),
+            Algorithm::EdmondsKarp => edmonds_karp::max_flow_with_report(net, s, t, cancel),
+            Algorithm::Dinic => dinic::max_flow_with_report(net, s, t, cancel),
+            Algorithm::PushRelabel => push_relabel::max_flow_with_report(net, s, t, cancel),
+            Algorithm::CapacityScaling => capacity_scaling::max_flow_with_report(net, s, t, cancel),
             Algorithm::ParallelPushRelabel => parallel_push_relabel::max_flow_with_cancel(
                 net,
                 s,
@@ -104,7 +118,7 @@ impl Algorithm {
                 &parallel_push_relabel::PrConfig::default(),
                 cancel,
             )
-            .map(|run| run.result),
+            .map(|run| (run.result, run.stats.report())),
         }
     }
 }

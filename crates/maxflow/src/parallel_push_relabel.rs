@@ -33,6 +33,7 @@ use ffmr_sync::{Condvar, Mutex, RwLock};
 use swgraph::{Capacity, EdgeId, FlowNetwork, VertexId};
 
 use crate::cancel::{Cancel, Cancelled};
+use crate::report::SolveReport;
 use crate::residual::FlowResult;
 
 /// Tuning knobs for the parallel solver.
@@ -71,6 +72,25 @@ pub struct PrStats {
     pub max_frontier: usize,
     /// Worker threads the run was configured with.
     pub threads: usize,
+    /// Times the coordinator polled its [`Cancel`] token (solve entry,
+    /// each pulse, each BFS wave) — deterministic for any thread count.
+    pub cancel_polls: usize,
+}
+
+impl PrStats {
+    /// These counters as the cross-solver [`SolveReport`] shape
+    /// (pulses map to phases).
+    #[must_use]
+    pub fn report(&self) -> SolveReport {
+        SolveReport {
+            phases: self.passes as u64,
+            augmenting_paths: 0,
+            pushes: self.pushes as u64,
+            relabels: self.relabels as u64,
+            global_relabels: self.global_relabels as u64,
+            cancel_polls: self.cancel_polls as u64,
+        }
+    }
 }
 
 /// A parallel push-relabel run: the flow plus its execution counters.
@@ -654,10 +674,12 @@ impl<'a> Solver<'a> {
     }
 
     fn solve(&mut self, run: &mut Executor<'_>, cancel: &Cancel) -> Result<PrRun, Cancelled> {
+        self.stats.cancel_polls += 1;
         cancel.check()?;
         self.global_relabel(run, cancel)?;
         self.rebuild_frontier();
         loop {
+            self.stats.cancel_polls += 1;
             cancel.check()?;
             let frontier_len = self.state.read().frontier.len();
             if frontier_len == 0 {
@@ -845,6 +867,7 @@ impl<'a> Solver<'a> {
         }
         let mut level = 0u32;
         loop {
+            self.stats.cancel_polls += 1;
             cancel.check()?;
             let chunks = {
                 let st = self.state.read();

@@ -14,6 +14,7 @@ use std::collections::VecDeque;
 use swgraph::{Capacity, FlowNetwork, VertexId};
 
 use crate::cancel::{Cancel, Cancelled};
+use crate::report::SolveReport;
 use crate::residual::{FlowResult, Residual};
 
 /// Work (edges scanned + weighted relabels) between global relabelings,
@@ -51,6 +52,18 @@ pub fn max_flow_cancellable(
     run_instrumented(net, s, t, cancel).map(|run| run.result)
 }
 
+/// [`max_flow_cancellable`] returning the [`SolveReport`] counters
+/// (sweeps, pushes, relabels, global relabels, cancel polls) alongside
+/// the flow.
+pub fn max_flow_with_report(
+    net: &FlowNetwork,
+    s: VertexId,
+    t: VertexId,
+    cancel: &Cancel,
+) -> Result<(FlowResult, SolveReport), Cancelled> {
+    run_instrumented(net, s, t, cancel).map(|run| (run.result, run.report))
+}
+
 /// How many FIFO discharges happen between [`Cancel`] polls: frequent
 /// enough that a deadline lands within microseconds, rare enough that
 /// the `Instant::now()` call is invisible in profiles.
@@ -65,6 +78,9 @@ pub struct InstrumentedRun {
     /// at the start of each FIFO sweep — the paper's "available
     /// parallelism" measure for push-relabel.
     pub active_trace: Vec<usize>,
+    /// Deterministic execution counters (sweeps as phases, pushes,
+    /// relabels, global relabels, cancel polls).
+    pub report: SolveReport,
 }
 
 /// Like [`max_flow`] but records how many vertices were active over time.
@@ -85,8 +101,10 @@ fn run_instrumented(
         return Ok(InstrumentedRun {
             result: residual.into_result(s),
             active_trace: Vec::new(),
+            report: SolveReport::default(),
         });
     }
+    let mut report = SolveReport::default();
 
     let mut height: Vec<usize> = vec![0; n];
     let mut excess: Vec<Capacity> = vec![0; n];
@@ -123,13 +141,16 @@ fn run_instrumented(
     let relabel_threshold = GLOBAL_RELABEL_FACTOR * (n + m) as u64;
     let mut work: u64 = 0;
     global_relabel(net, &residual, s, t, &mut height, &mut height_count);
+    report.global_relabels += 1;
     let mut sweep_budget = queue.len();
     active_trace.push(queue.len());
+    report.phases += 1;
     let mut discharges: u64 = 0;
     while let Some(u) = queue.pop_front() {
         // Poll on the first discharge (so an already-expired deadline
         // fails deterministically even on tiny graphs), then periodically.
         if discharges.is_multiple_of(CANCEL_POLL_INTERVAL) {
+            report.cancel_polls += 1;
             cancel.check()?;
         }
         discharges += 1;
@@ -137,6 +158,7 @@ fn run_instrumented(
         if work >= relabel_threshold {
             work = 0;
             global_relabel(net, &residual, s, t, &mut height, &mut height_count);
+            report.global_relabels += 1;
         }
         discharge(
             net,
@@ -147,6 +169,7 @@ fn run_instrumented(
             &mut queue,
             &mut in_queue,
             &mut work,
+            &mut report,
             u,
             s,
             t,
@@ -155,6 +178,7 @@ fn run_instrumented(
             sweep_budget = queue.len();
             if !queue.is_empty() {
                 active_trace.push(queue.len());
+                report.phases += 1;
             }
         } else {
             sweep_budget -= 1;
@@ -164,6 +188,7 @@ fn run_instrumented(
     Ok(InstrumentedRun {
         result: residual.into_result(s),
         active_trace,
+        report,
     })
 }
 
@@ -240,6 +265,7 @@ fn discharge(
     queue: &mut VecDeque<VertexId>,
     in_queue: &mut [bool],
     work: &mut u64,
+    report: &mut SolveReport,
     u: VertexId,
     s: VertexId,
     t: VertexId,
@@ -260,6 +286,7 @@ fn discharge(
                 residual.push(e, amount);
                 excess[u.index()] -= amount;
                 pushed_any = true;
+                report.pushes += 1;
                 // Terminal excess is untracked (see above).
                 if v != s && v != t {
                     excess[v.index()] += amount;
@@ -291,6 +318,7 @@ fn discharge(
             height[u.index()] = new.min(2 * n);
             height_count[height[u.index()]] += 1;
             *work += RELABEL_WORK;
+            report.relabels += 1;
             if height_count[old] == 0 && old < n {
                 // Gap: every vertex above `old` (but below n) can never
                 // reach t again; lift them above n to avoid useless work.

@@ -53,6 +53,7 @@ pub mod events;
 mod json;
 mod metrics;
 pub mod profile;
+pub mod query_profile;
 mod rotate;
 pub mod span;
 
@@ -63,6 +64,7 @@ pub use metrics::{
 pub use profile::{
     DispatchNote, DistBlame, DistPathStep, PathStep, RoundProfile, SkewReport, Straggler,
 };
+pub use query_profile::{QueryProfile, SlowLog, DEFAULT_SLOWLOG_CAPACITY, SLOWLOG_CAP_ENV};
 pub use span::{set_sink, set_trace_id, span, span_child_of, FileSink, Span, SpanSink, VecSink};
 
 use std::sync::OnceLock;

@@ -1,0 +1,510 @@
+//! The per-query flight recorder: one [`QueryProfile`] per served
+//! request, mirroring what [`crate::events`] does for MR task attempts.
+//!
+//! The serving tier (`ffmrd`) assembles a profile as a query travels
+//! planner → (direct | core | full) → cache/coalescing → solver: which
+//! plan was chosen and *why*, per-stage wall windows (queue wait,
+//! terminal resolution, planning, solve, cache update), and the
+//! solver's own execution counters. Three surfaces consume it:
+//!
+//! * the `explain` request flag echoes the profile on the response
+//!   (`ffmr query --explain` renders it as a stage-timing tree);
+//! * every profile over the daemon's slow-query threshold lands in a
+//!   bounded [`SlowLog`] ring served by the `slowlog` verb, optionally
+//!   persisted as JSONL through the same [`EventSink`] machinery the
+//!   job recorder uses;
+//! * stage durations feed the `ffmr_query_stage_us{stage}` histograms.
+//!
+//! The ring is bounded by [`DEFAULT_SLOWLOG_CAPACITY`], overridable via
+//! the [`SLOWLOG_CAP_ENV`] environment variable (the
+//! `FFMR_EVENT_RING_CAP` precedent); overwrites of unread entries bump
+//! the `ffmr_query_slowlog_dropped_total` counter.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use crate::events::{push_escaped, EventSink};
+use crate::json::Value;
+
+/// Default number of profiles the slow-query ring retains.
+pub const DEFAULT_SLOWLOG_CAPACITY: usize = 256;
+
+/// Environment variable overriding the slow-query ring capacity.
+pub const SLOWLOG_CAP_ENV: &str = "FFMR_SLOWLOG_CAP";
+
+/// The slow-query ring capacity: [`SLOWLOG_CAP_ENV`] when set to a
+/// positive integer, [`DEFAULT_SLOWLOG_CAPACITY`] otherwise.
+#[must_use]
+pub fn slowlog_capacity_from_env() -> usize {
+    std::env::var(SLOWLOG_CAP_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&c| c > 0)
+        .unwrap_or(DEFAULT_SLOWLOG_CAPACITY)
+}
+
+/// Appends `v` in decimal without the intermediate `String` that
+/// `u64::to_string` allocates — [`QueryProfile::to_json`] writes ~10
+/// integers per call on the explain hot path.
+fn push_u64(out: &mut String, mut v: u64) {
+    let mut buf = [0u8; 20];
+    let mut at = buf.len();
+    loop {
+        at -= 1;
+        buf[at] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    out.push_str(std::str::from_utf8(&buf[at..]).expect("decimal digits are ASCII"));
+}
+
+/// Everything the serving tier learned about one query: the route it
+/// took, where its wall time went, and what the solver did.
+///
+/// Durations are microseconds; `unix_ms` anchors the entry in wall
+/// time for the slowlog. Solver counters not meaningful for the chosen
+/// algorithm stay zero.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryProfile {
+    /// Protocol verb (`maxflow`, `mincut`).
+    pub verb: String,
+    /// Dataset the query ran against.
+    pub dataset: String,
+    /// Snapshot epoch the answer was computed on.
+    pub epoch: u64,
+    /// Route taken: `direct` (periphery trees), `core` (contracted
+    /// 2-core), `full` (whole graph), or `-` when no solve ran.
+    pub plan: String,
+    /// Why that route: `periphery-direct`, `anchor-core-solve`,
+    /// `cache-hit`, `planner-disabled`, `no-core-requested`,
+    /// `super-terminal-query`, `mincut-needs-full-graph`,
+    /// `mapreduce-pinned`, `coalesced-follower`.
+    pub plan_reason: String,
+    /// Solver that produced the answer (`dinic`, `parallel-pr`,
+    /// `mapreduce-ff`, `periphery`, …).
+    pub solver: String,
+    /// Cache interaction: `hit`, `miss`, or `bypass` (`no-cache`).
+    pub cache: String,
+    /// The query piggybacked on another in-flight identical query.
+    pub coalesced: bool,
+    /// The answer completed a stashed MapReduce run.
+    pub resumed: bool,
+    /// `ok` or `error`.
+    pub outcome: String,
+    /// The error text when `outcome == "error"`.
+    pub error: Option<String>,
+    /// Wall-clock milliseconds since the Unix epoch at completion.
+    pub unix_ms: u64,
+    /// Time spent queued behind other requests before execution.
+    pub queue_wait_us: u64,
+    /// Terminal resolution (super-terminal BFS, id validation).
+    pub resolve_us: u64,
+    /// Core-index planning (anchor lookup, tree bottleneck walk).
+    pub plan_us: u64,
+    /// The solve itself (in-memory or simulated MapReduce wall time).
+    pub solve_us: u64,
+    /// Writing the answer back into the flow cache.
+    pub cache_update_us: u64,
+    /// End-to-end wall time including queue wait.
+    pub total_us: u64,
+    /// The query's deadline budget in milliseconds (0 = default).
+    pub deadline_ms: u64,
+    /// Solver phases (BFS rounds, Δ levels, sweeps, pulses).
+    pub phases: u64,
+    /// Augmenting paths pushed (Ford–Fulkerson family).
+    pub augmenting_paths: u64,
+    /// Push operations (push-relabel family).
+    pub pushes: u64,
+    /// Relabel operations (push-relabel family).
+    pub relabels: u64,
+    /// Global relabelings (push-relabel family).
+    pub global_relabels: u64,
+    /// Cancel-token polls during the solve.
+    pub cancel_polls: u64,
+}
+
+impl QueryProfile {
+    /// The wall-window stages in pipeline order, as
+    /// `(stage, microseconds)` pairs — the shape both the
+    /// `ffmr_query_stage_us{stage}` histograms and the `--explain`
+    /// tree renderer consume.
+    #[must_use]
+    pub fn stages(&self) -> [(&'static str, u64); 5] {
+        [
+            ("queue_wait", self.queue_wait_us),
+            ("resolve", self.resolve_us),
+            ("plan", self.plan_us),
+            ("solve", self.solve_us),
+            ("cache_update", self.cache_update_us),
+        ]
+    }
+
+    /// The non-zero solver counters as `(name, value)` pairs.
+    #[must_use]
+    pub fn solver_counters(&self) -> Vec<(&'static str, u64)> {
+        [
+            ("phases", self.phases),
+            ("augmenting_paths", self.augmenting_paths),
+            ("pushes", self.pushes),
+            ("relabels", self.relabels),
+            ("global_relabels", self.global_relabels),
+            ("cancel_polls", self.cancel_polls),
+        ]
+        .into_iter()
+        .filter(|&(_, v)| v != 0)
+        .collect()
+    }
+
+    /// Encodes the profile as one single-line JSON object (the slowlog
+    /// wire and persistence format). Zero solver counters and an
+    /// absent `error` are omitted.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        // 384 covers a typical line (~300 bytes with the 13-digit
+        // unix_ms and a few solver counters) without a mid-build
+        // realloc — this runs on the explain/slowlog hot path.
+        let mut out = String::with_capacity(384);
+        out.push_str("{\"verb\":\"");
+        push_escaped(&mut out, &self.verb);
+        out.push_str("\",\"dataset\":\"");
+        push_escaped(&mut out, &self.dataset);
+        out.push_str("\",\"epoch\":");
+        push_u64(&mut out, self.epoch);
+        out.push_str(",\"plan\":\"");
+        push_escaped(&mut out, &self.plan);
+        out.push_str("\",\"plan_reason\":\"");
+        push_escaped(&mut out, &self.plan_reason);
+        out.push_str("\",\"solver\":\"");
+        push_escaped(&mut out, &self.solver);
+        out.push_str("\",\"cache\":\"");
+        push_escaped(&mut out, &self.cache);
+        out.push_str("\",\"coalesced\":");
+        out.push_str(if self.coalesced { "true" } else { "false" });
+        out.push_str(",\"resumed\":");
+        out.push_str(if self.resumed { "true" } else { "false" });
+        out.push_str(",\"outcome\":\"");
+        push_escaped(&mut out, &self.outcome);
+        out.push('"');
+        if let Some(error) = &self.error {
+            out.push_str(",\"error\":\"");
+            push_escaped(&mut out, error);
+            out.push('"');
+        }
+        for (key, v) in [
+            ("unix_ms", self.unix_ms),
+            ("queue_wait_us", self.queue_wait_us),
+            ("resolve_us", self.resolve_us),
+            ("plan_us", self.plan_us),
+            ("solve_us", self.solve_us),
+            ("cache_update_us", self.cache_update_us),
+            ("total_us", self.total_us),
+            ("deadline_ms", self.deadline_ms),
+        ] {
+            out.push_str(",\"");
+            out.push_str(key);
+            out.push_str("\":");
+            push_u64(&mut out, v);
+        }
+        for (key, v) in self.solver_counters() {
+            out.push_str(",\"");
+            out.push_str(key);
+            out.push_str("\":");
+            push_u64(&mut out, v);
+        }
+        out.push('}');
+        out
+    }
+
+    /// Decodes a profile from one JSON line produced by [`to_json`].
+    ///
+    /// # Errors
+    /// Propagates parse errors; missing numeric fields default to 0.
+    ///
+    /// [`to_json`]: QueryProfile::to_json
+    pub fn from_json(line: &str) -> Result<QueryProfile, String> {
+        let v = Value::parse(line)?;
+        let text = |key: &str| -> String {
+            v.get(key)
+                .and_then(Value::as_str)
+                .unwrap_or_default()
+                .to_string()
+        };
+        let int = |key: &str| -> u64 { v.get(key).and_then(Value::as_u64).unwrap_or(0) };
+        let flag = |key: &str| -> bool { matches!(v.get(key), Some(Value::Bool(true))) };
+        Ok(QueryProfile {
+            verb: text("verb"),
+            dataset: text("dataset"),
+            epoch: int("epoch"),
+            plan: text("plan"),
+            plan_reason: text("plan_reason"),
+            solver: text("solver"),
+            cache: text("cache"),
+            coalesced: flag("coalesced"),
+            resumed: flag("resumed"),
+            outcome: text("outcome"),
+            error: v
+                .get("error")
+                .and_then(Value::as_str)
+                .map(ToString::to_string),
+            unix_ms: int("unix_ms"),
+            queue_wait_us: int("queue_wait_us"),
+            resolve_us: int("resolve_us"),
+            plan_us: int("plan_us"),
+            solve_us: int("solve_us"),
+            cache_update_us: int("cache_update_us"),
+            total_us: int("total_us"),
+            deadline_ms: int("deadline_ms"),
+            phases: int("phases"),
+            augmenting_paths: int("augmenting_paths"),
+            pushes: int("pushes"),
+            relabels: int("relabels"),
+            global_relabels: int("global_relabels"),
+            cancel_polls: int("cancel_polls"),
+        })
+    }
+}
+
+/// The always-on bounded slow-query ring: profiles whose total wall
+/// time crossed the daemon's threshold, oldest overwritten first.
+///
+/// Same design as [`crate::EventRing`]: lock-free sequencing via an
+/// atomic head, per-slot `RwLock`s so a racing snapshot never blocks
+/// recording, and an optional [`EventSink`] that receives each entry
+/// as one JSON line for persistence.
+pub struct SlowLog {
+    slots: Vec<RwLock<Option<QueryProfile>>>,
+    head: AtomicU64,
+    sink: RwLock<Option<Arc<dyn EventSink>>>,
+}
+
+impl SlowLog {
+    /// Creates a ring holding at most `capacity` profiles.
+    #[must_use]
+    pub fn new(capacity: usize) -> SlowLog {
+        let capacity = capacity.max(1);
+        // Register the drop counter up front so scrapes see an explicit
+        // zero before the first wraparound, not an absent series.
+        let _ = crate::global().counter("ffmr_query_slowlog_dropped_total", &[]);
+        SlowLog {
+            slots: (0..capacity).map(|_| RwLock::new(None)).collect(),
+            head: AtomicU64::new(0),
+            sink: RwLock::new(None),
+        }
+    }
+
+    /// Creates a ring sized by [`slowlog_capacity_from_env`].
+    #[must_use]
+    pub fn from_env() -> SlowLog {
+        SlowLog::new(slowlog_capacity_from_env())
+    }
+
+    /// Maximum number of retained profiles.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Installs (or clears) the JSONL persistence sink.
+    pub fn set_sink(&self, sink: Option<Arc<dyn EventSink>>) {
+        if let Ok(mut slot) = self.sink.write() {
+            *slot = sink;
+        }
+    }
+
+    /// Records one over-threshold profile: streams it to the sink (if
+    /// any), appends it to the ring, and bumps the
+    /// `ffmr_query_slowlog_dropped_total` counter when the append
+    /// overwrites an older entry. Returns the sequence number.
+    pub fn record(&self, profile: QueryProfile) -> u64 {
+        if let Ok(sink) = self.sink.read() {
+            if let Some(sink) = sink.as_ref() {
+                sink.emit(&profile.to_json());
+            }
+        }
+        let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        let idx = usize::try_from(seq % self.slots.len() as u64).unwrap_or(0);
+        if let Ok(mut slot) = self.slots[idx].write() {
+            *slot = Some(profile);
+        }
+        if seq >= self.slots.len() as u64 {
+            crate::global()
+                .counter("ffmr_query_slowlog_dropped_total", &[])
+                .inc();
+        }
+        seq
+    }
+
+    /// Total number of profiles ever recorded.
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Number of profiles lost to wraparound.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.recorded().saturating_sub(self.slots.len() as u64)
+    }
+
+    /// Number of profiles currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        usize::try_from(self.recorded().min(self.slots.len() as u64)).unwrap_or(usize::MAX)
+    }
+
+    /// Whether nothing has been recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.recorded() == 0
+    }
+
+    /// The retained profiles, oldest first. Best-effort: records
+    /// racing the scan may shift the window.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<QueryProfile> {
+        let head = self.recorded();
+        let start = head.saturating_sub(self.slots.len() as u64);
+        let mut out = Vec::with_capacity(usize::try_from(head - start).unwrap_or(0));
+        for seq in start..head {
+            let idx = usize::try_from(seq % self.slots.len() as u64).unwrap_or(0);
+            if let Ok(slot) = self.slots[idx].read() {
+                if let Some(profile) = slot.as_ref() {
+                    out.push(profile.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for SlowLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SlowLog")
+            .field("capacity", &self.capacity())
+            .field("recorded", &self.recorded())
+            .field("dropped", &self.dropped())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for SlowLog {
+    fn default() -> Self {
+        SlowLog::new(DEFAULT_SLOWLOG_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::VecEventSink;
+
+    fn sample(total_us: u64) -> QueryProfile {
+        QueryProfile {
+            verb: "maxflow".into(),
+            dataset: "g".into(),
+            epoch: 3,
+            plan: "core".into(),
+            plan_reason: "anchor-core-solve".into(),
+            solver: "parallel-pr".into(),
+            cache: "miss".into(),
+            coalesced: false,
+            resumed: false,
+            outcome: "ok".into(),
+            error: None,
+            unix_ms: 1_700_000_000_000,
+            queue_wait_us: 12,
+            resolve_us: 3,
+            plan_us: 5,
+            solve_us: total_us.saturating_sub(25),
+            cache_update_us: 5,
+            total_us,
+            deadline_ms: 30_000,
+            phases: 7,
+            pushes: 41,
+            relabels: 9,
+            global_relabels: 2,
+            cancel_polls: 8,
+            ..QueryProfile::default()
+        }
+    }
+
+    #[test]
+    fn json_round_trip_preserves_every_field() {
+        let mut p = sample(90_000);
+        p.error = Some("timeout after 250ms".into());
+        p.outcome = "error".into();
+        let line = p.to_json();
+        assert!(!line.contains('\n'), "single line: {line}");
+        assert_eq!(QueryProfile::from_json(&line).unwrap(), p);
+    }
+
+    #[test]
+    fn zero_counters_are_omitted_but_decode_as_zero() {
+        let p = QueryProfile {
+            verb: "maxflow".into(),
+            outcome: "ok".into(),
+            ..QueryProfile::default()
+        };
+        let line = p.to_json();
+        assert!(!line.contains("pushes"), "{line}");
+        assert!(!line.contains("\"error\""), "{line}");
+        let back = QueryProfile::from_json(&line).unwrap();
+        assert_eq!(back.pushes, 0);
+        assert_eq!(back.error, None);
+    }
+
+    #[test]
+    fn stages_cover_the_pipeline_in_order() {
+        let p = sample(1_000);
+        let names: Vec<&str> = p.stages().iter().map(|&(n, _)| n).collect();
+        assert_eq!(
+            names,
+            ["queue_wait", "resolve", "plan", "solve", "cache_update"]
+        );
+    }
+
+    #[test]
+    fn ring_wraps_and_counts_drops() {
+        let log = SlowLog::new(2);
+        let before = crate::global()
+            .counter("ffmr_query_slowlog_dropped_total", &[])
+            .get();
+        for i in 0..5 {
+            log.record(sample(1_000 + i));
+        }
+        assert_eq!(log.recorded(), 5);
+        assert_eq!(log.dropped(), 3);
+        assert_eq!(log.len(), 2);
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), 2);
+        // Oldest first, only the newest two survive.
+        assert_eq!(snap[0].total_us, 1_003);
+        assert_eq!(snap[1].total_us, 1_004);
+        let after = crate::global()
+            .counter("ffmr_query_slowlog_dropped_total", &[])
+            .get();
+        assert_eq!(after - before, 3);
+    }
+
+    #[test]
+    fn sink_receives_every_record_as_jsonl() {
+        let log = SlowLog::new(8);
+        let sink = Arc::new(VecEventSink::new());
+        log.set_sink(Some(sink.clone()));
+        log.record(sample(400));
+        log.record(sample(900));
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 2);
+        let decoded = QueryProfile::from_json(&lines[1]).unwrap();
+        assert_eq!(decoded.total_us, 900);
+    }
+
+    #[test]
+    fn env_capacity_parsing_defaults_sanely() {
+        // Not set in the test environment unless a harness exports it;
+        // either way the result is a positive capacity.
+        assert!(slowlog_capacity_from_env() > 0);
+    }
+}

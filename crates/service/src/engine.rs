@@ -20,13 +20,14 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use ffmr_core::{FfConfig, FfError, FfRun, FfVariant};
+use ffmr_obs::{QueryProfile, SlowLog};
 use mapreduce::{ClusterConfig, MrRuntime};
 use maxflow::contraction::CorePlan;
 use maxflow::parallel_push_relabel::{max_flow_pooled, PrConfig, SolverPool};
-use maxflow::{Algorithm, Cancel, FlowResult};
+use maxflow::{Algorithm, Cancel, FlowResult, SolveReport};
 use swgraph::{FlowNetwork, VertexId};
 
 use crate::cache::{CacheKey, CacheStats, CachedAnswer, FlowCache, QueryKind};
@@ -60,6 +61,10 @@ pub struct EngineConfig {
     /// answers and anchor-pair core solves). Off routes everything to
     /// the full graph.
     pub core_planner: bool,
+    /// Queries whose end-to-end wall time (queue wait included) meets
+    /// or exceeds this land in the slow-query ring served by the
+    /// `slowlog` verb.
+    pub slow_query_threshold: Duration,
 }
 
 impl Default for EngineConfig {
@@ -74,6 +79,7 @@ impl Default for EngineConfig {
             super_min_degree: 3,
             super_seed: 42,
             core_planner: true,
+            slow_query_threshold: Duration::from_millis(250),
         }
     }
 }
@@ -102,6 +108,10 @@ pub struct QueryEngine {
     /// duplicate arriving while the leader is still solving waits for
     /// the leader's answer instead of solving again (single-flight).
     inflight: Mutex<HashMap<CacheKey, Arc<InflightSlot>>>,
+    /// The per-query flight recorder: profiles of queries over
+    /// [`EngineConfig::slow_query_threshold`], served by the `slowlog`
+    /// verb. Capacity honors `FFMR_SLOWLOG_CAP`.
+    slowlog: SlowLog,
 }
 
 /// Rendezvous for queries coalesced onto one in-flight solve.
@@ -183,7 +193,15 @@ impl QueryEngine {
             history: Mutex::new(VecDeque::new()),
             pool: SolverPool::new(threads),
             inflight: Mutex::new(HashMap::new()),
+            slowlog: SlowLog::from_env(),
         }
+    }
+
+    /// The slow-query ring (install a JSONL sink here to persist
+    /// over-threshold profiles).
+    #[must_use]
+    pub fn slowlog(&self) -> &SlowLog {
+        &self.slowlog
     }
 
     /// The backing store (shared with admin paths).
@@ -211,6 +229,7 @@ impl QueryEngine {
             "list" => Ok(self.list()),
             "stats" => self.stats(request),
             "history" => self.history(request),
+            "slowlog" => self.slowlog_verb(request),
             "load" => self.load(request),
             "reload" => self.reload(request),
             "maxflow" => self.flow_query(request, QueryKind::MaxFlow),
@@ -316,6 +335,24 @@ impl QueryEngine {
         Ok(response)
     }
 
+    /// Serves the slow-query ring: a `count` of retained entries plus
+    /// up to `limit` (default 16) repeated `entry` fields, each one
+    /// single-line [`QueryProfile`] JSON, newest last.
+    fn slowlog_verb(&self, request: &Message) -> Result<Message, String> {
+        let limit: usize = request.get_parsed("limit")?.unwrap_or(16);
+        let entries = self.slowlog.snapshot();
+        let mut response = Message::new(status::OK);
+        response.push("count", entries.len());
+        response.push("dropped", self.slowlog.dropped());
+        response.push("capacity", self.slowlog.capacity());
+        response.push("threshold-ms", self.config.slow_query_threshold.as_millis());
+        let skip = entries.len().saturating_sub(limit);
+        for profile in entries.iter().skip(skip) {
+            response.push("entry", profile.to_json());
+        }
+        Ok(response)
+    }
+
     /// Folds the round profiles a finished MapReduce run left in its
     /// DFS history blob into the engine-wide bounded history.
     fn ingest_history(&self, rt: &MrRuntime, base_path: &str) {
@@ -377,14 +414,85 @@ impl QueryEngine {
         Ok(Message::new(status::OK).field("slept-ms", ms))
     }
 
+    /// The profiled wrapper around the query path: assembles one
+    /// [`QueryProfile`] per request (plan, plan reason, stage wall
+    /// windows, solver internals), records the per-stage and
+    /// deadline-budget histograms, lands over-threshold profiles in the
+    /// slowlog — on the error path too, since timeouts are exactly the
+    /// queries worth explaining — and echoes the profile on the
+    /// response when the request carries the `explain` flag.
     fn flow_query(&self, request: &Message, kind: QueryKind) -> Result<Message, String> {
+        let started = Instant::now();
+        let mut prof = QueryProfile {
+            verb: request.head.clone(),
+            dataset: request.get("dataset").unwrap_or("").to_string(),
+            plan: "-".to_string(),
+            // The server injects the measured queue wait into the
+            // request before execution; engine-inline callers have none.
+            queue_wait_us: request
+                .get_parsed("queue-wait-us")
+                .ok()
+                .flatten()
+                .unwrap_or(0),
+            ..QueryProfile::default()
+        };
+        let result = self.flow_query_profiled(request, kind, &mut prof);
+        prof.total_us = prof.queue_wait_us + elapsed_us(started);
+        prof.unix_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map_or(0, |d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX));
+        match &result {
+            Ok(_) => prof.outcome = "ok".to_string(),
+            Err(message) => {
+                prof.outcome = "error".to_string();
+                prof.error = Some(message.clone());
+            }
+        }
+        let m = ffmr_obs::global();
+        for (stage, us) in prof.stages() {
+            m.histogram("ffmr_query_stage_us", &[("stage", stage)])
+                .record(us);
+        }
+        if prof.deadline_ms > 0 {
+            // Percent of the deadline budget consumed before answering
+            // (or dying) — the SLO headroom signal.
+            m.histogram("ffmr_query_deadline_budget_pct", &[])
+                .record((prof.total_us * 100) / (prof.deadline_ms * 1_000));
+        }
+        if prof.total_us
+            >= u64::try_from(self.config.slow_query_threshold.as_micros()).unwrap_or(u64::MAX)
+        {
+            self.slowlog.record(prof.clone());
+        }
+        let mut response = result?;
+        if request.get("explain").is_some() {
+            // Push the pair directly: the profile line is single-line
+            // by construction (its writer escapes newlines), and
+            // `Message::push` would re-clone the ~300-byte string just
+            // to sanitize it — measurable on the explain A/B guard.
+            response
+                .fields
+                .push(("profile".to_string(), prof.to_json()));
+        }
+        Ok(response)
+    }
+
+    fn flow_query_profiled(
+        &self,
+        request: &Message,
+        kind: QueryKind,
+        prof: &mut QueryProfile,
+    ) -> Result<Message, String> {
         let dataset = request.get("dataset").ok_or("query needs 'dataset'")?;
         let snap = self
             .store
             .get(dataset)
             .ok_or_else(|| format!("unknown dataset '{dataset}'"))?;
+        prof.epoch = snap.epoch;
 
+        let resolve_started = Instant::now();
         let resolved = self.resolve_terminals(request, &snap.network)?;
+        prof.resolve_us = elapsed_us(resolve_started);
         let requested = request.get("algorithm");
         let solver = self.pick_solver(requested, &resolved.net)?;
         let key = CacheKey::new(
@@ -396,10 +504,15 @@ impl QueryEngine {
         );
 
         let use_cache = request.get("no-cache").is_none();
+        prof.cache = if use_cache { "miss" } else { "bypass" }.to_string();
         if use_cache {
             if let Some(hit) = self.cache.get(&key) {
+                prof.cache = "hit".to_string();
+                prof.plan = hit.plan.clone();
+                prof.plan_reason = "cache-hit".to_string();
+                prof.solver = hit.solver.clone();
                 let mut response = render_answer(&hit, kind, &resolved, dataset, snap.epoch, true);
-                response.push("coalesced", 0u8);
+                push_serving_fields(&mut response, false, false, prof.queue_wait_us);
                 return Ok(response);
             }
         }
@@ -407,6 +520,7 @@ impl QueryEngine {
         let timeout_ms: u64 = request
             .get_parsed("timeout-ms")?
             .unwrap_or(self.config.default_timeout.as_millis() as u64);
+        prof.deadline_ms = timeout_ms;
         let timeout = Duration::from_millis(timeout_ms);
         // Diagnostic: cooperatively cancel the MR driver once it has
         // completed this many rounds — exercises the cancel/checkpoint/
@@ -419,18 +533,34 @@ impl QueryEngine {
         // and an explicit MapReduce algorithm request pins the solver to
         // the full graph (`no-core` opts a single request out).
         let mr_requested = matches!(requested, Some("ff1" | "ff2" | "ff3" | "ff4" | "ff5"));
-        let plan = if self.config.core_planner
+        let no_core = request.get("no-core").is_some();
+        let planner_applies = self.config.core_planner
             && !resolved.super_st
             && kind == QueryKind::MaxFlow
             && !mr_requested
-            && request.get("no-core").is_none()
-        {
+            && !no_core;
+        let plan_started = Instant::now();
+        let plan = if planner_applies {
             Some(snap.core.plan(resolved.source, resolved.sink))
         } else {
             None
         };
+        prof.plan_us = elapsed_us(plan_started);
+        prof.plan_reason = if planner_applies {
+            String::new() // refined by execute_plan
+        } else if resolved.super_st {
+            "super-terminal-query".to_string()
+        } else if kind == QueryKind::MinCut {
+            "mincut-needs-full-graph".to_string()
+        } else if mr_requested {
+            "mapreduce-pinned".to_string()
+        } else if no_core {
+            "no-core-requested".to_string()
+        } else {
+            "planner-disabled".to_string()
+        };
 
-        let compute = || -> Result<(CachedAnswer, bool), String> {
+        let compute = |prof: &mut QueryProfile| -> Result<(CachedAnswer, bool), String> {
             self.execute_plan(
                 &plan,
                 &snap,
@@ -443,6 +573,7 @@ impl QueryEngine {
                 &key,
                 use_cache,
                 cancel_after_rounds,
+                prof,
             )
         };
 
@@ -454,7 +585,7 @@ impl QueryEngine {
         let (answer, resumed, coalesced) = if coalescible {
             match self.join_or_lead(&key) {
                 InflightRole::Lead(slot) => {
-                    let result = compute();
+                    let result = compute(prof);
                     *slot.done.lock().expect("inflight slot") = Some(result.clone());
                     slot.ready.notify_all();
                     self.inflight.lock().expect("inflight map").remove(&key);
@@ -469,20 +600,27 @@ impl QueryEngine {
                     ffmr_obs::global()
                         .counter("ffmr_query_coalesced_total", &[])
                         .inc();
+                    prof.coalesced = true;
+                    prof.plan_reason = "coalesced-follower".to_string();
                     let (answer, resumed) = done.clone().expect("leader published")?;
+                    prof.plan = answer.plan.clone();
+                    prof.solver = answer.solver.clone();
                     (answer, resumed, true)
                 }
             }
         } else {
-            let (answer, resumed) = compute()?;
+            let (answer, resumed) = compute(prof)?;
             (answer, resumed, false)
         };
+        prof.coalesced = coalesced;
+        prof.resumed = resumed;
         if use_cache && !coalesced {
+            let put_started = Instant::now();
             self.cache.put(key, answer.clone());
+            prof.cache_update_us += elapsed_us(put_started);
         }
         let mut response = render_answer(&answer, kind, &resolved, dataset, snap.epoch, false);
-        response.push("resumed", u8::from(resumed));
-        response.push("coalesced", u8::from(coalesced));
+        push_serving_fields(&mut response, resumed, coalesced, prof.queue_wait_us);
         Ok(response)
     }
 
@@ -518,12 +656,16 @@ impl QueryEngine {
         key: &CacheKey,
         use_cache: bool,
         cancel_after_rounds: Option<usize>,
+        prof: &mut QueryProfile,
     ) -> Result<(CachedAnswer, bool), String> {
         let metrics = ffmr_obs::global();
         match *plan {
             // The periphery trees fully determine the value: no solver.
             Some(CorePlan::Direct(flow)) => {
                 metrics.counter("ffmr_core_answered_total", &[]).inc();
+                prof.plan = "direct".to_string();
+                prof.plan_reason = "periphery-direct".to_string();
+                prof.solver = "periphery".to_string();
                 let answer = CachedAnswer {
                     flow,
                     solver: "periphery".to_string(),
@@ -548,6 +690,7 @@ impl QueryEngine {
                 sink_anchor,
             }) => {
                 metrics.counter("ffmr_core_answered_total", &[]).inc();
+                prof.plan = "core".to_string();
                 let core_net = snap.core.core_net();
                 let core_solver = self.pick_solver(requested, core_net)?;
                 let core_key = CacheKey::new(
@@ -565,8 +708,13 @@ impl QueryEngine {
                     None
                 };
                 let (mut core_answer, resumed) = match core_hit {
-                    Some(hit) => (hit, false),
+                    Some(hit) => {
+                        prof.plan_reason = "anchor-cache-hit".to_string();
+                        prof.solver = hit.solver.clone();
+                        (hit, false)
+                    }
                     None => {
+                        prof.plan_reason = "anchor-core-solve".to_string();
                         let core_q = ResolvedQuery {
                             net: Arc::clone(core_net),
                             source,
@@ -582,12 +730,15 @@ impl QueryEngine {
                             timeout,
                             &core_key,
                             cancel_after_rounds,
+                            prof,
                         )?;
                         answer.plan = "core".to_string();
                         if use_cache && core_key != *key {
                             // The unclamped anchor-pair value is what
                             // other queries sharing these anchors need.
+                            let put_started = Instant::now();
                             self.cache.put(core_key, answer.clone());
+                            prof.cache_update_us += elapsed_us(put_started);
                         }
                         (answer, resumed)
                     }
@@ -599,7 +750,16 @@ impl QueryEngine {
                 if !resolved.super_st && kind == QueryKind::MaxFlow {
                     metrics.counter("ffmr_core_fallback_total", &[]).inc();
                 }
-                self.solve(resolved, solver, kind, timeout, key, cancel_after_rounds)
+                prof.plan = "full".to_string();
+                self.solve(
+                    resolved,
+                    solver,
+                    kind,
+                    timeout,
+                    key,
+                    cancel_after_rounds,
+                    prof,
+                )
             }
         }
     }
@@ -680,6 +840,7 @@ impl QueryEngine {
 
     /// Solves the query; the second result element reports whether a
     /// MapReduce run was resumed from a stashed checkpoint.
+    #[allow(clippy::too_many_arguments)]
     fn solve(
         &self,
         q: &ResolvedQuery,
@@ -688,6 +849,7 @@ impl QueryEngine {
         timeout: Duration,
         key: &CacheKey,
         cancel_after_rounds: Option<usize>,
+        prof: &mut QueryProfile,
     ) -> Result<(CachedAnswer, bool), String> {
         match solver {
             Solver::Sequential(algo) => {
@@ -698,16 +860,34 @@ impl QueryEngine {
                 // runs on the engine's persistent worker pool (no
                 // per-query thread spawn) and is thread-count invariant.
                 let cancel = Cancel::after(timeout);
+                prof.solver = solver.name();
+                let solve_started = Instant::now();
+                let mut report = SolveReport::default();
                 let solved = if algo == Algorithm::ParallelPushRelabel {
                     let config = PrConfig {
                         threads: self.pool.threads(),
                         ..PrConfig::default()
                     };
-                    max_flow_pooled(&q.net, q.source, q.sink, &config, &self.pool, &cancel)
-                        .map(|run| run.result)
+                    max_flow_pooled(&q.net, q.source, q.sink, &config, &self.pool, &cancel).map(
+                        |run| {
+                            report = run.stats.report();
+                            run.result
+                        },
+                    )
                 } else {
-                    algo.run_cancellable(&q.net, q.source, q.sink, &cancel)
+                    algo.run_with_report(&q.net, q.source, q.sink, &cancel)
+                        .map(|(result, r)| {
+                            report = r;
+                            result
+                        })
                 };
+                prof.solve_us += elapsed_us(solve_started);
+                prof.phases += report.phases;
+                prof.augmenting_paths += report.augmenting_paths;
+                prof.pushes += report.pushes;
+                prof.relabels += report.relabels;
+                prof.global_relabels += report.global_relabels;
+                prof.cancel_polls += report.cancel_polls;
                 let flow = solved.map_err(|_| {
                     format!(
                         "timeout after {}ms (in-memory solve cancelled at the deadline)",
@@ -732,8 +912,14 @@ impl QueryEngine {
                 Ok((answer, false))
             }
             Solver::MapReduce(name, variant) => {
-                let (run, rt, resumed) =
-                    self.run_mapreduce(q, name, variant, timeout, key, cancel_after_rounds)?;
+                prof.solver = name.to_string();
+                let solve_started = Instant::now();
+                let mr = self.run_mapreduce(q, name, variant, timeout, key, cancel_after_rounds);
+                prof.solve_us += elapsed_us(solve_started);
+                let (run, rt, resumed) = mr?;
+                // Each MR flow round is the distributed analogue of a
+                // solver phase.
+                prof.phases += run.num_flow_rounds() as u64;
                 let mut answer = CachedAnswer {
                     flow: run.max_flow_value,
                     solver: name.to_string(),
@@ -885,8 +1071,9 @@ impl QueryEngine {
 }
 
 /// Folds one executed request into the process-wide registry: a per-verb
-/// request counter, a per-verb error counter, and a per-verb/per-solver
-/// latency histogram (solver `-` for verbs that never pick one).
+/// request counter, a per-verb error counter, and a per-plan/per-solver/
+/// per-verb latency histogram (`-` for verbs that never pick one), so
+/// the direct/core/full serving tiers get separate SLO curves.
 fn record_query_metrics(verb: &str, response: &Message, elapsed: Duration) {
     let m = ffmr_obs::global();
     m.counter("ffmr_requests_total", &[("verb", verb)]).inc();
@@ -895,11 +1082,30 @@ fn record_query_metrics(verb: &str, response: &Message, elapsed: Duration) {
             .inc();
     }
     let solver = response.get("solver").unwrap_or("-");
+    let plan = response.get("plan").unwrap_or("-");
     m.histogram(
         "ffmr_query_latency_us",
-        &[("solver", solver), ("verb", verb)],
+        &[("plan", plan), ("solver", solver), ("verb", verb)],
     )
     .record_duration(elapsed);
+}
+
+/// Saturating microseconds since `since` — stage windows in a
+/// [`QueryProfile`] never panic on clock weirdness.
+fn elapsed_us(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// The uniform serving-metadata tail every query response carries —
+/// `resumed`, `coalesced`, `queue_wait_us` — regardless of which path
+/// (cache hit, coalesced follower, fresh solve) produced the answer.
+/// `render_answer` already emitted `dataset`/`epoch`/`solver`/`plan`/
+/// `cached`; together these form the documented field set in
+/// [`crate::protocol`].
+fn push_serving_fields(response: &mut Message, resumed: bool, coalesced: bool, queue_wait_us: u64) {
+    response.push("resumed", u8::from(resumed));
+    response.push("coalesced", u8::from(coalesced));
+    response.push("queue_wait_us", queue_wait_us);
 }
 
 fn render_answer(
@@ -1479,5 +1685,129 @@ mod tests {
         let stats = engine.execute(&Message::new("stats").field("dataset", "g"));
         assert_eq!(stats.get("vertices"), Some("4"));
         assert_eq!(stats.get("auto-route"), Some("sequential"));
+    }
+
+    #[test]
+    fn every_query_response_carries_the_uniform_serving_fields() {
+        let engine = engine_with(two_paths(), EngineConfig::default());
+        // Fresh solve, then cache hit: both must carry the full set.
+        let fresh = engine.execute(&query("maxflow"));
+        let hit = engine.execute(&query("maxflow"));
+        assert_eq!(hit.get("cached"), Some("1"));
+        for (r, label) in [(&fresh, "fresh"), (&hit, "cache-hit")] {
+            for field in [
+                "dataset",
+                "epoch",
+                "solver",
+                "plan",
+                "cached",
+                "resumed",
+                "coalesced",
+                "queue_wait_us",
+            ] {
+                assert!(r.get(field).is_some(), "{label} missing '{field}': {r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn explain_attaches_a_parseable_profile() {
+        let net = FlowNetwork::from_undirected_unit(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)]);
+        let engine = engine_with(net, EngineConfig::default());
+        let q = Message::new("maxflow")
+            .field("dataset", "g")
+            .field("source", 4)
+            .field("sink", 0)
+            .field("queue-wait-us", 1234)
+            .field("explain", 1);
+        let r = engine.execute(&q);
+        assert_eq!(r.head, status::OK, "{r:?}");
+        let prof = ffmr_obs::QueryProfile::from_json(r.get("profile").expect("explain profile"))
+            .expect("profile parses");
+        assert_eq!(prof.verb, "maxflow");
+        assert_eq!(prof.dataset, "g");
+        assert_eq!(prof.outcome, "ok");
+        assert_eq!(Some(prof.plan.as_str()), r.get("plan"));
+        assert_eq!(Some(prof.solver.as_str()), r.get("solver"));
+        assert_eq!(prof.plan_reason, "anchor-core-solve");
+        assert_eq!(prof.queue_wait_us, 1234);
+        assert!(prof.total_us >= prof.queue_wait_us);
+        assert!(prof.pushes > 0, "core solve reports solver internals");
+
+        // Without the flag the response stays lean.
+        let plain = engine.execute(&query("maxflow"));
+        assert!(plain.get("profile").is_none());
+
+        // A cache hit explains itself as such.
+        let r = engine.execute(&q);
+        let prof =
+            ffmr_obs::QueryProfile::from_json(r.get("profile").unwrap()).expect("hit profile");
+        assert_eq!(prof.cache, "hit");
+        assert_eq!(prof.plan_reason, "cache-hit");
+    }
+
+    #[test]
+    fn slowlog_records_over_threshold_queries_and_serves_them() {
+        // A zero threshold turns every query into a "slow" one.
+        let config = EngineConfig {
+            slow_query_threshold: Duration::ZERO,
+            ..EngineConfig::default()
+        };
+        let engine = engine_with(two_paths(), config);
+        let empty = engine.execute(&Message::new("slowlog"));
+        assert_eq!(empty.head, status::OK, "{empty:?}");
+        assert_eq!(empty.get("count"), Some("0"));
+
+        let ok = engine.execute(&query("maxflow"));
+        assert_eq!(ok.head, status::OK);
+        // A timed-out query is exactly the kind worth explaining later:
+        // it must land in the slowlog too, profiled as an error.
+        let err = engine.execute(
+            &query("maxflow")
+                .field("algorithm", "dinic")
+                .field("no-core", 1)
+                .field("no-cache", 1)
+                .field("timeout-ms", 0),
+        );
+        assert_eq!(err.head, status::ERROR, "{err:?}");
+
+        let log = engine.execute(&Message::new("slowlog"));
+        assert_eq!(log.get("count"), Some("2"), "{log:?}");
+        let entries: Vec<ffmr_obs::QueryProfile> = log
+            .fields
+            .iter()
+            .filter(|(k, _)| k == "entry")
+            .map(|(_, v)| ffmr_obs::QueryProfile::from_json(v).expect("entry parses"))
+            .collect();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].outcome, "ok");
+        assert_eq!(entries[1].outcome, "error");
+        assert!(
+            entries[1]
+                .error
+                .as_deref()
+                .unwrap_or("")
+                .contains("timeout"),
+            "{:?}",
+            entries[1].error
+        );
+        // `limit` trims to the newest entries.
+        let limited = engine.execute(&Message::new("slowlog").field("limit", 1));
+        let kept: Vec<_> = limited
+            .fields
+            .iter()
+            .filter(|(k, _)| k == "entry")
+            .collect();
+        assert_eq!(kept.len(), 1);
+        assert!(kept[0].1.contains("\"outcome\":\"error\""), "{:?}", kept[0]);
+    }
+
+    #[test]
+    fn default_threshold_keeps_fast_queries_out_of_the_slowlog() {
+        let engine = engine_with(two_paths(), EngineConfig::default());
+        let r = engine.execute(&query("maxflow"));
+        assert_eq!(r.head, status::OK);
+        let log = engine.execute(&Message::new("slowlog"));
+        assert_eq!(log.get("count"), Some("0"), "{log:?}");
     }
 }

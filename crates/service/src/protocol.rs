@@ -15,6 +15,31 @@
 //!
 //! The format is deliberately line-oriented and std-only: it can be
 //! debugged with a hex dump and needs no serialization dependency.
+//!
+//! # Query-response field set
+//!
+//! Every successful `maxflow`/`mincut` response carries the same
+//! serving-metadata fields regardless of which path produced the
+//! answer (fresh solve, cache hit, coalesced follower, resumed run):
+//!
+//! | field           | meaning                                              |
+//! |-----------------|------------------------------------------------------|
+//! | `dataset`       | dataset name the query resolved against              |
+//! | `epoch`         | snapshot epoch that produced the answer              |
+//! | `flow`          | max-flow value (clamped for core plans)              |
+//! | `solver`        | `periphery`, an in-memory algorithm, or an MR variant|
+//! | `plan`          | `direct`, `core`, or `full`                          |
+//! | `cached`        | `1` if served from the answer cache                  |
+//! | `resumed`       | `1` if an MR run resumed a stashed checkpoint        |
+//! | `coalesced`     | `1` if this request followed an identical in-flight one |
+//! | `queue_wait_us` | microseconds spent queued behind busy workers        |
+//!
+//! MR-route extras (`rounds`, `shuffle-bytes`, `sim-seconds-milli`),
+//! min-cut certificates (`cut-edges`, `cut-source-side`), and the
+//! resolved `sources`/`sinks` lists ride along. A request with an
+//! `explain` field additionally receives `profile`: the full
+//! `ffmr_obs::QueryProfile` as one JSON line (plan reason, per-stage
+//! wall windows, solver internals).
 
 use std::io::{Read, Write};
 

@@ -246,7 +246,7 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
 /// queue for anything that does real work.
 fn dispatch(request: &Message, shared: &Arc<Shared>) -> Message {
     match request.head.as_str() {
-        "ping" | "list" | "stats" | "history" => shared.engine.execute(request),
+        "ping" | "list" | "stats" | "history" | "slowlog" => shared.engine.execute(request),
         "shutdown" => {
             shared.shutdown.store(true, Ordering::Relaxed);
             Message::new(crate::protocol::status::OK).field("shutdown", 1)
@@ -285,7 +285,7 @@ fn worker_loop(shared: &Arc<Shared>, queue: &Mutex<Receiver<WorkItem>>) {
         let item = queue.lock().recv_timeout(POLL_INTERVAL);
         match item {
             Ok(WorkItem {
-                request,
+                mut request,
                 reply,
                 enqueued,
             }) => {
@@ -294,8 +294,15 @@ fn worker_loop(shared: &Arc<Shared>, queue: &Mutex<Receiver<WorkItem>>) {
                 // Queue-wait latency: how long the request sat behind
                 // busy workers before one picked it up — the knob
                 // operators watch to size the worker pool.
+                let waited = enqueued.elapsed();
                 m.histogram("ffmr_queue_wait_us", &[])
-                    .record_duration(enqueued.elapsed());
+                    .record_duration(waited);
+                // The engine folds the measured wait into the query's
+                // profile (explain output, slowlog, stage histograms).
+                request.push(
+                    "queue-wait-us",
+                    u64::try_from(waited.as_micros()).unwrap_or(u64::MAX),
+                );
                 m.gauge("ffmr_workers_busy", &[]).add(1);
                 let response = shared.engine.execute(&request);
                 m.gauge("ffmr_workers_busy", &[]).sub(1);

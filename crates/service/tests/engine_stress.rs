@@ -153,23 +153,93 @@ fn identical_query_storms_coalesce() {
         .collect();
     let responses: Vec<Message> = threads.into_iter().map(|t| t.join().unwrap()).collect();
     let first_flow = responses[0].get("flow").unwrap();
-    let mut led = 0u32;
+    let (mut led, mut followed, mut hit) = (0u64, 0u64, 0u64);
     for r in &responses {
         assert_eq!(r.head, status::OK, "{r:?}");
         assert_eq!(r.get("flow"), Some(first_flow), "all answers agree");
         let cached = r.get("cached") == Some("1");
         let coalesced = r.get("coalesced") == Some("1");
-        if !cached && !coalesced {
-            led += 1;
+        match (cached, coalesced) {
+            (true, _) => hit += 1,
+            (false, true) => followed += 1,
+            (false, false) => led += 1,
         }
     }
     assert!(led >= 1, "someone actually solved");
-    // Solves happened only for leaders: cache misses from this storm
-    // are bounded by the lead count (each leader misses the main key
-    // once; its core solve may add one more miss on the anchor key).
+    // Every response took exactly one of the three paths — nobody fell
+    // through to an unaccounted solve.
+    assert_eq!(
+        led + followed + hit,
+        responses.len() as u64,
+        "{led} led / {followed} followed / {hit} hit"
+    );
+    // Cache misses are bounded by one initial probe per thread plus the
+    // leaders' anchor-key probes — a follower or hit never misses twice.
     let stats = engine.cache_stats();
     assert!(
-        stats.misses <= u64::from(led) * 2,
+        stats.misses <= responses.len() as u64 + led * 2,
         "followers must not fall through to the solver: {led} leaders, {stats:?}"
     );
+}
+
+/// A deadline expiring mid-core-solve: the leader and every coalesced
+/// follower get the timeout error back (nobody hangs on the inflight
+/// slot), the anchor-pair cache is left unpoisoned, and a later
+/// sane-deadline query answers correctly via the same core plan.
+#[test]
+fn timeouts_on_the_core_path_release_followers_and_spare_the_cache() {
+    let n = 200u64;
+    let mut edges = swgraph::gen::barabasi_albert(n, 3, 7);
+    // Pendant chain n+1 — n — 0: queries from the chain take the core
+    // plan between anchor 0 and the sink, clamped by the chain's
+    // unit bottleneck.
+    edges.push((0, n));
+    edges.push((n, n + 1));
+    let net = FlowNetwork::from_undirected_unit(n + 2, &edges);
+    let store = Arc::new(GraphStore::new());
+    store.insert_network("g", net);
+    let engine = Arc::new(QueryEngine::new(
+        Arc::clone(&store),
+        EngineConfig::default(),
+    ));
+    let ask = |timeout_ms: u64| {
+        Message::new("maxflow")
+            .field("dataset", "g")
+            .field("source", n + 1)
+            .field("sink", 150)
+            .field("timeout-ms", timeout_ms)
+    };
+
+    // An already-expired deadline dies at the solver's first cancel
+    // poll, inside the core solve. Leader and followers all must see
+    // the timeout error.
+    let threads: Vec<_> = (0..4)
+        .map(|_| {
+            let engine = Arc::clone(&engine);
+            let q = ask(0);
+            std::thread::spawn(move || engine.execute(&q))
+        })
+        .collect();
+    for t in threads {
+        let r = t.join().expect("no follower may hang or panic");
+        assert_eq!(r.head, status::ERROR, "{r:?}");
+        assert!(r.get("message").unwrap().contains("timeout"), "{r:?}");
+    }
+
+    // The failed solves must not have cached anything — under either
+    // the query key or the anchor-pair key.
+    let stats = engine.cache_stats();
+    assert_eq!(stats.entries, 0, "a timed-out solve poisoned the cache");
+
+    // A sane deadline answers via the core plan with the right value...
+    let good = engine.execute(&ask(30_000));
+    assert_eq!(good.head, status::OK, "{good:?}");
+    assert_eq!(good.get("plan"), Some("core"), "{good:?}");
+    assert_eq!(good.get("cached"), Some("0"));
+    assert_eq!(good.get("flow"), Some("1"), "chain bottleneck clamps to 1");
+    // ...and a full-graph solve agrees, so no partial state leaked out
+    // of the cancelled run.
+    let full = engine.execute(&ask(30_000).field("no-cache", 1).field("no-core", 1));
+    assert_eq!(full.head, status::OK, "{full:?}");
+    assert_eq!(full.get("flow"), good.get("flow"));
 }

@@ -52,6 +52,7 @@ fn main() -> ExitCode {
         "serve" => serve(&args[1..]),
         "worker" => worker(&args[1..]),
         "query" => query(&args[1..]),
+        "slowlog" => slowlog(&args[1..]),
         "stats" => stats(&args[1..]),
         "top" => top(&args[1..]),
         "report" => report(&args[1..]),
@@ -88,12 +89,14 @@ fn print_help() {
          \x20          [--workers N] [--queue N] [--cache N] [--mr-threshold N]\n\
          \x20          [--threads N] [--nodes N] [--reducers R] [--timeout-ms N]\n\
          \x20          [--no-core]  (disable the core-contraction planner)\n\
+         \x20          [--slow-query-ms N] [--slowlog-file FILE]\n\
          \x20 worker   --connect HOST:PORT [--poll-ms N] [--heartbeat-ms N]\n\
          \x20 query    --addr HOST:PORT --op maxflow|mincut|stats|history|list|\n\
          \x20          load|reload|ping|shutdown [--dataset D] [--limit N]\n\
          \x20          (--source S --sink T | --w N)\n\
          \x20          [--algorithm auto|...] [--seed S] [--timeout-ms N] [--no-cache]\n\
-         \x20          [--no-core] [--cancel-after-rounds N]\n\
+         \x20          [--no-core] [--cancel-after-rounds N] [--explain]\n\
+         \x20 slowlog  [--addr HOST:PORT] [--limit N] [--json]\n\
          \x20 stats    [--addr HOST:PORT] [--dataset D] [--prometheus] [--watch]\n\
          \x20          [--interval-ms N]\n\
          \x20 top      --connect HOST:PORT [--watch] [--interval-ms N]\n\
@@ -102,7 +105,14 @@ fn print_help() {
          \x20 maxflow/serve also accept --trace-file FILE to write one JSON\n\
          \x20 line per span (FF rounds, MapReduce phases, queries); the file\n\
          \x20 rotates to FILE.1 at FFMR_TRACE_MAX_BYTES (default 64 MiB).\n\
-         \x20 `stats --prometheus` prints the text exposition for scraping.\n\
+         \x20 `stats --prometheus` prints the text exposition for scraping;\n\
+         \x20 plain `stats` leads with a serving summary (core hit rate,\n\
+         \x20 plan mix, coalesce rate) above the raw registry rows.\n\
+         \x20 `query --explain` appends a per-query profile: the plan and\n\
+         \x20 why, per-stage wall timings, and solver internals. The daemon\n\
+         \x20 keeps every query over --slow-query-ms (default 250) in a\n\
+         \x20 bounded ring (FFMR_SLOWLOG_CAP entries); `ffmr slowlog` lists\n\
+         \x20 them and --slowlog-file persists them as rotating JSONL.\n\
          \x20 maxflow records a per-round job history (task timelines, skew,\n\
          \x20 stragglers, critical path) into the DFS beside its checkpoints;\n\
          \x20 `report --state FILE` renders it, `--json` dumps raw profiles.\n\
@@ -163,6 +173,7 @@ const FLAGS: &[&str] = &[
     "resume",
     "speculate",
     "json",
+    "explain",
 ];
 
 /// Pulls `--name value` pairs (and bare `--flag`s) out of an argument
@@ -591,6 +602,9 @@ fn serve(args: &[String]) -> Result<(), String> {
         cache_capacity: opts.parsed("cache", 256)?,
         default_timeout: std::time::Duration::from_millis(opts.parsed("timeout-ms", 30_000u64)?),
         core_planner: !opts.has("no-core"),
+        slow_query_threshold: std::time::Duration::from_millis(
+            opts.parsed("slow-query-ms", 250u64)?,
+        ),
         ..engine::EngineConfig::default()
     };
     let server_config = server::ServerConfig {
@@ -598,6 +612,15 @@ fn serve(args: &[String]) -> Result<(), String> {
         queue_depth: opts.parsed("queue", 16)?,
     };
     let engine = std::sync::Arc::new(QueryEngine::new(store, engine_config));
+    if let Some(path) = opts.get("slowlog-file") {
+        let sink = ffmr::ffmr_obs::JsonlSink::create(std::path::Path::new(path))
+            .map_err(|e| format!("cannot create slowlog file {path}: {e}"))?;
+        engine.slowlog().set_sink(Some(std::sync::Arc::new(sink)));
+        println!(
+            "slow queries (>= {}ms) persisted to {path}",
+            opts.parsed("slow-query-ms", 250u64)?
+        );
+    }
     let handle = server::serve(listen.as_str(), engine, &server_config)
         .map_err(|e| format!("cannot bind {listen}: {e}"))?;
     println!(
@@ -651,6 +674,7 @@ fn query(args: &[String]) -> Result<(), String> {
         "ms",
         "format",
         "limit",
+        "explain",
     ] {
         if let Some(v) = opts.get(key) {
             request.push(key, v);
@@ -659,15 +683,157 @@ fn query(args: &[String]) -> Result<(), String> {
 
     let mut client = Client::connect(addr).map_err(|e| format!("cannot reach {addr}: {e}"))?;
     let response = client.request(&request).map_err(|e| e.to_string())?;
+    // Only the echoed query profile gets the stage-tree rendering —
+    // other verbs reuse the `profile` field name for different payloads
+    // (`history` carries RoundProfile lines), which must print raw.
+    let explain = opts.get("explain").is_some();
     println!("{}", response.head);
     for (k, v) in &response.fields {
-        println!("{k} {v}");
+        // The query profile rides the wire as one JSON line; render it
+        // as a stage tree below instead of dumping the raw blob.
+        if !(explain && k == "profile") {
+            println!("{k} {v}");
+        }
+    }
+    if explain {
+        if let Some(line) = response.get("profile") {
+            match ffmr::ffmr_obs::QueryProfile::from_json(line) {
+                Ok(profile) => print_query_profile(&profile),
+                Err(e) => eprintln!("warning: unparsable profile ({e}): {line}"),
+            }
+        }
     }
     if response.head == "ok" {
         Ok(())
     } else {
         Err(format!("server replied '{}'", response.head))
     }
+}
+
+/// Renders one `--explain` profile as a stage-timing tree: the plan and
+/// why it was chosen, a proportional bar per pipeline stage, and the
+/// solver's internal counters.
+fn print_query_profile(p: &ffmr::ffmr_obs::QueryProfile) {
+    const WIDTH: usize = 24;
+    println!(
+        "profile: {} on '{}' epoch {} — plan {} ({}), solver {}, cache {}{}{}",
+        p.verb,
+        p.dataset,
+        p.epoch,
+        p.plan,
+        if p.plan_reason.is_empty() {
+            "-"
+        } else {
+            &p.plan_reason
+        },
+        if p.solver.is_empty() { "-" } else { &p.solver },
+        p.cache,
+        if p.coalesced { ", coalesced" } else { "" },
+        if p.resumed { ", resumed" } else { "" },
+    );
+    println!("stage timings:");
+    let widest = p.stages().iter().map(|(_, us)| *us).max().unwrap_or(0);
+    for (stage, us) in p.stages() {
+        // A nonzero stage always shows at least one cell.
+        let cells = match widest {
+            0 => 0,
+            w => (us * WIDTH as u64).div_ceil(w) as usize,
+        };
+        println!(
+            "  {stage:<13} {us:>10} us |{:<WIDTH$}|",
+            "#".repeat(cells.min(WIDTH))
+        );
+    }
+    print!("  {:<13} {:>10} us", "total", p.total_us);
+    if p.deadline_ms > 0 {
+        let budget_us = p.deadline_ms * 1_000;
+        print!(
+            " ({}% of the {} ms deadline)",
+            (p.total_us * 100) / budget_us,
+            p.deadline_ms
+        );
+    }
+    println!();
+    let counters = p.solver_counters();
+    if counters.is_empty() {
+        println!("solver internals: none recorded");
+    } else {
+        let rendered: Vec<String> = counters
+            .iter()
+            .map(|(name, v)| format!("{name} {v}"))
+            .collect();
+        println!("solver internals: {}", rendered.join(", "));
+    }
+    if let Some(error) = &p.error {
+        println!("error: {error}");
+    }
+}
+
+/// `ffmr slowlog` — lists the daemon's ring of queries that blew the
+/// `--slow-query-ms` threshold, newest last; `--json` dumps the raw
+/// profile lines for machines.
+fn slowlog(args: &[String]) -> Result<(), String> {
+    use ffmr::ffmr_service::{Client, Message};
+    let opts = Options::parse(args)?;
+    let addr = opts.get("addr").unwrap_or("127.0.0.1:7227");
+    let mut request = Message::new("slowlog");
+    if let Some(limit) = opts.get("limit") {
+        request.push("limit", limit);
+    }
+    let mut client = Client::connect(addr).map_err(|e| format!("cannot reach {addr}: {e}"))?;
+    let response = client.request(&request).map_err(|e| e.to_string())?;
+    if response.head != "ok" {
+        return Err(format!(
+            "server replied '{}': {}",
+            response.head,
+            response.get("message").unwrap_or("")
+        ));
+    }
+    if opts.has("json") {
+        for (k, v) in &response.fields {
+            if k == "entry" {
+                println!("{v}");
+            }
+        }
+        return Ok(());
+    }
+    println!(
+        "slow queries: {} captured, {} dropped (ring capacity {}, threshold {} ms)",
+        response.get("count").unwrap_or("0"),
+        response.get("dropped").unwrap_or("0"),
+        response.get("capacity").unwrap_or("?"),
+        response.get("threshold-ms").unwrap_or("?"),
+    );
+    for (k, v) in &response.fields {
+        if k != "entry" {
+            continue;
+        }
+        match ffmr::ffmr_obs::QueryProfile::from_json(v) {
+            Ok(p) => {
+                let slowest = p
+                    .stages()
+                    .iter()
+                    .max_by_key(|(_, us)| *us)
+                    .map_or(("-", 0), |&(stage, us)| (stage, us));
+                println!(
+                    "  {:<7} {:<10} {:>10} us  plan {:<6} {:<12} {:<5}  slowest {} ({} us){}",
+                    p.verb,
+                    p.dataset,
+                    p.total_us,
+                    p.plan,
+                    if p.solver.is_empty() { "-" } else { &p.solver },
+                    p.outcome,
+                    slowest.0,
+                    slowest.1,
+                    p.error
+                        .as_deref()
+                        .map_or_else(String::new, |e| format!("  [{e}]")),
+                );
+            }
+            Err(e) => eprintln!("warning: unparsable entry ({e}): {v}"),
+        }
+    }
+    Ok(())
 }
 
 /// Scrapes the daemon's `stats` verb: flat `series value` lines by
@@ -714,6 +880,7 @@ fn stats(args: &[String]) -> Result<(), String> {
         if prometheus {
             print!("{}", response.joined_lines("prom"));
         } else {
+            print_serving_summary(&response);
             for (k, v) in &response.fields {
                 println!("{k} {v}");
             }
@@ -724,6 +891,72 @@ fn stats(args: &[String]) -> Result<(), String> {
         println!("---");
         std::thread::sleep(interval);
     }
+}
+
+/// The serving-tier counters an operator actually watches, derived from
+/// the flat registry rows the `stats` verb returns: core-planner hit
+/// rate, per-plan query mix, coalesce rate, and resumed runs. Printed
+/// above the raw rows so `stats --watch` reads like a dashboard.
+fn print_serving_summary(response: &ffmr::ffmr_service::Message) {
+    let num = |key: &str| -> u64 { response.get(key).and_then(|v| v.parse().ok()).unwrap_or(0) };
+    let core = num("ffmr_core_answered_total");
+    let fallback = num("ffmr_core_fallback_total");
+    let coalesced = num("ffmr_query_coalesced_total");
+    let resumed = num("ffmr_query_resumed_total");
+
+    // Plan mix: sum the `count=` of each per-plan latency histogram
+    // (keys look like `ffmr_query_latency_us{plan="core",solver=...}`).
+    let mut plans: Vec<(String, u64)> = Vec::new();
+    for (k, v) in &response.fields {
+        let Some(labels) = k.strip_prefix("ffmr_query_latency_us{") else {
+            continue;
+        };
+        let Some(plan) = extract_label(labels, "plan") else {
+            continue;
+        };
+        if plan == "-" {
+            continue; // verbs that never pick a plan
+        }
+        let count: u64 = v
+            .split_whitespace()
+            .find_map(|tok| tok.strip_prefix("count="))
+            .and_then(|c| c.parse().ok())
+            .unwrap_or(0);
+        match plans.iter_mut().find(|(p, _)| *p == plan) {
+            Some((_, n)) => *n += count,
+            None => plans.push((plan.to_string(), count)),
+        }
+    }
+    plans.sort();
+    let queries: u64 = plans.iter().map(|(_, n)| n).sum();
+    let pct = |part: u64, whole: u64| (part * 100).checked_div(whole).unwrap_or(0);
+    let mix = if plans.is_empty() {
+        "none".to_string()
+    } else {
+        plans
+            .iter()
+            .map(|(p, n)| format!("{p} {}%", pct(*n, queries)))
+            .collect::<Vec<_>>()
+            .join(" / ")
+    };
+    println!(
+        "serving: {queries} planned queries | core hit rate {}% ({core} core, {fallback} full) | \
+         plan mix {mix} | coalesced {}% ({coalesced}) | resumed {resumed}",
+        pct(core, core + fallback),
+        pct(coalesced, queries.max(1)),
+    );
+}
+
+/// Pulls one `name="value"` label out of a rendered label list like
+/// `plan="core",solver="parallel-pr",verb="maxflow"}`.
+fn extract_label<'a>(labels: &'a str, name: &str) -> Option<&'a str> {
+    let start = if labels.starts_with(&format!("{name}=\"")) {
+        name.len() + 2
+    } else {
+        labels.find(&format!(",{name}=\""))? + name.len() + 3
+    };
+    let rest = &labels[start..];
+    rest.split('"').next()
 }
 
 /// `ffmr top` — live cluster view over the coordinator's `workers`
